@@ -1,0 +1,130 @@
+//! Empirical CDFs, the workhorse of Figs. 3, 12 and 13.
+
+/// An empirical cumulative distribution over `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples (NaNs are dropped).
+    pub fn new<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| !x.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs after filter"));
+        Ecdf { sorted }
+    }
+
+    /// From integer samples.
+    pub fn from_u64<I: IntoIterator<Item = u64>>(samples: I) -> Self {
+        Self::new(samples.into_iter().map(|x| x as f64))
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X ≤ x); 0 for an empty distribution.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// The q-quantile (q in `[0,1]`); `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// Median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Sample minimum / maximum.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Evaluate the CDF at log-spaced points between `lo` and `hi` —
+    /// exactly how the paper plots Figs. 12–13 (semilog x).
+    pub fn log_series(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(lo > 0.0 && hi > lo && points >= 2);
+        let l0 = lo.ln();
+        let l1 = hi.ln();
+        (0..points)
+            .map(|i| {
+                let x = (l0 + (l1 - l0) * i as f64 / (points - 1) as f64).exp();
+                (x, self.at(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let c = Ecdf::new([3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.at(0.5), 0.0);
+        assert_eq!(c.at(1.0), 0.25);
+        assert_eq!(c.at(2.0), 0.75);
+        assert_eq!(c.at(10.0), 1.0);
+        assert_eq!(c.min(), Some(1.0));
+        assert_eq!(c.max(), Some(3.0));
+        assert_eq!(c.median(), Some(2.0));
+    }
+
+    #[test]
+    fn empty_and_nan() {
+        let c = Ecdf::new([f64::NAN]);
+        assert!(c.is_empty());
+        assert_eq!(c.at(1.0), 0.0);
+        assert_eq!(c.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles() {
+        let c = Ecdf::from_u64(1..=100);
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.quantile(1.0), Some(100.0));
+        let q90 = c.quantile(0.9).unwrap();
+        assert!((89.0..=91.0).contains(&q90));
+    }
+
+    #[test]
+    fn log_series_is_monotone() {
+        let c = Ecdf::new((1..1000).map(|i| i as f64));
+        let series = c.log_series(0.1, 10_000.0, 50);
+        assert_eq!(series.len(), 50);
+        for w in series.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(series.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn log_series_rejects_nonpositive_lo() {
+        Ecdf::new([1.0]).log_series(0.0, 10.0, 5);
+    }
+}

@@ -1,0 +1,172 @@
+//! §6 supporting analyses: label confusion when one client reaches several
+//! FQDNs on the same server, and the answer-list length distribution.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use dnhunter::FlowDatabase;
+use dnhunter_dns::suffix::SuffixSet;
+use dnhunter_dns::DomainName;
+use dnhunter_resolver::ResolverStats;
+
+/// Confusion figures, echoing §6's "less than 4% excluding redirections".
+#[derive(Debug, Clone, Copy)]
+pub struct ConfusionReport {
+    /// Fraction of (client, server) pairs that carried more than one FQDN.
+    pub ambiguous_pair_fraction: f64,
+    /// Same, after excluding pairs whose FQDNs share a second-level domain
+    /// (the paper's "http redirection" exclusion: google.com →
+    /// www.google.com).
+    pub ambiguous_excluding_redirects: f64,
+    /// Resolver-level rate of different-FQDN binding replacements.
+    pub resolver_replacement_ratio: f64,
+}
+
+/// Compute confusion from the flow database plus resolver counters.
+pub fn confusion_report(
+    db: &FlowDatabase,
+    resolver: &ResolverStats,
+    suffixes: &SuffixSet,
+) -> ConfusionReport {
+    let mut pair_fqdns: HashMap<(IpAddr, IpAddr), Vec<&DomainName>> = HashMap::new();
+    for f in db.flows() {
+        if let Some(fqdn) = &f.fqdn {
+            let e = pair_fqdns
+                .entry((f.key.client, f.key.server))
+                .or_default();
+            if !e.contains(&fqdn) {
+                e.push(fqdn);
+            }
+        }
+    }
+    let total = pair_fqdns.len().max(1);
+    let mut ambiguous = 0usize;
+    let mut ambiguous_cross_org = 0usize;
+    for fqdns in pair_fqdns.values() {
+        if fqdns.len() > 1 {
+            ambiguous += 1;
+            let mut slds: Vec<DomainName> = fqdns
+                .iter()
+                .map(|f| f.second_level_domain(suffixes))
+                .collect();
+            slds.sort();
+            slds.dedup();
+            if slds.len() > 1 {
+                ambiguous_cross_org += 1;
+            }
+        }
+    }
+    ConfusionReport {
+        ambiguous_pair_fraction: ambiguous as f64 / total as f64,
+        ambiguous_excluding_redirects: ambiguous_cross_org as f64 / total as f64,
+        resolver_replacement_ratio: resolver.confusion_ratio(),
+    }
+}
+
+/// Distribution of answer-list lengths (§6: ~40% of responses carry more
+/// than one address; 20–25% carry 2–10; few exceed 30).
+#[derive(Debug, Clone, Copy)]
+pub struct AnswerListReport {
+    pub responses: usize,
+    pub fraction_single: f64,
+    pub fraction_2_to_10: f64,
+    pub fraction_over_10: f64,
+    pub max: usize,
+}
+
+/// Summarise the sniffer's per-response answer counts.
+pub fn answer_list_report(answers_per_response: &[usize]) -> AnswerListReport {
+    let n = answers_per_response.len();
+    let count = |pred: &dyn Fn(usize) -> bool| {
+        answers_per_response.iter().filter(|&&a| pred(a)).count() as f64 / n.max(1) as f64
+    };
+    AnswerListReport {
+        responses: n,
+        fraction_single: count(&|a| a == 1),
+        fraction_2_to_10: count(&|a| (2..=10).contains(&a)),
+        fraction_over_10: count(&|a| a > 10),
+        max: answers_per_response.iter().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnhunter::TaggedFlow;
+    use dnhunter_flow::{AppProtocol, FlowKey};
+    use dnhunter_net::IpProtocol;
+
+    fn flow(client: &str, server: &str, fqdn: &str) -> TaggedFlow {
+        TaggedFlow {
+            key: FlowKey::from_initiator(
+                client.parse().unwrap(),
+                server.parse().unwrap(),
+                50000,
+                80,
+                IpProtocol::Tcp,
+            ),
+            fqdn: Some(fqdn.parse().unwrap()),
+            second_level: None,
+            alt_labels: Vec::new(),
+            tag_delay_micros: None,
+            first_ts: 0,
+            last_ts: 1,
+            packets_c2s: 1,
+            packets_s2c: 1,
+            bytes_c2s: 1,
+            bytes_s2c: 1,
+            protocol: AppProtocol::Http,
+            tls: None,
+            in_warmup: false,
+        }
+    }
+
+    #[test]
+    fn redirect_pairs_are_excluded() {
+        let s = SuffixSet::builtin();
+        let mut db = FlowDatabase::new();
+        // Pair 1: redirect google.com → www.google.com (same SLD).
+        db.push(flow("10.0.0.1", "74.125.1.1", "google.com"), &s);
+        db.push(flow("10.0.0.1", "74.125.1.1", "www.google.com"), &s);
+        // Pair 2: genuine confusion: two orgs share an EC2 box.
+        db.push(flow("10.0.0.2", "54.230.0.1", "farm.zynga.com"), &s);
+        db.push(flow("10.0.0.2", "54.230.0.1", "client.dropbox.com"), &s);
+        // Pair 3: unambiguous.
+        db.push(flow("10.0.0.3", "23.0.0.1", "img.fbcdn.net"), &s);
+        let r = confusion_report(&db, &ResolverStats::default(), &s);
+        assert!((r.ambiguous_pair_fraction - 2.0 / 3.0).abs() < 1e-9);
+        assert!((r.ambiguous_excluding_redirects - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolver_ratio_is_passed_through() {
+        let s = SuffixSet::builtin();
+        let stats = ResolverStats {
+            bindings: 100,
+            replaced_different_fqdn: 4,
+            ..Default::default()
+        };
+        let r = confusion_report(&FlowDatabase::new(), &stats, &s);
+        assert!((r.resolver_replacement_ratio - 0.04).abs() < 1e-12);
+        assert_eq!(r.ambiguous_pair_fraction, 0.0);
+    }
+
+    #[test]
+    fn answer_list_summary() {
+        let answers = vec![1, 1, 1, 2, 5, 10, 16, 33, 1, 1];
+        let r = answer_list_report(&answers);
+        assert_eq!(r.responses, 10);
+        assert!((r.fraction_single - 0.5).abs() < 1e-9);
+        assert!((r.fraction_2_to_10 - 0.3).abs() < 1e-9);
+        assert!((r.fraction_over_10 - 0.2).abs() < 1e-9);
+        assert_eq!(r.max, 33);
+    }
+
+    #[test]
+    fn empty_answers() {
+        let r = answer_list_report(&[]);
+        assert_eq!(r.responses, 0);
+        assert_eq!(r.max, 0);
+        assert_eq!(r.fraction_single, 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Fig. 3: the degree of the FQDN ↔ serverIP mapping.
+//!
+//! Top plot: for each FQDN, how many distinct server addresses served it.
+//! Bottom plot: for each server address, how many distinct FQDNs it served.
+
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+use dnhunter::FlowDatabase;
+use dnhunter_dns::DomainName;
+
+use crate::cdf::Ecdf;
+
+/// The two degree distributions of Fig. 3.
+#[derive(Debug)]
+pub struct DegreeReport {
+    /// Distinct serverIPs per FQDN.
+    pub ips_per_fqdn: Ecdf,
+    /// Distinct FQDNs per serverIP.
+    pub fqdns_per_ip: Ecdf,
+    /// Fraction of FQDNs served by exactly one address.
+    pub single_ip_fqdn_fraction: f64,
+    /// Fraction of addresses serving exactly one FQDN.
+    pub single_fqdn_ip_fraction: f64,
+    /// Largest observed fan-outs (the heavy tails the paper highlights).
+    pub max_ips_per_fqdn: u64,
+    pub max_fqdns_per_ip: u64,
+}
+
+/// Compute Fig. 3 from the labeled-flow database.
+pub fn degree_report(db: &FlowDatabase) -> DegreeReport {
+    let mut fqdn_ips: HashMap<&DomainName, HashSet<IpAddr>> = HashMap::new();
+    let mut ip_fqdns: HashMap<IpAddr, HashSet<&DomainName>> = HashMap::new();
+    for f in db.flows() {
+        if let Some(fqdn) = &f.fqdn {
+            fqdn_ips.entry(fqdn).or_default().insert(f.key.server);
+            ip_fqdns.entry(f.key.server).or_default().insert(fqdn);
+        }
+    }
+    let ip_counts: Vec<u64> = fqdn_ips.values().map(|s| s.len() as u64).collect();
+    let fqdn_counts: Vec<u64> = ip_fqdns.values().map(|s| s.len() as u64).collect();
+    let single_ip = ip_counts.iter().filter(|&&c| c == 1).count();
+    let single_fqdn = fqdn_counts.iter().filter(|&&c| c == 1).count();
+    DegreeReport {
+        single_ip_fqdn_fraction: single_ip as f64 / ip_counts.len().max(1) as f64,
+        single_fqdn_ip_fraction: single_fqdn as f64 / fqdn_counts.len().max(1) as f64,
+        max_ips_per_fqdn: ip_counts.iter().copied().max().unwrap_or(0),
+        max_fqdns_per_ip: fqdn_counts.iter().copied().max().unwrap_or(0),
+        ips_per_fqdn: Ecdf::from_u64(ip_counts),
+        fqdns_per_ip: Ecdf::from_u64(fqdn_counts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnhunter::TaggedFlow;
+    use dnhunter_dns::suffix::SuffixSet;
+    use dnhunter_flow::{AppProtocol, FlowKey};
+    use dnhunter_net::IpProtocol;
+
+    fn flow(fqdn: &str, server: &str) -> TaggedFlow {
+        TaggedFlow {
+            key: FlowKey::from_initiator(
+                "10.0.0.1".parse().unwrap(),
+                server.parse().unwrap(),
+                50000,
+                80,
+                IpProtocol::Tcp,
+            ),
+            fqdn: Some(fqdn.parse().unwrap()),
+            second_level: None,
+            alt_labels: Vec::new(),
+            tag_delay_micros: None,
+            first_ts: 0,
+            last_ts: 1,
+            packets_c2s: 1,
+            packets_s2c: 1,
+            bytes_c2s: 10,
+            bytes_s2c: 10,
+            protocol: AppProtocol::Http,
+            tls: None,
+            in_warmup: false,
+        }
+    }
+
+    #[test]
+    fn degrees_are_computed_per_distinct_pair() {
+        let s = SuffixSet::builtin();
+        let mut db = FlowDatabase::new();
+        // cdn.example.com served by 3 IPs; single.org by 1; 1.1.1.1 serves 2 FQDNs.
+        db.push(flow("cdn.example.com", "1.1.1.1"), &s);
+        db.push(flow("cdn.example.com", "1.1.1.2"), &s);
+        db.push(flow("cdn.example.com", "1.1.1.3"), &s);
+        db.push(flow("cdn.example.com", "1.1.1.3"), &s); // duplicate pair
+        db.push(flow("single.org", "1.1.1.1"), &s);
+        let r = degree_report(&db);
+        assert_eq!(r.max_ips_per_fqdn, 3);
+        assert_eq!(r.max_fqdns_per_ip, 2);
+        assert_eq!(r.single_ip_fqdn_fraction, 0.5); // single.org only
+        // 1.1.1.2 and 1.1.1.3 serve one FQDN each → 2 of 3 addresses.
+        assert!((r.single_fqdn_ip_fraction - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.ips_per_fqdn.len(), 2);
+        assert_eq!(r.fqdns_per_ip.len(), 3);
+    }
+
+    #[test]
+    fn untagged_flows_are_ignored() {
+        let s = SuffixSet::builtin();
+        let mut db = FlowDatabase::new();
+        let mut f = flow("x.com", "9.9.9.9");
+        f.fqdn = None;
+        db.push(f, &s);
+        let r = degree_report(&db);
+        assert!(r.ips_per_fqdn.is_empty());
+        assert!(r.fqdns_per_ip.is_empty());
+        assert_eq!(r.max_fqdns_per_ip, 0);
+    }
+}

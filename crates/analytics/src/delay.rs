@@ -1,0 +1,90 @@
+//! DNS-to-flow timing — paper Figs. 12–13 and Tab. 9.
+
+use dnhunter::DelaySamples;
+
+use crate::cdf::Ecdf;
+
+/// The two delay CDFs plus the useless-DNS figure.
+#[derive(Debug)]
+pub struct DelayReport {
+    /// Fig. 12: response → first flow.
+    pub first_flow: Ecdf,
+    /// Fig. 13: response → every flow.
+    pub any_flow: Ecdf,
+    /// Tab. 9: fraction of answered responses never used.
+    pub useless_fraction: f64,
+}
+
+/// Build the report from the sniffer's samples (delays converted to
+/// seconds, the paper's x-axis unit).
+pub fn delay_report(samples: &DelaySamples) -> DelayReport {
+    DelayReport {
+        first_flow: Ecdf::new(
+            samples
+                .first_flow_delays
+                .iter()
+                .map(|&d| d as f64 / 1e6),
+        ),
+        any_flow: Ecdf::new(samples.any_flow_delays.iter().map(|&d| d as f64 / 1e6)),
+        useless_fraction: samples.useless_fraction(),
+    }
+}
+
+impl DelayReport {
+    /// Fraction of first flows within one second (the paper's "less than
+    /// 1s in about 90% of cases").
+    pub fn first_flow_within_1s(&self) -> f64 {
+        self.first_flow.at(1.0)
+    }
+
+    /// Fraction of first flows that took over ten seconds (prefetching).
+    pub fn first_flow_over_10s(&self) -> f64 {
+        1.0 - self.first_flow.at(10.0)
+    }
+
+    /// The equivalent caching time needed to cover fraction `q` of flows
+    /// (Fig. 13 → Clist dimensioning: "to resolve about 98% of flows …
+    /// about 1 hour").
+    pub fn caching_time_for(&self, q: f64) -> Option<f64> {
+        self.any_flow.quantile(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> DelaySamples {
+        DelaySamples {
+            // 9 sub-second delays + 1 slow one.
+            first_flow_delays: vec![
+                100_000, 200_000, 300_000, 150_000, 400_000, 500_000, 80_000, 90_000, 700_000,
+                15_000_000,
+            ],
+            any_flow_delays: vec![
+                100_000, 200_000, 1_000_000, 60_000_000, 600_000_000, 3_000_000_000,
+            ],
+            useless_responses: 47,
+            answered_responses: 100,
+        }
+    }
+
+    #[test]
+    fn report_metrics() {
+        let r = delay_report(&samples());
+        assert!((r.first_flow_within_1s() - 0.9).abs() < 1e-9);
+        assert!((r.first_flow_over_10s() - 0.1).abs() < 1e-9);
+        assert!((r.useless_fraction - 0.47).abs() < 1e-9);
+        // 100% of "any flow" delays are within 3000 s.
+        let t = r.caching_time_for(1.0).unwrap();
+        assert!((t - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_samples() {
+        let r = delay_report(&DelaySamples::default());
+        assert_eq!(r.first_flow_within_1s(), 0.0);
+        assert!(r.caching_time_for(0.98).is_none());
+        assert_eq!(r.useless_fraction, 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Fig. 6: birth processes of unique FQDNs, second-level domains and
+//! server addresses over a long observation window.
+
+use std::collections::HashSet;
+use std::net::IpAddr;
+
+use dnhunter::FlowDatabase;
+use dnhunter_dns::DomainName;
+
+/// Cumulative unique-entity counts sampled per time bin.
+#[derive(Debug, Clone)]
+pub struct GrowthCurves {
+    /// Bin start timestamps (µs).
+    pub bin_starts: Vec<u64>,
+    pub unique_fqdns: Vec<u64>,
+    pub unique_second_levels: Vec<u64>,
+    pub unique_servers: Vec<u64>,
+}
+
+impl GrowthCurves {
+    /// Final totals (the right edge of Fig. 6).
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (
+            self.unique_fqdns.last().copied().unwrap_or(0),
+            self.unique_second_levels.last().copied().unwrap_or(0),
+            self.unique_servers.last().copied().unwrap_or(0),
+        )
+    }
+
+    /// Growth of a curve over its last `k` bins — used to show FQDNs still
+    /// growing while servers/organizations have saturated.
+    pub fn tail_growth(curve: &[u64], k: usize) -> u64 {
+        if curve.len() <= k {
+            return curve.last().copied().unwrap_or(0);
+        }
+        curve[curve.len() - 1] - curve[curve.len() - 1 - k]
+    }
+}
+
+/// Compute the curves from the labeled flows, binned by `bin_micros`.
+pub fn growth_curves(db: &FlowDatabase, origin: u64, bin_micros: u64) -> GrowthCurves {
+    assert!(bin_micros > 0);
+    // Sort flow indexes by start time.
+    let mut order: Vec<usize> = (0..db.flows().len()).collect();
+    order.sort_by_key(|&i| db.flows()[i].first_ts);
+
+    let mut fqdns: HashSet<&DomainName> = HashSet::new();
+    let mut slds: HashSet<&DomainName> = HashSet::new();
+    let mut servers: HashSet<IpAddr> = HashSet::new();
+
+    let mut out = GrowthCurves {
+        bin_starts: Vec::new(),
+        unique_fqdns: Vec::new(),
+        unique_second_levels: Vec::new(),
+        unique_servers: Vec::new(),
+    };
+    let mut current_bin: Option<u64> = None;
+    for i in order {
+        let f = &db.flows()[i];
+        let bin = f.first_ts.saturating_sub(origin) / bin_micros;
+        // Emit samples for any bins we passed.
+        while current_bin.is_some_and(|b| b < bin) {
+            let b = current_bin.expect("checked");
+            out.bin_starts.push(origin + b * bin_micros);
+            out.unique_fqdns.push(fqdns.len() as u64);
+            out.unique_second_levels.push(slds.len() as u64);
+            out.unique_servers.push(servers.len() as u64);
+            current_bin = Some(b + 1);
+        }
+        current_bin.get_or_insert(bin);
+        if let Some(fqdn) = &f.fqdn {
+            fqdns.insert(fqdn);
+            // Only servers reached through a resolution count — Fig. 6
+            // tracks the DNS-visible universe, not anonymous P2P peers.
+            servers.insert(f.key.server);
+        }
+        if let Some(sld) = &f.second_level {
+            slds.insert(sld);
+        }
+    }
+    if let Some(b) = current_bin {
+        out.bin_starts.push(origin + b * bin_micros);
+        out.unique_fqdns.push(fqdns.len() as u64);
+        out.unique_second_levels.push(slds.len() as u64);
+        out.unique_servers.push(servers.len() as u64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnhunter::TaggedFlow;
+    use dnhunter_dns::suffix::SuffixSet;
+    use dnhunter_flow::{AppProtocol, FlowKey};
+    use dnhunter_net::IpProtocol;
+
+    fn flow(fqdn: &str, server: &str, ts: u64) -> TaggedFlow {
+        TaggedFlow {
+            key: FlowKey::from_initiator(
+                "10.0.0.1".parse().unwrap(),
+                server.parse().unwrap(),
+                50000,
+                80,
+                IpProtocol::Tcp,
+            ),
+            fqdn: Some(fqdn.parse().unwrap()),
+            second_level: None,
+            alt_labels: Vec::new(),
+            tag_delay_micros: None,
+            first_ts: ts,
+            last_ts: ts + 1,
+            packets_c2s: 1,
+            packets_s2c: 1,
+            bytes_c2s: 1,
+            bytes_s2c: 1,
+            protocol: AppProtocol::Http,
+            tls: None,
+            in_warmup: false,
+        }
+    }
+
+    #[test]
+    fn curves_are_cumulative_and_monotone() {
+        let s = SuffixSet::builtin();
+        let mut db = FlowDatabase::new();
+        db.push(flow("a.x.com", "1.1.1.1", 0), &s);
+        db.push(flow("b.x.com", "1.1.1.1", 150), &s); // new fqdn, same sld+ip
+        db.push(flow("a.x.com", "1.1.1.1", 260), &s); // nothing new
+        db.push(flow("c.y.org", "2.2.2.2", 350), &s); // all new
+        let g = growth_curves(&db, 0, 100);
+        assert_eq!(g.unique_fqdns, vec![1, 2, 2, 3]);
+        assert_eq!(g.unique_second_levels, vec![1, 1, 1, 2]);
+        assert_eq!(g.unique_servers, vec![1, 1, 1, 2]);
+        assert_eq!(g.totals(), (3, 2, 2));
+        for curve in [&g.unique_fqdns, &g.unique_second_levels, &g.unique_servers] {
+            for w in curve.windows(2) {
+                assert!(w[1] >= w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn tail_growth_measures_recent_increase() {
+        assert_eq!(GrowthCurves::tail_growth(&[1, 5, 10, 20], 2), 15);
+        assert_eq!(GrowthCurves::tail_growth(&[7], 5), 7);
+        assert_eq!(GrowthCurves::tail_growth(&[], 2), 0);
+    }
+
+    #[test]
+    fn empty_db() {
+        let g = growth_curves(&FlowDatabase::new(), 0, 100);
+        assert!(g.bin_starts.is_empty());
+        assert_eq!(g.totals(), (0, 0, 0));
+    }
+}

@@ -1,0 +1,157 @@
+//! Plain-text table rendering for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    Left,
+    Right,
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with a title and column headers (all left-aligned).
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            aligns: vec![Align::Left; headers.len()],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set column alignments (must match the header count).
+    pub fn aligns(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(aligns.len(), self.headers.len());
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Append one row (padded/truncated to the column count).
+    pub fn row<S: ToString>(&mut self, cells: &[S]) {
+        let mut row: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let total: usize = widths.iter().sum::<usize>() + 3 * cols.saturating_sub(1);
+        let _ = writeln!(out, "{}", self.title);
+        let _ = writeln!(out, "{}", "=".repeat(self.title.len().max(total)));
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" | ");
+            }
+            pad(&mut out, h, widths[i], self.aligns[i]);
+        }
+        out.push('\n');
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                pad(&mut out, cell, widths[i], self.aligns[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn pad(out: &mut String, s: &str, width: usize, align: Align) {
+    let gap = width.saturating_sub(s.len());
+    match align {
+        Align::Left => {
+            out.push_str(s);
+            out.push_str(&" ".repeat(gap));
+        }
+        Align::Right => {
+            out.push_str(&" ".repeat(gap));
+            out.push_str(s);
+        }
+    }
+}
+
+/// Format a fraction as a percentage string (`0.923` → `"92%"`).
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+/// Format bytes in a human unit (Tab. 8's MB/GB columns).
+pub fn human_bytes(b: u64) -> String {
+    const KB: f64 = 1024.0;
+    let b = b as f64;
+    if b >= KB * KB * KB {
+        format!("{:.1}GB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.1}MB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.1}KB", b / KB)
+    } else {
+        format!("{b:.0}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new("Table X", &["name", "value"]).aligns(&[Align::Left, Align::Right]);
+        t.row(&["alpha", "1"]);
+        t.row(&["b", "12345"]);
+        let s = t.render();
+        assert!(s.contains("Table X"));
+        assert!(s.contains("alpha |     1"));
+        assert!(s.contains("b     | 12345"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new("t", &["a", "b", "c"]);
+        t.row(&["only-one"]);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+    }
+
+    #[test]
+    fn pct_and_bytes() {
+        assert_eq!(pct(0.923), "92%");
+        assert_eq!(pct(0.0), "0%");
+        assert_eq!(human_bytes(500), "500B");
+        assert_eq!(human_bytes(2048), "2.0KB");
+        assert_eq!(human_bytes(5 * 1024 * 1024), "5.0MB");
+        assert_eq!(human_bytes(3 * 1024 * 1024 * 1024), "3.0GB");
+    }
+}

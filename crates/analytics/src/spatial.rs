@@ -1,0 +1,225 @@
+//! Spatial discovery of servers — paper Algorithm 2, Figs. 4 and 9.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::net::IpAddr;
+
+use dnhunter::FlowDatabase;
+use dnhunter_dns::suffix::SuffixSet;
+use dnhunter_dns::DomainName;
+use dnhunter_orgdb::{OrgDb, OrgKind};
+
+use crate::timeseries::BinnedDistinct;
+
+/// Output of Algorithm 2 for one target.
+#[derive(Debug)]
+pub struct SpatialReport {
+    /// The organization (second-level domain) that was analysed.
+    pub second_level: DomainName,
+    /// Every serverIP observed serving the organization, sorted.
+    pub org_servers: Vec<IpAddr>,
+    /// Per-FQDN server sets (sorted), as Algorithm 2 returns.
+    pub fqdn_servers: BTreeMap<DomainName, Vec<IpAddr>>,
+}
+
+/// SPATIAL_DISCOVERY(FQDN): extract the 2nd-level domain, pull every flow
+/// to it from the database, group servers per FQDN.
+pub fn spatial_discovery(
+    db: &FlowDatabase,
+    target: &DomainName,
+    suffixes: &SuffixSet,
+) -> SpatialReport {
+    let sld = target.second_level_domain(suffixes);
+    let mut org_servers: HashSet<IpAddr> = HashSet::new();
+    let mut fqdn_servers: BTreeMap<DomainName, HashSet<IpAddr>> = BTreeMap::new();
+    for f in db.by_second_level(&sld) {
+        org_servers.insert(f.key.server);
+        if let Some(fqdn) = &f.fqdn {
+            fqdn_servers
+                .entry(fqdn.clone())
+                .or_default()
+                .insert(f.key.server);
+        }
+    }
+    let mut org_sorted: Vec<IpAddr> = org_servers.into_iter().collect();
+    org_sorted.sort();
+    SpatialReport {
+        second_level: sld,
+        org_servers: org_sorted,
+        fqdn_servers: fqdn_servers
+            .into_iter()
+            .map(|(k, v)| {
+                let mut v: Vec<IpAddr> = v.into_iter().collect();
+                v.sort();
+                (k, v)
+            })
+            .collect(),
+    }
+}
+
+/// Fig. 4: distinct serverIPs seen serving each second-level domain per
+/// time bin.
+pub fn servers_over_time(
+    db: &FlowDatabase,
+    slds: &[DomainName],
+    origin: u64,
+    bin_micros: u64,
+) -> HashMap<DomainName, Vec<(u64, u64)>> {
+    let mut out = HashMap::new();
+    for sld in slds {
+        let mut bins: BinnedDistinct<IpAddr> = BinnedDistinct::new(origin, bin_micros);
+        for f in db.by_second_level(sld) {
+            bins.add(f.first_ts, f.key.server);
+        }
+        out.insert(sld.clone(), bins.series());
+    }
+    out
+}
+
+/// One cell of Fig. 9: how often each CDN served a content provider, from
+/// one vantage point.
+#[derive(Debug, Clone)]
+pub struct OrgShare {
+    /// Hosting organization ("SELF" when the provider hosts itself).
+    pub host: String,
+    /// Fraction of the provider's flows served by this host.
+    pub flow_share: f64,
+    /// Distinct serverIPs used.
+    pub servers: usize,
+}
+
+/// Fig. 9 row: hosting breakdown of one content provider in one trace.
+/// `self_org` is the provider's own organization name in the org database
+/// (e.g. `facebook` for facebook.com).
+pub fn hosting_breakdown(
+    db: &FlowDatabase,
+    sld: &DomainName,
+    orgdb: &OrgDb,
+) -> Vec<OrgShare> {
+    let mut flows_per_host: HashMap<String, u64> = HashMap::new();
+    let mut servers_per_host: HashMap<String, HashSet<IpAddr>> = HashMap::new();
+    let mut total = 0u64;
+    for f in db.by_second_level(sld) {
+        let host = match orgdb.lookup(f.key.server) {
+            Some(rec) if rec.kind == OrgKind::SelfHosted => "SELF".to_string(),
+            Some(rec) => rec.name.clone(),
+            None => "unknown".to_string(),
+        };
+        *flows_per_host.entry(host.clone()).or_default() += 1;
+        servers_per_host.entry(host).or_default().insert(f.key.server);
+        total += 1;
+    }
+    let mut out: Vec<OrgShare> = flows_per_host
+        .into_iter()
+        .map(|(host, n)| OrgShare {
+            flow_share: n as f64 / total.max(1) as f64,
+            servers: servers_per_host[&host].len(),
+            host,
+        })
+        .collect();
+    out.sort_by(|a, b| b.flow_share.partial_cmp(&a.flow_share).expect("no NaN"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnhunter::TaggedFlow;
+    use dnhunter_flow::{AppProtocol, FlowKey};
+    use dnhunter_net::IpProtocol;
+    use dnhunter_orgdb::builtin_registry;
+
+    fn flow(fqdn: &str, server: &str, ts: u64) -> TaggedFlow {
+        TaggedFlow {
+            key: FlowKey::from_initiator(
+                "10.0.0.1".parse().unwrap(),
+                server.parse().unwrap(),
+                50000,
+                80,
+                IpProtocol::Tcp,
+            ),
+            fqdn: Some(fqdn.parse().unwrap()),
+            second_level: None,
+            alt_labels: Vec::new(),
+            tag_delay_micros: None,
+            first_ts: ts,
+            last_ts: ts + 1,
+            packets_c2s: 1,
+            packets_s2c: 1,
+            bytes_c2s: 10,
+            bytes_s2c: 10,
+            protocol: AppProtocol::Http,
+            tls: None,
+            in_warmup: false,
+        }
+    }
+
+    fn sample_db() -> FlowDatabase {
+        let s = SuffixSet::builtin();
+        let mut db = FlowDatabase::new();
+        // linkedin.com: media1 on akamai (23.x), media on edgecast
+        // (93.184.x), www on linkedin itself (216.52.242.x).
+        db.push(flow("media1.linkedin.com", "23.1.0.1", 0), &s);
+        db.push(flow("media1.linkedin.com", "23.1.0.2", 100), &s);
+        db.push(flow("media.linkedin.com", "93.184.216.4", 200), &s);
+        db.push(flow("media.linkedin.com", "93.184.216.4", 300), &s);
+        db.push(flow("media.linkedin.com", "93.184.216.4", 400), &s);
+        db.push(flow("www.linkedin.com", "216.52.242.7", 500), &s);
+        db.push(flow("unrelated.org", "8.8.8.8", 600), &s);
+        db
+    }
+
+    #[test]
+    fn algorithm_2_groups_by_fqdn() {
+        let db = sample_db();
+        let s = SuffixSet::builtin();
+        let r = spatial_discovery(&db, &"media1.linkedin.com".parse().unwrap(), &s);
+        assert_eq!(r.second_level.to_string(), "linkedin.com");
+        assert_eq!(r.org_servers.len(), 4);
+        assert_eq!(r.fqdn_servers.len(), 3);
+        assert_eq!(
+            r.fqdn_servers[&"media1.linkedin.com".parse().unwrap()].len(),
+            2
+        );
+        assert_eq!(
+            r.fqdn_servers[&"www.linkedin.com".parse().unwrap()].len(),
+            1
+        );
+    }
+
+    #[test]
+    fn hosting_breakdown_matches_fig7_structure() {
+        let db = sample_db();
+        let orgdb = builtin_registry();
+        let shares = hosting_breakdown(&db, &"linkedin.com".parse().unwrap(), &orgdb);
+        // 6 linkedin flows: 3 edgecast, 2 akamai, 1 SELF.
+        assert_eq!(shares.len(), 3);
+        assert_eq!(shares[0].host, "edgecast");
+        assert!((shares[0].flow_share - 0.5).abs() < 1e-9);
+        assert_eq!(shares[0].servers, 1);
+        let self_share = shares.iter().find(|x| x.host == "SELF").unwrap();
+        assert!((self_share.flow_share - 1.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn servers_over_time_bins_distinct_ips() {
+        let db = sample_db();
+        let sld: DomainName = "linkedin.com".parse().unwrap();
+        let series = servers_over_time(&db, std::slice::from_ref(&sld), 0, 250);
+        let s = &series[&sld];
+        // Bin 0 (ts 0-249): 23.1.0.1, 23.1.0.2, 93.184.216.4 → 3 distinct.
+        assert_eq!(s[0].1, 3);
+        // Bin 1 (250-499): 93.184.216.4 → 1.
+        assert_eq!(s[1].1, 1);
+        // Bin 2 (500+): www server → 1.
+        assert_eq!(s[2].1, 1);
+    }
+
+    #[test]
+    fn empty_target_yields_empty_report() {
+        let db = FlowDatabase::new();
+        let s = SuffixSet::builtin();
+        let r = spatial_discovery(&db, &"nothing.example.com".parse().unwrap(), &s);
+        assert!(r.org_servers.is_empty());
+        assert!(r.fqdn_servers.is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Time-binned counters and distinct-counters (Figs. 4, 5, 11, 14).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Counts events per fixed-width time bin.
+#[derive(Debug, Clone)]
+pub struct BinnedCounts {
+    origin: u64,
+    bin_micros: u64,
+    counts: Vec<u64>,
+}
+
+impl BinnedCounts {
+    /// Bins of `bin_micros` starting at `origin` (µs).
+    pub fn new(origin: u64, bin_micros: u64) -> Self {
+        assert!(bin_micros > 0);
+        BinnedCounts {
+            origin,
+            bin_micros,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Record one event at `ts` (events before the origin are clamped into
+    /// the first bin).
+    pub fn add(&mut self, ts: u64) {
+        let idx = (ts.saturating_sub(self.origin) / self.bin_micros) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// (bin start ts, count) pairs.
+    pub fn series(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.origin + i as u64 * self.bin_micros, c))
+            .collect()
+    }
+
+    /// Largest bin count.
+    pub fn peak(&self) -> u64 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Counts *distinct* keys per time bin (distinct serverIPs per 10 min,
+/// distinct FQDNs per CDN per 10 min, …).
+#[derive(Debug, Clone)]
+pub struct BinnedDistinct<K: Eq + Hash + Clone> {
+    origin: u64,
+    bin_micros: u64,
+    bins: Vec<HashSet<K>>,
+}
+
+impl<K: Eq + Hash + Clone> BinnedDistinct<K> {
+    /// Bins of `bin_micros` starting at `origin`.
+    pub fn new(origin: u64, bin_micros: u64) -> Self {
+        assert!(bin_micros > 0);
+        BinnedDistinct {
+            origin,
+            bin_micros,
+            bins: Vec::new(),
+        }
+    }
+
+    /// Record that `key` was seen at `ts`.
+    pub fn add(&mut self, ts: u64, key: K) {
+        let idx = (ts.saturating_sub(self.origin) / self.bin_micros) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize_with(idx + 1, HashSet::new);
+        }
+        self.bins[idx].insert(key);
+    }
+
+    /// Distinct count per bin.
+    pub fn counts(&self) -> Vec<u64> {
+        self.bins.iter().map(|b| b.len() as u64).collect()
+    }
+
+    /// (bin start ts, distinct count) pairs.
+    pub fn series(&self) -> Vec<(u64, u64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (self.origin + i as u64 * self.bin_micros, b.len() as u64))
+            .collect()
+    }
+
+    /// Largest distinct count across bins.
+    pub fn peak(&self) -> u64 {
+        self.bins.iter().map(|b| b.len() as u64).max().unwrap_or(0)
+    }
+}
+
+/// 10 minutes in microseconds — the paper's favourite bin width.
+pub const TEN_MINUTES: u64 = 600 * 1_000_000;
+/// 4 hours in microseconds (Fig. 11's tracker-activity bins).
+pub const FOUR_HOURS: u64 = 4 * 3600 * 1_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_fill_bins() {
+        let mut b = BinnedCounts::new(1000, 100);
+        b.add(1000);
+        b.add(1099);
+        b.add(1100);
+        b.add(1500);
+        assert_eq!(b.counts(), &[2, 1, 0, 0, 0, 1]);
+        assert_eq!(b.peak(), 2);
+        let s = b.series();
+        assert_eq!(s[0], (1000, 2));
+        assert_eq!(s[5], (1500, 1));
+    }
+
+    #[test]
+    fn early_events_clamp_to_first_bin() {
+        let mut b = BinnedCounts::new(1000, 100);
+        b.add(50);
+        assert_eq!(b.counts(), &[1]);
+    }
+
+    #[test]
+    fn distinct_counts_dedupe_within_bin() {
+        let mut b: BinnedDistinct<&str> = BinnedDistinct::new(0, 100);
+        b.add(10, "a");
+        b.add(20, "a");
+        b.add(30, "b");
+        b.add(150, "a");
+        assert_eq!(b.counts(), vec![2, 1]);
+        assert_eq!(b.peak(), 2);
+    }
+
+    #[test]
+    fn empty_series() {
+        let b = BinnedCounts::new(0, 10);
+        assert!(b.series().is_empty());
+        assert_eq!(b.peak(), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the statistical plumbing.
+
+use dnhunter_analytics::report::{human_bytes, pct, TextTable};
+use dnhunter_analytics::timeseries::{BinnedCounts, BinnedDistinct};
+use dnhunter_analytics::Ecdf;
+use proptest::prelude::*;
+
+proptest! {
+    /// An ECDF is monotone, bounded by [0,1], and reaches 1 at max.
+    #[test]
+    fn ecdf_is_a_cdf(samples in proptest::collection::vec(-1e9f64..1e9, 1..200)) {
+        let cdf = Ecdf::new(samples.iter().copied());
+        let max = cdf.max().unwrap();
+        prop_assert!((cdf.at(max) - 1.0).abs() < 1e-12);
+        let min = cdf.min().unwrap();
+        prop_assert!(cdf.at(min) > 0.0);
+        // Monotone over a sweep.
+        let mut prev = 0.0;
+        for i in 0..50 {
+            let x = min + (max - min) * i as f64 / 49.0;
+            let y = cdf.at(x);
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!(y + 1e-12 >= prev);
+            prev = y;
+        }
+    }
+
+    /// Quantiles are actual sample values and are monotone in q.
+    #[test]
+    fn quantiles_are_samples(samples in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let cdf = Ecdf::from_u64(samples.iter().copied());
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let v = cdf.quantile(q).unwrap();
+            prop_assert!(samples.iter().any(|&s| s as f64 == v));
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    /// Binned counters conserve the number of events, wherever they land.
+    #[test]
+    fn binned_counts_conserve(
+        origin in 0u64..1_000,
+        bin in 1u64..10_000,
+        events in proptest::collection::vec(0u64..10_000_000, 0..200),
+    ) {
+        let mut b = BinnedCounts::new(origin, bin);
+        for &e in &events {
+            b.add(e);
+        }
+        let total: u64 = b.counts().iter().sum();
+        prop_assert_eq!(total, events.len() as u64);
+        prop_assert!(b.peak() <= events.len() as u64);
+    }
+
+    /// Distinct bins never exceed plain counts.
+    #[test]
+    fn distinct_bounded_by_events(
+        events in proptest::collection::vec((0u64..100_000, 0u8..10), 0..200),
+    ) {
+        let mut counts = BinnedCounts::new(0, 1_000);
+        let mut distinct: BinnedDistinct<u8> = BinnedDistinct::new(0, 1_000);
+        for &(ts, key) in &events {
+            counts.add(ts);
+            distinct.add(ts, key);
+        }
+        for (d, c) in distinct.counts().iter().zip(counts.counts()) {
+            prop_assert!(d <= c);
+            prop_assert!(*d <= 10);
+        }
+    }
+
+    /// Table rendering never panics and contains every cell.
+    #[test]
+    fn tables_render_all_cells(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[a-zA-Z0-9 ]{0,12}", 2..=2),
+            0..20,
+        )
+    ) {
+        let mut t = TextTable::new("prop", &["a", "b"]);
+        for r in &rows {
+            t.row(&[r[0].clone(), r[1].clone()]);
+        }
+        let text = t.render();
+        for r in &rows {
+            for cell in r {
+                let trimmed = cell.trim();
+                if !trimmed.is_empty() {
+                    prop_assert!(text.contains(trimmed), "missing cell {trimmed:?}");
+                }
+            }
+        }
+    }
+
+    /// Formatting helpers are total.
+    #[test]
+    fn formatting_is_total(x in 0.0f64..10.0, b in any::<u64>()) {
+        let _ = pct(x);
+        let s = human_bytes(b);
+        prop_assert!(!s.is_empty());
+    }
+}

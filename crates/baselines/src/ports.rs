@@ -1,0 +1,61 @@
+//! Port-based classification — the legacy ground truth used in the "GT"
+//! columns of Tables 6–7 (augmented, in the paper, by Tstat DPI and
+//! operator knowledge).
+
+/// The conventional service name for a layer-4 port, if one is well-known
+/// to the operator community. Covers every port the paper's tables show.
+pub fn well_known_service(port: u16) -> Option<&'static str> {
+    Some(match port {
+        21 => "FTP",
+        22 => "SSH",
+        25 => "SMTP",
+        53 => "DNS",
+        80 => "HTTP",
+        110 => "POP3",
+        143 => "IMAP",
+        443 => "HTTPS",
+        554 => "RTSP",
+        587 => "SMTP",
+        993 => "IMAPS",
+        995 => "POP3S",
+        1080 => "Opera Browser",
+        1337 => "BT Tracker",
+        1863 => "MSN",
+        2710 => "BT Tracker",
+        5050 => "Yahoo Messager",
+        5190 => "AOL ICQ",
+        5222 => "Gtalk",
+        5223 => "Apple push services",
+        5228 => "Android Market",
+        6969 => "BT Tracker",
+        12043 => "Second Life",
+        12046 => "Second Life",
+        18182 => "BT Tracker",
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_ports_are_covered() {
+        // Tab. 6 ports.
+        for p in [25u16, 110, 143, 554, 587, 995, 1863] {
+            assert!(well_known_service(p).is_some(), "port {p}");
+        }
+        // Tab. 7 ports.
+        for p in [1080u16, 1337, 2710, 5050, 5190, 5222, 5223, 5228, 6969, 12043, 12046, 18182] {
+            assert!(well_known_service(p).is_some(), "port {p}");
+        }
+    }
+
+    #[test]
+    fn specific_labels() {
+        assert_eq!(well_known_service(5228), Some("Android Market"));
+        assert_eq!(well_known_service(1337), Some("BT Tracker"));
+        assert_eq!(well_known_service(12043), Some("Second Life"));
+        assert_eq!(well_known_service(49152), None);
+    }
+}

@@ -1,0 +1,75 @@
+//! Flow-table packet processing rate (the per-packet hot path of the flow
+//! sniffer).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dnhunter_flow::{FlowTable, FlowTableConfig};
+use dnhunter_net::{build_tcp_v4, MacAddr, Packet, TcpFlags};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::net::Ipv4Addr;
+
+fn packet_stream(n: usize) -> Vec<(u64, Vec<u8>)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let client = Ipv4Addr::new(10, 0, 0, rng.gen_range(1..200));
+        let server = Ipv4Addr::new(23, 1, 2, rng.gen_range(1..50));
+        let sport = 30_000 + rng.gen_range(0..500);
+        let flags = match i % 5 {
+            0 => TcpFlags::SYN,
+            1 => TcpFlags::SYN | TcpFlags::ACK,
+            4 => TcpFlags::FIN | TcpFlags::ACK,
+            _ => TcpFlags::PSH | TcpFlags::ACK,
+        };
+        let payload = if flags.psh() { &b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"[..] } else { &[] };
+        let frame = build_tcp_v4(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            client,
+            server,
+            sport,
+            80,
+            i as u32,
+            0,
+            flags,
+            payload,
+        )
+        .expect("builds");
+        out.push((i as u64 * 1_000, frame));
+    }
+    out
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let packets = packet_stream(20_000);
+    let parsed: Vec<(u64, Packet, usize)> = packets
+        .iter()
+        .map(|(ts, f)| (*ts, Packet::parse(f).expect("parses"), f.len()))
+        .collect();
+
+    let mut g = c.benchmark_group("flow_table");
+    g.throughput(Throughput::Elements(packets.len() as u64));
+    g.bench_function("parse_and_track", |b| {
+        b.iter(|| {
+            let mut t = FlowTable::new(FlowTableConfig::default());
+            for (ts, frame) in &packets {
+                let pkt = Packet::parse(frame).expect("parses");
+                t.process(*ts, &pkt, frame.len());
+            }
+            black_box(t.live_flows())
+        })
+    });
+    g.bench_function("track_only", |b| {
+        b.iter(|| {
+            let mut t = FlowTable::new(FlowTableConfig::default());
+            for (ts, pkt, len) in &parsed {
+                t.process(*ts, pkt, *len);
+            }
+            black_box(t.live_flows())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_flow_table);
+criterion_main!(benches);

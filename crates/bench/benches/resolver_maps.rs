@@ -1,0 +1,47 @@
+//! Ablation (DESIGN.md §5.2): ordered maps (the paper's C++ `map`) vs hash
+//! maps (its footnote-2 alternative) for the two-level lookup tables.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dnhunter_dns::DomainName;
+use dnhunter_resolver::{DnsResolver, HashedTables, OrderedTables, ResolverConfig, TableFamily};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::net::{IpAddr, Ipv4Addr};
+
+fn mixed_ops<F: TableFamily>(n: usize) -> u64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let mut r: DnsResolver<F> = DnsResolver::with_config(ResolverConfig {
+        clist_size: 32_768,
+        labels_per_server: 1,
+    });
+    let fqdns: Vec<DomainName> = (0..512)
+        .map(|i| format!("svc{i}.pool.example.net").parse().expect("valid"))
+        .collect();
+    let mut hits = 0u64;
+    for i in 0..n {
+        let client = IpAddr::V4(Ipv4Addr::new(10, 0, (i % 7) as u8, rng.gen()));
+        let server = IpAddr::V4(Ipv4Addr::new(54, 230, rng.gen(), rng.gen()));
+        if i % 3 == 0 {
+            r.insert(client, &fqdns[i % fqdns.len()], &[server]);
+        } else if r.lookup(client, server).is_some() {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+fn bench_backends(c: &mut Criterion) {
+    const N: usize = 30_000;
+    let mut g = c.benchmark_group("resolver_map_backend");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("ordered_btreemap", |b| {
+        b.iter(|| black_box(mixed_ops::<OrderedTables>(N)))
+    });
+    g.bench_function("hashed_hashmap", |b| {
+        b.iter(|| black_box(mixed_ops::<HashedTables>(N)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

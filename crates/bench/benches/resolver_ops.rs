@@ -1,0 +1,76 @@
+//! Core resolver throughput: INSERT and LOOKUP (paper Algorithm 1) under a
+//! realistic key distribution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dnhunter_dns::DomainName;
+use dnhunter_resolver::{DnsResolver, ResolverConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::net::{IpAddr, Ipv4Addr};
+
+fn client(i: u32) -> IpAddr {
+    IpAddr::V4(Ipv4Addr::new(10, 0, (i >> 8) as u8, i as u8))
+}
+
+fn server(i: u32) -> IpAddr {
+    IpAddr::V4(Ipv4Addr::new(23, (i >> 16) as u8, (i >> 8) as u8, i as u8))
+}
+
+fn workload(n: usize) -> Vec<(IpAddr, DomainName, Vec<IpAddr>)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    (0..n)
+        .map(|i| {
+            let c = client(rng.gen_range(0..2_000));
+            let fqdn: DomainName = format!("host{}.cdn{}.example.com", i % 5_000, i % 37)
+                .parse()
+                .expect("valid");
+            let k = 1 + rng.gen_range(0..4);
+            let servers = (0..k).map(|j| server(rng.gen_range(0..50_000) + j)).collect();
+            (c, fqdn, servers)
+        })
+        .collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let items = workload(10_000);
+    let mut g = c.benchmark_group("resolver_insert");
+    g.throughput(Throughput::Elements(items.len() as u64));
+    g.bench_function("ordered_l64k", |b| {
+        b.iter(|| {
+            let mut r: DnsResolver = DnsResolver::new(65_536);
+            for (client, fqdn, servers) in &items {
+                r.insert(*client, fqdn, servers);
+            }
+            black_box(r.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let items = workload(10_000);
+    let mut r: DnsResolver = DnsResolver::with_config(ResolverConfig {
+        clist_size: 65_536,
+        labels_per_server: 1,
+    });
+    for (client, fqdn, servers) in &items {
+        r.insert(*client, fqdn, servers);
+    }
+    let mut g = c.benchmark_group("resolver_lookup");
+    g.throughput(Throughput::Elements(items.len() as u64));
+    g.bench_function("hit_heavy", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for (client, _, servers) in &items {
+                if r.peek(*client, servers[0]).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_lookup);
+criterion_main!(benches);

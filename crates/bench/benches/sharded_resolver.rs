@@ -1,0 +1,59 @@
+//! Sharded-resolver scaling (paper §3.1.1's odd/even load-balancing note):
+//! throughput with 1, 2 and 4 shards driven by as many threads.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dnhunter_dns::DomainName;
+use dnhunter_resolver::{ResolverConfig, ShardedResolver};
+use std::net::{IpAddr, Ipv4Addr};
+use std::sync::Arc;
+
+const OPS_PER_THREAD: usize = 8_000;
+
+fn drive(shards: usize) -> u64 {
+    let resolver: Arc<ShardedResolver> = Arc::new(ShardedResolver::new(
+        shards,
+        ResolverConfig {
+            clist_size: 65_536,
+            labels_per_server: 1,
+        },
+    ));
+    let fqdn: DomainName = "pool.example.org".parse().expect("valid");
+    let threads: Vec<_> = (0..shards)
+        .map(|t| {
+            let r = Arc::clone(&resolver);
+            let fqdn = fqdn.clone();
+            std::thread::spawn(move || {
+                let mut hits = 0u64;
+                for i in 0..OPS_PER_THREAD {
+                    let client = IpAddr::V4(Ipv4Addr::new(
+                        10,
+                        t as u8,
+                        (i >> 8) as u8,
+                        i as u8,
+                    ));
+                    let server = IpAddr::V4(Ipv4Addr::new(23, 9, (i >> 8) as u8, i as u8));
+                    r.insert(client, &fqdn, &[server]);
+                    if r.lookup(client, server).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        })
+        .collect();
+    threads.into_iter().map(|t| t.join().expect("no panic")).sum()
+}
+
+fn bench_sharding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharded_resolver");
+    for shards in [1usize, 2, 4] {
+        g.throughput(Throughput::Elements((shards * OPS_PER_THREAD * 2) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &s| {
+            b.iter(|| black_box(drive(s)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sharding);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! End-to-end sniffer throughput: frames per second through the full
+//! pipeline (parse → DNS/flow demux → resolver → tagging), on a generated
+//! trace — the number that decides whether a deployment keeps up with a
+//! PoP's line rate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dnhunter::{RealTimeSniffer, SnifferConfig};
+use dnhunter_simnet::{profiles, TraceGenerator};
+
+fn bench_sniffer(c: &mut Criterion) {
+    let profile = profiles::eu1_ftth().scaled(0.15);
+    let trace = TraceGenerator::new(profile, false).generate();
+    let mut g = c.benchmark_group("sniffer");
+    g.throughput(Throughput::Elements(trace.records.len() as u64));
+    g.sample_size(10);
+    g.bench_function("full_pipeline", |b| {
+        b.iter(|| {
+            let mut sniffer = RealTimeSniffer::new(SnifferConfig::default());
+            for rec in &trace.records {
+                sniffer.process_record(rec);
+            }
+            black_box(sniffer.finish().database.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sniffer);
+criterion_main!(benches);

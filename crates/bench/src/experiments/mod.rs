@@ -1,0 +1,163 @@
+//! One function per paper artefact. Each returns the rendered text that
+//! `repro` prints (and that EXPERIMENTS.md embeds).
+
+pub mod dimensioning;
+pub mod figures;
+pub mod tables;
+
+use crate::harness::Harness;
+
+/// Experiment registry entry.
+pub struct Experiment {
+    /// Identifier: `table1` … `table9`, `fig3` … `fig14`, `dimensioning`.
+    pub id: &'static str,
+    /// What the paper artefact shows.
+    pub description: &'static str,
+    /// Produce the rendered text for this artefact.
+    pub run: fn(&mut Harness) -> String,
+}
+
+/// Every experiment, in paper order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "table1",
+            description: "Dataset description",
+            run: tables::table1,
+        },
+        Experiment {
+            id: "table2",
+            description: "DNS resolver hit ratio per protocol",
+            run: tables::table2,
+        },
+        Experiment {
+            id: "table3",
+            description: "DN-Hunter vs reverse DNS lookup",
+            run: tables::table3,
+        },
+        Experiment {
+            id: "table4",
+            description: "TLS certificate inspection vs FQDN",
+            run: tables::table4,
+        },
+        Experiment {
+            id: "table5",
+            description: "Top-10 domains hosted on Amazon EC2",
+            run: tables::table5,
+        },
+        Experiment {
+            id: "table6",
+            description: "Service tags on well-known ports (EU1-FTTH)",
+            run: tables::table6,
+        },
+        Experiment {
+            id: "table7",
+            description: "Service tags on frequently used ports (US-3G)",
+            run: tables::table7,
+        },
+        Experiment {
+            id: "table8",
+            description: "Appspot service classes (live)",
+            run: tables::table8,
+        },
+        Experiment {
+            id: "table9",
+            description: "Fraction of useless DNS resolutions",
+            run: tables::table9,
+        },
+        Experiment {
+            id: "fig3",
+            description: "CDFs of serverIPs per FQDN / FQDNs per serverIP",
+            run: figures::fig3,
+        },
+        Experiment {
+            id: "fig4",
+            description: "serverIPs per 2nd-level domain over a day",
+            run: figures::fig4,
+        },
+        Experiment {
+            id: "fig5",
+            description: "Active FQDNs per CDN over a day",
+            run: figures::fig5,
+        },
+        Experiment {
+            id: "fig6",
+            description: "Unique FQDN / 2nd-level / serverIP growth (live)",
+            run: figures::fig6,
+        },
+        Experiment {
+            id: "fig7",
+            description: "linkedin.com domain structure (US-3G)",
+            run: figures::fig7,
+        },
+        Experiment {
+            id: "fig8",
+            description: "zynga.com domain structure (US-3G)",
+            run: figures::fig8,
+        },
+        Experiment {
+            id: "fig9",
+            description: "Content providers vs CDNs across viewpoints",
+            run: figures::fig9,
+        },
+        Experiment {
+            id: "fig10",
+            description: "Appspot tag cloud (live)",
+            run: figures::fig10,
+        },
+        Experiment {
+            id: "fig11",
+            description: "BitTorrent tracker timeline on appspot (live)",
+            run: figures::fig11,
+        },
+        Experiment {
+            id: "fig12",
+            description: "First-flow delay CDF",
+            run: figures::fig12,
+        },
+        Experiment {
+            id: "fig13",
+            description: "Any-flow delay CDF (cache lifetime)",
+            run: figures::fig13,
+        },
+        Experiment {
+            id: "fig14",
+            description: "DNS responses per 10 minutes",
+            run: figures::fig14,
+        },
+        Experiment {
+            id: "dimensioning",
+            description: "Clist sizing, answer lists, label confusion (§6)",
+            run: dimensioning::report,
+        },
+    ]
+}
+
+/// Find an experiment by id (`table2`, `fig8`, `dimensioning`).
+pub fn by_id(id: &str) -> Option<Experiment> {
+    registry().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_paper_artefacts() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
+        for t in 1..=9 {
+            assert!(ids.contains(&format!("table{t}").as_str()), "table{t}");
+        }
+        for f in 3..=14 {
+            assert!(ids.contains(&format!("fig{f}").as_str()), "fig{f}");
+        }
+        assert!(ids.contains(&"dimensioning"));
+    }
+
+    #[test]
+    fn by_id_lookup() {
+        assert!(by_id("table5").is_some());
+        assert!(by_id("fig11").is_some());
+        assert!(by_id("nope").is_none());
+    }
+}

@@ -1,0 +1,249 @@
+//! Tables 1–9 of the paper.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use dnhunter_analytics::content;
+use dnhunter_analytics::report::{human_bytes, pct, Align, TextTable};
+use dnhunter_analytics::tags;
+use dnhunter_analytics::timeseries::{BinnedCounts, FOUR_HOURS};
+use dnhunter_baselines::{certificate_comparison, reverse_lookup_comparison, well_known_service};
+use dnhunter_dns::suffix::SuffixSet;
+use dnhunter_flow::AppProtocol;
+use dnhunter_orgdb::builtin_registry;
+
+use crate::harness::{ExecutedTrace, Harness};
+
+/// Tab. 1: dataset description (trace name, start, duration, peak DNS
+/// rate, flow count) — for the *generated* traces.
+pub fn table1(h: &mut Harness) -> String {
+    let mut t = TextTable::new(
+        "Table 1: Dataset description (synthetic)",
+        &["Trace", "Start [GMT]", "Duration", "Peak DNS resp", "TCP flows"],
+    )
+    .aligns(&[Align::Left, Align::Right, Align::Right, Align::Right, Align::Right]);
+    for run in h.all_paper_runs() {
+        let p = &run.profile;
+        // Peak responses per minute.
+        let origin = run.report.trace_start.unwrap_or(0);
+        let mut per_min = BinnedCounts::new(origin, 60_000_000);
+        for &ts in &run.report.dns_response_times {
+            per_min.add(ts);
+        }
+        t.row(&[
+            p.name.clone(),
+            format!("{:02}:{:02}", p.start_hour as u32, ((p.start_hour % 1.0) * 60.0) as u32),
+            format!("{}h", p.duration_hours),
+            format!("{}/min", per_min.peak()),
+            format!("{}", run.report.database.len()),
+        ]);
+    }
+    t.render()
+}
+
+/// Per-protocol (flows, hits) outside the warm-up window.
+fn protocol_stats(run: &ExecutedTrace) -> HashMap<AppProtocol, (u64, u64)> {
+    let mut stats: HashMap<AppProtocol, (u64, u64)> = HashMap::new();
+    for f in run.report.database.flows() {
+        if f.in_warmup {
+            continue;
+        }
+        let e = stats.entry(f.protocol).or_default();
+        e.0 += 1;
+        e.1 += u64::from(f.is_tagged());
+    }
+    stats
+}
+
+/// Tab. 2: DNS resolver hit ratio for HTTP / TLS / P2P per trace.
+pub fn table2(h: &mut Harness) -> String {
+    let mut t = TextTable::new(
+        "Table 2: DNS Resolver hit ratio",
+        &["Protocol", "US-3G", "EU2-ADSL", "EU1-ADSL1", "EU1-ADSL2", "EU1-FTTH"],
+    )
+    .aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    let runs = h.all_paper_runs();
+    let stats: Vec<HashMap<AppProtocol, (u64, u64)>> =
+        runs.iter().map(|r| protocol_stats(r)).collect();
+    for proto in [AppProtocol::Http, AppProtocol::Tls, AppProtocol::P2p] {
+        let mut row = vec![proto.label().to_uppercase()];
+        // Paper column order: US-3G last in Tab.1 but their table lists EU
+        // first; keep trace order of the header above.
+        for s in &stats {
+            let (n, hits) = s.get(&proto).copied().unwrap_or((0, 0));
+            if n == 0 {
+                row.push("-".into());
+            } else {
+                row.push(format!("{:.0}% ({})", 100.0 * hits as f64 / n as f64, n));
+            }
+        }
+        t.row(&row);
+    }
+    t.render()
+}
+
+/// Tab. 3: reverse-lookup comparison on EU1-ADSL2, 1000 sampled servers.
+pub fn table3(h: &mut Harness) -> String {
+    let run = h.run("EU1-ADSL2");
+    let suffixes = SuffixSet::builtin();
+    let counts =
+        reverse_lookup_comparison(&run.report.database, &run.ptr_zone, &suffixes, 1000, 42);
+    let f = counts.fractions();
+    let mut t = TextTable::new(
+        "Table 3: DN-Hunter vs reverse lookup (EU1-ADSL2)",
+        &["Outcome", "Share"],
+    )
+    .aligns(&[Align::Left, Align::Right]);
+    t.row(&["Same FQDN", &pct(f[0])]);
+    t.row(&["Same 2nd-level domain", &pct(f[1])]);
+    t.row(&["Totally different", &pct(f[2])]);
+    t.row(&["No-answer", &pct(f[3])]);
+    let mut out = t.render();
+    let _ = writeln!(out, "(sampled {} labelled servers)", counts.total());
+    out
+}
+
+/// Tab. 4: certificate inspection vs DN-Hunter label on EU1-ADSL2 TLS flows.
+pub fn table4(h: &mut Harness) -> String {
+    let run = h.run("EU1-ADSL2");
+    let suffixes = SuffixSet::builtin();
+    let counts = certificate_comparison(&run.report.database, &suffixes);
+    let f = counts.fractions();
+    let mut t = TextTable::new(
+        "Table 4: TLS certificate-inspection vs DN-Hunter FQDN (EU1-ADSL2)",
+        &["Outcome", "Share"],
+    )
+    .aligns(&[Align::Left, Align::Right]);
+    t.row(&["Certificate equal FQDN", &pct(f[0])]);
+    t.row(&["Generic certificate", &pct(f[1])]);
+    t.row(&["Totally different certificate", &pct(f[2])]);
+    t.row(&["No certificate", &pct(f[3])]);
+    let mut out = t.render();
+    let _ = writeln!(out, "({} TLS flows compared)", counts.total());
+    out
+}
+
+/// Tab. 5: top-10 second-level domains on Amazon EC2, US vs EU viewpoint.
+pub fn table5(h: &mut Harness) -> String {
+    let suffixes = SuffixSet::builtin();
+    let orgdb = builtin_registry();
+    let us = h.run("US-3G");
+    let eu = h.run("EU1-ADSL1");
+    let top_us = content::top_domains_on_org(&us.report.database, &orgdb, "amazon", 10, &suffixes);
+    let top_eu = content::top_domains_on_org(&eu.report.database, &orgdb, "amazon", 10, &suffixes);
+    let mut t = TextTable::new(
+        "Table 5: Top-10 domains hosted on the Amazon EC2 cloud",
+        &["Rank", "US-3G", "%", "EU1-ADSL1", "%"],
+    )
+    .aligns(&[Align::Right, Align::Left, Align::Right, Align::Left, Align::Right]);
+    for i in 0..10 {
+        let (ud, up) = top_us
+            .get(i)
+            .map(|(d, p)| (d.to_string(), format!("{:.0}", p * 100.0)))
+            .unwrap_or_default();
+        let (ed, ep) = top_eu
+            .get(i)
+            .map(|(d, p)| (d.to_string(), format!("{:.0}", p * 100.0)))
+            .unwrap_or_default();
+        t.row(&[format!("{}", i + 1), ud, up, ed, ep]);
+    }
+    t.render()
+}
+
+/// Shared renderer for Tabs. 6–7.
+fn tag_table(title: &str, run: &ExecutedTrace, ports: &[u16]) -> String {
+    let suffixes = SuffixSet::builtin();
+    let mut t = TextTable::new(title, &["Port", "Keywords (score)", "GT"]).aligns(&[
+        Align::Right,
+        Align::Left,
+        Align::Left,
+    ]);
+    for &port in ports {
+        let tagged = tags::extract_tags(&run.report.database, port, 6, &suffixes);
+        if tagged.is_empty() {
+            continue;
+        }
+        let kw: Vec<String> = tagged
+            .iter()
+            .map(|tag| format!("({:.0}){}", tag.score, tag.token))
+            .collect();
+        t.row(&[
+            port.to_string(),
+            kw.join(", "),
+            well_known_service(port).unwrap_or("?").to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Tab. 6: keyword extraction on well-known ports, EU1-FTTH.
+pub fn table6(h: &mut Harness) -> String {
+    let run = h.run("EU1-FTTH");
+    tag_table(
+        "Table 6: Keyword extraction, well-known ports (EU1-FTTH)",
+        &run,
+        &[25, 110, 143, 554, 587, 995, 1863],
+    )
+}
+
+/// Tab. 7: keyword extraction on frequently used non-standard ports, US-3G.
+pub fn table7(h: &mut Harness) -> String {
+    let run = h.run("US-3G");
+    tag_table(
+        "Table 7: Keyword extraction, frequently used ports (US-3G)",
+        &run,
+        &[1080, 1337, 2710, 5050, 5190, 5222, 5223, 5228, 6969, 12043, 12046, 18182],
+    )
+}
+
+/// Tab. 8: appspot service classes from the live deployment.
+pub fn table8(h: &mut Harness) -> String {
+    let run = h.run("live");
+    let suffixes = SuffixSet::builtin();
+    let origin = run.report.trace_start.unwrap_or(0);
+    let report =
+        dnhunter_analytics::appspot::appspot_report(&run.report.database, &suffixes, origin, FOUR_HOURS);
+    let mut t = TextTable::new(
+        "Table 8: Appspot services (live)",
+        &["Service type", "Services", "Flows", "C2S", "S2C"],
+    )
+    .aligns(&[Align::Left, Align::Right, Align::Right, Align::Right, Align::Right]);
+    t.row(&[
+        "BitTorrent trackers".to_string(),
+        report.trackers.services.to_string(),
+        report.trackers.flows.to_string(),
+        human_bytes(report.trackers.bytes_c2s),
+        human_bytes(report.trackers.bytes_s2c),
+    ]);
+    t.row(&[
+        "General services".to_string(),
+        report.general.services.to_string(),
+        report.general.flows.to_string(),
+        human_bytes(report.general.bytes_c2s),
+        human_bytes(report.general.bytes_s2c),
+    ]);
+    t.render()
+}
+
+/// Tab. 9: fraction of useless DNS resolutions per trace.
+pub fn table9(h: &mut Harness) -> String {
+    let mut t = TextTable::new(
+        "Table 9: Fraction of useless DNS resolutions",
+        &["Trace", "Useless DNS"],
+    )
+    .aligns(&[Align::Left, Align::Right]);
+    for run in h.all_paper_runs() {
+        t.row(&[
+            run.profile.name.clone(),
+            pct(run.report.delays.useless_fraction()),
+        ]);
+    }
+    t.render()
+}

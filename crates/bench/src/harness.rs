@@ -1,0 +1,211 @@
+//! Lazy per-profile trace execution shared by all experiments.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dnhunter::{RealTimeSniffer, SnifferConfig, SnifferReport};
+use dnhunter_net::{Packet, TransportHeader};
+use dnhunter_resolver::dimensioning::ResolverEvent;
+use dnhunter_simnet::{profiles, PtrZone, TraceGenerator, TraceProfile};
+
+/// One executed trace: the sniffer's report plus simulator ground truth.
+pub struct ExecutedTrace {
+    /// The profile that was generated.
+    pub profile: TraceProfile,
+    /// The sniffer's full output over the generated frames.
+    pub report: SnifferReport,
+    /// The synthetic reverse zone (Tab. 3 baseline input).
+    pub ptr_zone: PtrZone,
+    /// Ground-truth counters from the generator.
+    pub gen_stats: dnhunter_simnet::generator::GenStats,
+}
+
+/// Lazily generates and sniffs each profile once, at a common scale.
+pub struct Harness {
+    scale: f64,
+    runs: HashMap<String, Rc<ExecutedTrace>>,
+    /// Events for the Clist dimensioning sweep (§6), kept separately
+    /// because they need the raw frame stream.
+    dimensioning_events: Option<Rc<Vec<ResolverEvent>>>,
+}
+
+impl Harness {
+    /// `scale` multiplies every profile's client population (1.0 = the
+    /// defaults documented in `dnhunter-simnet::profiles`).
+    pub fn new(scale: f64) -> Self {
+        Harness {
+            scale,
+            runs: HashMap::new(),
+            dimensioning_events: None,
+        }
+    }
+
+    /// The scale in use.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Run (or fetch) one of the Tab. 1 traces by name, or the live trace
+    /// via `"live"`.
+    pub fn run(&mut self, name: &str) -> Rc<ExecutedTrace> {
+        if let Some(r) = self.runs.get(name) {
+            return Rc::clone(r);
+        }
+        let profile = profiles::profile_by_name(name)
+            .unwrap_or_else(|| panic!("unknown profile '{name}'"))
+            .scaled(self.scale);
+        let live = name.eq_ignore_ascii_case("live");
+        let executed = execute(profile, live);
+        let rc = Rc::new(executed);
+        self.runs.insert(name.to_string(), Rc::clone(&rc));
+        rc
+    }
+
+    /// All five Tab. 1 traces, in paper order.
+    pub fn all_paper_runs(&mut self) -> Vec<Rc<ExecutedTrace>> {
+        ["US-3G", "EU2-ADSL", "EU1-ADSL1", "EU1-ADSL2", "EU1-FTTH"]
+            .iter()
+            .map(|n| self.run(n))
+            .collect()
+    }
+
+    /// Resolver event stream of EU1-ADSL1 for the §6 sweep.
+    pub fn dimensioning_events(&mut self) -> Rc<Vec<ResolverEvent>> {
+        if let Some(ev) = &self.dimensioning_events {
+            return Rc::clone(ev);
+        }
+        let profile = profiles::eu1_adsl1().scaled((self.scale * 0.6).min(1.0));
+        let trace = TraceGenerator::new(profile, false).generate();
+        let events = resolver_events_from_frames(trace.records.iter().map(|r| {
+            (r.timestamp_micros(), r.frame.as_slice())
+        }));
+        let rc = Rc::new(events);
+        self.dimensioning_events = Some(Rc::clone(&rc));
+        rc
+    }
+}
+
+/// Generate + sniff one profile.
+pub fn execute(profile: TraceProfile, live: bool) -> ExecutedTrace {
+    let generator = TraceGenerator::new(profile.clone(), live);
+    let trace = generator.generate();
+    let mut sniffer = RealTimeSniffer::new(SnifferConfig {
+        warmup_micros: profile.warmup_micros,
+        ..SnifferConfig::default()
+    });
+    for rec in &trace.records {
+        sniffer.process_record(rec);
+    }
+    ExecutedTrace {
+        profile,
+        report: sniffer.finish(),
+        ptr_zone: trace.ptr_zone,
+        gen_stats: trace.stats,
+    }
+}
+
+/// Turn a frame stream into the resolver-event workload of §6:
+/// DNS responses (source port 53) become `Response`, TCP SYNs become
+/// `FlowStart`.
+pub fn resolver_events_from_frames<'a, I>(frames: I) -> Vec<ResolverEvent>
+where
+    I: Iterator<Item = (u64, &'a [u8])>,
+{
+    let mut events = Vec::new();
+    for (_ts, frame) in frames {
+        let Ok(pkt) = Packet::parse(frame) else {
+            continue;
+        };
+        match &pkt.transport {
+            TransportHeader::Udp(udp) if udp.src_port == 53 => {
+                let Ok(msg) = dnhunter_dns::codec::decode(&pkt.payload) else {
+                    continue;
+                };
+                if !msg.header.is_response {
+                    continue;
+                }
+                let Some(fqdn) = msg.queried_fqdn().cloned() else {
+                    continue;
+                };
+                let servers = msg.answer_addresses();
+                if servers.is_empty() {
+                    continue;
+                }
+                events.push(ResolverEvent::Response {
+                    client: pkt.dst_ip(),
+                    fqdn,
+                    servers,
+                });
+            }
+            TransportHeader::Tcp(tcp) if tcp.src_port == 53 => {
+                // DNS-over-TCP retries carry the real answers for
+                // truncated responses.
+                for msg in dnhunter_dns::codec::decode_tcp_stream(&pkt.payload) {
+                    if !msg.header.is_response || msg.header.truncated {
+                        continue;
+                    }
+                    let Some(fqdn) = msg.queried_fqdn().cloned() else {
+                        continue;
+                    };
+                    let servers = msg.answer_addresses();
+                    if servers.is_empty() {
+                        continue;
+                    }
+                    events.push(ResolverEvent::Response {
+                        client: pkt.dst_ip(),
+                        fqdn,
+                        servers,
+                    });
+                }
+            }
+            TransportHeader::Tcp(tcp)
+                if tcp.flags.syn() && !tcp.flags.ack() && tcp.dst_port != 53 =>
+            {
+                // Peer-wire flows never have a resolution; the paper's
+                // efficiency figure is about resolvable traffic.
+                if let std::net::IpAddr::V4(v4) = pkt.dst_ip() {
+                    let first = v4.octets()[0];
+                    if first == 171 || first == 186 {
+                        continue;
+                    }
+                }
+                events.push(ResolverEvent::FlowStart {
+                    client: pkt.src_ip(),
+                    server: pkt.dst_ip(),
+                });
+            }
+            _ => {}
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_caches_runs() {
+        let mut h = Harness::new(0.04);
+        let a = h.run("EU1-FTTH");
+        let b = h.run("EU1-FTTH");
+        assert!(Rc::ptr_eq(&a, &b));
+        assert!(a.report.database.len() > 10);
+    }
+
+    #[test]
+    fn dimensioning_events_contain_both_kinds() {
+        let mut h = Harness::new(0.04);
+        let ev = h.dimensioning_events();
+        let responses = ev
+            .iter()
+            .filter(|e| matches!(e, ResolverEvent::Response { .. }))
+            .count();
+        let flows = ev
+            .iter()
+            .filter(|e| matches!(e, ResolverEvent::FlowStart { .. }))
+            .count();
+        assert!(responses > 10, "responses {responses}");
+        assert!(flows > 10, "flows {flows}");
+    }
+}

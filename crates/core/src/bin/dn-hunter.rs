@@ -1,0 +1,211 @@
+//! `dn-hunter` — run the sniffer over a pcap file and report labeled flows.
+//!
+//! ```text
+//! dn-hunter capture.pcap                  # summary + sample of labels
+//! dn-hunter capture.pcap --flows          # one line per labeled flow
+//! dn-hunter capture.pcap --json > db.jsonl# labeled-flow DB as JSON lines
+//! dn-hunter capture.pcap --port 443       # service tags for one port
+//! ```
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use dnhunter::{RealTimeSniffer, SnifferConfig};
+use dnhunter_net::PcapReader;
+
+fn usage() -> &'static str {
+    "usage: dn-hunter <capture.pcap> [--flows] [--json] [--tstat] [--csv] [--port N] [--warmup SECS]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut flows = false;
+    let mut json = false;
+    let mut tstat = false;
+    let mut csv = false;
+    let mut port: Option<u16> = None;
+    let mut warmup_secs: u64 = 300;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--flows" => flows = true,
+            "--json" => json = true,
+            "--tstat" => tstat = true,
+            "--csv" => csv = true,
+            "--port" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(p) => port = Some(p),
+                    None => {
+                        eprintln!("--port needs a number\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--warmup" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(w) => warmup_secs = w,
+                    None => {
+                        eprintln!("--warmup needs seconds\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_string())
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+
+    let file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reader = match PcapReader::new(BufReader::new(file)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("not a readable pcap: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut sniffer = RealTimeSniffer::new(SnifferConfig {
+        warmup_micros: warmup_secs * 1_000_000,
+        ..SnifferConfig::default()
+    });
+    for rec in reader {
+        match rec {
+            Ok(r) => sniffer.process_record(&r),
+            Err(e) => {
+                eprintln!("pcap error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = sniffer.finish();
+
+    if json {
+        print!("{}", report.database.to_json_lines());
+        return ExitCode::SUCCESS;
+    }
+    if tstat || csv {
+        let result = if tstat {
+            dnhunter::write_tstat_log(&report.database, std::io::stdout().lock())
+        } else {
+            dnhunter::write_csv(&report.database, std::io::stdout().lock())
+        };
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            // A closed pipe (`| head`) is a normal way to stop reading.
+            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("write failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some(port) = port {
+        let suffixes = dnhunter_dns::suffix::SuffixSet::builtin();
+        // Inline Algorithm 4, so the binary has no analytics dependency.
+        let mut per_client: HashMap<(String, std::net::IpAddr), u64> = HashMap::new();
+        for f in report.database.by_port(port) {
+            if let Some(fqdn) = &f.fqdn {
+                for token in dnhunter_dns::tokenize_fqdn(fqdn, &suffixes) {
+                    *per_client.entry((token, f.key.client)).or_default() += 1;
+                }
+            }
+        }
+        let mut scores: HashMap<String, f64> = HashMap::new();
+        for ((token, _), n) in per_client {
+            *scores.entry(token).or_default() += ((n + 1) as f64).ln();
+        }
+        let mut ranked: Vec<(String, f64)> = scores.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        println!("service tags for port {port}:");
+        for (token, score) in ranked.into_iter().take(10) {
+            println!("  ({score:.0}) {token}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if flows {
+        for f in report.database.flows() {
+            println!(
+                "{}\t{}\t{}:{}\t{}\t{}B",
+                f.fqdn.as_ref().map(|x| x.to_string()).unwrap_or_else(|| "-".into()),
+                f.key.client,
+                f.key.server,
+                f.key.server_port,
+                f.protocol.label(),
+                f.bytes(),
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Default: summary.
+    println!("frames          : {}", report.sniffer_stats.frames);
+    println!("parse errors    : {}", report.sniffer_stats.parse_errors);
+    println!("dns responses   : {}", report.sniffer_stats.dns_responses);
+    println!("flows           : {}", report.database.len());
+    println!("distinct FQDNs  : {}", report.database.distinct_fqdns());
+    println!("distinct servers: {}", report.database.distinct_servers());
+    println!(
+        "hit ratio       : {:.1}% (post {warmup_secs}s warm-up)",
+        report.hit_ratio() * 100.0
+    );
+    // Per-protocol hit ratios, the paper's Tab. 2 framing (P2P never
+    // resolves names, so the overall number understates coverage).
+    let mut per_proto: HashMap<&str, (u64, u64)> = HashMap::new();
+    for f in report.database.flows() {
+        if f.in_warmup {
+            continue;
+        }
+        let e = per_proto.entry(f.protocol.label()).or_default();
+        e.0 += 1;
+        e.1 += u64::from(f.is_tagged());
+    }
+    let mut keys: Vec<&&str> = per_proto.keys().collect();
+    keys.sort();
+    for k in keys {
+        let (n, h) = per_proto[*k];
+        println!("  {k:<6}: {:>5.1}% of {n}", 100.0 * h as f64 / n as f64);
+    }
+    println!(
+        "useless DNS     : {:.1}%",
+        report.delays.useless_fraction() * 100.0
+    );
+    println!("\ntop labels by flows:");
+    let mut counts: Vec<(String, usize)> = report
+        .database
+        .fqdn_flow_counts()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    counts.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    for (fqdn, n) in counts.into_iter().take(15) {
+        println!("  {n:>6}  {fqdn}");
+    }
+    ExitCode::SUCCESS
+}

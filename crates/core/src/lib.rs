@@ -1,0 +1,56 @@
+//! # DN-Hunter
+//!
+//! A reproduction of *"DNS to the Rescue: Discerning Content and Services in
+//! a Tangled Web"* (Bermudez, Mellia, Munafò, Keralapura, Nucci — IMC 2012).
+//!
+//! DN-Hunter correlates sniffed **DNS responses** with **layer-4 flows** so
+//! every flow is tagged with the FQDN its client resolved just before
+//! connecting — even when the payload is encrypted, and *before the first
+//! data packet arrives*:
+//!
+//! ```
+//! use dnhunter::{RealTimeSniffer, SnifferConfig};
+//! use dnhunter_net::{build_udp_v4, build_tcp_v4, MacAddr, TcpFlags};
+//! use dnhunter_dns::{codec, DnsMessage, DomainName, QType, ResourceRecord, QClass, RData};
+//!
+//! let mut sniffer = RealTimeSniffer::new(SnifferConfig::default());
+//!
+//! // The client resolves www.example.com …
+//! let q = DnsMessage::query(7, "www.example.com".parse().unwrap(), QType::A);
+//! let resp = DnsMessage::answer_to(&q, vec![ResourceRecord {
+//!     name: "www.example.com".parse().unwrap(),
+//!     class: QClass::In,
+//!     ttl: 60,
+//!     rdata: RData::A("93.184.216.34".parse().unwrap()),
+//! }]);
+//! let frame = build_udp_v4(MacAddr::from_id(1), MacAddr::from_id(2),
+//!     "192.0.2.53".parse().unwrap(), "10.0.0.5".parse().unwrap(),
+//!     53, 40000, &codec::encode(&resp).unwrap()).unwrap();
+//! sniffer.process_frame(1_000_000, &frame);
+//!
+//! // … and the SYN that follows is labelled immediately.
+//! let syn = build_tcp_v4(MacAddr::from_id(1), MacAddr::from_id(2),
+//!     "10.0.0.5".parse().unwrap(), "93.184.216.34".parse().unwrap(),
+//!     51000, 443, 1, 0, TcpFlags::SYN, &[]).unwrap();
+//! sniffer.process_frame(1_200_000, &syn);
+//!
+//! let report = sniffer.finish();
+//! let flow = &report.database.flows()[0];
+//! assert_eq!(flow.fqdn.as_ref().unwrap().to_string(), "www.example.com");
+//! ```
+//!
+//! The crate hosts the *real-time sniffer* of the paper's Fig. 1 — flow
+//! sniffer + DNS response sniffer + DNS resolver + flow tagger — plus the
+//! labeled-flow [`db::FlowDatabase`] consumed by the offline analytics in
+//! `dnhunter-analytics`, and a [`policy`] layer demonstrating the
+//! "identify flows before the flows begin" capability.
+
+pub mod db;
+pub mod export;
+pub mod policy;
+pub mod sniffer;
+
+pub use db::{FlowDatabase, TaggedFlow};
+pub use export::{write_csv, write_tstat_log};
+pub use policy::{PolicyAction, PolicyDecision, PolicyEnforcer, PolicyRule, RuleEnforcer};
+pub use sniffer::{DelaySamples, RealTimeSniffer, SnifferConfig, SnifferReport, SnifferStats};

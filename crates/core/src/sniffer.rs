@@ -1,0 +1,592 @@
+//! The real-time sniffer: DNS response sniffer + flow sniffer + flow tagger
+//! (paper Fig. 1 and §3.1).
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use dnhunter_dns::suffix::SuffixSet;
+use dnhunter_dns::{codec, DomainName};
+use dnhunter_flow::{FlowEvent, FlowKey, FlowTable, FlowTableConfig};
+use dnhunter_net::{Packet, PcapRecord, TransportHeader};
+use dnhunter_resolver::{DnsResolver, OrderedTables, ResolverConfig, ResolverStats};
+use serde::{Deserialize, Serialize};
+
+use crate::db::{FlowDatabase, TaggedFlow};
+use crate::policy::PolicyEnforcer;
+
+/// Sniffer configuration.
+#[derive(Debug, Clone)]
+pub struct SnifferConfig {
+    pub resolver: ResolverConfig,
+    pub flow_table: FlowTableConfig,
+    /// UDP port carrying DNS (53 everywhere, configurable for tests).
+    pub dns_port: u16,
+    /// Flows starting within this window after the first frame are marked
+    /// `in_warmup` and excluded from hit-ratio accounting (the paper uses
+    /// 5 minutes).
+    pub warmup_micros: u64,
+}
+
+impl Default for SnifferConfig {
+    fn default() -> Self {
+        SnifferConfig {
+            resolver: ResolverConfig::default(),
+            flow_table: FlowTableConfig::default(),
+            dns_port: 53,
+            warmup_micros: 5 * 60 * 1_000_000,
+        }
+    }
+}
+
+/// Frame/packet-level counters.
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+pub struct SnifferStats {
+    pub frames: u64,
+    pub parse_errors: u64,
+    pub dns_queries: u64,
+    pub dns_responses: u64,
+    pub dns_decode_errors: u64,
+    /// Flow-start tag attempts and successes, outside warm-up.
+    pub tag_attempts: u64,
+    pub tag_hits: u64,
+}
+
+/// Timing samples for Figs. 12–13 and the useless-DNS fraction (Tab. 9).
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct DelaySamples {
+    /// Per DNS response: µs until the *first* flow to any answered server.
+    pub first_flow_delays: Vec<u64>,
+    /// µs from a response to *every* subsequent flow using it.
+    pub any_flow_delays: Vec<u64>,
+    /// Responses (with at least one answer) never followed by a flow.
+    pub useless_responses: u64,
+    /// Responses carrying at least one A/AAAA answer.
+    pub answered_responses: u64,
+}
+
+impl DelaySamples {
+    /// Fraction of answered responses never followed by any flow.
+    pub fn useless_fraction(&self) -> f64 {
+        if self.answered_responses == 0 {
+            0.0
+        } else {
+            self.useless_responses as f64 / self.answered_responses as f64
+        }
+    }
+}
+
+/// Everything the offline analyzer needs, produced by
+/// [`RealTimeSniffer::finish`].
+pub struct SnifferReport {
+    pub database: FlowDatabase,
+    pub sniffer_stats: SnifferStats,
+    pub resolver_stats: ResolverStats,
+    pub delays: DelaySamples,
+    /// Timestamp (µs) of every DNS response seen (Fig. 14 time series).
+    pub dns_response_times: Vec<u64>,
+    /// Answer-list length of every DNS response with answers (§6).
+    pub answers_per_response: Vec<usize>,
+    /// First and last frame timestamps.
+    pub trace_start: Option<u64>,
+    pub trace_end: Option<u64>,
+    pub warmup_micros: u64,
+}
+
+/// Book-keeping for one sniffed DNS response.
+#[derive(Debug)]
+struct ResponseRecord {
+    ts: u64,
+    flows_seen: u64,
+    first_flow_delay: Option<u64>,
+}
+
+/// Tag assigned when a flow started.
+#[derive(Debug, Clone)]
+struct PendingTag {
+    fqdn: Option<DomainName>,
+    alt_labels: Vec<DomainName>,
+    tag_delay: Option<u64>,
+    in_warmup: bool,
+}
+
+/// The DN-Hunter real-time sniffer.
+///
+/// Feed it raw Ethernet frames (or pcap records) in timestamp order; it
+/// demultiplexes DNS responses into the [`DnsResolver`], reconstructs every
+/// other UDP/TCP flow, tags each flow at its first packet, and accumulates
+/// the labeled-flow database.
+pub struct RealTimeSniffer {
+    config: SnifferConfig,
+    resolver: DnsResolver<OrderedTables>,
+    flows: FlowTable,
+    database: FlowDatabase,
+    suffixes: SuffixSet,
+    stats: SnifferStats,
+    pending_tags: HashMap<FlowKey, PendingTag>,
+    /// (client, server) → index into `responses` of the latest response
+    /// binding that pair.
+    response_index: HashMap<(IpAddr, IpAddr), usize>,
+    responses: Vec<ResponseRecord>,
+    dns_response_times: Vec<u64>,
+    answers_per_response: Vec<usize>,
+    any_flow_delays: Vec<u64>,
+    trace_start: Option<u64>,
+    trace_end: Option<u64>,
+}
+
+impl RealTimeSniffer {
+    /// Build a sniffer.
+    pub fn new(config: SnifferConfig) -> Self {
+        RealTimeSniffer {
+            resolver: DnsResolver::with_config(config.resolver),
+            flows: FlowTable::new(config.flow_table.clone()),
+            database: FlowDatabase::new(),
+            suffixes: SuffixSet::builtin(),
+            stats: SnifferStats::default(),
+            pending_tags: HashMap::new(),
+            response_index: HashMap::new(),
+            responses: Vec::new(),
+            dns_response_times: Vec::new(),
+            answers_per_response: Vec::new(),
+            any_flow_delays: Vec::new(),
+            trace_start: None,
+            trace_end: None,
+            config,
+        }
+    }
+
+    /// Access the live resolver (e.g. to pre-warm it).
+    pub fn resolver_mut(&mut self) -> &mut DnsResolver<OrderedTables> {
+        &mut self.resolver
+    }
+
+    /// Frame counters so far.
+    pub fn stats(&self) -> &SnifferStats {
+        &self.stats
+    }
+
+    /// Process one pcap record.
+    pub fn process_record(&mut self, rec: &PcapRecord) {
+        self.process_frame(rec.timestamp_micros(), &rec.frame);
+    }
+
+    /// Process one raw Ethernet frame with its capture timestamp (µs).
+    pub fn process_frame(&mut self, ts: u64, frame: &[u8]) {
+        self.process_frame_with_policy(ts, frame, None::<&mut crate::policy::RuleEnforcer>);
+    }
+
+    /// Like [`RealTimeSniffer::process_frame`], invoking `enforcer` at every
+    /// flow start (with the label, when the resolver had one).
+    pub fn process_frame_with_policy<E: PolicyEnforcer>(
+        &mut self,
+        ts: u64,
+        frame: &[u8],
+        mut enforcer: Option<&mut E>,
+    ) {
+        self.stats.frames += 1;
+        self.trace_start.get_or_insert(ts);
+        self.trace_end = Some(self.trace_end.map_or(ts, |t| t.max(ts)));
+        let pkt = match Packet::parse(frame) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.parse_errors += 1;
+                return;
+            }
+        };
+        // DNS demultiplexing: traffic to/from the DNS port is the
+        // measurement channel, not user traffic. TCP is used after
+        // truncated UDP responses (RFC 1035 §4.2.2 framing).
+        match &pkt.transport {
+            TransportHeader::Udp(udp) => {
+                if udp.src_port == self.config.dns_port {
+                    self.handle_dns_response(ts, &pkt);
+                    return;
+                }
+                if udp.dst_port == self.config.dns_port {
+                    self.stats.dns_queries += 1;
+                    return;
+                }
+            }
+            TransportHeader::Tcp(tcp) => {
+                if tcp.src_port == self.config.dns_port {
+                    for msg in codec::decode_tcp_stream(&pkt.payload) {
+                        self.handle_dns_message(ts, pkt.dst_ip(), &msg);
+                    }
+                    return;
+                }
+                if tcp.dst_port == self.config.dns_port {
+                    if !pkt.payload.is_empty() {
+                        self.stats.dns_queries += 1;
+                    }
+                    return;
+                }
+            }
+            TransportHeader::Opaque(_) => {}
+        }
+        // Everything else is a data packet: flow reconstruction + tagging.
+        for event in self.flows.process(ts, &pkt, frame.len()) {
+            match event {
+                FlowEvent::FlowStarted(key) => {
+                    self.on_flow_started(ts, key, &mut enforcer)
+                }
+                FlowEvent::FlowFinished(record) => self.on_flow_finished(*record),
+            }
+        }
+    }
+
+    fn handle_dns_response(&mut self, ts: u64, pkt: &Packet) {
+        let msg = match codec::decode(&pkt.payload) {
+            Ok(m) => m,
+            Err(_) => {
+                self.stats.dns_decode_errors += 1;
+                return;
+            }
+        };
+        self.handle_dns_message(ts, pkt.dst_ip(), &msg);
+    }
+
+    /// Common path for UDP and TCP responses. Truncated (TC-bit) responses
+    /// are counted but carry no bindings — the client retries over TCP.
+    fn handle_dns_message(&mut self, ts: u64, client: IpAddr, msg: &dnhunter_dns::DnsMessage) {
+        if !msg.header.is_response {
+            return;
+        }
+        self.stats.dns_responses += 1;
+        self.dns_response_times.push(ts);
+        if msg.header.truncated {
+            return;
+        }
+        let servers = msg.answer_addresses();
+        if let Some(name) = msg.queried_fqdn() {
+            self.resolver.insert(client, &name.clone(), &servers);
+        }
+        if !servers.is_empty() {
+            self.answers_per_response.push(servers.len());
+            let idx = self.responses.len();
+            self.responses.push(ResponseRecord {
+                ts,
+                flows_seen: 0,
+                first_flow_delay: None,
+            });
+            for s in servers {
+                self.response_index.insert((client, s), idx);
+            }
+        }
+    }
+
+    fn on_flow_started<E: PolicyEnforcer>(
+        &mut self,
+        ts: u64,
+        key: FlowKey,
+        enforcer: &mut Option<&mut E>,
+    ) {
+        let in_warmup = self
+            .trace_start
+            .is_some_and(|t0| ts.saturating_sub(t0) < self.config.warmup_micros);
+        let label = self.resolver.lookup(key.client, key.server);
+        if !in_warmup {
+            self.stats.tag_attempts += 1;
+            if label.is_some() {
+                self.stats.tag_hits += 1;
+            }
+        }
+        // Delay accounting against the most recent covering response.
+        let mut tag_delay = None;
+        if let Some(&idx) = self.response_index.get(&(key.client, key.server)) {
+            let rec = &mut self.responses[idx];
+            let delay = ts.saturating_sub(rec.ts);
+            rec.flows_seen += 1;
+            if rec.first_flow_delay.is_none() {
+                rec.first_flow_delay = Some(delay);
+            }
+            self.any_flow_delays.push(delay);
+            tag_delay = Some(delay);
+        }
+        let fqdn = label.map(|arc| (*arc).clone());
+        // §6 extension: when the resolver keeps several labels per pair,
+        // record the alternatives so downstream consumers can resolve
+        // ambiguity themselves.
+        let alt_labels = if self.config.resolver.labels_per_server > 1 && fqdn.is_some() {
+            let mut alts: Vec<DomainName> = Vec::new();
+            for arc in self.resolver.lookup_all(key.client, key.server) {
+                let name = (*arc).clone();
+                // Distinct alternatives only; repeated resolutions of the
+                // primary name are not ambiguity.
+                if Some(&name) != fqdn.as_ref() && !alts.contains(&name) {
+                    alts.push(name);
+                }
+            }
+            alts
+        } else {
+            Vec::new()
+        };
+        if let Some(e) = enforcer.as_deref_mut() {
+            let _ = e.on_flow_start(key, fqdn.as_ref());
+        }
+        self.pending_tags.insert(
+            key,
+            PendingTag {
+                fqdn,
+                alt_labels,
+                tag_delay,
+                in_warmup,
+            },
+        );
+    }
+
+    fn on_flow_finished(&mut self, record: dnhunter_flow::FlowRecord) {
+        let tag = self
+            .pending_tags
+            .remove(&record.key)
+            .unwrap_or(PendingTag {
+                fqdn: None,
+                alt_labels: Vec::new(),
+                tag_delay: None,
+                in_warmup: false,
+            });
+        let protocol = record.protocol_now();
+        let tls = if protocol == dnhunter_flow::AppProtocol::Tls {
+            Some(record.tls_info())
+        } else {
+            None
+        };
+        let flow = TaggedFlow {
+            key: record.key,
+            fqdn: tag.fqdn,
+            second_level: None,
+            alt_labels: tag.alt_labels,
+            tag_delay_micros: tag.tag_delay,
+            first_ts: record.first_ts,
+            last_ts: record.last_ts,
+            packets_c2s: record.packets_c2s,
+            packets_s2c: record.packets_s2c,
+            bytes_c2s: record.bytes_c2s,
+            bytes_s2c: record.bytes_s2c,
+            protocol,
+            tls,
+            in_warmup: tag.in_warmup,
+        };
+        self.database.push(flow, &self.suffixes);
+    }
+
+    /// End of trace: flush live flows and assemble the report.
+    pub fn finish(mut self) -> SnifferReport {
+        for event in self.flows.flush() {
+            if let FlowEvent::FlowFinished(record) = event {
+                self.on_flow_finished(*record);
+            }
+        }
+        let mut delays = DelaySamples {
+            any_flow_delays: std::mem::take(&mut self.any_flow_delays),
+            ..DelaySamples::default()
+        };
+        for r in &self.responses {
+            delays.answered_responses += 1;
+            match r.first_flow_delay {
+                Some(d) => delays.first_flow_delays.push(d),
+                None => delays.useless_responses += 1,
+            }
+        }
+        SnifferReport {
+            database: self.database,
+            sniffer_stats: self.stats,
+            resolver_stats: *self.resolver.stats(),
+            delays,
+            dns_response_times: self.dns_response_times,
+            answers_per_response: self.answers_per_response,
+            trace_start: self.trace_start,
+            trace_end: self.trace_end,
+            warmup_micros: self.config.warmup_micros,
+        }
+    }
+}
+
+impl SnifferReport {
+    /// Hit ratio over post-warm-up flows: the paper's "DNS hit ratio".
+    pub fn hit_ratio(&self) -> f64 {
+        if self.sniffer_stats.tag_attempts == 0 {
+            0.0
+        } else {
+            self.sniffer_stats.tag_hits as f64 / self.sniffer_stats.tag_attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{PolicyAction, PolicyRule, RuleEnforcer};
+    use dnhunter_dns::{DnsMessage, QClass, QType, RData, ResourceRecord};
+    use dnhunter_net::{build_tcp_v4, build_udp_v4, MacAddr, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 5);
+    const DNS_SERVER: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 53);
+    const WEB_SERVER: Ipv4Addr = Ipv4Addr::new(93, 184, 216, 34);
+
+    fn mac(i: u64) -> MacAddr {
+        MacAddr::from_id(i)
+    }
+
+    fn dns_response_frame(name: &str, servers: &[Ipv4Addr], id: u16) -> Vec<u8> {
+        let q = DnsMessage::query(id, name.parse().unwrap(), QType::A);
+        let answers = servers
+            .iter()
+            .map(|s| ResourceRecord {
+                name: name.parse().unwrap(),
+                class: QClass::In,
+                ttl: 300,
+                rdata: RData::A(*s),
+            })
+            .collect();
+        let resp = DnsMessage::answer_to(&q, answers);
+        build_udp_v4(
+            mac(1),
+            mac(2),
+            DNS_SERVER,
+            CLIENT,
+            53,
+            40000,
+            &codec::encode(&resp).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn syn_frame(server: Ipv4Addr, dport: u16, sport: u16) -> Vec<u8> {
+        build_tcp_v4(
+            mac(1),
+            mac(2),
+            CLIENT,
+            server,
+            sport,
+            dport,
+            1,
+            0,
+            TcpFlags::SYN,
+            &[],
+        )
+        .unwrap()
+    }
+
+    fn no_warmup_config() -> SnifferConfig {
+        SnifferConfig {
+            warmup_micros: 0,
+            ..SnifferConfig::default()
+        }
+    }
+
+    #[test]
+    fn tags_flow_after_response() {
+        let mut s = RealTimeSniffer::new(no_warmup_config());
+        s.process_frame(1_000_000, &dns_response_frame("www.example.com", &[WEB_SERVER], 1));
+        s.process_frame(1_500_000, &syn_frame(WEB_SERVER, 443, 50001));
+        let report = s.finish();
+        assert_eq!(report.database.len(), 1);
+        let f = &report.database.flows()[0];
+        assert_eq!(f.fqdn.as_ref().unwrap().to_string(), "www.example.com");
+        assert_eq!(f.tag_delay_micros, Some(500_000));
+        assert_eq!(report.hit_ratio(), 1.0);
+        assert_eq!(report.sniffer_stats.dns_responses, 1);
+        assert_eq!(report.delays.first_flow_delays, vec![500_000]);
+        assert_eq!(report.delays.useless_responses, 0);
+    }
+
+    #[test]
+    fn flow_without_dns_is_untagged() {
+        let mut s = RealTimeSniffer::new(no_warmup_config());
+        s.process_frame(1_000_000, &syn_frame(WEB_SERVER, 80, 50002));
+        let report = s.finish();
+        assert_eq!(report.database.len(), 1);
+        assert!(!report.database.flows()[0].is_tagged());
+        assert_eq!(report.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn useless_response_is_counted() {
+        let mut s = RealTimeSniffer::new(no_warmup_config());
+        s.process_frame(1_000_000, &dns_response_frame("prefetch.example.com", &[WEB_SERVER], 2));
+        let report = s.finish();
+        assert_eq!(report.delays.answered_responses, 1);
+        assert_eq!(report.delays.useless_responses, 1);
+        assert_eq!(report.delays.useless_fraction(), 1.0);
+    }
+
+    #[test]
+    fn warmup_flows_excluded_from_hit_ratio() {
+        let mut s = RealTimeSniffer::new(SnifferConfig {
+            warmup_micros: 10_000_000,
+            ..SnifferConfig::default()
+        });
+        // Flow at t=1s (inside warm-up): doesn't count.
+        s.process_frame(1_000_000, &syn_frame(WEB_SERVER, 80, 50003));
+        // Response + flow at t=20s: counts and hits.
+        s.process_frame(20_000_000, &dns_response_frame("late.example.com", &[WEB_SERVER], 3));
+        s.process_frame(20_100_000, &syn_frame(WEB_SERVER, 443, 50004));
+        let report = s.finish();
+        assert_eq!(report.sniffer_stats.tag_attempts, 1);
+        assert_eq!(report.sniffer_stats.tag_hits, 1);
+        let warm: Vec<bool> = report.database.flows().iter().map(|f| f.in_warmup).collect();
+        assert!(warm.contains(&true) && warm.contains(&false));
+    }
+
+    #[test]
+    fn second_flow_to_same_binding_counts_in_any_delays_only() {
+        let mut s = RealTimeSniffer::new(no_warmup_config());
+        s.process_frame(1_000_000, &dns_response_frame("multi.example.com", &[WEB_SERVER], 4));
+        s.process_frame(1_200_000, &syn_frame(WEB_SERVER, 443, 50005));
+        s.process_frame(3_000_000, &syn_frame(WEB_SERVER, 443, 50006));
+        let report = s.finish();
+        assert_eq!(report.delays.first_flow_delays, vec![200_000]);
+        assert_eq!(report.delays.any_flow_delays, vec![200_000, 2_000_000]);
+    }
+
+    #[test]
+    fn policy_applies_at_first_packet() {
+        let mut s = RealTimeSniffer::new(no_warmup_config());
+        let mut enforcer = RuleEnforcer::new(vec![
+            PolicyRule::new("zynga.com", PolicyAction::Block).unwrap(),
+        ]);
+        s.process_frame(1_000_000, &dns_response_frame("farm.zynga.com", &[WEB_SERVER], 5));
+        s.process_frame_with_policy(1_100_000, &syn_frame(WEB_SERVER, 443, 50007), Some(&mut enforcer));
+        assert_eq!(enforcer.blocked(), 1);
+        assert!(enforcer.decisions()[0].at_first_packet);
+    }
+
+    #[test]
+    fn queries_are_counted_but_not_inserted() {
+        let mut s = RealTimeSniffer::new(no_warmup_config());
+        let q = DnsMessage::query(9, "ask.example.com".parse().unwrap(), QType::A);
+        let frame = build_udp_v4(
+            mac(1),
+            mac(2),
+            CLIENT,
+            DNS_SERVER,
+            40000,
+            53,
+            &codec::encode(&q).unwrap(),
+        )
+        .unwrap();
+        s.process_frame(1_000, &frame);
+        let report = s.finish();
+        assert_eq!(report.sniffer_stats.dns_queries, 1);
+        assert_eq!(report.sniffer_stats.dns_responses, 0);
+    }
+
+    #[test]
+    fn garbage_frames_are_counted_as_parse_errors() {
+        let mut s = RealTimeSniffer::new(no_warmup_config());
+        s.process_frame(1, &[0u8; 7]);
+        s.process_frame(2, b"not a frame at all, definitely not");
+        assert_eq!(s.stats().parse_errors, 2);
+    }
+
+    #[test]
+    fn answers_per_response_distribution_is_recorded() {
+        let mut s = RealTimeSniffer::new(no_warmup_config());
+        let many: Vec<Ipv4Addr> = (0..16).map(|i| Ipv4Addr::new(74, 125, 0, i)).collect();
+        s.process_frame(1_000, &dns_response_frame("www.google.com", &many, 6));
+        s.process_frame(2_000, &dns_response_frame("single.example.com", &[WEB_SERVER], 7));
+        let report = s.finish();
+        assert_eq!(report.answers_per_response, vec![16, 1]);
+    }
+}

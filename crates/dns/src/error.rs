@@ -1,0 +1,47 @@
+//! Error type for DNS parsing and building.
+
+use std::fmt;
+
+/// Errors raised while handling DNS names and messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnsError {
+    /// A domain-name string failed validation.
+    BadName(String),
+    /// The wire message is truncated or internally inconsistent.
+    Malformed(String),
+    /// A compression pointer loop or forward pointer was detected.
+    BadPointer(String),
+    /// A name would exceed the 255-octet limit.
+    NameTooLong(usize),
+    /// A label would exceed the 63-octet limit.
+    LabelTooLong(usize),
+}
+
+impl fmt::Display for DnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnsError::BadName(d) => write!(f, "invalid domain name: {d}"),
+            DnsError::Malformed(d) => write!(f, "malformed DNS message: {d}"),
+            DnsError::BadPointer(d) => write!(f, "bad compression pointer: {d}"),
+            DnsError::NameTooLong(n) => write!(f, "domain name too long ({n} octets, max 255)"),
+            DnsError::LabelTooLong(n) => write!(f, "label too long ({n} octets, max 63)"),
+        }
+    }
+}
+
+impl std::error::Error for DnsError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, DnsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DnsError::BadName("x".into()).to_string().contains("invalid"));
+        assert!(DnsError::NameTooLong(300).to_string().contains("300"));
+        assert!(DnsError::LabelTooLong(64).to_string().contains("64"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # dnhunter-dns
+//!
+//! A from-scratch DNS implementation sized for passive monitoring:
+//!
+//! * [`name::DomainName`] — a validated, case-normalised domain name with the
+//!   label structure the paper's analytics operate on (TLD, second-level
+//!   domain, FQDN sub-labels).
+//! * [`suffix`] — a compact public-suffix table so that `bbc.co.uk` yields
+//!   `bbc.co.uk` as its *second-level domain* (the "organization" in the
+//!   paper's terminology) rather than `co.uk`.
+//! * [`message`] / [`rdata`] / [`codec`] — the RFC 1035 wire format with
+//!   name-compression on encode and pointer-chasing (loop-safe) on decode,
+//!   covering the record types a flow-tagging sniffer sees in practice
+//!   (A, AAAA, CNAME, PTR, NS, MX, TXT, SOA).
+//! * [`tokenizer`] — the FQDN tokenization of the paper's Algorithm 4
+//!   (drop TLD + second-level domain, split the remaining labels on
+//!   non-alphanumeric characters, collapse digit runs to `N`).
+
+pub mod codec;
+pub mod error;
+pub mod message;
+pub mod name;
+pub mod rdata;
+pub mod suffix;
+pub mod tokenizer;
+
+pub use error::{DnsError, Result};
+pub use message::{DnsHeader, DnsMessage, QClass, QType, Question, Rcode, ResourceRecord};
+pub use name::DomainName;
+pub use rdata::RData;
+pub use tokenizer::{tokenize_fqdn, tokenize_label};

@@ -1,0 +1,296 @@
+//! Domain names: validation, normalisation, and the label arithmetic the
+//! paper's analytics are built on.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::{DnsError, Result};
+use crate::suffix::SuffixSet;
+
+/// Maximum encoded name length in octets (RFC 1035 §2.3.4).
+pub const MAX_NAME_OCTETS: usize = 255;
+/// Maximum label length in octets.
+pub const MAX_LABEL_OCTETS: usize = 63;
+
+/// A validated, lowercase domain name stored as its label sequence,
+/// most-specific label first (`www`, `example`, `com`).
+///
+/// The root name has zero labels and displays as `.`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainName {
+    labels: Vec<String>,
+}
+
+impl serde::Serialize for DomainName {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for DomainName {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+impl DomainName {
+    /// The root name.
+    pub fn root() -> Self {
+        DomainName { labels: Vec::new() }
+    }
+
+    /// Build from pre-validated lowercase labels (used by the codec).
+    pub(crate) fn from_labels_unchecked(labels: Vec<String>) -> Self {
+        DomainName { labels }
+    }
+
+    /// Build from labels with full validation.
+    pub fn from_labels<I, S>(labels: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out = Vec::new();
+        let mut octets = 1; // trailing root byte
+        for l in labels {
+            let l = l.as_ref();
+            validate_label(l)?;
+            octets += l.len() + 1;
+            out.push(l.to_ascii_lowercase());
+        }
+        if octets > MAX_NAME_OCTETS {
+            return Err(DnsError::NameTooLong(octets));
+        }
+        Ok(DomainName { labels: out })
+    }
+
+    /// The labels, most-specific first.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Encoded length in octets (labels + length bytes + root byte).
+    pub fn encoded_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
+    }
+
+    /// The top-level domain (`com` for `www.example.com`), if any.
+    pub fn tld(&self) -> Option<&str> {
+        self.labels.last().map(String::as_str)
+    }
+
+    /// The *second-level domain* in the paper's sense: the organization name
+    /// — the public suffix plus one label. `www.example.com` → `example.com`;
+    /// `news.bbc.co.uk` → `bbc.co.uk`. Names that *are* a public suffix (or
+    /// shorter) return themselves.
+    pub fn second_level_domain(&self, suffixes: &SuffixSet) -> DomainName {
+        let suffix_labels = suffixes.matching_suffix_labels(&self.labels);
+        let keep = (suffix_labels + 1).min(self.labels.len());
+        DomainName {
+            labels: self.labels[self.labels.len() - keep..].to_vec(),
+        }
+    }
+
+    /// The sub-labels *below* the second-level domain, most-specific first.
+    /// `smtp2.mail.google.com` → `["smtp2", "mail"]`. These feed Algorithm 4.
+    pub fn sub_labels(&self, suffixes: &SuffixSet) -> &[String] {
+        let suffix_labels = suffixes.matching_suffix_labels(&self.labels);
+        let keep = (suffix_labels + 1).min(self.labels.len());
+        &self.labels[..self.labels.len() - keep]
+    }
+
+    /// True if `self` equals `other` or is a subdomain of it.
+    pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..] == other.labels[..]
+    }
+
+    /// Prepend a label, producing the child name.
+    pub fn child(&self, label: &str) -> Result<DomainName> {
+        validate_label(label)?;
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.to_ascii_lowercase());
+        labels.extend_from_slice(&self.labels);
+        let name = DomainName { labels };
+        if name.encoded_len() > MAX_NAME_OCTETS {
+            return Err(DnsError::NameTooLong(name.encoded_len()));
+        }
+        Ok(name)
+    }
+
+    /// The parent name (drop the most-specific label); root's parent is root.
+    pub fn parent(&self) -> DomainName {
+        if self.labels.is_empty() {
+            return self.clone();
+        }
+        DomainName {
+            labels: self.labels[1..].to_vec(),
+        }
+    }
+}
+
+/// Validate one label: 1–63 octets of letters, digits, `-` or `_`, not
+/// beginning or ending with `-`. Underscore is accepted because service
+/// labels (`_sip._tcp`) occur in real traffic.
+fn validate_label(l: &str) -> Result<()> {
+    if l.is_empty() {
+        return Err(DnsError::BadName("empty label".into()));
+    }
+    if l.len() > MAX_LABEL_OCTETS {
+        return Err(DnsError::LabelTooLong(l.len()));
+    }
+    if l.starts_with('-') || l.ends_with('-') {
+        return Err(DnsError::BadName(format!(
+            "label '{l}' begins or ends with a hyphen"
+        )));
+    }
+    for c in l.chars() {
+        if !(c.is_ascii_alphanumeric() || c == '-' || c == '_') {
+            return Err(DnsError::BadName(format!(
+                "label '{l}' contains invalid character '{c}'"
+            )));
+        }
+    }
+    Ok(())
+}
+
+impl FromStr for DomainName {
+    type Err = DnsError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(DomainName::root());
+        }
+        DomainName::from_labels(s.split('.'))
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        write!(f, "{}", self.labels.join("."))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(n("www.Example.COM").to_string(), "www.example.com");
+        assert_eq!(n("www.example.com.").to_string(), "www.example.com");
+        assert_eq!(DomainName::root().to_string(), ".");
+        assert_eq!("".parse::<DomainName>().unwrap(), DomainName::root());
+        assert_eq!(".".parse::<DomainName>().unwrap(), DomainName::root());
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert!("ex ample.com".parse::<DomainName>().is_err());
+        assert!("-bad.com".parse::<DomainName>().is_err());
+        assert!("bad-.com".parse::<DomainName>().is_err());
+        assert!("a..b".parse::<DomainName>().is_err());
+        let long = "a".repeat(64);
+        assert!(format!("{long}.com").parse::<DomainName>().is_err());
+    }
+
+    #[test]
+    fn rejects_overlong_names() {
+        let label = "a".repeat(60);
+        let name = [label.as_str(); 5].join(".");
+        assert!(matches!(
+            name.parse::<DomainName>(),
+            Err(DnsError::NameTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn underscore_labels_accepted() {
+        assert_eq!(n("_sip._tcp.example.com").label_count(), 4);
+    }
+
+    #[test]
+    fn tld_and_sld() {
+        let s = SuffixSet::builtin();
+        assert_eq!(n("www.example.com").tld(), Some("com"));
+        assert_eq!(
+            n("www.example.com").second_level_domain(&s).to_string(),
+            "example.com"
+        );
+        assert_eq!(
+            n("news.bbc.co.uk").second_level_domain(&s).to_string(),
+            "bbc.co.uk"
+        );
+        // A bare public suffix maps to itself.
+        assert_eq!(n("com").second_level_domain(&s).to_string(), "com");
+        assert_eq!(n("co.uk").second_level_domain(&s).to_string(), "co.uk");
+    }
+
+    #[test]
+    fn sub_labels_for_tokenizer() {
+        let s = SuffixSet::builtin();
+        assert_eq!(
+            n("smtp2.mail.google.com").sub_labels(&s),
+            &["smtp2".to_string(), "mail".to_string()]
+        );
+        assert!(n("google.com").sub_labels(&s).is_empty());
+        assert_eq!(n("media4.static.bbc.co.uk").sub_labels(&s).len(), 2);
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        assert!(n("www.example.com").is_subdomain_of(&n("example.com")));
+        assert!(n("example.com").is_subdomain_of(&n("example.com")));
+        assert!(!n("example.com").is_subdomain_of(&n("www.example.com")));
+        assert!(!n("badexample.com").is_subdomain_of(&n("example.com")));
+        assert!(n("anything.at.all").is_subdomain_of(&DomainName::root()));
+    }
+
+    #[test]
+    fn child_and_parent() {
+        let base = n("example.com");
+        let www = base.child("WWW").unwrap();
+        assert_eq!(www.to_string(), "www.example.com");
+        assert_eq!(www.parent(), base);
+        assert_eq!(DomainName::root().parent(), DomainName::root());
+        assert!(base.child("bad label").is_err());
+    }
+
+    #[test]
+    fn encoded_len_matches_wire_rule() {
+        assert_eq!(DomainName::root().encoded_len(), 1);
+        assert_eq!(n("a.bc").encoded_len(), 1 + 2 + 3); // 1a 2bc 0
+    }
+
+    #[test]
+    fn ordering_is_stable_for_map_keys() {
+        let mut v = vec![n("b.com"), n("a.com"), n("a.com")];
+        v.sort();
+        v.dedup();
+        assert_eq!(v, vec![n("a.com"), n("b.com")]);
+    }
+}

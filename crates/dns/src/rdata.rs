@@ -1,0 +1,141 @@
+//! Resource-record data for the record types passive monitoring encounters.
+
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::message::QType;
+use crate::name::DomainName;
+
+/// Typed RDATA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RData {
+    /// IPv4 host address.
+    A(Ipv4Addr),
+    /// IPv6 host address.
+    Aaaa(Ipv6Addr),
+    /// Canonical name alias.
+    Cname(DomainName),
+    /// Reverse pointer.
+    Ptr(DomainName),
+    /// Delegation.
+    Ns(DomainName),
+    /// Mail exchange.
+    Mx {
+        preference: u16,
+        exchange: DomainName,
+    },
+    /// Text strings.
+    Txt(Vec<String>),
+    /// Start of authority.
+    Soa {
+        mname: DomainName,
+        rname: DomainName,
+        serial: u32,
+        refresh: u32,
+        retry: u32,
+        expire: u32,
+        minimum: u32,
+    },
+    /// Anything else, preserved raw.
+    Unknown { rtype: u16, data: Vec<u8> },
+}
+
+impl RData {
+    /// The record type this data corresponds to.
+    pub fn rtype(&self) -> QType {
+        match self {
+            RData::A(_) => QType::A,
+            RData::Aaaa(_) => QType::Aaaa,
+            RData::Cname(_) => QType::Cname,
+            RData::Ptr(_) => QType::Ptr,
+            RData::Ns(_) => QType::Ns,
+            RData::Mx { .. } => QType::Mx,
+            RData::Txt(_) => QType::Txt,
+            RData::Soa { .. } => QType::Soa,
+            RData::Unknown { rtype, .. } => QType::Other(*rtype),
+        }
+    }
+
+    /// The address carried, if this is an A/AAAA record.
+    pub fn ip(&self) -> Option<std::net::IpAddr> {
+        match self {
+            RData::A(a) => Some(std::net::IpAddr::V4(*a)),
+            RData::Aaaa(a) => Some(std::net::IpAddr::V6(*a)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RData::A(a) => write!(f, "A {a}"),
+            RData::Aaaa(a) => write!(f, "AAAA {a}"),
+            RData::Cname(n) => write!(f, "CNAME {n}"),
+            RData::Ptr(n) => write!(f, "PTR {n}"),
+            RData::Ns(n) => write!(f, "NS {n}"),
+            RData::Mx {
+                preference,
+                exchange,
+            } => write!(f, "MX {preference} {exchange}"),
+            RData::Txt(strings) => write!(f, "TXT {}", strings.join(" ")),
+            RData::Soa { mname, serial, .. } => write!(f, "SOA {mname} serial={serial}"),
+            RData::Unknown { rtype, data } => write!(f, "TYPE{rtype} ({} bytes)", data.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtype_mapping() {
+        assert_eq!(RData::A(Ipv4Addr::LOCALHOST).rtype(), QType::A);
+        assert_eq!(RData::Aaaa(Ipv6Addr::LOCALHOST).rtype(), QType::Aaaa);
+        assert_eq!(
+            RData::Cname("a.com".parse().unwrap()).rtype(),
+            QType::Cname
+        );
+        assert_eq!(
+            RData::Unknown {
+                rtype: 99,
+                data: vec![]
+            }
+            .rtype(),
+            QType::Other(99)
+        );
+    }
+
+    #[test]
+    fn ip_extraction() {
+        assert_eq!(
+            RData::A(Ipv4Addr::new(1, 2, 3, 4)).ip(),
+            Some("1.2.3.4".parse().unwrap())
+        );
+        assert_eq!(
+            RData::Aaaa("2001:db8::1".parse().unwrap()).ip(),
+            Some("2001:db8::1".parse().unwrap())
+        );
+        assert_eq!(RData::Txt(vec![]).ip(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RData::A(Ipv4Addr::new(1, 2, 3, 4)).to_string(), "A 1.2.3.4");
+        assert_eq!(
+            RData::Mx {
+                preference: 10,
+                exchange: "mx.example.com".parse().unwrap()
+            }
+            .to_string(),
+            "MX 10 mx.example.com"
+        );
+        assert!(RData::Unknown {
+            rtype: 250,
+            data: vec![1, 2]
+        }
+        .to_string()
+        .contains("TYPE250"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-flow accounting records.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dpi::{self, AppProtocol};
+use crate::tcp_state::{TcpConnState, TcpTracker};
+use crate::tls::{self, TlsInfo};
+use crate::tuple::FlowKey;
+
+/// Packet direction relative to the flow's client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowDirection {
+    ClientToServer,
+    ServerToClient,
+}
+
+/// How many leading payload bytes each direction keeps for DPI.
+pub const DPI_SNAP: usize = 1024;
+
+/// Accumulated state for one layer-4 flow.
+#[derive(Debug, Clone)]
+pub struct FlowRecord {
+    pub key: FlowKey,
+    /// Timestamp (µs) of the first packet.
+    pub first_ts: u64,
+    /// Timestamp (µs) of the most recent packet.
+    pub last_ts: u64,
+    pub packets_c2s: u64,
+    pub packets_s2c: u64,
+    pub bytes_c2s: u64,
+    pub bytes_s2c: u64,
+    /// First payload bytes in each direction (up to [`DPI_SNAP`]).
+    pub head_c2s: Vec<u8>,
+    pub head_s2c: Vec<u8>,
+    tcp: TcpTracker,
+    /// Cached DPI verdict; recomputed lazily when new head bytes arrive.
+    dpi_dirty: bool,
+    dpi_cache: AppProtocol,
+}
+
+impl FlowRecord {
+    /// Start a record at the first observed packet.
+    pub fn new(key: FlowKey, ts: u64) -> Self {
+        FlowRecord {
+            key,
+            first_ts: ts,
+            last_ts: ts,
+            packets_c2s: 0,
+            packets_s2c: 0,
+            bytes_c2s: 0,
+            bytes_s2c: 0,
+            head_c2s: Vec::new(),
+            head_s2c: Vec::new(),
+            tcp: TcpTracker::new(),
+            dpi_dirty: true,
+            dpi_cache: AppProtocol::Other,
+        }
+    }
+
+    /// Account one packet. `wire_bytes` is the full frame length,
+    /// `payload` the transport payload.
+    pub fn observe(
+        &mut self,
+        direction: FlowDirection,
+        ts: u64,
+        wire_bytes: usize,
+        payload: &[u8],
+        tcp_flags: Option<dnhunter_net::TcpFlags>,
+    ) {
+        self.last_ts = self.last_ts.max(ts);
+        let from_client = matches!(direction, FlowDirection::ClientToServer);
+        let (packets, bytes, head) = if from_client {
+            (&mut self.packets_c2s, &mut self.bytes_c2s, &mut self.head_c2s)
+        } else {
+            (&mut self.packets_s2c, &mut self.bytes_s2c, &mut self.head_s2c)
+        };
+        *packets += 1;
+        *bytes += wire_bytes as u64;
+        if !payload.is_empty() && head.len() < DPI_SNAP {
+            let take = (DPI_SNAP - head.len()).min(payload.len());
+            head.extend_from_slice(&payload[..take]);
+            self.dpi_dirty = true;
+        }
+        if let Some(flags) = tcp_flags {
+            self.tcp.observe(from_client, flags, payload.len());
+        }
+    }
+
+    /// TCP connection state (meaningless for UDP flows).
+    pub fn tcp_state(&self) -> TcpConnState {
+        self.tcp.state()
+    }
+
+    /// DPI protocol verdict over the captured head bytes.
+    pub fn protocol(&mut self) -> AppProtocol {
+        if self.dpi_dirty {
+            self.dpi_cache = dpi::classify(&self.head_c2s, &self.head_s2c, self.key.server_port);
+            self.dpi_dirty = false;
+        }
+        self.dpi_cache
+    }
+
+    /// DPI verdict without mutation (recomputes if dirty).
+    pub fn protocol_now(&self) -> AppProtocol {
+        if self.dpi_dirty {
+            dpi::classify(&self.head_c2s, &self.head_s2c, self.key.server_port)
+        } else {
+            self.dpi_cache
+        }
+    }
+
+    /// TLS handshake information extracted from both directions.
+    pub fn tls_info(&self) -> TlsInfo {
+        let mut info = tls::inspect(&self.head_c2s);
+        let server = tls::inspect(&self.head_s2c);
+        info.server_hello |= server.server_hello;
+        info.certificate_seen |= server.certificate_seen;
+        if info.certificate_cn.is_none() {
+            info.certificate_cn = server.certificate_cn;
+        }
+        info
+    }
+
+    /// Total packets both directions.
+    pub fn packets(&self) -> u64 {
+        self.packets_c2s + self.packets_s2c
+    }
+
+    /// Duration in microseconds.
+    pub fn duration_micros(&self) -> u64 {
+        self.last_ts - self.first_ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http;
+    use dnhunter_net::{IpProtocol, TcpFlags};
+
+    fn key() -> FlowKey {
+        FlowKey::from_initiator(
+            "10.0.0.1".parse().unwrap(),
+            "23.4.5.6".parse().unwrap(),
+            50000,
+            80,
+            IpProtocol::Tcp,
+        )
+    }
+
+    #[test]
+    fn accounting_per_direction() {
+        let mut r = FlowRecord::new(key(), 1_000);
+        r.observe(FlowDirection::ClientToServer, 1_000, 74, &[], Some(TcpFlags::SYN));
+        r.observe(FlowDirection::ServerToClient, 1_100, 74, &[], Some(TcpFlags::SYN | TcpFlags::ACK));
+        r.observe(FlowDirection::ClientToServer, 1_200, 66, &[], Some(TcpFlags::ACK));
+        let req = http::build_request("GET", "/", "a.com", "x");
+        r.observe(FlowDirection::ClientToServer, 1_300, 66 + req.len(), &req, Some(TcpFlags::PSH | TcpFlags::ACK));
+        assert_eq!(r.packets_c2s, 3);
+        assert_eq!(r.packets_s2c, 1);
+        assert_eq!(r.packets(), 4);
+        assert_eq!(r.duration_micros(), 300);
+        assert!(r.tcp_state().is_established());
+        assert_eq!(r.protocol(), AppProtocol::Http);
+    }
+
+    #[test]
+    fn head_capture_is_bounded() {
+        let mut r = FlowRecord::new(key(), 0);
+        let big = vec![0x41u8; DPI_SNAP * 2];
+        r.observe(FlowDirection::ClientToServer, 1, big.len(), &big, None);
+        r.observe(FlowDirection::ClientToServer, 2, big.len(), &big, None);
+        assert_eq!(r.head_c2s.len(), DPI_SNAP);
+    }
+
+    #[test]
+    fn dpi_cache_updates_with_new_bytes() {
+        let mut r = FlowRecord::new(key(), 0);
+        assert_eq!(r.protocol(), AppProtocol::Other);
+        let ch = crate::tls::build_client_hello(Some("secure.example.com"), 3);
+        r.observe(FlowDirection::ClientToServer, 1, ch.len(), &ch, None);
+        assert_eq!(r.protocol(), AppProtocol::Tls);
+        assert_eq!(r.protocol_now(), AppProtocol::Tls);
+    }
+
+    #[test]
+    fn tls_info_merges_directions() {
+        let mut r = FlowRecord::new(key(), 0);
+        let ch = crate::tls::build_client_hello(Some("mail.google.com"), 3);
+        let fl = crate::tls::build_server_flight(Some("*.google.com"), 4);
+        r.observe(FlowDirection::ClientToServer, 1, ch.len(), &ch, None);
+        r.observe(FlowDirection::ServerToClient, 2, fl.len(), &fl, None);
+        let info = r.tls_info();
+        assert_eq!(info.sni.as_deref(), Some("mail.google.com"));
+        assert_eq!(info.certificate_cn.as_deref(), Some("*.google.com"));
+        assert!(info.server_hello);
+    }
+}

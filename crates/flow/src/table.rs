@@ -1,0 +1,350 @@
+//! The flow table: aggregates packets into flows and emits completed flows.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use dnhunter_net::{IpProtocol, Packet, TransportHeader};
+
+use crate::record::{FlowDirection, FlowRecord};
+use crate::tuple::FlowKey;
+
+/// Tuning knobs for the flow table.
+#[derive(Debug, Clone)]
+pub struct FlowTableConfig {
+    /// Idle timeout (µs) after which a flow is considered finished.
+    pub idle_timeout_micros: u64,
+    /// How often (µs) to scan for idle flows.
+    pub eviction_interval_micros: u64,
+    /// Extra linger (µs) after FIN/RST before eviction, to absorb
+    /// retransmissions.
+    pub terminal_linger_micros: u64,
+}
+
+impl Default for FlowTableConfig {
+    fn default() -> Self {
+        FlowTableConfig {
+            idle_timeout_micros: 120 * 1_000_000,
+            eviction_interval_micros: 10 * 1_000_000,
+            terminal_linger_micros: 2 * 1_000_000,
+        }
+    }
+}
+
+/// Events emitted while processing packets.
+#[derive(Debug)]
+pub enum FlowEvent {
+    /// A new flow was created (paper: the moment the tagger queries the
+    /// DNS resolver).
+    FlowStarted(FlowKey),
+    /// A flow finished (FIN/RST + linger, or idle timeout) and is handed off.
+    FlowFinished(Box<FlowRecord>),
+}
+
+/// Aggregates packets on the 5-tuple. The *initiator* of a flow is whichever
+/// endpoint sent its first observed packet, matching how a PoP-located
+/// sniffer orients flows.
+pub struct FlowTable {
+    config: FlowTableConfig,
+    flows: HashMap<FlowKey, FlowRecord>,
+    last_eviction: u64,
+    total_created: u64,
+    total_finished: u64,
+}
+
+impl FlowTable {
+    /// Fresh table.
+    pub fn new(config: FlowTableConfig) -> Self {
+        FlowTable {
+            config,
+            flows: HashMap::new(),
+            last_eviction: 0,
+            total_created: 0,
+            total_finished: 0,
+        }
+    }
+
+    /// Number of live flows.
+    pub fn live_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Flows created since start.
+    pub fn total_created(&self) -> u64 {
+        self.total_created
+    }
+
+    /// Flows finished (emitted) since start.
+    pub fn total_finished(&self) -> u64 {
+        self.total_finished
+    }
+
+    /// Feed one parsed packet; returns the events it produced.
+    /// `ts` is the capture timestamp in microseconds.
+    pub fn process(&mut self, ts: u64, pkt: &Packet, wire_bytes: usize) -> Vec<FlowEvent> {
+        let mut events = Vec::new();
+        let (src_port, dst_port, tcp_flags) = match &pkt.transport {
+            TransportHeader::Tcp(h) => (h.src_port, h.dst_port, Some(h.flags)),
+            TransportHeader::Udp(h) => (h.src_port, h.dst_port, None),
+            TransportHeader::Opaque(_) => return events, // not reconstructed
+        };
+        let proto = pkt.ip.protocol();
+        let (key, direction) =
+            self.orient(pkt.src_ip(), src_port, pkt.dst_ip(), dst_port, proto);
+        // A fresh SYN on a terminated flow starts a new flow on the same
+        // 5-tuple (port reuse); emit the old record first.
+        if let Some(flags) = tcp_flags {
+            if flags.syn() && !flags.ack() {
+                if let Some(existing) = self.flows.get(&key) {
+                    if existing.tcp_state().is_terminal() {
+                        let old = self.flows.remove(&key).expect("checked above");
+                        self.total_finished += 1;
+                        events.push(FlowEvent::FlowFinished(Box::new(old)));
+                    }
+                }
+            }
+        }
+        let record = self.flows.entry(key).or_insert_with(|| {
+            events.push(FlowEvent::FlowStarted(key));
+            self.total_created += 1;
+            FlowRecord::new(key, ts)
+        });
+        record.observe(direction, ts, wire_bytes, &pkt.payload, tcp_flags);
+
+        // Immediate eviction on terminal state is deferred by a linger so
+        // late retransmissions don't recreate the flow; the periodic scan
+        // below handles both idle and terminal flows.
+        if ts.saturating_sub(self.last_eviction) >= self.config.eviction_interval_micros {
+            self.last_eviction = ts;
+            events.extend(self.evict(ts));
+        }
+        events
+    }
+
+    /// Orient a packet: reuse the existing flow (either direction), else the
+    /// sender is the initiator of a new flow.
+    fn orient(
+        &self,
+        src: IpAddr,
+        src_port: u16,
+        dst: IpAddr,
+        dst_port: u16,
+        proto: IpProtocol,
+    ) -> (FlowKey, FlowDirection) {
+        let forward = FlowKey::from_initiator(src, dst, src_port, dst_port, proto);
+        if self.flows.contains_key(&forward) {
+            return (forward, FlowDirection::ClientToServer);
+        }
+        let reverse = forward.reversed();
+        if self.flows.contains_key(&reverse) {
+            return (reverse, FlowDirection::ServerToClient);
+        }
+        (forward, FlowDirection::ClientToServer)
+    }
+
+    /// Evict idle/terminated flows as of time `now`. Emission order is
+    /// deterministic (by first-packet time, then 5-tuple) so identical
+    /// inputs give identical outputs regardless of hash seeding.
+    fn evict(&mut self, now: u64) -> Vec<FlowEvent> {
+        let idle = self.config.idle_timeout_micros;
+        let linger = self.config.terminal_linger_micros;
+        let mut expired: Vec<FlowKey> = self
+            .flows
+            .iter()
+            .filter(|(_, r)| {
+                let silent = now.saturating_sub(r.last_ts);
+                silent >= idle || (r.tcp_state().is_terminal() && silent >= linger)
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        Self::sort_keys(&self.flows, &mut expired);
+        let mut events = Vec::with_capacity(expired.len());
+        for k in expired {
+            if let Some(r) = self.flows.remove(&k) {
+                self.total_finished += 1;
+                events.push(FlowEvent::FlowFinished(Box::new(r)));
+            }
+        }
+        events
+    }
+
+    /// Flush every remaining flow (end of trace), in deterministic order.
+    pub fn flush(&mut self) -> Vec<FlowEvent> {
+        let mut keys: Vec<FlowKey> = self.flows.keys().copied().collect();
+        Self::sort_keys(&self.flows, &mut keys);
+        let mut events = Vec::with_capacity(keys.len());
+        for k in keys {
+            if let Some(r) = self.flows.remove(&k) {
+                self.total_finished += 1;
+                events.push(FlowEvent::FlowFinished(Box::new(r)));
+            }
+        }
+        events
+    }
+
+    fn sort_keys(flows: &HashMap<FlowKey, FlowRecord>, keys: &mut [FlowKey]) {
+        keys.sort_by_key(|k| {
+            let first_ts = flows.get(k).map_or(0, |r| r.first_ts);
+            (
+                first_ts,
+                k.client,
+                k.client_port,
+                k.server,
+                k.server_port,
+                k.protocol,
+            )
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnhunter_net::{build_tcp_v4, build_udp_v4, MacAddr, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    fn client() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 3)
+    }
+    fn server() -> Ipv4Addr {
+        Ipv4Addr::new(23, 1, 2, 3)
+    }
+
+    fn tcp_pkt(from_client: bool, flags: TcpFlags, payload: &[u8]) -> Packet {
+        let (s, d, sp, dp) = if from_client {
+            (client(), server(), 50000, 80)
+        } else {
+            (server(), client(), 80, 50000)
+        };
+        let frame = build_tcp_v4(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            s,
+            d,
+            sp,
+            dp,
+            1,
+            1,
+            flags,
+            payload,
+        )
+        .unwrap();
+        Packet::parse(&frame).unwrap()
+    }
+
+    #[test]
+    fn flow_lifecycle_and_orientation() {
+        let mut t = FlowTable::new(FlowTableConfig::default());
+        let ev = t.process(0, &tcp_pkt(true, TcpFlags::SYN, &[]), 74);
+        assert!(matches!(ev.as_slice(), [FlowEvent::FlowStarted(_)]));
+        t.process(100, &tcp_pkt(false, TcpFlags::SYN | TcpFlags::ACK, &[]), 74);
+        t.process(200, &tcp_pkt(true, TcpFlags::ACK, &[]), 66);
+        assert_eq!(t.live_flows(), 1);
+        assert_eq!(t.total_created(), 1);
+        // The single flow is oriented client→server.
+        let finished = t.flush();
+        assert_eq!(finished.len(), 1);
+        match &finished[0] {
+            FlowEvent::FlowFinished(r) => {
+                assert_eq!(r.key.client, IpAddr::V4(client()));
+                assert_eq!(r.key.server_port, 80);
+                assert_eq!(r.packets_c2s, 2);
+                assert_eq!(r.packets_s2c, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_first_packet_orients_server_as_initiator() {
+        // If the trace catches the server's packet first (mid-flow pickup),
+        // the flow is oriented from the first packet seen — the documented
+        // passive-monitoring behaviour.
+        let mut t = FlowTable::new(FlowTableConfig::default());
+        t.process(0, &tcp_pkt(false, TcpFlags::ACK, b"data"), 70);
+        let finished = t.flush();
+        match &finished[0] {
+            FlowEvent::FlowFinished(r) => {
+                assert_eq!(r.key.client, IpAddr::V4(server()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn idle_timeout_evicts() {
+        let mut t = FlowTable::new(FlowTableConfig {
+            idle_timeout_micros: 1_000,
+            eviction_interval_micros: 500,
+            terminal_linger_micros: 100,
+        });
+        t.process(0, &tcp_pkt(true, TcpFlags::SYN, &[]), 74);
+        // A later unrelated packet triggers the eviction scan.
+        let udp_frame = build_udp_v4(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            client(),
+            Ipv4Addr::new(8, 8, 8, 8),
+            40000,
+            53,
+            b"q",
+        )
+        .unwrap();
+        let udp = Packet::parse(&udp_frame).unwrap();
+        let ev = t.process(10_000, &udp, udp_frame.len());
+        let finished: Vec<_> = ev
+            .iter()
+            .filter(|e| matches!(e, FlowEvent::FlowFinished(_)))
+            .collect();
+        assert_eq!(finished.len(), 1);
+        assert_eq!(t.live_flows(), 1); // the UDP flow remains
+    }
+
+    #[test]
+    fn fin_fin_evicts_after_linger() {
+        let mut t = FlowTable::new(FlowTableConfig {
+            idle_timeout_micros: 1_000_000,
+            eviction_interval_micros: 1,
+            terminal_linger_micros: 10,
+        });
+        t.process(0, &tcp_pkt(true, TcpFlags::SYN, &[]), 74);
+        t.process(10, &tcp_pkt(false, TcpFlags::SYN | TcpFlags::ACK, &[]), 74);
+        t.process(20, &tcp_pkt(true, TcpFlags::FIN | TcpFlags::ACK, &[]), 66);
+        t.process(30, &tcp_pkt(false, TcpFlags::FIN | TcpFlags::ACK, &[]), 66);
+        // Next packet long after linger triggers eviction of the closed flow.
+        let ev = t.process(1_000, &tcp_pkt(true, TcpFlags::SYN, &[]), 74);
+        // Note: same 5-tuple — the closed flow is emitted and a new one starts.
+        let finished = ev
+            .iter()
+            .any(|e| matches!(e, FlowEvent::FlowFinished(_)));
+        assert!(finished);
+        assert_eq!(t.total_finished(), 1);
+    }
+
+    #[test]
+    fn udp_flows_are_tracked() {
+        let mut t = FlowTable::new(FlowTableConfig::default());
+        let frame = build_udp_v4(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            client(),
+            Ipv4Addr::new(8, 8, 4, 4),
+            40000,
+            53,
+            b"query",
+        )
+        .unwrap();
+        let pkt = Packet::parse(&frame).unwrap();
+        t.process(0, &pkt, frame.len());
+        assert_eq!(t.live_flows(), 1);
+        let finished = t.flush();
+        match &finished[0] {
+            FlowEvent::FlowFinished(r) => {
+                assert_eq!(r.key.protocol(), IpProtocol::Udp);
+                assert_eq!(r.key.server_port, 53);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    use std::net::IpAddr;
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for flow reconstruction and DPI.
+
+use dnhunter_flow::tls::{self, x509};
+use dnhunter_flow::{bittorrent, dpi, http, AppProtocol, FlowEvent, FlowTable, FlowTableConfig};
+use dnhunter_net::{build_tcp_v4, MacAddr, Packet, TcpFlags};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_host() -> impl Strategy<Value = String> {
+    "[a-z]{1,10}\\.[a-z]{2,8}\\.(com|net|org)"
+}
+
+proptest! {
+    /// SNI round-trips through ClientHello build + inspect for any host.
+    #[test]
+    fn sni_roundtrip(host in arb_host(), seed in any::<u64>()) {
+        let ch = tls::build_client_hello(Some(&host), seed);
+        let info = tls::inspect(&ch);
+        prop_assert_eq!(info.sni.as_deref(), Some(host.as_str()));
+    }
+
+    /// Certificate CN round-trips through the X.509 subset for any
+    /// hostname-ish string, including wildcards.
+    #[test]
+    fn cn_roundtrip(host in arb_host(), wildcard in any::<bool>()) {
+        let cn = if wildcard { format!("*.{host}") } else { host };
+        let der = x509::build_certificate(&cn, "Test CA");
+        prop_assert_eq!(x509::extract_common_name(&der), Some(cn.to_ascii_lowercase()));
+    }
+
+    /// The DPI classifier never panics and is deterministic on arbitrary
+    /// head bytes.
+    #[test]
+    fn dpi_total_and_deterministic(
+        c2s in proptest::collection::vec(any::<u8>(), 0..120),
+        s2c in proptest::collection::vec(any::<u8>(), 0..120),
+        port in any::<u16>(),
+    ) {
+        let a = dpi::classify(&c2s, &s2c, port);
+        let b = dpi::classify(&c2s, &s2c, port);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A valid HTTP request is always detected, whatever the path/host.
+    #[test]
+    fn http_detection(host in arb_host(), path in "/[a-z0-9/]{0,20}") {
+        let req = http::build_request("GET", &path, &host, "agent/1.0");
+        prop_assert!(http::looks_like_http_request(&req));
+        let parsed = http::parse_request(&req).unwrap();
+        prop_assert_eq!(parsed.host.as_deref(), Some(host.as_str()));
+        prop_assert_eq!(dpi::classify(&req, &[], 80), AppProtocol::Http);
+    }
+
+    /// Tracker announces always classify as P2P regardless of port.
+    #[test]
+    fn tracker_is_p2p(host in arb_host(), hash in "[0-9a-f]{8,40}", port in any::<u16>()) {
+        let ann = bittorrent::build_tracker_announce(&host, &hash, 6881);
+        prop_assert_eq!(dpi::classify(&ann, &[], port), AppProtocol::P2p);
+    }
+
+    /// The flow table conserves packets: every processed packet is counted
+    /// in exactly one emitted flow.
+    #[test]
+    fn flow_table_conserves_packets(
+        packets in proptest::collection::vec(
+            (0u8..4, 0u8..4, 1u16..5, 0u8..16, proptest::collection::vec(any::<u8>(), 0..40)),
+            1..60,
+        )
+    ) {
+        let mut table = FlowTable::new(FlowTableConfig::default());
+        let mut fed = 0u64;
+        let mut counted = 0u64;
+        for (i, (c, s, sport, flag_bits, payload)) in packets.into_iter().enumerate() {
+            let frame = build_tcp_v4(
+                MacAddr::from_id(1), MacAddr::from_id(2),
+                Ipv4Addr::new(10, 0, 0, c + 1),
+                Ipv4Addr::new(23, 0, 0, s + 1),
+                30_000 + sport,
+                80,
+                i as u32,
+                0,
+                TcpFlags(flag_bits & 0x3f),
+                &payload,
+            ).unwrap();
+            let pkt = Packet::parse(&frame).unwrap();
+            // Flows may be emitted mid-stream (port reuse after FIN/RST);
+            // count those too.
+            for ev in table.process(i as u64 * 1_000, &pkt, frame.len()) {
+                if let FlowEvent::FlowFinished(r) = ev {
+                    counted += r.packets();
+                }
+            }
+            fed += 1;
+        }
+        for ev in table.flush() {
+            if let FlowEvent::FlowFinished(r) = ev {
+                counted += r.packets();
+            }
+        }
+        prop_assert_eq!(counted, fed);
+    }
+}

@@ -1,0 +1,97 @@
+//! IP protocol numbers (the `protocol` / `next header` field).
+
+use std::fmt;
+
+/// Subset of IANA-assigned IP protocol numbers that DN-Hunter cares about,
+/// with a catch-all for everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IpProtocol {
+    /// ICMP (1).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// ICMPv6 (58).
+    Icmpv6,
+    /// Anything else, with the raw value preserved.
+    Other(u8),
+}
+
+impl IpProtocol {
+    /// Numeric value as it appears on the wire.
+    pub fn number(self) -> u8 {
+        match self {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Icmpv6 => 58,
+            IpProtocol::Other(n) => n,
+        }
+    }
+
+    /// True for the two transport protocols the flow sniffer reconstructs.
+    pub fn is_transport(self) -> bool {
+        matches!(self, IpProtocol::Tcp | IpProtocol::Udp)
+    }
+}
+
+impl From<u8> for IpProtocol {
+    fn from(n: u8) -> Self {
+        match n {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            58 => IpProtocol::Icmpv6,
+            other => IpProtocol::Other(other),
+        }
+    }
+}
+
+impl From<IpProtocol> for u8 {
+    fn from(p: IpProtocol) -> u8 {
+        p.number()
+    }
+}
+
+impl fmt::Display for IpProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpProtocol::Icmp => write!(f, "ICMP"),
+            IpProtocol::Tcp => write!(f, "TCP"),
+            IpProtocol::Udp => write!(f, "UDP"),
+            IpProtocol::Icmpv6 => write!(f, "ICMPv6"),
+            IpProtocol::Other(n) => write!(f, "proto-{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_known_and_unknown() {
+        for n in 0..=255u8 {
+            let p = IpProtocol::from(n);
+            assert_eq!(p.number(), n);
+        }
+        assert_eq!(IpProtocol::from(6), IpProtocol::Tcp);
+        assert_eq!(IpProtocol::from(17), IpProtocol::Udp);
+        assert_eq!(IpProtocol::from(99), IpProtocol::Other(99));
+    }
+
+    #[test]
+    fn transport_classification() {
+        assert!(IpProtocol::Tcp.is_transport());
+        assert!(IpProtocol::Udp.is_transport());
+        assert!(!IpProtocol::Icmp.is_transport());
+        assert!(!IpProtocol::Other(47).is_transport());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IpProtocol::Tcp.to_string(), "TCP");
+        assert_eq!(IpProtocol::Other(47).to_string(), "proto-47");
+    }
+}

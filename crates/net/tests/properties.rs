@@ -1,0 +1,119 @@
+//! Property-based tests for the wire codecs.
+
+use dnhunter_net::{
+    build_tcp_v4, build_udp_v4, MacAddr, Packet, PcapReader, PcapRecord, PcapWriter, TcpFlags,
+    TransportHeader,
+};
+use proptest::prelude::*;
+use std::io::Cursor;
+use std::net::Ipv4Addr;
+
+fn arb_ipv4() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+proptest! {
+    /// Any UDP frame we build parses back to the same endpoints/payload.
+    #[test]
+    fn udp_frame_roundtrip(
+        src in arb_ipv4(),
+        dst in arb_ipv4(),
+        sm in arb_mac(),
+        dm in arb_mac(),
+        sport in 1u16..,
+        dport in 1u16..,
+        payload in proptest::collection::vec(any::<u8>(), 0..1200),
+    ) {
+        let frame = build_udp_v4(sm, dm, src, dst, sport, dport, &payload).unwrap();
+        let pkt = Packet::parse(&frame).unwrap();
+        prop_assert_eq!(pkt.src_ip(), std::net::IpAddr::V4(src));
+        prop_assert_eq!(pkt.dst_ip(), std::net::IpAddr::V4(dst));
+        prop_assert_eq!(pkt.transport.src_port(), Some(sport));
+        prop_assert_eq!(pkt.transport.dst_port(), Some(dport));
+        prop_assert_eq!(pkt.payload, payload);
+    }
+
+    /// Any TCP frame we build parses back with the same header fields.
+    #[test]
+    fn tcp_frame_roundtrip(
+        src in arb_ipv4(),
+        dst in arb_ipv4(),
+        sport in 1u16..,
+        dport in 1u16..,
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flag_bits in 0u8..64,
+        payload in proptest::collection::vec(any::<u8>(), 0..1400),
+    ) {
+        let flags = TcpFlags(flag_bits);
+        let frame = build_tcp_v4(
+            MacAddr::from_id(1), MacAddr::from_id(2),
+            src, dst, sport, dport, seq, ack, flags, &payload,
+        ).unwrap();
+        let pkt = Packet::parse(&frame).unwrap();
+        match &pkt.transport {
+            TransportHeader::Tcp(h) => {
+                prop_assert_eq!(h.src_port, sport);
+                prop_assert_eq!(h.dst_port, dport);
+                prop_assert_eq!(h.seq, seq);
+                prop_assert_eq!(h.ack, ack);
+                prop_assert_eq!(h.flags.0, flag_bits);
+            }
+            other => prop_assert!(false, "expected TCP, got {:?}", other),
+        }
+        prop_assert_eq!(pkt.payload, payload);
+    }
+
+    /// Corrupting any single byte of a UDP frame never panics the parser,
+    /// and either fails parsing or is detectable via the UDP checksum.
+    #[test]
+    fn corruption_is_safe(
+        payload in proptest::collection::vec(any::<u8>(), 1..200),
+        pos_seed in any::<usize>(),
+        delta in 1u8..,
+    ) {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(192, 0, 2, 9);
+        let mut frame = build_udp_v4(
+            MacAddr::from_id(1), MacAddr::from_id(2),
+            src, dst, 1000, 2000, &payload,
+        ).unwrap();
+        let pos = pos_seed % frame.len();
+        frame[pos] ^= delta;
+        let _ = Packet::parse(&frame); // must not panic
+    }
+
+    /// pcap files round-trip arbitrary record sequences.
+    #[test]
+    fn pcap_roundtrip(
+        records in proptest::collection::vec(
+            (any::<u32>(), 0u32..1_000_000, proptest::collection::vec(any::<u8>(), 0..300)),
+            0..20,
+        )
+    ) {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        let input: Vec<PcapRecord> = records
+            .into_iter()
+            .map(|(s, us, frame)| PcapRecord { ts_sec: s, ts_usec: us, frame })
+            .collect();
+        for r in &input {
+            w.write_record(r).unwrap();
+        }
+        let bytes = w.into_inner().unwrap();
+        let back: Vec<PcapRecord> = PcapReader::new(Cursor::new(bytes))
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        prop_assert_eq!(back, input);
+    }
+
+    /// The parser never panics on arbitrary junk.
+    #[test]
+    fn parser_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Packet::parse(&junk);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for prefixes and longest-prefix matching.
+
+use dnhunter_orgdb::{OrgDb, OrgKind, Prefix};
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr};
+
+proptest! {
+    /// A prefix always contains its own network address, and
+    /// canonicalisation is idempotent.
+    #[test]
+    fn prefix_contains_network(bits in any::<u32>(), len in 0u8..=32) {
+        let p = Prefix::new(IpAddr::V4(Ipv4Addr::from(bits)), len).unwrap();
+        prop_assert!(p.contains(p.network()));
+        let q = Prefix::new(p.network(), len).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// Any address whose masked form equals the network is contained, and
+    /// vice versa.
+    #[test]
+    fn containment_matches_masking(bits in any::<u32>(), probe in any::<u32>(), len in 0u8..=32) {
+        let p = Prefix::new(IpAddr::V4(Ipv4Addr::from(bits)), len).unwrap();
+        let ip = IpAddr::V4(Ipv4Addr::from(probe));
+        let masked = Prefix::new(ip, len).unwrap().network();
+        prop_assert_eq!(p.contains(ip), masked == p.network());
+    }
+
+    /// Display → parse round-trips.
+    #[test]
+    fn prefix_display_parse(bits in any::<u32>(), len in 0u8..=32) {
+        let p = Prefix::new(IpAddr::V4(Ipv4Addr::from(bits)), len).unwrap();
+        let back: Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    /// Longest-prefix match: when two nested prefixes are announced for
+    /// different orgs, addresses in the inner one always resolve to it.
+    #[test]
+    fn longest_prefix_wins(
+        outer_bits in any::<u32>(),
+        outer_len in 1u8..=16,
+        extra in 1u8..=8,
+        host in any::<u32>(),
+    ) {
+        let inner_len = outer_len + extra;
+        let outer = Prefix::new(IpAddr::V4(Ipv4Addr::from(outer_bits)), outer_len).unwrap();
+        // An inner prefix inside the outer one.
+        let inner = Prefix::new(outer.network(), inner_len).unwrap();
+        let mut db = OrgDb::new();
+        let big = db.add_org("big", OrgKind::Isp);
+        let small = db.add_org("small", OrgKind::Cloud);
+        db.announce(big, outer);
+        db.announce(small, inner);
+        // Any host in the inner prefix goes to "small".
+        let probe_inner = Prefix::new(
+            IpAddr::V4(inner.v4_host(host).unwrap()),
+            32,
+        )
+        .unwrap()
+        .network();
+        prop_assert_eq!(db.org_name(probe_inner), "small");
+        // The outer network itself maps to whichever prefix covers it most
+        // specifically; it's inside inner (same base) so also "small",
+        // but an address outside inner with the outer prefix maps to "big"
+        // whenever one exists.
+        if inner_len < 32 {
+            let flip_bit = 1u32 << (32 - u32::from(inner_len) - 1).min(31);
+            let outside = match outer.network() {
+                IpAddr::V4(a) => u32::from(a) ^ flip_bit,
+                IpAddr::V6(_) => unreachable!("v4 only in this test"),
+            };
+            let ip = IpAddr::V4(Ipv4Addr::from(outside));
+            if outer.contains(ip) && !inner.contains(ip) {
+                prop_assert_eq!(db.org_name(ip), "big");
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # dnhunter-resolver
+//!
+//! The **DNS Resolver** of DN-Hunter (paper §3.1.1, Fig. 2, Algorithm 1):
+//! a replica of the monitored clients' DNS caches built by sniffing DNS
+//! responses.
+//!
+//! * FQDN entries live in a FIFO circular list (*Clist*) of size `L`
+//!   ([`clist`]), which bounds entry lifetime without garbage collection.
+//! * Lookup goes `clientIP → serverIP → FQDN` through two levels of maps
+//!   ([`maps`]); the paper uses ordered C++ `map`s and notes hash tables as
+//!   an alternative — both are provided and benchmarked.
+//! * When a Clist slot is overwritten, its back-references are removed from
+//!   the maps (Algorithm 1 lines 23–25).
+//! * [`DnsResolver::lookup`] implements lines 27–34: given the
+//!   `(clientIP, serverIP)` of a new flow, return the FQDN the client
+//!   resolved most recently for that server.
+//!
+//! Extensions evaluated in the paper's §6 are included: a multi-label mode
+//! (return *all* recent FQDNs for a pair, quantifying label confusion) and a
+//! [`shard`]ed variant for scaling to larger client populations.
+
+pub mod clist;
+pub mod dimensioning;
+pub mod maps;
+pub mod resolver;
+pub mod shard;
+pub mod stats;
+
+pub use maps::{HashedTables, OrderedTables, TableFamily};
+pub use resolver::{DnsResolver, ResolverConfig};
+pub use shard::ShardedResolver;
+pub use stats::ResolverStats;

@@ -1,0 +1,127 @@
+//! Pluggable map backends for the two-level lookup tables.
+//!
+//! The paper implements the tables as C++ ordered `map`s, noting
+//! ("Unordered maps, i.e., hash tables, can be used as well to further
+//! reduce the computational costs") — footnote 2. Both backends are
+//! provided; `bench/resolver_maps` quantifies the difference.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::net::IpAddr;
+
+/// Minimal map operations the resolver needs.
+pub trait MapOps<K, V>: Default {
+    fn get(&self, k: &K) -> Option<&V>;
+    fn get_mut(&mut self, k: &K) -> Option<&mut V>;
+    fn insert(&mut self, k: K, v: V) -> Option<V>;
+    fn remove(&mut self, k: &K) -> Option<V>;
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Ord, V> MapOps<K, V> for BTreeMap<K, V> {
+    fn get(&self, k: &K) -> Option<&V> {
+        BTreeMap::get(self, k)
+    }
+    fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        BTreeMap::get_mut(self, k)
+    }
+    fn insert(&mut self, k: K, v: V) -> Option<V> {
+        BTreeMap::insert(self, k, v)
+    }
+    fn remove(&mut self, k: &K) -> Option<V> {
+        BTreeMap::remove(self, k)
+    }
+    fn len(&self) -> usize {
+        BTreeMap::len(self)
+    }
+}
+
+impl<K: Eq + Hash, V> MapOps<K, V> for HashMap<K, V> {
+    fn get(&self, k: &K) -> Option<&V> {
+        HashMap::get(self, k)
+    }
+    fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        HashMap::get_mut(self, k)
+    }
+    fn insert(&mut self, k: K, v: V) -> Option<V> {
+        HashMap::insert(self, k, v)
+    }
+    fn remove(&mut self, k: &K) -> Option<V> {
+        HashMap::remove(self, k)
+    }
+    fn len(&self) -> usize {
+        HashMap::len(self)
+    }
+}
+
+/// Chooses the concrete map types for both levels.
+pub trait TableFamily {
+    /// clientIP → server table.
+    type Client<V>: MapOps<IpAddr, V>;
+    /// serverIP → entry references.
+    type Server<V>: MapOps<IpAddr, V>;
+
+    /// Human-readable backend name (for benches/reports).
+    const NAME: &'static str;
+}
+
+/// Ordered maps — the paper's primary implementation
+/// (O(log N_C) + O(log N_S(c)) lookups).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OrderedTables;
+
+impl TableFamily for OrderedTables {
+    type Client<V> = BTreeMap<IpAddr, V>;
+    type Server<V> = BTreeMap<IpAddr, V>;
+    const NAME: &'static str = "ordered (BTreeMap)";
+}
+
+/// Hash maps — the footnote-2 alternative.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HashedTables;
+
+impl TableFamily for HashedTables {
+    type Client<V> = HashMap<IpAddr, V>;
+    type Server<V> = HashMap<IpAddr, V>;
+    const NAME: &'static str = "hashed (HashMap)";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<M: MapOps<IpAddr, u32>>() {
+        let mut m = M::default();
+        let a: IpAddr = "10.0.0.1".parse().unwrap();
+        let b: IpAddr = "10.0.0.2".parse().unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(a, 1), None);
+        assert_eq!(m.insert(a, 2), Some(1));
+        m.insert(b, 3);
+        assert_eq!(m.len(), 2);
+        *m.get_mut(&a).unwrap() += 10;
+        assert_eq!(m.get(&a), Some(&12));
+        assert_eq!(m.remove(&b), Some(3));
+        assert_eq!(m.remove(&b), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn btreemap_backend() {
+        exercise::<BTreeMap<IpAddr, u32>>();
+    }
+
+    #[test]
+    fn hashmap_backend() {
+        exercise::<HashMap<IpAddr, u32>>();
+    }
+
+    #[test]
+    fn family_names() {
+        assert!(OrderedTables::NAME.contains("ordered"));
+        assert!(HashedTables::NAME.contains("hashed"));
+    }
+}

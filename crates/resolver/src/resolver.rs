@@ -1,0 +1,425 @@
+//! The DNS Resolver structure — paper Algorithm 1.
+
+use std::net::IpAddr;
+use std::sync::Arc;
+
+use dnhunter_dns::{DnsMessage, DomainName};
+
+use crate::clist::{CircularList, SlotRef};
+use crate::maps::{MapOps, OrderedTables, TableFamily};
+use crate::stats::ResolverStats;
+
+/// Configuration of a [`DnsResolver`].
+#[derive(Debug, Clone, Copy)]
+pub struct ResolverConfig {
+    /// Clist capacity `L` — bounds entry lifetime (paper §6: a well-chosen
+    /// `L` emulates ~1 h of client-side caching).
+    pub clist_size: usize,
+    /// How many recent distinct FQDN labels to retain per
+    /// `(clientIP, serverIP)` pair. `1` reproduces Algorithm 1 exactly
+    /// (last-writer-wins); larger values implement the §6 extension
+    /// "DN-Hunter could easily be extended to return all possible labels".
+    pub labels_per_server: usize,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        ResolverConfig {
+            clist_size: 1 << 20,
+            labels_per_server: 1,
+        }
+    }
+}
+
+/// One Clist entry: the FQDN of a sniffed response, plus the keys needed to
+/// remove its back-references when the FIFO recycles the slot
+/// (Algorithm 1 lines 23–25).
+#[derive(Debug, Clone)]
+struct DnEntry {
+    fqdn: Arc<DomainName>,
+    client: IpAddr,
+    servers: Vec<IpAddr>,
+}
+
+/// The resolver: a bounded replica of every monitored client's DNS cache.
+///
+/// Generic over the map backend (ordered maps as in the paper, or hash maps
+/// as in its footnote 2); see [`crate::maps`].
+pub struct DnsResolver<F: TableFamily = OrderedTables> {
+    config: ResolverConfig,
+    clist: CircularList<DnEntry>,
+    clients: F::Client<F::Server<Vec<SlotRef>>>,
+    stats: ResolverStats,
+}
+
+impl<F: TableFamily> DnsResolver<F> {
+    /// Build with the given configuration.
+    pub fn with_config(config: ResolverConfig) -> Self {
+        assert!(config.labels_per_server >= 1, "labels_per_server must be >= 1");
+        DnsResolver {
+            clist: CircularList::new(config.clist_size),
+            clients: Default::default(),
+            config,
+            stats: ResolverStats::default(),
+        }
+    }
+
+    /// Build with a Clist of `l` entries and paper-exact single labels.
+    pub fn new(l: usize) -> Self {
+        Self::with_config(ResolverConfig {
+            clist_size: l,
+            ..ResolverConfig::default()
+        })
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &ResolverStats {
+        &self.stats
+    }
+
+    /// Occupied Clist entries.
+    pub fn len(&self) -> usize {
+        self.clist.len()
+    }
+
+    /// True before any insert.
+    pub fn is_empty(&self) -> bool {
+        self.clist.is_empty()
+    }
+
+    /// Number of distinct clients currently tracked.
+    pub fn clients_tracked(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ResolverConfig {
+        &self.config
+    }
+
+    /// Rough heap footprint of the live structure, in bytes — the paper's
+    /// §6 asks how big `L` can be under real-time constraints; this answers
+    /// "what does that cost in memory".
+    pub fn memory_estimate(&self) -> usize {
+        use std::mem::size_of;
+        // Clist slots: option + generation + entry struct.
+        let mut bytes = self.clist.capacity() * (size_of::<u64>() + size_of::<DnEntry>());
+        for e in self.clist.iter() {
+            bytes += e.fqdn.encoded_len() + size_of::<DomainName>();
+            bytes += e.servers.len() * size_of::<IpAddr>();
+        }
+        // Two map levels: assume ~48 bytes of node overhead per entry, a
+        // reasonable midpoint for BTreeMap/HashMap nodes.
+        const NODE: usize = 48;
+        bytes += self.clients.len() * (size_of::<IpAddr>() + NODE);
+        bytes += self.stats.bindings.min(self.clist.len() as u64 * 4) as usize
+            * (size_of::<IpAddr>() + size_of::<crate::clist::SlotRef>() + NODE);
+        bytes
+    }
+
+    /// INSERT (Algorithm 1, lines 1–25): record that `client` resolved
+    /// `fqdn` to the addresses in `servers`.
+    pub fn insert(&mut self, client: IpAddr, fqdn: &DomainName, servers: &[IpAddr]) {
+        self.stats.responses += 1;
+        if servers.is_empty() {
+            return;
+        }
+        let entry = DnEntry {
+            fqdn: Arc::new(fqdn.clone()),
+            client,
+            servers: servers.to_vec(),
+        };
+        let fqdn_arc = Arc::clone(&entry.fqdn);
+        // Insert into the circular array, possibly recycling a slot
+        // (lines 22–25: delete the evicted entry's back-references).
+        let (slot, evicted) = self.clist.push(entry);
+        if let Some(old) = evicted {
+            self.stats.evictions += 1;
+            self.remove_backrefs(&old);
+        }
+        // Link (client, serverIP) → new entry for every answer address
+        // (lines 10–21).
+        let max_labels = self.config.labels_per_server;
+        let clist = &self.clist;
+        let stats = &mut self.stats;
+        if self.clients.get(&client).is_none() {
+            self.clients.insert(client, Default::default());
+        }
+        let server_map = self.clients.get_mut(&client).expect("just inserted");
+        for &server in servers {
+            stats.bindings += 1;
+            if server_map.get(&server).is_none() {
+                server_map.insert(server, Vec::new());
+            }
+            let refs = server_map.get_mut(&server).expect("just inserted");
+            // Account replacements against the newest still-valid label.
+            if let Some(prev) = refs.iter().rev().find_map(|r| clist.get(*r)) {
+                if prev.fqdn == fqdn_arc {
+                    stats.replaced_same_fqdn += 1;
+                } else {
+                    stats.replaced_different_fqdn += 1;
+                }
+            }
+            refs.retain(|r| clist.get(*r).is_some());
+            refs.push(slot);
+            if refs.len() > max_labels {
+                let drop_n = refs.len() - max_labels;
+                refs.drain(..drop_n);
+            }
+        }
+    }
+
+    /// Convenience: insert straight from a decoded DNS response addressed to
+    /// `client`. Non-responses and answerless responses are counted but add
+    /// no bindings.
+    pub fn insert_response(&mut self, client: IpAddr, response: &DnsMessage) {
+        if !response.header.is_response {
+            return;
+        }
+        let Some(name) = response.queried_fqdn().cloned() else {
+            self.stats.responses += 1;
+            return;
+        };
+        let servers = response.answer_addresses();
+        self.insert(client, &name, &servers);
+    }
+
+    /// LOOKUP (Algorithm 1, lines 27–34): the FQDN `client` most recently
+    /// resolved for `server`.
+    pub fn lookup(&mut self, client: IpAddr, server: IpAddr) -> Option<Arc<DomainName>> {
+        self.stats.lookups += 1;
+        let found = self.peek(client, server);
+        if found.is_some() {
+            self.stats.hits += 1;
+        }
+        found
+    }
+
+    /// [`DnsResolver::lookup`] without touching the statistics.
+    pub fn peek(&self, client: IpAddr, server: IpAddr) -> Option<Arc<DomainName>> {
+        let server_map = self.clients.get(&client)?;
+        let refs = server_map.get(&server)?;
+        refs.iter()
+            .rev()
+            .find_map(|r| self.clist.get(*r))
+            .map(|e| Arc::clone(&e.fqdn))
+    }
+
+    /// All still-live labels for the pair, newest first (§6 multi-label
+    /// extension). Always at most `labels_per_server` entries.
+    pub fn lookup_all(&self, client: IpAddr, server: IpAddr) -> Vec<Arc<DomainName>> {
+        let Some(server_map) = self.clients.get(&client) else {
+            return Vec::new();
+        };
+        let Some(refs) = server_map.get(&server) else {
+            return Vec::new();
+        };
+        refs.iter()
+            .rev()
+            .filter_map(|r| self.clist.get(*r))
+            .map(|e| Arc::clone(&e.fqdn))
+            .collect()
+    }
+
+    /// Remove an evicted entry's back-references from the lookup maps.
+    fn remove_backrefs(&mut self, old: &DnEntry) {
+        let clist = &self.clist;
+        let Some(server_map) = self.clients.get_mut(&old.client) else {
+            return;
+        };
+        for server in &old.servers {
+            let now_empty = if let Some(refs) = server_map.get_mut(server) {
+                refs.retain(|r| clist.get(*r).is_some());
+                refs.is_empty()
+            } else {
+                false
+            };
+            if now_empty {
+                server_map.remove(server);
+            }
+        }
+        if server_map.is_empty() {
+            self.clients.remove(&old.client);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maps::HashedTables;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn fqdn(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn resolver(l: usize) -> DnsResolver {
+        DnsResolver::new(l)
+    }
+
+    #[test]
+    fn basic_insert_lookup() {
+        let mut r = resolver(16);
+        r.insert(
+            ip("10.0.0.1"),
+            &fqdn("itunes.apple.com"),
+            &[ip("213.254.17.14"), ip("213.254.17.17")],
+        );
+        assert_eq!(
+            r.lookup(ip("10.0.0.1"), ip("213.254.17.14")).unwrap().to_string(),
+            "itunes.apple.com"
+        );
+        assert_eq!(
+            r.lookup(ip("10.0.0.1"), ip("213.254.17.17")).unwrap().to_string(),
+            "itunes.apple.com"
+        );
+        // Another client never resolved this name.
+        assert!(r.lookup(ip("10.0.0.2"), ip("213.254.17.14")).is_none());
+        assert_eq!(r.stats().lookups, 3);
+        assert_eq!(r.stats().hits, 2);
+        assert_eq!(r.stats().bindings, 2);
+    }
+
+    #[test]
+    fn last_writer_wins_per_pair() {
+        let mut r = resolver(16);
+        let c = ip("10.0.0.1");
+        let s = ip("23.9.9.9");
+        r.insert(c, &fqdn("a.example.com"), &[s]);
+        r.insert(c, &fqdn("b.example.com"), &[s]);
+        assert_eq!(r.lookup(c, s).unwrap().to_string(), "b.example.com");
+        assert_eq!(r.stats().replaced_different_fqdn, 1);
+        assert_eq!(r.stats().replaced_same_fqdn, 0);
+    }
+
+    #[test]
+    fn repeated_resolution_counts_as_same_fqdn() {
+        let mut r = resolver(16);
+        let c = ip("10.0.0.1");
+        let s = ip("23.9.9.9");
+        r.insert(c, &fqdn("x.example.com"), &[s]);
+        r.insert(c, &fqdn("x.example.com"), &[s]);
+        assert_eq!(r.stats().replaced_same_fqdn, 1);
+        assert_eq!(r.stats().confusion_ratio(), 0.0);
+    }
+
+    #[test]
+    fn fifo_eviction_limits_lifetime() {
+        let mut r = resolver(2);
+        let c = ip("10.0.0.1");
+        r.insert(c, &fqdn("one.example.com"), &[ip("1.1.1.1")]);
+        r.insert(c, &fqdn("two.example.com"), &[ip("2.2.2.2")]);
+        r.insert(c, &fqdn("three.example.com"), &[ip("3.3.3.3")]);
+        // "one" was evicted by the FIFO.
+        assert!(r.lookup(c, ip("1.1.1.1")).is_none());
+        assert!(r.lookup(c, ip("2.2.2.2")).is_some());
+        assert!(r.lookup(c, ip("3.3.3.3")).is_some());
+        assert_eq!(r.stats().evictions, 1);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn eviction_cleans_up_empty_clients() {
+        let mut r = resolver(1);
+        r.insert(ip("10.0.0.1"), &fqdn("a.com"), &[ip("1.1.1.1")]);
+        assert_eq!(r.clients_tracked(), 1);
+        r.insert(ip("10.0.0.2"), &fqdn("b.com"), &[ip("2.2.2.2")]);
+        // Client 1's only entry was evicted; its tables are gone.
+        assert_eq!(r.clients_tracked(), 1);
+        assert!(r.peek(ip("10.0.0.1"), ip("1.1.1.1")).is_none());
+    }
+
+    #[test]
+    fn per_client_isolation() {
+        let mut r = resolver(16);
+        let s = ip("23.0.0.5");
+        r.insert(ip("10.0.0.1"), &fqdn("alpha.example.com"), &[s]);
+        r.insert(ip("10.0.0.2"), &fqdn("beta.example.com"), &[s]);
+        assert_eq!(
+            r.peek(ip("10.0.0.1"), s).unwrap().to_string(),
+            "alpha.example.com"
+        );
+        assert_eq!(
+            r.peek(ip("10.0.0.2"), s).unwrap().to_string(),
+            "beta.example.com"
+        );
+    }
+
+    #[test]
+    fn multilabel_mode_retains_history() {
+        let mut r: DnsResolver = DnsResolver::with_config(ResolverConfig {
+            clist_size: 16,
+            labels_per_server: 3,
+        });
+        let c = ip("10.0.0.1");
+        let s = ip("23.9.9.9");
+        for name in ["a.com", "b.com", "c.com", "d.com"] {
+            r.insert(c, &fqdn(name), &[s]);
+        }
+        let all: Vec<String> = r.lookup_all(c, s).iter().map(|f| f.to_string()).collect();
+        assert_eq!(all, vec!["d.com", "c.com", "b.com"]);
+        // Single-label lookup still returns the newest.
+        assert_eq!(r.peek(c, s).unwrap().to_string(), "d.com");
+    }
+
+    #[test]
+    fn insert_response_wires_through() {
+        use dnhunter_dns::{QClass, QType, RData, ResourceRecord};
+        let q = DnsMessage::query(1, fqdn("data.flurry.com"), QType::A);
+        let resp = DnsMessage::answer_to(
+            &q,
+            vec![ResourceRecord {
+                name: fqdn("data.flurry.com"),
+                class: QClass::In,
+                ttl: 60,
+                rdata: RData::A("216.74.41.8".parse().unwrap()),
+            }],
+        );
+        let mut r = resolver(16);
+        r.insert_response(ip("10.0.0.9"), &resp);
+        assert_eq!(
+            r.peek(ip("10.0.0.9"), ip("216.74.41.8")).unwrap().to_string(),
+            "data.flurry.com"
+        );
+        // Queries are ignored.
+        r.insert_response(ip("10.0.0.9"), &q);
+        assert_eq!(r.stats().responses, 1);
+    }
+
+    #[test]
+    fn hashed_backend_behaves_identically() {
+        let mut r: DnsResolver<HashedTables> = DnsResolver::with_config(ResolverConfig {
+            clist_size: 4,
+            labels_per_server: 1,
+        });
+        let c = ip("10.0.0.1");
+        r.insert(c, &fqdn("x.com"), &[ip("9.9.9.9")]);
+        assert_eq!(r.lookup(c, ip("9.9.9.9")).unwrap().to_string(), "x.com");
+        assert_eq!(r.stats().hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn empty_answer_lists_add_nothing() {
+        let mut r = resolver(4);
+        r.insert(ip("10.0.0.1"), &fqdn("nxdomain.example.com"), &[]);
+        assert_eq!(r.stats().responses, 1);
+        assert_eq!(r.stats().bindings, 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn duplicate_servers_in_answer() {
+        let mut r = resolver(8);
+        let c = ip("10.0.0.1");
+        let s = ip("5.5.5.5");
+        r.insert(c, &fqdn("dup.example.com"), &[s, s]);
+        assert_eq!(r.peek(c, s).unwrap().to_string(), "dup.example.com");
+        // Second binding for the same pair in the same insert counts as a
+        // same-FQDN replacement.
+        assert_eq!(r.stats().replaced_same_fqdn, 1);
+    }
+}

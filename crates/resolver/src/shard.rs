@@ -1,0 +1,166 @@
+//! Sharded resolver for larger client populations.
+//!
+//! Paper §3.1.1: "when the number of monitored clients increase, several
+//! load balancing strategies can be used. For example, two resolvers can be
+//! maintained for odd and even fourth octet value in the client IP-address."
+//! This generalises that idea to `N` shards keyed on the client address, each
+//! behind its own lock so shards can be driven from different threads.
+
+use std::net::IpAddr;
+use std::sync::Arc;
+
+use dnhunter_dns::DomainName;
+use parking_lot::Mutex;
+
+use crate::maps::{OrderedTables, TableFamily};
+use crate::resolver::{DnsResolver, ResolverConfig};
+use crate::stats::ResolverStats;
+
+/// `N` independent resolvers, selected by client IP.
+pub struct ShardedResolver<F: TableFamily = OrderedTables> {
+    shards: Vec<Mutex<DnsResolver<F>>>,
+}
+
+impl<F: TableFamily> ShardedResolver<F> {
+    /// Build `shards` resolvers, each with a Clist of `config.clist_size /
+    /// shards` entries (so total memory matches a single resolver of the
+    /// same configured size).
+    pub fn new(shards: usize, config: ResolverConfig) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let per_shard = (config.clist_size / shards).max(1);
+        let shard_config = ResolverConfig {
+            clist_size: per_shard,
+            ..config
+        };
+        ShardedResolver {
+            shards: (0..shards)
+                .map(|_| Mutex::new(DnsResolver::with_config(shard_config)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index for a client — the paper's odd/even fourth-octet scheme
+    /// generalised to modulo-N on the last address byte.
+    pub fn shard_of(&self, client: IpAddr) -> usize {
+        let last = match client {
+            IpAddr::V4(a) => a.octets()[3],
+            IpAddr::V6(a) => a.octets()[15],
+        };
+        usize::from(last) % self.shards.len()
+    }
+
+    /// Insert a resolution (see [`DnsResolver::insert`]).
+    pub fn insert(&self, client: IpAddr, fqdn: &DomainName, servers: &[IpAddr]) {
+        self.shards[self.shard_of(client)]
+            .lock()
+            .insert(client, fqdn, servers);
+    }
+
+    /// Lookup (see [`DnsResolver::lookup`]).
+    pub fn lookup(&self, client: IpAddr, server: IpAddr) -> Option<Arc<DomainName>> {
+        self.shards[self.shard_of(client)].lock().lookup(client, server)
+    }
+
+    /// Aggregate statistics across shards.
+    pub fn stats(&self) -> ResolverStats {
+        let mut total = ResolverStats::default();
+        for s in &self.shards {
+            let st = *s.lock().stats();
+            total.responses += st.responses;
+            total.bindings += st.bindings;
+            total.replaced_same_fqdn += st.replaced_same_fqdn;
+            total.replaced_different_fqdn += st.replaced_different_fqdn;
+            total.evictions += st.evictions;
+            total.lookups += st.lookups;
+            total.hits += st.hits;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn name(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn odd_even_scheme_with_two_shards() {
+        let r: ShardedResolver = ShardedResolver::new(2, ResolverConfig::default());
+        assert_eq!(r.shard_of(ip("10.0.0.2")), 0);
+        assert_eq!(r.shard_of(ip("10.0.0.3")), 1);
+        assert_eq!(r.shard_count(), 2);
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip_across_shards() {
+        let r: ShardedResolver = ShardedResolver::new(4, ResolverConfig::default());
+        for i in 1..=20u8 {
+            let c = IpAddr::V4(std::net::Ipv4Addr::new(10, 0, 0, i));
+            r.insert(c, &name(&format!("host{i}.example.com")), &[ip("23.0.0.1")]);
+        }
+        for i in 1..=20u8 {
+            let c = IpAddr::V4(std::net::Ipv4Addr::new(10, 0, 0, i));
+            assert_eq!(
+                r.lookup(c, ip("23.0.0.1")).unwrap().to_string(),
+                format!("host{i}.example.com")
+            );
+        }
+        let stats = r.stats();
+        assert_eq!(stats.lookups, 20);
+        assert_eq!(stats.hits, 20);
+        assert_eq!(stats.responses, 20);
+    }
+
+    #[test]
+    fn shards_split_capacity() {
+        let r: ShardedResolver = ShardedResolver::new(
+            4,
+            ResolverConfig {
+                clist_size: 100,
+                labels_per_server: 1,
+            },
+        );
+        // Each shard has L=25; this is visible through eviction behaviour.
+        let c = ip("10.0.0.4"); // shard 0
+        for i in 0..30 {
+            r.insert(c, &name(&format!("n{i}.x.com")), &[IpAddr::V4(
+                std::net::Ipv4Addr::new(1, 1, (i / 256) as u8, (i % 256) as u8),
+            )]);
+        }
+        assert_eq!(r.stats().evictions, 5);
+    }
+
+    #[test]
+    fn concurrent_use_from_threads() {
+        use std::sync::Arc as StdArc;
+        let r: StdArc<ShardedResolver> =
+            StdArc::new(ShardedResolver::new(4, ResolverConfig::default()));
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let r = StdArc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u8 {
+                    let c = IpAddr::V4(std::net::Ipv4Addr::new(10, 0, t, i));
+                    r.insert(c, &"w.example.com".parse().unwrap(), &[ip("9.9.9.9")]);
+                    assert!(r.lookup(c, ip("9.9.9.9")).is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.stats().hits, 400);
+    }
+}

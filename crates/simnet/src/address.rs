@@ -1,0 +1,268 @@
+//! Server address allocation inside the organization plan, plus the PTR
+//! (reverse) zone that the reverse-lookup baseline queries.
+
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr};
+
+use dnhunter_dns::DomainName;
+use dnhunter_orgdb::{org_plan, Prefix};
+
+/// How an organization names its servers in the reverse zone — this is what
+/// produces the four outcome classes of the paper's Tab. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PtrStyle {
+    /// No PTR record at all ("No-answer", 29% in the paper).
+    None,
+    /// CDN-internal machine names, unrelated to the content served
+    /// ("Totally different"): e.g. `a23-15-9-9.deploy.akamaitechnologies.com`.
+    CdnInternal(&'static str),
+    /// `hostN.<org-domain>` — matches the content's second-level domain when
+    /// the org self-hosts ("Same 2nd-level domain").
+    HostName(&'static str),
+}
+
+/// Reverse-zone naming policy per organization.
+fn ptr_style(org: &str) -> PtrStyle {
+    match org {
+        "akamai" => PtrStyle::CdnInternal("deploy.akamaitechnologies.com"),
+                "google" => PtrStyle::CdnInternal("1e100.net"),
+        "edgecast" => PtrStyle::CdnInternal("edgecastcdn.net"),
+        "level 3" => PtrStyle::CdnInternal("deploy.l3cdn.net"),
+        "leaseweb" => PtrStyle::CdnInternal("leaseweb.net"),
+        "cotendo" => PtrStyle::CdnInternal("cotcdn.net"),
+        "cdnetworks" => PtrStyle::CdnInternal("cdngc.net"),
+        "limelight" => PtrStyle::CdnInternal("llnw.net"),
+        "dedibox" => PtrStyle::CdnInternal("poneytelecom.eu"),
+        "meta" => PtrStyle::CdnInternal("mtsvc.net"),
+        "ntt" => PtrStyle::CdnInternal("ntt.net"),
+                "facebook" => PtrStyle::HostName("facebook.com"),
+        "linkedin" => PtrStyle::HostName("linkedin.com"),
+        "dailymotion" => PtrStyle::HostName("dailymotion.com"),
+        "apple" => PtrStyle::HostName("apple.com"),
+        "yahoo" => PtrStyle::HostName("yahoo.com"),
+        "wikipedia" => PtrStyle::HostName("wikipedia.org"),
+        "flurry" => PtrStyle::HostName("flurry.com"),
+        "mailprovider" => PtrStyle::HostName("mailprovider.it"),
+        "lindenlab" => PtrStyle::HostName("agni.lindenlab.com"),
+        "aol" => PtrStyle::HostName("aol.com"),
+        "opera" => PtrStyle::HostName("opera-mini.net"),
+        // amazon, microsoft, twitter, zynga, smallhosts (org level — pinned
+        // sites add their own records), p2p space, ISP: no reverse zone.
+        _ => PtrStyle::None,
+    }
+}
+
+/// The synthetic reverse zone: IP → PTR name.
+#[derive(Debug, Default, Clone)]
+pub struct PtrZone {
+    records: HashMap<IpAddr, DomainName>,
+}
+
+impl PtrZone {
+    /// Reverse lookup.
+    pub fn lookup(&self, ip: IpAddr) -> Option<&DomainName> {
+        self.records.get(&ip)
+    }
+
+    /// Number of PTR records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records exist.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    fn register(&mut self, ip: Ipv4Addr, name: DomainName) {
+        self.records.entry(IpAddr::V4(ip)).or_insert(name);
+    }
+}
+
+/// Deterministic allocator of server addresses within each organization's
+/// announced prefixes.
+///
+/// Every (org, pool-key) pair gets a contiguous block of host numbers;
+/// *shared* pools reuse pool-key 0 so that different FQDNs land on the same
+/// servers — that is what makes one `serverIP` serve many FQDNs (Fig. 3
+/// bottom).
+#[derive(Debug)]
+pub struct AddressAllocator {
+    prefixes: HashMap<String, Vec<Prefix>>,
+    blocks: HashMap<(String, u64), u32>,
+    next_host: HashMap<String, u32>,
+    ptr: PtrZone,
+}
+
+/// Pool-key reserved for an org's shared server estate.
+pub const SHARED_POOL: u64 = 0;
+
+impl AddressAllocator {
+    /// Allocator over the builtin organization plan.
+    pub fn new() -> Self {
+        let mut prefixes: HashMap<String, Vec<Prefix>> = HashMap::new();
+        for (name, _, plist) in org_plan() {
+            let parsed = plist
+                .iter()
+                .map(|p| p.parse().expect("builtin prefix"))
+                .collect();
+            prefixes.insert(name.to_string(), parsed);
+        }
+        AddressAllocator {
+            prefixes,
+            blocks: HashMap::new(),
+            next_host: HashMap::new(),
+            ptr: PtrZone::default(),
+        }
+    }
+
+    /// The `index`-th server of `org`'s pool `pool_key`. Allocates the
+    /// block (of `block_size` hosts) on first use and registers PTR records
+    /// according to the org's reverse-zone policy.
+    pub fn server_ip(&mut self, org: &str, pool_key: u64, block_size: u32, index: u32) -> Ipv4Addr {
+        let key = (org.to_string(), pool_key);
+        let base = if let Some(&b) = self.blocks.get(&key) {
+            b
+        } else {
+            let next = self.next_host.entry(org.to_string()).or_insert(1);
+            let base = *next;
+            *next += block_size.max(1);
+            self.blocks.insert(key, base);
+            base
+        };
+        let host = base + (index % block_size.max(1));
+        let ip = self.host_ip(org, host);
+        self.register_ptr(org, ip, host);
+        ip
+    }
+
+    /// Map an org-local host number to a concrete address, spreading across
+    /// the org's prefixes.
+    fn host_ip(&self, org: &str, host: u32) -> Ipv4Addr {
+        let prefixes = self
+            .prefixes
+            .get(org)
+            .unwrap_or_else(|| panic!("unknown organization '{org}'"));
+        let which = (host as usize) % prefixes.len();
+        prefixes[which]
+            .v4_host(host / prefixes.len() as u32 + 1)
+            .expect("org prefixes are IPv4")
+    }
+
+    fn register_ptr(&mut self, org: &str, ip: Ipv4Addr, host: u32) {
+        match ptr_style(org) {
+            PtrStyle::None => {}
+            PtrStyle::CdnInternal(zone) => {
+                let o = ip.octets();
+                let name: DomainName = format!("a{}-{}-{}-{}.{zone}", o[0], o[1], o[2], o[3])
+                    .parse()
+                    .expect("generated PTR name is valid");
+                self.ptr.register(ip, name);
+            }
+            PtrStyle::HostName(domain) => {
+                let name: DomainName = format!("host{host}.{domain}")
+                    .parse()
+                    .expect("generated PTR name is valid");
+                self.ptr.register(ip, name);
+            }
+        }
+    }
+
+    /// Register an exact-FQDN PTR (used for the front servers of
+    /// self-hosting orgs, producing Tab. 3's "Same FQDN" class).
+    pub fn register_exact_ptr(&mut self, ip: Ipv4Addr, fqdn: &DomainName) {
+        self.ptr.records.insert(IpAddr::V4(ip), fqdn.clone());
+    }
+
+    /// The reverse zone accumulated so far.
+    pub fn ptr_zone(&self) -> &PtrZone {
+        &self.ptr
+    }
+
+    /// Consume the allocator, returning the reverse zone.
+    pub fn into_ptr_zone(self) -> PtrZone {
+        self.ptr
+    }
+}
+
+impl Default for AddressAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnhunter_orgdb::builtin_registry;
+
+    #[test]
+    fn allocation_is_deterministic_and_in_prefix() {
+        let mut a = AddressAllocator::new();
+        let db = builtin_registry();
+        let ip1 = a.server_ip("akamai", 7, 10, 0);
+        let ip2 = a.server_ip("akamai", 7, 10, 0);
+        assert_eq!(ip1, ip2);
+        assert_eq!(db.org_name(IpAddr::V4(ip1)), "akamai");
+    }
+
+    #[test]
+    fn distinct_pools_get_distinct_blocks() {
+        let mut a = AddressAllocator::new();
+        let p1 = a.server_ip("amazon", 1, 100, 0);
+        let p2 = a.server_ip("amazon", 2, 100, 0);
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn shared_pool_reuses_addresses_across_callers() {
+        let mut a = AddressAllocator::new();
+        let x = a.server_ip("akamai", SHARED_POOL, 50, 3);
+        let y = a.server_ip("akamai", SHARED_POOL, 50, 3);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn index_wraps_within_block() {
+        let mut a = AddressAllocator::new();
+        let x = a.server_ip("google", 9, 4, 1);
+        let y = a.server_ip("google", 9, 4, 5);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn ptr_styles_produce_expected_names() {
+        let mut a = AddressAllocator::new();
+        let ak = a.server_ip("akamai", 1, 5, 0);
+        let li = a.server_ip("linkedin", 1, 5, 0);
+        let zy = a.server_ip("zynga", 1, 5, 0);
+        let zone = a.ptr_zone();
+        assert!(zone
+            .lookup(IpAddr::V4(ak))
+            .unwrap()
+            .to_string()
+            .ends_with("deploy.akamaitechnologies.com"));
+        assert!(zone
+            .lookup(IpAddr::V4(li))
+            .unwrap()
+            .to_string()
+            .ends_with("linkedin.com"));
+        assert!(zone.lookup(IpAddr::V4(zy)).is_none()); // zynga: no reverse zone
+    }
+
+    #[test]
+    fn exact_ptr_registration_overrides() {
+        let mut a = AddressAllocator::new();
+        let ip = a.server_ip("linkedin", 2, 3, 0);
+        let fqdn: DomainName = "www.linkedin.com".parse().unwrap();
+        a.register_exact_ptr(ip, &fqdn);
+        assert_eq!(a.ptr_zone().lookup(IpAddr::V4(ip)), Some(&fqdn));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown organization")]
+    fn unknown_org_panics() {
+        let mut a = AddressAllocator::new();
+        let _ = a.server_ip("nonexistent", 0, 1, 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! The `appspot.com` case-study model (paper §5.6): BitTorrent trackers
+//! hiding among Google-hosted web apps, with the activity patterns of
+//! Fig. 11 — a third permanently active, a synchronized on/off cluster,
+//! and stragglers that appear over time (some ending as zombies).
+
+use rand::Rng;
+
+use crate::catalog::{Catalog, PayloadStyle, ServiceId};
+
+/// Activity pattern of one tracker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrackerPattern {
+    /// Active for the whole observation window (ids 1–15 in Fig. 11).
+    AlwaysOn,
+    /// Synchronized on/off cluster (ids 26–31): all members share phase.
+    SynchronizedBursts,
+    /// Appears at `birth_day`, may die (zombie) at `death_day`.
+    Transient,
+}
+
+/// One concrete tracker (a service instance under appspot.com).
+#[derive(Debug, Clone)]
+pub struct TrackerInstance {
+    /// Display id, 1-based, ordered by first appearance (Fig. 11 y-axis).
+    pub id: u32,
+    pub service: ServiceId,
+    pub instance: u32,
+    pub pattern: TrackerPattern,
+    /// First day (fractional) the tracker is active.
+    pub birth_day: f64,
+    /// Day after which a transient tracker goes silent; `None` = still up.
+    pub death_day: Option<f64>,
+}
+
+impl TrackerInstance {
+    /// Is this tracker accepting announces at trace day `day`?
+    pub fn active_at(&self, day: f64) -> bool {
+        match self.pattern {
+            TrackerPattern::AlwaysOn => true,
+            TrackerPattern::SynchronizedBursts => {
+                if day < self.birth_day {
+                    return false;
+                }
+                // 16 h on / 20 h off, common phase for the whole cluster.
+                let phase = (day * 24.0).rem_euclid(36.0);
+                phase < 16.0
+            }
+            TrackerPattern::Transient => {
+                day >= self.birth_day && self.death_day.is_none_or(|d| day < d)
+            }
+        }
+    }
+}
+
+/// Enumerate the tracker instances in the catalog's appspot domain and
+/// assign them Fig. 11-style lifecycles. Deterministic given `rng`.
+pub fn tracker_schedules<R: Rng>(catalog: &Catalog, rng: &mut R) -> Vec<TrackerInstance> {
+    let mut raw: Vec<(ServiceId, u32)> = Vec::new();
+    for id in catalog.service_ids() {
+        let dom = catalog.domain(id);
+        let svc = catalog.service(id);
+        if dom.sld == "appspot.com" && svc.style == PayloadStyle::TrackerHttp {
+            for i in 0..svc.instances {
+                raw.push((id, i));
+            }
+        }
+    }
+    let n = raw.len();
+    let mut out = Vec::with_capacity(n);
+    for (k, (service, instance)) in raw.into_iter().enumerate() {
+        let frac = k as f64 / n.max(1) as f64;
+        let (pattern, birth_day, death_day) = if frac < 0.33 {
+            (TrackerPattern::AlwaysOn, 0.0, None)
+        } else if frac < 0.47 {
+            // The synchronized cluster appears a few days in.
+            (TrackerPattern::SynchronizedBursts, 3.0, None)
+        } else {
+            let birth = rng.gen_range(0.0..14.0);
+            let death = if rng.gen::<f64>() < 0.5 {
+                Some(birth + rng.gen_range(1.0..6.0))
+            } else {
+                None
+            };
+            (TrackerPattern::Transient, birth, death)
+        };
+        out.push(TrackerInstance {
+            id: 0, // assigned after sorting by first appearance
+            service,
+            instance,
+            pattern,
+            birth_day,
+            death_day,
+        });
+    }
+    out.sort_by(|a, b| a.birth_day.partial_cmp(&b.birth_day).expect("no NaN days"));
+    for (i, t) in out.iter_mut().enumerate() {
+        t.id = i as u32 + 1;
+    }
+    out
+}
+
+/// Trackers active at `day` (for announce target selection).
+pub fn active_trackers(schedules: &[TrackerInstance], day: f64) -> Vec<&TrackerInstance> {
+    schedules.iter().filter(|t| t.active_at(day)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::paper_catalog;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn schedules() -> Vec<TrackerInstance> {
+        let c = paper_catalog(true);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        tracker_schedules(&c, &mut rng)
+    }
+
+    #[test]
+    fn roughly_45_trackers_exist() {
+        let s = schedules();
+        assert!(
+            (40..=50).contains(&s.len()),
+            "expected ~45 trackers, got {}",
+            s.len()
+        );
+    }
+
+    #[test]
+    fn a_third_are_always_on() {
+        let s = schedules();
+        let always = s
+            .iter()
+            .filter(|t| t.pattern == TrackerPattern::AlwaysOn)
+            .count();
+        let frac = always as f64 / s.len() as f64;
+        assert!((0.25..=0.40).contains(&frac), "always-on fraction {frac}");
+        for t in s.iter().filter(|t| t.pattern == TrackerPattern::AlwaysOn) {
+            for d in 0..18 {
+                assert!(t.active_at(d as f64 + 0.5));
+            }
+        }
+    }
+
+    #[test]
+    fn synchronized_cluster_shares_phase() {
+        let s = schedules();
+        let cluster: Vec<_> = s
+            .iter()
+            .filter(|t| t.pattern == TrackerPattern::SynchronizedBursts)
+            .collect();
+        assert!(cluster.len() >= 4);
+        for day10 in 31..170 {
+            let day = day10 as f64 / 10.0;
+            let states: Vec<bool> = cluster.iter().map(|t| t.active_at(day)).collect();
+            assert!(
+                states.iter().all(|&x| x == states[0]),
+                "cluster out of sync at day {day}"
+            );
+        }
+    }
+
+    #[test]
+    fn transients_are_born_and_may_die() {
+        let s = schedules();
+        let transients: Vec<_> = s
+            .iter()
+            .filter(|t| t.pattern == TrackerPattern::Transient)
+            .collect();
+        assert!(!transients.is_empty());
+        for t in &transients {
+            assert!(!t.active_at(t.birth_day - 0.1));
+            assert!(t.active_at(t.birth_day + 0.1));
+            if let Some(d) = t.death_day {
+                assert!(!t.active_at(d + 0.1));
+            }
+        }
+        // Some die, some survive (zombies exist as FQDNs but that's the
+        // analytics' business).
+        assert!(transients.iter().any(|t| t.death_day.is_some()));
+        assert!(transients.iter().any(|t| t.death_day.is_none()));
+    }
+
+    #[test]
+    fn ids_are_ordered_by_first_appearance() {
+        let s = schedules();
+        for w in s.windows(2) {
+            assert!(w[0].birth_day <= w[1].birth_day);
+            assert!(w[0].id < w[1].id);
+        }
+    }
+
+    #[test]
+    fn active_set_changes_over_time() {
+        let s = schedules();
+        let early = active_trackers(&s, 0.5).len();
+        let late = active_trackers(&s, 10.5).len();
+        assert!(early > 0);
+        assert_ne!(early, late);
+    }
+}

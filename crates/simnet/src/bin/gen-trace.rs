@@ -1,0 +1,137 @@
+//! `gen-trace` — generate a synthetic ISP trace as a standard pcap file.
+//!
+//! ```text
+//! gen-trace --profile eu1-ftth --scale 0.1 -o trace.pcap
+//! gen-trace --list
+//! ```
+//!
+//! The output is a classic libpcap capture (Ethernet, µs timestamps) that
+//! any pcap tool — including `dn-hunter` — can read.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::process::ExitCode;
+
+use dnhunter_simnet::{profiles, TraceGenerator};
+
+fn usage() -> &'static str {
+    "usage: gen-trace --profile NAME [--scale F] [--seed N] [-o FILE] [--list]\n\
+     profiles: US-3G, EU2-ADSL, EU1-ADSL1, EU1-ADSL2, EU1-FTTH, live"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut profile_name = String::from("EU1-FTTH");
+    let mut scale = 0.1f64;
+    let mut seed: Option<u64> = None;
+    let mut out = String::from("trace.pcap");
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for p in profiles::all_paper_profiles() {
+                    println!(
+                        "{:<10} {:>4}h {:>4} clients  {:?} {:?}",
+                        p.name, p.duration_hours, p.clients, p.tech, p.geography
+                    );
+                }
+                println!("{:<10} {:>4}h {:>4} clients  (adds appspot.com model)",
+                    "live", profiles::live_profile().duration_hours,
+                    profiles::live_profile().clients);
+                return ExitCode::SUCCESS;
+            }
+            "--profile" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => profile_name = p.clone(),
+                    None => {
+                        eprintln!("{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--scale" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(f) if f > 0.0 => scale = f,
+                    _ => {
+                        eprintln!("--scale needs a positive number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => seed = Some(s),
+                    None => {
+                        eprintln!("--seed needs an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "-o" | "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(o) => out = o.clone(),
+                    None => {
+                        eprintln!("{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let Some(mut profile) = profiles::profile_by_name(&profile_name) else {
+        eprintln!("unknown profile '{profile_name}' (try --list)");
+        return ExitCode::FAILURE;
+    };
+    profile = profile.scaled(scale);
+    if let Some(s) = seed {
+        profile.seed = s;
+    }
+    let live = profile_name.eq_ignore_ascii_case("live")
+        || profile_name.eq_ignore_ascii_case("eu1-adsl2-live");
+
+    eprintln!(
+        "generating {} at scale {scale} ({} clients, {}h)…",
+        profile.name, profile.clients, profile.duration_hours
+    );
+    let trace = TraceGenerator::new(profile, live).generate();
+    eprintln!(
+        "  {} frames, {} flows, {} DNS queries, {} page views",
+        trace.records.len(),
+        trace.stats.flows,
+        trace.stats.dns_queries,
+        trace.stats.page_views
+    );
+
+    let file = match File::create(&out) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match trace.write_pcap(BufWriter::new(file)) {
+        Ok(_) => {
+            eprintln!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("write failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

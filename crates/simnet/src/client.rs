@@ -1,0 +1,177 @@
+//! Per-client state: address, DNS cache, behavioural flags.
+
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use dnhunter_dns::DomainName;
+use dnhunter_net::MacAddr;
+
+/// Cap on how long a client honours a TTL (paper §6: "in practice, clients
+/// cache responses for typically less than 1 hour").
+pub const CLIENT_CACHE_CAP_MICROS: u64 = 3600 * 1_000_000;
+
+/// Maximum cached names per client before the oldest half is dropped —
+/// models OS-resolver memory limits ("Memory limit and timeout deletion
+/// policies can affect caching").
+pub const CLIENT_CACHE_MAX_ENTRIES: usize = 256;
+
+/// One cached resolution.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Absolute (trace-relative) expiry in µs.
+    pub expiry: u64,
+    pub servers: Vec<Ipv4Addr>,
+    /// Insertion time, for LRU-ish eviction.
+    pub inserted: u64,
+}
+
+/// A monitored end host.
+#[derive(Debug)]
+pub struct ClientState {
+    pub id: u32,
+    pub ip: Ipv4Addr,
+    pub mac: MacAddr,
+    /// Ephemeral source port counter.
+    next_sport: u16,
+    cache: HashMap<DomainName, CacheEntry>,
+    /// Runs BitTorrent.
+    pub is_p2p: bool,
+    /// All traffic tunnelled over one endpoint (3G profile).
+    pub is_tunnel: bool,
+    /// Joined mid-trace with a warm cache (mobility).
+    pub join_ts: u64,
+    pub is_mobile_arrival: bool,
+    /// Dual-stack host: fetches some content over IPv6.
+    pub is_dual_stack: bool,
+}
+
+impl ClientState {
+    /// Build client `id` in the 10.0.0.0/16 plan.
+    pub fn new(id: u32) -> Self {
+        ClientState {
+            id,
+            ip: Ipv4Addr::new(10, 0, (id >> 8) as u8, (id & 0xff) as u8),
+            mac: MacAddr::from_id(u64::from(id) + 10),
+            next_sport: 20_000 + (id % 997) as u16,
+            cache: HashMap::new(),
+            is_p2p: false,
+            is_tunnel: false,
+            join_ts: 0,
+            is_mobile_arrival: false,
+            is_dual_stack: false,
+        }
+    }
+
+    /// The client's IPv6 address (dual-stack hosts).
+    pub fn ip6(&self) -> Ipv6Addr {
+        let id = self.id;
+        Ipv6Addr::new(0x2001, 0xdb8, 0x00aa, 0, 0, 0, (id >> 16) as u16, id as u16)
+    }
+
+    /// Next ephemeral port (wraps within 20000–61000).
+    pub fn sport(&mut self) -> u16 {
+        let p = self.next_sport;
+        self.next_sport = if self.next_sport >= 61_000 {
+            20_000
+        } else {
+            self.next_sport + 1
+        };
+        p
+    }
+
+    /// Fresh cached servers for `name` at time `now`, if any.
+    pub fn cache_get(&self, name: &DomainName, now: u64) -> Option<&CacheEntry> {
+        self.cache.get(name).filter(|e| e.expiry > now)
+    }
+
+    /// Insert a resolution; applies the 1 h cap and size limit.
+    pub fn cache_put(&mut self, name: DomainName, now: u64, ttl_secs: u32, servers: Vec<Ipv4Addr>) {
+        let ttl_micros = (u64::from(ttl_secs) * 1_000_000).min(CLIENT_CACHE_CAP_MICROS);
+        if self.cache.len() >= CLIENT_CACHE_MAX_ENTRIES {
+            self.evict_oldest_half();
+        }
+        self.cache.insert(
+            name,
+            CacheEntry {
+                expiry: now + ttl_micros,
+                servers,
+                inserted: now,
+            },
+        );
+    }
+
+    /// Cached entries count (tests).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True if the client ever resolved `name` in-trace (even if expired) —
+    /// used to restrict pre-warm shortcuts to first contact.
+    pub fn cache_has(&self, name: &DomainName) -> bool {
+        self.cache.contains_key(name)
+    }
+
+    fn evict_oldest_half(&mut self) {
+        let mut times: Vec<u64> = self.cache.values().map(|e| e.inserted).collect();
+        times.sort_unstable();
+        let cutoff = times[times.len() / 2];
+        self.cache.retain(|_, e| e.inserted > cutoff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn client_addressing_is_stable() {
+        let c = ClientState::new(0x0102);
+        assert_eq!(c.ip, Ipv4Addr::new(10, 0, 1, 2));
+        let c2 = ClientState::new(0x0102);
+        assert_eq!(c.mac, c2.mac);
+    }
+
+    #[test]
+    fn sport_wraps() {
+        let mut c = ClientState::new(1);
+        let first = c.sport();
+        for _ in 0..50_000 {
+            let p = c.sport();
+            assert!((20_000..=61_000).contains(&p));
+        }
+        assert!((20_000..=61_000).contains(&first));
+    }
+
+    #[test]
+    fn cache_respects_ttl_and_cap() {
+        let mut c = ClientState::new(1);
+        c.cache_put(name("a.com"), 0, 60, vec![Ipv4Addr::new(1, 1, 1, 1)]);
+        assert!(c.cache_get(&name("a.com"), 59_000_000).is_some());
+        assert!(c.cache_get(&name("a.com"), 61_000_000).is_none());
+        // TTL above the cap is clamped to 1 h.
+        c.cache_put(name("b.com"), 0, 86_400, vec![Ipv4Addr::new(2, 2, 2, 2)]);
+        assert!(c.cache_get(&name("b.com"), CLIENT_CACHE_CAP_MICROS - 1).is_some());
+        assert!(c.cache_get(&name("b.com"), CLIENT_CACHE_CAP_MICROS + 1).is_none());
+    }
+
+    #[test]
+    fn cache_size_limit_evicts_oldest() {
+        let mut c = ClientState::new(1);
+        for i in 0..CLIENT_CACHE_MAX_ENTRIES + 10 {
+            c.cache_put(
+                name(&format!("host{i}.example.com")),
+                i as u64,
+                3600,
+                vec![Ipv4Addr::new(9, 9, 9, 9)],
+            );
+        }
+        assert!(c.cache_len() <= CLIENT_CACHE_MAX_ENTRIES);
+        // The newest entry survives.
+        let newest = format!("host{}.example.com", CLIENT_CACHE_MAX_ENTRIES + 9);
+        assert!(c.cache_get(&name(&newest), 0).is_some());
+    }
+}

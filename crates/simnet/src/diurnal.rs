@@ -1,0 +1,68 @@
+//! The diurnal activity curve shared by client behaviour and CDN pool
+//! expansion (Figs. 4, 5, 14 all show the same day/night swing).
+
+/// Relative activity per local hour, 0–23. Shape: a residential-ISP curve —
+/// minimum around 04:00, morning ramp, afternoon plateau, evening peak
+/// around 21:00. Values are fractions of peak activity.
+const HOURLY: [f64; 24] = [
+    0.42, 0.30, 0.22, 0.17, 0.15, 0.17, 0.22, 0.32, // 00–07
+    0.45, 0.55, 0.62, 0.66, 0.70, 0.68, 0.66, 0.68, // 08–15
+    0.73, 0.80, 0.88, 0.95, 1.00, 1.00, 0.85, 0.60, // 16–23
+];
+
+/// Activity level in (0, 1] for a local-time hour (fractional hours are
+/// interpolated linearly).
+pub fn activity(hour: f64) -> f64 {
+    let h = hour.rem_euclid(24.0);
+    let i = h.floor() as usize % 24;
+    let j = (i + 1) % 24;
+    let frac = h - h.floor();
+    HOURLY[i] * (1.0 - frac) + HOURLY[j] * frac
+}
+
+/// Integrate activity over `[start_hour, start_hour + duration_hours)`,
+/// used to budget the total event count of a trace.
+pub fn mean_activity(start_hour: f64, duration_hours: f64) -> f64 {
+    let steps = (duration_hours * 4.0).ceil().max(1.0) as usize;
+    let dt = duration_hours / steps as f64;
+    let mut sum = 0.0;
+    for k in 0..steps {
+        sum += activity(start_hour + (k as f64 + 0.5) * dt);
+    }
+    sum / steps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_late_evening_trough_is_early_morning() {
+        assert!(activity(21.0) > activity(4.0) * 4.0);
+        assert!((activity(20.5) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn interpolation_is_continuous() {
+        for h in 0..48 {
+            let x = h as f64 / 2.0;
+            let a = activity(x);
+            let b = activity(x + 0.01);
+            assert!((a - b).abs() < 0.05, "jump at {x}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn wraps_midnight_and_negative() {
+        assert!((activity(24.0) - activity(0.0)).abs() < 1e-12);
+        assert!((activity(-1.0) - activity(23.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_activity_bounds() {
+        let m = mean_activity(0.0, 24.0);
+        assert!(m > 0.3 && m < 0.8, "mean {m}");
+        // A peak-hours-only window has higher mean than a full day.
+        assert!(mean_activity(18.0, 4.0) > m);
+    }
+}

@@ -1,0 +1,394 @@
+//! The authoritative side of the synthetic DNS: which addresses a name
+//! resolves to at a given time, including CDN pool rotation, diurnal pool
+//! expansion, and per-geography hosting selection.
+
+use std::net::Ipv4Addr;
+
+use rand::Rng;
+
+use crate::address::{AddressAllocator, SHARED_POOL};
+use crate::catalog::{Catalog, NamePattern, Service, ServiceId};
+use crate::config::Geography;
+
+/// Size of each organization's *shared* server estate (hosts serving many
+/// tenants at once — what makes a single `serverIP` carry many FQDNs).
+/// CDNs that front customer names through CNAME chains, and the zone the
+/// alias lives in.
+fn cname_zone(org: &str) -> Option<&'static str> {
+    match org {
+        "akamai" => Some("edgekey.net"),
+        "edgecast" => Some("edgecastcdn.net"),
+        "cdnetworks" => Some("cdngc.net"),
+        "limelight" => Some("lldns.net"),
+        _ => None,
+    }
+}
+
+fn shared_estate_size(org: &str) -> u32 {
+    match org {
+        "amazon" => 320,
+        "akamai" => 200,
+        "google" => 48,
+        "microsoft" => 24,
+        _ => 32,
+    }
+}
+
+/// Result of one resolution.
+#[derive(Debug, Clone)]
+pub struct Resolution {
+    pub addrs: Vec<Ipv4Addr>,
+    pub ttl: u32,
+    /// Organization that will serve this access (selected hosting).
+    pub org: &'static str,
+    /// CNAME the queried name aliases to, when the CDN fronts it
+    /// (`www.zynga.com → www.zynga.com.edgekey.net`).
+    pub cname: Option<dnhunter_dns::DomainName>,
+}
+
+/// Stateless resolver over the catalog + address allocator.
+pub struct AuthoritativeDns {
+    allocator: AddressAllocator,
+    geography: Geography,
+}
+
+impl AuthoritativeDns {
+    /// Build for a vantage-point geography.
+    pub fn new(geography: Geography) -> Self {
+        AuthoritativeDns {
+            allocator: AddressAllocator::new(),
+            geography,
+        }
+    }
+
+    /// Resolve instance `i` of a service at local-time `hour`.
+    pub fn resolve<R: Rng>(
+        &mut self,
+        catalog: &Catalog,
+        id: ServiceId,
+        instance: u32,
+        hour: f64,
+        rng: &mut R,
+    ) -> Resolution {
+        let svc = catalog.service(id);
+        let dom = catalog.domain(id);
+        let hosting = pick_hosting(svc, self.geography, rng);
+        let h = &svc.hosting[hosting];
+        let pool_size = h.pool.size_at(hour).max(1);
+        // Pinned services (small dedicated sites) always resolve to the one
+        // stable server their instance hashes to.
+        let (k, rot) = if svc.pinned {
+            let full = h.pool.max_size().max(1);
+            (1, fnv(&instance.to_le_bytes()) as u32 % full)
+        } else if svc.unbounded {
+            // Content-hash names (CDN photo/object families) map to a
+            // cluster that only drifts a few times a day — repeat accesses
+            // mostly see the same front end. The window is laid out over
+            // the *full* pool so it stays stable while the active pool
+            // breathes diurnally.
+            let full = h.pool.max_size().max(1);
+            let k = answer_count(svc.answers_max, full, rng);
+            let drift = (hour / 12.0) as u32;
+            (
+                k,
+                (fnv(&instance.to_le_bytes()) as u32).wrapping_add(drift) % full,
+            )
+        } else {
+            let k = answer_count(svc.answers_max, pool_size, rng);
+            (k, rng.gen_range(0..pool_size))
+        };
+        let mut addrs = Vec::with_capacity(k as usize);
+        let modulus = if svc.pinned || svc.unbounded {
+            h.pool.max_size().max(1)
+        } else {
+            pool_size
+        };
+        for j in 0..k {
+            let index = (rot + j) % modulus;
+            let ip = if h.shared {
+                let estate = shared_estate_size(h.org);
+                // Each tenant service occupies a window of the shared
+                // estate; windows overlap across tenants.
+                let base = fnv(dom.sld.as_bytes()) as u32 % estate;
+                self.allocator
+                    .server_ip(h.org, SHARED_POOL, estate, (base + index) % estate)
+            } else {
+                let key = dedicated_pool_key(dom.sld, id, hosting);
+                self.allocator
+                    .server_ip(h.org, key, h.pool.max_size(), index)
+            };
+            if !addrs.contains(&ip) {
+                addrs.push(ip);
+            }
+        }
+        // Front servers of self-hosted `www` names get exact PTR records
+        // (Tab. 3's "Same FQDN" class).
+        if !h.shared && matches!(svc.pattern, NamePattern::Fixed("www")) {
+            if let Some(first) = addrs.first() {
+                let fqdn = svc.fqdn(dom.sld, instance);
+                self.allocator.register_exact_ptr(*first, &fqdn);
+            }
+        }
+        // Small dedicated servers often carry customer-set reverse records:
+        // some match the site exactly, some are generic host names under
+        // the site's domain, some were never configured.
+        if svc.pinned {
+            if let Some(first) = addrs.first() {
+                let o = first.octets();
+                match fnv(&o) % 100 {
+                    0..=6 => {
+                        let fqdn = svc.fqdn(dom.sld, instance);
+                        self.allocator.register_exact_ptr(*first, &fqdn);
+                    }
+                    7..=72 => {
+                        let host: dnhunter_dns::DomainName =
+                            format!("host{}.{}", fnv(&o) % 97, dom.sld)
+                                .parse()
+                                .expect("generated name is valid");
+                        self.allocator.register_exact_ptr(*first, &host);
+                    }
+                    _ => {} // no reverse record
+                }
+            }
+        }
+        // CDN-fronted names alias into the CDN's zone. Only fixed-name
+        // services of customer domains get the chain (content-hash CDN
+        // families are already CDN-owned names).
+        let cname = match (cname_zone(h.org), svc.pattern) {
+            (Some(zone), NamePattern::Fixed(_) | NamePattern::Apex)
+                if rng.gen::<f64>() < 0.6 =>
+            {
+                let fqdn = svc.fqdn(dom.sld, instance);
+                format!("{fqdn}.{zone}").parse().ok()
+            }
+            _ => None,
+        };
+        Resolution {
+            addrs,
+            ttl: svc.ttl,
+            org: h.org,
+            cname,
+        }
+    }
+
+    /// Hand over the accumulated reverse zone.
+    pub fn into_ptr_zone(self) -> crate::address::PtrZone {
+        self.allocator.into_ptr_zone()
+    }
+
+    /// Peek at the reverse zone.
+    pub fn ptr_zone(&self) -> &crate::address::PtrZone {
+        self.allocator.ptr_zone()
+    }
+}
+
+/// Weighted hosting choice for the geography.
+fn pick_hosting<R: Rng>(svc: &Service, geo: Geography, rng: &mut R) -> usize {
+    let total: f64 = svc.hosting.iter().map(|h| h.weight(geo)).sum();
+    if total <= 0.0 {
+        return 0;
+    }
+    let mut x = rng.gen::<f64>() * total;
+    for (i, h) in svc.hosting.iter().enumerate() {
+        x -= h.weight(geo);
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    svc.hosting.len() - 1
+}
+
+/// Answer-list length: mostly 1, sometimes up to `max` (paper §6: ~60% of
+/// responses carry one address, 20–25% carry 2–10, a few carry 16+).
+fn answer_count<R: Rng>(answers_max: u8, pool: u32, rng: &mut R) -> u32 {
+    let max = u32::from(answers_max).min(pool).max(1);
+    if max == 1 || rng.gen::<f64>() < 0.6 {
+        1
+    } else {
+        rng.gen_range(2..=max)
+    }
+}
+
+/// Stable pool key for a dedicated hosting arrangement.
+fn dedicated_pool_key(sld: &str, id: ServiceId, hosting: usize) -> u64 {
+    let mut h = fnv(sld.as_bytes());
+    h = h
+        .wrapping_mul(0x100000001b3)
+        .wrapping_add(id.service as u64 + 1);
+    h.wrapping_mul(0x100000001b3)
+        .wrapping_add(hosting as u64 + 1)
+        | 1 // never collide with SHARED_POOL (0)
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::paper_catalog;
+    use dnhunter_orgdb::builtin_registry;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::net::IpAddr;
+
+    fn find_service(c: &Catalog, sld: &str, pred: impl Fn(&Service) -> bool) -> ServiceId {
+        for id in c.service_ids() {
+            if c.domain(id).sld == sld && pred(c.service(id)) {
+                return id;
+            }
+        }
+        panic!("service not found under {sld}");
+    }
+
+    #[test]
+    fn resolution_lands_in_announced_prefixes() {
+        let c = paper_catalog(false);
+        let db = builtin_registry();
+        let mut auth = AuthoritativeDns::new(Geography::Eu);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for id in c.service_ids() {
+            let r = auth.resolve(&c, id, 0, 21.0, &mut rng);
+            assert!(!r.addrs.is_empty());
+            for ip in &r.addrs {
+                let org = db.org_name(IpAddr::V4(*ip));
+                assert_eq!(org, r.org, "service under {}", c.domain(id).sld);
+            }
+        }
+    }
+
+    #[test]
+    fn google_answers_can_be_long() {
+        let c = paper_catalog(false);
+        let id = find_service(&c, "google.com", |s| {
+            matches!(s.pattern, NamePattern::Fixed("www"))
+        });
+        let mut auth = AuthoritativeDns::new(Geography::Eu);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut max_seen = 0;
+        for _ in 0..200 {
+            let r = auth.resolve(&c, id, 0, 12.0, &mut rng);
+            max_seen = max_seen.max(r.addrs.len());
+        }
+        assert!(max_seen >= 10, "expected long answer lists, max={max_seen}");
+    }
+
+    #[test]
+    fn diurnal_pools_touch_more_servers_at_peak() {
+        // Use a bounded diurnal service: unbounded families use stable
+        // per-instance windows instead of random rotation.
+        let c = paper_catalog(false);
+        let id = find_service(&c, "facebook.com", |s| {
+            matches!(s.pattern, NamePattern::Fixed("www"))
+        });
+        let mut auth = AuthoritativeDns::new(Geography::Eu);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let distinct = |auth: &mut AuthoritativeDns, rng: &mut ChaCha8Rng, hour: f64| {
+            let mut set = std::collections::HashSet::new();
+            for _ in 0..300 {
+                for ip in auth.resolve(&c, id, 0, hour, rng).addrs {
+                    set.insert(ip);
+                }
+            }
+            set.len()
+        };
+        let night = distinct(&mut auth, &mut rng, 4.0);
+        let peak = distinct(&mut auth, &mut rng, 20.0);
+        assert!(
+            peak as f64 > night as f64 * 2.0,
+            "peak {peak} vs night {night}"
+        );
+    }
+
+    #[test]
+    fn shared_estate_overlaps_tenants() {
+        // Two Amazon tenants must share at least one server address.
+        let c = paper_catalog(false);
+        let zynga = find_service(&c, "zynga.com", |s| s.popularity > 1.0);
+        let dropbox = find_service(&c, "dropbox.com", |s| s.popularity > 1.0);
+        let mut auth = AuthoritativeDns::new(Geography::Us);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut zset = std::collections::HashSet::new();
+        let mut dset = std::collections::HashSet::new();
+        for _ in 0..500 {
+            zset.extend(auth.resolve(&c, zynga, 0, 20.0, &mut rng).addrs);
+            dset.extend(auth.resolve(&c, dropbox, 0, 20.0, &mut rng).addrs);
+        }
+        assert!(
+            zset.intersection(&dset).count() > 0,
+            "EC2 tenants should share servers"
+        );
+    }
+
+    #[test]
+    fn geography_changes_hosting_mix() {
+        let c = paper_catalog(false);
+        let id = find_service(&c, "twitter.com", |s| {
+            matches!(s.pattern, NamePattern::Fixed("www"))
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let db = builtin_registry();
+        let count_akamai = |geo: Geography, rng: &mut ChaCha8Rng| {
+            let mut auth = AuthoritativeDns::new(geo);
+            let mut n = 0;
+            for _ in 0..400 {
+                let r = auth.resolve(&c, id, 0, 15.0, rng);
+                if db.org_name(IpAddr::V4(r.addrs[0])) == "akamai" {
+                    n += 1;
+                }
+            }
+            n
+        };
+        let us = count_akamai(Geography::Us, &mut rng);
+        let eu = count_akamai(Geography::Eu, &mut rng);
+        assert!(eu > us * 2, "akamai share EU {eu} vs US {us}");
+    }
+
+    #[test]
+    fn cdn_fronted_names_get_cname_chains() {
+        let c = paper_catalog(false);
+        // linkedin's `media` service is EdgeCast-fronted.
+        let id = find_service(&c, "linkedin.com", |s| {
+            matches!(s.pattern, NamePattern::Fixed("media"))
+        });
+        let mut auth = AuthoritativeDns::new(Geography::Eu);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut with_cname = 0;
+        for _ in 0..50 {
+            let r = auth.resolve(&c, id, 0, 12.0, &mut rng);
+            if let Some(cn) = &r.cname {
+                assert!(cn.to_string().ends_with("edgecastcdn.net"));
+                assert!(cn.to_string().starts_with("media.linkedin.com"));
+                with_cname += 1;
+            }
+        }
+        assert!(with_cname > 10, "cname chains should be common: {with_cname}");
+        // Self-hosted services never alias.
+        let www = find_service(&c, "linkedin.com", |s| {
+            matches!(s.pattern, NamePattern::Fixed("www"))
+        });
+        for _ in 0..20 {
+            assert!(auth.resolve(&c, www, 0, 12.0, &mut rng).cname.is_none());
+        }
+    }
+
+    #[test]
+    fn www_front_servers_get_exact_ptr() {
+        let c = paper_catalog(false);
+        let id = find_service(&c, "linkedin.com", |s| {
+            matches!(s.pattern, NamePattern::Fixed("www"))
+        });
+        let mut auth = AuthoritativeDns::new(Geography::Us);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let r = auth.resolve(&c, id, 0, 12.0, &mut rng);
+        let zone = auth.ptr_zone();
+        let ptr = zone.lookup(IpAddr::V4(r.addrs[0])).unwrap();
+        assert_eq!(ptr.to_string(), "www.linkedin.com");
+    }
+}

@@ -1,0 +1,217 @@
+//! The five paper traces (Tab. 1) plus the 18-day live deployment, scaled
+//! to laptop-size populations.
+//!
+//! Paper trace sizes (4M–38M TCP flows) are scaled down ~300×; the *ratios*
+//! between traces, the durations, start hours, access technologies and
+//! behavioural mixes are preserved. Scale any profile back up with
+//! [`TraceProfile::scaled`].
+
+use crate::config::{AccessTech, Geography, TraceProfile};
+
+/// 2011-04-12 00:00:00 UTC, µs — an arbitrary 2011 anchor.
+const EPOCH_2011: u64 = 1_302_566_400_000_000;
+
+fn base(name: &str, seed: u64) -> TraceProfile {
+    TraceProfile {
+        name: name.to_string(),
+        seed,
+        tech: AccessTech::Adsl,
+        geography: Geography::Eu,
+        start_epoch_micros: EPOCH_2011,
+        start_hour: 8.0,
+        duration_hours: 24.0,
+        clients: 100,
+        views_per_client_hour: 6.0,
+        embedded_per_view: 3.0,
+        prefetch_per_view: 2.0,
+        p2p_client_fraction: 0.05,
+        peers_per_announce: 40.0,
+        announce_interval_hours: 0.5,
+        tunnel_client_fraction: 0.0,
+        mobility_client_fraction: 0.0,
+        prewarm_prob: 0.32,
+        invisible_resolution_prob: 0.06,
+        ipv6_client_fraction: 0.0,
+        warmup_micros: 5 * 60 * 1_000_000,
+    }
+}
+
+/// US-3G: 3 h mobile trace, 15:30 GMT start. Mobility and HTTP tunnelling
+/// depress the hit ratio (Tab. 2: 75%), prefetching is lighter (Tab. 9:
+/// 30% useless), delays are the largest (Fig. 12).
+pub fn us_3g() -> TraceProfile {
+    TraceProfile {
+        tech: AccessTech::Mobile3g,
+        geography: Geography::Us,
+        start_hour: 15.5,
+        duration_hours: 3.0,
+        clients: 150,
+        views_per_client_hour: 9.0,
+        embedded_per_view: 2.2,
+        prefetch_per_view: 1.2,
+        p2p_client_fraction: 0.06,
+        peers_per_announce: 10.0,
+        tunnel_client_fraction: 0.06,
+        mobility_client_fraction: 0.30,
+        prewarm_prob: 0.38,
+        invisible_resolution_prob: 0.10,
+        ..base("US-3G", 0x3001)
+    }
+}
+
+/// EU2-ADSL: 6 h European ADSL trace, 14:50 GMT (the paper's most
+/// DNS-efficient trace: 96–97% hit ratio).
+pub fn eu2_adsl() -> TraceProfile {
+    TraceProfile {
+        start_hour: 14.8,
+        duration_hours: 6.0,
+        clients: 260,
+        views_per_client_hour: 8.0,
+        prefetch_per_view: 4.0,
+        prewarm_prob: 0.20,
+        invisible_resolution_prob: 0.015,
+        ..base("EU2-ADSL", 0x2001)
+    }
+}
+
+/// EU1-ADSL1: the 24 h flagship trace (largest flow count; drives Fig. 14
+/// and the Clist dimensioning of §6).
+pub fn eu1_adsl1() -> TraceProfile {
+    TraceProfile {
+        start_hour: 8.0,
+        duration_hours: 24.0,
+        clients: 240,
+        views_per_client_hour: 7.0,
+        prefetch_per_view: 3.8,
+        prewarm_prob: 0.30,
+        invisible_resolution_prob: 0.075,
+        ..base("EU1-ADSL1", 0x1101)
+    }
+}
+
+/// EU1-ADSL2: 5 h trace, 8:40 GMT (Figs. 4–5 time series, Tabs. 3–4).
+pub fn eu1_adsl2() -> TraceProfile {
+    TraceProfile {
+        start_hour: 8.67,
+        duration_hours: 5.0,
+        clients: 150,
+        views_per_client_hour: 7.0,
+        prefetch_per_view: 3.8,
+        prewarm_prob: 0.33,
+        invisible_resolution_prob: 0.10,
+        ..base("EU1-ADSL2", 0x1201)
+    }
+}
+
+/// EU1-FTTH: 3 h fibre trace, 17:00 GMT — smallest trace, fastest access
+/// (Fig. 12's leftmost CDF), source of the well-known-port tags (Tab. 6).
+pub fn eu1_ftth() -> TraceProfile {
+    TraceProfile {
+        tech: AccessTech::Ftth,
+        start_hour: 17.0,
+        duration_hours: 3.0,
+        clients: 90,
+        views_per_client_hour: 8.0,
+        prefetch_per_view: 4.0,
+        prewarm_prob: 0.40,
+        invisible_resolution_prob: 0.095,
+        ipv6_client_fraction: 0.15,
+        ..base("EU1-FTTH", 0x1301)
+    }
+}
+
+/// The 18-day live deployment at EU1-ADSL2 (Figs. 6, 10, 11; Tab. 8).
+/// Lower per-hour rates keep the packet count tractable; the long horizon
+/// is what matters for the birth processes.
+pub fn live_profile() -> TraceProfile {
+    TraceProfile {
+        start_hour: 0.0,
+        duration_hours: 18.0 * 24.0,
+        clients: 60,
+        views_per_client_hour: 1.6,
+        embedded_per_view: 2.0,
+        prefetch_per_view: 1.4,
+        p2p_client_fraction: 0.25,
+        peers_per_announce: 5.0,
+        announce_interval_hours: 0.6,
+        prewarm_prob: 0.25,
+        invisible_resolution_prob: 0.06,
+        ..base("EU1-ADSL2-live", 0x1202)
+    }
+}
+
+/// The five Tab. 1 traces, in the paper's order.
+pub fn all_paper_profiles() -> Vec<TraceProfile> {
+    vec![us_3g(), eu2_adsl(), eu1_adsl1(), eu1_adsl2(), eu1_ftth()]
+}
+
+/// Look a profile up by its table name (case-insensitive); also accepts
+/// `live` / `EU1-ADSL2-live`.
+pub fn profile_by_name(name: &str) -> Option<TraceProfile> {
+    let n = name.to_ascii_lowercase();
+    match n.as_str() {
+        "us-3g" => Some(us_3g()),
+        "eu2-adsl" => Some(eu2_adsl()),
+        "eu1-adsl1" => Some(eu1_adsl1()),
+        "eu1-adsl2" => Some(eu1_adsl2()),
+        "eu1-ftth" => Some(eu1_ftth()),
+        "live" | "eu1-adsl2-live" => Some(live_profile()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_profiles_match_table_1_structure() {
+        let all = all_paper_profiles();
+        assert_eq!(all.len(), 5);
+        let names: Vec<&str> = all.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["US-3G", "EU2-ADSL", "EU1-ADSL1", "EU1-ADSL2", "EU1-FTTH"]
+        );
+        // Durations from Tab. 1.
+        let hours: Vec<f64> = all.iter().map(|p| p.duration_hours).collect();
+        assert_eq!(hours, vec![3.0, 6.0, 24.0, 5.0, 3.0]);
+        // EU1-ADSL1 is the biggest trace.
+        let adsl1 = &all[2];
+        for p in &all {
+            assert!(
+                adsl1.clients as f64 * adsl1.duration_hours
+                    >= p.clients as f64 * p.duration_hours * 0.99
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(profile_by_name("eu1-ftth").is_some());
+        assert!(profile_by_name("EU1-FTTH").is_some());
+        assert!(profile_by_name("live").is_some());
+        assert!(profile_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn only_the_mobile_trace_has_mobility_and_tunnels() {
+        for p in all_paper_profiles() {
+            if p.name == "US-3G" {
+                assert!(p.mobility_client_fraction > 0.0);
+                assert!(p.tunnel_client_fraction > 0.0);
+                assert!(p.prefetch_per_view < 2.0);
+            } else {
+                assert_eq!(p.mobility_client_fraction, 0.0);
+                assert_eq!(p.tunnel_client_fraction, 0.0);
+                assert!(p.prefetch_per_view >= 1.5);
+            }
+        }
+    }
+
+    #[test]
+    fn live_profile_is_18_days() {
+        let p = live_profile();
+        assert_eq!(p.duration_hours, 432.0);
+    }
+}

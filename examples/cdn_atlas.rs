@@ -1,0 +1,43 @@
+//! CDN atlas: spatial + content discovery (paper §4.1–4.2, Figs. 7–8,
+//! Tab. 5). Who serves zynga.com? What does Amazon's cloud host?
+//!
+//! ```text
+//! cargo run --release --example cdn_atlas
+//! ```
+
+use dn_hunter_repro::run_scaled;
+use dnhunter_analytics::content::top_domains_on_org;
+use dnhunter_analytics::spatial::spatial_discovery;
+use dnhunter_analytics::tree::domain_tree;
+use dnhunter_dns::suffix::SuffixSet;
+use dnhunter_orgdb::builtin_registry;
+use dnhunter_simnet::profiles;
+
+fn main() {
+    let run = run_scaled(profiles::us_3g(), 0.3, false);
+    let db = &run.report.database;
+    let suffixes = SuffixSet::builtin();
+    let orgdb = builtin_registry();
+
+    // Spatial discovery: which servers deliver Zynga content?
+    let target = "farmville.facebook.zynga.com".parse().expect("valid name");
+    let spatial = spatial_discovery(db, &target, &suffixes);
+    println!(
+        "spatial discovery for {} — organization {}",
+        target, spatial.second_level
+    );
+    println!("  {} distinct serverIPs in total", spatial.org_servers.len());
+    for (fqdn, servers) in spatial.fqdn_servers.iter().take(10) {
+        println!("  {:<44} {} servers", fqdn.to_string(), servers.len());
+    }
+
+    // The Fig. 8-style domain tree with CDN grouping.
+    let tree = domain_tree(db, &"zynga.com".parse().expect("valid"), &orgdb, &suffixes);
+    println!("\n{}", tree.render());
+
+    // Content discovery: what does Amazon EC2 host, from this viewpoint?
+    println!("top domains on the Amazon cloud (US viewpoint):");
+    for (domain, share) in top_domains_on_org(db, &orgdb, "amazon", 10, &suffixes) {
+        println!("  {:<24} {:>5.1}%", domain.to_string(), share * 100.0);
+    }
+}

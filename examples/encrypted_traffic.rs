@@ -1,0 +1,60 @@
+//! Encrypted traffic visibility: compare DN-Hunter's DNS labels with what
+//! a certificate-inspecting DPI sees on the same TLS flows (paper §5.2.1).
+//!
+//! ```text
+//! cargo run --release --example encrypted_traffic
+//! ```
+
+use dn_hunter_repro::run_scaled;
+use dnhunter_baselines::certificate_comparison;
+use dnhunter_dns::suffix::SuffixSet;
+use dnhunter_flow::AppProtocol;
+use dnhunter_simnet::profiles;
+
+fn main() {
+    let run = run_scaled(profiles::eu1_adsl2(), 0.15, false);
+    let db = &run.report.database;
+    let suffixes = SuffixSet::builtin();
+
+    let tls: Vec<_> = db
+        .flows()
+        .iter()
+        .filter(|f| f.protocol == AppProtocol::Tls)
+        .collect();
+    let labelled = tls.iter().filter(|f| f.is_tagged()).count();
+    println!("TLS flows: {}   labelled by DNS: {}", tls.len(), labelled);
+
+    // What would a DPI get from the certificates?
+    let counts = certificate_comparison(db, &suffixes);
+    let f = counts.fractions();
+    println!("\ncertificate inspection on the same flows:");
+    println!("  CN equals the FQDN      : {:>5.1}%", f[0] * 100.0);
+    println!("  generic wildcard CN     : {:>5.1}%", f[1] * 100.0);
+    println!("  totally different CN    : {:>5.1}%", f[2] * 100.0);
+    println!("  no certificate at all   : {:>5.1}%", f[3] * 100.0);
+
+    // Show a few flows where only the DNS label identifies the service.
+    println!("\nflows where the certificate lies (or is absent):");
+    let mut shown = 0;
+    for flow in &tls {
+        let (Some(fqdn), Some(tls_info)) = (&flow.fqdn, &flow.tls) else {
+            continue;
+        };
+        let cn = tls_info.certificate_cn.as_deref();
+        let misleading = match cn {
+            None => true,
+            Some(cn) => cn != fqdn.to_string() && !cn.starts_with("*."),
+        };
+        if misleading {
+            println!(
+                "  label={:<40} certificate={:?}",
+                fqdn.to_string(),
+                cn.unwrap_or("<none>")
+            );
+            shown += 1;
+            if shown >= 8 {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Workspace-level glue: run a synthetic trace profile end-to-end through
+//! the DN-Hunter sniffer and hand the report to analytics, tests and
+//! examples. This is the programmatic equivalent of "capture at the PoP,
+//! then analyze".
+
+use dnhunter::{RealTimeSniffer, SnifferConfig, SnifferReport};
+use dnhunter_simnet::{Trace, TraceGenerator, TraceProfile};
+
+/// Outcome of one end-to-end run.
+pub struct TraceRun {
+    pub profile: TraceProfile,
+    pub report: SnifferReport,
+    pub ptr_zone: dnhunter_simnet::PtrZone,
+    pub gen_stats: dnhunter_simnet::generator::GenStats,
+}
+
+/// Generate the trace for `profile` and replay it through a fresh sniffer.
+/// `live` enables the appspot.com model (18-day deployment experiments).
+pub fn run_profile(profile: TraceProfile, live: bool) -> TraceRun {
+    let generator = TraceGenerator::new(profile.clone(), live);
+    let trace = generator.generate();
+    run_trace(profile, trace)
+}
+
+/// Replay an already-generated trace through a fresh sniffer.
+pub fn run_trace(profile: TraceProfile, trace: Trace) -> TraceRun {
+    let mut sniffer = RealTimeSniffer::new(SnifferConfig {
+        warmup_micros: profile.warmup_micros,
+        ..SnifferConfig::default()
+    });
+    for rec in &trace.records {
+        sniffer.process_record(rec);
+    }
+    TraceRun {
+        profile,
+        report: sniffer.finish(),
+        ptr_zone: trace.ptr_zone,
+        gen_stats: trace.stats,
+    }
+}
+
+/// Scale a profile and run it — the common pattern for fast tests and
+/// examples (`scale` multiplies the client population).
+pub fn run_scaled(mut profile: TraceProfile, scale: f64, live: bool) -> TraceRun {
+    profile = profile.scaled(scale);
+    run_profile(profile, live)
+}

@@ -1,0 +1,57 @@
+//! The 18-day live-deployment experiments (§5.6) end-to-end at small scale.
+
+use dn_hunter_repro::run_scaled;
+use dnhunter_analytics::appspot::appspot_report;
+use dnhunter_analytics::growth::growth_curves;
+use dnhunter_dns::suffix::SuffixSet;
+use dnhunter_simnet::profiles;
+
+#[test]
+fn live_trace_reproduces_the_appspot_story() {
+    let run = run_scaled(profiles::live_profile(), 0.12, true);
+    let suffixes = SuffixSet::builtin();
+    let origin = run.report.trace_start.unwrap_or(0);
+    let four_hours = 4 * 3600 * 1_000_000;
+    let report = appspot_report(&run.report.database, &suffixes, origin, four_hours);
+
+    // Trackers exist and behave like Tab. 8: more flows than the general
+    // apps, far fewer bytes, relatively upload-heavy.
+    assert!(report.trackers.services >= 10, "trackers: {}", report.trackers.services);
+    assert!(report.general.services >= 20, "apps: {}", report.general.services);
+    assert!(
+        report.trackers.flows > report.general.flows,
+        "tracker flows {} vs general {}",
+        report.trackers.flows,
+        report.general.flows
+    );
+    assert!(report.general.bytes_s2c > report.trackers.bytes_s2c);
+    let t_ratio = report.trackers.bytes_c2s as f64 / report.trackers.bytes_s2c.max(1) as f64;
+    let g_ratio = report.general.bytes_c2s as f64 / report.general.bytes_s2c.max(1) as f64;
+    assert!(t_ratio > g_ratio * 3.0, "upload ratios {t_ratio} vs {g_ratio}");
+
+    // Fig. 10: the tag cloud names the tracker families.
+    let tokens: Vec<&str> = report.tag_cloud.iter().map(|(t, _)| t.as_str()).collect();
+    assert!(tokens.iter().any(|t| *t == "tracker" || *t == "rlskingbt" || *t == "swarm"));
+
+    // Fig. 11: a meaningful tracker population with multi-bin activity.
+    assert!(report.tracker_timeline.len() >= 10);
+    let busiest = report
+        .tracker_timeline
+        .iter()
+        .map(|(_, bins)| bins.len())
+        .max()
+        .unwrap_or(0);
+    assert!(busiest > 20, "busiest tracker active in {busiest} bins");
+
+    // Fig. 6: FQDNs keep growing; organizations saturate.
+    let day = 24 * 3600 * 1_000_000u64;
+    let g = growth_curves(&run.report.database, origin, day);
+    let (fq, sld, _ip) = g.totals();
+    assert!(fq > 300, "unique FQDNs {fq}");
+    assert!(sld < 100, "unique 2nd-level {sld}");
+    let fq_tail = dnhunter_analytics::growth::GrowthCurves::tail_growth(&g.unique_fqdns, 3);
+    let sld_tail =
+        dnhunter_analytics::growth::GrowthCurves::tail_growth(&g.unique_second_levels, 3);
+    assert!(fq_tail > 10, "FQDNs should still be growing: +{fq_tail}");
+    assert!(sld_tail <= 2, "organizations should have saturated: +{sld_tail}");
+}
