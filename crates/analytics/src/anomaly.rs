@@ -159,7 +159,9 @@ mod tests {
         det.observe(&name("a.example.org"), ip("151.1.0.1"), 1);
         det.observe(&name("a.example.org"), ip("151.1.0.2"), 2);
         // b's first sighting is learning, even though a is enforced.
-        assert!(det.observe(&name("b.example.org"), ip("186.1.1.1"), 3).is_none());
+        assert!(det
+            .observe(&name("b.example.org"), ip("186.1.1.1"), 3)
+            .is_none());
         assert_eq!(det.tracked_names(), 2);
     }
 }

@@ -167,14 +167,56 @@ mod tests {
         let mut db = FlowDatabase::new();
         // A tracker announcing in two separate 4h bins (plus one HTTP flow
         // to the same app, which still counts as tracker traffic).
-        db.push(flow("open-tracker-1.appspot.com", AppProtocol::P2p, 0, 1000, 2000), &s);
-        db.push(flow("open-tracker-1.appspot.com", AppProtocol::P2p, 5 * HOUR, 1000, 2000), &s);
-        db.push(flow("open-tracker-1.appspot.com", AppProtocol::Http, HOUR, 500, 500), &s);
+        db.push(
+            flow(
+                "open-tracker-1.appspot.com",
+                AppProtocol::P2p,
+                0,
+                1000,
+                2000,
+            ),
+            &s,
+        );
+        db.push(
+            flow(
+                "open-tracker-1.appspot.com",
+                AppProtocol::P2p,
+                5 * HOUR,
+                1000,
+                2000,
+            ),
+            &s,
+        );
+        db.push(
+            flow(
+                "open-tracker-1.appspot.com",
+                AppProtocol::Http,
+                HOUR,
+                500,
+                500,
+            ),
+            &s,
+        );
         // A later-born tracker.
-        db.push(flow("rlskingbt-2.appspot.com", AppProtocol::P2p, 9 * HOUR, 800, 900), &s);
+        db.push(
+            flow(
+                "rlskingbt-2.appspot.com",
+                AppProtocol::P2p,
+                9 * HOUR,
+                800,
+                900,
+            ),
+            &s,
+        );
         // Legit apps: few flows, fat downloads.
-        db.push(flow("game-1.appspot.com", AppProtocol::Http, 0, 2000, 90_000), &s);
-        db.push(flow("tool-4.appspot.com", AppProtocol::Http, HOUR, 1500, 60_000), &s);
+        db.push(
+            flow("game-1.appspot.com", AppProtocol::Http, 0, 2000, 90_000),
+            &s,
+        );
+        db.push(
+            flow("tool-4.appspot.com", AppProtocol::Http, HOUR, 1500, 60_000),
+            &s,
+        );
         // Non-appspot noise must be ignored.
         db.push(flow("www.google.com", AppProtocol::Http, 0, 1, 1), &s);
         db

@@ -31,9 +31,7 @@ pub fn confusion_report(
     let mut pair_fqdns: HashMap<(IpAddr, IpAddr), Vec<&DomainName>> = HashMap::new();
     for f in db.flows() {
         if let Some(fqdn) = &f.fqdn {
-            let e = pair_fqdns
-                .entry((f.key.client, f.key.server))
-                .or_default();
+            let e = pair_fqdns.entry((f.key.client, f.key.server)).or_default();
             if !e.contains(&fqdn) {
                 e.push(fqdn);
             }

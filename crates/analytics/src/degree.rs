@@ -98,7 +98,7 @@ mod tests {
         assert_eq!(r.max_ips_per_fqdn, 3);
         assert_eq!(r.max_fqdns_per_ip, 2);
         assert_eq!(r.single_ip_fqdn_fraction, 0.5); // single.org only
-        // 1.1.1.2 and 1.1.1.3 serve one FQDN each → 2 of 3 addresses.
+                                                    // 1.1.1.2 and 1.1.1.3 serve one FQDN each → 2 of 3 addresses.
         assert!((r.single_fqdn_ip_fraction - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(r.ips_per_fqdn.len(), 2);
         assert_eq!(r.fqdns_per_ip.len(), 3);

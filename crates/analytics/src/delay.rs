@@ -19,12 +19,7 @@ pub struct DelayReport {
 /// seconds, the paper's x-axis unit).
 pub fn delay_report(samples: &DelaySamples) -> DelayReport {
     DelayReport {
-        first_flow: Ecdf::new(
-            samples
-                .first_flow_delays
-                .iter()
-                .map(|&d| d as f64 / 1e6),
-        ),
+        first_flow: Ecdf::new(samples.first_flow_delays.iter().map(|&d| d as f64 / 1e6)),
         any_flow: Ecdf::new(samples.any_flow_delays.iter().map(|&d| d as f64 / 1e6)),
         useless_fraction: samples.useless_fraction(),
     }
@@ -62,7 +57,12 @@ mod tests {
                 15_000_000,
             ],
             any_flow_delays: vec![
-                100_000, 200_000, 1_000_000, 60_000_000, 600_000_000, 3_000_000_000,
+                100_000,
+                200_000,
+                1_000_000,
+                60_000_000,
+                600_000_000,
+                3_000_000_000,
             ],
             useless_responses: 47,
             answered_responses: 100,

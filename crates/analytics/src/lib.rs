@@ -18,6 +18,8 @@
 //! | [`anomaly`] | §4.1's sketched application: DNS hijack/poisoning detection |
 //! | [`cdf`], [`timeseries`], [`report`] | shared statistical/rendering plumbing |
 
+#![forbid(unsafe_code)]
+
 pub mod anomaly;
 pub mod appspot;
 pub mod cdf;

@@ -127,7 +127,8 @@ mod tests {
 
     #[test]
     fn renders_aligned_table() {
-        let mut t = TextTable::new("Table X", &["name", "value"]).aligns(&[Align::Left, Align::Right]);
+        let mut t =
+            TextTable::new("Table X", &["name", "value"]).aligns(&[Align::Left, Align::Right]);
         t.row(&["alpha", "1"]);
         t.row(&["b", "12345"]);
         let s = t.render();

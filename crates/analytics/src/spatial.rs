@@ -90,11 +90,7 @@ pub struct OrgShare {
 /// Fig. 9 row: hosting breakdown of one content provider in one trace.
 /// `self_org` is the provider's own organization name in the org database
 /// (e.g. `facebook` for facebook.com).
-pub fn hosting_breakdown(
-    db: &FlowDatabase,
-    sld: &DomainName,
-    orgdb: &OrgDb,
-) -> Vec<OrgShare> {
+pub fn hosting_breakdown(db: &FlowDatabase, sld: &DomainName, orgdb: &OrgDb) -> Vec<OrgShare> {
     let mut flows_per_host: HashMap<String, u64> = HashMap::new();
     let mut servers_per_host: HashMap<String, HashSet<IpAddr>> = HashMap::new();
     let mut total = 0u64;
@@ -105,7 +101,10 @@ pub fn hosting_breakdown(
             None => "unknown".to_string(),
         };
         *flows_per_host.entry(host.clone()).or_default() += 1;
-        servers_per_host.entry(host).or_default().insert(f.key.server);
+        servers_per_host
+            .entry(host)
+            .or_default()
+            .insert(f.key.server);
         total += 1;
     }
     let mut out: Vec<OrgShare> = flows_per_host

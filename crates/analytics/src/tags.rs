@@ -21,12 +21,7 @@ pub struct Tag {
 }
 
 /// TAG_EXTRACTION(dPort, k): the top-k tokens for a port.
-pub fn extract_tags(
-    db: &FlowDatabase,
-    port: u16,
-    k: usize,
-    suffixes: &SuffixSet,
-) -> Vec<Tag> {
+pub fn extract_tags(db: &FlowDatabase, port: u16, k: usize, suffixes: &SuffixSet) -> Vec<Tag> {
     let scores = token_scores(db, port, suffixes);
     let mut out: Vec<Tag> = scores
         .into_iter()
@@ -170,10 +165,22 @@ mod tests {
     #[test]
     fn percentile_cut() {
         let tags = vec![
-            Tag { token: "a".into(), score: 50.0 },
-            Tag { token: "b".into(), score: 30.0 },
-            Tag { token: "c".into(), score: 15.0 },
-            Tag { token: "d".into(), score: 5.0 },
+            Tag {
+                token: "a".into(),
+                score: 50.0,
+            },
+            Tag {
+                token: "b".into(),
+                score: 30.0,
+            },
+            Tag {
+                token: "c".into(),
+                score: 15.0,
+            },
+            Tag {
+                token: "d".into(),
+                score: 5.0,
+            },
         ];
         let top = cut_at_percentile(&tags, 0.8);
         assert_eq!(top.len(), 2); // 50+30 = 80% of the mass

@@ -61,7 +61,10 @@ pub fn domain_tree(
         total += 1;
         let org = orgdb.org_name(f.key.server).to_string();
         *org_flows.entry(org.clone()).or_default() += 1;
-        org_servers.entry(org.clone()).or_default().insert(f.key.server);
+        org_servers
+            .entry(org.clone())
+            .or_default()
+            .insert(f.key.server);
         // Walk tokens outermost-first (`mediaN` under `linkedin.com`).
         let mut node = &mut root;
         let subs = fqdn.sub_labels(suffixes);
@@ -123,11 +126,7 @@ fn render_node(out: &mut String, node: &TokenNode, depth: usize) {
     for (token, child) in &node.children {
         let _ = write!(out, "{}{}", "  ".repeat(depth), token);
         if child.flows > 0 {
-            let orgs: Vec<String> = child
-                .orgs
-                .iter()
-                .map(|(o, n)| format!("{o}:{n}"))
-                .collect();
+            let orgs: Vec<String> = child.orgs.iter().map(|(o, n)| format!("{o}:{n}")).collect();
             let _ = write!(
                 out,
                 "  ({} flows, {} servers; {})",

@@ -116,7 +116,10 @@ mod tests {
             classify_cert(&label, Some("mail.google.com")),
             CertMatch::Equal
         );
-        assert_eq!(classify_cert(&label, Some("*.google.com")), CertMatch::Generic);
+        assert_eq!(
+            classify_cert(&label, Some("*.google.com")),
+            CertMatch::Generic
+        );
         assert_eq!(
             classify_cert(&label, Some("a248.e.akamai.net")),
             CertMatch::Different

@@ -11,6 +11,8 @@
 //! * [`ports`] — classic port-based ground truth used for the "GT" columns
 //!   of Tabs. 6–7.
 
+#![forbid(unsafe_code)]
+
 pub mod cert;
 pub mod ports;
 pub mod reverse;

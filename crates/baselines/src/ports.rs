@@ -46,7 +46,9 @@ mod tests {
             assert!(well_known_service(p).is_some(), "port {p}");
         }
         // Tab. 7 ports.
-        for p in [1080u16, 1337, 2710, 5050, 5190, 5222, 5223, 5228, 6969, 12043, 12046, 18182] {
+        for p in [
+            1080u16, 1337, 2710, 5050, 5190, 5222, 5223, 5228, 6969, 12043, 12046, 18182,
+        ] {
             assert!(well_known_service(p).is_some(), "port {p}");
         }
     }

@@ -146,7 +146,11 @@ mod tests {
             ReverseMatch::SameSecondLevel
         );
         assert_eq!(
-            classify_match(&label, Some(&n("a23-1-2-3.deploy.akamaitechnologies.com")), &s),
+            classify_match(
+                &label,
+                Some(&n("a23-1-2-3.deploy.akamaitechnologies.com")),
+                &s
+            ),
             ReverseMatch::Different
         );
         assert_eq!(classify_match(&label, None, &s), ReverseMatch::NoAnswer);

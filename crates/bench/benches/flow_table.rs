@@ -14,14 +14,18 @@ fn packet_stream(n: usize) -> Vec<(u64, Vec<u8>)> {
     for i in 0..n {
         let client = Ipv4Addr::new(10, 0, 0, rng.gen_range(1..200));
         let server = Ipv4Addr::new(23, 1, 2, rng.gen_range(1..50));
-        let sport = 30_000 + rng.gen_range(0..500);
+        let sport = 30_000 + rng.gen_range(0..500u16);
         let flags = match i % 5 {
             0 => TcpFlags::SYN,
             1 => TcpFlags::SYN | TcpFlags::ACK,
             4 => TcpFlags::FIN | TcpFlags::ACK,
             _ => TcpFlags::PSH | TcpFlags::ACK,
         };
-        let payload = if flags.psh() { &b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"[..] } else { &[] };
+        let payload = if flags.psh() {
+            &b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"[..]
+        } else {
+            &[]
+        };
         let frame = build_tcp_v4(
             MacAddr::from_id(1),
             MacAddr::from_id(2),

@@ -24,8 +24,10 @@ fn workload(n: usize) -> Vec<(IpAddr, DomainName, Vec<IpAddr>)> {
             let fqdn: DomainName = format!("host{}.cdn{}.example.com", i % 5_000, i % 37)
                 .parse()
                 .expect("valid");
-            let k = 1 + rng.gen_range(0..4);
-            let servers = (0..k).map(|j| server(rng.gen_range(0..50_000) + j)).collect();
+            let k = 1 + rng.gen_range(0..4u32);
+            let servers = (0..k)
+                .map(|j| server(rng.gen_range(0..50_000u32) + j))
+                .collect();
             (c, fqdn, servers)
         })
         .collect()

@@ -25,12 +25,7 @@ fn drive(shards: usize) -> u64 {
             std::thread::spawn(move || {
                 let mut hits = 0u64;
                 for i in 0..OPS_PER_THREAD {
-                    let client = IpAddr::V4(Ipv4Addr::new(
-                        10,
-                        t as u8,
-                        (i >> 8) as u8,
-                        i as u8,
-                    ));
+                    let client = IpAddr::V4(Ipv4Addr::new(10, t as u8, (i >> 8) as u8, i as u8));
                     let server = IpAddr::V4(Ipv4Addr::new(23, 9, (i >> 8) as u8, i as u8));
                     r.insert(client, &fqdn, &[server]);
                     if r.lookup(client, server).is_some() {
@@ -41,7 +36,10 @@ fn drive(shards: usize) -> u64 {
             })
         })
         .collect();
-    threads.into_iter().map(|t| t.join().expect("no panic")).sum()
+    threads
+        .into_iter()
+        .map(|t| t.join().expect("no panic"))
+        .sum()
 }
 
 fn bench_sharding(c: &mut Criterion) {

@@ -12,21 +12,32 @@ use crate::harness::Harness;
 
 /// Clist sizes swept (fractions of the workload's response count are more
 /// meaningful than absolute numbers at simulation scale).
-const SIZES: &[usize] = &[
-    256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576,
-];
+const SIZES: &[usize] = &[256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576];
 
 /// The §6 report: efficiency vs L, the smallest L reaching 98%, the
 /// answer-list distribution and the confusion analysis.
 pub fn report(h: &mut Harness) -> String {
     let events = h.dimensioning_events();
     let mut out = String::new();
-    let _ = writeln!(out, "Section 6: dimensioning the FQDN Clist (EU1-ADSL1 workload)");
+    let _ = writeln!(
+        out,
+        "Section 6: dimensioning the FQDN Clist (EU1-ADSL1 workload)"
+    );
     let responses = events
         .iter()
-        .filter(|e| matches!(e, dnhunter_resolver::dimensioning::ResolverEvent::Response { .. }))
+        .filter(|e| {
+            matches!(
+                e,
+                dnhunter_resolver::dimensioning::ResolverEvent::Response { .. }
+            )
+        })
         .count();
-    let _ = writeln!(out, "workload: {} events ({} responses)", events.len(), responses);
+    let _ = writeln!(
+        out,
+        "workload: {} events ({} responses)",
+        events.len(),
+        responses
+    );
 
     let points = sweep::<OrderedTables>(&events, SIZES);
     let _ = writeln!(
@@ -53,10 +64,7 @@ pub fn report(h: &mut Harness) -> String {
             );
         }
         None => {
-            let best = points
-                .iter()
-                .map(|p| p.efficiency)
-                .fold(0.0f64, f64::max);
+            let best = points.iter().map(|p| p.efficiency).fold(0.0f64, f64::max);
             let _ = writeln!(
                 out,
                 "no tested L reached 98% (best {:.1}%) — residual misses are invisible resolutions, not evictions",

@@ -78,7 +78,10 @@ pub fn fig4(h: &mut Harness) -> String {
     ];
     let series = servers_over_time(&run.report.database, &slds, origin, TEN_MINUTES);
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 4: # serverIPs per 2nd-level domain, 10-min bins (24h trace)");
+    let _ = writeln!(
+        out,
+        "Figure 4: # serverIPs per 2nd-level domain, 10-min bins (24h trace)"
+    );
     for sld in &slds {
         let s = &series[sld];
         let peak = s.iter().map(|x| x.1).max().unwrap_or(0);
@@ -98,19 +101,26 @@ pub fn fig5(h: &mut Harness) -> String {
     let orgdb = builtin_registry();
     let origin = run.report.trace_start.unwrap_or(0);
     let orgs = [
-        "akamai", "amazon", "google", "level 3", "leaseweb", "cotendo", "edgecast", "microsoft",
+        "akamai",
+        "amazon",
+        "google",
+        "level 3",
+        "leaseweb",
+        "cotendo",
+        "edgecast",
+        "microsoft",
     ];
     let series = fqdns_per_org_over_time(&run.report.database, &orgdb, &orgs, origin, TEN_MINUTES);
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 5: # active FQDN per CDN, 10-min bins (24h trace)");
+    let _ = writeln!(
+        out,
+        "Figure 5: # active FQDN per CDN, 10-min bins (24h trace)"
+    );
     for org in orgs {
         let s = &series[org];
         let peak = s.iter().map(|x| x.1).max().unwrap_or(0);
-        let total = dnhunter_analytics::content::total_fqdns_on_org(
-            &run.report.database,
-            &orgdb,
-            org,
-        );
+        let total =
+            dnhunter_analytics::content::total_fqdns_on_org(&run.report.database, &orgdb, org);
         let _ = writeln!(out, "# {org}  (peak/10min {peak}, total distinct {total})");
         for (ts, n) in s {
             let mins = (ts - origin) / 60_000_000;
@@ -128,7 +138,10 @@ pub fn fig6(h: &mut Harness) -> String {
     let g = growth_curves(&run.report.database, origin, day / 2);
     let (fq, sld, ip) = g.totals();
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 6: unique FQDN / 2nd-level / serverIP growth (live, half-day samples)");
+    let _ = writeln!(
+        out,
+        "Figure 6: unique FQDN / 2nd-level / serverIP growth (live, half-day samples)"
+    );
     let _ = writeln!(out, "totals: FQDN={fq} 2nd-level={sld} serverIP={ip}");
     let _ = writeln!(
         out,
@@ -137,7 +150,11 @@ pub fn fig6(h: &mut Harness) -> String {
         dnhunter_analytics::growth::GrowthCurves::tail_growth(&g.unique_second_levels, 4),
         dnhunter_analytics::growth::GrowthCurves::tail_growth(&g.unique_servers, 4),
     );
-    let _ = writeln!(out, "{:>6} {:>8} {:>8} {:>8}", "day", "FQDN", "2nd-lvl", "IP");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>8} {:>8} {:>8}",
+        "day", "FQDN", "2nd-lvl", "IP"
+    );
     for (i, ts) in g.bin_starts.iter().enumerate() {
         let d = (*ts - origin) as f64 / day as f64;
         let _ = writeln!(
@@ -155,7 +172,10 @@ fn domain_structure(h: &mut Harness, sld: &str, fig: u8) -> String {
     let orgdb = builtin_registry();
     let suffixes = SuffixSet::builtin();
     let tree = domain_tree(&run.report.database, &name(sld), &orgdb, &suffixes);
-    format!("Figure {fig}: {sld} domain structure (US-3G)\n{}", tree.render())
+    format!(
+        "Figure {fig}: {sld} domain structure (US-3G)\n{}",
+        tree.render()
+    )
 }
 
 /// Fig. 7: linkedin.com.
@@ -183,9 +203,7 @@ pub fn fig9(h: &mut Harness) -> String {
             let shares = hosting_breakdown(&run.report.database, &name(provider), &orgdb);
             let cells: Vec<String> = shares
                 .iter()
-                .map(|s| {
-                    format!("{}={:.0}%({} srv)", s.host, s.flow_share * 100.0, s.servers)
-                })
+                .map(|s| format!("{}={:.0}%({} srv)", s.host, s.flow_share * 100.0, s.servers))
                 .collect();
             let _ = writeln!(out, "{trace:>10}:  {}", cells.join("  "));
         }
@@ -200,7 +218,10 @@ pub fn fig10(h: &mut Harness) -> String {
     let origin = run.report.trace_start.unwrap_or(0);
     let report = appspot_report(&run.report.database, &suffixes, origin, FOUR_HOURS);
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 10: tag cloud of services on appspot.com (live)");
+    let _ = writeln!(
+        out,
+        "Figure 10: tag cloud of services on appspot.com (live)"
+    );
     for (token, score) in report.tag_cloud.iter().take(25) {
         let bar = "#".repeat((score.sqrt() * 2.0).ceil() as usize);
         let _ = writeln!(out, "{token:>20} {score:>8.1} {bar}");
@@ -250,7 +271,11 @@ fn delay_figure(h: &mut Harness, first_flow: bool, fig: u8) -> String {
     let _ = writeln!(out, "Figure {fig}: time between DNS response and {what}");
     for run in h.all_paper_runs() {
         let r = delay_report(&run.report.delays);
-        let cdf = if first_flow { &r.first_flow } else { &r.any_flow };
+        let cdf = if first_flow {
+            &r.first_flow
+        } else {
+            &r.any_flow
+        };
         let _ = writeln!(
             out,
             "# {} (n={}, ≤1s {:.0}%, >10s {:.0}%)",

@@ -19,9 +19,21 @@ use crate::harness::{ExecutedTrace, Harness};
 pub fn table1(h: &mut Harness) -> String {
     let mut t = TextTable::new(
         "Table 1: Dataset description (synthetic)",
-        &["Trace", "Start [GMT]", "Duration", "Peak DNS resp", "TCP flows"],
+        &[
+            "Trace",
+            "Start [GMT]",
+            "Duration",
+            "Peak DNS resp",
+            "TCP flows",
+        ],
     )
-    .aligns(&[Align::Left, Align::Right, Align::Right, Align::Right, Align::Right]);
+    .aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
     for run in h.all_paper_runs() {
         let p = &run.profile;
         // Peak responses per minute.
@@ -32,7 +44,11 @@ pub fn table1(h: &mut Harness) -> String {
         }
         t.row(&[
             p.name.clone(),
-            format!("{:02}:{:02}", p.start_hour as u32, ((p.start_hour % 1.0) * 60.0) as u32),
+            format!(
+                "{:02}:{:02}",
+                p.start_hour as u32,
+                ((p.start_hour % 1.0) * 60.0) as u32
+            ),
             format!("{}h", p.duration_hours),
             format!("{}/min", per_min.peak()),
             format!("{}", run.report.database.len()),
@@ -59,7 +75,14 @@ fn protocol_stats(run: &ExecutedTrace) -> HashMap<AppProtocol, (u64, u64)> {
 pub fn table2(h: &mut Harness) -> String {
     let mut t = TextTable::new(
         "Table 2: DNS Resolver hit ratio",
-        &["Protocol", "US-3G", "EU2-ADSL", "EU1-ADSL1", "EU1-ADSL2", "EU1-FTTH"],
+        &[
+            "Protocol",
+            "US-3G",
+            "EU2-ADSL",
+            "EU1-ADSL1",
+            "EU1-ADSL2",
+            "EU1-FTTH",
+        ],
     )
     .aligns(&[
         Align::Left,
@@ -142,7 +165,13 @@ pub fn table5(h: &mut Harness) -> String {
         "Table 5: Top-10 domains hosted on the Amazon EC2 cloud",
         &["Rank", "US-3G", "%", "EU1-ADSL1", "%"],
     )
-    .aligns(&[Align::Right, Align::Left, Align::Right, Align::Left, Align::Right]);
+    .aligns(&[
+        Align::Right,
+        Align::Left,
+        Align::Right,
+        Align::Left,
+        Align::Right,
+    ]);
     for i in 0..10 {
         let (ud, up) = top_us
             .get(i)
@@ -199,7 +228,9 @@ pub fn table7(h: &mut Harness) -> String {
     tag_table(
         "Table 7: Keyword extraction, frequently used ports (US-3G)",
         &run,
-        &[1080, 1337, 2710, 5050, 5190, 5222, 5223, 5228, 6969, 12043, 12046, 18182],
+        &[
+            1080, 1337, 2710, 5050, 5190, 5222, 5223, 5228, 6969, 12043, 12046, 18182,
+        ],
     )
 }
 
@@ -208,13 +239,23 @@ pub fn table8(h: &mut Harness) -> String {
     let run = h.run("live");
     let suffixes = SuffixSet::builtin();
     let origin = run.report.trace_start.unwrap_or(0);
-    let report =
-        dnhunter_analytics::appspot::appspot_report(&run.report.database, &suffixes, origin, FOUR_HOURS);
+    let report = dnhunter_analytics::appspot::appspot_report(
+        &run.report.database,
+        &suffixes,
+        origin,
+        FOUR_HOURS,
+    );
     let mut t = TextTable::new(
         "Table 8: Appspot services (live)",
         &["Service type", "Services", "Flows", "C2S", "S2C"],
     )
-    .aligns(&[Align::Left, Align::Right, Align::Right, Align::Right, Align::Right]);
+    .aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
     t.row(&[
         "BitTorrent trackers".to_string(),
         report.trackers.services.to_string(),

@@ -76,9 +76,12 @@ impl Harness {
         }
         let profile = profiles::eu1_adsl1().scaled((self.scale * 0.6).min(1.0));
         let trace = TraceGenerator::new(profile, false).generate();
-        let events = resolver_events_from_frames(trace.records.iter().map(|r| {
-            (r.timestamp_micros(), r.frame.as_slice())
-        }));
+        let events = resolver_events_from_frames(
+            trace
+                .records
+                .iter()
+                .map(|r| (r.timestamp_micros(), r.frame.as_slice())),
+        );
         let rc = Rc::new(events);
         self.dimensioning_events = Some(Rc::clone(&rc));
         rc

@@ -18,6 +18,8 @@
 //! cargo run --release -p dnhunter-bench --bin repro -- --dimensioning
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod harness;
 

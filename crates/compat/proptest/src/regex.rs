@@ -1,0 +1,262 @@
+//! Generate strings matching a small regex subset (classes, groups,
+//! alternation, `{m,n}` / `?` / `*` / `+` quantifiers) — backs the
+//! `"pattern"`-as-strategy feature.
+
+use crate::test_runner::TestRng;
+
+/// Upper bound used for the open-ended `*` / `+` quantifiers.
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// A flattened character class.
+    Class(Vec<char>),
+    /// Concatenation of parts.
+    Concat(Vec<Node>),
+    /// One of several alternatives.
+    Alternate(Vec<Node>),
+    /// `inner` repeated between `min` and `max` times (inclusive).
+    Repeat {
+        inner: Box<Node>,
+        min: u32,
+        max: u32,
+    },
+}
+
+/// Generate a string matching `pattern`. Panics on syntax outside the
+/// supported subset — a test-authoring error, not a runtime condition.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let node = parse_alternation(&chars, &mut pos);
+    assert!(
+        pos == chars.len(),
+        "regex shim: trailing syntax in {pattern:?} at {pos}"
+    );
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(options) => {
+            let pick = rng.below(options.len() as u64) as usize;
+            // options is non-empty by construction in parse_class.
+            if let Some(c) = options.get(pick) {
+                out.push(*c);
+            }
+        }
+        Node::Concat(parts) => {
+            for part in parts {
+                emit(part, rng, out);
+            }
+        }
+        Node::Alternate(options) => {
+            let pick = rng.below(options.len() as u64) as usize;
+            if let Some(node) = options.get(pick) {
+                emit(node, rng, out);
+            }
+        }
+        Node::Repeat { inner, min, max } => {
+            let n = min + rng.below(u64::from(max - min) + 1) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+fn parse_alternation(chars: &[char], pos: &mut usize) -> Node {
+    let mut options = vec![parse_concat(chars, pos)];
+    while chars.get(*pos) == Some(&'|') {
+        *pos += 1;
+        options.push(parse_concat(chars, pos));
+    }
+    if options.len() == 1 {
+        options.remove(0)
+    } else {
+        Node::Alternate(options)
+    }
+}
+
+fn parse_concat(chars: &[char], pos: &mut usize) -> Node {
+    let mut parts = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        if c == '|' || c == ')' {
+            break;
+        }
+        let atom = parse_atom(chars, pos);
+        parts.push(parse_quantifier(chars, pos, atom));
+    }
+    if parts.len() == 1 {
+        parts.remove(0)
+    } else {
+        Node::Concat(parts)
+    }
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+    match chars.get(*pos) {
+        Some('[') => parse_class(chars, pos),
+        Some('(') => {
+            *pos += 1;
+            let inner = parse_alternation(chars, pos);
+            assert!(chars.get(*pos) == Some(&')'), "regex shim: unclosed group");
+            *pos += 1;
+            inner
+        }
+        Some('\\') => {
+            *pos += 1;
+            let c = *chars.get(*pos).expect("regex shim: trailing backslash");
+            *pos += 1;
+            let resolved = match c {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                'd' => return Node::Class(('0'..='9').collect()),
+                'w' => {
+                    let mut options: Vec<char> = ('a'..='z').collect();
+                    options.extend('A'..='Z');
+                    options.extend('0'..='9');
+                    options.push('_');
+                    return Node::Class(options);
+                }
+                other => other,
+            };
+            Node::Literal(resolved)
+        }
+        Some('.') => {
+            *pos += 1;
+            // Any printable ASCII character.
+            Node::Class((0x20u8..0x7f).map(char::from).collect())
+        }
+        Some(&c) => {
+            *pos += 1;
+            Node::Literal(c)
+        }
+        None => Node::Concat(Vec::new()),
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Node {
+    *pos += 1; // consume '['
+    let mut options = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        if c == ']' {
+            *pos += 1;
+            assert!(!options.is_empty(), "regex shim: empty character class");
+            return Node::Class(options);
+        }
+        let lo = if c == '\\' {
+            *pos += 1;
+            let escaped = *chars.get(*pos).expect("regex shim: trailing backslash");
+            escaped
+        } else {
+            c
+        };
+        *pos += 1;
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&n| n != ']') {
+            *pos += 1;
+            let hi = *chars.get(*pos).expect("regex shim: open range");
+            *pos += 1;
+            assert!(lo <= hi, "regex shim: inverted class range");
+            options.extend(lo..=hi);
+        } else {
+            options.push(lo);
+        }
+    }
+    panic!("regex shim: unclosed character class");
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Node {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            Node::Repeat {
+                inner: Box::new(atom),
+                min: 0,
+                max: 1,
+            }
+        }
+        Some('*') => {
+            *pos += 1;
+            Node::Repeat {
+                inner: Box::new(atom),
+                min: 0,
+                max: UNBOUNDED_CAP,
+            }
+        }
+        Some('+') => {
+            *pos += 1;
+            Node::Repeat {
+                inner: Box::new(atom),
+                min: 1,
+                max: UNBOUNDED_CAP,
+            }
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut min_text = String::new();
+            while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                min_text.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: u32 = min_text.parse().expect("regex shim: bad repeat count");
+            let max = if chars.get(*pos) == Some(&',') {
+                *pos += 1;
+                let mut max_text = String::new();
+                while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                    max_text.push(chars[*pos]);
+                    *pos += 1;
+                }
+                max_text.parse().expect("regex shim: bad repeat bound")
+            } else {
+                min
+            };
+            assert!(
+                chars.get(*pos) == Some(&'}'),
+                "regex shim: unclosed repetition"
+            );
+            *pos += 1;
+            assert!(min <= max, "regex shim: inverted repetition bounds");
+            Node::Repeat {
+                inner: Box::new(atom),
+                min,
+                max,
+            }
+        }
+        _ => atom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic(0xDA7A_5EED)
+    }
+
+    #[test]
+    fn generated_strings_match_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z0-9]{1,12}(-[a-z0-9]{1,8})?", &mut r);
+            assert!(!s.is_empty() && s.len() <= 21, "bad label {s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+            let host = generate_matching("[a-z]{1,10}\\.[a-z]{2,8}\\.(com|net|org)", &mut r);
+            let parts: Vec<&str> = host.split('.').collect();
+            assert_eq!(parts.len(), 3, "bad host {host:?}");
+            assert!(["com", "net", "org"].contains(&parts[2]));
+            let hex = generate_matching("[0-9a-f]{8,40}", &mut r);
+            assert!(hex.len() >= 8 && hex.len() <= 40);
+            assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+}

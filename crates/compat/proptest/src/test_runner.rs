@@ -1,0 +1,112 @@
+//! Deterministic case runner and the RNG strategies draw from.
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// A `prop_assume!` precondition did not hold; resample.
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// The generator handed to strategies — xorshift64*, seeded per test name
+/// and case index so runs are reproducible without any OS entropy.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Build a generator from an explicit seed (used by the runner and by
+    /// code that needs a strategy outside a `proptest!` body).
+    pub fn deterministic(seed: u64) -> Self {
+        Self::new(seed)
+    }
+
+    fn new(seed: u64) -> Self {
+        // splitmix64 so consecutive seeds produce unrelated streams.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        TestRng {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a over the test name gives each property its own stream.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn cases_from_env() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(128)
+}
+
+/// Run `case` once per generated input set, panicking on the first failure
+/// with the inputs that produced it.
+pub fn run(name: &str, mut case: impl FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>)) {
+    let cases = cases_from_env();
+    let seed_base = hash_name(name);
+    let mut rejects: u64 = 0;
+    let max_rejects = cases.saturating_mul(16);
+    let mut executed = 0;
+    let mut attempt = 0u64;
+    while executed < cases {
+        let mut rng = TestRng::new(seed_base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        attempt += 1;
+        let (repr, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                if rejects > max_rejects {
+                    panic!(
+                        "proptest `{name}`: too many prop_assume! rejections \
+                         ({rejects} after {executed} accepted cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "proptest `{name}` failed at case {executed} (attempt {attempt}):\n\
+                     {message}\ninputs: {repr}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Deserialization half of the shim. Formats lower their input to a
+//! [`Content`] tree; `Deserialize` impls pattern-match on it.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use crate::Content;
+
+/// Errors a deserializer may raise.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from any printable message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A required field was absent from the input map.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+}
+
+/// The driver the data format implements. Unlike real serde's visitor
+/// architecture, this shim is self-describing only: the format hands over a
+/// [`Content`] tree and the type takes what it needs.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+    fn into_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value that can rebuild itself from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Deserialize a [`Content`] subtree into `T`, preserving the caller's
+/// error type (used by the derive for nested fields and sequence elements).
+pub fn from_content<'de, T: Deserialize<'de>, E: Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::<E>::new(content))
+}
+
+/// A [`Deserializer`] over an already-lowered [`Content`] tree.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    _marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+    fn into_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+fn type_error<E: Error>(expected: &str, got: &Content) -> E {
+    E::custom(format_args!("expected {expected}, got {got:?}"))
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.into_content()? {
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom("integer out of range")),
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom("integer out of range")),
+                    other => Err(type_error("an unsigned integer", &other)),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.into_content()? {
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom("integer out of range")),
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom("integer out of range")),
+                    other => Err(type_error("an integer", &other)),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            other => Err(type_error("a number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(type_error("a boolean", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_content()? {
+            Content::Str(v) => Ok(v),
+            other => Err(type_error("a string", &other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_fromstr {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let s = String::deserialize(d)?;
+                s.parse().map_err(D::Error::custom)
+            }
+        }
+    )*};
+}
+impl_deserialize_fromstr!(IpAddr, Ipv4Addr, Ipv6Addr);
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_content()? {
+            Content::Null => Ok(None),
+            other => from_content::<T, D::Error>(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content::<T, D::Error>).collect(),
+            other => Err(type_error("a sequence", &other)),
+        }
+    }
+}

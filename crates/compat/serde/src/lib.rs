@@ -1,0 +1,49 @@
+//! Offline shim providing the subset of the `serde` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real `serde`
+//! cannot be vendored. This crate re-implements the traits and impls the
+//! DN-Hunter crates rely on — `Serialize` / `Deserialize`, a struct/enum
+//! derive (see `serde_derive`), and a self-describing `Content` tree that
+//! `serde_json` serializes from and deserializes into. The API is
+//! call-compatible for the patterns used in-tree; it is not a general serde
+//! replacement.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree — the intermediate representation both the
+/// derive macros and `serde_json` speak.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+/// Internal helpers the derive macros expand to. Not a public API.
+#[doc(hidden)]
+pub mod __private {
+    pub use crate::de::from_content;
+    pub use crate::Content;
+
+    /// Extract a field from a map by name, returning `Content::Null` when
+    /// absent (the derive decides whether that is an error or a default).
+    pub fn take_field(map: &mut Vec<(String, Content)>, name: &str) -> Option<Content> {
+        map.iter()
+            .position(|(k, _)| k == name)
+            .map(|i| map.swap_remove(i).1)
+    }
+}

@@ -1,0 +1,359 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! shim.
+//!
+//! The build environment has no crates.io access, so `syn` / `quote` are
+//! unavailable; the item is parsed directly from the compiler's
+//! `proc_macro::TokenStream`. Supported shapes are exactly what the
+//! workspace uses: structs with named fields (with optional
+//! `#[serde(default)]` and `#[serde(skip_serializing_if = "path")]` field
+//! attributes) and enums with unit or single-field newtype variants.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `#[derive]` input item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    /// True for `Variant(T)` newtype variants, false for units.
+    newtype: bool,
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: use `Default::default()` when the field is
+    /// absent from the input.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: omit the field when
+    /// `path(&value)` is true.
+    skip_serializing_if: Option<String>,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut body = String::new();
+            body.push_str(&format!(
+                "let mut __st = ::serde::ser::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+                fields.len()
+            ));
+            for f in fields {
+                let fname = &f.name;
+                let stmt = format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{fname}\", &self.{fname})?;"
+                );
+                match &f.skip_serializing_if {
+                    Some(path) => {
+                        body.push_str(&format!("if !{path}(&self.{fname}) {{ {stmt} }}\n"))
+                    }
+                    None => {
+                        body.push_str(&stmt);
+                        body.push('\n');
+                    }
+                }
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__st)\n");
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (i, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                if v.newtype {
+                    arms.push_str(&format!(
+                        "{name}::{vname}(__payload) => ::serde::ser::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {i}u32, \"{vname}\", __payload),\n"
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(__serializer, \"{name}\", {i}u32, \"{vname}\"),\n"
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 match self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = &f.name;
+                // Fields that may legitimately be absent (declared `default`
+                // or elided by `skip_serializing_if`) fall back to
+                // `Default::default()`; all others are required.
+                let missing = if f.default || f.skip_serializing_if.is_some() {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::missing_field(\"{fname}\"))"
+                    )
+                };
+                inits.push_str(&format!(
+                    "{fname}: match ::serde::__private::take_field(&mut __map, \"{fname}\") {{\n\
+                     ::std::option::Option::Some(__c) => ::serde::__private::from_content::<_, __D::Error>(__c)?,\n\
+                     ::std::option::Option::None => {missing},\n}},\n"
+                ));
+            }
+            format!(
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::de::Deserializer<'de>>(__d: __D)\n\
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+                 match ::serde::de::Deserializer::into_content(__d)? {{\n\
+                 ::serde::__private::Content::Map(mut __map) => {{\n\
+                 let _ = &mut __map;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n}}\n\
+                 __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                 format!(\"expected a map for struct {name}, got {{:?}}\", __other))),\n\
+                 }}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            // Units arrive as bare strings; newtypes use serde_json's
+            // externally-tagged map form {"Variant": payload}.
+            let mut unit_arms = String::new();
+            let mut newtype_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                if v.newtype {
+                    newtype_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::__private::from_content::<_, __D::Error>(__payload)?)),\n"
+                    ));
+                } else {
+                    unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+            }
+            format!(
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::de::Deserializer<'de>>(__d: __D)\n\
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+                 match ::serde::de::Deserializer::into_content(__d)? {{\n\
+                 ::serde::__private::Content::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                 format!(\"unknown variant `{{__other}}` for enum {name}\"))),\n}},\n\
+                 ::serde::__private::Content::Map(__map) if __map.len() == 1 => {{\n\
+                 let (__tag, __payload) = __map.into_iter().next().expect(\"len checked\");\n\
+                 match __tag.as_str() {{\n{newtype_arms}\
+                 __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                 format!(\"unknown variant `{{__other}}` for enum {name}\"))),\n}}\n}}\n\
+                 __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                 format!(\"expected a variant of enum {name}, got {{:?}}\", __other))),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Parse the derive input item into the supported [`Item`] shapes.
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim does not support generic types ({name})");
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive shim supports only brace-bodied items; {name} has {other:?}"),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Parse named struct fields, honoring `#[serde(...)]` field attributes.
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        let mut default = false;
+        let mut skip_serializing_if = None;
+        // Field attributes (doc comments arrive as #[doc = "..."] too).
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            let Some(TokenTree::Group(g)) = tokens.next() else {
+                panic!("serde_derive: malformed attribute");
+            };
+            let mut inner = g.stream().into_iter();
+            if let Some(TokenTree::Ident(i)) = inner.next() {
+                if i.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        parse_serde_attr(args.stream(), &mut default, &mut skip_serializing_if);
+                    }
+                }
+            }
+        }
+        if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(field_name) = tt else {
+            panic!("serde_derive: expected field name, got {tt:?}");
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tt) = tokens.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                _ => {}
+            }
+            tokens.next();
+        }
+        fields.push(Field {
+            name: field_name.to_string(),
+            default,
+            skip_serializing_if,
+        });
+    }
+    fields
+}
+
+/// Parse the inside of one `#[serde(...)]` attribute.
+fn parse_serde_attr(
+    args: TokenStream,
+    default: &mut bool,
+    skip_serializing_if: &mut Option<String>,
+) {
+    let mut tokens = args.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        let TokenTree::Ident(key) = tt else { continue };
+        match key.to_string().as_str() {
+            "default" => *default = true,
+            "skip_serializing_if" => {
+                // Expect `= "path"`.
+                match (tokens.next(), tokens.next()) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let raw = lit.to_string();
+                        *skip_serializing_if = Some(raw.trim_matches('"').to_string());
+                    }
+                    other => panic!("serde_derive: malformed skip_serializing_if: {other:?}"),
+                }
+            }
+            other => panic!("serde_derive shim: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+/// Parse enum variants; unit and single-field newtype variants are supported.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("serde_derive: expected variant name, got {tt:?}");
+        };
+        let newtype = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let has_comma = g
+                    .stream()
+                    .into_iter()
+                    .any(|tt| matches!(&tt, TokenTree::Punct(p) if p.as_char() == ','));
+                if has_comma {
+                    panic!("serde_derive shim supports only single-field tuple variants ({name})");
+                }
+                tokens.next();
+                true
+            }
+            Some(TokenTree::Group(_)) => {
+                panic!("serde_derive shim supports only unit or newtype enum variants ({name})")
+            }
+            _ => false,
+        };
+        variants.push(Variant {
+            name: name.to_string(),
+            newtype,
+        });
+        // Skip to the next comma (covers explicit discriminants).
+        while let Some(tt) = tokens.peek() {
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                tokens.next();
+                break;
+            }
+            tokens.next();
+        }
+    }
+    variants
+}

@@ -1,0 +1,245 @@
+//! The indexable JSON [`Value`] tree.
+
+use std::fmt;
+use std::ops::Index;
+
+use serde::de::{Deserialize, Deserializer};
+use serde::ser::{self, Serialize, Serializer};
+use serde::Content;
+
+/// A JSON number — integer-preserving, unlike a bare `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+}
+
+impl Number {
+    /// The number as `f64` (lossy for very large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(v) => v as f64,
+            Number::I64(v) => v as f64,
+            Number::F64(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::U64(v) => write!(f, "{v}"),
+            Number::I64(v) => write!(f, "{v}"),
+            Number::F64(v) => {
+                if v.is_finite() {
+                    write!(f, "{v}")
+                } else {
+                    // JSON has no Inf/NaN; match serde_json's `null`.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member by key, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(v)) => Some(*v),
+            Value::Number(Number::I64(v)) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn from_content(content: Content) -> Value {
+        match content {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(b),
+            Content::U64(v) => Value::Number(Number::U64(v)),
+            Content::I64(v) => Value::Number(Number::I64(v)),
+            Content::F64(v) => Value::Number(Number::F64(v)),
+            Content::Str(s) => Value::String(s),
+            Content::Seq(items) => {
+                Value::Array(items.into_iter().map(Value::from_content).collect())
+            }
+            Content::Map(entries) => Value::Object(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (k, Value::from_content(v)))
+                    .collect(),
+            ),
+        }
+    }
+
+    pub(crate) fn into_content(self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(b),
+            Value::Number(Number::U64(v)) => Content::U64(v),
+            Value::Number(Number::I64(v)) => Content::I64(v),
+            Value::Number(Number::F64(v)) => Content::F64(v),
+            Value::String(s) => Content::Str(s),
+            Value::Array(items) => {
+                Content::Seq(items.into_iter().map(Value::into_content).collect())
+            }
+            Value::Object(entries) => Content::Map(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (k, v.into_content()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+    /// Member access; missing keys and non-objects index to `Null`, as in
+    /// real serde_json.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        crate::write::write_content(&mut out, &self.clone().into_content());
+        f.write_str(&out)
+    }
+}
+
+macro_rules! impl_value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(Number::U64(v)) => i128::from(*v) == i128::from(*other),
+                    Value::Number(Number::I64(v)) => i128::from(*v) == i128::from(*other),
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+impl_value_eq_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::Null => serializer.serialize_none(),
+            Value::Bool(b) => serializer.serialize_bool(*b),
+            Value::Number(Number::U64(v)) => serializer.serialize_u64(*v),
+            Value::Number(Number::I64(v)) => serializer.serialize_i64(*v),
+            Value::Number(Number::F64(v)) => serializer.serialize_f64(*v),
+            Value::String(s) => serializer.serialize_str(s),
+            Value::Array(items) => {
+                let mut seq = serializer.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    ser::SerializeSeq::serialize_element(&mut seq, item)?;
+                }
+                ser::SerializeSeq::end(seq)
+            }
+            Value::Object(entries) => {
+                let mut map = serializer.serialize_map(Some(entries.len()))?;
+                for (k, v) in entries {
+                    ser::SerializeMap::serialize_entry(&mut map, k, v)?;
+                }
+                ser::SerializeMap::end(map)
+            }
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Value::from_content(deserializer.into_content()?))
+    }
+}

@@ -1,0 +1,68 @@
+//! Compact JSON writer over the shim's `Content` tree.
+
+use serde::Content;
+
+/// Append the JSON encoding of `content` to `out`.
+pub(crate) fn write_content(out: &mut String, content: &Content) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => {
+            out.push_str(&v.to_string());
+        }
+        Content::I64(v) => {
+            out.push_str(&v.to_string());
+        }
+        Content::F64(v) => {
+            if v.is_finite() {
+                out.push_str(&v.to_string());
+            } else {
+                // JSON cannot represent Inf/NaN; serde_json emits null.
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(out, item);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_content(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Write a JSON string literal with the required escapes.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

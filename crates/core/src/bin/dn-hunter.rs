@@ -60,9 +60,7 @@ fn main() -> ExitCode {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
             }
-            other if path.is_none() && !other.starts_with('-') => {
-                path = Some(other.to_string())
-            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             other => {
                 eprintln!("unknown argument '{other}'\n{}", usage());
                 return ExitCode::FAILURE;
@@ -154,7 +152,10 @@ fn main() -> ExitCode {
         for f in report.database.flows() {
             println!(
                 "{}\t{}\t{}:{}\t{}\t{}B",
-                f.fqdn.as_ref().map(|x| x.to_string()).unwrap_or_else(|| "-".into()),
+                f.fqdn
+                    .as_ref()
+                    .map(|x| x.to_string())
+                    .unwrap_or_else(|| "-".into()),
                 f.key.client,
                 f.key.server,
                 f.key.server_port,

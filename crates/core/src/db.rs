@@ -87,10 +87,16 @@ impl FlowDatabase {
             self.by_fqdn.entry(f.clone()).or_default().push(idx);
         }
         if let Some(sld) = &flow.second_level {
-            self.by_second_level.entry(sld.clone()).or_default().push(idx);
+            self.by_second_level
+                .entry(sld.clone())
+                .or_default()
+                .push(idx);
         }
         self.by_server.entry(flow.key.server).or_default().push(idx);
-        self.by_port.entry(flow.key.server_port).or_default().push(idx);
+        self.by_port
+            .entry(flow.key.server_port)
+            .or_default()
+            .push(idx);
         self.flows.push(flow);
     }
 
@@ -120,10 +126,7 @@ impl FlowDatabase {
 
     /// Flows whose label falls under the given second-level domain
     /// (paper Algorithm 2, line 5: `queryByDomainName(2ndDomain)`).
-    pub fn by_second_level<'a>(
-        &'a self,
-        sld: &DomainName,
-    ) -> impl Iterator<Item = &'a TaggedFlow> {
+    pub fn by_second_level<'a>(&'a self, sld: &DomainName) -> impl Iterator<Item = &'a TaggedFlow> {
         self.by_second_level
             .get(sld)
             .into_iter()
@@ -228,9 +231,18 @@ mod tests {
     #[test]
     fn push_builds_all_indexes() {
         let mut db = FlowDatabase::new();
-        db.push(flow(Some("www.example.com"), "93.184.216.34", 80), &suffixes());
-        db.push(flow(Some("img.example.com"), "93.184.216.35", 80), &suffixes());
-        db.push(flow(Some("api.other.org"), "198.51.100.1", 443), &suffixes());
+        db.push(
+            flow(Some("www.example.com"), "93.184.216.34", 80),
+            &suffixes(),
+        );
+        db.push(
+            flow(Some("img.example.com"), "93.184.216.35", 80),
+            &suffixes(),
+        );
+        db.push(
+            flow(Some("api.other.org"), "198.51.100.1", 443),
+            &suffixes(),
+        );
         db.push(flow(None, "203.0.113.1", 6881), &suffixes());
 
         assert_eq!(db.len(), 4);

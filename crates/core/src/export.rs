@@ -9,18 +9,8 @@ use crate::db::FlowDatabase;
 
 /// Column headers of the Tstat-style log, in order.
 pub const TSTAT_COLUMNS: [&str; 12] = [
-    "c_ip",
-    "c_port",
-    "s_ip",
-    "s_port",
-    "c_pkts",
-    "s_pkts",
-    "c_bytes",
-    "s_bytes",
-    "first_ms",
-    "last_ms",
-    "proto",
-    "fqdn",
+    "c_ip", "c_port", "s_ip", "s_port", "c_pkts", "s_pkts", "c_bytes", "s_bytes", "first_ms",
+    "last_ms", "proto", "fqdn",
 ];
 
 /// Write the database as a Tstat-style space-separated log. A `#`-prefixed
@@ -69,10 +59,7 @@ pub fn write_csv<W: Write>(db: &FlowDatabase, mut w: W) -> io::Result<()> {
             f.first_ts / 1_000,
             f.last_ts / 1_000,
             f.protocol.label(),
-            f.fqdn
-                .as_ref()
-                .map(|x| x.to_string())
-                .unwrap_or_default(),
+            f.fqdn.as_ref().map(|x| x.to_string()).unwrap_or_default(),
         )?;
     }
     Ok(())

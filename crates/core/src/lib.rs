@@ -45,6 +45,8 @@
 //! `dnhunter-analytics`, and a [`policy`] layer demonstrating the
 //! "identify flows before the flows begin" capability.
 
+#![forbid(unsafe_code)]
+
 pub mod db;
 pub mod export;
 pub mod policy;

@@ -14,8 +14,7 @@ use dnhunter_flow::FlowKey;
 use serde::{Deserialize, Serialize};
 
 /// What to do with a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum PolicyAction {
     /// Forward normally.
     #[default]
@@ -94,7 +93,6 @@ pub struct RuleEnforcer {
     blocked: u64,
     prioritized: u64,
 }
-
 
 impl RuleEnforcer {
     /// Enforcer with the given rules and `Allow` default.

@@ -226,9 +226,7 @@ impl RealTimeSniffer {
         // Everything else is a data packet: flow reconstruction + tagging.
         for event in self.flows.process(ts, &pkt, frame.len()) {
             match event {
-                FlowEvent::FlowStarted(key) => {
-                    self.on_flow_started(ts, key, &mut enforcer)
-                }
+                FlowEvent::FlowStarted(key) => self.on_flow_started(ts, key, &mut enforcer),
                 FlowEvent::FlowFinished(record) => self.on_flow_finished(*record),
             }
         }
@@ -335,15 +333,12 @@ impl RealTimeSniffer {
     }
 
     fn on_flow_finished(&mut self, record: dnhunter_flow::FlowRecord) {
-        let tag = self
-            .pending_tags
-            .remove(&record.key)
-            .unwrap_or(PendingTag {
-                fqdn: None,
-                alt_labels: Vec::new(),
-                tag_delay: None,
-                in_warmup: false,
-            });
+        let tag = self.pending_tags.remove(&record.key).unwrap_or(PendingTag {
+            fqdn: None,
+            alt_labels: Vec::new(),
+            tag_delay: None,
+            in_warmup: false,
+        });
         let protocol = record.protocol_now();
         let tls = if protocol == dnhunter_flow::AppProtocol::Tls {
             Some(record.tls_info())
@@ -478,7 +473,10 @@ mod tests {
     #[test]
     fn tags_flow_after_response() {
         let mut s = RealTimeSniffer::new(no_warmup_config());
-        s.process_frame(1_000_000, &dns_response_frame("www.example.com", &[WEB_SERVER], 1));
+        s.process_frame(
+            1_000_000,
+            &dns_response_frame("www.example.com", &[WEB_SERVER], 1),
+        );
         s.process_frame(1_500_000, &syn_frame(WEB_SERVER, 443, 50001));
         let report = s.finish();
         assert_eq!(report.database.len(), 1);
@@ -504,7 +502,10 @@ mod tests {
     #[test]
     fn useless_response_is_counted() {
         let mut s = RealTimeSniffer::new(no_warmup_config());
-        s.process_frame(1_000_000, &dns_response_frame("prefetch.example.com", &[WEB_SERVER], 2));
+        s.process_frame(
+            1_000_000,
+            &dns_response_frame("prefetch.example.com", &[WEB_SERVER], 2),
+        );
         let report = s.finish();
         assert_eq!(report.delays.answered_responses, 1);
         assert_eq!(report.delays.useless_responses, 1);
@@ -520,19 +521,30 @@ mod tests {
         // Flow at t=1s (inside warm-up): doesn't count.
         s.process_frame(1_000_000, &syn_frame(WEB_SERVER, 80, 50003));
         // Response + flow at t=20s: counts and hits.
-        s.process_frame(20_000_000, &dns_response_frame("late.example.com", &[WEB_SERVER], 3));
+        s.process_frame(
+            20_000_000,
+            &dns_response_frame("late.example.com", &[WEB_SERVER], 3),
+        );
         s.process_frame(20_100_000, &syn_frame(WEB_SERVER, 443, 50004));
         let report = s.finish();
         assert_eq!(report.sniffer_stats.tag_attempts, 1);
         assert_eq!(report.sniffer_stats.tag_hits, 1);
-        let warm: Vec<bool> = report.database.flows().iter().map(|f| f.in_warmup).collect();
+        let warm: Vec<bool> = report
+            .database
+            .flows()
+            .iter()
+            .map(|f| f.in_warmup)
+            .collect();
         assert!(warm.contains(&true) && warm.contains(&false));
     }
 
     #[test]
     fn second_flow_to_same_binding_counts_in_any_delays_only() {
         let mut s = RealTimeSniffer::new(no_warmup_config());
-        s.process_frame(1_000_000, &dns_response_frame("multi.example.com", &[WEB_SERVER], 4));
+        s.process_frame(
+            1_000_000,
+            &dns_response_frame("multi.example.com", &[WEB_SERVER], 4),
+        );
         s.process_frame(1_200_000, &syn_frame(WEB_SERVER, 443, 50005));
         s.process_frame(3_000_000, &syn_frame(WEB_SERVER, 443, 50006));
         let report = s.finish();
@@ -543,11 +555,19 @@ mod tests {
     #[test]
     fn policy_applies_at_first_packet() {
         let mut s = RealTimeSniffer::new(no_warmup_config());
-        let mut enforcer = RuleEnforcer::new(vec![
-            PolicyRule::new("zynga.com", PolicyAction::Block).unwrap(),
-        ]);
-        s.process_frame(1_000_000, &dns_response_frame("farm.zynga.com", &[WEB_SERVER], 5));
-        s.process_frame_with_policy(1_100_000, &syn_frame(WEB_SERVER, 443, 50007), Some(&mut enforcer));
+        let mut enforcer =
+            RuleEnforcer::new(vec![
+                PolicyRule::new("zynga.com", PolicyAction::Block).unwrap()
+            ]);
+        s.process_frame(
+            1_000_000,
+            &dns_response_frame("farm.zynga.com", &[WEB_SERVER], 5),
+        );
+        s.process_frame_with_policy(
+            1_100_000,
+            &syn_frame(WEB_SERVER, 443, 50007),
+            Some(&mut enforcer),
+        );
         assert_eq!(enforcer.blocked(), 1);
         assert!(enforcer.decisions()[0].at_first_packet);
     }
@@ -585,7 +605,10 @@ mod tests {
         let mut s = RealTimeSniffer::new(no_warmup_config());
         let many: Vec<Ipv4Addr> = (0..16).map(|i| Ipv4Addr::new(74, 125, 0, i)).collect();
         s.process_frame(1_000, &dns_response_frame("www.google.com", &many, 6));
-        s.process_frame(2_000, &dns_response_frame("single.example.com", &[WEB_SERVER], 7));
+        s.process_frame(
+            2_000,
+            &dns_response_frame("single.example.com", &[WEB_SERVER], 7),
+        );
         let report = s.finish();
         assert_eq!(report.answers_per_response, vec![16, 1]);
     }

@@ -1,6 +1,10 @@
 //! RFC 1035 wire codec with name compression.
 
-use std::collections::HashMap;
+// Lint L2 forbids default-hasher HashMaps on per-packet paths, and this
+// crate cannot depend on `resolver::maps` (the resolver depends on `dns`),
+// so the compression table is a BTreeMap: at most a handful of suffixes per
+// message, where the tree walk beats hashing the whole suffix string anyway.
+use std::collections::BTreeMap;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
 use crate::error::{DnsError, Result};
@@ -8,7 +12,8 @@ use crate::message::{DnsHeader, DnsMessage, QClass, QType, Question, Rcode, Reso
 use crate::name::DomainName;
 use crate::rdata::RData;
 
-/// Encode a message to wire bytes (suitable for a UDP payload).
+/// Encode a message to wire bytes (RFC 1035 §4 format, suitable for a
+/// UDP payload).
 pub fn encode(msg: &DnsMessage) -> Result<Vec<u8>> {
     let mut enc = Encoder::new();
     enc.header(msg)?;
@@ -27,7 +32,7 @@ pub fn encode(msg: &DnsMessage) -> Result<Vec<u8>> {
     Ok(enc.buf)
 }
 
-/// Decode a message from wire bytes.
+/// Decode a message from wire bytes (RFC 1035 §4).
 pub fn decode(buf: &[u8]) -> Result<DnsMessage> {
     let mut dec = Decoder { buf, pos: 0 };
     let (header, counts) = dec.header()?;
@@ -72,9 +77,10 @@ pub fn encode_tcp(msg: &DnsMessage) -> Result<Vec<u8>> {
     Ok(out)
 }
 
-/// Decode every complete length-prefixed message at the start of a TCP
-/// payload. Trailing partial data (a message split across segments) is
+/// Decode every complete length-prefixed message (RFC 1035 §4.2.2) at the
+/// start of a TCP payload. Trailing partial data (a message split across segments) is
 /// ignored; malformed messages stop the scan.
+// allow_lint(L1): pos+1 is readable by the `pos + 2 <= buf.len()` loop guard; start..end is readable because `end > buf.len()` breaks first
 pub fn decode_tcp_stream(buf: &[u8]) -> Vec<DnsMessage> {
     let mut out = Vec::new();
     let mut pos = 0;
@@ -101,14 +107,14 @@ pub fn decode_tcp_stream(buf: &[u8]) -> Vec<DnsMessage> {
 struct Encoder {
     buf: Vec<u8>,
     /// Suffix (as dotted string) → offset where it was first written.
-    compression: HashMap<String, u16>,
+    compression: BTreeMap<String, u16>,
 }
 
 impl Encoder {
     fn new() -> Self {
         Encoder {
             buf: Vec::with_capacity(512),
-            compression: HashMap::new(),
+            compression: BTreeMap::new(),
         }
     }
 
@@ -143,7 +149,9 @@ impl Encoder {
             msg.additionals.len(),
         ] {
             if count > usize::from(u16::MAX) {
-                return Err(DnsError::Malformed(format!("section count {count} too large")));
+                return Err(DnsError::Malformed(format!(
+                    "section count {count} too large"
+                )));
             }
             self.buf.extend_from_slice(&(count as u16).to_be_bytes());
         }
@@ -152,6 +160,7 @@ impl Encoder {
 
     /// Write a name with compression: at every suffix, if that suffix was
     /// written before at a pointer-reachable offset, emit a pointer instead.
+    // allow_lint(L1): i ranges over 0..labels.len(), so labels[i] and labels[i..] are in bounds
     fn name(&mut self, name: &DomainName) -> Result<()> {
         let labels = name.labels();
         for i in 0..labels.len() {
@@ -231,8 +240,11 @@ impl Encoder {
         }
         let rdlen = self.buf.len() - data_start;
         if rdlen > usize::from(u16::MAX) {
-            return Err(DnsError::Malformed(format!("RDATA length {rdlen} too large")));
+            return Err(DnsError::Malformed(format!(
+                "RDATA length {rdlen} too large"
+            )));
         }
+        // allow_lint(L1): len_pos points at the two placeholder bytes appended before the RDATA body
         self.buf[len_pos..len_pos + 2].copy_from_slice(&(rdlen as u16).to_be_bytes());
         Ok(())
     }
@@ -248,6 +260,7 @@ struct Decoder<'a> {
 }
 
 impl<'a> Decoder<'a> {
+    // allow_lint(L1): pos..pos+n is readable — the `pos + n > buf.len()` check above returns Malformed first
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.pos + n > self.buf.len() {
             return Err(DnsError::Malformed(format!(
@@ -264,11 +277,13 @@ impl<'a> Decoder<'a> {
         Ok(self.take(1)?[0])
     }
 
+    // allow_lint(L1): take(2) returned a slice of exactly 2 bytes
     fn u16(&mut self) -> Result<u16> {
         let b = self.take(2)?;
         Ok(u16::from_be_bytes([b[0], b[1]]))
     }
 
+    // allow_lint(L1): take(4) returned a slice of exactly 4 bytes
     fn u32(&mut self) -> Result<u32> {
         let b = self.take(4)?;
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
@@ -354,6 +369,7 @@ impl<'a> Decoder<'a> {
             if total_octets > crate::name::MAX_NAME_OCTETS {
                 return Err(DnsError::NameTooLong(total_octets));
             }
+            // allow_lint(L1): start..end is readable — the `end > buf.len()` check above returns Malformed first
             let raw = &self.buf[start..end];
             let label = String::from_utf8_lossy(raw).to_ascii_lowercase();
             labels.push(label);
@@ -389,6 +405,7 @@ impl<'a> Decoder<'a> {
                     return Err(DnsError::Malformed(format!("A RDATA length {rdlen}")));
                 }
                 let b = self.take(4)?;
+                // allow_lint(L1): take(4) returned a slice of exactly 4 bytes
                 RData::A(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
             }
             QType::Aaaa => {
@@ -651,8 +668,9 @@ mod tests {
     #[test]
     fn tcp_framing_roundtrip() {
         let q = DnsMessage::query(0xaaaa, name("big.example.com"), QType::A);
-        let answers: Vec<ResourceRecord> =
-            (0..20).map(|i| a("big.example.com", [8, 8, (i >> 8) as u8, i as u8])).collect();
+        let answers: Vec<ResourceRecord> = (0..20)
+            .map(|i| a("big.example.com", [8, 8, (i >> 8) as u8, i as u8]))
+            .collect();
         let r = DnsMessage::answer_to(&q, answers);
         let framed = encode_tcp(&r).unwrap();
         let back = decode_tcp_stream(&framed);

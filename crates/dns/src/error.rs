@@ -1,8 +1,13 @@
 //! Error type for DNS parsing and building.
+//!
+//! Limits and malformation cases follow RFC 1035; the sniffer treats any
+//! of these errors as "not DNS" and moves on, as the paper's passive
+//! observer must (§3.1).
 
 use std::fmt;
 
-/// Errors raised while handling DNS names and messages.
+/// Errors raised while handling DNS names and messages (limits per
+/// RFC 1035 §2.3.4).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DnsError {
     /// A domain-name string failed validation.
@@ -31,7 +36,7 @@ impl fmt::Display for DnsError {
 
 impl std::error::Error for DnsError {}
 
-/// Convenience alias.
+/// Convenience alias for DNS parsing results (errors per RFC 1035 limits).
 pub type Result<T> = std::result::Result<T, DnsError>;
 
 #[cfg(test)]
@@ -40,7 +45,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(DnsError::BadName("x".into()).to_string().contains("invalid"));
+        assert!(DnsError::BadName("x".into())
+            .to_string()
+            .contains("invalid"));
         assert!(DnsError::NameTooLong(300).to_string().contains("300"));
         assert!(DnsError::LabelTooLong(64).to_string().contains("64"));
     }

@@ -16,12 +16,21 @@
 //!   (drop TLD + second-level domain, split the remaining labels on
 //!   non-alphanumeric characters, collapse digit runs to `N`).
 
+#![forbid(unsafe_code)]
+
+/// RFC 1035 §4 wire codec (name compression, pointer chasing).
 pub mod codec;
+/// Error type for DNS parsing; limits per RFC 1035 §2.3.4.
 pub mod error;
+/// Message structure per RFC 1035 §4.1: header, questions, records.
 pub mod message;
+/// Validated domain names and the label splits the paper's §4 analytics use.
 pub mod name;
+/// Resource-record payloads (RFC 1035 §3.3 / RFC 3596).
 pub mod rdata;
+/// Public-suffix table backing the paper's second-level-domain notion (§4.1).
 pub mod suffix;
+/// FQDN tokenization of the paper's Algorithm 4.
 pub mod tokenizer;
 
 pub use error::{DnsError, Result};

@@ -1,4 +1,5 @@
-//! DNS message structure: header, questions and resource records.
+//! DNS message structure per RFC 1035 §4.1: header, questions and
+//! resource records.
 
 use std::fmt;
 use std::net::IpAddr;
@@ -6,7 +7,7 @@ use std::net::IpAddr;
 use crate::name::DomainName;
 use crate::rdata::RData;
 
-/// Query/record type codes.
+/// Query/record type codes (RFC 1035 §3.2.2; AAAA per RFC 3596).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QType {
     A,
@@ -23,7 +24,7 @@ pub enum QType {
 }
 
 impl QType {
-    /// Wire value.
+    /// Wire value (RFC 1035 §3.2.2).
     pub fn value(self) -> u16 {
         match self {
             QType::A => 1,
@@ -74,7 +75,7 @@ impl fmt::Display for QType {
     }
 }
 
-/// Query/record class codes. Only IN matters in practice.
+/// Query/record class codes (RFC 1035 §3.2.4). Only IN matters in practice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QClass {
     In,
@@ -83,7 +84,7 @@ pub enum QClass {
 }
 
 impl QClass {
-    /// Wire value.
+    /// Wire value (RFC 1035 §3.2.4).
     pub fn value(self) -> u16 {
         match self {
             QClass::In => 1,
@@ -103,7 +104,7 @@ impl From<u16> for QClass {
     }
 }
 
-/// Response codes (subset).
+/// Response codes (RFC 1035 §4.1.1, subset).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rcode {
     NoError,
@@ -116,7 +117,7 @@ pub enum Rcode {
 }
 
 impl Rcode {
-    /// Wire value (4 bits).
+    /// Wire value (4 bits, RFC 1035 §4.1.1).
     pub fn value(self) -> u8 {
         match self {
             Rcode::NoError => 0,
@@ -144,7 +145,7 @@ impl From<u8> for Rcode {
     }
 }
 
-/// The fixed 12-byte header, decomposed.
+/// The fixed 12-byte header (RFC 1035 §4.1.1), decomposed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DnsHeader {
     pub id: u16,
@@ -159,7 +160,7 @@ pub struct DnsHeader {
 }
 
 impl DnsHeader {
-    /// Header for a standard recursive query.
+    /// Header for a standard recursive query (RFC 1035 §4.1.1 flags).
     pub fn query(id: u16) -> Self {
         DnsHeader {
             id,
@@ -173,7 +174,7 @@ impl DnsHeader {
         }
     }
 
-    /// Header for a response to the given query id.
+    /// Header for a response to the given query id (RFC 1035 §4.1.1 flags).
     pub fn response(id: u16, rcode: Rcode) -> Self {
         DnsHeader {
             id,
@@ -188,7 +189,7 @@ impl DnsHeader {
     }
 }
 
-/// One question entry.
+/// One question entry (RFC 1035 §4.1.2).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Question {
     pub qname: DomainName,
@@ -196,7 +197,7 @@ pub struct Question {
     pub qclass: QClass,
 }
 
-/// One resource record.
+/// One resource record (RFC 1035 §4.1.3).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResourceRecord {
     pub name: DomainName,
@@ -205,7 +206,7 @@ pub struct ResourceRecord {
     pub rdata: RData,
 }
 
-/// A whole DNS message.
+/// A whole DNS message (RFC 1035 §4.1): header plus four sections.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DnsMessage {
     pub header: DnsHeader,
@@ -216,7 +217,7 @@ pub struct DnsMessage {
 }
 
 impl DnsMessage {
-    /// A standard A/AAAA/PTR/... query for `name`.
+    /// A standard A/AAAA/PTR/... query for `name` (RFC 1035 §4.1).
     pub fn query(id: u16, name: DomainName, qtype: QType) -> Self {
         DnsMessage {
             header: DnsHeader::query(id),
@@ -231,7 +232,8 @@ impl DnsMessage {
         }
     }
 
-    /// A NOERROR response answering `query` with the given records.
+    /// A NOERROR response answering `query` with the given records
+    /// (RFC 1035 §4.1).
     pub fn answer_to(query: &DnsMessage, answers: Vec<ResourceRecord>) -> Self {
         DnsMessage {
             header: DnsHeader::response(query.header.id, Rcode::NoError),
@@ -242,7 +244,7 @@ impl DnsMessage {
         }
     }
 
-    /// An NXDOMAIN (or other error) response to `query`.
+    /// An NXDOMAIN (or other error, RFC 1035 §4.1.1) response to `query`.
     pub fn error_to(query: &DnsMessage, rcode: Rcode) -> Self {
         DnsMessage {
             header: DnsHeader::response(query.header.id, rcode),
@@ -254,7 +256,7 @@ impl DnsMessage {
     }
 
     /// The question name, if there is exactly one question (the common case
-    /// the sniffer relies on).
+    /// the paper's sniffer relies on, §3.1).
     pub fn question_name(&self) -> Option<&DomainName> {
         match self.questions.as_slice() {
             [q] => Some(&q.qname),
@@ -275,8 +277,9 @@ impl DnsMessage {
         self.question_name()
     }
 
-    /// Minimum TTL across answers (how long a client may cache the mapping);
-    /// `None` when there are no answers.
+    /// Minimum TTL across answers (how long a client may cache the mapping —
+    /// the horizon the paper's §4.2 dimensioning reasons about); `None` when
+    /// there are no answers.
     pub fn min_answer_ttl(&self) -> Option<u32> {
         self.answers.iter().map(|rr| rr.ttl).min()
     }

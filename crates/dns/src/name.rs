@@ -12,8 +12,9 @@ pub const MAX_NAME_OCTETS: usize = 255;
 /// Maximum label length in octets.
 pub const MAX_LABEL_OCTETS: usize = 63;
 
-/// A validated, lowercase domain name stored as its label sequence,
-/// most-specific label first (`www`, `example`, `com`).
+/// A validated, lowercase domain name (limits per RFC 1035 §2.3.4) stored
+/// as its label sequence, most-specific label first (`www`, `example`,
+/// `com`) — the unit the paper's label analytics (§4.1) operate on.
 ///
 /// The root name has zero labels and displays as `.`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,7 +23,10 @@ pub struct DomainName {
 }
 
 impl serde::Serialize for DomainName {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
         serializer.serialize_str(&self.to_string())
     }
 }
@@ -37,7 +41,7 @@ impl<'de> serde::Deserialize<'de> for DomainName {
 }
 
 impl DomainName {
-    /// The root name.
+    /// The root name (zero labels, RFC 1035 §3.1).
     pub fn root() -> Self {
         DomainName { labels: Vec::new() }
     }
@@ -47,7 +51,7 @@ impl DomainName {
         DomainName { labels }
     }
 
-    /// Build from labels with full validation.
+    /// Build from labels with full validation (RFC 1035 §2.3.4 limits).
     pub fn from_labels<I, S>(labels: I) -> Result<Self>
     where
         I: IntoIterator<Item = S>,
@@ -67,27 +71,29 @@ impl DomainName {
         Ok(DomainName { labels: out })
     }
 
-    /// The labels, most-specific first.
+    /// The labels, most-specific first (wire order, RFC 1035 §3.1).
     pub fn labels(&self) -> &[String] {
         &self.labels
     }
 
-    /// Number of labels.
+    /// Number of labels — the depth the paper's Fig. 8 CDF is taken over.
     pub fn label_count(&self) -> usize {
         self.labels.len()
     }
 
-    /// True for the root name.
+    /// True for the root name (RFC 1035 §3.1).
     pub fn is_root(&self) -> bool {
         self.labels.is_empty()
     }
 
-    /// Encoded length in octets (labels + length bytes + root byte).
+    /// Encoded length in octets (labels + length bytes + root byte,
+    /// RFC 1035 §3.1).
     pub fn encoded_len(&self) -> usize {
         1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
     }
 
-    /// The top-level domain (`com` for `www.example.com`), if any.
+    /// The top-level domain (`com` for `www.example.com`), if any — level 1
+    /// in the paper's §4.1 naming.
     pub fn tld(&self) -> Option<&str> {
         self.labels.last().map(String::as_str)
     }
@@ -96,6 +102,7 @@ impl DomainName {
     /// — the public suffix plus one label. `www.example.com` → `example.com`;
     /// `news.bbc.co.uk` → `bbc.co.uk`. Names that *are* a public suffix (or
     /// shorter) return themselves.
+    // allow_lint(L1): keep <= labels.len() by the `.min()` above, so the slice start is in bounds
     pub fn second_level_domain(&self, suffixes: &SuffixSet) -> DomainName {
         let suffix_labels = suffixes.matching_suffix_labels(&self.labels);
         let keep = (suffix_labels + 1).min(self.labels.len());
@@ -106,13 +113,16 @@ impl DomainName {
 
     /// The sub-labels *below* the second-level domain, most-specific first.
     /// `smtp2.mail.google.com` → `["smtp2", "mail"]`. These feed Algorithm 4.
+    // allow_lint(L1): keep <= labels.len() by the `.min()` above, so the slice end is in bounds
     pub fn sub_labels(&self, suffixes: &SuffixSet) -> &[String] {
         let suffix_labels = suffixes.matching_suffix_labels(&self.labels);
         let keep = (suffix_labels + 1).min(self.labels.len());
         &self.labels[..self.labels.len() - keep]
     }
 
-    /// True if `self` equals `other` or is a subdomain of it.
+    /// True if `self` equals `other` or is a subdomain of it (label-suffix
+    /// containment, the paper's §4.1 hierarchy).
+    // allow_lint(L1): offset <= labels.len() — the early return rejects `other` longer than `self`
     pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
         if other.labels.len() > self.labels.len() {
             return false;
@@ -121,7 +131,8 @@ impl DomainName {
         self.labels[offset..] == other.labels[..]
     }
 
-    /// Prepend a label, producing the child name.
+    /// Prepend a label, producing the child name (stays within RFC 1035
+    /// §2.3.4 length limits).
     pub fn child(&self, label: &str) -> Result<DomainName> {
         validate_label(label)?;
         let mut labels = Vec::with_capacity(self.labels.len() + 1);
@@ -134,7 +145,9 @@ impl DomainName {
         Ok(name)
     }
 
-    /// The parent name (drop the most-specific label); root's parent is root.
+    /// The parent name (drop the most-specific label, one level up in the
+    /// paper's §4.1 hierarchy); root's parent is root.
+    // allow_lint(L1): labels[1..] is valid — the empty case returned early, so len >= 1
     pub fn parent(&self) -> DomainName {
         if self.labels.is_empty() {
             return self.clone();

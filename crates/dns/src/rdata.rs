@@ -1,4 +1,5 @@
-//! Resource-record data for the record types passive monitoring encounters.
+//! Resource-record data (RFC 1035 §3.3; AAAA per RFC 3596) for the record
+//! types passive monitoring encounters.
 
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
@@ -6,7 +7,7 @@ use std::net::{Ipv4Addr, Ipv6Addr};
 use crate::message::QType;
 use crate::name::DomainName;
 
-/// Typed RDATA.
+/// Typed RDATA (RFC 1035 §3.3; AAAA per RFC 3596).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RData {
     /// IPv4 host address.
@@ -41,7 +42,7 @@ pub enum RData {
 }
 
 impl RData {
-    /// The record type this data corresponds to.
+    /// The record type this data corresponds to (RFC 1035 §3.2.2).
     pub fn rtype(&self) -> QType {
         match self {
             RData::A(_) => QType::A,
@@ -56,7 +57,8 @@ impl RData {
         }
     }
 
-    /// The address carried, if this is an A/AAAA record.
+    /// The address carried, if this is an A/AAAA record — the server side of
+    /// the paper's §3.1 (client, server) → FQDN binding.
     pub fn ip(&self) -> Option<std::net::IpAddr> {
         match self {
             RData::A(a) => Some(std::net::IpAddr::V4(*a)),
@@ -93,10 +95,7 @@ mod tests {
     fn rtype_mapping() {
         assert_eq!(RData::A(Ipv4Addr::LOCALHOST).rtype(), QType::A);
         assert_eq!(RData::Aaaa(Ipv6Addr::LOCALHOST).rtype(), QType::Aaaa);
-        assert_eq!(
-            RData::Cname("a.com".parse().unwrap()).rtype(),
-            QType::Cname
-        );
+        assert_eq!(RData::Cname("a.com".parse().unwrap()).rtype(), QType::Cname);
         assert_eq!(
             RData::Unknown {
                 rtype: 99,

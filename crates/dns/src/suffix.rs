@@ -13,23 +13,41 @@ use std::collections::HashSet;
 /// Single-label public suffixes (classic TLDs).
 pub const SINGLE_LABEL: &[&str] = &[
     "com", "net", "org", "edu", "gov", "mil", "int", "arpa", "biz", "info", "name", "io", "tv",
-    "me", "cc", "ly", "fm", "am", "it", "fr", "de", "es", "nl", "be", "ch", "at", "se", "no",
-    "fi", "dk", "pl", "cz", "pt", "gr", "ie", "us", "ca", "mx", "ru", "in", "kr",
+    "me", "cc", "ly", "fm", "am", "it", "fr", "de", "es", "nl", "be", "ch", "at", "se", "no", "fi",
+    "dk", "pl", "cz", "pt", "gr", "ie", "us", "ca", "mx", "ru", "in", "kr",
 ];
 
 /// Multi-label public suffixes.
 pub const MULTI_LABEL: &[&str] = &[
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "net.uk",
-    "com.au", "net.au", "org.au",
-    "co.jp", "ne.jp", "or.jp", "ac.jp",
-    "com.br", "net.br", "org.br",
-    "com.cn", "net.cn", "org.cn",
-    "co.nz", "net.nz",
-    "co.in", "net.in",
-    "in-addr.arpa", "ip6.arpa",
+    "co.uk",
+    "org.uk",
+    "ac.uk",
+    "gov.uk",
+    "me.uk",
+    "net.uk",
+    "com.au",
+    "net.au",
+    "org.au",
+    "co.jp",
+    "ne.jp",
+    "or.jp",
+    "ac.jp",
+    "com.br",
+    "net.br",
+    "org.br",
+    "com.cn",
+    "net.cn",
+    "org.cn",
+    "co.nz",
+    "net.nz",
+    "co.in",
+    "net.in",
+    "in-addr.arpa",
+    "ip6.arpa",
 ];
 
-/// Runtime-extensible suffix set with longest-match lookup.
+/// Runtime-extensible suffix set with longest-match lookup — backs the
+/// paper's second-level-domain ("organization") notion, §4.1.
 #[derive(Debug, Clone)]
 pub struct SuffixSet {
     suffixes: HashSet<String>,
@@ -38,7 +56,8 @@ pub struct SuffixSet {
 }
 
 impl SuffixSet {
-    /// The built-in table.
+    /// The built-in table (common public suffixes; extend via [`SuffixSet::insert`]
+    /// for deployment-specific zones, per the paper's §4.1 grouping).
     pub fn builtin() -> Self {
         let mut suffixes = HashSet::new();
         for s in SINGLE_LABEL {
@@ -53,7 +72,8 @@ impl SuffixSet {
         }
     }
 
-    /// Add a suffix (lowercased) to the set.
+    /// Add a suffix (lowercased) to the set, widening the paper's §4.1
+    /// organization grouping.
     pub fn insert(&mut self, suffix: &str) {
         let s = suffix.to_ascii_lowercase();
         self.max_labels = self.max_labels.max(s.split('.').count());
@@ -62,7 +82,9 @@ impl SuffixSet {
 
     /// Number of labels of the longest public suffix matching the tail of
     /// `labels` (which must be lowercase, TLD-last). Returns 1 as a fallback
-    /// for unknown TLDs, 0 for an empty name — so `sld_len = suffix + 1`.
+    /// for unknown TLDs, 0 for an empty name — so `sld_len = suffix + 1`,
+    /// the paper's second-level domain (§4.1).
+    // allow_lint(L1): take <= upper <= labels.len(), so labels.len() - take never underflows
     pub fn matching_suffix_labels(&self, labels: &[String]) -> usize {
         if labels.is_empty() {
             return 0;
@@ -77,7 +99,7 @@ impl SuffixSet {
         1 // unknown TLD: treat the last label as the public suffix
     }
 
-    /// True if the exact string is a known public suffix.
+    /// True if the exact string is a known public suffix (§4.1 grouping).
     pub fn contains(&self, suffix: &str) -> bool {
         self.suffixes.contains(&suffix.to_ascii_lowercase())
     }
@@ -126,9 +148,15 @@ mod tests {
     #[test]
     fn runtime_insert_extends_matching() {
         let mut set = SuffixSet::builtin();
-        assert_eq!(set.matching_suffix_labels(&labels("a.b.example.internal")), 1);
+        assert_eq!(
+            set.matching_suffix_labels(&labels("a.b.example.internal")),
+            1
+        );
         set.insert("example.internal");
-        assert_eq!(set.matching_suffix_labels(&labels("a.b.example.internal")), 2);
+        assert_eq!(
+            set.matching_suffix_labels(&labels("a.b.example.internal")),
+            2
+        );
         assert!(set.contains("EXAMPLE.INTERNAL"));
     }
 

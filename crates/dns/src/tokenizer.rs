@@ -9,8 +9,9 @@
 use crate::name::DomainName;
 use crate::suffix::SuffixSet;
 
-/// Normalise one raw token: lowercase, digit runs collapsed to a single `N`.
-/// Returns `None` when nothing but separators/digits-only-noise remains.
+/// Normalise one raw token per the paper's Algorithm 4: lowercase, digit
+/// runs collapsed to a single `N`. Returns `None` when nothing but
+/// separators/digits-only-noise remains.
 pub fn normalize_token(raw: &str) -> Option<String> {
     if raw.is_empty() {
         return None;
@@ -35,8 +36,8 @@ pub fn normalize_token(raw: &str) -> Option<String> {
     }
 }
 
-/// Split one label into normalised tokens. Separators are any
-/// non-alphanumeric characters (`-`, `_`).
+/// Split one label into normalised tokens (Algorithm 4). Separators are
+/// any non-alphanumeric characters (`-`, `_`).
 pub fn tokenize_label(label: &str) -> Vec<String> {
     label
         .split(|c: char| !c.is_ascii_alphanumeric())

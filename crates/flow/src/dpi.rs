@@ -119,9 +119,15 @@ mod tests {
 
     #[test]
     fn mail_banners_and_ports() {
-        assert_eq!(classify(b"EHLO x", b"220 mail.example.com ESMTP", 2525), AppProtocol::Mail);
+        assert_eq!(
+            classify(b"EHLO x", b"220 mail.example.com ESMTP", 2525),
+            AppProtocol::Mail
+        );
         assert_eq!(classify(b"", b"", 25), AppProtocol::Mail);
-        assert_eq!(classify(b"USER x", b"+OK pop ready", 12345), AppProtocol::Mail);
+        assert_eq!(
+            classify(b"USER x", b"+OK pop ready", 12345),
+            AppProtocol::Mail
+        );
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! The DPI verdicts serve as the ground truth against which the DNS-based
 //! labelling is compared (Tab. 2) and as the "GT" column of Tables 6–7.
 
+#![forbid(unsafe_code)]
+
 pub mod bittorrent;
 pub mod dpi;
 pub mod http;

@@ -70,14 +70,23 @@ impl FlowRecord {
         self.last_ts = self.last_ts.max(ts);
         let from_client = matches!(direction, FlowDirection::ClientToServer);
         let (packets, bytes, head) = if from_client {
-            (&mut self.packets_c2s, &mut self.bytes_c2s, &mut self.head_c2s)
+            (
+                &mut self.packets_c2s,
+                &mut self.bytes_c2s,
+                &mut self.head_c2s,
+            )
         } else {
-            (&mut self.packets_s2c, &mut self.bytes_s2c, &mut self.head_s2c)
+            (
+                &mut self.packets_s2c,
+                &mut self.bytes_s2c,
+                &mut self.head_s2c,
+            )
         };
         *packets += 1;
         *bytes += wire_bytes as u64;
         if !payload.is_empty() && head.len() < DPI_SNAP {
             let take = (DPI_SNAP - head.len()).min(payload.len());
+            // allow_lint(L1): take <= payload.len() by the `.min()` above
             head.extend_from_slice(&payload[..take]);
             self.dpi_dirty = true;
         }
@@ -151,11 +160,35 @@ mod tests {
     #[test]
     fn accounting_per_direction() {
         let mut r = FlowRecord::new(key(), 1_000);
-        r.observe(FlowDirection::ClientToServer, 1_000, 74, &[], Some(TcpFlags::SYN));
-        r.observe(FlowDirection::ServerToClient, 1_100, 74, &[], Some(TcpFlags::SYN | TcpFlags::ACK));
-        r.observe(FlowDirection::ClientToServer, 1_200, 66, &[], Some(TcpFlags::ACK));
+        r.observe(
+            FlowDirection::ClientToServer,
+            1_000,
+            74,
+            &[],
+            Some(TcpFlags::SYN),
+        );
+        r.observe(
+            FlowDirection::ServerToClient,
+            1_100,
+            74,
+            &[],
+            Some(TcpFlags::SYN | TcpFlags::ACK),
+        );
+        r.observe(
+            FlowDirection::ClientToServer,
+            1_200,
+            66,
+            &[],
+            Some(TcpFlags::ACK),
+        );
         let req = http::build_request("GET", "/", "a.com", "x");
-        r.observe(FlowDirection::ClientToServer, 1_300, 66 + req.len(), &req, Some(TcpFlags::PSH | TcpFlags::ACK));
+        r.observe(
+            FlowDirection::ClientToServer,
+            1_300,
+            66 + req.len(),
+            &req,
+            Some(TcpFlags::PSH | TcpFlags::ACK),
+        );
         assert_eq!(r.packets_c2s, 3);
         assert_eq!(r.packets_s2c, 1);
         assert_eq!(r.packets(), 4);

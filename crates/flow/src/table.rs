@@ -1,9 +1,12 @@
 //! The flow table: aggregates packets into flows and emits completed flows.
 
-use std::collections::HashMap;
 use std::net::IpAddr;
 
 use dnhunter_net::{IpProtocol, Packet, TransportHeader};
+// The flow table sits on the per-packet path: every segment does one map
+// lookup (paper §3.2's real-time constraint), so it uses the FNV-keyed map
+// rather than the default SipHash `HashMap` (lint L2).
+use dnhunter_resolver::maps::FnvHashMap;
 
 use crate::record::{FlowDirection, FlowRecord};
 use crate::tuple::FlowKey;
@@ -45,7 +48,7 @@ pub enum FlowEvent {
 /// sniffer orients flows.
 pub struct FlowTable {
     config: FlowTableConfig,
-    flows: HashMap<FlowKey, FlowRecord>,
+    flows: FnvHashMap<FlowKey, FlowRecord>,
     last_eviction: u64,
     total_created: u64,
     total_finished: u64,
@@ -56,7 +59,7 @@ impl FlowTable {
     pub fn new(config: FlowTableConfig) -> Self {
         FlowTable {
             config,
-            flows: HashMap::new(),
+            flows: FnvHashMap::default(),
             last_eviction: 0,
             total_created: 0,
             total_finished: 0,
@@ -88,15 +91,17 @@ impl FlowTable {
             TransportHeader::Opaque(_) => return events, // not reconstructed
         };
         let proto = pkt.ip.protocol();
-        let (key, direction) =
-            self.orient(pkt.src_ip(), src_port, pkt.dst_ip(), dst_port, proto);
+        let (key, direction) = self.orient(pkt.src_ip(), src_port, pkt.dst_ip(), dst_port, proto);
         // A fresh SYN on a terminated flow starts a new flow on the same
         // 5-tuple (port reuse); emit the old record first.
         if let Some(flags) = tcp_flags {
             if flags.syn() && !flags.ack() {
-                if let Some(existing) = self.flows.get(&key) {
-                    if existing.tcp_state().is_terminal() {
-                        let old = self.flows.remove(&key).expect("checked above");
+                let terminated = self
+                    .flows
+                    .get(&key)
+                    .is_some_and(|f| f.tcp_state().is_terminal());
+                if terminated {
+                    if let Some(old) = self.flows.remove(&key) {
                         self.total_finished += 1;
                         events.push(FlowEvent::FlowFinished(Box::new(old)));
                     }
@@ -181,7 +186,7 @@ impl FlowTable {
         events
     }
 
-    fn sort_keys(flows: &HashMap<FlowKey, FlowRecord>, keys: &mut [FlowKey]) {
+    fn sort_keys(flows: &FnvHashMap<FlowKey, FlowRecord>, keys: &mut [FlowKey]) {
         keys.sort_by_key(|k| {
             let first_ts = flows.get(k).map_or(0, |r| r.first_ts);
             (
@@ -313,9 +318,7 @@ mod tests {
         // Next packet long after linger triggers eviction of the closed flow.
         let ev = t.process(1_000, &tcp_pkt(true, TcpFlags::SYN, &[]), 74);
         // Note: same 5-tuple — the closed flow is emitted and a new one starts.
-        let finished = ev
-            .iter()
-            .any(|e| matches!(e, FlowEvent::FlowFinished(_)));
+        let finished = ev.iter().any(|e| matches!(e, FlowEvent::FlowFinished(_)));
         assert!(finished);
         assert_eq!(t.total_finished(), 1);
     }

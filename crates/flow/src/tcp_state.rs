@@ -106,7 +106,10 @@ impl TcpTracker {
                 }
             }
             TcpConnState::Established | TcpConnState::HalfClosed => {}
-            TcpConnState::Closed | TcpConnState::Reset => unreachable!("terminal handled above"),
+            // Terminal states already returned above; if that guard ever
+            // changes, a live capture must stay inert rather than panic
+            // (lint L1: the sniffer's packet path is panic-free).
+            TcpConnState::Closed | TcpConnState::Reset => {}
         }
     }
 }

@@ -30,15 +30,14 @@ pub struct TlsInfo {
 }
 
 /// Quick check: does this payload begin with a plausible TLS record?
+// allow_lint(L1): indices 0..=2 are readable — `payload.len() >= 5` is the first conjunct
 pub fn looks_like_tls(payload: &[u8]) -> bool {
-    payload.len() >= 5
-        && (20..=23).contains(&payload[0])
-        && payload[1] == 3
-        && payload[2] <= 4
+    payload.len() >= 5 && (20..=23).contains(&payload[0]) && payload[1] == 3 && payload[2] <= 4
 }
 
 /// Parse all complete TLS records at the start of `payload`, accumulating
 /// handshake information. Unknown/encrypted content is skipped gracefully.
+// allow_lint(L1): header bytes pos..pos+5 are readable by the loop guard; body_start.. slices are clamped by the `body_end > payload.len()` branch
 pub fn inspect(payload: &[u8]) -> TlsInfo {
     let mut info = TlsInfo::default();
     let mut pos = 0;
@@ -66,10 +65,12 @@ pub fn inspect(payload: &[u8]) -> TlsInfo {
 }
 
 /// Walk the handshake messages inside one record body.
+// allow_lint(L1): the 4 header bytes are readable by the `body.len() >= 4` guard; msg_end is min-clamped to body.len(); the tail slice is guarded by the `4 + hs_len > body.len()` break
 fn inspect_handshakes(mut body: &[u8], info: &mut TlsInfo) {
     while body.len() >= 4 {
         let hs_type = body[0];
-        let hs_len = (usize::from(body[1]) << 16) | (usize::from(body[2]) << 8) | usize::from(body[3]);
+        let hs_len =
+            (usize::from(body[1]) << 16) | (usize::from(body[2]) << 8) | usize::from(body[3]);
         let msg_end = (4 + hs_len).min(body.len());
         let msg = &body[4..msg_end];
         match hs_type {
@@ -96,6 +97,7 @@ fn inspect_handshakes(mut body: &[u8], info: &mut TlsInfo) {
 
 /// Extract the SNI host name from a ClientHello body (after the 4-byte
 /// handshake header).
+// allow_lint(L1): extension-walk indices stay below ext_end which is min-clamped to msg.len(); SNI body indices are guarded by the d.len() checks
 fn parse_client_hello_sni(msg: &[u8]) -> Option<String> {
     // version(2) random(32)
     let mut pos = 34;
@@ -135,12 +137,12 @@ fn parse_client_hello_sni(msg: &[u8]) -> Option<String> {
 
 /// Extract the subject CN from a Certificate message body: the message is a
 /// 3-byte list length, then per-certificate 3-byte lengths + DER bytes.
+// allow_lint(L1): indices 3..=5 are readable — the `msg.len() < 6` case returned None above
 fn parse_certificate_cn(msg: &[u8]) -> Option<String> {
     if msg.len() < 6 {
         return None;
     }
-    let first_len =
-        (usize::from(msg[3]) << 16) | (usize::from(msg[4]) << 8) | usize::from(msg[5]);
+    let first_len = (usize::from(msg[3]) << 16) | (usize::from(msg[4]) << 8) | usize::from(msg[5]);
     let der = msg.get(6..6 + first_len)?;
     x509::extract_common_name(der)
 }
@@ -175,7 +177,10 @@ pub fn build_client_hello(sni: Option<&str>, random_seed: u64) -> Vec<u8> {
     body.extend_from_slice(&[3, 3]); // TLS 1.2
     let mut random = [0u8; 32];
     for (i, b) in random.iter_mut().enumerate() {
-        *b = (random_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(i as u32) >> 24) as u8;
+        *b = (random_seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(i as u32)
+            >> 24) as u8;
     }
     body.extend_from_slice(&random);
     body.push(0); // empty session id
@@ -214,7 +219,10 @@ pub fn build_server_flight(cert_cn: Option<&str>, random_seed: u64) -> Vec<u8> {
     sh.extend_from_slice(&[3, 3]);
     let mut random = [0u8; 32];
     for (i, b) in random.iter_mut().enumerate() {
-        *b = (random_seed.wrapping_mul(0xbf58_476d_1ce4_e5b9).rotate_left(i as u32) >> 16) as u8;
+        *b = (random_seed
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9)
+            .rotate_left(i as u32)
+            >> 16) as u8;
     }
     sh.extend_from_slice(&random);
     sh.push(0); // empty session id
@@ -233,7 +241,10 @@ pub fn build_server_flight(cert_cn: Option<&str>, random_seed: u64) -> Vec<u8> {
         certs.push((der.len() >> 8) as u8);
         certs.push(der.len() as u8);
         certs.extend_from_slice(&der);
-        flight.extend_from_slice(&record(CONTENT_HANDSHAKE, &handshake(HS_CERTIFICATE, &certs)));
+        flight.extend_from_slice(&record(
+            CONTENT_HANDSHAKE,
+            &handshake(HS_CERTIFICATE, &certs),
+        ));
     }
     flight
 }
@@ -243,7 +254,9 @@ pub fn build_application_data(len: usize, seed: u64) -> Vec<u8> {
     let mut body = vec![0u8; len.min(16_000)];
     let mut s = seed | 1;
     for b in body.iter_mut() {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         *b = (s >> 33) as u8;
     }
     record(23, &body)
@@ -315,7 +328,13 @@ mod tests {
 
     #[test]
     fn application_data_is_deterministic_per_seed() {
-        assert_eq!(build_application_data(100, 5), build_application_data(100, 5));
-        assert_ne!(build_application_data(100, 5), build_application_data(100, 6));
+        assert_eq!(
+            build_application_data(100, 5),
+            build_application_data(100, 5)
+        );
+        assert_ne!(
+            build_application_data(100, 5),
+            build_application_data(100, 6)
+        );
     }
 }

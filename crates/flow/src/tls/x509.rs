@@ -94,6 +94,7 @@ fn read_tlv(der: &[u8], pos: usize) -> Option<(u8, usize, usize)> {
 /// in X.509, so the last CN is the subject's) — the same byte-scanning
 /// heuristic certificate-inspection middleboxes use: find the encoded
 /// id-at-commonName OID (`06 03 55 04 03`) and read the string TLV after it.
+// allow_lint(L1): the window i..i+needle.len() is readable by the loop guard; vs..ve come from read_tlv, which bounds-checks them against der.len()
 pub fn extract_common_name(der: &[u8]) -> Option<String> {
     let mut found: Option<String> = None;
     let needle = [TAG_OID, OID_CN.len() as u8, OID_CN[0], OID_CN[1], OID_CN[2]];

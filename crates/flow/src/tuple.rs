@@ -54,7 +54,13 @@ impl FlowKey {
     /// Direction of a packet with the given endpoints relative to this key:
     /// `Some(true)` = client→server, `Some(false)` = server→client,
     /// `None` = not this flow.
-    pub fn direction_of(&self, src: IpAddr, src_port: u16, dst: IpAddr, dst_port: u16) -> Option<bool> {
+    pub fn direction_of(
+        &self,
+        src: IpAddr,
+        src_port: u16,
+        dst: IpAddr,
+        dst_port: u16,
+    ) -> Option<bool> {
         if src == self.client
             && src_port == self.client_port
             && dst == self.server
@@ -119,10 +125,7 @@ mod tests {
             k.direction_of(k.server, k.server_port, k.client, k.client_port),
             Some(false)
         );
-        assert_eq!(
-            k.direction_of(k.client, 1, k.server, k.server_port),
-            None
-        );
+        assert_eq!(k.direction_of(k.client, 1, k.server, k.server_port), None);
     }
 
     #[test]

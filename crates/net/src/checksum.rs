@@ -19,6 +19,7 @@ impl Checksum {
 
     /// Add a byte slice. An odd trailing byte is padded with a zero octet, as
     /// required by RFC 1071.
+    // allow_lint(L1): chunks_exact(2) guarantees every chunk holds exactly 2 bytes
     pub fn add_bytes(&mut self, data: &[u8]) {
         let mut chunks = data.chunks_exact(2);
         for c in &mut chunks {

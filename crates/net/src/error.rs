@@ -15,15 +15,9 @@ pub enum NetError {
         available: usize,
     },
     /// A length field inside the packet is inconsistent with the buffer.
-    BadLength {
-        layer: &'static str,
-        detail: String,
-    },
+    BadLength { layer: &'static str, detail: String },
     /// A version / type discriminator had an unsupported value.
-    Unsupported {
-        layer: &'static str,
-        detail: String,
-    },
+    Unsupported { layer: &'static str, detail: String },
     /// A checksum failed validation.
     BadChecksum {
         layer: &'static str,

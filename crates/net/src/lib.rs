@@ -21,6 +21,8 @@
 //! `dnhunter` sniffer are indistinguishable, at this layer, from frames read
 //! off a real wire.
 
+#![forbid(unsafe_code)]
+
 pub mod checksum;
 pub mod error;
 pub mod ethernet;
@@ -38,7 +40,10 @@ pub use ethernet::{EtherType, EthernetHeader};
 pub use ipv4::Ipv4Header;
 pub use ipv6::Ipv6Header;
 pub use mac::MacAddr;
-pub use packet::{build_tcp_v4, build_tcp_v6, build_udp_v4, build_udp_v6, insert_vlan_tag, IpHeader, Packet, TransportHeader};
+pub use packet::{
+    build_tcp_v4, build_tcp_v6, build_udp_v4, build_udp_v6, insert_vlan_tag, IpHeader, Packet,
+    TransportHeader,
+};
 pub use pcap::{PcapReader, PcapRecord, PcapWriter};
 pub use proto::IpProtocol;
 pub use tcp::{TcpFlags, TcpHeader};

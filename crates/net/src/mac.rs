@@ -19,6 +19,7 @@ impl MacAddr {
     }
 
     /// True if the group bit (least significant bit of first octet) is set.
+    // allow_lint(L1): constant index 0 into the fixed [u8; 6] array cannot be out of bounds
     pub fn is_multicast(&self) -> bool {
         self.0[0] & 0x01 != 0
     }
@@ -29,6 +30,7 @@ impl MacAddr {
     }
 
     /// True if the locally-administered bit is set.
+    // allow_lint(L1): constant index 0 into the fixed [u8; 6] array cannot be out of bounds
     pub fn is_local(&self) -> bool {
         self.0[0] & 0x02 != 0
     }
@@ -40,6 +42,7 @@ impl MacAddr {
 
     /// Deterministically derive a locally-administered unicast MAC from an
     /// integer id. Used by the simulator to give every host a stable MAC.
+    // allow_lint(L1): constant indices 3..=7 into the fixed [u8; 8] from to_be_bytes cannot be out of bounds
     pub fn from_id(id: u64) -> Self {
         let b = id.to_be_bytes();
         // 0x02 prefix = locally administered, unicast.
@@ -48,6 +51,7 @@ impl MacAddr {
 }
 
 impl fmt::Display for MacAddr {
+    // allow_lint(L1): constant indices 0..=5 into the fixed [u8; 6] array cannot be out of bounds
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -70,6 +74,7 @@ impl FromStr for MacAddr {
         }
         let mut out = [0u8; 6];
         for (i, p) in parts.iter().enumerate() {
+            // allow_lint(L1): i < 6 — parts.len() == 6 was checked above
             out[i] = u8::from_str_radix(p, 16).map_err(|e| format!("octet {i}: {e}"))?;
         }
         Ok(MacAddr(out))

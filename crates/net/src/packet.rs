@@ -96,6 +96,7 @@ impl Packet {
     /// Non-IP frames and IP fragments beyond the first are rejected with
     /// [`NetError::Unsupported`]; the passive sniffer simply skips them, as
     /// the paper's tool does.
+    // allow_lint(L1): every slice offset is validated first — the vlan `need` guard, and the layer parsers (Ipv4Header/Ipv6Header/TcpHeader/UdpHeader::parse) check their lengths before returning offsets
     pub fn parse(frame: &[u8]) -> Result<Packet> {
         let (mut eth, mut eth_len) = EthernetHeader::parse(frame)?;
         // 802.1Q VLAN tag: 2 bytes TCI + 2 bytes real EtherType.
@@ -231,6 +232,7 @@ pub fn build_tcp_v4(
 
 /// Build a complete Ethernet+IPv6+UDP frame carrying `payload`. The simulator
 /// uses this to exercise the v6 code path of the sniffer.
+// allow_lint(L1): seg holds 8 header bytes before the checksum is patched at 6..8
 pub fn build_udp_v6(
     src_mac: MacAddr,
     dst_mac: MacAddr,
@@ -298,11 +300,17 @@ pub fn build_tcp_v6(
 /// Insert an 802.1Q tag (vlan id) into an untagged Ethernet frame —
 /// useful for testing trunk-port captures.
 pub fn insert_vlan_tag(frame: &[u8], vlan_id: u16) -> Vec<u8> {
+    // Runt frames (shorter than the two MAC addresses) can't carry a tag;
+    // return them unchanged rather than panic (lint L1).
+    if frame.len() < 12 {
+        return frame.to_vec();
+    }
+    let (macs, rest) = frame.split_at(12);
     let mut out = Vec::with_capacity(frame.len() + 4);
-    out.extend_from_slice(&frame[..12]);
+    out.extend_from_slice(macs);
     out.extend_from_slice(&0x8100u16.to_be_bytes());
     out.extend_from_slice(&(vlan_id & 0x0fff).to_be_bytes());
-    out.extend_from_slice(&frame[12..]);
+    out.extend_from_slice(rest);
     out
 }
 

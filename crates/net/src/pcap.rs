@@ -95,11 +95,12 @@ pub struct PcapReader<R: Read> {
 
 impl<R: Read> PcapReader<R> {
     /// Read and validate the global header.
+    // allow_lint(L1): constant indices into the fixed [u8; 24] header array cannot be out of bounds
     pub fn new(mut inner: R) -> Result<Self> {
         let mut hdr = [0u8; 24];
-        inner.read_exact(&mut hdr).map_err(|e| {
-            NetError::BadPcap(format!("global header unreadable: {e}"))
-        })?;
+        inner
+            .read_exact(&mut hdr)
+            .map_err(|e| NetError::BadPcap(format!("global header unreadable: {e}")))?;
         let magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
         let swapped = match magic {
             MAGIC => false,
@@ -133,6 +134,7 @@ impl<R: Read> PcapReader<R> {
     }
 
     /// Read the next record; `Ok(None)` at clean end-of-file.
+    // allow_lint(L1): constant indices into the fixed [u8; 16] record header cannot be out of bounds
     pub fn next_record(&mut self) -> Result<Option<PcapRecord>> {
         let mut hdr = [0u8; 16];
         match self.inner.read_exact(&mut hdr) {

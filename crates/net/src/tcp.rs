@@ -146,6 +146,7 @@ impl TcpHeader {
     }
 
     /// Decode from `buf`; returns the header and the payload offset.
+    // allow_lint(L1): fixed offsets sit below MIN_HEADER_LEN (first `need` guard); option bytes are below data_offset (second `need` guard plus the per-option i/len range checks); body indices are matched against body.len()
     pub fn parse(buf: &[u8]) -> Result<(TcpHeader, usize)> {
         need("tcp", buf, MIN_HEADER_LEN)?;
         let data_offset = usize::from(buf[12] >> 4) * 4;
@@ -212,6 +213,7 @@ impl TcpHeader {
 
     /// Encode a full TCP segment (header + payload) over IPv4 with a valid
     /// checksum; appends to `out`.
+    // allow_lint(L1): the checksum patch at start+16..start+18 lands inside the 20+ header bytes appended above it
     pub fn write_segment_v4(
         &self,
         payload: &[u8],
@@ -263,6 +265,7 @@ impl TcpHeader {
     }
 
     /// Encode a full TCP segment over IPv6, computing the checksum.
+    // allow_lint(L1): the checksum patch at start+16..start+18 lands inside the header the v4 writer just appended
     pub fn write_segment_v6(
         &self,
         payload: &[u8],
@@ -341,7 +344,8 @@ mod tests {
             TcpOption::Timestamps(123, 456),
         ];
         let mut seg = Vec::new();
-        h.write_segment_v4(b"GET / HTTP/1.1\r\n", s, d, &mut seg).unwrap();
+        h.write_segment_v4(b"GET / HTTP/1.1\r\n", s, d, &mut seg)
+            .unwrap();
         let (parsed, off) = TcpHeader::parse(&seg).unwrap();
         assert!(parsed.options.contains(&TcpOption::Mss(1460)));
         assert!(parsed.options.contains(&TcpOption::WindowScale(7)));
@@ -392,7 +396,8 @@ mod tests {
         let dst: Ipv6Addr = "2001:4860::1".parse().unwrap();
         let h = TcpHeader::new(50000, 80, 9, 4, TcpFlags::PSH | TcpFlags::ACK);
         let mut seg = Vec::new();
-        h.write_segment_v6(b"GET /6 HTTP/1.1\r\n", src, dst, &mut seg).unwrap();
+        h.write_segment_v6(b"GET /6 HTTP/1.1\r\n", src, dst, &mut seg)
+            .unwrap();
         TcpHeader::verify_checksum_v6(&seg, src, dst).unwrap();
         let (parsed, off) = TcpHeader::parse(&seg).unwrap();
         assert_eq!(parsed.src_port, 50000);

@@ -7,6 +7,8 @@
 //! from IP prefixes to organization records, plus the synthetic registry
 //! that matches the address plan of `dnhunter-simnet`.
 
+#![forbid(unsafe_code)]
+
 pub mod db;
 pub mod prefix;
 pub mod registry;

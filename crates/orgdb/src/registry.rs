@@ -43,11 +43,23 @@ pub fn org_plan() -> Vec<(&'static str, OrgKind, Vec<&'static str>)> {
         ("meta", OrgKind::Cdn, vec!["205.186.0.0/16"]),
         ("ntt", OrgKind::Cdn, vec!["129.250.0.0/16"]),
         // --- Clouds ---
-        ("amazon", OrgKind::Cloud, vec!["54.224.0.0/12", "107.20.0.0/14"]),
+        (
+            "amazon",
+            OrgKind::Cloud,
+            vec!["54.224.0.0/12", "107.20.0.0/14"],
+        ),
         ("microsoft", OrgKind::Cloud, vec!["65.52.0.0/14"]),
-        ("google", OrgKind::Cloud, vec!["74.125.0.0/16", "173.194.0.0/16"]),
+        (
+            "google",
+            OrgKind::Cloud,
+            vec!["74.125.0.0/16", "173.194.0.0/16"],
+        ),
         // --- Self-hosting content owners ---
-        ("facebook", OrgKind::SelfHosted, vec!["66.220.144.0/20", "69.171.224.0/19"]),
+        (
+            "facebook",
+            OrgKind::SelfHosted,
+            vec!["66.220.144.0/20", "69.171.224.0/19"],
+        ),
         ("twitter", OrgKind::SelfHosted, vec!["199.59.148.0/22"]),
         ("linkedin", OrgKind::SelfHosted, vec!["216.52.242.0/24"]),
         ("zynga", OrgKind::SelfHosted, vec!["72.26.200.0/24"]),
@@ -65,7 +77,11 @@ pub fn org_plan() -> Vec<(&'static str, OrgKind, Vec<&'static str>)> {
         ("isp-clients", OrgKind::Isp, vec!["10.0.0.0/8"]),
         ("isp-infra", OrgKind::Isp, vec!["192.0.2.0/24"]),
         // --- Un-attributed peer-to-peer space ---
-        ("p2p-space", OrgKind::Other, vec!["171.0.0.0/8", "186.0.0.0/8"]),
+        (
+            "p2p-space",
+            OrgKind::Other,
+            vec!["171.0.0.0/8", "186.0.0.0/8"],
+        ),
     ]
 }
 
@@ -95,9 +111,23 @@ mod tests {
     fn builtin_covers_paper_organizations() {
         let db = builtin_registry();
         for org in [
-            "akamai", "amazon", "google", "level 3", "leaseweb", "cotendo", "edgecast",
-            "microsoft", "facebook", "twitter", "linkedin", "zynga", "dailymotion",
-            "dedibox", "meta", "ntt", "cdnetworks",
+            "akamai",
+            "amazon",
+            "google",
+            "level 3",
+            "leaseweb",
+            "cotendo",
+            "edgecast",
+            "microsoft",
+            "facebook",
+            "twitter",
+            "linkedin",
+            "zynga",
+            "dailymotion",
+            "dedibox",
+            "meta",
+            "ntt",
+            "cdnetworks",
         ] {
             assert!(db.org_by_name(org).is_some(), "missing {org}");
         }
@@ -128,10 +158,7 @@ mod tests {
                 let (na, a) = &all[i];
                 let (nb, b) = &all[j];
                 let nested = a.contains(b.network()) || b.contains(a.network());
-                assert!(
-                    !nested,
-                    "prefixes overlap: {na} {a} vs {nb} {b}"
-                );
+                assert!(!nested, "prefixes overlap: {na} {a} vs {nb} {b}");
             }
         }
     }

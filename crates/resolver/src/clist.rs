@@ -1,18 +1,21 @@
-//! The FIFO circular list (*Clist*) holding FQDN entries.
+//! The FIFO circular list (*Clist*) of the paper's §3.1, holding FQDN
+//! entries.
 //!
 //! A fixed-size ring with an insertion pointer: inserting at a full slot
 //! evicts the previous occupant (returned to the caller so back-references
 //! can be cleaned up). Each slot carries a generation counter so stale
 //! references can be detected cheaply in debug builds.
 
-/// A reference to a Clist slot at a particular occupancy generation.
+/// A reference to a Clist (§3.1) slot at a particular occupancy
+/// generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SlotRef {
     pub index: usize,
     pub generation: u64,
 }
 
-/// Fixed-capacity FIFO circular list.
+/// Fixed-capacity FIFO circular list — the paper's §3.1 Clist, sized by
+/// the §4.2 dimensioning.
 #[derive(Debug, Clone)]
 pub struct CircularList<T> {
     slots: Vec<Option<(u64, T)>>,
@@ -22,7 +25,7 @@ pub struct CircularList<T> {
 }
 
 impl<T> CircularList<T> {
-    /// A list with capacity `size` (must be non-zero).
+    /// A list with capacity `size` (must be non-zero) — the paper's §4.2 `L`.
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "Clist size must be positive");
         let mut slots = Vec::with_capacity(size);
@@ -35,23 +38,25 @@ impl<T> CircularList<T> {
         }
     }
 
-    /// Capacity `L`.
+    /// Capacity — the paper's §4.2 `L`.
     pub fn capacity(&self) -> usize {
         self.slots.len()
     }
 
-    /// Occupied slots.
+    /// Occupied slots (never exceeds the §4.2 `L`).
     pub fn len(&self) -> usize {
         self.occupied
     }
 
-    /// True when nothing has been inserted yet.
+    /// True when nothing has been inserted yet (fresh Clist, §3.1).
     pub fn is_empty(&self) -> bool {
         self.occupied == 0
     }
 
-    /// Insert at the pointer position, advancing it. Returns the new slot
-    /// reference and the evicted value, if the slot was occupied.
+    /// Insert at the pointer position, advancing it — the paper's §3.1
+    /// FIFO-overwrite policy. Returns the new slot reference and the evicted
+    /// value, if the slot was occupied.
+    // allow_lint(L1): index < slots.len() — it is the pre-advance pointer, always reduced modulo slots.len()
     pub fn push(&mut self, value: T) -> (SlotRef, Option<T>) {
         let index = self.next;
         self.next = (self.next + 1) % self.slots.len();
@@ -70,7 +75,9 @@ impl<T> CircularList<T> {
         )
     }
 
-    /// Fetch the value at `slot` if it still holds the same generation.
+    /// Fetch the value at `slot` if it still holds the same generation
+    /// (stale references from §3.1 evictions resolve to `None`).
+    // allow_lint(L1): SlotRef.index was produced by push() modulo slots.len(), and the list never shrinks
     pub fn get(&self, slot: SlotRef) -> Option<&T> {
         match &self.slots[slot.index] {
             Some((gen, v)) if *gen == slot.generation => Some(v),
@@ -78,7 +85,8 @@ impl<T> CircularList<T> {
         }
     }
 
-    /// Mutable variant of [`CircularList::get`].
+    /// Mutable variant of [`CircularList::get`] (same §3.1 staleness rule).
+    // allow_lint(L1): SlotRef.index was produced by push() modulo slots.len(), and the list never shrinks
     pub fn get_mut(&mut self, slot: SlotRef) -> Option<&mut T> {
         match &mut self.slots[slot.index] {
             Some((gen, v)) if *gen == slot.generation => Some(v),
@@ -86,7 +94,9 @@ impl<T> CircularList<T> {
         }
     }
 
-    /// Remove the value at `slot` if the generation matches.
+    /// Remove the value at `slot` if the generation matches (§3.1 eviction
+    /// bookkeeping).
+    // allow_lint(L1): SlotRef.index was produced by push() modulo slots.len(), and the list never shrinks
     pub fn remove(&mut self, slot: SlotRef) -> Option<T> {
         match &self.slots[slot.index] {
             Some((gen, _)) if *gen == slot.generation => {
@@ -97,7 +107,7 @@ impl<T> CircularList<T> {
         }
     }
 
-    /// Iterate over live values.
+    /// Iterate over live values (the paper's §3.1 working set).
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.slots.iter().filter_map(|s| s.as_ref().map(|(_, v)| v))
     }

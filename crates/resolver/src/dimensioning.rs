@@ -13,8 +13,9 @@ use dnhunter_dns::DomainName;
 use crate::maps::TableFamily;
 use crate::resolver::{DnsResolver, ResolverConfig};
 
-/// One event in a resolver workload: a sniffed DNS response or the first
-/// packet of a flow (which triggers a lookup).
+/// One event in a resolver workload (the paper's §6 replay input): a
+/// sniffed DNS response or the first packet of a flow (which triggers a
+/// lookup).
 #[derive(Debug, Clone)]
 pub enum ResolverEvent {
     /// DNS response: `client` resolved `fqdn` to `servers`.
@@ -27,7 +28,8 @@ pub enum ResolverEvent {
     FlowStart { client: IpAddr, server: IpAddr },
 }
 
-/// Result of replaying a workload at one Clist size.
+/// Result of replaying a workload at one Clist size — one point of the
+/// paper's §6 sizing curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SizingPoint {
     /// Clist capacity that was tested.
@@ -40,7 +42,8 @@ pub struct SizingPoint {
     pub memory_bytes: usize,
 }
 
-/// Replay `events` against a fresh resolver with Clist size `l`.
+/// Replay `events` against a fresh resolver with Clist size `l` (the
+/// paper's §6 methodology).
 pub fn replay<F: TableFamily>(events: &[ResolverEvent], l: usize) -> SizingPoint {
     let mut r: DnsResolver<F> = DnsResolver::with_config(ResolverConfig {
         clist_size: l,
@@ -66,12 +69,14 @@ pub fn replay<F: TableFamily>(events: &[ResolverEvent], l: usize) -> SizingPoint
     }
 }
 
-/// Sweep several Clist sizes over the same workload.
+/// Sweep several Clist sizes over the same workload, tracing the paper's
+/// §6 efficiency-vs-`L` curve.
 pub fn sweep<F: TableFamily>(events: &[ResolverEvent], sizes: &[usize]) -> Vec<SizingPoint> {
     sizes.iter().map(|&l| replay::<F>(events, l)).collect()
 }
 
-/// The smallest tested size reaching `target` efficiency, if any.
+/// The smallest tested size reaching `target` efficiency, if any — how
+/// the paper picks `L ≈ 2.1M` for 98% in §6.
 pub fn smallest_sufficient(points: &[SizingPoint], target: f64) -> Option<SizingPoint> {
     points
         .iter()
@@ -161,10 +166,7 @@ mod tests {
                 memory_bytes: 100_000,
             },
         ];
-        assert_eq!(
-            smallest_sufficient(&points, 0.95).unwrap().clist_size,
-            100
-        );
+        assert_eq!(smallest_sufficient(&points, 0.95).unwrap().clist_size, 100);
         assert!(smallest_sufficient(&points, 0.999).is_none());
     }
 }

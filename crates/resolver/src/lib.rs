@@ -19,13 +19,26 @@
 //! (return *all* recent FQDNs for a pair, quantifying label confusion) and a
 //! [`shard`]ed variant for scaling to larger client populations.
 
-pub mod clist;
-pub mod dimensioning;
-pub mod maps;
-pub mod resolver;
-pub mod shard;
-pub mod stats;
+#![forbid(unsafe_code)]
 
+/// Shadow-model self-checking of the §3.1 resolver semantics.
+pub mod check;
+/// The paper's §3.1 FIFO circular list (*Clist*).
+pub mod clist;
+/// The paper's §6 Clist-sizing replay harness.
+pub mod dimensioning;
+/// Map implementations backing the §3.1 two-level lookup.
+pub mod maps;
+/// The single-threaded DNS resolver of the paper's §3.1 / Algorithm 1.
+pub mod resolver;
+/// Sharded resolver for scaling beyond one core (paper §6 populations).
+pub mod shard;
+/// Hit/miss/confusion counters for the paper's §6 efficiency numbers.
+pub mod stats;
+/// Mutex shim switching to loom under `--cfg loom` (checks §3.1 locking).
+pub mod sync;
+
+pub use check::{CheckedResolver, ShadowModel};
 pub use maps::{HashedTables, OrderedTables, TableFamily};
 pub use resolver::{DnsResolver, ResolverConfig};
 pub use shard::ShardedResolver;

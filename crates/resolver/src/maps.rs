@@ -4,12 +4,64 @@
 //! ("Unordered maps, i.e., hash tables, can be used as well to further
 //! reduce the computational costs") — footnote 2. Both backends are
 //! provided; `bench/resolver_maps` quantifies the difference.
+//!
+//! The hashed backend deliberately avoids the standard library's default
+//! SipHash hasher: SipHash buys DoS resistance the per-packet path does not
+//! need (keys are IP addresses already constrained by the monitored
+//! network), at roughly 2–3× the hashing cost of [`FnvHasher`] on short
+//! keys. Lint L2 (`cargo xtask lint`) enforces that per-packet code uses
+//! [`FnvHashMap`] / [`TableFamily`] rather than a bare `HashMap`.
 
 use std::collections::{BTreeMap, HashMap};
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash, Hasher};
 use std::net::IpAddr;
 
-/// Minimal map operations the resolver needs.
+/// FNV-1a, the classic fast non-cryptographic hash for short keys
+/// (paper §3.1.1's per-packet lookup path hashes 4–16 byte IP addresses).
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// `BuildHasher` handing out [`FnvHasher`]s; the third `HashMap` type
+/// parameter that satisfies lint L2 (paper footnote 2's hash-table option).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FnvBuildHasher;
+
+impl BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher::default()
+    }
+}
+
+/// A `HashMap` keyed by FNV-1a — the map type per-packet code should reach
+/// for instead of the SipHash default (lint L2, paper footnote 2).
+pub type FnvHashMap<K, V> = HashMap<K, V, FnvBuildHasher>;
+
+/// Minimal map operations the resolver needs (paper Algorithm 1's INSERT
+/// and LOOKUP touch the tables only through these).
 pub trait MapOps<K, V>: Default {
     fn get(&self, k: &K) -> Option<&V>;
     fn get_mut(&mut self, k: &K) -> Option<&mut V>;
@@ -19,6 +71,12 @@ pub trait MapOps<K, V>: Default {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// The entry the key maps to, inserting `V::default()` first if absent.
+    /// Lets Algorithm 1's INSERT stay panic-free (lint L1): no
+    /// `get_mut(...).expect(...)` after an insert.
+    fn get_or_default(&mut self, k: K) -> &mut V
+    where
+        V: Default;
 }
 
 impl<K: Ord, V> MapOps<K, V> for BTreeMap<K, V> {
@@ -37,9 +95,15 @@ impl<K: Ord, V> MapOps<K, V> for BTreeMap<K, V> {
     fn len(&self) -> usize {
         BTreeMap::len(self)
     }
+    fn get_or_default(&mut self, k: K) -> &mut V
+    where
+        V: Default,
+    {
+        self.entry(k).or_default()
+    }
 }
 
-impl<K: Eq + Hash, V> MapOps<K, V> for HashMap<K, V> {
+impl<K: Eq + Hash, V, S: BuildHasher + Default> MapOps<K, V> for HashMap<K, V, S> {
     fn get(&self, k: &K) -> Option<&V> {
         HashMap::get(self, k)
     }
@@ -55,9 +119,16 @@ impl<K: Eq + Hash, V> MapOps<K, V> for HashMap<K, V> {
     fn len(&self) -> usize {
         HashMap::len(self)
     }
+    fn get_or_default(&mut self, k: K) -> &mut V
+    where
+        V: Default,
+    {
+        self.entry(k).or_default()
+    }
 }
 
-/// Chooses the concrete map types for both levels.
+/// Chooses the concrete map types for both levels of the paper's
+/// clientIP → serverIP → FQDN lookup structure (Fig. 2).
 pub trait TableFamily {
     /// clientIP → server table.
     type Client<V>: MapOps<IpAddr, V>;
@@ -79,14 +150,15 @@ impl TableFamily for OrderedTables {
     const NAME: &'static str = "ordered (BTreeMap)";
 }
 
-/// Hash maps — the footnote-2 alternative.
+/// Hash maps — the paper's footnote-2 alternative, FNV-keyed (see module
+/// doc).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct HashedTables;
 
 impl TableFamily for HashedTables {
-    type Client<V> = HashMap<IpAddr, V>;
-    type Server<V> = HashMap<IpAddr, V>;
-    const NAME: &'static str = "hashed (HashMap)";
+    type Client<V> = FnvHashMap<IpAddr, V>;
+    type Server<V> = FnvHashMap<IpAddr, V>;
+    const NAME: &'static str = "hashed (FNV HashMap)";
 }
 
 #[cfg(test)]
@@ -107,6 +179,9 @@ mod tests {
         assert_eq!(m.remove(&b), Some(3));
         assert_eq!(m.remove(&b), None);
         assert_eq!(m.len(), 1);
+        assert_eq!(*m.get_or_default(b), 0);
+        *m.get_or_default(b) += 5;
+        assert_eq!(m.get(&b), Some(&5));
     }
 
     #[test]
@@ -116,12 +191,24 @@ mod tests {
 
     #[test]
     fn hashmap_backend() {
-        exercise::<HashMap<IpAddr, u32>>();
+        exercise::<FnvHashMap<IpAddr, u32>>();
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // FNV-1a reference: empty input → offset basis; "a" → 0xaf63dc4c8601ec8c.
+        let mut h = FnvHasher::default();
+        assert_eq!(h.finish(), FNV_OFFSET);
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h2 = FnvHasher::default();
+        h2.write(b"foobar");
+        assert_eq!(h2.finish(), 0x8594_4171_f739_67e8);
     }
 
     #[test]
     fn family_names() {
         assert!(OrderedTables::NAME.contains("ordered"));
-        assert!(HashedTables::NAME.contains("hashed"));
+        assert!(HashedTables::NAME.contains("FNV"));
     }
 }

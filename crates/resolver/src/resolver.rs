@@ -9,7 +9,7 @@ use crate::clist::{CircularList, SlotRef};
 use crate::maps::{MapOps, OrderedTables, TableFamily};
 use crate::stats::ResolverStats;
 
-/// Configuration of a [`DnsResolver`].
+/// Configuration of a [`DnsResolver`] (the paper's §3.1 engine).
 #[derive(Debug, Clone, Copy)]
 pub struct ResolverConfig {
     /// Clist capacity `L` — bounds entry lifetime (paper §6: a well-chosen
@@ -53,9 +53,13 @@ pub struct DnsResolver<F: TableFamily = OrderedTables> {
 }
 
 impl<F: TableFamily> DnsResolver<F> {
-    /// Build with the given configuration.
+    /// Build with the given configuration (Clist size per the paper's §6
+    /// dimensioning).
     pub fn with_config(config: ResolverConfig) -> Self {
-        assert!(config.labels_per_server >= 1, "labels_per_server must be >= 1");
+        assert!(
+            config.labels_per_server >= 1,
+            "labels_per_server must be >= 1"
+        );
         DnsResolver {
             clist: CircularList::new(config.clist_size),
             clients: Default::default(),
@@ -72,27 +76,34 @@ impl<F: TableFamily> DnsResolver<F> {
         })
     }
 
-    /// Counters.
+    /// Counters feeding the paper's §6 efficiency numbers.
     pub fn stats(&self) -> &ResolverStats {
         &self.stats
     }
 
-    /// Occupied Clist entries.
+    /// Occupied Clist entries (bounded by the §4.2/§6 `L`).
     pub fn len(&self) -> usize {
         self.clist.len()
     }
 
-    /// True before any insert.
+    /// Clist capacity `L` (paper §3.1.1: the Clist bounds entry lifetime,
+    /// so `L` is the resolver's total binding budget).
+    pub fn capacity(&self) -> usize {
+        self.clist.capacity()
+    }
+
+    /// True before any insert (fresh §3.1 replica).
     pub fn is_empty(&self) -> bool {
         self.clist.is_empty()
     }
 
-    /// Number of distinct clients currently tracked.
+    /// Number of distinct clients currently tracked (outer map of the §3.1
+    /// two-level lookup).
     pub fn clients_tracked(&self) -> usize {
         self.clients.len()
     }
 
-    /// The configuration in use.
+    /// The configuration in use (`L` and the §6 multi-label width).
     pub fn config(&self) -> &ResolverConfig {
         &self.config
     }
@@ -142,16 +153,10 @@ impl<F: TableFamily> DnsResolver<F> {
         let max_labels = self.config.labels_per_server;
         let clist = &self.clist;
         let stats = &mut self.stats;
-        if self.clients.get(&client).is_none() {
-            self.clients.insert(client, Default::default());
-        }
-        let server_map = self.clients.get_mut(&client).expect("just inserted");
+        let server_map = self.clients.get_or_default(client);
         for &server in servers {
             stats.bindings += 1;
-            if server_map.get(&server).is_none() {
-                server_map.insert(server, Vec::new());
-            }
-            let refs = server_map.get_mut(&server).expect("just inserted");
+            let refs = server_map.get_or_default(server);
             // Account replacements against the newest still-valid label.
             if let Some(prev) = refs.iter().rev().find_map(|r| clist.get(*r)) {
                 if prev.fqdn == fqdn_arc {
@@ -170,8 +175,8 @@ impl<F: TableFamily> DnsResolver<F> {
     }
 
     /// Convenience: insert straight from a decoded DNS response addressed to
-    /// `client`. Non-responses and answerless responses are counted but add
-    /// no bindings.
+    /// `client` — the paper's §3.1 sniffing path. Non-responses and
+    /// answerless responses are counted but add no bindings.
     pub fn insert_response(&mut self, client: IpAddr, response: &DnsMessage) {
         if !response.header.is_response {
             return;
@@ -195,7 +200,8 @@ impl<F: TableFamily> DnsResolver<F> {
         found
     }
 
-    /// [`DnsResolver::lookup`] without touching the statistics.
+    /// [`DnsResolver::lookup`] (Algorithm 1 lines 27–34) without touching
+    /// the statistics.
     pub fn peek(&self, client: IpAddr, server: IpAddr) -> Option<Arc<DomainName>> {
         let server_map = self.clients.get(&client)?;
         let refs = server_map.get(&server)?;
@@ -270,11 +276,15 @@ mod tests {
             &[ip("213.254.17.14"), ip("213.254.17.17")],
         );
         assert_eq!(
-            r.lookup(ip("10.0.0.1"), ip("213.254.17.14")).unwrap().to_string(),
+            r.lookup(ip("10.0.0.1"), ip("213.254.17.14"))
+                .unwrap()
+                .to_string(),
             "itunes.apple.com"
         );
         assert_eq!(
-            r.lookup(ip("10.0.0.1"), ip("213.254.17.17")).unwrap().to_string(),
+            r.lookup(ip("10.0.0.1"), ip("213.254.17.17"))
+                .unwrap()
+                .to_string(),
             "itunes.apple.com"
         );
         // Another client never resolved this name.
@@ -382,7 +392,9 @@ mod tests {
         let mut r = resolver(16);
         r.insert_response(ip("10.0.0.9"), &resp);
         assert_eq!(
-            r.peek(ip("10.0.0.9"), ip("216.74.41.8")).unwrap().to_string(),
+            r.peek(ip("10.0.0.9"), ip("216.74.41.8"))
+                .unwrap()
+                .to_string(),
             "data.flurry.com"
         );
         // Queries are ignored.

@@ -10,63 +10,127 @@ use std::net::IpAddr;
 use std::sync::Arc;
 
 use dnhunter_dns::DomainName;
-use parking_lot::Mutex;
 
 use crate::maps::{OrderedTables, TableFamily};
 use crate::resolver::{DnsResolver, ResolverConfig};
 use crate::stats::ResolverStats;
+use crate::sync::Mutex;
 
-/// `N` independent resolvers, selected by client IP.
+/// `N` independent §3.1 resolvers, selected by client IP — the paper's
+/// §6 path to larger client populations (its odd/even fourth-octet split,
+/// generalised to hashing; see [`ShardedResolver::shard_of`]).
 pub struct ShardedResolver<F: TableFamily = OrderedTables> {
     shards: Vec<Mutex<DnsResolver<F>>>,
 }
 
 impl<F: TableFamily> ShardedResolver<F> {
-    /// Build `shards` resolvers, each with a Clist of `config.clist_size /
-    /// shards` entries (so total memory matches a single resolver of the
-    /// same configured size).
+    /// Build `shards` resolvers whose Clist capacities sum to
+    /// `config.clist_size` (so total memory matches a single resolver of
+    /// the same configured size — sharding only partitions the paper's
+    /// §4.2 budget `L`). When the size does not divide evenly the
+    /// remainder is spread one entry at a time over the first shards; a
+    /// configured size below the shard count is rounded up to one entry
+    /// per shard, since an empty Clist cannot hold any binding.
     pub fn new(shards: usize, config: ResolverConfig) -> Self {
         assert!(shards > 0, "need at least one shard");
-        let per_shard = (config.clist_size / shards).max(1);
-        let shard_config = ResolverConfig {
-            clist_size: per_shard,
-            ..config
-        };
+        let base = config.clist_size / shards;
+        let remainder = config.clist_size % shards;
         ShardedResolver {
             shards: (0..shards)
-                .map(|_| Mutex::new(DnsResolver::with_config(shard_config)))
+                .map(|i| {
+                    let per_shard = (base + usize::from(i < remainder)).max(1);
+                    Mutex::new(DnsResolver::with_config(ResolverConfig {
+                        clist_size: per_shard,
+                        ..config
+                    }))
+                })
                 .collect(),
         }
     }
 
-    /// Number of shards.
+    /// Number of shards (the paper's §6 example uses 2).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
 
-    /// Shard index for a client — the paper's odd/even fourth-octet scheme
-    /// generalised to modulo-N on the last address byte.
-    pub fn shard_of(&self, client: IpAddr) -> usize {
-        let last = match client {
-            IpAddr::V4(a) => a.octets()[3],
-            IpAddr::V6(a) => a.octets()[15],
-        };
-        usize::from(last) % self.shards.len()
+    /// Total Clist capacity across all shards — `config.clist_size`, or the
+    /// shard count if the configured size was smaller (paper §3.1.1 sizes
+    /// the Clist as `L`; sharding only partitions that budget).
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().capacity()).sum()
     }
 
-    /// Insert a resolution (see [`DnsResolver::insert`]).
+    /// Shard index for a client.
+    ///
+    /// The paper (§3.1.1) suggests splitting "for odd and even fourth octet
+    /// value in the client IP-address". That scheme balances poorly beyond
+    /// two shards: monitored populations are assigned addresses from DHCP
+    /// pools, so low-order octets carry allocation patterns (e.g. /28
+    /// customer blocks put 14 of 16 hosts on the same few residues). We
+    /// depart from the paper and mix *all* address bytes through FNV-1a
+    /// before reducing modulo `N`, which keeps per-shard load within a few
+    /// percent of uniform for any address-assignment policy while remaining
+    /// deterministic across runs.
+    pub fn shard_of(&self, client: IpAddr) -> usize {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        match client {
+            IpAddr::V4(a) => mix(&a.octets()),
+            IpAddr::V6(a) => mix(&a.octets()),
+        }
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    /// Insert a resolution (see [`DnsResolver::insert`], the paper's §3.1
+    /// update step).
+    // allow_lint(L1): shard_of returns hash % shards.len(), always in bounds
     pub fn insert(&self, client: IpAddr, fqdn: &DomainName, servers: &[IpAddr]) {
         self.shards[self.shard_of(client)]
             .lock()
             .insert(client, fqdn, servers);
     }
 
-    /// Lookup (see [`DnsResolver::lookup`]).
-    pub fn lookup(&self, client: IpAddr, server: IpAddr) -> Option<Arc<DomainName>> {
-        self.shards[self.shard_of(client)].lock().lookup(client, server)
+    /// Insert only if the `(client, server)` pair is not yet bound,
+    /// returning whether this call inserted. **Deliberately broken**: the
+    /// check and the insert take the shard lock twice, so two threads can
+    /// both observe "absent" and both insert — a classic check-then-act
+    /// race. Compiled only under `--cfg loom`, where `tests/loom_shard.rs`
+    /// uses it to prove the model checker catches exactly this locking
+    /// mutation (a correct version would hold one guard across both steps).
+    #[cfg(loom)]
+    pub fn insert_if_absent_racy(
+        &self,
+        client: IpAddr,
+        fqdn: &DomainName,
+        servers: &[IpAddr],
+    ) -> bool {
+        let shard = self.shard_of(client);
+        let absent = servers
+            .iter()
+            .all(|s| self.shards[shard].lock().peek(client, *s).is_none());
+        // Guard dropped: another thread may insert here.
+        crate::sync::explore_preempt();
+        if absent {
+            self.shards[shard].lock().insert(client, fqdn, servers);
+        }
+        absent
     }
 
-    /// Aggregate statistics across shards.
+    /// Lookup (see [`DnsResolver::lookup`], Algorithm 1 lines 27–34).
+    // allow_lint(L1): shard_of returns hash % shards.len(), always in bounds
+    pub fn lookup(&self, client: IpAddr, server: IpAddr) -> Option<Arc<DomainName>> {
+        self.shards[self.shard_of(client)]
+            .lock()
+            .lookup(client, server)
+    }
+
+    /// Aggregate statistics across shards (sums to the same §6 counters a
+    /// single resolver would report).
     pub fn stats(&self) -> ResolverStats {
         let mut total = ResolverStats::default();
         for s in &self.shards {
@@ -96,11 +160,63 @@ mod tests {
     }
 
     #[test]
-    fn odd_even_scheme_with_two_shards() {
-        let r: ShardedResolver = ShardedResolver::new(2, ResolverConfig::default());
-        assert_eq!(r.shard_of(ip("10.0.0.2")), 0);
-        assert_eq!(r.shard_of(ip("10.0.0.3")), 1);
-        assert_eq!(r.shard_count(), 2);
+    fn shard_assignment_is_deterministic_and_balanced() {
+        let r: ShardedResolver = ShardedResolver::new(4, ResolverConfig::default());
+        assert_eq!(r.shard_count(), 4);
+        // FNV mixes all bytes: clients differing only in an upper octet
+        // still spread, unlike the paper's last-octet scheme.
+        let mut counts = [0usize; 4];
+        for a in 0..16u8 {
+            for d in 0..64u8 {
+                let c = IpAddr::V4(std::net::Ipv4Addr::new(10, a, 0, d));
+                let s = r.shard_of(c);
+                assert_eq!(s, r.shard_of(c), "assignment must be stable");
+                counts[s] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, 1024);
+        for (i, &n) in counts.iter().enumerate() {
+            assert!(
+                (total / 8..total / 2).contains(&n),
+                "shard {i} got {n} of {total} clients"
+            );
+        }
+    }
+
+    #[test]
+    fn dhcp_style_blocks_spread_over_all_shards() {
+        // A /28 customer block shares the top 28 bits; the paper's odd/even
+        // fourth-octet split would alternate them over exactly two residues,
+        // and modulo-N over the last octet would use at most 16. FNV must
+        // reach every shard.
+        let r: ShardedResolver = ShardedResolver::new(8, ResolverConfig::default());
+        let mut seen = [false; 8];
+        for d in 0..16u8 {
+            let c = IpAddr::V4(std::net::Ipv4Addr::new(192, 168, 7, 0x40 + d));
+            seen[r.shard_of(c)] = true;
+        }
+        assert!(
+            seen.iter().filter(|&&s| s).count() >= 5,
+            "a /28 should land on most of 8 shards, got {seen:?}"
+        );
+    }
+
+    #[test]
+    fn capacity_remainder_is_distributed() {
+        // 103 entries over 4 shards: 26 + 26 + 26 + 25, never 25×4 = 100.
+        let cfg = |n| ResolverConfig {
+            clist_size: n,
+            labels_per_server: 1,
+        };
+        let r: ShardedResolver = ShardedResolver::new(4, cfg(103));
+        assert_eq!(r.capacity(), 103);
+        // Even splits are unchanged.
+        let r: ShardedResolver = ShardedResolver::new(4, cfg(100));
+        assert_eq!(r.capacity(), 100);
+        // Degenerate configs round up to one entry per shard.
+        let r: ShardedResolver = ShardedResolver::new(4, cfg(2));
+        assert_eq!(r.capacity(), 4);
     }
 
     #[test]
@@ -132,12 +248,20 @@ mod tests {
                 labels_per_server: 1,
             },
         );
-        // Each shard has L=25; this is visible through eviction behaviour.
-        let c = ip("10.0.0.4"); // shard 0
+        // Each shard has L=25; this is visible through eviction behaviour
+        // (one client always maps to one shard, whichever it is).
+        let c = ip("10.0.0.4");
         for i in 0..30 {
-            r.insert(c, &name(&format!("n{i}.x.com")), &[IpAddr::V4(
-                std::net::Ipv4Addr::new(1, 1, (i / 256) as u8, (i % 256) as u8),
-            )]);
+            r.insert(
+                c,
+                &name(&format!("n{i}.x.com")),
+                &[IpAddr::V4(std::net::Ipv4Addr::new(
+                    1,
+                    1,
+                    (i / 256) as u8,
+                    (i % 256) as u8,
+                ))],
+            );
         }
         assert_eq!(r.stats().evictions, 5);
     }

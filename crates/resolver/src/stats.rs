@@ -1,8 +1,10 @@
-//! Resolver counters used by the hit-ratio and dimensioning experiments.
+//! Resolver counters used by the hit-ratio and dimensioning experiments
+//! of the paper's §6.
 
 use serde::{Deserialize, Serialize};
 
-/// Counters accumulated by a [`crate::DnsResolver`].
+/// Counters accumulated by a [`crate::DnsResolver`] — the raw numbers
+/// behind the paper's §6 efficiency and confusion results.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResolverStats {
     /// DNS responses fed to `insert` (one per response message).
@@ -23,7 +25,8 @@ pub struct ResolverStats {
 }
 
 impl ResolverStats {
-    /// Hit ratio over all lookups; 0 when no lookups happened.
+    /// Hit ratio over all lookups (the paper's §6 resolver efficiency);
+    /// 0 when no lookups happened.
     pub fn hit_ratio(&self) -> f64 {
         if self.lookups == 0 {
             0.0
@@ -32,13 +35,13 @@ impl ResolverStats {
         }
     }
 
-    /// Misses (lookups − hits).
+    /// Misses (lookups − hits) — the paper's §6 unresolved-flow count.
     pub fn misses(&self) -> u64 {
         self.lookups - self.hits
     }
 
     /// Fraction of bindings that silently changed the label of a
-    /// (client, server) pair.
+    /// (client, server) pair — the paper's §6 label-confusion measure.
     pub fn confusion_ratio(&self) -> f64 {
         if self.bindings == 0 {
             0.0

@@ -1,0 +1,27 @@
+//! Synchronization primitives, swappable for loom model checking.
+//!
+//! The sharded resolver (paper §3.1.1's load-balancing extension) guards
+//! each shard with a mutex. Under normal builds that is `parking_lot::Mutex`;
+//! when the workspace is compiled with `RUSTFLAGS="--cfg loom"` the same
+//! code runs against `loom::sync::Mutex`, whose lock operations are
+//! schedule-exploration points, so `tests/loom_shard.rs` can drive the
+//! resolver through many thread interleavings looking for races.
+//!
+//! Only the API subset the resolver uses is re-exported: `Mutex::new` and
+//! `Mutex::lock` (non-poisoning, parking_lot-style).
+
+#[cfg(not(loom))]
+pub use parking_lot::Mutex;
+
+#[cfg(loom)]
+pub use loom::sync::Mutex;
+
+/// A loom scheduling point. No-op in normal builds; under `--cfg loom` it
+/// perturbs the schedule, widening race windows between two lock
+/// acquisitions (used by the deliberately-racy demo paths guarding the
+/// paper's §3.1 shared state).
+#[cfg(not(loom))]
+pub fn explore_preempt() {}
+
+#[cfg(loom)]
+pub use loom::explore_preempt;

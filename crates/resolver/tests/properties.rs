@@ -1,7 +1,8 @@
 //! Property-based tests for the DNS Resolver (Algorithm 1 invariants).
 
 use dnhunter_dns::DomainName;
-use dnhunter_resolver::{DnsResolver, ResolverConfig};
+use dnhunter_resolver::clist::{CircularList, SlotRef};
+use dnhunter_resolver::{CheckedResolver, DnsResolver, HashedTables, ResolverConfig};
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
@@ -90,6 +91,89 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// A `SlotRef` captured at insert time is detected stale the moment its
+    /// slot is evicted (wraparound overwrite) or removed — the generation
+    /// counter prevents every ABA confusion — and live refs always resolve
+    /// to exactly the value that was stored through them. Throughout any
+    /// workload, occupancy never exceeds capacity.
+    #[test]
+    fn stale_slot_refs_never_resolve(
+        ops in proptest::collection::vec((0u16..600, any::<bool>()), 1..300),
+        l in 1usize..24,
+    ) {
+        let mut clist: CircularList<u16> = CircularList::new(l);
+        // Every ref ever captured, the value stored through it, and
+        // whether the model says it should still be live.
+        let mut refs: Vec<(SlotRef, u16, bool)> = Vec::new();
+        for &(value, do_remove) in &ops {
+            if do_remove && !refs.is_empty() {
+                // Remove a pseudo-arbitrary previously captured ref (live
+                // or already stale — remove must be generation-checked).
+                let pick = usize::from(value) % refs.len();
+                let (slot, _, ref mut live) = refs[pick];
+                let removed = clist.remove(slot);
+                prop_assert_eq!(removed.is_some(), *live,
+                    "remove must succeed exactly for live refs");
+                *live = false;
+            } else {
+                let (slot, _evicted) = clist.push(value);
+                // The overwritten slot's older refs are now stale.
+                for (old, _, live) in refs.iter_mut() {
+                    if old.index == slot.index {
+                        *live = false;
+                    }
+                }
+                refs.push((slot, value, true));
+            }
+            prop_assert!(clist.len() <= clist.capacity(),
+                "occupancy {} exceeds capacity {}", clist.len(), clist.capacity());
+            for &(slot, stored, live) in &refs {
+                match clist.get(slot) {
+                    Some(&v) => {
+                        prop_assert!(live, "stale ref {slot:?} resolved to {v}");
+                        prop_assert_eq!(v, stored);
+                    }
+                    None => prop_assert!(!live, "live ref {slot:?} failed to resolve"),
+                }
+            }
+        }
+    }
+
+    /// Every mutation and query agrees with the naive shadow model
+    /// (`resolver::check`) — a `VecDeque` ring plus per-pair id lists — under
+    /// workloads small enough to force constant eviction, for both the
+    /// ordered-map tables (the paper's choice) and the hashed tables.
+    /// `CheckedResolver` asserts agreement internally after every op.
+    #[test]
+    fn resolver_agrees_with_shadow_model(ops in arb_ops(), l in 1usize..16, k in 1usize..4) {
+        let config = ResolverConfig { clist_size: l, labels_per_server: k };
+        let mut ordered: CheckedResolver = CheckedResolver::with_config(config);
+        let mut hashed: CheckedResolver<HashedTables> = CheckedResolver::with_config(config);
+        for op in &ops {
+            // Alternate single- and dual-server answers so eviction has to
+            // clean back-references in more than one per-pair list.
+            let servers: Vec<IpAddr> = if op.fqdn % 3 == 0 {
+                vec![server_ip(op.server), server_ip(op.server.wrapping_add(1) % 10)]
+            } else {
+                vec![server_ip(op.server)]
+            };
+            ordered.insert(client_ip(op.client), &fqdn(op.fqdn), &servers);
+            hashed.insert(client_ip(op.client), &fqdn(op.fqdn), &servers);
+            ordered.lookup(client_ip(op.client), server_ip(op.server));
+            let _ = hashed.lookup_all(client_ip(op.client), server_ip(op.server));
+        }
+        for c in 0..6u8 {
+            for s in 0..10u8 {
+                let _ = ordered.peek(client_ip(c), server_ip(s));
+                let _ = ordered.lookup_all(client_ip(c), server_ip(s));
+                let _ = hashed.peek(client_ip(c), server_ip(s));
+            }
+        }
+        ordered.verify();
+        hashed.verify();
+        prop_assert_eq!(ordered.real().len(), hashed.real().len());
     }
 
     /// Multi-label mode returns newest-first, at most `labels_per_server`

@@ -25,7 +25,7 @@ pub enum PtrStyle {
 fn ptr_style(org: &str) -> PtrStyle {
     match org {
         "akamai" => PtrStyle::CdnInternal("deploy.akamaitechnologies.com"),
-                "google" => PtrStyle::CdnInternal("1e100.net"),
+        "google" => PtrStyle::CdnInternal("1e100.net"),
         "edgecast" => PtrStyle::CdnInternal("edgecastcdn.net"),
         "level 3" => PtrStyle::CdnInternal("deploy.l3cdn.net"),
         "leaseweb" => PtrStyle::CdnInternal("leaseweb.net"),
@@ -35,7 +35,7 @@ fn ptr_style(org: &str) -> PtrStyle {
         "dedibox" => PtrStyle::CdnInternal("poneytelecom.eu"),
         "meta" => PtrStyle::CdnInternal("mtsvc.net"),
         "ntt" => PtrStyle::CdnInternal("ntt.net"),
-                "facebook" => PtrStyle::HostName("facebook.com"),
+        "facebook" => PtrStyle::HostName("facebook.com"),
         "linkedin" => PtrStyle::HostName("linkedin.com"),
         "dailymotion" => PtrStyle::HostName("dailymotion.com"),
         "apple" => PtrStyle::HostName("apple.com"),

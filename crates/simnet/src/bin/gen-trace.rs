@@ -36,9 +36,12 @@ fn main() -> ExitCode {
                         p.name, p.duration_hours, p.clients, p.tech, p.geography
                     );
                 }
-                println!("{:<10} {:>4}h {:>4} clients  (adds appspot.com model)",
-                    "live", profiles::live_profile().duration_hours,
-                    profiles::live_profile().clients);
+                println!(
+                    "{:<10} {:>4}h {:>4} clients  (adds appspot.com model)",
+                    "live",
+                    profiles::live_profile().duration_hours,
+                    profiles::live_profile().clients
+                );
                 return ExitCode::SUCCESS;
             }
             "--profile" => {

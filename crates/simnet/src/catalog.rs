@@ -1057,7 +1057,7 @@ pub fn paper_catalog(include_appspot: bool) -> Catalog {
             "opera-mini.net",
             vec![Service::new(Numbered("mini{}.opera"), 1080, BinaryTcp)
                 .instances(6)
-                    .pinned()
+                .pinned()
                 .pop(0.7)
                 .geo(1.8, 0.2)
                 .ttl(1800)

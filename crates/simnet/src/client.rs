@@ -154,8 +154,12 @@ mod tests {
         assert!(c.cache_get(&name("a.com"), 61_000_000).is_none());
         // TTL above the cap is clamped to 1 h.
         c.cache_put(name("b.com"), 0, 86_400, vec![Ipv4Addr::new(2, 2, 2, 2)]);
-        assert!(c.cache_get(&name("b.com"), CLIENT_CACHE_CAP_MICROS - 1).is_some());
-        assert!(c.cache_get(&name("b.com"), CLIENT_CACHE_CAP_MICROS + 1).is_none());
+        assert!(c
+            .cache_get(&name("b.com"), CLIENT_CACHE_CAP_MICROS - 1)
+            .is_some());
+        assert!(c
+            .cache_get(&name("b.com"), CLIENT_CACHE_CAP_MICROS + 1)
+            .is_none());
     }
 
     #[test]

@@ -155,9 +155,7 @@ impl AuthoritativeDns {
         // services of customer domains get the chain (content-hash CDN
         // families are already CDN-owned names).
         let cname = match (cname_zone(h.org), svc.pattern) {
-            (Some(zone), NamePattern::Fixed(_) | NamePattern::Apex)
-                if rng.gen::<f64>() < 0.6 =>
-            {
+            (Some(zone), NamePattern::Fixed(_) | NamePattern::Apex) if rng.gen::<f64>() < 0.6 => {
                 let fqdn = svc.fqdn(dom.sld, instance);
                 format!("{fqdn}.{zone}").parse().ok()
             }
@@ -368,7 +366,10 @@ mod tests {
                 with_cname += 1;
             }
         }
-        assert!(with_cname > 10, "cname chains should be common: {with_cname}");
+        assert!(
+            with_cname > 10,
+            "cname chains should be common: {with_cname}"
+        );
         // Self-hosted services never alias.
         let www = find_service(&c, "linkedin.com", |s| {
             matches!(s.pattern, NamePattern::Fixed("www"))

@@ -209,10 +209,8 @@ fn app_payloads(spec: &FlowSpec) -> (Vec<u8>, Vec<u8>) {
             (req, resp)
         }
         PayloadStyle::Tls => {
-            let ch = tls::build_client_hello(
-                if spec.sni { Some(&spec.fqdn) } else { None },
-                spec.seed,
-            );
+            let ch =
+                tls::build_client_hello(if spec.sni { Some(&spec.fqdn) } else { None }, spec.seed);
             let cn;
             let flight = if spec.resume {
                 tls::build_server_flight(None, spec.seed ^ 0xbeef)
@@ -245,7 +243,11 @@ fn app_payloads(spec: &FlowSpec) -> (Vec<u8>, Vec<u8>) {
             format!("* OK {} IMAP4rev1 ready\r\n", spec.fqdn).into_bytes(),
         ),
         PayloadStyle::Rtsp => (
-            format!("DESCRIBE rtsp://{}/live RTSP/1.0\r\nCSeq: 1\r\n\r\n", spec.fqdn).into_bytes(),
+            format!(
+                "DESCRIBE rtsp://{}/live RTSP/1.0\r\nCSeq: 1\r\n\r\n",
+                spec.fqdn
+            )
+            .into_bytes(),
             b"RTSP/1.0 200 OK\r\nCSeq: 1\r\n\r\n".to_vec(),
         ),
         PayloadStyle::Msn => (
@@ -293,12 +295,12 @@ pub fn synthesize_v6(
     let mut seq_s: u32 = (seed >> 32) as u32 | 1;
     let mut t = start;
     let push = |frames: &mut Vec<TimedFrame>,
-                    t: u64,
-                    from_client: bool,
-                    seq_c: &mut u32,
-                    seq_s: &mut u32,
-                    flags: TcpFlags,
-                    payload: &[u8]| {
+                t: u64,
+                from_client: bool,
+                seq_c: &mut u32,
+                seq_s: &mut u32,
+                flags: TcpFlags,
+                payload: &[u8]| {
         let frame = if from_client {
             build_tcp_v6(
                 client_mac, server_mac, client, server, sport, dport, *seq_c, *seq_s, flags,
@@ -319,11 +321,35 @@ pub fn synthesize_v6(
             *seq_s = seq_s.wrapping_add(advance);
         }
     };
-    push(&mut frames, t, true, &mut seq_c, &mut seq_s, TcpFlags::SYN, &[]);
+    push(
+        &mut frames,
+        t,
+        true,
+        &mut seq_c,
+        &mut seq_s,
+        TcpFlags::SYN,
+        &[],
+    );
     t += rtt;
-    push(&mut frames, t, false, &mut seq_c, &mut seq_s, TcpFlags::SYN | TcpFlags::ACK, &[]);
+    push(
+        &mut frames,
+        t,
+        false,
+        &mut seq_c,
+        &mut seq_s,
+        TcpFlags::SYN | TcpFlags::ACK,
+        &[],
+    );
     t += half;
-    push(&mut frames, t, true, &mut seq_c, &mut seq_s, TcpFlags::ACK, &[]);
+    push(
+        &mut frames,
+        t,
+        true,
+        &mut seq_c,
+        &mut seq_s,
+        TcpFlags::ACK,
+        &[],
+    );
     t += 1_000;
     let (req, resp_head) = match style {
         PayloadStyle::Tls => (
@@ -335,9 +361,25 @@ pub fn synthesize_v6(
             http::build_response(200, resp_bytes as usize),
         ),
     };
-    push(&mut frames, t, true, &mut seq_c, &mut seq_s, TcpFlags::PSH | TcpFlags::ACK, &req);
+    push(
+        &mut frames,
+        t,
+        true,
+        &mut seq_c,
+        &mut seq_s,
+        TcpFlags::PSH | TcpFlags::ACK,
+        &req,
+    );
     t += rtt;
-    push(&mut frames, t, false, &mut seq_c, &mut seq_s, TcpFlags::PSH | TcpFlags::ACK, &resp_head);
+    push(
+        &mut frames,
+        t,
+        false,
+        &mut seq_c,
+        &mut seq_s,
+        TcpFlags::PSH | TcpFlags::ACK,
+        &resp_head,
+    );
     t += half;
     let mut remaining = (resp_bytes as usize).saturating_sub(resp_head.len());
     let mut chunk_seed = seed ^ 0x7777;
@@ -345,13 +387,37 @@ pub fn synthesize_v6(
         let n = remaining.min(BULK_SEGMENT);
         let body = filler(n, chunk_seed);
         chunk_seed = chunk_seed.wrapping_add(1);
-        push(&mut frames, t, false, &mut seq_c, &mut seq_s, TcpFlags::ACK, &body);
+        push(
+            &mut frames,
+            t,
+            false,
+            &mut seq_c,
+            &mut seq_s,
+            TcpFlags::ACK,
+            &body,
+        );
         t += half / 2 + 500;
         remaining -= n;
     }
-    push(&mut frames, t, true, &mut seq_c, &mut seq_s, TcpFlags::FIN | TcpFlags::ACK, &[]);
+    push(
+        &mut frames,
+        t,
+        true,
+        &mut seq_c,
+        &mut seq_s,
+        TcpFlags::FIN | TcpFlags::ACK,
+        &[],
+    );
     t += half;
-    push(&mut frames, t, false, &mut seq_c, &mut seq_s, TcpFlags::FIN | TcpFlags::ACK, &[]);
+    push(
+        &mut frames,
+        t,
+        false,
+        &mut seq_c,
+        &mut seq_s,
+        TcpFlags::FIN | TcpFlags::ACK,
+        &[],
+    );
     frames
 }
 

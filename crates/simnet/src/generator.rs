@@ -100,8 +100,7 @@ impl TraceGenerator {
             s.style != PayloadStyle::TrackerHttp && !s.embeddable
         });
         let sampler_embed = catalog.sampler(geo, |s| s.embeddable);
-        let sampler_prefetch =
-            catalog.sampler(geo, |s| s.style != PayloadStyle::TrackerHttp);
+        let sampler_prefetch = catalog.sampler(geo, |s| s.style != PayloadStyle::TrackerHttp);
         let sampler_tracker = catalog.sampler(geo, |s| s.style == PayloadStyle::TrackerHttp);
         let mut rng = ChaCha8Rng::seed_from_u64(profile.seed);
         let trackers_live = if live {
@@ -246,7 +245,12 @@ impl TraceGenerator {
         // Dual-stack hosts fetch some v6-enabled content over IPv6
         // (AAAA resolution over v6 transport + a v6 flow).
         if client.is_dual_stack
-            && self.catalog.service(id).hosting.iter().any(|h| h.org == "google")
+            && self
+                .catalog
+                .service(id)
+                .hosting
+                .iter()
+                .any(|h| h.org == "google")
             && self.rng.gen::<f64>() < 0.5
         {
             self.access_v6(client, t, id);
@@ -291,7 +295,10 @@ impl TraceGenerator {
             resume: style == PayloadStyle::Tls && self.rng.gen::<f64>() < 0.23,
             sni: self.rng.gen::<f64>() < 0.97,
             cdn_cert_name: if cert == CertPolicy::CdnName {
-                Some(format!("a{}.e.akamai.net", 200 + (self.rng.gen::<u32>() % 99)))
+                Some(format!(
+                    "a{}.e.akamai.net",
+                    200 + (self.rng.gen::<u32>() % 99)
+                ))
             } else {
                 None
             },
@@ -315,7 +322,12 @@ impl TraceGenerator {
         let (fqdn, style, port, resp_kib) = {
             let svc = self.catalog.service(id);
             let dom = self.catalog.domain(id);
-            (svc.fqdn(dom.sld, instance), svc.style, svc.port, svc.resp_kib)
+            (
+                svc.fqdn(dom.sld, instance),
+                svc.style,
+                svc.port,
+                svc.resp_kib,
+            )
         };
         // v6 server: a stable address in Google's v6 block per instance.
         let h = fnv6(fqdn.to_string().as_bytes());
@@ -337,21 +349,37 @@ impl TraceGenerator {
             }],
         );
         let qframe = dnhunter_net::build_udp_v6(
-            client.mac, GATEWAY_MAC, client6, dns_server6, sport, 53,
+            client.mac,
+            GATEWAY_MAC,
+            client6,
+            dns_server6,
+            sport,
+            53,
             &codec::encode(&query).expect("query encodes"),
-        ).expect("v6 query frame builds");
+        )
+        .expect("v6 query frame builds");
         let delay = (self.profile.tech.dns_delay_micros() as f64
             * (0.6 + self.rng.gen::<f64>() * 1.6)) as u64;
         let resp_ts = t + delay;
         let rframe = dnhunter_net::build_udp_v6(
-            GATEWAY_MAC, client.mac, dns_server6, client6, 53, sport,
+            GATEWAY_MAC,
+            client.mac,
+            dns_server6,
+            client6,
+            53,
+            sport,
             &codec::encode(&response).expect("response encodes"),
-        ).expect("v6 response frame builds");
+        )
+        .expect("v6 response frame builds");
         self.frames.push((t, qframe));
         self.frames.push((resp_ts, rframe));
         self.stats.dns_queries += 1;
         // The flow, over v6.
-        let style6 = if style == PayloadStyle::Tls { PayloadStyle::Tls } else { PayloadStyle::Http };
+        let style6 = if style == PayloadStyle::Tls {
+            PayloadStyle::Tls
+        } else {
+            PayloadStyle::Http
+        };
         let port6 = if matches!(port, 80 | 443) { port } else { 443 };
         let start = resp_ts + self.first_flow_delay();
         let resp_bytes = {
@@ -402,8 +430,7 @@ impl TraceGenerator {
             // client's session) began; a name nobody has seen before can't
             // be in any cache.
             let p = (self.profile.prewarm_prob * svc.prewarm_boost).min(0.95);
-            let expiry =
-                client.join_ts + (self.rng.gen::<f64>() * ttl_micros as f64) as u64;
+            let expiry = client.join_ts + (self.rng.gen::<f64>() * ttl_micros as f64) as u64;
             if self.rng.gen::<f64>() < p && expiry > t {
                 let remaining_secs = ((expiry - t) / 1_000_000) as u32;
                 let addrs = self.silent_resolve(client, t, id, instance, fqdn, remaining_secs);
@@ -447,7 +474,9 @@ impl TraceGenerator {
         ttl_secs: u32,
     ) -> Vec<Ipv4Addr> {
         let hour = self.profile.hour_of_day(t);
-        let res = self.auth.resolve(&self.catalog, id, instance, hour, &mut self.rng);
+        let res = self
+            .auth
+            .resolve(&self.catalog, id, instance, hour, &mut self.rng);
         client.cache_put(fqdn.clone(), t, ttl_secs.max(1), res.addrs.clone());
         self.stats.silent_resolutions += 1;
         res.addrs
@@ -463,7 +492,9 @@ impl TraceGenerator {
         fqdn: &DomainName,
     ) -> (Vec<Ipv4Addr>, u64) {
         let hour = self.profile.hour_of_day(t);
-        let res = self.auth.resolve(&self.catalog, id, instance, hour, &mut self.rng);
+        let res = self
+            .auth
+            .resolve(&self.catalog, id, instance, hour, &mut self.rng);
         let qid = self.dns_id;
         self.dns_id = self.dns_id.wrapping_add(1);
         let sport = client.sport();
@@ -555,12 +586,28 @@ impl TraceGenerator {
         let mk = |src_client: bool, seq: u32, ack: u32, flags: TcpFlags, payload: &[u8]| {
             if src_client {
                 build_tcp_v4(
-                    client.mac, GATEWAY_MAC, client.ip, DNS_SERVER, sport, 53, seq, ack, flags,
+                    client.mac,
+                    GATEWAY_MAC,
+                    client.ip,
+                    DNS_SERVER,
+                    sport,
+                    53,
+                    seq,
+                    ack,
+                    flags,
                     payload,
                 )
             } else {
                 build_tcp_v4(
-                    GATEWAY_MAC, client.mac, DNS_SERVER, client.ip, 53, sport, seq, ack, flags,
+                    GATEWAY_MAC,
+                    client.mac,
+                    DNS_SERVER,
+                    client.ip,
+                    53,
+                    sport,
+                    seq,
+                    ack,
+                    flags,
                     payload,
                 )
             }
@@ -577,15 +624,39 @@ impl TraceGenerator {
         self.frames
             .push((ts, mk(true, 2, 2, TcpFlags::PSH | TcpFlags::ACK, &qbytes)));
         ts += rtt;
-        self.frames
-            .push((ts, mk(false, 2, 2 + qbytes.len() as u32, TcpFlags::PSH | TcpFlags::ACK, &rbytes)));
+        self.frames.push((
+            ts,
+            mk(
+                false,
+                2,
+                2 + qbytes.len() as u32,
+                TcpFlags::PSH | TcpFlags::ACK,
+                &rbytes,
+            ),
+        ));
         let answered = ts;
         ts += half;
-        self.frames
-            .push((ts, mk(true, 2 + qbytes.len() as u32, 2 + rbytes.len() as u32, TcpFlags::FIN | TcpFlags::ACK, &[])));
+        self.frames.push((
+            ts,
+            mk(
+                true,
+                2 + qbytes.len() as u32,
+                2 + rbytes.len() as u32,
+                TcpFlags::FIN | TcpFlags::ACK,
+                &[],
+            ),
+        ));
         ts += half;
-        self.frames
-            .push((ts, mk(false, 2 + rbytes.len() as u32, 3 + qbytes.len() as u32, TcpFlags::FIN | TcpFlags::ACK, &[])));
+        self.frames.push((
+            ts,
+            mk(
+                false,
+                2 + rbytes.len() as u32,
+                3 + qbytes.len() as u32,
+                TcpFlags::FIN | TcpFlags::ACK,
+                &[],
+            ),
+        ));
         answered
     }
 
@@ -602,15 +673,27 @@ impl TraceGenerator {
         let query = DnsMessage::query(qid, fqdn, QType::A);
         let nx = DnsMessage::error_to(&query, dnhunter_dns::Rcode::NxDomain);
         let qframe = build_udp_v4(
-            client.mac, GATEWAY_MAC, client.ip, DNS_SERVER, sport, 53,
+            client.mac,
+            GATEWAY_MAC,
+            client.ip,
+            DNS_SERVER,
+            sport,
+            53,
             &codec::encode(&query).expect("query encodes"),
-        ).expect("query frame builds");
+        )
+        .expect("query frame builds");
         let delay = (self.profile.tech.dns_delay_micros() as f64
             * (0.6 + self.rng.gen::<f64>() * 1.6)) as u64;
         let rframe = build_udp_v4(
-            GATEWAY_MAC, client.mac, DNS_SERVER, client.ip, 53, sport,
+            GATEWAY_MAC,
+            client.mac,
+            DNS_SERVER,
+            client.ip,
+            53,
+            sport,
             &codec::encode(&nx).expect("nx encodes"),
-        ).expect("nx frame builds");
+        )
+        .expect("nx frame builds");
         self.frames.push((t, qframe));
         self.frames.push((t + delay, rframe));
         self.stats.dns_queries += 1;
@@ -654,7 +737,9 @@ impl TraceGenerator {
         } else {
             // Resolved before the trace (or on another network): silent.
             let hour = self.profile.hour_of_day(t);
-            let res = self.auth.resolve(&self.catalog, id, instance, hour, &mut self.rng);
+            let res = self
+                .auth
+                .resolve(&self.catalog, id, instance, hour, &mut self.rng);
             client.cache_put(fqdn.clone(), t, 7200, res.addrs.clone());
             self.stats.silent_resolutions += 1;
             res.addrs

@@ -26,6 +26,8 @@
 //! * an `appspot.com` model with BitTorrent trackers for the live-trace
 //!   case study (Tab. 8, Figs. 10–11).
 
+#![forbid(unsafe_code)]
+
 pub mod address;
 pub mod appspot;
 pub mod catalog;

@@ -1,0 +1,551 @@
+//! The DN-Hunter invariant lints (L1–L4).
+//!
+//! Each lint is a pass over a [`SourceFile`] (comments and string bodies
+//! already blanked, test spans marked) and reports [`Violation`]s. Lints are
+//! suppressible per line or per item with `// allow_lint(Lx): reason`
+//! marker comments; a marker with a missing reason or unknown lint id is
+//! itself an error (`M1`), so the allowlist stays auditable.
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | L1 | no `unwrap`/`expect`/panicking macros/unchecked indexing in hot-path crates |
+//! | L2 | no default-hasher `HashMap` in per-packet paths |
+//! | L3 | no lock guard held across another lock/shard/eviction call |
+//! | L4 | every public item in `resolver`/`dns` documented with a paper citation |
+
+use crate::scan::SourceFile;
+
+/// A single lint finding.
+#[derive(Debug)]
+pub struct Violation {
+    pub path: std::path::PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    pub lint: &'static str,
+    pub message: String,
+}
+
+fn violation(
+    file: &SourceFile,
+    idx: usize,
+    lint: &'static str,
+    message: impl Into<String>,
+) -> Violation {
+    Violation {
+        path: file.path.clone(),
+        line: idx + 1,
+        lint,
+        message: message.into(),
+    }
+}
+
+const KNOWN_LINTS: &[&str] = &["L1", "L2", "L3", "L4"];
+
+/// M1: markers must name a known lint and give a non-empty reason.
+pub fn check_markers(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for m in &file.markers {
+        if !KNOWN_LINTS.contains(&m.lint.as_str()) {
+            out.push(violation(
+                file,
+                m.line,
+                "M1",
+                format!("allow_lint marker names unknown lint `{}`", m.lint),
+            ));
+        } else if m.reason.is_empty() {
+            out.push(violation(
+                file,
+                m.line,
+                "M1",
+                format!(
+                    "allow_lint({}) marker needs a `: reason` explaining why it is safe",
+                    m.lint
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// L1: panic-free hot path. Flags `.unwrap()`, `.expect(`, the panicking
+/// macros, and subscript indexing (`x[...]`, which panics out of bounds —
+/// `get`/`get_mut` are the checked alternatives).
+pub fn l1_no_panics(file: &SourceFile) -> Vec<Violation> {
+    let allow = file.allow_mask("L1");
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.test || allow[i] {
+            continue;
+        }
+        let code = line.code.as_str();
+        if code.trim_start().starts_with("#[") {
+            continue; // attribute, not executable code
+        }
+        if code.contains(".unwrap()") {
+            out.push(violation(file, i, "L1", "`.unwrap()` in hot-path code"));
+        }
+        if code.contains(".expect(") {
+            out.push(violation(file, i, "L1", "`.expect(...)` in hot-path code"));
+        }
+        for mac in ["panic!", "todo!", "unimplemented!", "unreachable!"] {
+            for (pos, _) in code.match_indices(mac) {
+                let before_ok = pos == 0 || !is_ident_char(char_at(code, pos - 1));
+                if before_ok {
+                    out.push(violation(
+                        file,
+                        i,
+                        "L1",
+                        format!("`{mac}` in hot-path code"),
+                    ));
+                }
+            }
+        }
+        for idx in subscript_positions(code) {
+            let snippet: String = code[..idx].chars().rev().take(24).collect::<String>();
+            let snippet: String = snippet.chars().rev().collect();
+            out.push(violation(
+                file,
+                i,
+                "L1",
+                format!("unchecked indexing (`...{}[`); use `get`/`get_mut` or allowlist with the guarding bounds check", snippet.trim_start()),
+            ));
+        }
+    }
+    out
+}
+
+fn char_at(s: &str, byte_idx: usize) -> char {
+    s[byte_idx..].chars().next().unwrap_or(' ')
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Keywords that may directly precede an array-literal or slice-type `[`;
+/// an identifier ending in one of these is not a subscripted expression.
+const PRE_BRACKET_KEYWORDS: &[&str] = &[
+    "in", "return", "break", "as", "else", "match", "if", "while", "mut", "ref", "move", "dyn",
+    "impl", "where", "yield", "const", "static", "let", "pub",
+];
+
+/// Byte offsets of `[` characters that subscript an expression (previous
+/// non-space char is an identifier char, `)`, or `]` — but not a keyword
+/// and not a lifetime name, which precede array literals and slice types).
+fn subscript_positions(code: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let mut j = i;
+        let prev = loop {
+            if j == 0 {
+                break None;
+            }
+            j -= 1;
+            let c = bytes[j] as char;
+            if c != ' ' {
+                break Some((j, c));
+            }
+        };
+        match prev {
+            Some((j, c)) if is_ident_char(c) || c == ')' || c == ']' => {
+                if is_ident_char(c) {
+                    // Walk to the start of the word.
+                    let mut w = j;
+                    while w > 0 && is_ident_char(bytes[w - 1] as char) {
+                        w -= 1;
+                    }
+                    let word = &code[w..=j];
+                    if PRE_BRACKET_KEYWORDS.contains(&word) {
+                        continue;
+                    }
+                    if w > 0 && bytes[w - 1] == b'\'' {
+                        continue; // lifetime: `&'a [u8]`
+                    }
+                }
+                out.push(i);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// L2: per-packet maps must not use SipHash. Flags `HashMap` construction
+/// (`::new`, `::default`, `::with_capacity`) and two-parameter `HashMap<K,
+/// V>` types; a third generic parameter (a custom `BuildHasher`, as in
+/// `resolver::maps::FnvHashMap`) passes.
+pub fn l2_no_siphash_maps(file: &SourceFile) -> Vec<Violation> {
+    let allow = file.allow_mask("L2");
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.test || allow[i] {
+            continue;
+        }
+        let code = line.code.as_str();
+        let trimmed = code.trim_start();
+        if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+            continue; // imports are fine; usage sites are flagged
+        }
+        for (pos, _) in code.match_indices("HashMap") {
+            if pos > 0 && is_ident_char(char_at(code, pos - 1)) {
+                continue; // part of a longer identifier, e.g. FnvHashMap
+            }
+            let after = &code[pos + "HashMap".len()..];
+            let after_trim = after.trim_start();
+            if let Some(rest) = after_trim.strip_prefix("::") {
+                for ctor in ["new", "default", "with_capacity"] {
+                    if rest.starts_with(ctor) {
+                        out.push(violation(
+                            file,
+                            i,
+                            "L2",
+                            format!(
+                                "`HashMap::{ctor}` uses the default SipHash hasher in a per-packet path; use `resolver::maps::FnvHashMap` / `TableFamily`"
+                            ),
+                        ));
+                    }
+                }
+            } else if after_trim.starts_with('<') {
+                // Join following lines so multi-line generics parse.
+                let mut generics = after_trim.to_string();
+                let mut j = i + 1;
+                while angle_depth(&generics).is_none() && j < file.lines.len() && j < i + 10 {
+                    generics.push(' ');
+                    generics.push_str(file.lines[j].code.trim());
+                    j += 1;
+                }
+                if let Some(commas) = angle_depth(&generics) {
+                    if commas < 2 {
+                        out.push(violation(
+                            file,
+                            i,
+                            "L2",
+                            "`HashMap<K, V>` defaults to SipHash in a per-packet path; add a hasher parameter or use `resolver::maps::FnvHashMap`",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parse a `<...>` group at the start of `s`; return `Some(top_level_commas)`
+/// if it closes within `s`, `None` if unbalanced (caller joins more lines).
+fn angle_depth(s: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    for c in s.chars() {
+        match c {
+            '<' => depth += 1,
+            '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(commas);
+                }
+            }
+            ',' if depth == 1 => commas += 1,
+            ';' if depth == 0 => return Some(commas),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// L3: a named lock guard must not stay live across another lock
+/// acquisition, a shard-array access, or an eviction/backref callback.
+/// Chained single-statement locking (`self.shards[i].lock().insert(...)`)
+/// drops its temporary guard at the semicolon and is fine.
+pub fn l3_no_guard_across_shards(file: &SourceFile) -> Vec<Violation> {
+    let allow = file.allow_mask("L3");
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    // Active named guards: (name, depth at binding).
+    let mut guards: Vec<(String, usize)> = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        let code = line.code.as_str();
+        let trimmed = code.trim();
+        let acquires = [".lock(", ".read(", ".write("]
+            .iter()
+            .any(|t| code.contains(t));
+        // A `let` keeps the guard alive only when the acquisition is the
+        // *final* call: `let st = *s.lock().stats();` copies out and drops
+        // the temporary guard at the semicolon.
+        let is_binding = trimmed.starts_with("let ") && acquires && lock_is_final_call(trimmed);
+        // A line is risky even if it *binds* a new guard — acquiring a
+        // second lock while one is held is the classic L3 violation.
+        if !line.test && !allow[i] && !guards.is_empty() {
+            let risky = acquires
+                || code.contains("self.shards")
+                || code.contains("evict")
+                || code.contains("remove_backrefs");
+            if risky {
+                let names: Vec<&str> = guards.iter().map(|(n, _)| n.as_str()).collect();
+                out.push(violation(
+                    file,
+                    i,
+                    "L3",
+                    format!(
+                        "lock guard `{}` may still be held across this lock/shard/eviction call; drop it first",
+                        names.join("`, `")
+                    ),
+                ));
+            }
+        }
+        if is_binding && !line.test {
+            if let Some(name) = binding_name(trimmed) {
+                guards.push((name, depth));
+            }
+        }
+        // Explicit drops end a guard's liveness.
+        for g in 0..guards.len() {
+            let name = guards[g].0.clone();
+            if code.contains(&format!("drop({name})")) {
+                guards.remove(g);
+                break;
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    guards.retain(|&(_, d)| d <= depth);
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// True when the last `.lock(`/`.read(`/`.write(` call in `code` is the
+/// end of the expression (followed only by `;`, `?`, or nothing), i.e. the
+/// guard itself is what gets bound.
+fn lock_is_final_call(code: &str) -> bool {
+    let Some(pos) = [".lock(", ".read(", ".write("]
+        .iter()
+        .filter_map(|t| code.rfind(t).map(|p| p + t.len()))
+        .max()
+    else {
+        return false;
+    };
+    // Walk past the matching close paren.
+    let mut depth = 1i32;
+    let mut rest = "";
+    for (off, c) in code[pos..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    rest = &code[pos + off + 1..];
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    matches!(rest.trim(), "" | ";" | "?" | "?;")
+}
+
+/// `let [mut] name = ...` → `name`; `None` for destructuring patterns.
+fn binding_name(trimmed: &str) -> Option<String> {
+    let rest = trimmed.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+    if name.is_empty() || !rest[name.len()..].trim_start().starts_with(['=', ':']) {
+        return None;
+    }
+    Some(name)
+}
+
+/// Citation tokens accepted by L4: paper sections, figures, algorithms, or
+/// the RFCs the wire formats implement.
+const CITATION_TOKENS: &[&str] = &[
+    "§",
+    "Algorithm",
+    "Fig.",
+    "Eq.",
+    "Table",
+    "paper",
+    "RFC",
+    "DN-Hunter",
+];
+
+fn has_citation(text: &str) -> bool {
+    CITATION_TOKENS.iter().any(|t| text.contains(t))
+}
+
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union",
+];
+
+/// L4: every public item carries a doc comment citing the paper (or RFC)
+/// it implements, and every file opens with a cited module doc.
+pub fn l4_docs_cite_paper(file: &SourceFile) -> Vec<Violation> {
+    let allow = file.allow_mask("L4");
+    let mut out = Vec::new();
+    // File-level: the module doc (`//!`) must exist and cite.
+    let module_doc: String = file
+        .lines
+        .iter()
+        .filter(|l| l.inner_doc)
+        .map(|l| l.comment.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    if module_doc.is_empty() {
+        out.push(violation(
+            file,
+            0,
+            "L4",
+            "file has no `//!` module doc; add one citing the paper section it implements",
+        ));
+    } else if !has_citation(&module_doc) {
+        out.push(violation(
+            file,
+            0,
+            "L4",
+            "module doc cites no paper section (§ / Algorithm / Fig. / RFC ...)",
+        ));
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.test || allow[i] {
+            continue;
+        }
+        let trimmed = line.code.trim();
+        let Some(rest) = trimmed.strip_prefix("pub ") else {
+            continue;
+        };
+        if trimmed.starts_with("pub(") || rest.starts_with("use ") {
+            continue; // restricted visibility / re-exports
+        }
+        // Strip fn qualifiers so `pub async fn` / `pub const fn` match.
+        let rest = rest
+            .trim_start_matches("async ")
+            .trim_start_matches("unsafe ")
+            .trim_start_matches("const fn")
+            .trim_start_matches("const ");
+        let first = rest.split_whitespace().next().unwrap_or(rest);
+        let is_item = first.is_empty() // `pub const fn` fully stripped
+            || ITEM_KEYWORDS.iter().any(|k| first == *k || first.starts_with(&format!("{k}<")));
+        if !is_item {
+            continue; // struct field (`pub x: T`) or similar
+        }
+        // Collect the contiguous doc block above, skipping attributes.
+        let mut j = i;
+        let mut doc = String::new();
+        while j > 0 {
+            j -= 1;
+            let above = &file.lines[j];
+            let t = above.code.trim();
+            if above.doc {
+                doc.insert_str(0, above.comment.as_str());
+                doc.insert(0, '\n');
+            } else if t.starts_with("#[") || (t.is_empty() && !above.comment.is_empty()) {
+                continue; // attribute or marker comment between doc and item
+            } else {
+                break;
+            }
+        }
+        let item = trimmed.chars().take(48).collect::<String>();
+        if doc.trim().is_empty() {
+            out.push(violation(
+                file,
+                i,
+                "L4",
+                format!("public item `{item}` has no doc comment"),
+            ));
+        } else if !has_citation(&doc) {
+            out.push(violation(
+                file,
+                i,
+                "L4",
+                format!("doc for `{item}` cites no paper section (§ / Algorithm / Fig. / RFC ...)"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("mem.rs"), src)
+    }
+
+    #[test]
+    fn l1_catches_unwrap_expect_panic_indexing() {
+        let f = file("fn f(v: &[u8]) -> u8 {\n    let a = v.first().unwrap();\n    let b = o.expect(\"x\");\n    panic!(\"boom\");\n    v[0]\n}\n");
+        let v = l1_no_panics(&f);
+        let kinds: Vec<&str> = v
+            .iter()
+            .map(|x| x.message.split(['`', ' ']).nth(1).unwrap_or(""))
+            .collect();
+        assert_eq!(v.len(), 4, "{kinds:?}");
+    }
+
+    #[test]
+    fn l1_ignores_tests_strings_comments_and_allows() {
+        let src = "fn f() {\n    let s = \"don't .unwrap() me\"; // .unwrap() here neither\n    let x = v[0]; // allow_lint(L1): length checked two lines up\n}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(l1_no_panics(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn l1_does_not_flag_array_types_or_macros() {
+        let src = "fn f() {\n    let a: [u8; 4] = [0; 4];\n    let v = vec![1, 2];\n    let s = &buf;\n}\n";
+        assert!(l1_no_panics(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn l2_flags_default_hasher_only() {
+        let src = "struct S {\n    flows: HashMap<Key, Rec>,\n}\nfn f() {\n    let m: FnvHashMap<u8, u8> = FnvHashMap::default();\n    let bad = HashMap::new();\n    type T = HashMap<K, V, FnvBuildHasher>;\n}\n";
+        let v = l2_no_siphash_maps(&file(src));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 6);
+    }
+
+    #[test]
+    fn l3_flags_guard_held_across_second_lock() {
+        let src = "fn f(&self) {\n    let g = self.shards[0].lock();\n    let h = self.shards[1].lock();\n    g.insert(x);\n}\n";
+        let v = l3_no_guard_across_shards(&file(src));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn l3_accepts_chained_and_dropped_guards() {
+        let src = "fn f(&self) {\n    self.shards[0].lock().insert(x);\n    let g = self.shards[1].lock();\n    let y = g.peek();\n    drop(g);\n    self.shards[2].lock().insert(y);\n}\n";
+        assert!(l3_no_guard_across_shards(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn l3_guard_dies_at_block_end() {
+        let src = "fn f(&self) {\n    {\n        let g = self.shards[0].lock();\n        g.insert(x);\n    }\n    self.shards[1].lock().insert(y);\n}\n";
+        assert!(l3_no_guard_across_shards(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn l4_requires_cited_docs() {
+        let src = "//! Implements paper §3.1.1.\n\n/// Undocumented section reference missing here.\npub fn f() {}\n\n/// The Clist of Algorithm 1.\npub struct Clist;\n\npub fn bare() {}\n";
+        let v = l4_docs_cite_paper(&file(src));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].message.contains("cites no paper"));
+        assert!(v[1].message.contains("no doc comment"));
+    }
+
+    #[test]
+    fn m1_rejects_reasonless_or_unknown_markers() {
+        let src = "fn f() {\n    let x = v[0]; // allow_lint(L1)\n    let y = v[1]; // allow_lint(L9): what\n}\n";
+        let v = check_markers(&file(src));
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+}

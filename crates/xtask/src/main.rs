@@ -1,0 +1,133 @@
+//! `cargo xtask` — workspace automation for the DN-Hunter reproduction.
+//!
+//! The only subcommand today is `lint`, the invariant gate described in
+//! DESIGN.md ("Machine-checked invariants"): four workspace-specific lints
+//! (L1–L4) that encode properties the paper's hot path depends on and that
+//! rustc/clippy cannot express. Run as `cargo xtask lint` (aliased in
+//! `.cargo/config.toml`); exits non-zero on any violation, so CI can gate
+//! on it.
+
+mod lints;
+mod scan;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lints::Violation;
+use scan::SourceFile;
+
+/// Hot-path crates: per-packet code where a panic or a SipHash map is a
+/// correctness/performance bug (L1, L2).
+const HOT_CRATES: &[&str] = &["net", "dns", "flow", "resolver"];
+/// Crates holding locks whose guard discipline L3 checks.
+const LOCK_CRATES: &[&str] = &["resolver"];
+/// Crates whose public API must cite the paper (L4).
+const DOC_CRATES: &[&str] = &["resolver", "dns"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown xtask `{other}`\n");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask <command>\n\ncommands:\n  lint    run the workspace invariant lints (L1-L4)");
+}
+
+/// Workspace root, resolved from this crate's manifest directory so the
+/// lint works from any working directory.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut files_scanned = 0usize;
+
+    let mut crates: Vec<&str> = HOT_CRATES.to_vec();
+    for c in DOC_CRATES.iter().chain(LOCK_CRATES) {
+        if !crates.contains(c) {
+            crates.push(c);
+        }
+    }
+    for krate in crates {
+        let src = root.join("crates").join(krate).join("src");
+        for path in rust_files(&src) {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("xtask lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let rel = path.strip_prefix(&root).unwrap_or(&path).to_path_buf();
+            let file = SourceFile::parse(rel, &text);
+            files_scanned += 1;
+            violations.extend(lints::check_markers(&file));
+            if HOT_CRATES.contains(&krate) {
+                violations.extend(lints::l1_no_panics(&file));
+                violations.extend(lints::l2_no_siphash_maps(&file));
+            }
+            if LOCK_CRATES.contains(&krate) {
+                violations.extend(lints::l3_no_guard_across_shards(&file));
+            }
+            if DOC_CRATES.contains(&krate) {
+                violations.extend(lints::l4_docs_cite_paper(&file));
+            }
+        }
+    }
+
+    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    for v in &violations {
+        println!(
+            "{}:{}: [{}] {}",
+            v.path.display(),
+            v.line,
+            v.lint,
+            v.message
+        );
+    }
+    if violations.is_empty() {
+        println!("xtask lint: clean ({files_scanned} files, lints L1-L4)");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask lint: {} violation(s) across {files_scanned} files",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// All `.rs` files under `dir`, recursively, in deterministic order.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    let mut entries: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            out.extend(rust_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out
+}

@@ -26,7 +26,10 @@ fn main() {
         "spatial discovery for {} — organization {}",
         target, spatial.second_level
     );
-    println!("  {} distinct serverIPs in total", spatial.org_servers.len());
+    println!(
+        "  {} distinct serverIPs in total",
+        spatial.org_servers.len()
+    );
     for (fqdn, servers) in spatial.fqdn_servers.iter().take(10) {
         println!("  {:<44} {} servers", fqdn.to_string(), servers.len());
     }

@@ -41,9 +41,7 @@ fn main() {
         .iter()
         .filter(|d| d.action != PolicyAction::Allow)
         .count();
-    println!(
-        "actions decided at the flow's FIRST packet: {at_first_packet}/{total_actions}"
-    );
+    println!("actions decided at the flow's FIRST packet: {at_first_packet}/{total_actions}");
 
     println!("\nsample decisions:");
     for d in enforcer

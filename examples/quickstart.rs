@@ -44,7 +44,13 @@ fn main() {
 
     // Every flow carries the FQDN its client resolved — print a sample.
     println!("\nsample labelled flows:");
-    for f in report.database.flows().iter().filter(|f| f.is_tagged()).take(8) {
+    for f in report
+        .database
+        .flows()
+        .iter()
+        .filter(|f| f.is_tagged())
+        .take(8)
+    {
         println!(
             "  {:<46} -> {:<16} {:>5} {:?}",
             f.fqdn.as_ref().expect("filtered on is_tagged").to_string(),

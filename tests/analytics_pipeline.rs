@@ -15,7 +15,9 @@ use dnhunter_simnet::profiles;
 
 #[test]
 fn spatial_and_content_discovery_agree_with_the_catalog() {
-    let run = run_scaled(profiles::us_3g(), 0.25, false);
+    // Amazon's expected share of zynga flows is ~0.54, so the >0.5
+    // assertion needs enough flows for the share to concentrate.
+    let run = run_scaled(profiles::us_3g(), 0.75, false);
     let db = &run.report.database;
     let suffixes = SuffixSet::builtin();
     let orgdb = builtin_registry();
@@ -66,7 +68,9 @@ fn fig9_hosting_matrix_shape() {
 
 #[test]
 fn service_tags_identify_the_mystery_tracker_port() {
-    let run = run_scaled(profiles::us_3g(), 0.3, false);
+    // Tracker announces are rare (a few % of clients are P2P users), so
+    // small scales can leave port 1337 with no visibly-resolved flows.
+    let run = run_scaled(profiles::us_3g(), 0.75, false);
     let suffixes = SuffixSet::builtin();
     let tags = extract_tags(&run.report.database, 1337, 4, &suffixes);
     // The paper's showcase: port 1337 yields "exodus"/"genesis".

@@ -59,14 +59,21 @@ fn print_degree_breakdown() {
     let mut fqdn_ips: HashMap<String, HashSet<std::net::IpAddr>> = HashMap::new();
     for f in run.report.database.flows() {
         if let Some(fq) = &f.fqdn {
-            fqdn_ips.entry(fq.to_string()).or_default().insert(f.key.server);
+            fqdn_ips
+                .entry(fq.to_string())
+                .or_default()
+                .insert(f.key.server);
         }
     }
     let mut per_sld: HashMap<String, (u32, u32)> = HashMap::new(); // (single, multi)
     for (fq, ips) in &fqdn_ips {
         let sld = fq.rsplit('.').take(2).collect::<Vec<_>>().join(".");
         let e = per_sld.entry(sld).or_default();
-        if ips.len() == 1 { e.0 += 1 } else { e.1 += 1 }
+        if ips.len() == 1 {
+            e.0 += 1
+        } else {
+            e.1 += 1
+        }
     }
     let mut v: Vec<_> = per_sld.into_iter().collect();
     v.sort_by_key(|(_, (s, m))| std::cmp::Reverse(s + m));

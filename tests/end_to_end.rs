@@ -9,7 +9,11 @@ use dnhunter_simnet::profiles;
 fn ftth_trace_has_high_hit_ratio_and_labeled_flows() {
     let run = run_scaled(profiles::eu1_ftth(), 0.25, false);
     let report = &run.report;
-    assert!(report.database.len() > 200, "flows: {}", report.database.len());
+    assert!(
+        report.database.len() > 200,
+        "flows: {}",
+        report.database.len()
+    );
 
     // Per-protocol hit ratios (Tab. 2 shape): HTTP and TLS high, P2P ~0.
     let mut stats: std::collections::HashMap<AppProtocol, (u64, u64)> = Default::default();
@@ -36,7 +40,10 @@ fn ftth_trace_has_high_hit_ratio_and_labeled_flows() {
     let p2p = ratio(AppProtocol::P2p);
     assert!(http > 0.80, "HTTP hit ratio {http}");
     assert!(tls > 0.70, "TLS hit ratio {tls}");
-    assert!((0.0..0.25).contains(&p2p) || p2p == -1.0, "P2P hit ratio {p2p}");
+    assert!(
+        (0.0..0.25).contains(&p2p) || p2p == -1.0,
+        "P2P hit ratio {p2p}"
+    );
 
     // Useless DNS (Tab. 9 shape): a substantial fraction, not a corner case.
     let useless = report.delays.useless_fraction();
@@ -124,7 +131,13 @@ fn dns_responses_show_multi_address_answers() {
     let frac = multi as f64 / run.report.answers_per_response.len().max(1) as f64;
     // §6: about 40% of responses return more than one address.
     assert!((0.15..0.65).contains(&frac), "multi-answer fraction {frac}");
-    let max = run.report.answers_per_response.iter().max().copied().unwrap_or(0);
+    let max = run
+        .report
+        .answers_per_response
+        .iter()
+        .max()
+        .copied()
+        .unwrap_or(0);
     assert!(max >= 10, "expected some long answer lists, max {max}");
 }
 
@@ -140,7 +153,9 @@ fn truncated_responses_retry_over_tcp_and_still_tag() {
     let mut tcp53 = 0;
     let mut truncated_udp = 0;
     for r in &trace.records {
-        let Ok(pkt) = Packet::parse(&r.frame) else { continue };
+        let Ok(pkt) = Packet::parse(&r.frame) else {
+            continue;
+        };
         match &pkt.transport {
             TransportHeader::Tcp(h) if h.src_port == 53 || h.dst_port == 53 => tcp53 += 1,
             TransportHeader::Udp(u) if u.src_port == 53 => {
@@ -178,7 +193,11 @@ fn dual_stack_clients_get_v6_flows_tagged() {
     let mut profile = profiles::eu1_ftth().scaled(0.3);
     profile.ipv6_client_fraction = 0.5; // exaggerate for test signal
     let trace = TraceGenerator::new(profile.clone(), false).generate();
-    assert!(trace.stats.ipv6_flows > 5, "v6 flows: {}", trace.stats.ipv6_flows);
+    assert!(
+        trace.stats.ipv6_flows > 5,
+        "v6 flows: {}",
+        trace.stats.ipv6_flows
+    );
 
     let run = dn_hunter_repro::run_trace(profile, trace);
     let v6: Vec<_> = run
@@ -202,8 +221,11 @@ fn dual_stack_clients_get_v6_flows_tagged() {
         .filter_map(|f| f.second_level.as_ref())
         .any(|sld| {
             let s = sld.to_string();
-            s.contains("google") || s.contains("youtube") || s.contains("blogspot")
-                || s.contains("ytimg") || s.contains("appspot")
+            s.contains("google")
+                || s.contains("youtube")
+                || s.contains("blogspot")
+                || s.contains("ytimg")
+                || s.contains("appspot")
         }));
 }
 
@@ -239,7 +261,10 @@ fn multilabel_mode_surfaces_alternative_labels() {
     // The alternatives never duplicate the primary label.
     for f in report.database.flows() {
         if let Some(primary) = &f.fqdn {
-            assert!(!f.alt_labels.contains(primary), "primary duplicated for {primary}");
+            assert!(
+                !f.alt_labels.contains(primary),
+                "primary duplicated for {primary}"
+            );
         }
     }
 }

@@ -16,8 +16,16 @@ fn live_trace_reproduces_the_appspot_story() {
 
     // Trackers exist and behave like Tab. 8: more flows than the general
     // apps, far fewer bytes, relatively upload-heavy.
-    assert!(report.trackers.services >= 10, "trackers: {}", report.trackers.services);
-    assert!(report.general.services >= 20, "apps: {}", report.general.services);
+    assert!(
+        report.trackers.services >= 10,
+        "trackers: {}",
+        report.trackers.services
+    );
+    assert!(
+        report.general.services >= 20,
+        "apps: {}",
+        report.general.services
+    );
     assert!(
         report.trackers.flows > report.general.flows,
         "tracker flows {} vs general {}",
@@ -27,11 +35,16 @@ fn live_trace_reproduces_the_appspot_story() {
     assert!(report.general.bytes_s2c > report.trackers.bytes_s2c);
     let t_ratio = report.trackers.bytes_c2s as f64 / report.trackers.bytes_s2c.max(1) as f64;
     let g_ratio = report.general.bytes_c2s as f64 / report.general.bytes_s2c.max(1) as f64;
-    assert!(t_ratio > g_ratio * 3.0, "upload ratios {t_ratio} vs {g_ratio}");
+    assert!(
+        t_ratio > g_ratio * 3.0,
+        "upload ratios {t_ratio} vs {g_ratio}"
+    );
 
     // Fig. 10: the tag cloud names the tracker families.
     let tokens: Vec<&str> = report.tag_cloud.iter().map(|(t, _)| t.as_str()).collect();
-    assert!(tokens.iter().any(|t| *t == "tracker" || *t == "rlskingbt" || *t == "swarm"));
+    assert!(tokens
+        .iter()
+        .any(|t| *t == "tracker" || *t == "rlskingbt" || *t == "swarm"));
 
     // Fig. 11: a meaningful tracker population with multi-bin activity.
     assert!(report.tracker_timeline.len() >= 10);
@@ -53,5 +66,8 @@ fn live_trace_reproduces_the_appspot_story() {
     let sld_tail =
         dnhunter_analytics::growth::GrowthCurves::tail_growth(&g.unique_second_levels, 3);
     assert!(fq_tail > 10, "FQDNs should still be growing: +{fq_tail}");
-    assert!(sld_tail <= 2, "organizations should have saturated: +{sld_tail}");
+    assert!(
+        sld_tail <= 2,
+        "organizations should have saturated: +{sld_tail}"
+    );
 }
