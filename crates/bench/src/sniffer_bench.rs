@@ -1,0 +1,287 @@
+//! The recorded sniffer-throughput baseline (`BENCH_sniffer.json`).
+//!
+//! Benchmarks the paper's §3.2 real-time claim on this machine: frames/s
+//! for the sequential [`RealTimeSniffer`] versus the sharded
+//! [`ParallelSniffer`] at several worker counts, over one seeded simnet
+//! trace. Besides measured wall-clock throughput it records each stage's
+//! *busy time* (time outside channel blocking) and the throughput that
+//! busy-time decomposition projects for a machine with enough cores — on
+//! a container pinned to fewer hardware threads than pipeline threads,
+//! wall-clock speedup reflects the cache/probe win of smaller per-shard
+//! state rather than parallelism, while the critical path
+//! (`max(dispatcher busy, slowest worker busy)`) estimates the multi-core
+//! rate, honestly labelled as a projection. The report also verifies the
+//! determinism
+//! guarantee (merged reports byte-identical to sequential) and quantifies
+//! the FQDN-interning allocation diet.
+
+use std::time::Instant;
+
+use dnhunter::{ParallelSniffer, RealTimeSniffer, SnifferConfig, SnifferReport};
+use dnhunter_simnet::{profiles, TraceGenerator};
+use serde::Serialize;
+
+/// Workload description.
+#[derive(Serialize)]
+struct TraceInfo {
+    profile: String,
+    scale: f64,
+    frames: u64,
+    trace_span_secs: f64,
+}
+
+/// Best sequential run of the interleaved repetitions.
+#[derive(Serialize)]
+struct SingleThread {
+    wall_secs: f64,
+    frames_per_sec: f64,
+    /// Wall time of every repetition (the container's performance is
+    /// noisy-neighbor bursty; best-of is the stable statistic, and the
+    /// spread documents why).
+    wall_secs_all_reps: Vec<f64>,
+}
+
+/// One pipeline run at a given worker count.
+#[derive(Serialize)]
+struct PipelineRun {
+    workers: usize,
+    wall_secs: f64,
+    wall_secs_all_reps: Vec<f64>,
+    measured_frames_per_sec: f64,
+    measured_speedup_vs_single: f64,
+    dispatch_busy_secs: f64,
+    send_wait_secs: f64,
+    worker_busy_secs: Vec<f64>,
+    /// `max(dispatch_busy, slowest worker busy)` — the pipeline's runtime
+    /// on a machine with at least `workers + 1` free cores.
+    critical_path_secs: f64,
+    projected_frames_per_sec: f64,
+    projected_speedup_vs_single: f64,
+    byte_identical_to_sequential: bool,
+}
+
+/// The §3.2 allocation diet: FQDN `Arc` allocations with and without the
+/// resolver's interner (before = one fresh `Arc<DomainName>` per DNS
+/// insert, which is what the pre-interning code did).
+#[derive(Serialize)]
+struct AllocationDiet {
+    fqdn_arc_allocs_before: u64,
+    fqdn_arc_allocs_after: u64,
+    allocs_avoided: u64,
+    reuse_fraction: f64,
+}
+
+/// Everything `BENCH_sniffer.json` records.
+#[derive(Serialize)]
+struct BenchReport {
+    experiment: String,
+    hardware_threads: usize,
+    trace: TraceInfo,
+    single_thread: SingleThread,
+    pipeline: Vec<PipelineRun>,
+    allocation_diet: AllocationDiet,
+    determinism_all_runs: bool,
+    note: String,
+}
+
+/// Canonical serialization of a report; equal strings mean equal reports
+/// field-for-field (same digest the `pipeline_determinism` test uses).
+fn digest(report: &SnifferReport) -> String {
+    let mut out = String::new();
+    let mut push = |part: Result<String, serde_json::Error>| {
+        if let Ok(p) = part {
+            out.push_str(&p);
+            out.push('\n');
+        }
+    };
+    push(serde_json::to_string(report.database.flows()));
+    push(serde_json::to_string(&report.sniffer_stats));
+    push(serde_json::to_string(&report.resolver_stats));
+    push(serde_json::to_string(&report.delays));
+    push(serde_json::to_string(&report.dns_response_times));
+    push(serde_json::to_string(&report.answers_per_response));
+    push(serde_json::to_string(&report.trace_start));
+    push(serde_json::to_string(&report.trace_end));
+    push(serde_json::to_string(&report.warmup_micros));
+    out
+}
+
+fn secs(micros: u64) -> f64 {
+    micros as f64 / 1e6
+}
+
+fn per_sec(frames: u64, wall_secs: f64) -> f64 {
+    if wall_secs > 0.0 {
+        frames as f64 / wall_secs
+    } else {
+        0.0
+    }
+}
+
+/// Run the benchmark and return the JSON text of `BENCH_sniffer.json`.
+///
+/// `quick` shrinks the workload and worker sweep for a CI smoke run.
+pub fn run(quick: bool) -> String {
+    let profile_name = "eu1-adsl1";
+    let scale = if quick { 0.15 } else { 0.5 };
+    let worker_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+
+    eprintln!("# bench-sniffer: generating {profile_name} trace at scale {scale}");
+    let profile = profiles::eu1_adsl1().scaled(scale);
+    let trace = TraceGenerator::new(profile, false).generate();
+    let trace_span_secs = match (trace.records.first(), trace.records.last()) {
+        (Some(a), Some(b)) => secs(b.timestamp_micros().saturating_sub(a.timestamp_micros())),
+        _ => 0.0,
+    };
+    let config = SnifferConfig::default();
+
+    // The container's performance is bursty (noisy-neighbor host), so
+    // every configuration is measured `reps` times, interleaved so a slow
+    // burst cannot bias one configuration, and the best wall time is
+    // reported. Every repetition's report is digest-checked regardless.
+    let reps = if quick { 2 } else { 3 };
+    let mut reference_digest: Option<String> = None;
+    let mut frames = 0u64;
+    let mut single_walls: Vec<f64> = Vec::new();
+    let mut pipe_walls: Vec<Vec<f64>> = vec![Vec::new(); worker_counts.len()];
+    // Busy-time decomposition from each worker count's *fastest* rep.
+    let mut pipe_best: Vec<Option<(f64, f64, Vec<f64>)>> = vec![None; worker_counts.len()];
+    let mut pipe_identical: Vec<bool> = vec![true; worker_counts.len()];
+    let mut diet: Option<AllocationDiet> = None;
+    let mut determinism_all = true;
+
+    for rep in 0..reps {
+        eprintln!(
+            "# bench-sniffer: rep {}/{reps}: sequential run over {} frames",
+            rep + 1,
+            trace.records.len()
+        );
+        let t0 = Instant::now();
+        let mut sequential = RealTimeSniffer::new(config.clone());
+        for rec in &trace.records {
+            sequential.process_record(rec);
+        }
+        let report = sequential.finish();
+        single_walls.push(t0.elapsed().as_secs_f64());
+        frames = report.sniffer_stats.frames;
+        let d = digest(&report);
+        match &reference_digest {
+            Some(r) => determinism_all &= d == *r,
+            None => reference_digest = Some(d),
+        }
+
+        for (wi, &workers) in worker_counts.iter().enumerate() {
+            eprintln!(
+                "# bench-sniffer: rep {}/{reps}: {workers} worker(s)",
+                rep + 1
+            );
+            let t0 = Instant::now();
+            let mut parallel = ParallelSniffer::new(config.clone(), workers);
+            for rec in &trace.records {
+                parallel.process_record(rec);
+            }
+            let (report, timings) = parallel.finish_with_timings();
+            let wall = t0.elapsed().as_secs_f64();
+            let identical = reference_digest.as_deref() == Some(digest(&report).as_str());
+            determinism_all &= identical;
+            pipe_identical[wi] &= identical;
+            let is_best = pipe_walls[wi].iter().all(|&w| wall < w);
+            pipe_walls[wi].push(wall);
+            if is_best {
+                let worker_busy: Vec<f64> = timings
+                    .worker_busy_micros
+                    .iter()
+                    .map(|&m| secs(m))
+                    .collect();
+                pipe_best[wi] = Some((
+                    secs(timings.dispatch_busy_micros),
+                    secs(timings.send_wait_micros),
+                    worker_busy,
+                ));
+            }
+            if diet.is_none() {
+                let before = timings.intern.allocated + timings.intern.reused;
+                diet = Some(AllocationDiet {
+                    fqdn_arc_allocs_before: before,
+                    fqdn_arc_allocs_after: timings.intern.allocated,
+                    allocs_avoided: timings.intern.reused,
+                    reuse_fraction: if before > 0 {
+                        timings.intern.reused as f64 / before as f64
+                    } else {
+                        0.0
+                    },
+                });
+            }
+        }
+    }
+
+    let single_wall = single_walls.iter().copied().fold(f64::INFINITY, f64::min);
+    let single = SingleThread {
+        wall_secs: single_wall,
+        frames_per_sec: per_sec(frames, single_wall),
+        wall_secs_all_reps: single_walls,
+    };
+
+    let mut pipeline_runs = Vec::new();
+    for (wi, &workers) in worker_counts.iter().enumerate() {
+        let walls = std::mem::take(&mut pipe_walls[wi]);
+        let wall = walls.iter().copied().fold(f64::INFINITY, f64::min);
+        let (dispatch_busy, send_wait, worker_busy) =
+            pipe_best[wi].take().unwrap_or((0.0, 0.0, Vec::new()));
+        let slowest_worker = worker_busy.iter().copied().fold(0.0f64, f64::max);
+        let critical_path = dispatch_busy.max(slowest_worker);
+        let projected = per_sec(frames, critical_path);
+        pipeline_runs.push(PipelineRun {
+            workers,
+            wall_secs: wall,
+            wall_secs_all_reps: walls,
+            measured_frames_per_sec: per_sec(frames, wall),
+            measured_speedup_vs_single: single_wall / wall.max(1e-9),
+            dispatch_busy_secs: dispatch_busy,
+            send_wait_secs: send_wait,
+            worker_busy_secs: worker_busy,
+            critical_path_secs: critical_path,
+            projected_frames_per_sec: projected,
+            projected_speedup_vs_single: projected / single.frames_per_sec.max(1e-9),
+            byte_identical_to_sequential: pipe_identical[wi],
+        });
+    }
+
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let report = BenchReport {
+        experiment: "sniffer ingest throughput: sequential vs sharded parallel pipeline".into(),
+        hardware_threads,
+        trace: TraceInfo {
+            profile: profile_name.into(),
+            scale,
+            frames,
+            trace_span_secs,
+        },
+        single_thread: single,
+        pipeline: pipeline_runs,
+        allocation_diet: diet.unwrap_or(AllocationDiet {
+            fqdn_arc_allocs_before: 0,
+            fqdn_arc_allocs_after: 0,
+            allocs_avoided: 0,
+            reuse_fraction: 0.0,
+        }),
+        determinism_all_runs: determinism_all,
+        note: format!(
+            "Measured on {hardware_threads} hardware thread(s); each configuration ran {reps} \
+             interleaved repetitions (wall_secs_all_reps) and reports the fastest, because the \
+             host's performance is noisy-neighbor bursty. On a machine with fewer cores \
+             than pipeline threads, measured wall-clock speedup cannot come from parallel \
+             execution; what it shows instead is the sharding itself — splitting the flow \
+             table, resolver, and pending-tag maps N ways shrinks each shard's working set, \
+             so probes hit shorter chains and warmer caches. projected_frames_per_sec \
+             additionally reports frames / max(dispatcher busy, slowest worker busy) as a \
+             multi-core estimate; dispatcher busy excludes time blocked in channel sends \
+             (on a saturated single core that is mostly the workers running), while the \
+             remaining busy windows are wall-clock based, so cross-stage preemption still \
+             inflates them and the projection stays conservative. Determinism \
+             is not projected: every merged report was compared byte-for-byte against the \
+             sequential report."
+        ),
+    };
+    serde_json::to_string(&report).unwrap_or_else(|_| "{}".into())
+}

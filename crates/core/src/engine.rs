@@ -1,0 +1,449 @@
+//! The per-shard sniffer engine.
+//!
+//! Everything the DN-Hunter real-time sniffer (paper Fig. 1) tracks *per
+//! client shard* lives here: the shard's DNS resolver (Algorithm 1), its
+//! flow table, pending tags, and delay samples. The single-threaded
+//! [`crate::RealTimeSniffer`] drives exactly one engine; the parallel
+//! [`crate::ParallelSniffer`] drives N of them, one per worker thread,
+//! sharing this code path so the two produce identical per-event behaviour
+//! by construction.
+//!
+//! Every output the engine accumulates is tagged with an [`EventKey`]
+//! — `(dispatch sequence number, phase)` — which totally orders events
+//! across shards exactly as the sequential sniffer would have emitted
+//! them. [`assemble_report`] merges any number of shard outputs under that
+//! order into the one [`SnifferReport`] the offline analytics consume.
+
+use std::net::IpAddr;
+
+use dnhunter_dns::suffix::SuffixSet;
+use dnhunter_dns::DomainName;
+use dnhunter_flow::{CompactSeg, FlowEvent, FlowKey, FlowTable};
+use dnhunter_resolver::maps::FnvHashMap;
+use dnhunter_resolver::{DnsResolver, InternStats, OrderedTables, ResolverConfig, ResolverStats};
+
+use crate::db::{FlowDatabase, TaggedFlow};
+use crate::policy::PolicyEnforcer;
+use crate::sniffer::{DelaySamples, SnifferConfig, SnifferReport, SnifferStats};
+
+/// Total order on sniffer events across shards: `(seq, phase)`.
+///
+/// `seq` is the global frame sequence number assigned by whoever feeds the
+/// engine (the sequential driver or the pipeline dispatcher). `phase`
+/// separates the two event sources a single data frame can trigger, in
+/// their sequential order: `0` for events of the frame itself (flow start,
+/// port-reuse finish), `1` for the eviction scan that the same frame's
+/// timestamp may gate open. Ties beyond the key are broken by the flow
+/// table's deterministic `(first_ts, 5-tuple)` eviction order.
+pub(crate) type EventKey = (u64, u8);
+
+/// Phase of events produced directly by a frame.
+pub(crate) const PHASE_FRAME: u8 = 0;
+/// Phase of events produced by an eviction scan (tick) or the final flush.
+pub(crate) const PHASE_SCAN: u8 = 1;
+
+/// Book-keeping for one sniffed DNS response, tagged with its frame seq.
+#[derive(Debug)]
+struct ResponseRecord {
+    seq: u64,
+    ts: u64,
+    first_flow_delay: Option<u64>,
+}
+
+/// Tag assigned when a flow started.
+#[derive(Debug, Clone)]
+struct PendingTag {
+    fqdn: Option<DomainName>,
+    alt_labels: Vec<DomainName>,
+    tag_delay: Option<u64>,
+    in_warmup: bool,
+}
+
+/// One shard's accumulated output, ready to merge (see [`assemble_report`]).
+pub(crate) struct ShardOutput {
+    pub(crate) stats: SnifferStats,
+    pub(crate) resolver_stats: ResolverStats,
+    pub(crate) intern: InternStats,
+    responses: Vec<ResponseRecord>,
+    dns_response_times: Vec<(u64, u64)>,
+    answers_per_response: Vec<(u64, usize)>,
+    any_flow_delays: Vec<(u64, u64)>,
+    tagged: Vec<(EventKey, TaggedFlow)>,
+}
+
+/// Per-shard sniffer state: one §3.1 resolver + one flow table + the
+/// tagging and delay accounting of the paper's Fig. 1 fast path.
+pub(crate) struct ShardEngine {
+    pub(crate) config: SnifferConfig,
+    resolver: DnsResolver<OrderedTables>,
+    flows: FlowTable,
+    pub(crate) stats: SnifferStats,
+    pending_tags: FnvHashMap<FlowKey, PendingTag>,
+    /// (client, server) → index into `responses` of the latest response
+    /// binding that pair.
+    response_index: FnvHashMap<(IpAddr, IpAddr), usize>,
+    responses: Vec<ResponseRecord>,
+    /// (seq, ts) of every DNS response seen (Fig. 14 time series).
+    dns_response_times: Vec<(u64, u64)>,
+    /// (seq, answer count) per answered response (§6 distribution).
+    answers_per_response: Vec<(u64, usize)>,
+    /// (seq, delay µs) from a response to every subsequent flow using it.
+    any_flow_delays: Vec<(u64, u64)>,
+    /// Finished flows in event order, awaiting the merge.
+    tagged: Vec<(EventKey, TaggedFlow)>,
+    /// First frame timestamp of the whole trace (not just this shard) —
+    /// set by the driver, anchors the warm-up window.
+    trace_start: Option<u64>,
+}
+
+impl ShardEngine {
+    /// Build one engine. `resolver_config` is passed separately from
+    /// `config.resolver` so the pipeline can hand each shard its partition
+    /// of the Clist budget `L` (mirroring `ShardedResolver::new`).
+    pub(crate) fn new(config: SnifferConfig, resolver_config: ResolverConfig) -> Self {
+        ShardEngine {
+            resolver: DnsResolver::with_config(resolver_config),
+            flows: FlowTable::new(config.flow_table.clone()),
+            stats: SnifferStats::default(),
+            pending_tags: FnvHashMap::default(),
+            response_index: FnvHashMap::default(),
+            responses: Vec::new(),
+            dns_response_times: Vec::new(),
+            answers_per_response: Vec::new(),
+            any_flow_delays: Vec::new(),
+            tagged: Vec::new(),
+            trace_start: None,
+            config,
+        }
+    }
+
+    /// Access the live resolver (e.g. to pre-warm it).
+    pub(crate) fn resolver_mut(&mut self) -> &mut DnsResolver<OrderedTables> {
+        &mut self.resolver
+    }
+
+    /// Anchor the warm-up window at the trace's first frame timestamp.
+    /// Idempotent: only the first call takes effect.
+    pub(crate) fn note_trace_start(&mut self, ts: u64) {
+        self.trace_start.get_or_insert(ts);
+    }
+
+    /// Decode and apply one UDP DNS response packet.
+    pub(crate) fn handle_dns_response(&mut self, seq: u64, ts: u64, pkt: &dnhunter_net::Packet) {
+        let msg = match dnhunter_dns::codec::decode(&pkt.payload) {
+            Ok(m) => m,
+            Err(_) => {
+                self.stats.dns_decode_errors += 1;
+                return;
+            }
+        };
+        self.handle_dns_message(seq, ts, pkt.dst_ip(), &msg);
+    }
+
+    /// Common path for UDP and TCP responses. Truncated (TC-bit) responses
+    /// are counted but carry no bindings — the client retries over TCP.
+    pub(crate) fn handle_dns_message(
+        &mut self,
+        seq: u64,
+        ts: u64,
+        client: IpAddr,
+        msg: &dnhunter_dns::DnsMessage,
+    ) {
+        if !msg.header.is_response {
+            return;
+        }
+        self.stats.dns_responses += 1;
+        self.dns_response_times.push((seq, ts));
+        if msg.header.truncated {
+            return;
+        }
+        let servers = msg.answer_addresses();
+        if let Some(name) = msg.queried_fqdn() {
+            self.resolver.insert(client, name, &servers);
+        }
+        if !servers.is_empty() {
+            self.answers_per_response.push((seq, servers.len()));
+            let idx = self.responses.len();
+            self.responses.push(ResponseRecord {
+                seq,
+                ts,
+                first_flow_delay: None,
+            });
+            for s in servers {
+                self.response_index.insert((client, s), idx);
+            }
+        }
+    }
+
+    /// Feed one data packet (anything that is not DNS) through the flow
+    /// table, without an eviction scan — the driver owns the scan clock and
+    /// calls [`ShardEngine::tick`].
+    pub(crate) fn process_data<E: PolicyEnforcer>(
+        &mut self,
+        seq: u64,
+        ts: u64,
+        pkt: &dnhunter_net::Packet,
+        wire_bytes: usize,
+        enforcer: &mut Option<&mut E>,
+    ) {
+        for event in self.flows.process_no_scan(ts, pkt, wire_bytes) {
+            match event {
+                FlowEvent::FlowStarted(key) => self.on_flow_started(seq, ts, key, enforcer),
+                FlowEvent::FlowFinished(record) => {
+                    self.on_flow_finished((seq, PHASE_FRAME), *record)
+                }
+            }
+        }
+    }
+
+    /// [`ShardEngine::process_data`] for a pre-parsed segment — the
+    /// parallel pipeline's data path, where the dispatcher already parsed
+    /// the frame and ships only the fields (plus DPI head bytes) the flow
+    /// table needs.
+    pub(crate) fn process_seg<E: PolicyEnforcer>(
+        &mut self,
+        seq: u64,
+        ts: u64,
+        seg: &CompactSeg,
+        head: &[u8],
+        enforcer: &mut Option<&mut E>,
+    ) {
+        for event in self.flows.process_seg(ts, seg, head) {
+            match event {
+                FlowEvent::FlowStarted(key) => self.on_flow_started(seq, ts, key, enforcer),
+                FlowEvent::FlowFinished(record) => {
+                    self.on_flow_finished((seq, PHASE_FRAME), *record)
+                }
+            }
+        }
+    }
+
+    /// Run one eviction scan, exactly when the sequential interval gate
+    /// would have (the driver replicates that gate and broadcasts the tick).
+    pub(crate) fn tick(&mut self, seq: u64, now: u64) {
+        for event in self.flows.evict_idle(now) {
+            if let FlowEvent::FlowFinished(record) = event {
+                self.on_flow_finished((seq, PHASE_SCAN), *record);
+            }
+        }
+    }
+
+    fn on_flow_started<E: PolicyEnforcer>(
+        &mut self,
+        seq: u64,
+        ts: u64,
+        key: FlowKey,
+        enforcer: &mut Option<&mut E>,
+    ) {
+        let in_warmup = self
+            .trace_start
+            .is_some_and(|t0| ts.saturating_sub(t0) < self.config.warmup_micros);
+        let label = self.resolver.lookup(key.client, key.server);
+        if !in_warmup {
+            self.stats.tag_attempts += 1;
+            if label.is_some() {
+                self.stats.tag_hits += 1;
+            }
+        }
+        // Delay accounting against the most recent covering response.
+        let mut tag_delay = None;
+        if let Some(&idx) = self.response_index.get(&(key.client, key.server)) {
+            if let Some(rec) = self.responses.get_mut(idx) {
+                let delay = ts.saturating_sub(rec.ts);
+                if rec.first_flow_delay.is_none() {
+                    rec.first_flow_delay = Some(delay);
+                }
+                // Keyed by the *flow's* frame seq: the sequential sniffer
+                // appends this sample when the flow starts, not when the
+                // response arrived.
+                self.any_flow_delays.push((seq, delay));
+                tag_delay = Some(delay);
+            }
+        }
+        let fqdn = label.map(|arc| (*arc).clone());
+        // §6 extension: when the resolver keeps several labels per pair,
+        // record the alternatives so downstream consumers can resolve
+        // ambiguity themselves.
+        let alt_labels = if self.config.resolver.labels_per_server > 1 && fqdn.is_some() {
+            let mut alts: Vec<DomainName> = Vec::new();
+            for arc in self.resolver.lookup_all(key.client, key.server) {
+                // Distinct alternatives only; repeated resolutions of the
+                // primary name are not ambiguity. Compare before cloning —
+                // the common case (no ambiguity) then allocates nothing.
+                if Some(&*arc) != fqdn.as_ref() && !alts.iter().any(|a| a == &*arc) {
+                    alts.push((*arc).clone());
+                }
+            }
+            alts
+        } else {
+            Vec::new()
+        };
+        if let Some(e) = enforcer.as_deref_mut() {
+            let _ = e.on_flow_start(key, fqdn.as_ref());
+        }
+        self.pending_tags.insert(
+            key,
+            PendingTag {
+                fqdn,
+                alt_labels,
+                tag_delay,
+                in_warmup,
+            },
+        );
+    }
+
+    fn on_flow_finished(&mut self, at: EventKey, record: dnhunter_flow::FlowRecord) {
+        let tag = self.pending_tags.remove(&record.key).unwrap_or(PendingTag {
+            fqdn: None,
+            alt_labels: Vec::new(),
+            tag_delay: None,
+            in_warmup: false,
+        });
+        let protocol = record.protocol_now();
+        let tls = if protocol == dnhunter_flow::AppProtocol::Tls {
+            Some(record.tls_info())
+        } else {
+            None
+        };
+        self.tagged.push((
+            at,
+            TaggedFlow {
+                key: record.key,
+                fqdn: tag.fqdn,
+                second_level: None,
+                alt_labels: tag.alt_labels,
+                tag_delay_micros: tag.tag_delay,
+                first_ts: record.first_ts,
+                last_ts: record.last_ts,
+                packets_c2s: record.packets_c2s,
+                packets_s2c: record.packets_s2c,
+                bytes_c2s: record.bytes_c2s,
+                bytes_s2c: record.bytes_s2c,
+                protocol,
+                tls,
+                in_warmup: tag.in_warmup,
+            },
+        ));
+    }
+
+    /// End of trace: flush live flows and hand over everything accumulated.
+    pub(crate) fn finish_shard(mut self) -> ShardOutput {
+        for event in self.flows.flush() {
+            if let FlowEvent::FlowFinished(record) = event {
+                self.on_flow_finished((u64::MAX, PHASE_SCAN), *record);
+            }
+        }
+        ShardOutput {
+            stats: self.stats,
+            resolver_stats: *self.resolver.stats(),
+            intern: self.resolver.intern_stats(),
+            responses: self.responses,
+            dns_response_times: self.dns_response_times,
+            answers_per_response: self.answers_per_response,
+            any_flow_delays: self.any_flow_delays,
+            tagged: self.tagged,
+        }
+    }
+}
+
+fn add_sniffer_stats(into: &mut SnifferStats, from: &SnifferStats) {
+    into.frames += from.frames;
+    into.parse_errors += from.parse_errors;
+    into.dns_queries += from.dns_queries;
+    into.dns_responses += from.dns_responses;
+    into.dns_decode_errors += from.dns_decode_errors;
+    into.tag_attempts += from.tag_attempts;
+    into.tag_hits += from.tag_hits;
+}
+
+fn add_resolver_stats(into: &mut ResolverStats, from: &ResolverStats) {
+    into.responses += from.responses;
+    into.bindings += from.bindings;
+    into.replaced_same_fqdn += from.replaced_same_fqdn;
+    into.replaced_different_fqdn += from.replaced_different_fqdn;
+    into.evictions += from.evictions;
+    into.lookups += from.lookups;
+    into.hits += from.hits;
+}
+
+/// Merge shard outputs into the one [`SnifferReport`] the offline
+/// analytics consume.
+///
+/// Counters are summed; every sample stream is re-ordered under the global
+/// [`EventKey`] order (stable, so same-key samples keep their within-shard
+/// order — a frame never splits across shards). Finished flows sort by
+/// `(EventKey, first_ts, 5-tuple)`, reproducing the sequential sniffer's
+/// database row order exactly: frame events precede the scan their frame
+/// gated open, and scan evictions across shards interleave in the flow
+/// table's deterministic `(first_ts, 5-tuple)` order. With one shard the
+/// sort is the identity, so the sequential report *is* the merged report
+/// of a single shard.
+pub(crate) fn assemble_report(
+    outputs: Vec<ShardOutput>,
+    dispatch_stats: SnifferStats,
+    trace_start: Option<u64>,
+    trace_end: Option<u64>,
+    warmup_micros: u64,
+) -> SnifferReport {
+    let mut stats = dispatch_stats;
+    let mut resolver_stats = ResolverStats::default();
+    let mut responses: Vec<ResponseRecord> = Vec::new();
+    let mut dns_response_times: Vec<(u64, u64)> = Vec::new();
+    let mut answers_per_response: Vec<(u64, usize)> = Vec::new();
+    let mut any_flow_delays: Vec<(u64, u64)> = Vec::new();
+    let mut tagged: Vec<(EventKey, TaggedFlow)> = Vec::new();
+    for out in outputs {
+        add_sniffer_stats(&mut stats, &out.stats);
+        add_resolver_stats(&mut resolver_stats, &out.resolver_stats);
+        responses.extend(out.responses);
+        dns_response_times.extend(out.dns_response_times);
+        answers_per_response.extend(out.answers_per_response);
+        any_flow_delays.extend(out.any_flow_delays);
+        tagged.extend(out.tagged);
+    }
+    responses.sort_by_key(|r| r.seq);
+    dns_response_times.sort_by_key(|&(seq, _)| seq);
+    answers_per_response.sort_by_key(|&(seq, _)| seq);
+    any_flow_delays.sort_by_key(|&(seq, _)| seq);
+    tagged.sort_by_key(|(at, f)| {
+        (
+            *at,
+            f.first_ts,
+            f.key.client,
+            f.key.client_port,
+            f.key.server,
+            f.key.server_port,
+            f.key.protocol,
+        )
+    });
+
+    let mut delays = DelaySamples {
+        any_flow_delays: any_flow_delays.into_iter().map(|(_, d)| d).collect(),
+        ..DelaySamples::default()
+    };
+    for r in &responses {
+        delays.answered_responses += 1;
+        match r.first_flow_delay {
+            Some(d) => delays.first_flow_delays.push(d),
+            None => delays.useless_responses += 1,
+        }
+    }
+
+    let suffixes = SuffixSet::builtin();
+    let mut database = FlowDatabase::new();
+    for (_, flow) in tagged {
+        database.push(flow, &suffixes);
+    }
+
+    SnifferReport {
+        database,
+        sniffer_stats: stats,
+        resolver_stats,
+        delays,
+        dns_response_times: dns_response_times.into_iter().map(|(_, t)| t).collect(),
+        answers_per_response: answers_per_response.into_iter().map(|(_, n)| n).collect(),
+        trace_start,
+        trace_end,
+        warmup_micros,
+    }
+}

@@ -48,11 +48,18 @@
 #![forbid(unsafe_code)]
 
 pub mod db;
+/// Per-shard sniffer engine shared by the sequential and parallel drivers.
+mod engine;
 pub mod export;
+/// Multi-core ingest: sharded parallel sniffer over §3.1.1 client shards.
+pub mod pipeline;
 pub mod policy;
+/// Bounded SPSC rings connecting the pipeline's dispatcher and workers.
+mod ring;
 pub mod sniffer;
 
 pub use db::{FlowDatabase, TaggedFlow};
 pub use export::{write_csv, write_tstat_log};
+pub use pipeline::{ParallelSniffer, PipelineTimings};
 pub use policy::{PolicyAction, PolicyDecision, PolicyEnforcer, PolicyRule, RuleEnforcer};
 pub use sniffer::{DelaySamples, RealTimeSniffer, SnifferConfig, SnifferReport, SnifferStats};

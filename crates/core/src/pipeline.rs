@@ -1,0 +1,570 @@
+//! Parallel ingest: the multi-core DN-Hunter sniffer.
+//!
+//! The paper sizes DN-Hunter for a single monitor thread (§3.2 shows one
+//! core keeps up with a 1M-packets/s PoP) and notes the scaling escape
+//! hatch in §3.1.1: partition the monitored *clients* across independent
+//! resolvers. [`ParallelSniffer`] applies that idea to the whole fast path.
+//! A dispatcher thread (the caller's) parses each frame just enough to find
+//! the client-side IP, then fans work out over bounded ring channels to
+//! `N` shard workers — raw frames for DNS traffic, and for user data a
+//! pre-parsed [`CompactSeg`] plus only the payload prefix DPI still wants,
+//! so the channels move tens of bytes per packet instead of whole frames —
+//! keyed by the same FNV hash the sharded resolver uses
+//! ([`shard_of`]) — the *shard-affinity invariant*: a client's DNS bindings
+//! (Algorithm 1 state), the flows those bindings tag, and the §5.1 delay
+//! samples for both always live on the same worker, so workers share
+//! nothing and take no locks on the per-packet path.
+//!
+//! Determinism is by construction, not by luck (see `DESIGN.md`): the
+//! dispatcher stamps every frame with a global sequence number, replicates
+//! the flow table's eviction-scan gate and broadcasts explicit tick events,
+//! and the final merge re-orders every output stream under the
+//! `(seq, phase)` key — so [`ParallelSniffer::finish`] returns a
+//! [`SnifferReport`] byte-identical to [`crate::RealTimeSniffer`]'s for any
+//! worker count (as long as no shard overflows its Clist partition; the
+//! default `L = 2^20` makes evictions a non-issue at trace scale).
+
+use std::net::IpAddr;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use dnhunter_dns::codec;
+use dnhunter_flow::{CompactSeg, TcpTracker, DPI_SNAP};
+use dnhunter_net::{IpProtocol, Packet, PacketView, PcapRecord, TransportHeader};
+use dnhunter_resolver::maps::FnvHashMap;
+use dnhunter_resolver::{shard_of, InternStats, ResolverConfig};
+
+use crate::engine::{assemble_report, ShardEngine, ShardOutput};
+use crate::policy::RuleEnforcer;
+use crate::ring::{self, Receiver, Sender};
+use crate::sniffer::{SnifferConfig, SnifferReport, SnifferStats};
+
+/// Frames per batch before the dispatcher flushes a channel send. Batching
+/// amortises the ring's lock handoff over many frames (§3.2's per-packet
+/// budget is far below one syscall/lock per packet).
+const BATCH_ITEMS: usize = 128;
+/// Arena bytes per batch before an early flush (keeps batches cache-sized
+/// even under jumbo frames).
+const BATCH_BYTES: usize = 128 * 1024;
+/// In-flight batches per dispatcher→worker ring: enough to keep a worker
+/// busy while the dispatcher fills the next batch, small enough that a slow
+/// shard backpressures ingest instead of buffering the trace.
+const CHANNEL_BATCHES: usize = 4;
+/// Capacity of each worker→dispatcher arena recycle ring; sized so a
+/// best-effort `try_send` of every drained batch always fits.
+const RECYCLE_BATCHES: usize = CHANNEL_BATCHES + 2;
+
+/// What a batch item tells the worker to do.
+#[derive(Debug, Clone, Copy)]
+enum ItemKind {
+    /// Anchor the warm-up window at the trace's first frame timestamp.
+    Start,
+    /// A UDP frame from the DNS port: decode and feed Algorithm 1.
+    DnsUdp,
+    /// A TCP frame from the DNS port: RFC 1035 §4.2.2 stream framing.
+    DnsTcp,
+    /// A user data segment, pre-parsed by the dispatcher: flow
+    /// reconstruction + tagging (Fig. 1 fast path). The item's byte range
+    /// holds only the payload prefix the flow record's DPI head still
+    /// wants — usually nothing once a flow's first ~[`DPI_SNAP`] bytes per
+    /// direction have shipped — so the channel moves tens of bytes per
+    /// segment instead of whole frames, and the worker never re-parses.
+    Seg(CompactSeg),
+    /// Run one eviction scan — the dispatcher's replica of the sequential
+    /// interval gate fired at this frame.
+    Tick,
+}
+
+/// One event in a batch; `off..off+len` indexes the batch's byte arena
+/// (empty for `Start`/`Tick`).
+#[derive(Debug, Clone, Copy)]
+struct Item {
+    kind: ItemKind,
+    seq: u64,
+    ts: u64,
+    off: u32,
+    len: u32,
+}
+
+/// A batch of items plus the arena holding their raw frames. Recycled
+/// between worker and dispatcher so steady-state ingest allocates nothing.
+#[derive(Default)]
+struct Batch {
+    items: Vec<Item>,
+    bytes: Vec<u8>,
+}
+
+/// Canonical (unordered) transport 5-tuple: the dispatcher's routing key.
+/// Both packet directions of one flow map to the same `CanonKey`, so one
+/// entry records the flow's orientation and owning shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CanonKey {
+    lo: (IpAddr, u16),
+    hi: (IpAddr, u16),
+    proto: u8,
+}
+
+impl CanonKey {
+    fn new(src: IpAddr, src_port: u16, dst: IpAddr, dst_port: u16, proto: IpProtocol) -> Self {
+        let a = (src, src_port);
+        let b = (dst, dst_port);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        CanonKey {
+            lo,
+            hi,
+            proto: proto.number(),
+        }
+    }
+}
+
+/// The dispatcher's mirror of one live flow: which shard owns it, which
+/// endpoint initiated it, and exactly the state the worker's flow table
+/// consults when deciding evictions (`last_ts`, TCP terminal state) — kept
+/// in lock-step so the routing table prunes entries at the same tick the
+/// worker emits the flow, and a later packet on the same 5-tuple re-orients
+/// identically on both sides.
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    shard: usize,
+    client: IpAddr,
+    client_port: u16,
+    last_ts: u64,
+    tcp: TcpTracker,
+    /// Bytes of each direction's DPI head already shipped — the
+    /// dispatcher's replica of `FlowRecord::head_{c2s,s2c}.len()`, so it
+    /// can truncate segment payloads to exactly the prefix the worker's
+    /// record will still consume (capped at [`DPI_SNAP`]).
+    head_c2s: u16,
+    head_s2c: u16,
+}
+
+/// Dispatcher-side handle for one shard worker.
+struct WorkerLink {
+    tx: Sender<Batch>,
+    recycle_rx: Receiver<Batch>,
+    pending: Batch,
+}
+
+/// Busy-time decomposition of one pipeline run, for the throughput
+/// baseline. "Busy" excludes time blocked on channel waits (a full ring
+/// means the dispatcher is waiting for a slow shard, and on a one-core
+/// host it means the worker is running *on the dispatcher's core*), so
+/// even with fewer cores than pipeline threads the per-stage busy time
+/// still measures each stage's real CPU cost. Accumulated in nanoseconds
+/// internally: the dispatcher's per-frame window is sub-microsecond, so
+/// microsecond accumulation would truncate most of it to zero.
+#[derive(Debug, Clone)]
+pub struct PipelineTimings {
+    /// Worker count the pipeline ran with.
+    pub workers: usize,
+    /// Dispatcher CPU time (parse + route + batch building), µs —
+    /// blocking channel sends excluded.
+    pub dispatch_busy_micros: u64,
+    /// Dispatcher time spent inside (possibly blocking) channel sends, µs.
+    pub send_wait_micros: u64,
+    /// Per-worker CPU time (engine work + DNS decode + final flush), µs.
+    pub worker_busy_micros: Vec<u64>,
+    /// FQDN interning effectiveness summed over all shard resolvers.
+    pub intern: InternStats,
+}
+
+/// Multi-core variant of [`crate::RealTimeSniffer`]: same input API, same
+/// [`SnifferReport`] (byte-identical — see the module docs), `N` shard
+/// workers doing the heavy lifting.
+///
+/// Policy enforcement (the `process_frame_with_policy` path) stays on the
+/// sequential sniffer: an enforcer is a synchronous admission hook, which
+/// would reserialize the workers.
+pub struct ParallelSniffer {
+    config: SnifferConfig,
+    links: Vec<WorkerLink>,
+    handles: Vec<JoinHandle<(ShardOutput, u64)>>,
+    routes: FnvHashMap<CanonKey, Route>,
+    seq: u64,
+    last_eviction: u64,
+    trace_start: Option<u64>,
+    trace_end: Option<u64>,
+    /// Dispatcher-side counters (frames, parse errors, DNS queries); worker
+    /// engines count the rest, and the merge sums both.
+    stats: SnifferStats,
+    busy_nanos: u64,
+    send_wait_nanos: u64,
+}
+
+impl ParallelSniffer {
+    /// Spawn `workers` shard threads (at least one). Each worker gets its
+    /// slice of the Clist budget `L`, partitioned exactly as
+    /// `ShardedResolver::new` partitions it (§3.1.1 — sharding splits the
+    /// §4.2 memory budget, it does not multiply it).
+    pub fn new(config: SnifferConfig, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let base = config.resolver.clist_size / workers;
+        let remainder = config.resolver.clist_size % workers;
+        let mut links = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let per_shard = (base + usize::from(i < remainder)).max(1);
+            let engine = ShardEngine::new(
+                config.clone(),
+                ResolverConfig {
+                    clist_size: per_shard,
+                    ..config.resolver
+                },
+            );
+            let (tx, rx) = ring::channel::<Batch>(CHANNEL_BATCHES);
+            let (recycle_tx, recycle_rx) = ring::channel::<Batch>(RECYCLE_BATCHES);
+            handles.push(std::thread::spawn(move || {
+                worker_loop(engine, rx, recycle_tx)
+            }));
+            links.push(WorkerLink {
+                tx,
+                recycle_rx,
+                pending: Batch::default(),
+            });
+        }
+        ParallelSniffer {
+            config,
+            links,
+            handles,
+            routes: FnvHashMap::default(),
+            seq: 0,
+            last_eviction: 0,
+            trace_start: None,
+            trace_end: None,
+            stats: SnifferStats::default(),
+            busy_nanos: 0,
+            send_wait_nanos: 0,
+        }
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Process one pcap record.
+    pub fn process_record(&mut self, rec: &PcapRecord) {
+        self.process_frame(rec.timestamp_micros(), &rec.frame);
+    }
+
+    /// Dispatch one raw Ethernet frame: shallow-parse ([`PacketView`], no
+    /// payload copy), classify exactly as the sequential sniffer does, and
+    /// enqueue it for the owning shard.
+    pub fn process_frame(&mut self, ts: u64, frame: &[u8]) {
+        let t0 = Instant::now();
+        // Blocking sends inside this frame's window are counted by
+        // `flush_link` into `send_wait_nanos`; subtract them so busy time
+        // is dispatcher CPU only.
+        let send_before = self.send_wait_nanos;
+        let seq = self.seq;
+        self.seq += 1;
+        self.stats.frames += 1;
+        if self.trace_start.is_none() {
+            self.trace_start = Some(ts);
+            // Every shard anchors its warm-up window at the global trace
+            // start, not its own first frame.
+            for shard in 0..self.links.len() {
+                self.push_item(shard, ItemKind::Start, seq, ts, &[]);
+            }
+        }
+        self.trace_end = Some(self.trace_end.map_or(ts, |t| t.max(ts)));
+        let view = match PacketView::parse(frame) {
+            Ok(v) => v,
+            Err(_) => {
+                self.stats.parse_errors += 1;
+                self.busy_nanos += (t0.elapsed().as_nanos() as u64)
+                    .saturating_sub(self.send_wait_nanos - send_before);
+                return;
+            }
+        };
+        // Same demultiplexing order as the sequential sniffer. DNS frames
+        // route by the *client* (the responses' destination) so bindings
+        // land on the shard that will tag that client's flows.
+        let dns_port = self.config.dns_port;
+        match &view.transport {
+            TransportHeader::Udp(udp) if udp.src_port == dns_port => {
+                let shard = shard_of(view.dst_ip(), self.links.len());
+                self.push_item(shard, ItemKind::DnsUdp, seq, ts, frame);
+            }
+            TransportHeader::Udp(udp) if udp.dst_port == dns_port => {
+                self.stats.dns_queries += 1;
+            }
+            TransportHeader::Tcp(tcp) if tcp.src_port == dns_port => {
+                let shard = shard_of(view.dst_ip(), self.links.len());
+                self.push_item(shard, ItemKind::DnsTcp, seq, ts, frame);
+            }
+            TransportHeader::Tcp(tcp) if tcp.dst_port == dns_port => {
+                if !view.payload.is_empty() {
+                    self.stats.dns_queries += 1;
+                }
+            }
+            TransportHeader::Udp(_) | TransportHeader::Tcp(_) => {
+                self.dispatch_data(seq, ts, &view, frame)
+            }
+            // Not reconstructed; never advances the eviction-scan clock.
+            TransportHeader::Opaque(_) => {}
+        }
+        self.busy_nanos +=
+            (t0.elapsed().as_nanos() as u64).saturating_sub(self.send_wait_nanos - send_before);
+    }
+
+    /// Route one user data frame to its flow's shard, mirroring the flow
+    /// table's orientation rules, then run the eviction gate.
+    fn dispatch_data(&mut self, seq: u64, ts: u64, view: &PacketView<'_>, frame: &[u8]) {
+        let (src_port, dst_port, tcp_flags) = match &view.transport {
+            TransportHeader::Tcp(h) => (h.src_port, h.dst_port, Some(h.flags)),
+            TransportHeader::Udp(h) => (h.src_port, h.dst_port, None),
+            TransportHeader::Opaque(_) => return,
+        };
+        let src = view.src_ip();
+        let dst = view.dst_ip();
+        let payload_len = view.payload.len();
+        let key = CanonKey::new(src, src_port, dst, dst_port, view.ip.protocol());
+        let (shard, head_take) = match self.routes.get_mut(&key) {
+            Some(route) => {
+                // Mirror of `FlowTable::orient`: an existing entry fixes the
+                // orientation; the new-flow case below sets sender=initiator.
+                let from_client = src == route.client && src_port == route.client_port;
+                if let Some(flags) = tcp_flags {
+                    // Mirror of the flow table's port-reuse rule: a fresh SYN
+                    // on a terminated flow finishes the old record and starts
+                    // a new one under the *same* oriented key, so the route
+                    // keeps its orientation and shard but resets TCP state,
+                    // DPI head fill, and ages from this packet.
+                    if flags.syn() && !flags.ack() && route.tcp.state().is_terminal() {
+                        route.tcp = TcpTracker::new();
+                        route.last_ts = ts;
+                        route.head_c2s = 0;
+                        route.head_s2c = 0;
+                    }
+                    route.tcp.observe(from_client, flags, payload_len);
+                }
+                route.last_ts = route.last_ts.max(ts);
+                // Replica of `FlowRecord::observe_seg`'s head fill: ship
+                // exactly the prefix the worker's record will append.
+                let fill = if from_client {
+                    &mut route.head_c2s
+                } else {
+                    &mut route.head_s2c
+                };
+                let take = (DPI_SNAP - *fill as usize).min(payload_len);
+                *fill += take as u16;
+                (route.shard, take)
+            }
+            None => {
+                let shard = shard_of(src, self.links.len());
+                let mut tcp = TcpTracker::new();
+                if let Some(flags) = tcp_flags {
+                    tcp.observe(true, flags, payload_len);
+                }
+                let take = DPI_SNAP.min(payload_len);
+                self.routes.insert(
+                    key,
+                    Route {
+                        shard,
+                        client: src,
+                        client_port: src_port,
+                        last_ts: ts,
+                        tcp,
+                        head_c2s: take as u16,
+                        head_s2c: 0,
+                    },
+                );
+                (shard, take)
+            }
+        };
+        let seg = CompactSeg {
+            src,
+            src_port,
+            dst,
+            dst_port,
+            proto: view.ip.protocol(),
+            tcp_flags,
+            wire_bytes: frame.len(),
+            payload_len,
+        };
+        let head = view.payload.get(..head_take).unwrap_or(view.payload);
+        self.push_item(shard, ItemKind::Seg(seg), seq, ts, head);
+        // The sequential flow table's scan gate, replicated bit-for-bit:
+        // only a reconstructed data frame advances the clock, and the scan
+        // runs *after* that frame — so the tick follows the data item in
+        // its shard's queue, and every shard scans at the same trace times
+        // the single-threaded table would.
+        if ts.saturating_sub(self.last_eviction) >= self.config.flow_table.eviction_interval_micros
+        {
+            self.last_eviction = ts;
+            self.prune_routes(ts);
+            for shard in 0..self.links.len() {
+                self.push_item(shard, ItemKind::Tick, seq, ts, &[]);
+            }
+        }
+    }
+
+    /// Drop routing entries for every flow the workers' scan at `now` will
+    /// evict — the same predicate `FlowTable::evict` applies, over the same
+    /// `last_ts`/terminal state (kept in lock-step by `dispatch_data`), at
+    /// the same tick times. A later packet on such a 5-tuple then starts a
+    /// fresh flow with sender-as-initiator on both sides.
+    fn prune_routes(&mut self, now: u64) {
+        let idle = self.config.flow_table.idle_timeout_micros;
+        let linger = self.config.flow_table.terminal_linger_micros;
+        self.routes.retain(|_, r| {
+            let silent = now.saturating_sub(r.last_ts);
+            !(silent >= idle || (r.tcp.state().is_terminal() && silent >= linger))
+        });
+    }
+
+    /// Append one item (and its arena bytes — a raw DNS frame, or a data
+    /// segment's DPI head prefix) to a shard's pending batch, flushing when
+    /// the batch is full.
+    fn push_item(&mut self, shard: usize, kind: ItemKind, seq: u64, ts: u64, bytes: &[u8]) {
+        let Some(link) = self.links.get_mut(shard) else {
+            return;
+        };
+        let off = link.pending.bytes.len() as u32;
+        link.pending.bytes.extend_from_slice(bytes);
+        link.pending.items.push(Item {
+            kind,
+            seq,
+            ts,
+            off,
+            len: bytes.len() as u32,
+        });
+        if link.pending.items.len() >= BATCH_ITEMS || link.pending.bytes.len() >= BATCH_BYTES {
+            self.flush_link(shard);
+        }
+    }
+
+    /// Send a shard's pending batch, swapping in a recycled (or fresh)
+    /// arena. Send time is accounted separately from dispatch busy time:
+    /// a full ring means the dispatcher is *waiting* on a slow shard.
+    fn flush_link(&mut self, shard: usize) {
+        let Some(link) = self.links.get_mut(shard) else {
+            return;
+        };
+        if link.pending.items.is_empty() {
+            return;
+        }
+        let next = link.recycle_rx.try_recv().unwrap_or_default();
+        let batch = std::mem::replace(&mut link.pending, next);
+        let t0 = Instant::now();
+        // A send only fails when the worker died; the merge then simply
+        // misses that shard's output — nothing to do here.
+        let _ = link.tx.send(batch);
+        self.send_wait_nanos += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// End of trace: flush every pending batch, close the channels, join
+    /// the workers and merge their outputs into the one report.
+    pub fn finish(self) -> SnifferReport {
+        self.finish_with_timings().0
+    }
+
+    /// [`ParallelSniffer::finish`], also returning the busy-time
+    /// decomposition for the throughput baseline.
+    pub fn finish_with_timings(mut self) -> (SnifferReport, PipelineTimings) {
+        for shard in 0..self.links.len() {
+            self.flush_link(shard);
+        }
+        // Dropping the links drops the senders, which closes each ring;
+        // workers drain what is queued, flush their engines and return.
+        let links = std::mem::take(&mut self.links);
+        let workers = links.len();
+        drop(links);
+        let mut outputs = Vec::with_capacity(workers);
+        let mut worker_busy_micros = Vec::with_capacity(workers);
+        for handle in std::mem::take(&mut self.handles) {
+            if let Ok((out, busy)) = handle.join() {
+                outputs.push(out);
+                worker_busy_micros.push(busy);
+            }
+        }
+        let mut intern = InternStats::default();
+        for out in &outputs {
+            intern.allocated += out.intern.allocated;
+            intern.reused += out.intern.reused;
+        }
+        let report = assemble_report(
+            outputs,
+            self.stats,
+            self.trace_start,
+            self.trace_end,
+            self.config.warmup_micros,
+        );
+        (
+            report,
+            PipelineTimings {
+                workers,
+                dispatch_busy_micros: self.busy_nanos / 1_000,
+                send_wait_micros: self.send_wait_nanos / 1_000,
+                worker_busy_micros,
+                intern,
+            },
+        )
+    }
+}
+
+/// One shard worker: drive this shard's [`ShardEngine`]. Data segments
+/// arrive pre-parsed ([`CompactSeg`] plus DPI head bytes) and go straight
+/// into the flow table; DNS frames arrive raw and are fully parsed here —
+/// the exact decode path the sequential sniffer runs. Returns the shard's
+/// output plus its busy time (µs, excluding `recv` blocking).
+fn worker_loop(
+    mut engine: ShardEngine,
+    rx: Receiver<Batch>,
+    recycle_tx: Sender<Batch>,
+) -> (ShardOutput, u64) {
+    let mut busy_nanos = 0u64;
+    while let Some(mut batch) = rx.recv() {
+        let t0 = Instant::now();
+        for item in &batch.items {
+            let start = item.off as usize;
+            let end = start + item.len as usize;
+            match item.kind {
+                ItemKind::Start => engine.note_trace_start(item.ts),
+                ItemKind::Tick => engine.tick(item.seq, item.ts),
+                ItemKind::Seg(seg) => {
+                    let head = batch.bytes.get(start..end).unwrap_or(&[]);
+                    engine.process_seg(
+                        item.seq,
+                        item.ts,
+                        &seg,
+                        head,
+                        &mut None::<&mut RuleEnforcer>,
+                    );
+                }
+                ItemKind::DnsUdp | ItemKind::DnsTcp => {
+                    let Some(frame) = batch.bytes.get(start..end) else {
+                        continue;
+                    };
+                    // The dispatcher already shallow-parsed this frame;
+                    // `Packet::parse` accepts exactly what `PacketView::parse`
+                    // accepts, so this cannot fail.
+                    let Ok(pkt) = Packet::parse(frame) else {
+                        debug_assert!(false, "dispatcher forwarded an unparseable frame");
+                        continue;
+                    };
+                    match item.kind {
+                        ItemKind::DnsUdp => engine.handle_dns_response(item.seq, item.ts, &pkt),
+                        ItemKind::DnsTcp => {
+                            for msg in codec::decode_tcp_stream(&pkt.payload) {
+                                engine.handle_dns_message(item.seq, item.ts, pkt.dst_ip(), &msg);
+                            }
+                        }
+                        ItemKind::Start | ItemKind::Tick | ItemKind::Seg(_) => {}
+                    }
+                }
+            }
+        }
+        busy_nanos += t0.elapsed().as_nanos() as u64;
+        batch.items.clear();
+        batch.bytes.clear();
+        // Best effort: if the recycle ring is somehow full the arena is
+        // simply dropped and the dispatcher allocates a fresh one.
+        let _ = recycle_tx.try_send(batch);
+    }
+    let t0 = Instant::now();
+    let out = engine.finish_shard();
+    busy_nanos += t0.elapsed().as_nanos() as u64;
+    (out, busy_nanos / 1_000)
+}

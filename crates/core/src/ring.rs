@@ -1,0 +1,273 @@
+//! Bounded SPSC ring channels for the parallel ingest pipeline.
+//!
+//! The pipeline's dispatcher (paper §3.2's real-time constraint, scaled out
+//! per §3.1.1's load-balancing note) talks to each shard worker over exactly
+//! two of these channels: batches of frames flow dispatcher → worker, and
+//! drained batch arenas flow worker → dispatcher for reuse. Each channel has
+//! one producer and one consumer, a fixed capacity (backpressure, so a slow
+//! shard throttles ingest instead of ballooning memory), and closes when
+//! either endpoint drops.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` only — no external dependencies.
+//! Under `--cfg loom` the mutex comes from the loom shim (which has no
+//! condvar) and blocking operations become yield loops, so the handoff
+//! protocol itself is exercised by `tests/loom_ring.rs` across perturbed
+//! schedules.
+
+use std::collections::VecDeque;
+
+#[cfg(loom)]
+use loom::sync::{Arc, Mutex};
+#[cfg(loom)]
+use std::sync::MutexGuard;
+#[cfg(not(loom))]
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Queue state behind the channel's one mutex.
+struct State<T> {
+    queue: VecDeque<T>,
+    /// Set when either endpoint drops; senders then fail, receivers drain.
+    closed: bool,
+}
+
+/// Shared core of one channel.
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    #[cfg(not(loom))]
+    not_empty: Condvar,
+    #[cfg(not(loom))]
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Lock the state; a poisoned mutex (a panicked peer thread) yields the
+    /// inner state anyway — the channel must stay usable so the other
+    /// endpoint can observe `closed` and wind down instead of deadlocking.
+    #[cfg(not(loom))]
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[cfg(loom)]
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock()
+    }
+}
+
+/// Producing endpoint. Dropping it closes the channel (the receiver drains
+/// what was already queued, then sees end-of-stream).
+pub(crate) struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consuming endpoint. Dropping it closes the channel (subsequent sends
+/// fail, letting the producer stop early).
+pub(crate) struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Error returned by [`Sender::send`] when the receiver is gone; carries the
+/// unsent value back so the caller can recover it.
+#[derive(Debug)]
+pub(crate) struct SendError<T>(pub(crate) T);
+
+/// Build a bounded channel of the given capacity (minimum 1).
+pub(crate) fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity.max(1)),
+            closed: false,
+        }),
+        capacity: capacity.max(1),
+        #[cfg(not(loom))]
+        not_empty: Condvar::new(),
+        #[cfg(not(loom))]
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Block until there is room, then enqueue. Fails (returning the value)
+    /// only when the receiver is gone.
+    #[cfg(not(loom))]
+    pub(crate) fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.lock();
+        loop {
+            if st.closed {
+                return Err(SendError(value));
+            }
+            if st.queue.len() < self.shared.capacity {
+                st.queue.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            st = match self.shared.not_full.wait(st) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Loom variant: the shim has no condvar, so blocking is a yield loop —
+    /// every pass is a schedule-exploration point.
+    #[cfg(loom)]
+    pub(crate) fn send(&self, value: T) -> Result<(), SendError<T>> {
+        loop {
+            let mut st = self.shared.lock();
+            if st.closed {
+                return Err(SendError(value));
+            }
+            if st.queue.len() < self.shared.capacity {
+                st.queue.push_back(value);
+                return Ok(());
+            }
+            drop(st);
+            loom::thread::yield_now();
+        }
+    }
+
+    /// Enqueue without blocking; on a full or closed channel the value comes
+    /// straight back. Used for the best-effort arena recycle path, where
+    /// dropping a buffer is acceptable and blocking the worker is not.
+    pub(crate) fn try_send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.lock();
+        if st.closed || st.queue.len() >= self.shared.capacity {
+            return Err(SendError(value));
+        }
+        st.queue.push_back(value);
+        #[cfg(not(loom))]
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.closed = true;
+        drop(st);
+        #[cfg(not(loom))]
+        self.shared.not_empty.notify_all();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a value arrives; `None` once the channel is closed *and*
+    /// drained (so nothing sent before the close is ever lost).
+    #[cfg(not(loom))]
+    pub(crate) fn recv(&self) -> Option<T> {
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(value) = st.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Some(value);
+            }
+            if st.closed {
+                return None;
+            }
+            st = match self.shared.not_empty.wait(st) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Loom variant of [`Receiver::recv`] (yield loop, see [`Sender::send`]).
+    #[cfg(loom)]
+    pub(crate) fn recv(&self) -> Option<T> {
+        loop {
+            let mut st = self.shared.lock();
+            if let Some(value) = st.queue.pop_front() {
+                return Some(value);
+            }
+            if st.closed {
+                return None;
+            }
+            drop(st);
+            loom::thread::yield_now();
+        }
+    }
+
+    /// Dequeue without blocking; `None` when the queue is currently empty
+    /// (closed or not). Used by the dispatcher to opportunistically reuse
+    /// recycled arenas.
+    pub(crate) fn try_recv(&self) -> Option<T> {
+        let mut st = self.shared.lock();
+        let value = st.queue.pop_front();
+        #[cfg(not(loom))]
+        if value.is_some() {
+            self.shared.not_full.notify_one();
+        }
+        value
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.closed = true;
+        st.queue.clear();
+        drop(st);
+        #[cfg(not(loom))]
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_close_on_sender_drop() {
+        let (tx, rx) = channel::<u32>(2);
+        let producer = thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).map_err(|_| "receiver gone")?;
+            }
+            Ok::<(), &str>(())
+        });
+        let got: Vec<u32> = std::iter::from_fn(|| rx.recv()).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert!(producer.join().is_ok());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = channel::<u32>(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+        assert!(tx.try_send(7).is_err());
+    }
+
+    #[test]
+    fn try_ops_do_not_block() {
+        let (tx, rx) = channel::<u32>(1);
+        assert!(rx.try_recv().is_none());
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_err()); // full
+        assert_eq!(rx.try_recv(), Some(1));
+        assert!(rx.try_recv().is_none());
+    }
+
+    #[test]
+    fn queued_values_survive_sender_drop() {
+        let (tx, rx) = channel::<u32>(4);
+        assert!(tx.send(1).is_ok());
+        assert!(tx.send(2).is_ok());
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+    }
+}

@@ -1,17 +1,14 @@
 //! The real-time sniffer: DNS response sniffer + flow sniffer + flow tagger
 //! (paper Fig. 1 and §3.1).
 
-use std::collections::HashMap;
-use std::net::IpAddr;
-
-use dnhunter_dns::suffix::SuffixSet;
-use dnhunter_dns::{codec, DomainName};
-use dnhunter_flow::{FlowEvent, FlowKey, FlowTable, FlowTableConfig};
+use dnhunter_dns::codec;
+use dnhunter_flow::FlowTableConfig;
 use dnhunter_net::{Packet, PcapRecord, TransportHeader};
 use dnhunter_resolver::{DnsResolver, OrderedTables, ResolverConfig, ResolverStats};
 use serde::{Deserialize, Serialize};
 
-use crate::db::{FlowDatabase, TaggedFlow};
+use crate::db::FlowDatabase;
+use crate::engine::{assemble_report, ShardEngine};
 use crate::policy::PolicyEnforcer;
 
 /// Sniffer configuration.
@@ -92,44 +89,23 @@ pub struct SnifferReport {
     pub warmup_micros: u64,
 }
 
-/// Book-keeping for one sniffed DNS response.
-#[derive(Debug)]
-struct ResponseRecord {
-    ts: u64,
-    flows_seen: u64,
-    first_flow_delay: Option<u64>,
-}
-
-/// Tag assigned when a flow started.
-#[derive(Debug, Clone)]
-struct PendingTag {
-    fqdn: Option<DomainName>,
-    alt_labels: Vec<DomainName>,
-    tag_delay: Option<u64>,
-    in_warmup: bool,
-}
-
 /// The DN-Hunter real-time sniffer.
 ///
 /// Feed it raw Ethernet frames (or pcap records) in timestamp order; it
 /// demultiplexes DNS responses into the [`DnsResolver`], reconstructs every
 /// other UDP/TCP flow, tags each flow at its first packet, and accumulates
 /// the labeled-flow database.
+///
+/// This is the single-threaded driver over one
+/// [`crate::engine::ShardEngine`] — the same engine the parallel
+/// [`crate::ParallelSniffer`] runs per worker, which is what makes the
+/// parallel merge byte-identical to this sniffer's output.
 pub struct RealTimeSniffer {
-    config: SnifferConfig,
-    resolver: DnsResolver<OrderedTables>,
-    flows: FlowTable,
-    database: FlowDatabase,
-    suffixes: SuffixSet,
-    stats: SnifferStats,
-    pending_tags: HashMap<FlowKey, PendingTag>,
-    /// (client, server) → index into `responses` of the latest response
-    /// binding that pair.
-    response_index: HashMap<(IpAddr, IpAddr), usize>,
-    responses: Vec<ResponseRecord>,
-    dns_response_times: Vec<u64>,
-    answers_per_response: Vec<usize>,
-    any_flow_delays: Vec<u64>,
+    engine: ShardEngine,
+    /// Global frame sequence number (orders events in the merge).
+    seq: u64,
+    /// Eviction-scan clock, replicating the flow table's interval gate.
+    last_eviction: u64,
     trace_start: Option<u64>,
     trace_end: Option<u64>,
 }
@@ -137,32 +113,24 @@ pub struct RealTimeSniffer {
 impl RealTimeSniffer {
     /// Build a sniffer.
     pub fn new(config: SnifferConfig) -> Self {
+        let resolver_config = config.resolver;
         RealTimeSniffer {
-            resolver: DnsResolver::with_config(config.resolver),
-            flows: FlowTable::new(config.flow_table.clone()),
-            database: FlowDatabase::new(),
-            suffixes: SuffixSet::builtin(),
-            stats: SnifferStats::default(),
-            pending_tags: HashMap::new(),
-            response_index: HashMap::new(),
-            responses: Vec::new(),
-            dns_response_times: Vec::new(),
-            answers_per_response: Vec::new(),
-            any_flow_delays: Vec::new(),
+            engine: ShardEngine::new(config, resolver_config),
+            seq: 0,
+            last_eviction: 0,
             trace_start: None,
             trace_end: None,
-            config,
         }
     }
 
     /// Access the live resolver (e.g. to pre-warm it).
     pub fn resolver_mut(&mut self) -> &mut DnsResolver<OrderedTables> {
-        &mut self.resolver
+        self.engine.resolver_mut()
     }
 
     /// Frame counters so far.
     pub fn stats(&self) -> &SnifferStats {
-        &self.stats
+        &self.engine.stats
     }
 
     /// Process one pcap record.
@@ -183,216 +151,78 @@ impl RealTimeSniffer {
         frame: &[u8],
         mut enforcer: Option<&mut E>,
     ) {
-        self.stats.frames += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        self.engine.stats.frames += 1;
         self.trace_start.get_or_insert(ts);
+        self.engine.note_trace_start(ts);
         self.trace_end = Some(self.trace_end.map_or(ts, |t| t.max(ts)));
         let pkt = match Packet::parse(frame) {
             Ok(p) => p,
             Err(_) => {
-                self.stats.parse_errors += 1;
+                self.engine.stats.parse_errors += 1;
                 return;
             }
         };
         // DNS demultiplexing: traffic to/from the DNS port is the
         // measurement channel, not user traffic. TCP is used after
         // truncated UDP responses (RFC 1035 §4.2.2 framing).
+        let dns_port = self.engine.config.dns_port;
         match &pkt.transport {
             TransportHeader::Udp(udp) => {
-                if udp.src_port == self.config.dns_port {
-                    self.handle_dns_response(ts, &pkt);
+                if udp.src_port == dns_port {
+                    self.engine.handle_dns_response(seq, ts, &pkt);
                     return;
                 }
-                if udp.dst_port == self.config.dns_port {
-                    self.stats.dns_queries += 1;
+                if udp.dst_port == dns_port {
+                    self.engine.stats.dns_queries += 1;
                     return;
                 }
             }
             TransportHeader::Tcp(tcp) => {
-                if tcp.src_port == self.config.dns_port {
+                if tcp.src_port == dns_port {
                     for msg in codec::decode_tcp_stream(&pkt.payload) {
-                        self.handle_dns_message(ts, pkt.dst_ip(), &msg);
+                        self.engine.handle_dns_message(seq, ts, pkt.dst_ip(), &msg);
                     }
                     return;
                 }
-                if tcp.dst_port == self.config.dns_port {
+                if tcp.dst_port == dns_port {
                     if !pkt.payload.is_empty() {
-                        self.stats.dns_queries += 1;
+                        self.engine.stats.dns_queries += 1;
                     }
                     return;
                 }
             }
-            TransportHeader::Opaque(_) => {}
+            // Not reconstructed; never advances the eviction-scan clock
+            // (matching `FlowTable::process`, which returned before its
+            // internal scan gate for opaque transports).
+            TransportHeader::Opaque(_) => return,
         }
-        // Everything else is a data packet: flow reconstruction + tagging.
-        for event in self.flows.process(ts, &pkt, frame.len()) {
-            match event {
-                FlowEvent::FlowStarted(key) => self.on_flow_started(ts, key, &mut enforcer),
-                FlowEvent::FlowFinished(record) => self.on_flow_finished(*record),
-            }
+        // Everything else is a data packet: flow reconstruction + tagging,
+        // then the same periodic eviction scan `FlowTable::process` ran
+        // internally — driven here so the pipeline dispatcher can replicate
+        // the identical gate when it broadcasts ticks to shard workers.
+        self.engine
+            .process_data(seq, ts, &pkt, frame.len(), &mut enforcer);
+        if ts.saturating_sub(self.last_eviction)
+            >= self.engine.config.flow_table.eviction_interval_micros
+        {
+            self.last_eviction = ts;
+            self.engine.tick(seq, ts);
         }
-    }
-
-    fn handle_dns_response(&mut self, ts: u64, pkt: &Packet) {
-        let msg = match codec::decode(&pkt.payload) {
-            Ok(m) => m,
-            Err(_) => {
-                self.stats.dns_decode_errors += 1;
-                return;
-            }
-        };
-        self.handle_dns_message(ts, pkt.dst_ip(), &msg);
-    }
-
-    /// Common path for UDP and TCP responses. Truncated (TC-bit) responses
-    /// are counted but carry no bindings — the client retries over TCP.
-    fn handle_dns_message(&mut self, ts: u64, client: IpAddr, msg: &dnhunter_dns::DnsMessage) {
-        if !msg.header.is_response {
-            return;
-        }
-        self.stats.dns_responses += 1;
-        self.dns_response_times.push(ts);
-        if msg.header.truncated {
-            return;
-        }
-        let servers = msg.answer_addresses();
-        if let Some(name) = msg.queried_fqdn() {
-            self.resolver.insert(client, &name.clone(), &servers);
-        }
-        if !servers.is_empty() {
-            self.answers_per_response.push(servers.len());
-            let idx = self.responses.len();
-            self.responses.push(ResponseRecord {
-                ts,
-                flows_seen: 0,
-                first_flow_delay: None,
-            });
-            for s in servers {
-                self.response_index.insert((client, s), idx);
-            }
-        }
-    }
-
-    fn on_flow_started<E: PolicyEnforcer>(
-        &mut self,
-        ts: u64,
-        key: FlowKey,
-        enforcer: &mut Option<&mut E>,
-    ) {
-        let in_warmup = self
-            .trace_start
-            .is_some_and(|t0| ts.saturating_sub(t0) < self.config.warmup_micros);
-        let label = self.resolver.lookup(key.client, key.server);
-        if !in_warmup {
-            self.stats.tag_attempts += 1;
-            if label.is_some() {
-                self.stats.tag_hits += 1;
-            }
-        }
-        // Delay accounting against the most recent covering response.
-        let mut tag_delay = None;
-        if let Some(&idx) = self.response_index.get(&(key.client, key.server)) {
-            let rec = &mut self.responses[idx];
-            let delay = ts.saturating_sub(rec.ts);
-            rec.flows_seen += 1;
-            if rec.first_flow_delay.is_none() {
-                rec.first_flow_delay = Some(delay);
-            }
-            self.any_flow_delays.push(delay);
-            tag_delay = Some(delay);
-        }
-        let fqdn = label.map(|arc| (*arc).clone());
-        // §6 extension: when the resolver keeps several labels per pair,
-        // record the alternatives so downstream consumers can resolve
-        // ambiguity themselves.
-        let alt_labels = if self.config.resolver.labels_per_server > 1 && fqdn.is_some() {
-            let mut alts: Vec<DomainName> = Vec::new();
-            for arc in self.resolver.lookup_all(key.client, key.server) {
-                let name = (*arc).clone();
-                // Distinct alternatives only; repeated resolutions of the
-                // primary name are not ambiguity.
-                if Some(&name) != fqdn.as_ref() && !alts.contains(&name) {
-                    alts.push(name);
-                }
-            }
-            alts
-        } else {
-            Vec::new()
-        };
-        if let Some(e) = enforcer.as_deref_mut() {
-            let _ = e.on_flow_start(key, fqdn.as_ref());
-        }
-        self.pending_tags.insert(
-            key,
-            PendingTag {
-                fqdn,
-                alt_labels,
-                tag_delay,
-                in_warmup,
-            },
-        );
-    }
-
-    fn on_flow_finished(&mut self, record: dnhunter_flow::FlowRecord) {
-        let tag = self.pending_tags.remove(&record.key).unwrap_or(PendingTag {
-            fqdn: None,
-            alt_labels: Vec::new(),
-            tag_delay: None,
-            in_warmup: false,
-        });
-        let protocol = record.protocol_now();
-        let tls = if protocol == dnhunter_flow::AppProtocol::Tls {
-            Some(record.tls_info())
-        } else {
-            None
-        };
-        let flow = TaggedFlow {
-            key: record.key,
-            fqdn: tag.fqdn,
-            second_level: None,
-            alt_labels: tag.alt_labels,
-            tag_delay_micros: tag.tag_delay,
-            first_ts: record.first_ts,
-            last_ts: record.last_ts,
-            packets_c2s: record.packets_c2s,
-            packets_s2c: record.packets_s2c,
-            bytes_c2s: record.bytes_c2s,
-            bytes_s2c: record.bytes_s2c,
-            protocol,
-            tls,
-            in_warmup: tag.in_warmup,
-        };
-        self.database.push(flow, &self.suffixes);
     }
 
     /// End of trace: flush live flows and assemble the report.
-    pub fn finish(mut self) -> SnifferReport {
-        for event in self.flows.flush() {
-            if let FlowEvent::FlowFinished(record) = event {
-                self.on_flow_finished(*record);
-            }
-        }
-        let mut delays = DelaySamples {
-            any_flow_delays: std::mem::take(&mut self.any_flow_delays),
-            ..DelaySamples::default()
-        };
-        for r in &self.responses {
-            delays.answered_responses += 1;
-            match r.first_flow_delay {
-                Some(d) => delays.first_flow_delays.push(d),
-                None => delays.useless_responses += 1,
-            }
-        }
-        SnifferReport {
-            database: self.database,
-            sniffer_stats: self.stats,
-            resolver_stats: *self.resolver.stats(),
-            delays,
-            dns_response_times: self.dns_response_times,
-            answers_per_response: self.answers_per_response,
-            trace_start: self.trace_start,
-            trace_end: self.trace_end,
-            warmup_micros: self.config.warmup_micros,
-        }
+    pub fn finish(self) -> SnifferReport {
+        let warmup = self.engine.config.warmup_micros;
+        let out = self.engine.finish_shard();
+        assemble_report(
+            vec![out],
+            SnifferStats::default(),
+            self.trace_start,
+            self.trace_end,
+            warmup,
+        )
     }
 }
 

@@ -67,9 +67,30 @@ impl FlowRecord {
         payload: &[u8],
         tcp_flags: Option<dnhunter_net::TcpFlags>,
     ) {
+        self.observe_seg(direction, ts, wire_bytes, payload, payload.len(), tcp_flags);
+    }
+
+    /// [`FlowRecord::observe`] when only a payload *prefix* is at hand.
+    ///
+    /// `head` must hold at least the first
+    /// `min(DPI_SNAP - head_so_far, payload_len)` payload bytes — everything
+    /// past that is never read, which is what lets the parallel ingest
+    /// dispatcher ship truncated segments instead of whole frames (it
+    /// mirrors each direction's head fill, so it knows exactly how many
+    /// bytes the record still wants). With `head` = the full payload this is
+    /// identical to [`FlowRecord::observe`].
+    pub fn observe_seg(
+        &mut self,
+        direction: FlowDirection,
+        ts: u64,
+        wire_bytes: usize,
+        head: &[u8],
+        payload_len: usize,
+        tcp_flags: Option<dnhunter_net::TcpFlags>,
+    ) {
         self.last_ts = self.last_ts.max(ts);
         let from_client = matches!(direction, FlowDirection::ClientToServer);
-        let (packets, bytes, head) = if from_client {
+        let (packets, bytes, head_buf) = if from_client {
             (
                 &mut self.packets_c2s,
                 &mut self.bytes_c2s,
@@ -84,14 +105,14 @@ impl FlowRecord {
         };
         *packets += 1;
         *bytes += wire_bytes as u64;
-        if !payload.is_empty() && head.len() < DPI_SNAP {
-            let take = (DPI_SNAP - head.len()).min(payload.len());
-            // allow_lint(L1): take <= payload.len() by the `.min()` above
-            head.extend_from_slice(&payload[..take]);
+        if payload_len > 0 && head_buf.len() < DPI_SNAP {
+            let take = (DPI_SNAP - head_buf.len()).min(payload_len).min(head.len());
+            // allow_lint(L1): take <= head.len() by the `.min()` above
+            head_buf.extend_from_slice(&head[..take]);
             self.dpi_dirty = true;
         }
         if let Some(flags) = tcp_flags {
-            self.tcp.observe(from_client, flags, payload.len());
+            self.tcp.observe(from_client, flags, payload_len);
         }
     }
 

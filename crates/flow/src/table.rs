@@ -33,6 +33,25 @@ impl Default for FlowTableConfig {
     }
 }
 
+/// A pre-parsed transport segment: everything [`FlowTable::process_seg`]
+/// needs from a packet, minus the payload bytes themselves. The parallel
+/// ingest dispatcher ships these (plus the few head bytes DPI still wants)
+/// instead of raw frames, so shard workers never re-parse a data frame.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactSeg {
+    pub src: IpAddr,
+    pub src_port: u16,
+    pub dst: IpAddr,
+    pub dst_port: u16,
+    pub proto: IpProtocol,
+    /// `None` for UDP segments.
+    pub tcp_flags: Option<dnhunter_net::TcpFlags>,
+    /// Full frame length on the wire.
+    pub wire_bytes: usize,
+    /// Full transport payload length (the shipped head may be shorter).
+    pub payload_len: usize,
+}
+
 /// Events emitted while processing packets.
 #[derive(Debug)]
 pub enum FlowEvent {
@@ -84,17 +103,56 @@ impl FlowTable {
     /// Feed one parsed packet; returns the events it produced.
     /// `ts` is the capture timestamp in microseconds.
     pub fn process(&mut self, ts: u64, pkt: &Packet, wire_bytes: usize) -> Vec<FlowEvent> {
-        let mut events = Vec::new();
+        let mut events = self.process_no_scan(ts, pkt, wire_bytes);
+        if matches!(pkt.transport, TransportHeader::Opaque(_)) {
+            return events; // not reconstructed; never advances the scan clock
+        }
+        // Immediate eviction on terminal state is deferred by a linger so
+        // late retransmissions don't recreate the flow; the periodic scan
+        // below handles both idle and terminal flows.
+        if ts.saturating_sub(self.last_eviction) >= self.config.eviction_interval_micros {
+            self.last_eviction = ts;
+            events.extend(self.evict(ts));
+        }
+        events
+    }
+
+    /// [`FlowTable::process`] without the periodic eviction scan.
+    ///
+    /// The parallel ingest pipeline drives scans externally: its dispatcher
+    /// replicates the interval gate above and broadcasts eviction ticks to
+    /// every shard worker, so all workers scan at the *same* trace times the
+    /// sequential sniffer would — the key to a deterministic merge. Workers
+    /// therefore feed packets through this method and call
+    /// [`FlowTable::evict_idle`] only on ticks.
+    pub fn process_no_scan(&mut self, ts: u64, pkt: &Packet, wire_bytes: usize) -> Vec<FlowEvent> {
         let (src_port, dst_port, tcp_flags) = match &pkt.transport {
             TransportHeader::Tcp(h) => (h.src_port, h.dst_port, Some(h.flags)),
             TransportHeader::Udp(h) => (h.src_port, h.dst_port, None),
-            TransportHeader::Opaque(_) => return events, // not reconstructed
+            TransportHeader::Opaque(_) => return Vec::new(), // not reconstructed
         };
-        let proto = pkt.ip.protocol();
-        let (key, direction) = self.orient(pkt.src_ip(), src_port, pkt.dst_ip(), dst_port, proto);
+        let seg = CompactSeg {
+            src: pkt.src_ip(),
+            src_port,
+            dst: pkt.dst_ip(),
+            dst_port,
+            proto: pkt.ip.protocol(),
+            tcp_flags,
+            wire_bytes,
+            payload_len: pkt.payload.len(),
+        };
+        self.process_seg(ts, &seg, &pkt.payload)
+    }
+
+    /// [`FlowTable::process_no_scan`] for a pre-parsed segment. `head` needs
+    /// only the payload prefix [`FlowRecord::observe_seg`] documents; with
+    /// the full payload the two methods are identical.
+    pub fn process_seg(&mut self, ts: u64, seg: &CompactSeg, head: &[u8]) -> Vec<FlowEvent> {
+        let mut events = Vec::new();
+        let (key, direction) = self.orient(seg.src, seg.src_port, seg.dst, seg.dst_port, seg.proto);
         // A fresh SYN on a terminated flow starts a new flow on the same
         // 5-tuple (port reuse); emit the old record first.
-        if let Some(flags) = tcp_flags {
+        if let Some(flags) = seg.tcp_flags {
             if flags.syn() && !flags.ack() {
                 let terminated = self
                     .flows
@@ -113,16 +171,24 @@ impl FlowTable {
             self.total_created += 1;
             FlowRecord::new(key, ts)
         });
-        record.observe(direction, ts, wire_bytes, &pkt.payload, tcp_flags);
-
-        // Immediate eviction on terminal state is deferred by a linger so
-        // late retransmissions don't recreate the flow; the periodic scan
-        // below handles both idle and terminal flows.
-        if ts.saturating_sub(self.last_eviction) >= self.config.eviction_interval_micros {
-            self.last_eviction = ts;
-            events.extend(self.evict(ts));
-        }
+        record.observe_seg(
+            direction,
+            ts,
+            seg.wire_bytes,
+            head,
+            seg.payload_len,
+            seg.tcp_flags,
+        );
         events
+    }
+
+    /// Run one eviction scan as of `now`, emitting idle and
+    /// terminated-past-linger flows in deterministic order. Public for the
+    /// pipeline's dispatcher-driven tick scheme (see
+    /// [`FlowTable::process_no_scan`]); [`FlowTable::process`] calls the
+    /// same scan internally on its own interval gate.
+    pub fn evict_idle(&mut self, now: u64) -> Vec<FlowEvent> {
+        self.evict(now)
     }
 
     /// Orient a packet: reuse the existing flow (either direction), else the

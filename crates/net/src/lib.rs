@@ -42,7 +42,7 @@ pub use ipv6::Ipv6Header;
 pub use mac::MacAddr;
 pub use packet::{
     build_tcp_v4, build_tcp_v6, build_udp_v4, build_udp_v6, insert_vlan_tag, IpHeader, Packet,
-    TransportHeader,
+    PacketView, TransportHeader,
 };
 pub use pcap::{PcapReader, PcapRecord, PcapWriter};
 pub use proto::IpProtocol;

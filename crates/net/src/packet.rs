@@ -90,14 +90,34 @@ pub struct Packet {
     pub payload: Vec<u8>,
 }
 
-impl Packet {
-    /// Parse a raw Ethernet frame down to the application payload.
+/// A parsed frame whose payload *borrows* the input buffer.
+///
+/// This is the allocation-free stage [`Packet::parse`] is built on. The
+/// parallel-ingest dispatcher uses it directly: routing a frame to a shard
+/// worker needs the addresses, ports and flags, but not an owned payload,
+/// and must not pay a heap allocation per packet. Because [`Packet::parse`]
+/// is `PacketView::parse` + one copy, both accept and reject exactly the
+/// same frames by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketView<'a> {
+    pub ethernet: EthernetHeader,
+    /// 802.1Q VLAN id, when the frame was tagged.
+    pub vlan: Option<u16>,
+    pub ip: IpHeader,
+    pub transport: TransportHeader,
+    /// Application-layer bytes (after the transport header), borrowed.
+    pub payload: &'a [u8],
+}
+
+impl<'a> PacketView<'a> {
+    /// Parse a raw Ethernet frame down to the application payload without
+    /// copying it out of `frame`.
     ///
     /// Non-IP frames and IP fragments beyond the first are rejected with
     /// [`NetError::Unsupported`]; the passive sniffer simply skips them, as
     /// the paper's tool does.
     // allow_lint(L1): every slice offset is validated first — the vlan `need` guard, and the layer parsers (Ipv4Header/Ipv6Header/TcpHeader/UdpHeader::parse) check their lengths before returning offsets
-    pub fn parse(frame: &[u8]) -> Result<Packet> {
+    pub fn parse(frame: &'a [u8]) -> Result<PacketView<'a>> {
         let (mut eth, mut eth_len) = EthernetHeader::parse(frame)?;
         // 802.1Q VLAN tag: 2 bytes TCI + 2 bytes real EtherType.
         let mut vlan = None;
@@ -135,37 +155,54 @@ impl Packet {
             }
         };
         let segment = &rest[ip_len..ip_len + ip_payload_len];
-        let transport = match ip.protocol() {
+        let (transport, payload) = match ip.protocol() {
             IpProtocol::Tcp => {
                 let (h, off) = TcpHeader::parse(segment)?;
-                return Ok(Packet {
-                    ethernet: eth,
-                    vlan,
-                    ip,
-                    transport: TransportHeader::Tcp(h),
-                    payload: segment[off..].to_vec(),
-                });
+                (TransportHeader::Tcp(h), &segment[off..])
             }
             IpProtocol::Udp => {
                 let (h, off) = UdpHeader::parse(segment)?;
                 let end = usize::from(h.length);
-                return Ok(Packet {
-                    ethernet: eth,
-                    vlan,
-                    ip,
-                    transport: TransportHeader::Udp(h),
-                    payload: segment[off..end].to_vec(),
-                });
+                (TransportHeader::Udp(h), &segment[off..end])
             }
-            other => TransportHeader::Opaque(other),
+            other => (TransportHeader::Opaque(other), segment),
         };
-        Ok(Packet {
+        Ok(PacketView {
             ethernet: eth,
             vlan,
             ip,
             transport,
-            payload: segment.to_vec(),
+            payload,
         })
+    }
+
+    /// Copy the payload out, producing an owned [`Packet`].
+    pub fn to_packet(&self) -> Packet {
+        Packet {
+            ethernet: self.ethernet,
+            vlan: self.vlan,
+            ip: self.ip.clone(),
+            transport: self.transport.clone(),
+            payload: self.payload.to_vec(),
+        }
+    }
+
+    /// Client/server convenience accessors.
+    pub fn src_ip(&self) -> IpAddr {
+        self.ip.src()
+    }
+    pub fn dst_ip(&self) -> IpAddr {
+        self.ip.dst()
+    }
+}
+
+impl Packet {
+    /// Parse a raw Ethernet frame down to the application payload.
+    ///
+    /// Equivalent to [`PacketView::parse`] followed by one payload copy —
+    /// the two stages accept and reject identical frame sets.
+    pub fn parse(frame: &[u8]) -> Result<Packet> {
+        PacketView::parse(frame).map(|v| v.to_packet())
     }
 
     /// Client/server convenience accessors.
@@ -472,6 +509,31 @@ mod tests {
         assert_eq!(Packet::parse(&plain).unwrap().vlan, None);
         // A truncated tag is an error, not a panic.
         assert!(Packet::parse(&tagged[..15]).is_err());
+    }
+
+    #[test]
+    fn view_and_packet_agree() {
+        // PacketView::parse is the stage Packet::parse is built on; spot
+        // check that the borrowed view carries the same fields and payload.
+        let (sm, dm) = macs();
+        let frame = build_udp_v4(
+            sm,
+            dm,
+            Ipv4Addr::new(10, 0, 0, 9),
+            Ipv4Addr::new(198, 51, 100, 7),
+            40001,
+            53,
+            b"same bytes",
+        )
+        .unwrap();
+        let view = PacketView::parse(&frame).unwrap();
+        let pkt = Packet::parse(&frame).unwrap();
+        assert_eq!(view.to_packet(), pkt);
+        assert_eq!(view.payload, &pkt.payload[..]);
+        assert_eq!(view.src_ip(), pkt.src_ip());
+        // Both stages reject the same garbage.
+        assert!(PacketView::parse(&frame[..10]).is_err());
+        assert!(Packet::parse(&frame[..10]).is_err());
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub mod check;
 pub mod clist;
 /// The paper's §6 Clist-sizing replay harness.
 pub mod dimensioning;
+/// FQDN interning: the §3.2 real-time allocation diet for Algorithm 1.
+pub mod intern;
 /// Map implementations backing the §3.1 two-level lookup.
 pub mod maps;
 /// The single-threaded DNS resolver of the paper's §3.1 / Algorithm 1.
@@ -39,7 +41,8 @@ pub mod stats;
 pub mod sync;
 
 pub use check::{CheckedResolver, ShadowModel};
+pub use intern::{InternStats, NameInterner};
 pub use maps::{HashedTables, OrderedTables, TableFamily};
 pub use resolver::{DnsResolver, ResolverConfig};
-pub use shard::ShardedResolver;
+pub use shard::{shard_of, ShardedResolver};
 pub use stats::ResolverStats;

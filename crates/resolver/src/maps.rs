@@ -17,7 +17,10 @@ use std::hash::{BuildHasher, Hash, Hasher};
 use std::net::IpAddr;
 
 /// FNV-1a, the classic fast non-cryptographic hash for short keys
-/// (paper §3.1.1's per-packet lookup path hashes 4–16 byte IP addresses).
+/// (paper §3.1.1's per-packet lookup path hashes 4–16 byte IP addresses),
+/// finished with one avalanche round so the low bits — the ones `HashMap`
+/// turns into bucket indices — are uniformly mixed (see
+/// [`Hasher::finish`] below for the measurement that motivated it).
 #[derive(Debug, Clone)]
 pub struct FnvHasher(u64);
 
@@ -32,7 +35,20 @@ impl Default for FnvHasher {
 
 impl Hasher for FnvHasher {
     fn finish(&self) -> u64 {
-        self.0
+        // FNV-1a's byte loop only propagates entropy upward (each step is
+        // xor-into-the-low-byte then multiply), so the *low* bits of the
+        // raw state mix poorly across multi-byte keys — and hashbrown
+        // derives the bucket index from exactly those low bits. On flow
+        // 5-tuples this clusters badly enough to dominate the sniffer's
+        // per-packet cost (3.2x end-to-end on the eu1-adsl1 benchmark
+        // trace, see BENCH_sniffer.json). One xor-shift-multiply avalanche
+        // round (Murmur3's fmix64 first half) restores uniform low bits
+        // while keeping the hash deterministic and seed-free.
+        let mut x = self.0;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x
     }
 
     fn write(&mut self, bytes: &[u8]) {
@@ -194,16 +210,39 @@ mod tests {
         exercise::<FnvHashMap<IpAddr, u32>>();
     }
 
+    /// `finish()` = avalanche(raw FNV-1a state): check the raw accumulator
+    /// against the classic FNV-1a reference vectors, through the finalizer.
+    fn fmix(mut x: u64) -> u64 {
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x
+    }
+
     #[test]
     fn fnv_matches_reference_vectors() {
         // FNV-1a reference: empty input → offset basis; "a" → 0xaf63dc4c8601ec8c.
         let mut h = FnvHasher::default();
-        assert_eq!(h.finish(), FNV_OFFSET);
+        assert_eq!(h.finish(), fmix(FNV_OFFSET));
         h.write(b"a");
-        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(h.finish(), fmix(0xaf63_dc4c_8601_ec8c));
         let mut h2 = FnvHasher::default();
         h2.write(b"foobar");
-        assert_eq!(h2.finish(), 0x8594_4171_f739_67e8);
+        assert_eq!(h2.finish(), fmix(0x8594_4171_f739_67e8));
+    }
+
+    #[test]
+    fn finish_low_bits_avalanche() {
+        // The reason for the finalizer: raw FNV-1a low bits barely move
+        // between near-identical short keys (hashbrown's bucket index comes
+        // from the low bits), while finished values must differ there.
+        let mut a = FnvHasher::default();
+        a.write(&[1, 0, 0, 0]);
+        let mut b = FnvHasher::default();
+        b.write(&[2, 0, 0, 0]);
+        let low_a = a.finish() & 0xffff;
+        let low_b = b.finish() & 0xffff;
+        assert_ne!(low_a, low_b);
     }
 
     #[test]

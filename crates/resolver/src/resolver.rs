@@ -6,6 +6,7 @@ use std::sync::Arc;
 use dnhunter_dns::{DnsMessage, DomainName};
 
 use crate::clist::{CircularList, SlotRef};
+use crate::intern::{InternStats, NameInterner};
 use crate::maps::{MapOps, OrderedTables, TableFamily};
 use crate::stats::ResolverStats;
 
@@ -50,6 +51,9 @@ pub struct DnsResolver<F: TableFamily = OrderedTables> {
     clist: CircularList<DnEntry>,
     clients: F::Client<F::Server<Vec<SlotRef>>>,
     stats: ResolverStats,
+    /// FQDN dedup table (§3.2 allocation diet): repeat resolutions of the
+    /// same name share one `Arc` instead of cloning per response.
+    interner: NameInterner,
 }
 
 impl<F: TableFamily> DnsResolver<F> {
@@ -65,6 +69,7 @@ impl<F: TableFamily> DnsResolver<F> {
             clients: Default::default(),
             config,
             stats: ResolverStats::default(),
+            interner: NameInterner::new(),
         }
     }
 
@@ -79,6 +84,14 @@ impl<F: TableFamily> DnsResolver<F> {
     /// Counters feeding the paper's §6 efficiency numbers.
     pub fn stats(&self) -> &ResolverStats {
         &self.stats
+    }
+
+    /// FQDN-interning counters (allocations avoided on the §3.1 insert
+    /// path). Kept out of [`ResolverStats`] on purpose: per-shard distinct
+    /// name counts differ from a global resolver's, and the merged parallel
+    /// report must stay byte-identical to the sequential one.
+    pub fn intern_stats(&self) -> InternStats {
+        self.interner.stats()
     }
 
     /// Occupied Clist entries (bounded by the §4.2/§6 `L`).
@@ -136,7 +149,7 @@ impl<F: TableFamily> DnsResolver<F> {
             return;
         }
         let entry = DnEntry {
-            fqdn: Arc::new(fqdn.clone()),
+            fqdn: self.interner.intern(fqdn),
             client,
             servers: servers.to_vec(),
         };

@@ -16,9 +16,42 @@ use crate::resolver::{DnsResolver, ResolverConfig};
 use crate::stats::ResolverStats;
 use crate::sync::Mutex;
 
+/// Shard index for a client address, over `shards` shards.
+///
+/// The paper (§3.1.1) suggests splitting "for odd and even fourth octet
+/// value in the client IP-address". That scheme balances poorly beyond
+/// two shards: monitored populations are assigned addresses from DHCP
+/// pools, so low-order octets carry allocation patterns (e.g. /28
+/// customer blocks put 14 of 16 hosts on the same few residues). We
+/// depart from the paper and mix *all* address bytes through FNV-1a
+/// before reducing modulo `N`, which keeps per-shard load within a few
+/// percent of uniform for any address-assignment policy while remaining
+/// deterministic across runs.
+///
+/// This is a free function (not just a [`ShardedResolver`] method) because
+/// the parallel ingest pipeline must route *frames* with the same key the
+/// resolver shards use — the shard-affinity invariant: a client's DNS
+/// bindings and the flows they tag always meet on the same shard,
+/// preserving Algorithm 1's per-client ordering.
+pub fn shard_of(client: IpAddr, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard_of needs at least one shard");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    match client {
+        IpAddr::V4(a) => mix(&a.octets()),
+        IpAddr::V6(a) => mix(&a.octets()),
+    }
+    (hash % shards.max(1) as u64) as usize
+}
+
 /// `N` independent §3.1 resolvers, selected by client IP — the paper's
 /// §6 path to larger client populations (its odd/even fourth-octet split,
-/// generalised to hashing; see [`ShardedResolver::shard_of`]).
+/// generalised to hashing; see [`shard_of`]).
 pub struct ShardedResolver<F: TableFamily = OrderedTables> {
     shards: Vec<Mutex<DnsResolver<F>>>,
 }
@@ -60,30 +93,10 @@ impl<F: TableFamily> ShardedResolver<F> {
         self.shards.iter().map(|s| s.lock().capacity()).sum()
     }
 
-    /// Shard index for a client.
-    ///
-    /// The paper (§3.1.1) suggests splitting "for odd and even fourth octet
-    /// value in the client IP-address". That scheme balances poorly beyond
-    /// two shards: monitored populations are assigned addresses from DHCP
-    /// pools, so low-order octets carry allocation patterns (e.g. /28
-    /// customer blocks put 14 of 16 hosts on the same few residues). We
-    /// depart from the paper and mix *all* address bytes through FNV-1a
-    /// before reducing modulo `N`, which keeps per-shard load within a few
-    /// percent of uniform for any address-assignment policy while remaining
-    /// deterministic across runs.
+    /// Shard index for a client (see the free function [`shard_of`] for the
+    /// §3.1.1 load-balancing rationale).
     pub fn shard_of(&self, client: IpAddr) -> usize {
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |bytes: &[u8]| {
-            for &b in bytes {
-                hash ^= u64::from(b);
-                hash = hash.wrapping_mul(0x100_0000_01b3);
-            }
-        };
-        match client {
-            IpAddr::V4(a) => mix(&a.octets()),
-            IpAddr::V6(a) => mix(&a.octets()),
-        }
-        (hash % self.shards.len() as u64) as usize
+        shard_of(client, self.shards.len())
     }
 
     /// Insert a resolution (see [`DnsResolver::insert`], the paper's §3.1

@@ -257,9 +257,11 @@ fn angle_depth(s: &str) -> Option<usize> {
 }
 
 /// L3: a named lock guard must not stay live across another lock
-/// acquisition, a shard-array access, or an eviction/backref callback.
-/// Chained single-statement locking (`self.shards[i].lock().insert(...)`)
-/// drops its temporary guard at the semicolon and is fine.
+/// acquisition, a shard-array access, an eviction/backref callback, or a
+/// (possibly blocking) channel `send`/`recv` — a guard held across a full
+/// ring's send is the pipeline's deadlock shape. Chained single-statement
+/// locking (`self.shards[i].lock().insert(...)`) drops its temporary guard
+/// at the semicolon and is fine.
 pub fn l3_no_guard_across_shards(file: &SourceFile) -> Vec<Violation> {
     let allow = file.allow_mask("L3");
     let mut out = Vec::new();
@@ -282,7 +284,9 @@ pub fn l3_no_guard_across_shards(file: &SourceFile) -> Vec<Violation> {
             let risky = acquires
                 || code.contains("self.shards")
                 || code.contains("evict")
-                || code.contains("remove_backrefs");
+                || code.contains("remove_backrefs")
+                || code.contains(".send(")
+                || code.contains(".recv(");
             if risky {
                 let names: Vec<&str> = guards.iter().map(|(n, _)| n.as_str()).collect();
                 out.push(violation(
@@ -290,7 +294,7 @@ pub fn l3_no_guard_across_shards(file: &SourceFile) -> Vec<Violation> {
                     i,
                     "L3",
                     format!(
-                        "lock guard `{}` may still be held across this lock/shard/eviction call; drop it first",
+                        "lock guard `{}` may still be held across this lock/shard/eviction/channel call; drop it first",
                         names.join("`, `")
                     ),
                 ));
@@ -525,6 +529,16 @@ mod tests {
     fn l3_accepts_chained_and_dropped_guards() {
         let src = "fn f(&self) {\n    self.shards[0].lock().insert(x);\n    let g = self.shards[1].lock();\n    let y = g.peek();\n    drop(g);\n    self.shards[2].lock().insert(y);\n}\n";
         assert!(l3_no_guard_across_shards(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn l3_flags_guard_held_across_channel_send_or_recv() {
+        let src = "fn f(&self) {\n    let g = self.state.lock();\n    self.tx.send(batch);\n    drop(g);\n    let h = self.state.lock();\n    let item = self.rx.recv();\n}\n";
+        let v = l3_no_guard_across_shards(&file(src));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].line, 3);
+        assert_eq!(v[1].line, 6);
+        assert!(v[0].message.contains("channel"));
     }
 
     #[test]

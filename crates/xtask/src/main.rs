@@ -23,6 +23,16 @@ const HOT_CRATES: &[&str] = &["net", "dns", "flow", "resolver"];
 const LOCK_CRATES: &[&str] = &["resolver"];
 /// Crates whose public API must cite the paper (L4).
 const DOC_CRATES: &[&str] = &["resolver", "dns"];
+/// Individual per-packet files in crates that are otherwise not hot
+/// (the `core` crate also holds reporting/export code where a panic is
+/// acceptable). These get the hot-path treatment (L1, L2) plus the guard
+/// discipline check (L3) — the pipeline holds ring locks and sends across
+/// channels, the classic place to deadlock a sniffer.
+const HOT_FILES: &[&str] = &[
+    "crates/core/src/engine.rs",
+    "crates/core/src/pipeline.rs",
+    "crates/core/src/ring.rs",
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -90,6 +100,22 @@ fn lint() -> ExitCode {
                 violations.extend(lints::l4_docs_cite_paper(&file));
             }
         }
+    }
+    for rel in HOT_FILES {
+        let path = root.join(rel);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let file = SourceFile::parse(PathBuf::from(rel), &text);
+        files_scanned += 1;
+        violations.extend(lints::check_markers(&file));
+        violations.extend(lints::l1_no_panics(&file));
+        violations.extend(lints::l2_no_siphash_maps(&file));
+        violations.extend(lints::l3_no_guard_across_shards(&file));
     }
 
     violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
