@@ -92,7 +92,8 @@ fn main() -> ExitCode {
     }
 
     if bench_sniffer {
-        let json = dnhunter_bench::sniffer_bench::run(quick);
+        let outcome = dnhunter_bench::sniffer_bench::run(quick);
+        let json = outcome.json;
         let path = "BENCH_sniffer.json";
         match std::fs::File::create(path) {
             Ok(mut f) => {
@@ -111,6 +112,13 @@ fn main() -> ExitCode {
             }
         }
         println!("{json}");
+        if !outcome.telemetry_within_budget {
+            eprintln!(
+                "# bench-sniffer: FAILED — telemetry-enabled ingest exceeded its overhead \
+                 budget (see telemetry_overhead in {path})"
+            );
+            return ExitCode::FAILURE;
+        }
         if selected.is_empty() && !all {
             return ExitCode::SUCCESS;
         }

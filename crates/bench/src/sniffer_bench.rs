@@ -15,11 +15,17 @@
 //! guarantee (merged reports byte-identical to sequential) and quantifies
 //! the FQDN-interning allocation diet.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use dnhunter::{ParallelSniffer, RealTimeSniffer, SnifferConfig, SnifferReport};
 use dnhunter_simnet::{profiles, TraceGenerator};
+use dnhunter_telemetry as telemetry;
 use serde::Serialize;
+
+/// Telemetry hot-path budget: an enabled registry may cost at most this
+/// fraction of sequential ingest wall time.
+const TELEMETRY_BUDGET_FRACTION: f64 = 0.03;
 
 /// Workload description.
 #[derive(Serialize)]
@@ -71,6 +77,20 @@ struct AllocationDiet {
     reuse_fraction: f64,
 }
 
+/// Telemetry hot-path overhead: the sequential workload rerun with a
+/// metrics registry bound, against the plain run where every `tm_*!` site
+/// falls through its unbound-TLS branch (the "compiled-out" cost). Both
+/// variants are interleaved across repetitions and compared best-of.
+#[derive(Serialize)]
+struct TelemetryOverhead {
+    enabled_wall_secs: f64,
+    disabled_wall_secs: f64,
+    enabled_wall_secs_all_reps: Vec<f64>,
+    overhead_fraction: f64,
+    budget_fraction: f64,
+    within_budget: bool,
+}
+
 /// Everything `BENCH_sniffer.json` records.
 #[derive(Serialize)]
 struct BenchReport {
@@ -78,10 +98,21 @@ struct BenchReport {
     hardware_threads: usize,
     trace: TraceInfo,
     single_thread: SingleThread,
+    telemetry_overhead: TelemetryOverhead,
     pipeline: Vec<PipelineRun>,
     allocation_diet: AllocationDiet,
     determinism_all_runs: bool,
     note: String,
+}
+
+/// What [`run`] hands back to the `repro` driver: the JSON text of
+/// `BENCH_sniffer.json` plus the pass/fail verdicts the driver turns into
+/// an exit code.
+pub struct BenchOutcome {
+    /// Serialized [`BenchReport`].
+    pub json: String,
+    /// Telemetry-enabled ingest stayed within [`TELEMETRY_BUDGET_FRACTION`].
+    pub telemetry_within_budget: bool,
 }
 
 /// Canonical serialization of a report; equal strings mean equal reports
@@ -118,10 +149,11 @@ fn per_sec(frames: u64, wall_secs: f64) -> f64 {
     }
 }
 
-/// Run the benchmark and return the JSON text of `BENCH_sniffer.json`.
+/// Run the benchmark and return the JSON text of `BENCH_sniffer.json`
+/// plus the budget verdicts.
 ///
 /// `quick` shrinks the workload and worker sweep for a CI smoke run.
-pub fn run(quick: bool) -> String {
+pub fn run(quick: bool) -> BenchOutcome {
     let profile_name = "eu1-adsl1";
     let scale = if quick { 0.15 } else { 0.5 };
     let worker_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
@@ -143,6 +175,7 @@ pub fn run(quick: bool) -> String {
     let mut reference_digest: Option<String> = None;
     let mut frames = 0u64;
     let mut single_walls: Vec<f64> = Vec::new();
+    let mut telemetry_walls: Vec<f64> = Vec::new();
     let mut pipe_walls: Vec<Vec<f64>> = vec![Vec::new(); worker_counts.len()];
     // Busy-time decomposition from each worker count's *fastest* rep.
     let mut pipe_best: Vec<Option<(f64, f64, Vec<f64>)>> = vec![None; worker_counts.len()];
@@ -169,6 +202,25 @@ pub fn run(quick: bool) -> String {
             Some(r) => determinism_all &= d == *r,
             None => reference_digest = Some(d),
         }
+
+        // The same sequential workload with telemetry *enabled*: a live
+        // registry bound for the run, so every `tm_*!` site pays its full
+        // fetch_add instead of the unbound-TLS fall-through.
+        eprintln!(
+            "# bench-sniffer: rep {}/{reps}: sequential run, telemetry enabled",
+            rep + 1
+        );
+        let registry = Arc::new(telemetry::Registry::new());
+        let guard = telemetry::bind(registry.clone());
+        let t0 = Instant::now();
+        let mut enabled = RealTimeSniffer::new(config.clone());
+        for rec in &trace.records {
+            enabled.process_record(rec);
+        }
+        let report = enabled.finish();
+        telemetry_walls.push(t0.elapsed().as_secs_f64());
+        drop(guard);
+        determinism_all &= reference_digest.as_deref() == Some(digest(&report).as_str());
 
         for (wi, &workers) in worker_counts.iter().enumerate() {
             eprintln!(
@@ -222,6 +274,22 @@ pub fn run(quick: bool) -> String {
         wall_secs_all_reps: single_walls,
     };
 
+    let enabled_wall = telemetry_walls
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    // Clamp at zero: on a bursty host the enabled best-of can beat the
+    // disabled best-of; that means the overhead is below the noise floor.
+    let overhead_fraction = ((enabled_wall - single_wall) / single_wall.max(1e-9)).max(0.0);
+    let telemetry_overhead = TelemetryOverhead {
+        enabled_wall_secs: enabled_wall,
+        disabled_wall_secs: single_wall,
+        enabled_wall_secs_all_reps: telemetry_walls,
+        overhead_fraction,
+        budget_fraction: TELEMETRY_BUDGET_FRACTION,
+        within_budget: overhead_fraction <= TELEMETRY_BUDGET_FRACTION,
+    };
+
     let mut pipeline_runs = Vec::new();
     for (wi, &workers) in worker_counts.iter().enumerate() {
         let walls = std::mem::take(&mut pipe_walls[wi]);
@@ -258,6 +326,7 @@ pub fn run(quick: bool) -> String {
             trace_span_secs,
         },
         single_thread: single,
+        telemetry_overhead,
         pipeline: pipeline_runs,
         allocation_diet: diet.unwrap_or(AllocationDiet {
             fqdn_arc_allocs_before: 0,
@@ -280,8 +349,16 @@ pub fn run(quick: bool) -> String {
              remaining busy windows are wall-clock based, so cross-stage preemption still \
              inflates them and the projection stays conservative. Determinism \
              is not projected: every merged report was compared byte-for-byte against the \
-             sequential report."
+             sequential report. telemetry_overhead reruns the sequential workload with a \
+             metrics registry bound and compares best-of wall times; the delta is the full \
+             cost of live telemetry versus its unbound (effectively compiled-out) fast path, \
+             budgeted at {:.0}% of ingest time.",
+            TELEMETRY_BUDGET_FRACTION * 100.0
         ),
     };
-    serde_json::to_string(&report).unwrap_or_else(|_| "{}".into())
+    let telemetry_within_budget = report.telemetry_overhead.within_budget;
+    BenchOutcome {
+        json: serde_json::to_string(&report).unwrap_or_else(|_| "{}".into()),
+        telemetry_within_budget,
+    }
 }

@@ -5,18 +5,57 @@
 //! dn-hunter capture.pcap --flows          # one line per labeled flow
 //! dn-hunter capture.pcap --json > db.jsonl# labeled-flow DB as JSON lines
 //! dn-hunter capture.pcap --port 443       # service tags for one port
+//! dn-hunter capture.pcap --metrics m.jsonl --metrics-interval 60 --workers 4
+//! #   live telemetry: one JSONL snapshot per 60s of *trace* time, plus a
+//! #   final Prometheus exposition at m.jsonl.prom
 //! ```
 
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use dnhunter::{RealTimeSniffer, SnifferConfig};
-use dnhunter_net::PcapReader;
+use dnhunter::{ParallelSniffer, RealTimeSniffer, SnifferConfig, SnifferReport};
+use dnhunter_net::{PcapReader, PcapRecord};
+use dnhunter_telemetry as telemetry;
 
 fn usage() -> &'static str {
-    "usage: dn-hunter <capture.pcap> [--flows] [--json] [--tstat] [--csv] [--port N] [--warmup SECS]"
+    "usage: dn-hunter <capture.pcap> [--flows] [--json] [--tstat] [--csv] [--port N] \
+     [--warmup SECS] [--workers N] [--metrics FILE] [--metrics-interval SECS] [--metrics-full]"
+}
+
+/// Either sniffer behind one replay loop, so `--workers`/`--metrics`
+/// compose with every output mode.
+enum Driver {
+    Seq(Box<RealTimeSniffer>),
+    Par(Box<ParallelSniffer>),
+}
+
+impl Driver {
+    fn process_record(&mut self, rec: &PcapRecord) {
+        match self {
+            Driver::Seq(s) => s.process_record(rec),
+            Driver::Par(p) => p.process_record(rec),
+        }
+    }
+
+    /// Live view: the dispatcher thread's registry plus (for the parallel
+    /// sniffer) a racy-but-monotone sum of the workers' registries.
+    fn live_snapshot(&self, registry: &telemetry::Registry) -> telemetry::Snapshot {
+        let mut snap = registry.snapshot();
+        if let Driver::Par(p) = self {
+            snap.merge(&p.worker_telemetry_snapshot());
+        }
+        snap
+    }
+
+    fn finish(self) -> SnifferReport {
+        match self {
+            Driver::Seq(s) => s.finish(),
+            Driver::Par(p) => p.finish(),
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -28,6 +67,10 @@ fn main() -> ExitCode {
     let mut csv = false;
     let mut port: Option<u16> = None;
     let mut warmup_secs: u64 = 300;
+    let mut workers: usize = 1;
+    let mut metrics_path: Option<String> = None;
+    let mut metrics_interval_secs: u64 = 60;
+    let mut metrics_full = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -36,6 +79,37 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--tstat" => tstat = true,
             "--csv" => csv = true,
+            "--metrics-full" => metrics_full = true,
+            "--workers" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => workers = n,
+                    _ => {
+                        eprintln!("--workers needs a count >= 1\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--metrics" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => metrics_path = Some(p.clone()),
+                    None => {
+                        eprintln!("--metrics needs a file path\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--metrics-interval" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) if s >= 1 => metrics_interval_secs = s,
+                    _ => {
+                        eprintln!("--metrics-interval needs seconds >= 1\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--port" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse().ok()) {
@@ -88,20 +162,83 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut sniffer = RealTimeSniffer::new(SnifferConfig {
+    let config = SnifferConfig {
         warmup_micros: warmup_secs * 1_000_000,
         ..SnifferConfig::default()
-    });
+    };
+
+    // Telemetry must be bound *before* the parallel sniffer spawns its
+    // workers — construction is when it decides to give each shard a
+    // registry of its own.
+    let registry = metrics_path
+        .as_ref()
+        .map(|_| Arc::new(telemetry::Registry::new()));
+    let _telemetry_guard = registry.clone().map(telemetry::bind);
+    let mut metrics_out = match &metrics_path {
+        Some(p) => match File::create(p) {
+            Ok(f) => Some(f),
+            Err(e) => {
+                eprintln!("cannot create metrics file {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    // Snapshots are scheduled on packet timestamps, so a replayed trace
+    // emits the same lines a live capture would have.
+    let mut emitter = telemetry::SnapshotEmitter::new(metrics_interval_secs * 1_000_000);
+
+    let mut driver = if workers > 1 {
+        Driver::Par(Box::new(ParallelSniffer::new(config, workers)))
+    } else {
+        Driver::Seq(Box::new(RealTimeSniffer::new(config)))
+    };
+    let mut last_ts = 0u64;
     for rec in reader {
         match rec {
-            Ok(r) => sniffer.process_record(&r),
+            Ok(r) => {
+                let ts = r.timestamp_micros();
+                last_ts = last_ts.max(ts);
+                driver.process_record(&r);
+                if let (Some(out), Some(reg)) = (metrics_out.as_mut(), registry.as_deref()) {
+                    if emitter.poll(ts) {
+                        let line = telemetry::jsonl(&driver.live_snapshot(reg), ts, metrics_full);
+                        if let Err(e) = out.write_all(line.as_bytes()) {
+                            eprintln!("metrics write failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
             Err(e) => {
                 eprintln!("pcap error: {e}");
                 return ExitCode::FAILURE;
             }
         }
     }
-    let report = sniffer.finish();
+    let report = driver.finish();
+
+    // Final snapshot: `finish` merged every worker registry into ours, so
+    // the stable-class values here match a sequential run byte-for-byte.
+    if let (Some(out), Some(reg), Some(path)) = (
+        metrics_out.as_mut(),
+        registry.as_deref(),
+        metrics_path.as_deref(),
+    ) {
+        let snap = reg.snapshot();
+        let final_write = out
+            .write_all(telemetry::jsonl(&snap, last_ts, metrics_full).as_bytes())
+            .and_then(|()| {
+                std::fs::write(
+                    format!("{path}.prom"),
+                    telemetry::prometheus(&snap, metrics_full),
+                )
+            });
+        if let Err(e) = final_write {
+            eprintln!("metrics write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     if json {
         print!("{}", report.database.to_json_lines());

@@ -21,6 +21,7 @@ use dnhunter_dns::DomainName;
 use dnhunter_flow::{CompactSeg, FlowEvent, FlowKey, FlowTable};
 use dnhunter_resolver::maps::FnvHashMap;
 use dnhunter_resolver::{DnsResolver, InternStats, OrderedTables, ResolverConfig, ResolverStats};
+use dnhunter_telemetry::{tm_count, tm_span, Metric as Tm};
 
 use crate::db::{FlowDatabase, TaggedFlow};
 use crate::policy::PolicyEnforcer;
@@ -153,6 +154,7 @@ impl ShardEngine {
             return;
         }
         self.stats.dns_responses += 1;
+        tm_count!(Tm::DnsResponsesSniffed);
         self.dns_response_times.push((seq, ts));
         if msg.header.truncated {
             return;
@@ -241,8 +243,10 @@ impl ShardEngine {
         let label = self.resolver.lookup(key.client, key.server);
         if !in_warmup {
             self.stats.tag_attempts += 1;
+            tm_count!(Tm::TagAttempts);
             if label.is_some() {
                 self.stats.tag_hits += 1;
+                tm_count!(Tm::TagHits);
             }
         }
         // Delay accounting against the most recent covering response.
@@ -300,6 +304,15 @@ impl ShardEngine {
             in_warmup: false,
         });
         let protocol = record.protocol_now();
+        tm_count!(match protocol {
+            dnhunter_flow::AppProtocol::Http => Tm::DpiHttp,
+            dnhunter_flow::AppProtocol::Tls => Tm::DpiTls,
+            dnhunter_flow::AppProtocol::P2p => Tm::DpiP2p,
+            dnhunter_flow::AppProtocol::Dns => Tm::DpiDns,
+            dnhunter_flow::AppProtocol::Mail => Tm::DpiMail,
+            dnhunter_flow::AppProtocol::Chat => Tm::DpiChat,
+            dnhunter_flow::AppProtocol::Other => Tm::DpiOther,
+        });
         let tls = if protocol == dnhunter_flow::AppProtocol::Tls {
             Some(record.tls_info())
         } else {
@@ -385,6 +398,7 @@ pub(crate) fn assemble_report(
     trace_end: Option<u64>,
     warmup_micros: u64,
 ) -> SnifferReport {
+    let _merge_timer = tm_span!(Tm::MergeNanos);
     let mut stats = dispatch_stats;
     let mut resolver_stats = ResolverStats::default();
     let mut responses: Vec<ResponseRecord> = Vec::new();
@@ -445,5 +459,74 @@ pub(crate) fn assemble_report(
         trace_start,
         trace_end,
         warmup_micros,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(
+        frames: u64,
+        parse_errors: u64,
+        dns_queries: u64,
+        dns_responses: u64,
+        dns_decode_errors: u64,
+        tag_attempts: u64,
+        tag_hits: u64,
+    ) -> SnifferStats {
+        SnifferStats {
+            frames,
+            parse_errors,
+            dns_queries,
+            dns_responses,
+            dns_decode_errors,
+            tag_attempts,
+            tag_hits,
+        }
+    }
+
+    #[test]
+    fn sniffer_stats_accumulate_field_by_field() {
+        let mut into = stats(10, 1, 2, 3, 0, 4, 2);
+        add_sniffer_stats(&mut into, &stats(5, 0, 1, 2, 7, 3, 1));
+        assert_eq!(into, stats(15, 1, 3, 5, 7, 7, 3));
+    }
+
+    #[test]
+    fn sniffer_stats_zero_shard_is_identity() {
+        let mut into = stats(10, 1, 2, 3, 4, 5, 6);
+        add_sniffer_stats(&mut into, &SnifferStats::default());
+        assert_eq!(into, stats(10, 1, 2, 3, 4, 5, 6));
+    }
+
+    #[test]
+    fn resolver_stats_accumulate_field_by_field() {
+        let mut into = ResolverStats {
+            responses: 1,
+            bindings: 2,
+            replaced_same_fqdn: 3,
+            replaced_different_fqdn: 4,
+            evictions: 5,
+            lookups: 6,
+            hits: 7,
+        };
+        let from = ResolverStats {
+            responses: 10,
+            bindings: 20,
+            replaced_same_fqdn: 30,
+            replaced_different_fqdn: 40,
+            evictions: 50,
+            lookups: 60,
+            hits: 70,
+        };
+        add_resolver_stats(&mut into, &from);
+        assert_eq!(into.responses, 11);
+        assert_eq!(into.bindings, 22);
+        assert_eq!(into.replaced_same_fqdn, 33);
+        assert_eq!(into.replaced_different_fqdn, 44);
+        assert_eq!(into.evictions, 55);
+        assert_eq!(into.lookups, 66);
+        assert_eq!(into.hits, 77);
     }
 }

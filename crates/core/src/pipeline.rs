@@ -33,6 +33,7 @@ use dnhunter_flow::{CompactSeg, TcpTracker, DPI_SNAP};
 use dnhunter_net::{IpProtocol, Packet, PacketView, PcapRecord, TransportHeader};
 use dnhunter_resolver::maps::FnvHashMap;
 use dnhunter_resolver::{shard_of, InternStats, ResolverConfig};
+use dnhunter_telemetry::{self as telemetry, tm_count, tm_observe, Metric as Tm};
 
 use crate::engine::{assemble_report, ShardEngine, ShardOutput};
 use crate::policy::RuleEnforcer;
@@ -189,6 +190,11 @@ pub struct ParallelSniffer {
     stats: SnifferStats,
     busy_nanos: u64,
     send_wait_nanos: u64,
+    /// Per-worker telemetry registries, present only when the constructing
+    /// thread had one bound. Workers bind theirs for their thread's
+    /// lifetime; `finish` folds them into the dispatcher's registry so the
+    /// final stable-class snapshot equals the sequential run's.
+    worker_registries: Vec<std::sync::Arc<telemetry::Registry>>,
 }
 
 impl ParallelSniffer {
@@ -202,6 +208,8 @@ impl ParallelSniffer {
         let remainder = config.resolver.clist_size % workers;
         let mut links = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
+        let telemetry_on = telemetry::is_bound();
+        let mut worker_registries = Vec::new();
         for i in 0..workers {
             let per_shard = (base + usize::from(i < remainder)).max(1);
             let engine = ShardEngine::new(
@@ -213,8 +221,13 @@ impl ParallelSniffer {
             );
             let (tx, rx) = ring::channel::<Batch>(CHANNEL_BATCHES);
             let (recycle_tx, recycle_rx) = ring::channel::<Batch>(RECYCLE_BATCHES);
+            let registry = telemetry_on.then(|| {
+                let reg = std::sync::Arc::new(telemetry::Registry::new());
+                worker_registries.push(std::sync::Arc::clone(&reg));
+                reg
+            });
             handles.push(std::thread::spawn(move || {
-                worker_loop(engine, rx, recycle_tx)
+                worker_loop(engine, rx, recycle_tx, registry)
             }));
             links.push(WorkerLink {
                 tx,
@@ -234,7 +247,22 @@ impl ParallelSniffer {
             stats: SnifferStats::default(),
             busy_nanos: 0,
             send_wait_nanos: 0,
+            worker_registries,
         }
+    }
+
+    /// Merged point-in-time copy of the *workers'* telemetry cells — empty
+    /// unless a registry was bound when the sniffer was built. A live view
+    /// (the `--metrics` mode) adds this to a snapshot of the dispatcher
+    /// thread's own registry; mid-run values are racy but monotone, and
+    /// the final post-`finish` snapshot comes from the merged dispatcher
+    /// registry instead.
+    pub fn worker_telemetry_snapshot(&self) -> telemetry::Snapshot {
+        let mut snap = telemetry::Snapshot::default();
+        for reg in &self.worker_registries {
+            snap.merge(&reg.snapshot());
+        }
+        snap
     }
 
     /// Worker count.
@@ -259,6 +287,7 @@ impl ParallelSniffer {
         let seq = self.seq;
         self.seq += 1;
         self.stats.frames += 1;
+        tm_count!(Tm::IngestFrames);
         if self.trace_start.is_none() {
             self.trace_start = Some(ts);
             // Every shard anchors its warm-up window at the global trace
@@ -288,6 +317,7 @@ impl ParallelSniffer {
             }
             TransportHeader::Udp(udp) if udp.dst_port == dns_port => {
                 self.stats.dns_queries += 1;
+                tm_count!(Tm::IngestDnsQueries);
             }
             TransportHeader::Tcp(tcp) if tcp.src_port == dns_port => {
                 let shard = shard_of(view.dst_ip(), self.links.len());
@@ -296,6 +326,7 @@ impl ParallelSniffer {
             TransportHeader::Tcp(tcp) if tcp.dst_port == dns_port => {
                 if !view.payload.is_empty() {
                     self.stats.dns_queries += 1;
+                    tm_count!(Tm::IngestDnsQueries);
                 }
             }
             TransportHeader::Udp(_) | TransportHeader::Tcp(_) => {
@@ -421,6 +452,13 @@ impl ParallelSniffer {
         let Some(link) = self.links.get_mut(shard) else {
             return;
         };
+        match kind {
+            ItemKind::Tick => tm_count!(Tm::PipelineTicks),
+            ItemKind::DnsUdp | ItemKind::DnsTcp | ItemKind::Seg(_) => {
+                tm_count!(Tm::PipelineItemsRouted)
+            }
+            ItemKind::Start => {}
+        }
         let off = link.pending.bytes.len() as u32;
         link.pending.bytes.extend_from_slice(bytes);
         link.pending.items.push(Item {
@@ -447,6 +485,8 @@ impl ParallelSniffer {
         }
         let next = link.recycle_rx.try_recv().unwrap_or_default();
         let batch = std::mem::replace(&mut link.pending, next);
+        tm_count!(Tm::PipelineBatchesSent);
+        tm_observe!(Tm::BatchItems, batch.items.len() as u64);
         let t0 = Instant::now();
         // A send only fails when the worker died; the merge then simply
         // misses that shard's output — nothing to do here.
@@ -484,6 +524,15 @@ impl ParallelSniffer {
             intern.allocated += out.intern.allocated;
             intern.reused += out.intern.reused;
         }
+        // The joins above are the happens-before edge: every worker-side
+        // relaxed store is visible, so folding the per-shard registries
+        // into the dispatcher's yields exact totals — and, for the stable
+        // class, the same values a sequential run records.
+        tm_count!(Tm::DispatchBusyNanos, self.busy_nanos);
+        tm_count!(Tm::SendWaitNanos, self.send_wait_nanos);
+        for reg in &self.worker_registries {
+            telemetry::merge_into_bound(reg);
+        }
         let report = assemble_report(
             outputs,
             self.stats,
@@ -513,7 +562,12 @@ fn worker_loop(
     mut engine: ShardEngine,
     rx: Receiver<Batch>,
     recycle_tx: Sender<Batch>,
+    registry: Option<std::sync::Arc<telemetry::Registry>>,
 ) -> (ShardOutput, u64) {
+    // Bind this shard's registry for the thread's whole lifetime, so every
+    // engine/resolver/flow-table update below lands in per-shard cells that
+    // `finish` later folds into the dispatcher's registry.
+    let _telemetry_guard = registry.map(telemetry::bind);
     let mut busy_nanos = 0u64;
     while let Some(mut batch) = rx.recv() {
         let t0 = Instant::now();
@@ -566,5 +620,6 @@ fn worker_loop(
     let t0 = Instant::now();
     let out = engine.finish_shard();
     busy_nanos += t0.elapsed().as_nanos() as u64;
+    tm_count!(Tm::WorkerBusyNanos, busy_nanos);
     (out, busy_nanos / 1_000)
 }

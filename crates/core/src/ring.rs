@@ -102,14 +102,24 @@ impl<T> Sender<T> {
     #[cfg(not(loom))]
     pub(crate) fn send(&self, value: T) -> Result<(), SendError<T>> {
         let mut st = self.shared.lock();
+        let mut stalled = false;
         loop {
             if st.closed {
                 return Err(SendError(value));
             }
             if st.queue.len() < self.shared.capacity {
                 st.queue.push_back(value);
+                dnhunter_telemetry::tm_observe!(
+                    dnhunter_telemetry::Metric::RingOccupancy,
+                    st.queue.len() as u64
+                );
                 self.shared.not_empty.notify_one();
                 return Ok(());
+            }
+            // Count a stall once per blocking send, not once per wakeup.
+            if !stalled {
+                stalled = true;
+                dnhunter_telemetry::tm_count!(dnhunter_telemetry::Metric::PipelineSendStalls);
             }
             st = match self.shared.not_full.wait(st) {
                 Ok(guard) => guard,

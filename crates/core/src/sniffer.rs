@@ -5,6 +5,7 @@ use dnhunter_dns::codec;
 use dnhunter_flow::FlowTableConfig;
 use dnhunter_net::{Packet, PcapRecord, TransportHeader};
 use dnhunter_resolver::{DnsResolver, OrderedTables, ResolverConfig, ResolverStats};
+use dnhunter_telemetry::{tm_count, Metric as Tm};
 use serde::{Deserialize, Serialize};
 
 use crate::db::FlowDatabase;
@@ -36,7 +37,7 @@ impl Default for SnifferConfig {
 }
 
 /// Frame/packet-level counters.
-#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SnifferStats {
     pub frames: u64,
     pub parse_errors: u64,
@@ -154,6 +155,7 @@ impl RealTimeSniffer {
         let seq = self.seq;
         self.seq += 1;
         self.engine.stats.frames += 1;
+        tm_count!(Tm::IngestFrames);
         self.trace_start.get_or_insert(ts);
         self.engine.note_trace_start(ts);
         self.trace_end = Some(self.trace_end.map_or(ts, |t| t.max(ts)));
@@ -176,6 +178,7 @@ impl RealTimeSniffer {
                 }
                 if udp.dst_port == dns_port {
                     self.engine.stats.dns_queries += 1;
+                    tm_count!(Tm::IngestDnsQueries);
                     return;
                 }
             }
@@ -189,6 +192,7 @@ impl RealTimeSniffer {
                 if tcp.dst_port == dns_port {
                     if !pkt.payload.is_empty() {
                         self.engine.stats.dns_queries += 1;
+                        tm_count!(Tm::IngestDnsQueries);
                     }
                     return;
                 }
@@ -441,5 +445,33 @@ mod tests {
         );
         let report = s.finish();
         assert_eq!(report.answers_per_response, vec![16, 1]);
+    }
+
+    #[test]
+    fn useless_fraction_with_no_answered_responses_is_zero() {
+        // No answered responses at all: 0/0 must read as 0, not NaN.
+        let d = DelaySamples::default();
+        assert_eq!(d.useless_fraction(), 0.0);
+    }
+
+    #[test]
+    fn useless_fraction_all_useless() {
+        let d = DelaySamples {
+            useless_responses: 4,
+            answered_responses: 4,
+            ..DelaySamples::default()
+        };
+        assert_eq!(d.useless_fraction(), 1.0);
+    }
+
+    #[test]
+    fn useless_fraction_mixed() {
+        let d = DelaySamples {
+            first_flow_delays: vec![100, 200, 300],
+            useless_responses: 1,
+            answered_responses: 4,
+            ..DelaySamples::default()
+        };
+        assert_eq!(d.useless_fraction(), 0.25);
     }
 }

@@ -33,7 +33,25 @@ pub fn encode(msg: &DnsMessage) -> Result<Vec<u8>> {
 }
 
 /// Decode a message from wire bytes (RFC 1035 §4).
+///
+/// Telemetry: successful decodes count into
+/// `dnh_dns_messages_decoded_total`, failures into
+/// `dnh_dns_decode_errors_total` (both stable — every driver decodes each
+/// DNS payload the same number of times).
 pub fn decode(buf: &[u8]) -> Result<DnsMessage> {
+    match decode_inner(buf) {
+        Ok(msg) => {
+            dnhunter_telemetry::tm_count!(dnhunter_telemetry::Metric::DnsMessagesDecoded);
+            Ok(msg)
+        }
+        Err(e) => {
+            dnhunter_telemetry::tm_count!(dnhunter_telemetry::Metric::DnsDecodeErrors);
+            Err(e)
+        }
+    }
+}
+
+fn decode_inner(buf: &[u8]) -> Result<DnsMessage> {
     let mut dec = Decoder { buf, pos: 0 };
     let (header, counts) = dec.header()?;
     let mut questions = Vec::with_capacity(counts.0 as usize);

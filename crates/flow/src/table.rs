@@ -7,6 +7,7 @@ use dnhunter_net::{IpProtocol, Packet, TransportHeader};
 // lookup (paper §3.2's real-time constraint), so it uses the FNV-keyed map
 // rather than the default SipHash `HashMap` (lint L2).
 use dnhunter_resolver::maps::FnvHashMap;
+use dnhunter_telemetry::{tm_count, tm_gauge, Metric as Tm};
 
 use crate::record::{FlowDirection, FlowRecord};
 use crate::tuple::FlowKey;
@@ -161,6 +162,9 @@ impl FlowTable {
                 if terminated {
                     if let Some(old) = self.flows.remove(&key) {
                         self.total_finished += 1;
+                        tm_count!(Tm::FlowSynReuse);
+                        tm_count!(Tm::FlowsFinished);
+                        tm_gauge!(Tm::FlowTableSize, -1);
                         events.push(FlowEvent::FlowFinished(Box::new(old)));
                     }
                 }
@@ -169,6 +173,8 @@ impl FlowTable {
         let record = self.flows.entry(key).or_insert_with(|| {
             events.push(FlowEvent::FlowStarted(key));
             self.total_created += 1;
+            tm_count!(Tm::FlowsStarted);
+            tm_gauge!(Tm::FlowTableSize, 1);
             FlowRecord::new(key, ts)
         });
         record.observe_seg(
@@ -232,6 +238,8 @@ impl FlowTable {
         for k in expired {
             if let Some(r) = self.flows.remove(&k) {
                 self.total_finished += 1;
+                tm_count!(Tm::FlowsFinished);
+                tm_gauge!(Tm::FlowTableSize, -1);
                 events.push(FlowEvent::FlowFinished(Box::new(r)));
             }
         }
@@ -246,6 +254,8 @@ impl FlowTable {
         for k in keys {
             if let Some(r) = self.flows.remove(&k) {
                 self.total_finished += 1;
+                tm_count!(Tm::FlowsFinished);
+                tm_gauge!(Tm::FlowTableSize, -1);
                 events.push(FlowEvent::FlowFinished(Box::new(r)));
             }
         }

@@ -116,8 +116,26 @@ impl<'a> PacketView<'a> {
     /// Non-IP frames and IP fragments beyond the first are rejected with
     /// [`NetError::Unsupported`]; the passive sniffer simply skips them, as
     /// the paper's tool does.
-    // allow_lint(L1): every slice offset is validated first — the vlan `need` guard, and the layer parsers (Ipv4Header/Ipv6Header/TcpHeader/UdpHeader::parse) check their lengths before returning offsets
+    ///
+    /// Telemetry: accepted frames count into `dnh_net_parses_total`
+    /// (runtime class — the two-stage pipeline parses DNS frames twice)
+    /// and rejected ones into `dnh_net_frames_malformed_total` (stable —
+    /// malformed frames are rejected exactly once by every driver).
     pub fn parse(frame: &'a [u8]) -> Result<PacketView<'a>> {
+        match Self::parse_inner(frame) {
+            Ok(view) => {
+                dnhunter_telemetry::tm_count!(dnhunter_telemetry::Metric::NetParses);
+                Ok(view)
+            }
+            Err(e) => {
+                dnhunter_telemetry::tm_count!(dnhunter_telemetry::Metric::NetFramesMalformed);
+                Err(e)
+            }
+        }
+    }
+
+    // allow_lint(L1): every slice offset is validated first — the vlan `need` guard, and the layer parsers (Ipv4Header/Ipv6Header/TcpHeader/UdpHeader::parse) check their lengths before returning offsets
+    fn parse_inner(frame: &'a [u8]) -> Result<PacketView<'a>> {
         let (mut eth, mut eth_len) = EthernetHeader::parse(frame)?;
         // 802.1Q VLAN tag: 2 bytes TCI + 2 bytes real EtherType.
         let mut vlan = None;

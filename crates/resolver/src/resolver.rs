@@ -4,6 +4,7 @@ use std::net::IpAddr;
 use std::sync::Arc;
 
 use dnhunter_dns::{DnsMessage, DomainName};
+use dnhunter_telemetry::{tm_count, tm_gauge, Metric as Tm};
 
 use crate::clist::{CircularList, SlotRef};
 use crate::intern::{InternStats, NameInterner};
@@ -159,7 +160,11 @@ impl<F: TableFamily> DnsResolver<F> {
         let (slot, evicted) = self.clist.push(entry);
         if let Some(old) = evicted {
             self.stats.evictions += 1;
+            tm_count!(Tm::ResolverEvictions);
             self.remove_backrefs(&old);
+        } else {
+            // The push claimed a fresh slot instead of recycling one.
+            tm_gauge!(Tm::ClistOccupancy, 1);
         }
         // Link (client, serverIP) → new entry for every answer address
         // (lines 10–21).
@@ -169,6 +174,7 @@ impl<F: TableFamily> DnsResolver<F> {
         let server_map = self.clients.get_or_default(client);
         for &server in servers {
             stats.bindings += 1;
+            tm_count!(Tm::ResolverBindings);
             let refs = server_map.get_or_default(server);
             // Account replacements against the newest still-valid label.
             if let Some(prev) = refs.iter().rev().find_map(|r| clist.get(*r)) {
@@ -176,6 +182,7 @@ impl<F: TableFamily> DnsResolver<F> {
                     stats.replaced_same_fqdn += 1;
                 } else {
                     stats.replaced_different_fqdn += 1;
+                    tm_count!(Tm::ResolverConfusion);
                 }
             }
             refs.retain(|r| clist.get(*r).is_some());
@@ -206,9 +213,11 @@ impl<F: TableFamily> DnsResolver<F> {
     /// resolved for `server`.
     pub fn lookup(&mut self, client: IpAddr, server: IpAddr) -> Option<Arc<DomainName>> {
         self.stats.lookups += 1;
+        tm_count!(Tm::ResolverLookups);
         let found = self.peek(client, server);
         if found.is_some() {
             self.stats.hits += 1;
+            tm_count!(Tm::ResolverHits);
         }
         found
     }

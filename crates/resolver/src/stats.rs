@@ -36,8 +36,10 @@ impl ResolverStats {
     }
 
     /// Misses (lookups − hits) — the paper's §6 unresolved-flow count.
+    /// Saturating: a deserialized or hand-built value with `hits >
+    /// lookups` is inconsistent but must not panic/wrap.
     pub fn misses(&self) -> u64 {
-        self.lookups - self.hits
+        self.lookups.saturating_sub(self.hits)
     }
 
     /// Fraction of bindings that silently changed the label of a
@@ -67,5 +69,24 @@ mod tests {
         assert!((s.hit_ratio() - 0.9).abs() < 1e-12);
         assert_eq!(s.misses(), 1);
         assert!((s.confusion_ratio() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn misses_saturates_on_inconsistent_counts() {
+        // A hand-built (or corrupted/deserialized) stats value can carry
+        // hits > lookups; misses() must clamp to 0, not panic in debug
+        // or wrap in release.
+        let s = ResolverStats {
+            lookups: 3,
+            hits: 10,
+            ..ResolverStats::default()
+        };
+        assert_eq!(s.misses(), 0);
+        let ok = ResolverStats {
+            lookups: 10,
+            hits: 3,
+            ..ResolverStats::default()
+        };
+        assert_eq!(ok.misses(), 7);
     }
 }

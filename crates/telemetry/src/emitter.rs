@@ -1,0 +1,108 @@
+//! Packet-clock snapshot scheduling.
+//!
+//! A live deployment would snapshot on wall time; replaying a pcap on
+//! wall time would make output depend on host speed. [`SnapshotEmitter`]
+//! instead advances on the *packet* timestamps already flowing through
+//! the sniffer: the first observed timestamp arms the emitter, and every
+//! `interval` of trace time after it one snapshot falls due. Replays of
+//! the same trace therefore emit the same number of snapshots at the
+//! same trace times on any machine — and on a live capture the packet
+//! clock *is* wall time, so the same code serves both.
+
+/// Decides when a periodic snapshot falls due, driven by packet
+/// timestamps (µs). Pure state machine: no wall clock, no I/O.
+#[derive(Debug, Clone)]
+pub struct SnapshotEmitter {
+    interval_micros: u64,
+    next_due: Option<u64>,
+    /// Set when the schedule saturated at `u64::MAX`; nothing is due
+    /// after that (timestamps cannot advance past it).
+    exhausted: bool,
+}
+
+impl SnapshotEmitter {
+    /// An emitter firing every `interval_micros` of trace time
+    /// (clamped to at least 1µs).
+    pub fn new(interval_micros: u64) -> Self {
+        SnapshotEmitter {
+            interval_micros: interval_micros.max(1),
+            next_due: None,
+            exhausted: false,
+        }
+    }
+
+    /// Feed the next packet timestamp; `true` means one snapshot is due.
+    ///
+    /// The first call arms the emitter (no snapshot at trace start —
+    /// every cell would be zero). A gap spanning several intervals
+    /// yields a single `true` and the schedule realigns past `ts`, so a
+    /// quiet trace region cannot produce a burst of identical
+    /// snapshots.
+    pub fn poll(&mut self, ts_micros: u64) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        match self.next_due {
+            None => {
+                self.next_due = Some(ts_micros.saturating_add(self.interval_micros));
+                false
+            }
+            Some(due) if ts_micros >= due => {
+                let mut next = due;
+                while next <= ts_micros {
+                    let stepped = next.saturating_add(self.interval_micros);
+                    if stepped == next {
+                        // Saturated at u64::MAX: never due again.
+                        self.exhausted = true;
+                        break;
+                    }
+                    next = stepped;
+                }
+                self.next_due = Some(next);
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Trace timestamp of the next due snapshot (`None` until armed).
+    pub fn next_due_micros(&self) -> Option<u64> {
+        self.next_due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_every_interval_of_trace_time() {
+        let mut e = SnapshotEmitter::new(10);
+        assert!(!e.poll(100)); // arms at 110
+        assert!(!e.poll(105));
+        assert!(e.poll(110));
+        assert!(!e.poll(115));
+        assert!(e.poll(121));
+        assert_eq!(e.next_due_micros(), Some(130));
+    }
+
+    #[test]
+    fn long_gap_yields_single_emission() {
+        let mut e = SnapshotEmitter::new(10);
+        assert!(!e.poll(0));
+        assert!(e.poll(1_000)); // ~100 intervals late: one snapshot
+        assert!(!e.poll(1_001));
+        assert!(e.poll(1_010));
+    }
+
+    #[test]
+    fn zero_interval_and_saturation_are_safe() {
+        let mut e = SnapshotEmitter::new(0); // clamped to 1
+        assert!(!e.poll(5));
+        assert!(e.poll(6));
+        let mut e = SnapshotEmitter::new(u64::MAX);
+        assert!(!e.poll(10));
+        assert!(e.poll(u64::MAX)); // due saturates; fires once, then never
+        assert!(!e.poll(u64::MAX));
+    }
+}

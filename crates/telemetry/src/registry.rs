@@ -1,0 +1,329 @@
+//! The metrics registry: one relaxed-atomic cell per metric.
+//!
+//! A [`Registry`] is a flat `[AtomicU64; Metric::COUNT]` plus a few
+//! histogram cell blocks. Updates are single `fetch_add(Relaxed)` calls —
+//! no locks, no allocation, safe from any thread — and a [`Snapshot`]
+//! is a plain-value copy suitable for rendering, diffing, and merging.
+//!
+//! Merging is what makes parallel runs deterministic: every stable-class
+//! update is additive (counters, ±delta gauges, histogram cells), so the
+//! element-wise sum of per-shard registries equals the sequential run's
+//! registry regardless of scheduling (DESIGN.md "Telemetry and live
+//! monitoring").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::metric::{Metric, HIST_COUNT, HIST_METRICS};
+
+/// Number of finite log2 buckets: upper bounds `2^0 ..= 2^(BUCKETS-1)`.
+pub const BUCKETS: usize = 20;
+/// Finite buckets plus the overflow (`+Inf`) cell.
+pub const BUCKET_CELLS: usize = BUCKETS + 1;
+
+/// Bucket slot for an observed value: `v <= 2^i` lands in slot `i`,
+/// anything above `2^(BUCKETS-1)` in the overflow cell.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        let ceil_log2 = (64 - (v - 1).leading_zeros()) as usize;
+        ceil_log2.min(BUCKETS)
+    }
+}
+
+/// Inclusive upper bound of finite bucket `i` (the Prometheus `le` label).
+#[inline]
+pub fn bucket_le(i: usize) -> u64 {
+    1u64 << i.min(63)
+}
+
+/// Cells backing one histogram metric.
+#[derive(Debug)]
+struct HistCells {
+    buckets: [AtomicU64; BUCKET_CELLS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistCells {
+    fn new() -> Self {
+        HistCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn record(&self, v: u64) {
+        if let Some(cell) = self.buckets.get(bucket_index(v)) {
+            cell.fetch_add(1, Ordering::Relaxed);
+        }
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| {
+                self.buckets.get(i).map_or(0, |c| c.load(Ordering::Relaxed))
+            }),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket (non-cumulative) counts; last cell is overflow.
+    pub buckets: [u64; BUCKET_CELLS],
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: [0; BUCKET_CELLS],
+            sum: 0,
+            count: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.wrapping_add(*b);
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.count = self.count.wrapping_add(other.count);
+    }
+}
+
+/// The live metric cells. Cheap to create (a few hundred zeroed words);
+/// one per sniffer run, plus one per pipeline worker.
+#[derive(Debug)]
+pub struct Registry {
+    scalars: [AtomicU64; Metric::COUNT],
+    hists: [HistCells; HIST_COUNT],
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A registry with every cell zero.
+    pub fn new() -> Self {
+        Registry {
+            scalars: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| HistCells::new()),
+        }
+    }
+
+    /// Add `n` to a counter cell (relaxed; hot-path safe).
+    #[inline]
+    pub fn counter_add(&self, m: Metric, n: u64) {
+        if let Some(cell) = self.scalars.get(m.idx()) {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Apply a signed delta to a gauge cell. The cell stores the running
+    /// sum two's-complement, so concurrent ± updates commute.
+    #[inline]
+    pub fn gauge_add(&self, m: Metric, delta: i64) {
+        if let Some(cell) = self.scalars.get(m.idx()) {
+            cell.fetch_add(delta as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one observation into a histogram metric; no-op for
+    /// non-histogram metrics.
+    #[inline]
+    pub fn observe(&self, m: Metric, v: u64) {
+        if let Some(h) = m.hist_idx().and_then(|i| self.hists.get(i)) {
+            h.record(v);
+        }
+    }
+
+    /// Point-in-time copy of every cell.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            scalars: std::array::from_fn(|i| {
+                self.scalars.get(i).map_or(0, |c| c.load(Ordering::Relaxed))
+            }),
+            hists: std::array::from_fn(|i| {
+                self.hists
+                    .get(i)
+                    .map_or_else(HistSnapshot::default, HistCells::snapshot)
+            }),
+        }
+    }
+
+    /// Fold another registry's cells into this one (element-wise add).
+    /// Used by `ParallelSniffer::finish()` after joining its workers, so
+    /// the happens-before edge of the join makes the relaxed reads exact.
+    pub fn merge_from(&self, other: &Registry) {
+        for (dst, src) in self.scalars.iter().zip(other.scalars.iter()) {
+            let v = src.load(Ordering::Relaxed);
+            if v != 0 {
+                dst.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        for (dst, src) in self.hists.iter().zip(other.hists.iter()) {
+            for (d, s) in dst.buckets.iter().zip(src.buckets.iter()) {
+                let v = s.load(Ordering::Relaxed);
+                if v != 0 {
+                    d.fetch_add(v, Ordering::Relaxed);
+                }
+            }
+            dst.sum
+                .fetch_add(src.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+            dst.count
+                .fetch_add(src.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Plain-value copy of a [`Registry`]; the unit exporters consume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    scalars: [u64; Metric::COUNT],
+    hists: [HistSnapshot; HIST_COUNT],
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Snapshot {
+            scalars: [0; Metric::COUNT],
+            hists: [HistSnapshot::default(); HIST_COUNT],
+        }
+    }
+}
+
+impl Snapshot {
+    /// Raw cell value (counter sum, or a gauge's two's-complement level).
+    #[inline]
+    pub fn get(&self, m: Metric) -> u64 {
+        self.scalars.get(m.idx()).copied().unwrap_or_default()
+    }
+
+    /// Gauge level as a signed value.
+    #[inline]
+    pub fn gauge(&self, m: Metric) -> i64 {
+        self.get(m) as i64
+    }
+
+    /// Histogram cells for a histogram metric.
+    pub fn hist(&self, m: Metric) -> Option<&HistSnapshot> {
+        m.hist_idx().and_then(|i| self.hists.get(i))
+    }
+
+    /// Element-wise sum with another snapshot (live-mode aggregation of
+    /// per-worker registries before the final merge).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (a, b) in self.scalars.iter_mut().zip(other.scalars.iter()) {
+            *a = a.wrapping_add(*b);
+        }
+        for (a, b) in self.hists.iter_mut().zip(other.hists.iter()) {
+            a.merge(b);
+        }
+    }
+
+    /// Histogram metrics present in this snapshot, with their cells, in
+    /// catalog order.
+    pub fn histograms(&self) -> impl Iterator<Item = (Metric, &HistSnapshot)> {
+        HIST_METRICS.iter().copied().zip(self.hists.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 19), 19);
+        assert_eq!(bucket_index((1 << 19) + 1), BUCKETS);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS);
+        assert_eq!(bucket_le(0), 1);
+        assert_eq!(bucket_le(19), 1 << 19);
+    }
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        let r = Registry::new();
+        r.counter_add(Metric::IngestFrames, 3);
+        r.counter_add(Metric::IngestFrames, 2);
+        r.gauge_add(Metric::FlowTableSize, 5);
+        r.gauge_add(Metric::FlowTableSize, -2);
+        r.observe(Metric::RingOccupancy, 0);
+        r.observe(Metric::RingOccupancy, 3);
+        r.observe(Metric::RingOccupancy, 1 << 30);
+        // observe() on a non-histogram metric is a no-op, not a crash.
+        r.observe(Metric::IngestFrames, 9);
+
+        let s = r.snapshot();
+        assert_eq!(s.get(Metric::IngestFrames), 5);
+        assert_eq!(s.gauge(Metric::FlowTableSize), 3);
+        let h = s.hist(Metric::RingOccupancy).unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 3 + (1 << 30));
+        assert_eq!(h.buckets[0], 1); // v = 0
+        assert_eq!(h.buckets[2], 1); // v = 3
+        assert_eq!(h.buckets[BUCKETS], 1); // overflow
+        assert!(s.hist(Metric::IngestFrames).is_none());
+    }
+
+    #[test]
+    fn gauge_can_go_negative() {
+        let r = Registry::new();
+        r.gauge_add(Metric::FlowTableSize, -4);
+        assert_eq!(r.snapshot().gauge(Metric::FlowTableSize), -4);
+    }
+
+    #[test]
+    fn merge_is_elementwise_sum() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter_add(Metric::TagHits, 1);
+        b.counter_add(Metric::TagHits, 2);
+        b.gauge_add(Metric::ClistOccupancy, 7);
+        a.observe(Metric::BatchItems, 10);
+        b.observe(Metric::BatchItems, 100);
+        a.merge_from(&b);
+        let s = a.snapshot();
+        assert_eq!(s.get(Metric::TagHits), 3);
+        assert_eq!(s.gauge(Metric::ClistOccupancy), 7);
+        let h = s.hist(Metric::BatchItems).unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 110);
+
+        // Snapshot::merge agrees with Registry::merge_from.
+        let sa = Registry::new();
+        sa.counter_add(Metric::TagHits, 1);
+        sa.observe(Metric::BatchItems, 10);
+        let sb = Registry::new();
+        sb.counter_add(Metric::TagHits, 2);
+        sb.gauge_add(Metric::ClistOccupancy, 7);
+        sb.observe(Metric::BatchItems, 100);
+        let mut snap = sa.snapshot();
+        snap.merge(&sb.snapshot());
+        assert_eq!(snap, s);
+    }
+}

@@ -1,0 +1,151 @@
+//! Golden-file pin of the Prometheus text exposition.
+//!
+//! The exposition is consumed by external scrapers, so its exact byte
+//! layout is a public contract: metric order (the catalog order), the
+//! `# HELP`/`# TYPE` comments, cumulative `le` buckets, `_sum`/`_count`
+//! rows. This test renders a registry populated with fixed values and
+//! compares byte-for-byte against `tests/golden/exposition.prom`.
+//!
+//! To regenerate after an intentional format or catalog change:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test -p dnhunter-telemetry --test golden_exposition
+//! ```
+
+use std::sync::Arc;
+
+use dnhunter_telemetry as telemetry;
+use telemetry::{Metric, Registry};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("exposition.prom")
+}
+
+/// A registry with one fixed, nonzero value per metric so the golden file
+/// exercises every row the renderer can emit.
+fn sample_registry() -> Arc<Registry> {
+    let reg = Arc::new(Registry::new());
+    for (i, m) in Metric::ALL.iter().copied().enumerate() {
+        match m.info().kind {
+            telemetry::Kind::Counter => reg.counter_add(m, 100 + i as u64),
+            telemetry::Kind::Gauge => reg.gauge_add(m, 7 + i as i64),
+            telemetry::Kind::Histogram => {
+                reg.observe(m, 0);
+                reg.observe(m, 3);
+                reg.observe(m, 1 << 10);
+                reg.observe(m, 1 << 25); // overflow bucket
+            }
+        }
+    }
+    reg
+}
+
+#[test]
+fn exposition_matches_golden_file() {
+    let text = telemetry::prometheus(&sample_registry().snapshot(), true);
+    let path = golden_path();
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::write(&path, &text).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).expect(
+        "golden file missing — run with GOLDEN_UPDATE=1 to create tests/golden/exposition.prom",
+    );
+    assert_eq!(
+        text, golden,
+        "Prometheus exposition changed; if intentional, regenerate with GOLDEN_UPDATE=1"
+    );
+}
+
+/// Minimal Prometheus text-format parser: enough to prove a scraper can
+/// consume the exposition (comments well-formed, every sample line is
+/// `name[{labels}] integer`, TYPE declarations precede their samples).
+#[test]
+fn exposition_parses_as_prometheus_text() {
+    let text = telemetry::prometheus(&sample_registry().snapshot(), true);
+    let mut typed: Option<(String, String)> = None;
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            assert!(
+                rest.split_once(' ').is_some(),
+                "HELP without text: {line:?}"
+            );
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, ty) = rest.split_once(' ').expect("TYPE has name and kind");
+            assert!(
+                matches!(ty, "counter" | "gauge" | "histogram"),
+                "unknown TYPE {ty:?}"
+            );
+            typed = Some((name.to_string(), ty.to_string()));
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment: {line:?}");
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        assert!(
+            value.parse::<i64>().is_ok(),
+            "non-integer sample value: {line:?}"
+        );
+        let name = series.split('{').next().unwrap_or(series);
+        let (base, ty) = typed.as_ref().expect("sample before any TYPE");
+        // Histogram samples append _bucket/_sum/_count to the base name.
+        let belongs = match ty.as_str() {
+            "histogram" => {
+                name == format!("{base}_bucket")
+                    || name == format!("{base}_sum")
+                    || name == format!("{base}_count")
+            }
+            _ => name == *base,
+        };
+        assert!(belongs, "sample {name:?} outside its TYPE block ({base})");
+        if ty == "counter" {
+            assert!(
+                base.ends_with("_total"),
+                "counter {base:?} must end in _total"
+            );
+        }
+        if let Some(labels) = series.strip_prefix(format!("{name}{{").as_str()) {
+            let labels = labels.strip_suffix('}').expect("closing brace");
+            for pair in labels.split(',') {
+                let (k, v) = pair.split_once('=').expect("label k=v");
+                assert!(!k.is_empty() && v.starts_with('"') && v.ends_with('"'));
+            }
+        }
+        samples += 1;
+    }
+    // Every catalog metric contributed at least one sample row.
+    assert!(samples >= Metric::COUNT, "only {samples} sample rows");
+}
+
+/// Cross-bucket invariant a scraper relies on: `le` buckets are cumulative
+/// and the `+Inf` bucket equals `_count`.
+#[test]
+fn histogram_buckets_are_cumulative() {
+    let text = telemetry::prometheus(&sample_registry().snapshot(), true);
+    let mut last: Option<u64> = None;
+    let mut inf: Option<u64> = None;
+    let mut count: Option<u64> = None;
+    for line in text.lines() {
+        if line.starts_with("dnh_pipeline_ring_occupancy_bucket") {
+            let v: u64 = line
+                .rsplit_once(' ')
+                .and_then(|(_, v)| v.parse().ok())
+                .expect("bucket value");
+            if let Some(prev) = last {
+                assert!(v >= prev, "buckets must be cumulative: {line:?}");
+            }
+            last = Some(v);
+            if line.contains("+Inf") {
+                inf = Some(v);
+            }
+        } else if let Some(v) = line.strip_prefix("dnh_pipeline_ring_occupancy_count ") {
+            count = v.parse().ok();
+        }
+    }
+    assert_eq!(inf.expect("+Inf bucket"), count.expect("_count row"));
+}

@@ -1,4 +1,4 @@
-//! The DN-Hunter invariant lints (L1–L4).
+//! The DN-Hunter invariant lints (L1–L5).
 //!
 //! Each lint is a pass over a [`SourceFile`] (comments and string bodies
 //! already blanked, test spans marked) and reports [`Violation`]s. Lints are
@@ -12,6 +12,7 @@
 //! | L2 | no default-hasher `HashMap` in per-packet paths |
 //! | L3 | no lock guard held across another lock/shard/eviction call |
 //! | L4 | every public item in `resolver`/`dns` documented with a paper citation |
+//! | L5 | hot-path metric updates use the `tm_*!` macros, with no allocation/locking in the update |
 
 use crate::scan::SourceFile;
 
@@ -39,7 +40,7 @@ fn violation(
     }
 }
 
-const KNOWN_LINTS: &[&str] = &["L1", "L2", "L3", "L4"];
+const KNOWN_LINTS: &[&str] = &["L1", "L2", "L3", "L4", "L5"];
 
 /// M1: markers must name a known lint and give a non-empty reason.
 pub fn check_markers(file: &SourceFile) -> Vec<Violation> {
@@ -368,6 +369,80 @@ fn binding_name(trimmed: &str) -> Option<String> {
     Some(name)
 }
 
+/// Recorder entry points that must not be called directly from hot-path
+/// code (the `tm_*!` macros are the sanctioned spelling — one greppable
+/// idiom, and the macro layer is where any future compile-out lands).
+const L5_RECORDER_FNS: &[&str] = &["counter_add(", "gauge_add(", "observe(", "span("];
+
+/// Tokens that mean a metric update allocates, formats, or locks — all
+/// forbidden inside a per-packet increment.
+const L5_HEAVY_TOKENS: &[&str] = &[
+    "format!",
+    ".to_string()",
+    ".to_owned()",
+    "String::",
+    "vec!",
+    "Vec::new",
+    "Box::new",
+    "Mutex",
+    ".lock(",
+];
+
+/// L5: telemetry hygiene on the hot path. Two rules:
+///
+/// 1. Metric updates go through the `tm_count!`/`tm_gauge!`/`tm_observe!`/
+///    `tm_span!` macros — a direct `telemetry::counter_add(...)` (or any
+///    `*telemetry::` recorder-function call) is flagged.
+/// 2. A line performing a metric update must not also allocate, format,
+///    or take a lock: the update must stay a thread-local load plus one
+///    relaxed `fetch_add`.
+pub fn l5_telemetry_macros(file: &SourceFile) -> Vec<Violation> {
+    let allow = file.allow_mask("L5");
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.test || allow[i] {
+            continue;
+        }
+        let code = line.code.as_str();
+        for f in L5_RECORDER_FNS {
+            for (pos, _) in code.match_indices(f) {
+                // Only calls through a telemetry path are recorder calls;
+                // `snap.get(..)` or a local `observe(` helper is not.
+                if code[..pos].ends_with("telemetry::") {
+                    let name = f.trim_end_matches('(');
+                    out.push(violation(
+                        file,
+                        i,
+                        "L5",
+                        format!(
+                            "direct `telemetry::{name}(...)` call on the hot path; use the `tm_*!` macros"
+                        ),
+                    ));
+                }
+            }
+        }
+        let is_update = ["tm_count!", "tm_gauge!", "tm_observe!", "tm_span!"]
+            .iter()
+            .any(|m| code.contains(m));
+        if is_update {
+            for heavy in L5_HEAVY_TOKENS {
+                if code.contains(heavy) {
+                    out.push(violation(
+                        file,
+                        i,
+                        "L5",
+                        format!(
+                            "`{}` in a metric update; increments must not allocate, format, or lock",
+                            heavy.trim_matches(['.', '(', '!'])
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Citation tokens accepted by L4: paper sections, figures, algorithms, or
 /// the RFCs the wire formats implement.
 const CITATION_TOKENS: &[&str] = &[
@@ -561,5 +636,33 @@ mod tests {
         let src = "fn f() {\n    let x = v[0]; // allow_lint(L1)\n    let y = v[1]; // allow_lint(L9): what\n}\n";
         let v = check_markers(&file(src));
         assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn l5_flags_direct_recorder_calls() {
+        let src = "fn f() {\n    telemetry::counter_add(Tm::IngestFrames, 1);\n    dnhunter_telemetry::observe(Tm::BatchItems, n);\n    let _t = telemetry::span(Tm::MergeNanos);\n}\n";
+        let v = l5_telemetry_macros(&file(src));
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v[0].message.contains("tm_*!"));
+    }
+
+    #[test]
+    fn l5_accepts_macro_updates_and_unrelated_calls() {
+        let src = "fn f() {\n    tm_count!(Tm::IngestFrames);\n    dnhunter_telemetry::tm_count!(dnhunter_telemetry::Metric::NetParses);\n    tm_observe!(Tm::BatchItems, batch.items.len() as u64);\n    snap.observe_something(1);\n    let g = self.state.lock();\n}\n";
+        assert!(l5_telemetry_macros(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn l5_flags_allocation_in_updates() {
+        let src = "fn f() {\n    tm_count!(lookup(format!(\"{x}\")));\n    tm_observe!(Tm::BatchItems, items.to_string().len() as u64);\n    tm_gauge!(Tm::FlowTableSize, self.state.lock().len() as i64);\n}\n";
+        let v = l5_telemetry_macros(&file(src));
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v[0].message.contains("must not allocate"));
+    }
+
+    #[test]
+    fn l5_respects_allow_markers_and_tests() {
+        let src = "fn f() {\n    telemetry::counter_add(m, 1); // allow_lint(L5): startup path, not per-packet\n}\n#[cfg(test)]\nmod tests {\n    fn t() { telemetry::counter_add(m, 1); }\n}\n";
+        assert!(l5_telemetry_macros(&file(src)).is_empty());
     }
 }

@@ -1,8 +1,8 @@
 //! `cargo xtask` — workspace automation for the DN-Hunter reproduction.
 //!
 //! The only subcommand today is `lint`, the invariant gate described in
-//! DESIGN.md ("Machine-checked invariants"): four workspace-specific lints
-//! (L1–L4) that encode properties the paper's hot path depends on and that
+//! DESIGN.md ("Machine-checked invariants"): five workspace-specific lints
+//! (L1–L5) that encode properties the paper's hot path depends on and that
 //! rustc/clippy cannot express. Run as `cargo xtask lint` (aliased in
 //! `.cargo/config.toml`); exits non-zero on any violation, so CI can gate
 //! on it.
@@ -18,7 +18,13 @@ use scan::SourceFile;
 
 /// Hot-path crates: per-packet code where a panic or a SipHash map is a
 /// correctness/performance bug (L1, L2).
-const HOT_CRATES: &[&str] = &["net", "dns", "flow", "resolver"];
+const HOT_CRATES: &[&str] = &["net", "dns", "flow", "resolver", "telemetry"];
+/// Crates whose hot paths carry metric updates and must use the `tm_*!`
+/// macros (L5). The `telemetry` crate itself is exempt: it *defines* the
+/// recorder functions the macros expand to.
+const L5_EXEMPT_CRATES: &[&str] = &["telemetry"];
+/// Extra files outside the hot crates whose metric updates L5 checks.
+const L5_EXTRA_FILES: &[&str] = &["crates/core/src/sniffer.rs"];
 /// Crates holding locks whose guard discipline L3 checks.
 const LOCK_CRATES: &[&str] = &["resolver"];
 /// Crates whose public API must cite the paper (L4).
@@ -51,7 +57,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask <command>\n\ncommands:\n  lint    run the workspace invariant lints (L1-L4)");
+    eprintln!("usage: cargo xtask <command>\n\ncommands:\n  lint    run the workspace invariant lints (L1-L5)");
 }
 
 /// Workspace root, resolved from this crate's manifest directory so the
@@ -92,6 +98,9 @@ fn lint() -> ExitCode {
             if HOT_CRATES.contains(&krate) {
                 violations.extend(lints::l1_no_panics(&file));
                 violations.extend(lints::l2_no_siphash_maps(&file));
+                if !L5_EXEMPT_CRATES.contains(&krate) {
+                    violations.extend(lints::l5_telemetry_macros(&file));
+                }
             }
             if LOCK_CRATES.contains(&krate) {
                 violations.extend(lints::l3_no_guard_across_shards(&file));
@@ -116,6 +125,21 @@ fn lint() -> ExitCode {
         violations.extend(lints::l1_no_panics(&file));
         violations.extend(lints::l2_no_siphash_maps(&file));
         violations.extend(lints::l3_no_guard_across_shards(&file));
+        violations.extend(lints::l5_telemetry_macros(&file));
+    }
+    for rel in L5_EXTRA_FILES {
+        let path = root.join(rel);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let file = SourceFile::parse(PathBuf::from(rel), &text);
+        files_scanned += 1;
+        violations.extend(lints::check_markers(&file));
+        violations.extend(lints::l5_telemetry_macros(&file));
     }
 
     violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
@@ -129,7 +153,7 @@ fn lint() -> ExitCode {
         );
     }
     if violations.is_empty() {
-        println!("xtask lint: clean ({files_scanned} files, lints L1-L4)");
+        println!("xtask lint: clean ({files_scanned} files, lints L1-L5)");
         ExitCode::SUCCESS
     } else {
         println!(
