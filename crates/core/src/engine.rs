@@ -362,6 +362,8 @@ impl ShardEngine {
 fn add_sniffer_stats(into: &mut SnifferStats, from: &SnifferStats) {
     into.frames += from.frames;
     into.parse_errors += from.parse_errors;
+    into.frames_truncated += from.frames_truncated;
+    into.checksum_errors += from.checksum_errors;
     into.dns_queries += from.dns_queries;
     into.dns_responses += from.dns_responses;
     into.dns_decode_errors += from.dns_decode_errors;
@@ -466,9 +468,12 @@ pub(crate) fn assemble_report(
 mod tests {
     use super::*;
 
+    #[allow(clippy::too_many_arguments)]
     fn stats(
         frames: u64,
         parse_errors: u64,
+        frames_truncated: u64,
+        checksum_errors: u64,
         dns_queries: u64,
         dns_responses: u64,
         dns_decode_errors: u64,
@@ -478,6 +483,8 @@ mod tests {
         SnifferStats {
             frames,
             parse_errors,
+            frames_truncated,
+            checksum_errors,
             dns_queries,
             dns_responses,
             dns_decode_errors,
@@ -488,16 +495,38 @@ mod tests {
 
     #[test]
     fn sniffer_stats_accumulate_field_by_field() {
-        let mut into = stats(10, 1, 2, 3, 0, 4, 2);
-        add_sniffer_stats(&mut into, &stats(5, 0, 1, 2, 7, 3, 1));
-        assert_eq!(into, stats(15, 1, 3, 5, 7, 7, 3));
+        let mut into = stats(10, 1, 1, 0, 2, 3, 0, 4, 2);
+        add_sniffer_stats(&mut into, &stats(5, 2, 1, 1, 1, 2, 7, 3, 1));
+        assert_eq!(into, stats(15, 3, 2, 1, 3, 5, 7, 7, 3));
     }
 
     #[test]
     fn sniffer_stats_zero_shard_is_identity() {
-        let mut into = stats(10, 1, 2, 3, 4, 5, 6);
+        let mut into = stats(10, 1, 1, 0, 2, 3, 4, 5, 6);
         add_sniffer_stats(&mut into, &SnifferStats::default());
-        assert_eq!(into, stats(10, 1, 2, 3, 4, 5, 6));
+        assert_eq!(into, stats(10, 1, 1, 0, 2, 3, 4, 5, 6));
+    }
+
+    #[test]
+    fn note_parse_error_classifies_fault_families() {
+        let mut s = SnifferStats::default();
+        s.note_parse_error(&dnhunter_net::NetError::Truncated {
+            layer: "ipv4",
+            needed: 20,
+            available: 7,
+        });
+        s.note_parse_error(&dnhunter_net::NetError::BadChecksum {
+            layer: "ipv4",
+            expected: 1,
+            found: 2,
+        });
+        s.note_parse_error(&dnhunter_net::NetError::Unsupported {
+            layer: "ethernet",
+            detail: "arp".into(),
+        });
+        assert_eq!(s.parse_errors, 3);
+        assert_eq!(s.frames_truncated, 1);
+        assert_eq!(s.checksum_errors, 1);
     }
 
     #[test]

@@ -299,8 +299,8 @@ impl ParallelSniffer {
         self.trace_end = Some(self.trace_end.map_or(ts, |t| t.max(ts)));
         let view = match PacketView::parse(frame) {
             Ok(v) => v,
-            Err(_) => {
-                self.stats.parse_errors += 1;
+            Err(e) => {
+                self.stats.note_parse_error(&e);
                 self.busy_nanos += (t0.elapsed().as_nanos() as u64)
                     .saturating_sub(self.send_wait_nanos - send_before);
                 return;
@@ -342,9 +342,9 @@ impl ParallelSniffer {
     /// Route one user data frame to its flow's shard, mirroring the flow
     /// table's orientation rules, then run the eviction gate.
     fn dispatch_data(&mut self, seq: u64, ts: u64, view: &PacketView<'_>, frame: &[u8]) {
-        let (src_port, dst_port, tcp_flags) = match &view.transport {
-            TransportHeader::Tcp(h) => (h.src_port, h.dst_port, Some(h.flags)),
-            TransportHeader::Udp(h) => (h.src_port, h.dst_port, None),
+        let (src_port, dst_port, tcp_flags, tcp_seq) = match &view.transport {
+            TransportHeader::Tcp(h) => (h.src_port, h.dst_port, Some(h.flags), h.seq),
+            TransportHeader::Udp(h) => (h.src_port, h.dst_port, None, 0),
             TransportHeader::Opaque(_) => return,
         };
         let src = view.src_ip();
@@ -411,6 +411,7 @@ impl ParallelSniffer {
             dst_port,
             proto: view.ip.protocol(),
             tcp_flags,
+            tcp_seq,
             wire_bytes: frame.len(),
             payload_len,
         };

@@ -41,12 +41,34 @@ impl Default for SnifferConfig {
 pub struct SnifferStats {
     pub frames: u64,
     pub parse_errors: u64,
+    /// Subset of `parse_errors`: frames cut short of a header or length
+    /// field (snaplen truncation — the §3.2 vantage point's reality).
+    pub frames_truncated: u64,
+    /// Subset of `parse_errors`: frames failing a header checksum
+    /// (on-the-wire corruption).
+    pub checksum_errors: u64,
     pub dns_queries: u64,
     pub dns_responses: u64,
     pub dns_decode_errors: u64,
     /// Flow-start tag attempts and successes, outside warm-up.
     pub tag_attempts: u64,
     pub tag_hits: u64,
+}
+
+impl SnifferStats {
+    /// Record one rejected frame, classing truncation and checksum failure
+    /// apart from other malformations — the three fault families a passive
+    /// capture point actually produces. Both drivers (sequential and
+    /// pipeline dispatcher) route their parse rejects through here so the
+    /// merged report counts each class identically.
+    pub fn note_parse_error(&mut self, err: &dnhunter_net::NetError) {
+        self.parse_errors += 1;
+        match err {
+            dnhunter_net::NetError::Truncated { .. } => self.frames_truncated += 1,
+            dnhunter_net::NetError::BadChecksum { .. } => self.checksum_errors += 1,
+            _ => {}
+        }
+    }
 }
 
 /// Timing samples for Figs. 12–13 and the useless-DNS fraction (Tab. 9).
@@ -161,8 +183,8 @@ impl RealTimeSniffer {
         self.trace_end = Some(self.trace_end.map_or(ts, |t| t.max(ts)));
         let pkt = match Packet::parse(frame) {
             Ok(p) => p,
-            Err(_) => {
-                self.engine.stats.parse_errors += 1;
+            Err(e) => {
+                self.engine.stats.note_parse_error(&e);
                 return;
             }
         };
@@ -321,6 +343,38 @@ mod tests {
         assert_eq!(report.sniffer_stats.dns_responses, 1);
         assert_eq!(report.delays.first_flow_delays, vec![500_000]);
         assert_eq!(report.delays.useless_responses, 0);
+    }
+
+    #[test]
+    fn midstream_flow_is_tagged_on_first_observed_segment() {
+        // The capture starts mid-stream: the flow's first observed segment
+        // is a data packet, no SYN ever seen. Algorithm 1 keys on
+        // (client, server IP), not on handshake state, so the tagger must
+        // still label the flow at that first segment.
+        let mut s = RealTimeSniffer::new(no_warmup_config());
+        s.process_frame(
+            1_000_000,
+            &dns_response_frame("cdn.example.com", &[WEB_SERVER], 7),
+        );
+        let data = build_tcp_v4(
+            mac(1),
+            mac(2),
+            CLIENT,
+            WEB_SERVER,
+            50003,
+            443,
+            123_456,
+            1,
+            TcpFlags::PSH | TcpFlags::ACK,
+            b"\x17\x03\x01\x00\x10opaque-appdata..",
+        )
+        .unwrap();
+        s.process_frame(2_000_000, &data);
+        let report = s.finish();
+        assert_eq!(report.database.len(), 1);
+        let f = &report.database.flows()[0];
+        assert_eq!(f.fqdn.as_ref().unwrap().to_string(), "cdn.example.com");
+        assert_eq!(report.hit_ratio(), 1.0);
     }
 
     #[test]

@@ -33,6 +33,15 @@ pub struct FlowRecord {
     pub head_c2s: Vec<u8>,
     pub head_s2c: Vec<u8>,
     tcp: TcpTracker,
+    /// Segments observed starting beyond the expected sequence number
+    /// (packet loss, or the leading half of a reordering).
+    pub seq_gaps: u32,
+    /// Segments observed starting below the expected sequence number
+    /// (duplicate, retransmission, or late reordered delivery).
+    pub seq_rewinds: u32,
+    /// Per-direction next-expected TCP sequence number, once initialised.
+    next_seq_c2s: Option<u32>,
+    next_seq_s2c: Option<u32>,
     /// Cached DPI verdict; recomputed lazily when new head bytes arrive.
     dpi_dirty: bool,
     dpi_cache: AppProtocol,
@@ -52,6 +61,10 @@ impl FlowRecord {
             head_c2s: Vec::new(),
             head_s2c: Vec::new(),
             tcp: TcpTracker::new(),
+            seq_gaps: 0,
+            seq_rewinds: 0,
+            next_seq_c2s: None,
+            next_seq_s2c: None,
             dpi_dirty: true,
             dpi_cache: AppProtocol::Other,
         }
@@ -113,6 +126,53 @@ impl FlowRecord {
         }
         if let Some(flags) = tcp_flags {
             self.tcp.observe(from_client, flags, payload_len);
+        }
+    }
+
+    /// Track one direction's TCP sequence progression, counting gaps
+    /// (segment starts beyond the expected number: a drop or the leading
+    /// half of a reordering) and rewinds (segment starts below it: a
+    /// duplicate, retransmission, or late reordered delivery). Pure
+    /// wrapping arithmetic — a capture that starts mid-stream or wraps the
+    /// 32-bit space stays consistent. Empty rewinds (bare ACKs re-stating
+    /// an old number) are ignored; they carry no stream bytes.
+    pub fn observe_tcp_seq(
+        &mut self,
+        from_client: bool,
+        seq: u32,
+        payload_len: usize,
+        flags: dnhunter_net::TcpFlags,
+    ) {
+        // SYN and FIN each consume one sequence number (RFC 9293 §3.4).
+        let advance = (payload_len as u32)
+            .wrapping_add(u32::from(flags.syn()))
+            .wrapping_add(u32::from(flags.fin()));
+        let next = if from_client {
+            &mut self.next_seq_c2s
+        } else {
+            &mut self.next_seq_s2c
+        };
+        let Some(expected) = *next else {
+            *next = Some(seq.wrapping_add(advance));
+            return;
+        };
+        let delta = seq.wrapping_sub(expected) as i32;
+        if delta > 0 {
+            self.seq_gaps += 1;
+            dnhunter_telemetry::tm_count!(dnhunter_telemetry::Metric::TcpSeqGap);
+            *next = Some(seq.wrapping_add(advance));
+        } else if delta < 0 {
+            if payload_len > 0 || flags.syn() || flags.fin() {
+                self.seq_rewinds += 1;
+                dnhunter_telemetry::tm_count!(dnhunter_telemetry::Metric::TcpSeqRewind);
+            }
+            // Keep the high-water expectation unless the segment extends it.
+            let end = seq.wrapping_add(advance);
+            if (end.wrapping_sub(expected) as i32) > 0 {
+                *next = Some(end);
+            }
+        } else {
+            *next = Some(expected.wrapping_add(advance));
         }
     }
 
@@ -235,6 +295,106 @@ mod tests {
         r.observe(FlowDirection::ClientToServer, 1, ch.len(), &ch, None);
         assert_eq!(r.protocol(), AppProtocol::Tls);
         assert_eq!(r.protocol_now(), AppProtocol::Tls);
+    }
+
+    #[test]
+    fn seq_tracking_counts_gaps_and_rewinds() {
+        let mut r = FlowRecord::new(key(), 0);
+        let fl = TcpFlags::PSH | TcpFlags::ACK;
+        // Establish expectation: seq 1000, 100 bytes -> next = 1100.
+        r.observe_tcp_seq(true, 1_000, 100, fl);
+        assert_eq!((r.seq_gaps, r.seq_rewinds), (0, 0));
+        // In order: no fault.
+        r.observe_tcp_seq(true, 1_100, 50, fl);
+        assert_eq!((r.seq_gaps, r.seq_rewinds), (0, 0));
+        // A dropped segment: next arrives beyond expected 1150.
+        r.observe_tcp_seq(true, 1_400, 50, fl);
+        assert_eq!((r.seq_gaps, r.seq_rewinds), (1, 0));
+        // A retransmission of old data: below expected 1450.
+        r.observe_tcp_seq(true, 1_100, 50, fl);
+        assert_eq!((r.seq_gaps, r.seq_rewinds), (1, 1));
+        // An empty ACK re-stating an old number is not a rewind.
+        r.observe_tcp_seq(true, 1_100, 0, TcpFlags::ACK);
+        assert_eq!((r.seq_gaps, r.seq_rewinds), (1, 1));
+        // Directions are tracked independently.
+        r.observe_tcp_seq(false, 9_000, 10, fl);
+        r.observe_tcp_seq(false, 9_010, 10, fl);
+        assert_eq!((r.seq_gaps, r.seq_rewinds), (1, 1));
+    }
+
+    #[test]
+    fn seq_tracking_survives_wraparound() {
+        let mut r = FlowRecord::new(key(), 0);
+        let fl = TcpFlags::PSH | TcpFlags::ACK;
+        // 10 bytes covering MAX-9..=MAX: the next expected seq wraps to 0.
+        r.observe_tcp_seq(true, u32::MAX - 9, 10, fl);
+        // The next in-order segment starts at 0 (wrapped): no fault.
+        r.observe_tcp_seq(true, 0, 10, fl);
+        assert_eq!((r.seq_gaps, r.seq_rewinds), (0, 0));
+        // And a post-wrap retransmission still counts as a rewind.
+        r.observe_tcp_seq(true, 0, 10, fl);
+        assert_eq!((r.seq_gaps, r.seq_rewinds), (0, 1));
+    }
+
+    #[test]
+    fn syn_advances_expected_seq_by_one() {
+        let mut r = FlowRecord::new(key(), 0);
+        r.observe_tcp_seq(true, 500, 0, TcpFlags::SYN);
+        // ISN+1 is in order after a SYN.
+        r.observe_tcp_seq(true, 501, 20, TcpFlags::PSH | TcpFlags::ACK);
+        assert_eq!((r.seq_gaps, r.seq_rewinds), (0, 0));
+        // A duplicated SYN is a rewind even with no payload.
+        r.observe_tcp_seq(true, 500, 0, TcpFlags::SYN);
+        assert_eq!((r.seq_gaps, r.seq_rewinds), (0, 1));
+    }
+
+    #[test]
+    fn fin_advances_expected_seq_by_one() {
+        let mut r = FlowRecord::new(key(), 0);
+        r.observe_tcp_seq(true, 500, 0, TcpFlags::SYN);
+        r.observe_tcp_seq(true, 501, 20, TcpFlags::PSH | TcpFlags::ACK);
+        // FIN consumes one sequence number...
+        r.observe_tcp_seq(true, 521, 0, TcpFlags::FIN | TcpFlags::ACK);
+        // ...so an ACK restating seq 522 after it is in order, not a gap.
+        r.observe_tcp_seq(true, 522, 0, TcpFlags::ACK);
+        assert_eq!((r.seq_gaps, r.seq_rewinds), (0, 0));
+        // A retransmitted FIN is a rewind even with no payload.
+        r.observe_tcp_seq(true, 521, 0, TcpFlags::FIN | TcpFlags::ACK);
+        assert_eq!((r.seq_gaps, r.seq_rewinds), (0, 1));
+    }
+
+    #[test]
+    fn midstream_flow_accounting_stays_consistent() {
+        // A flow first observed mid-stream (no SYN ever): bytes/packets
+        // accounting and seq tracking initialise from the first segment.
+        let mut r = FlowRecord::new(key(), 10);
+        let fl = TcpFlags::PSH | TcpFlags::ACK;
+        r.observe(
+            FlowDirection::ClientToServer,
+            10,
+            120,
+            &[0x41; 54],
+            Some(fl),
+        );
+        r.observe_tcp_seq(true, 77_000, 54, fl);
+        r.observe(
+            FlowDirection::ServerToClient,
+            20,
+            1_400,
+            &[0x42; 1_334],
+            Some(fl),
+        );
+        r.observe_tcp_seq(false, 12_000, 1_334, fl);
+        assert_eq!(r.packets_c2s, 1);
+        assert_eq!(r.packets_s2c, 1);
+        assert_eq!(r.bytes_c2s, 120);
+        assert_eq!(r.bytes_s2c, 1_400);
+        assert_eq!((r.seq_gaps, r.seq_rewinds), (0, 0));
+        // Contiguous continuation in both directions stays fault-free.
+        r.observe_tcp_seq(true, 77_054, 10, fl);
+        r.observe_tcp_seq(false, 13_334, 10, fl);
+        assert_eq!((r.seq_gaps, r.seq_rewinds), (0, 0));
+        assert!(!r.tcp_state().is_terminal());
     }
 
     #[test]

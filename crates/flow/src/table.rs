@@ -47,6 +47,8 @@ pub struct CompactSeg {
     pub proto: IpProtocol,
     /// `None` for UDP segments.
     pub tcp_flags: Option<dnhunter_net::TcpFlags>,
+    /// TCP sequence number of this segment; 0 for UDP.
+    pub tcp_seq: u32,
     /// Full frame length on the wire.
     pub wire_bytes: usize,
     /// Full transport payload length (the shipped head may be shorter).
@@ -127,9 +129,9 @@ impl FlowTable {
     /// therefore feed packets through this method and call
     /// [`FlowTable::evict_idle`] only on ticks.
     pub fn process_no_scan(&mut self, ts: u64, pkt: &Packet, wire_bytes: usize) -> Vec<FlowEvent> {
-        let (src_port, dst_port, tcp_flags) = match &pkt.transport {
-            TransportHeader::Tcp(h) => (h.src_port, h.dst_port, Some(h.flags)),
-            TransportHeader::Udp(h) => (h.src_port, h.dst_port, None),
+        let (src_port, dst_port, tcp_flags, tcp_seq) = match &pkt.transport {
+            TransportHeader::Tcp(h) => (h.src_port, h.dst_port, Some(h.flags), h.seq),
+            TransportHeader::Udp(h) => (h.src_port, h.dst_port, None, 0),
             TransportHeader::Opaque(_) => return Vec::new(), // not reconstructed
         };
         let seg = CompactSeg {
@@ -139,6 +141,7 @@ impl FlowTable {
             dst_port,
             proto: pkt.ip.protocol(),
             tcp_flags,
+            tcp_seq,
             wire_bytes,
             payload_len: pkt.payload.len(),
         };
@@ -175,6 +178,13 @@ impl FlowTable {
             self.total_created += 1;
             tm_count!(Tm::FlowsStarted);
             tm_gauge!(Tm::FlowTableSize, 1);
+            // A TCP flow whose first observed segment carries no SYN means
+            // the capture started mid-stream (paper §3.2: PoP sniffers see
+            // flows already in flight). Count it but track it normally — the
+            // tagger still gets its chance on this first segment.
+            if seg.tcp_flags.is_some_and(|f| !f.syn()) {
+                tm_count!(Tm::FlowMidstreamStarts);
+            }
             FlowRecord::new(key, ts)
         });
         record.observe_seg(
@@ -185,6 +195,14 @@ impl FlowTable {
             seg.payload_len,
             seg.tcp_flags,
         );
+        if let Some(flags) = seg.tcp_flags {
+            record.observe_tcp_seq(
+                matches!(direction, FlowDirection::ClientToServer),
+                seg.tcp_seq,
+                seg.payload_len,
+                flags,
+            );
+        }
         events
     }
 
@@ -397,6 +415,89 @@ mod tests {
         let finished = ev.iter().any(|e| matches!(e, FlowEvent::FlowFinished(_)));
         assert!(finished);
         assert_eq!(t.total_finished(), 1);
+    }
+
+    fn tcp_pkt_seq(from_client: bool, flags: TcpFlags, seq: u32, payload: &[u8]) -> Packet {
+        let (s, d, sp, dp) = if from_client {
+            (client(), server(), 50000, 80)
+        } else {
+            (server(), client(), 80, 50000)
+        };
+        let frame = build_tcp_v4(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            s,
+            d,
+            sp,
+            dp,
+            seq,
+            0,
+            flags,
+            payload,
+        )
+        .unwrap();
+        Packet::parse(&frame).unwrap()
+    }
+
+    #[test]
+    fn midstream_flow_is_counted_and_tracked() {
+        use dnhunter_telemetry as telemetry;
+        let registry = std::sync::Arc::new(telemetry::Registry::new());
+        let _guard = telemetry::bind(registry.clone());
+        let mut t = FlowTable::new(FlowTableConfig::default());
+        // First observed segment of the flow carries data, no SYN: the
+        // capture started mid-stream.
+        let ev = t.process(
+            0,
+            &tcp_pkt_seq(true, TcpFlags::PSH | TcpFlags::ACK, 5_000, b"data"),
+            70,
+        );
+        assert!(matches!(ev.as_slice(), [FlowEvent::FlowStarted(_)]));
+        // Contiguous continuation: tracked cleanly, no phantom faults.
+        t.process(
+            10,
+            &tcp_pkt_seq(true, TcpFlags::PSH | TcpFlags::ACK, 5_004, b"more"),
+            70,
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.get(Tm::FlowMidstreamStarts), 1);
+        assert_eq!(snap.get(Tm::TcpSeqGap), 0);
+        assert_eq!(snap.get(Tm::TcpSeqRewind), 0);
+        // Byte accounting covers every observed frame despite the missing
+        // handshake.
+        let finished = t.flush();
+        match &finished[0] {
+            FlowEvent::FlowFinished(r) => {
+                assert_eq!(r.packets_c2s, 2);
+                assert_eq!(r.bytes_c2s, 140);
+                assert_eq!((r.seq_gaps, r.seq_rewinds), (0, 0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syn_opened_flow_is_not_midstream_and_faults_are_counted() {
+        use dnhunter_telemetry as telemetry;
+        let registry = std::sync::Arc::new(telemetry::Registry::new());
+        let _guard = telemetry::bind(registry.clone());
+        let mut t = FlowTable::new(FlowTableConfig::default());
+        t.process(0, &tcp_pkt_seq(true, TcpFlags::SYN, 100, &[]), 74);
+        // 100+1 expected; jump to 300 = a gap; replaying 101 = a rewind.
+        t.process(
+            10,
+            &tcp_pkt_seq(true, TcpFlags::PSH | TcpFlags::ACK, 300, b"x"),
+            67,
+        );
+        t.process(
+            20,
+            &tcp_pkt_seq(true, TcpFlags::PSH | TcpFlags::ACK, 101, b"y"),
+            67,
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.get(Tm::FlowMidstreamStarts), 0);
+        assert_eq!(snap.get(Tm::TcpSeqGap), 1);
+        assert_eq!(snap.get(Tm::TcpSeqRewind), 1);
     }
 
     #[test]

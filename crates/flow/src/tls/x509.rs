@@ -94,15 +94,22 @@ fn read_tlv(der: &[u8], pos: usize) -> Option<(u8, usize, usize)> {
 /// in X.509, so the last CN is the subject's) — the same byte-scanning
 /// heuristic certificate-inspection middleboxes use: find the encoded
 /// id-at-commonName OID (`06 03 55 04 03`) and read the string TLV after it.
-// allow_lint(L1): the window i..i+needle.len() is readable by the loop guard; vs..ve come from read_tlv, which bounds-checks them against der.len()
+///
+/// A CN is only reported when the certificate's outer TLV is *complete* in
+/// the buffer. On a truncated capture the subject name is exactly the part
+/// most likely to be cut, and the last CN still present would be the
+/// **issuer**'s — reporting it would hand the flow tagger a bogus FQDN
+/// (the CA's name). No name beats a wrong name.
+// allow_lint(L1): the window i..i+needle.len() is readable by the loop guard (outer_end <= der.len() from read_tlv); vs..ve come from read_tlv, which bounds-checks them against der.len()
 pub fn extract_common_name(der: &[u8]) -> Option<String> {
+    let (_, _, outer_end) = read_tlv(der, 0)?;
     let mut found: Option<String> = None;
     let needle = [TAG_OID, OID_CN.len() as u8, OID_CN[0], OID_CN[1], OID_CN[2]];
     let mut i = 0;
-    while i + needle.len() <= der.len() {
+    while i + needle.len() <= outer_end {
         if der[i..i + needle.len()] == needle {
             if let Some((tag, vs, ve)) = read_tlv(der, i + needle.len()) {
-                if tag == TAG_UTF8STRING || tag == TAG_PRINTABLESTRING {
+                if ve <= outer_end && (tag == TAG_UTF8STRING || tag == TAG_PRINTABLESTRING) {
                     found = Some(String::from_utf8_lossy(&der[vs..ve]).to_ascii_lowercase());
                 }
             }
@@ -165,6 +172,20 @@ mod tests {
         for cut in [1, 5, der.len() / 2] {
             // Must not panic; result may be None or partial.
             let _ = extract_common_name(&der[..cut]);
+        }
+    }
+
+    #[test]
+    fn truncation_never_surfaces_the_issuer_cn() {
+        // Cutting the subject off a certificate must not promote the
+        // issuer's CN to "the" CN: every strict prefix yields None.
+        let der = build_certificate("subject.example.com", "issuer-ca.example.com");
+        for cut in 0..der.len() {
+            assert_eq!(
+                extract_common_name(&der[..cut]),
+                None,
+                "prefix of {cut} bytes produced a CN"
+            );
         }
     }
 }

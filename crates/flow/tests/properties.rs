@@ -99,4 +99,93 @@ proptest! {
         }
         prop_assert_eq!(counted, fed);
     }
+
+    /// Truncated or byte-mangled HTTP request lines never panic the
+    /// extractor and never fabricate a host: whatever `parse_request`
+    /// returns for a mangled prefix, a `Host:` value is either absent or a
+    /// substring that really occurs in the input — no bogus FQDNs fed to
+    /// the tagger's ground truth.
+    #[test]
+    fn mangled_http_never_panics_or_fabricates(
+        host in arb_host(),
+        cut_seed in any::<usize>(),
+        flip_pos in any::<usize>(),
+        flip in any::<u8>(),
+    ) {
+        let mut req = http::build_request("GET", "/a/b", &host, "agent/1.0");
+        let cut = 1 + cut_seed % req.len();
+        req.truncate(cut);
+        if let Some(b) = req.get_mut(flip_pos % cut) {
+            *b ^= flip;
+        }
+        let _ = http::looks_like_http_request(&req); // must not panic
+        if let Some(parsed) = http::parse_request(&req) {
+            if let Some(h) = parsed.host {
+                let hay = String::from_utf8_lossy(&req).to_lowercase();
+                prop_assert!(
+                    hay.contains(&h.to_lowercase()),
+                    "host {h:?} not present in mangled input"
+                );
+            }
+        }
+    }
+
+    /// Pure garbage is never parsed into an HTTP request with a host.
+    #[test]
+    fn garbage_http_yields_no_host(junk in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = http::looks_like_http_request(&junk);
+        if let Some(parsed) = http::parse_request(&junk) {
+            if let Some(h) = parsed.host {
+                let hay = String::from_utf8_lossy(&junk).to_lowercase();
+                prop_assert!(hay.contains(&h.to_lowercase()));
+            }
+        }
+    }
+
+    /// Every strict prefix of a ClientHello is handled without panicking,
+    /// and an SNI is only ever reported if it is the real one — a cut
+    /// handshake must never yield a corrupted server name.
+    #[test]
+    fn client_hello_prefixes_never_fabricate_sni(
+        host in arb_host(),
+        seed in any::<u64>(),
+        cut_seed in any::<usize>(),
+    ) {
+        let ch = tls::build_client_hello(Some(&host), seed);
+        let cut = cut_seed % ch.len(); // strict prefix
+        let info = tls::inspect(&ch[..cut]);
+        if let Some(sni) = info.sni {
+            prop_assert_eq!(sni, host);
+        }
+    }
+
+    /// Same for the server flight: a truncated certificate either yields
+    /// no CN or the genuine one, never a mangled name.
+    #[test]
+    fn server_flight_prefixes_never_fabricate_cn(
+        host in arb_host(),
+        seed in any::<u64>(),
+        cut_seed in any::<usize>(),
+    ) {
+        let cn = format!("*.{host}");
+        let fl = tls::build_server_flight(Some(&cn), seed);
+        let cut = cut_seed % fl.len();
+        let info = tls::inspect(&fl[..cut]);
+        if let Some(got) = info.certificate_cn {
+            prop_assert_eq!(got, cn.to_ascii_lowercase());
+        }
+    }
+
+    /// Truncated DER never panics the X.509 subset and never invents a CN.
+    #[test]
+    fn x509_prefixes_never_fabricate_cn(
+        host in arb_host(),
+        cut_seed in any::<usize>(),
+    ) {
+        let der = x509::build_certificate(&host, "Test CA");
+        let cut = cut_seed % der.len();
+        if let Some(got) = x509::extract_common_name(&der[..cut]) {
+            prop_assert_eq!(got, host.to_ascii_lowercase());
+        }
+    }
 }

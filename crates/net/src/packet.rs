@@ -115,12 +115,17 @@ impl<'a> PacketView<'a> {
     ///
     /// Non-IP frames and IP fragments beyond the first are rejected with
     /// [`NetError::Unsupported`]; the passive sniffer simply skips them, as
-    /// the paper's tool does.
+    /// the paper's tool does. A frame cut short of a header or of a length
+    /// field's claim is [`NetError::Truncated`] — "snaplen cut us off" and
+    /// "VLAN we don't speak" are different capture pathologies and are
+    /// counted apart.
     ///
     /// Telemetry: accepted frames count into `dnh_net_parses_total`
-    /// (runtime class — the two-stage pipeline parses DNS frames twice)
-    /// and rejected ones into `dnh_net_frames_malformed_total` (stable —
-    /// malformed frames are rejected exactly once by every driver).
+    /// (runtime class — the two-stage pipeline parses DNS frames twice);
+    /// rejects split by cause into `dnh_net_frames_truncated_total`,
+    /// `dnh_net_checksum_errors_total`, and
+    /// `dnh_net_frames_malformed_total` (all stable — a rejected frame is
+    /// counted exactly once by every driver).
     pub fn parse(frame: &'a [u8]) -> Result<PacketView<'a>> {
         match Self::parse_inner(frame) {
             Ok(view) => {
@@ -128,7 +133,19 @@ impl<'a> PacketView<'a> {
                 Ok(view)
             }
             Err(e) => {
-                dnhunter_telemetry::tm_count!(dnhunter_telemetry::Metric::NetFramesMalformed);
+                match &e {
+                    NetError::Truncated { .. } => {
+                        dnhunter_telemetry::tm_count!(
+                            dnhunter_telemetry::Metric::NetFramesTruncated
+                        )
+                    }
+                    NetError::BadChecksum { .. } => {
+                        dnhunter_telemetry::tm_count!(dnhunter_telemetry::Metric::NetChecksumErrors)
+                    }
+                    _ => dnhunter_telemetry::tm_count!(
+                        dnhunter_telemetry::Metric::NetFramesMalformed
+                    ),
+                }
                 Err(e)
             }
         }

@@ -116,4 +116,29 @@ proptest! {
     fn parser_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..200)) {
         let _ = Packet::parse(&junk);
     }
+
+    /// Every strict prefix of a valid frame is a *truncation*: the builders
+    /// never pad, so cutting anywhere under-runs some header or length
+    /// claim, and the parser must classify it as `NetError::Truncated` —
+    /// the distinct class the snaplen-fault telemetry counts — not lump it
+    /// under `Unsupported`.
+    #[test]
+    fn every_frame_prefix_is_classified_truncated(
+        src in arb_ipv4(),
+        dst in arb_ipv4(),
+        sport in 1u16..,
+        dport in 1u16..,
+        payload in proptest::collection::vec(any::<u8>(), 1..600),
+        cut_seed in any::<usize>(),
+    ) {
+        let frame = build_udp_v4(
+            MacAddr::from_id(1), MacAddr::from_id(2),
+            src, dst, sport, dport, &payload,
+        ).unwrap();
+        let cut = cut_seed % frame.len(); // 0..len-1: always a strict prefix
+        match Packet::parse(&frame[..cut]) {
+            Err(dnhunter_net::NetError::Truncated { .. }) => {}
+            other => prop_assert!(false, "prefix of {cut} bytes gave {:?}", other),
+        }
+    }
 }

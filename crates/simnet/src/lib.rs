@@ -35,6 +35,7 @@ pub mod client;
 pub mod config;
 pub mod diurnal;
 pub mod dnsmodel;
+pub mod fault;
 pub mod flowgen;
 pub mod generator;
 pub mod profiles;
@@ -42,5 +43,6 @@ pub mod profiles;
 pub use address::{AddressAllocator, PtrZone};
 pub use catalog::{Catalog, Domain, Hosting, NamePattern, PayloadStyle, PoolSchedule, Service};
 pub use config::{AccessTech, Geography, TraceProfile};
+pub use fault::{FaultPlan, FaultStats};
 pub use generator::{Trace, TraceGenerator};
 pub use profiles::{all_paper_profiles, live_profile, profile_by_name};

@@ -83,7 +83,11 @@ metrics! {
     IngestDnsQueries => "dnh_ingest_dns_queries_total", Counter, Stable,
         "Client DNS queries observed (used for response-time pairing)";
     NetFramesMalformed => "dnh_net_frames_malformed_total", Counter, Stable,
-        "Frames rejected by the Ethernet/IP/transport parser";
+        "Frames rejected by the Ethernet/IP/transport parser (other than truncation or checksum failure)";
+    NetFramesTruncated => "dnh_net_frames_truncated_total", Counter, Stable,
+        "Frames cut short of a header or length field (snaplen truncation at the capture point)";
+    NetChecksumErrors => "dnh_net_checksum_errors_total", Counter, Stable,
+        "Frames rejected by a failed header checksum (on-the-wire corruption)";
     DnsMessagesDecoded => "dnh_dns_messages_decoded_total", Counter, Stable,
         "DNS messages decoded successfully (UDP payloads and TCP stream records)";
     DnsDecodeErrors => "dnh_dns_decode_errors_total", Counter, Stable,
@@ -108,6 +112,12 @@ metrics! {
         "Flows closed (FIN/RST, idle eviction, SYN reuse, or final flush)";
     FlowSynReuse => "dnh_flow_syn_reuse_total", Counter, Stable,
         "Flows terminated early because their 4-tuple was reused by a new SYN";
+    FlowMidstreamStarts => "dnh_flow_midstream_starts_total", Counter, Stable,
+        "TCP flows whose first observed segment carried no SYN (capture started mid-stream)";
+    TcpSeqGap => "dnh_tcp_seq_gap_total", Counter, Stable,
+        "TCP segments starting beyond the expected sequence number (packet loss or reordering gap)";
+    TcpSeqRewind => "dnh_tcp_seq_rewind_total", Counter, Stable,
+        "TCP segments starting below the expected sequence number (duplicate, retransmission, or late reordered delivery)";
     FlowTableSize => "dnh_flow_table_size", Gauge, Stable,
         "Flows currently live in the flow table";
     TagAttempts => "dnh_tag_attempts_total", Counter, Stable,

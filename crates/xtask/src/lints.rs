@@ -40,7 +40,7 @@ fn violation(
     }
 }
 
-const KNOWN_LINTS: &[&str] = &["L1", "L2", "L3", "L4", "L5"];
+const KNOWN_LINTS: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6"];
 
 /// M1: markers must name a known lint and give a non-empty reason.
 pub fn check_markers(file: &SourceFile) -> Vec<Violation> {
@@ -546,6 +546,79 @@ pub fn l4_docs_cite_paper(file: &SourceFile) -> Vec<Violation> {
                 "L4",
                 format!("doc for `{item}` cites no paper section (§ / Algorithm / Fig. / RFC ...)"),
             ));
+        }
+    }
+    out
+}
+
+/// L6: property-test corpora are committed and never gitignored. Every
+/// `crates/*/tests/properties.rs` must have a sibling
+/// `properties.proptest-regressions` file in the tree (the seed corpus of
+/// previously-failing cases), and no `.gitignore` anywhere in the
+/// workspace may hide `proptest-regressions` files — a hidden corpus
+/// silently un-pins every regression it recorded.
+pub fn l6_proptest_corpora(root: &std::path::Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<std::path::PathBuf> = std::fs::read_dir(&crates_dir)
+        .map(|rd| rd.flatten().map(|e| e.path()).collect())
+        .unwrap_or_default();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let props = dir.join("tests").join("properties.rs");
+        if !props.is_file() {
+            continue;
+        }
+        let corpus = dir.join("tests").join("properties.proptest-regressions");
+        if !corpus.is_file() {
+            out.push(Violation {
+                path: props.strip_prefix(root).unwrap_or(&props).to_path_buf(),
+                line: 1,
+                lint: "L6",
+                message: "property tests have no committed sibling \
+                          `properties.proptest-regressions` corpus"
+                    .into(),
+            });
+        }
+    }
+    for ignore in gitignore_files(root) {
+        let Ok(text) = std::fs::read_to_string(&ignore) else {
+            continue;
+        };
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if !line.starts_with('#')
+                && !line.starts_with('!')
+                && line.contains("proptest-regressions")
+            {
+                out.push(Violation {
+                    path: ignore.strip_prefix(root).unwrap_or(&ignore).to_path_buf(),
+                    line: i + 1,
+                    lint: "L6",
+                    message: format!("`{line}` gitignores proptest regression corpora"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Every `.gitignore` in the tree, skipping build output.
+fn gitignore_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    let mut entries: Vec<std::path::PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                out.extend(gitignore_files(&path));
+            }
+        } else if name == ".gitignore" {
+            out.push(path);
         }
     }
     out

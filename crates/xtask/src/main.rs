@@ -1,12 +1,18 @@
 //! `cargo xtask` — workspace automation for the DN-Hunter reproduction.
 //!
-//! The only subcommand today is `lint`, the invariant gate described in
-//! DESIGN.md ("Machine-checked invariants"): five workspace-specific lints
-//! (L1–L5) that encode properties the paper's hot path depends on and that
-//! rustc/clippy cannot express. Run as `cargo xtask lint` (aliased in
-//! `.cargo/config.toml`); exits non-zero on any violation, so CI can gate
-//! on it.
+//! Two subcommands:
+//!
+//! * `lint` — the invariant gate described in DESIGN.md ("Machine-checked
+//!   invariants"): workspace-specific lints (L1–L6) that encode properties
+//!   the paper's hot path depends on and that rustc/clippy cannot express.
+//!   Exits non-zero on any violation, so CI can gate on it.
+//! * `fuzz` — the seeded structure-aware corpus fuzzer over the ingest
+//!   parsers (DNS codec, frame parser, DPI extractors); panics shrink to
+//!   minimal reproducers committed under `tests/corpus/regressions/`.
+//!
+//! Both run as `cargo xtask <cmd>` (aliased in `.cargo/config.toml`).
 
+mod fuzz;
 mod lints;
 mod scan;
 
@@ -44,6 +50,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("fuzz") => fuzz::run(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask `{other}`\n");
             usage();
@@ -57,7 +64,9 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask <command>\n\ncommands:\n  lint    run the workspace invariant lints (L1-L5)");
+    eprintln!(
+        "usage: cargo xtask <command>\n\ncommands:\n  lint    run the workspace invariant lints (L1-L6)\n  fuzz    seeded corpus fuzzer over the ingest parsers\n          [--smoke] [--cases N] [--seed S] [--max-seconds T]"
+    );
 }
 
 /// Workspace root, resolved from this crate's manifest directory so the
@@ -141,6 +150,7 @@ fn lint() -> ExitCode {
         violations.extend(lints::check_markers(&file));
         violations.extend(lints::l5_telemetry_macros(&file));
     }
+    violations.extend(lints::l6_proptest_corpora(&root));
 
     violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     for v in &violations {
@@ -153,7 +163,7 @@ fn lint() -> ExitCode {
         );
     }
     if violations.is_empty() {
-        println!("xtask lint: clean ({files_scanned} files, lints L1-L5)");
+        println!("xtask lint: clean ({files_scanned} files, lints L1-L6)");
         ExitCode::SUCCESS
     } else {
         println!(
