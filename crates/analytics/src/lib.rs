@@ -16,6 +16,7 @@
 //! | [`appspot`] | §5.6, Tab. 8, Figs. 10–11 — the appspot.com case study |
 //! | [`confusion`] | §6 — label-confusion and answer-list statistics |
 //! | [`anomaly`] | §4.1's sketched application: DNS hijack/poisoning detection |
+//! | [`streaming`] | the one-pass in-stream variant of spatial/content/tags/growth/delay, plus offline-equivalence checks |
 //! | [`cdf`], [`timeseries`], [`report`] | shared statistical/rendering plumbing |
 
 #![forbid(unsafe_code)]
@@ -30,6 +31,7 @@ pub mod delay;
 pub mod growth;
 pub mod report;
 pub mod spatial;
+pub mod streaming;
 pub mod tags;
 pub mod timeseries;
 pub mod tree;

@@ -18,7 +18,10 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dnhunter::{ParallelSniffer, RealTimeSniffer, SnifferConfig, SnifferReport};
+use dnhunter::{
+    ParallelSniffer, RealTimeSniffer, SnifferConfig, SnifferReport, StreamingAnalytics,
+    StreamingConfig,
+};
 use dnhunter_simnet::{profiles, TraceGenerator};
 use dnhunter_telemetry as telemetry;
 use serde::Serialize;
@@ -91,6 +94,20 @@ struct TelemetryOverhead {
     within_budget: bool,
 }
 
+/// One-pass streaming-analytics overhead: the sequential workload rerun
+/// with a [`StreamingAnalytics`] sink installed, against the plain run.
+/// Informational (the CI gate watches throughput, not this fraction), but
+/// recorded so regressions in the sink's hot path are visible in the JSON.
+#[derive(Serialize)]
+struct StreamingOverhead {
+    enabled_wall_secs: f64,
+    disabled_wall_secs: f64,
+    enabled_wall_secs_all_reps: Vec<f64>,
+    overhead_fraction: f64,
+    /// Every repetition rendered byte-identical streaming output.
+    render_identical_all_reps: bool,
+}
+
 /// Everything `BENCH_sniffer.json` records.
 #[derive(Serialize)]
 struct BenchReport {
@@ -99,6 +116,7 @@ struct BenchReport {
     trace: TraceInfo,
     single_thread: SingleThread,
     telemetry_overhead: TelemetryOverhead,
+    streaming_overhead: StreamingOverhead,
     pipeline: Vec<PipelineRun>,
     allocation_diet: AllocationDiet,
     determinism_all_runs: bool,
@@ -176,6 +194,9 @@ pub fn run(quick: bool) -> BenchOutcome {
     let mut frames = 0u64;
     let mut single_walls: Vec<f64> = Vec::new();
     let mut telemetry_walls: Vec<f64> = Vec::new();
+    let mut streaming_walls: Vec<f64> = Vec::new();
+    let mut streaming_render: Option<String> = None;
+    let mut streaming_render_identical = true;
     let mut pipe_walls: Vec<Vec<f64>> = vec![Vec::new(); worker_counts.len()];
     // Busy-time decomposition from each worker count's *fastest* rep.
     let mut pipe_best: Vec<Option<(f64, f64, Vec<f64>)>> = vec![None; worker_counts.len()];
@@ -221,6 +242,33 @@ pub fn run(quick: bool) -> BenchOutcome {
         telemetry_walls.push(t0.elapsed().as_secs_f64());
         drop(guard);
         determinism_all &= reference_digest.as_deref() == Some(digest(&report).as_str());
+
+        // The same sequential workload once more with the one-pass
+        // streaming-analytics sink attached, to price its per-event cost.
+        eprintln!(
+            "# bench-sniffer: rep {}/{reps}: sequential run, streaming analytics",
+            rep + 1
+        );
+        let t0 = Instant::now();
+        let mut streaming = RealTimeSniffer::new(config.clone());
+        streaming.set_sink(Box::new(
+            StreamingAnalytics::new(StreamingConfig::default()),
+        ));
+        for rec in &trace.records {
+            streaming.process_record(rec);
+        }
+        let (report, sinks) = streaming.finish_with_sinks();
+        streaming_walls.push(t0.elapsed().as_secs_f64());
+        determinism_all &= reference_digest.as_deref() == Some(digest(&report).as_str());
+        if let Some(folded) = StreamingAnalytics::fold(sinks) {
+            let rendered = folded.render();
+            match &streaming_render {
+                Some(r) => streaming_render_identical &= rendered == *r,
+                None => streaming_render = Some(rendered),
+            }
+        } else {
+            streaming_render_identical = false;
+        }
 
         for (wi, &workers) in worker_counts.iter().enumerate() {
             eprintln!(
@@ -290,6 +338,18 @@ pub fn run(quick: bool) -> BenchOutcome {
         within_budget: overhead_fraction <= TELEMETRY_BUDGET_FRACTION,
     };
 
+    let streaming_wall = streaming_walls
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let streaming_overhead = StreamingOverhead {
+        enabled_wall_secs: streaming_wall,
+        disabled_wall_secs: single_wall,
+        enabled_wall_secs_all_reps: streaming_walls,
+        overhead_fraction: ((streaming_wall - single_wall) / single_wall.max(1e-9)).max(0.0),
+        render_identical_all_reps: streaming_render_identical,
+    };
+
     let mut pipeline_runs = Vec::new();
     for (wi, &workers) in worker_counts.iter().enumerate() {
         let walls = std::mem::take(&mut pipe_walls[wi]);
@@ -327,6 +387,7 @@ pub fn run(quick: bool) -> BenchOutcome {
         },
         single_thread: single,
         telemetry_overhead,
+        streaming_overhead,
         pipeline: pipeline_runs,
         allocation_diet: diet.unwrap_or(AllocationDiet {
             fqdn_arc_allocs_before: 0,

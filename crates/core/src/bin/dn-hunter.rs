@@ -16,13 +16,17 @@ use std::io::{BufReader, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use dnhunter::{ParallelSniffer, RealTimeSniffer, SnifferConfig, SnifferReport};
+use dnhunter::{
+    FlowSink, ParallelSniffer, RealTimeSniffer, SnifferConfig, SnifferReport, StreamingAnalytics,
+    StreamingConfig,
+};
 use dnhunter_net::{PcapReader, PcapRecord};
 use dnhunter_telemetry as telemetry;
 
 fn usage() -> &'static str {
     "usage: dn-hunter <capture.pcap> [--flows] [--json] [--tstat] [--csv] [--port N] \
-     [--warmup SECS] [--workers N] [--metrics FILE] [--metrics-interval SECS] [--metrics-full]"
+     [--warmup SECS] [--workers N] [--metrics FILE] [--metrics-interval SECS] [--metrics-full] \
+     [--stream-analytics FILE] [--stream-interval SECS]"
 }
 
 /// Either sniffer behind one replay loop, so `--workers`/`--metrics`
@@ -50,10 +54,10 @@ impl Driver {
         snap
     }
 
-    fn finish(self) -> SnifferReport {
+    fn finish(self) -> (SnifferReport, Vec<Box<dyn FlowSink>>) {
         match self {
-            Driver::Seq(s) => s.finish(),
-            Driver::Par(p) => p.finish(),
+            Driver::Seq(s) => s.finish_with_sinks(),
+            Driver::Par(p) => p.finish_with_sinks(),
         }
     }
 }
@@ -71,6 +75,8 @@ fn main() -> ExitCode {
     let mut metrics_path: Option<String> = None;
     let mut metrics_interval_secs: u64 = 60;
     let mut metrics_full = false;
+    let mut stream_path: Option<String> = None;
+    let mut stream_interval_secs: u64 = 300;
 
     let mut i = 0;
     while i < args.len() {
@@ -106,6 +112,26 @@ fn main() -> ExitCode {
                     Some(s) if s >= 1 => metrics_interval_secs = s,
                     _ => {
                         eprintln!("--metrics-interval needs seconds >= 1\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--stream-analytics" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => stream_path = Some(p.clone()),
+                    None => {
+                        eprintln!("--stream-analytics needs a file path\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--stream-interval" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) if s >= 1 => stream_interval_secs = s,
+                    _ => {
+                        eprintln!("--stream-interval needs seconds >= 1\n{}", usage());
                         return ExitCode::FAILURE;
                     }
                 }
@@ -188,10 +214,26 @@ fn main() -> ExitCode {
     // emits the same lines a live capture would have.
     let mut emitter = telemetry::SnapshotEmitter::new(metrics_interval_secs * 1_000_000);
 
+    // Like telemetry, streaming sinks must be installed before the parallel
+    // workers spawn: each shard owns a partial StreamingAnalytics and the
+    // final fold reconstitutes the sequential answer deterministically.
+    let stream_cfg = stream_path.as_ref().map(|_| StreamingConfig {
+        snapshot_interval_micros: stream_interval_secs * 1_000_000,
+        ..StreamingConfig::default()
+    });
     let mut driver = if workers > 1 {
-        Driver::Par(Box::new(ParallelSniffer::new(config, workers)))
+        Driver::Par(Box::new(match &stream_cfg {
+            Some(scfg) => ParallelSniffer::with_sinks(config, workers, &mut |_| {
+                Box::new(StreamingAnalytics::new(scfg.clone()))
+            }),
+            None => ParallelSniffer::new(config, workers),
+        }))
     } else {
-        Driver::Seq(Box::new(RealTimeSniffer::new(config)))
+        let mut s = RealTimeSniffer::new(config);
+        if let Some(scfg) = &stream_cfg {
+            s.set_sink(Box::new(StreamingAnalytics::new(scfg.clone())));
+        }
+        Driver::Seq(Box::new(s))
     };
     let mut last_ts = 0u64;
     for rec in reader {
@@ -216,7 +258,24 @@ fn main() -> ExitCode {
             }
         }
     }
-    let report = driver.finish();
+    let (report, sinks) = driver.finish();
+
+    // Fold the per-worker partial analytics into one deterministic summary
+    // (byte-identical for any --workers count) and write it out.
+    if let Some(out_path) = &stream_path {
+        match StreamingAnalytics::fold(sinks) {
+            Some(streaming) => {
+                if let Err(e) = std::fs::write(out_path, streaming.render()) {
+                    eprintln!("cannot write streaming analytics to {out_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => {
+                eprintln!("streaming analytics sinks were lost; no output written");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     // Final snapshot: `finish` merged every worker registry into ours, so
     // the stable-class values here match a sequential run byte-for-byte.

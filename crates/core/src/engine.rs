@@ -26,6 +26,7 @@ use dnhunter_telemetry::{tm_count, tm_span, Metric as Tm};
 use crate::db::{FlowDatabase, TaggedFlow};
 use crate::policy::PolicyEnforcer;
 use crate::sniffer::{DelaySamples, SnifferConfig, SnifferReport, SnifferStats};
+use crate::stream::FlowSink;
 
 /// Total order on sniffer events across shards: `(seq, phase)`.
 ///
@@ -70,6 +71,9 @@ pub(crate) struct ShardOutput {
     answers_per_response: Vec<(u64, usize)>,
     any_flow_delays: Vec<(u64, u64)>,
     tagged: Vec<(EventKey, TaggedFlow)>,
+    /// The shard's streaming-analytics partial, riding back to the driver
+    /// for the deterministic fold (`None` unless a sink was installed).
+    pub(crate) sink: Option<Box<dyn FlowSink>>,
 }
 
 /// Per-shard sniffer state: one §3.1 resolver + one flow table + the
@@ -95,6 +99,9 @@ pub(crate) struct ShardEngine {
     /// First frame timestamp of the whole trace (not just this shard) —
     /// set by the driver, anchors the warm-up window.
     trace_start: Option<u64>,
+    /// Optional streaming-analytics sink, fed as events happen (one per
+    /// shard; the driver folds them after the run).
+    sink: Option<Box<dyn FlowSink>>,
 }
 
 impl ShardEngine {
@@ -114,8 +121,15 @@ impl ShardEngine {
             any_flow_delays: Vec::new(),
             tagged: Vec::new(),
             trace_start: None,
+            sink: None,
             config,
         }
+    }
+
+    /// Install a streaming-analytics sink. Events observed from here on
+    /// are forwarded; the sink rides back in [`ShardOutput`] at the end.
+    pub(crate) fn set_sink(&mut self, sink: Box<dyn FlowSink>) {
+        self.sink = Some(sink);
     }
 
     /// Access the live resolver (e.g. to pre-warm it).
@@ -126,7 +140,12 @@ impl ShardEngine {
     /// Anchor the warm-up window at the trace's first frame timestamp.
     /// Idempotent: only the first call takes effect.
     pub(crate) fn note_trace_start(&mut self, ts: u64) {
-        self.trace_start.get_or_insert(ts);
+        if self.trace_start.is_none() {
+            self.trace_start = Some(ts);
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.on_trace_start(ts);
+            }
+        }
     }
 
     /// Decode and apply one UDP DNS response packet.
@@ -173,6 +192,9 @@ impl ShardEngine {
             });
             for s in servers {
                 self.response_index.insert((client, s), idx);
+            }
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.on_answered_response(ts);
             }
         }
     }
@@ -251,17 +273,27 @@ impl ShardEngine {
         }
         // Delay accounting against the most recent covering response.
         let mut tag_delay = None;
+        let mut first_flow_delay = None;
         if let Some(&idx) = self.response_index.get(&(key.client, key.server)) {
             if let Some(rec) = self.responses.get_mut(idx) {
                 let delay = ts.saturating_sub(rec.ts);
                 if rec.first_flow_delay.is_none() {
                     rec.first_flow_delay = Some(delay);
+                    first_flow_delay = Some(delay);
                 }
                 // Keyed by the *flow's* frame seq: the sequential sniffer
                 // appends this sample when the flow starts, not when the
                 // response arrived.
                 self.any_flow_delays.push((seq, delay));
                 tag_delay = Some(delay);
+            }
+        }
+        if let Some(sink) = self.sink.as_deref_mut() {
+            if let Some(d) = first_flow_delay {
+                sink.on_first_flow_delay(d);
+            }
+            if let Some(d) = tag_delay {
+                sink.on_any_flow_delay(d);
             }
         }
         let fqdn = label.map(|arc| (*arc).clone());
@@ -318,25 +350,26 @@ impl ShardEngine {
         } else {
             None
         };
-        self.tagged.push((
-            at,
-            TaggedFlow {
-                key: record.key,
-                fqdn: tag.fqdn,
-                second_level: None,
-                alt_labels: tag.alt_labels,
-                tag_delay_micros: tag.tag_delay,
-                first_ts: record.first_ts,
-                last_ts: record.last_ts,
-                packets_c2s: record.packets_c2s,
-                packets_s2c: record.packets_s2c,
-                bytes_c2s: record.bytes_c2s,
-                bytes_s2c: record.bytes_s2c,
-                protocol,
-                tls,
-                in_warmup: tag.in_warmup,
-            },
-        ));
+        let flow = TaggedFlow {
+            key: record.key,
+            fqdn: tag.fqdn,
+            second_level: None,
+            alt_labels: tag.alt_labels,
+            tag_delay_micros: tag.tag_delay,
+            first_ts: record.first_ts,
+            last_ts: record.last_ts,
+            packets_c2s: record.packets_c2s,
+            packets_s2c: record.packets_s2c,
+            bytes_c2s: record.bytes_c2s,
+            bytes_s2c: record.bytes_s2c,
+            protocol,
+            tls,
+            in_warmup: tag.in_warmup,
+        };
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.on_flow_finished(&flow);
+        }
+        self.tagged.push((at, flow));
     }
 
     /// End of trace: flush live flows and hand over everything accumulated.
@@ -355,6 +388,7 @@ impl ShardEngine {
             answers_per_response: self.answers_per_response,
             any_flow_delays: self.any_flow_delays,
             tagged: self.tagged,
+            sink: self.sink,
         }
     }
 }

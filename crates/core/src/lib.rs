@@ -57,9 +57,12 @@ pub mod policy;
 /// Bounded SPSC rings connecting the pipeline's dispatcher and workers.
 mod ring;
 pub mod sniffer;
+/// One-pass streaming analytics fed by the engine, merged per shard.
+pub mod stream;
 
 pub use db::{FlowDatabase, TaggedFlow};
 pub use export::{write_csv, write_tstat_log};
 pub use pipeline::{ParallelSniffer, PipelineTimings};
 pub use policy::{PolicyAction, PolicyDecision, PolicyEnforcer, PolicyRule, RuleEnforcer};
 pub use sniffer::{DelaySamples, RealTimeSniffer, SnifferConfig, SnifferReport, SnifferStats};
+pub use stream::{FlowSink, StreamGrowth, StreamingAnalytics, StreamingConfig};

@@ -39,6 +39,7 @@ use crate::engine::{assemble_report, ShardEngine, ShardOutput};
 use crate::policy::RuleEnforcer;
 use crate::ring::{self, Receiver, Sender};
 use crate::sniffer::{SnifferConfig, SnifferReport, SnifferStats};
+use crate::stream::FlowSink;
 
 /// Frames per batch before the dispatcher flushes a channel send. Batching
 /// amortises the ring's lock handoff over many frames (§3.2's per-packet
@@ -203,6 +204,26 @@ impl ParallelSniffer {
     /// `ShardedResolver::new` partitions it (§3.1.1 — sharding splits the
     /// §4.2 memory budget, it does not multiply it).
     pub fn new(config: SnifferConfig, workers: usize) -> Self {
+        Self::build(config, workers, None)
+    }
+
+    /// [`ParallelSniffer::new`], additionally installing a streaming
+    /// analytics sink per worker: `make_sink(shard)` is called once per
+    /// shard before its thread spawns. The per-shard partials come back
+    /// (in shard order) from [`ParallelSniffer::finish_with_sinks`].
+    pub fn with_sinks(
+        config: SnifferConfig,
+        workers: usize,
+        make_sink: &mut dyn FnMut(usize) -> Box<dyn FlowSink>,
+    ) -> Self {
+        Self::build(config, workers, Some(make_sink))
+    }
+
+    fn build(
+        config: SnifferConfig,
+        workers: usize,
+        mut make_sink: Option<&mut dyn FnMut(usize) -> Box<dyn FlowSink>>,
+    ) -> Self {
         let workers = workers.max(1);
         let base = config.resolver.clist_size / workers;
         let remainder = config.resolver.clist_size % workers;
@@ -212,13 +233,16 @@ impl ParallelSniffer {
         let mut worker_registries = Vec::new();
         for i in 0..workers {
             let per_shard = (base + usize::from(i < remainder)).max(1);
-            let engine = ShardEngine::new(
+            let mut engine = ShardEngine::new(
                 config.clone(),
                 ResolverConfig {
                     clist_size: per_shard,
                     ..config.resolver
                 },
             );
+            if let Some(make_sink) = make_sink.as_deref_mut() {
+                engine.set_sink(make_sink(i));
+            }
             let (tx, rx) = ring::channel::<Batch>(CHANNEL_BATCHES);
             let (recycle_tx, recycle_rx) = ring::channel::<Batch>(RECYCLE_BATCHES);
             let registry = telemetry_on.then(|| {
@@ -498,12 +522,25 @@ impl ParallelSniffer {
     /// End of trace: flush every pending batch, close the channels, join
     /// the workers and merge their outputs into the one report.
     pub fn finish(self) -> SnifferReport {
-        self.finish_with_timings().0
+        self.finish_full().0
     }
 
     /// [`ParallelSniffer::finish`], also returning the busy-time
     /// decomposition for the throughput baseline.
-    pub fn finish_with_timings(mut self) -> (SnifferReport, PipelineTimings) {
+    pub fn finish_with_timings(self) -> (SnifferReport, PipelineTimings) {
+        let (report, timings, _) = self.finish_full();
+        (report, timings)
+    }
+
+    /// [`ParallelSniffer::finish`], also handing back the per-shard
+    /// streaming sinks (shard order; empty unless built
+    /// [`ParallelSniffer::with_sinks`]).
+    pub fn finish_with_sinks(self) -> (SnifferReport, Vec<Box<dyn FlowSink>>) {
+        let (report, _, sinks) = self.finish_full();
+        (report, sinks)
+    }
+
+    fn finish_full(mut self) -> (SnifferReport, PipelineTimings, Vec<Box<dyn FlowSink>>) {
         for shard in 0..self.links.len() {
             self.flush_link(shard);
         }
@@ -520,6 +557,10 @@ impl ParallelSniffer {
                 worker_busy_micros.push(busy);
             }
         }
+        // Shard-order extraction; the streaming fold is commutative, but a
+        // stable order keeps the driver's view reproducible regardless.
+        let sinks: Vec<Box<dyn FlowSink>> =
+            outputs.iter_mut().filter_map(|o| o.sink.take()).collect();
         let mut intern = InternStats::default();
         for out in &outputs {
             intern.allocated += out.intern.allocated;
@@ -550,6 +591,7 @@ impl ParallelSniffer {
                 worker_busy_micros,
                 intern,
             },
+            sinks,
         )
     }
 }

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use crate::db::FlowDatabase;
 use crate::engine::{assemble_report, ShardEngine};
 use crate::policy::PolicyEnforcer;
+use crate::stream::FlowSink;
 
 /// Sniffer configuration.
 #[derive(Debug, Clone)]
@@ -151,6 +152,12 @@ impl RealTimeSniffer {
         self.engine.resolver_mut()
     }
 
+    /// Install a streaming-analytics sink fed as flows are labeled and
+    /// expire; retrieve it with [`RealTimeSniffer::finish_with_sinks`].
+    pub fn set_sink(&mut self, sink: Box<dyn FlowSink>) {
+        self.engine.set_sink(sink);
+    }
+
     /// Frame counters so far.
     pub fn stats(&self) -> &SnifferStats {
         &self.engine.stats
@@ -240,15 +247,25 @@ impl RealTimeSniffer {
 
     /// End of trace: flush live flows and assemble the report.
     pub fn finish(self) -> SnifferReport {
+        self.finish_with_sinks().0
+    }
+
+    /// [`RealTimeSniffer::finish`], also handing back the sink installed
+    /// with [`RealTimeSniffer::set_sink`] (empty vec when none was). The
+    /// one-element vec mirrors [`crate::ParallelSniffer::finish_with_sinks`]
+    /// so drivers fold both shapes through the same code path.
+    pub fn finish_with_sinks(self) -> (SnifferReport, Vec<Box<dyn FlowSink>>) {
         let warmup = self.engine.config.warmup_micros;
-        let out = self.engine.finish_shard();
-        assemble_report(
+        let mut out = self.engine.finish_shard();
+        let sinks: Vec<Box<dyn FlowSink>> = out.sink.take().into_iter().collect();
+        let report = assemble_report(
             vec![out],
             SnifferStats::default(),
             self.trace_start,
             self.trace_end,
             warmup,
-        )
+        );
+        (report, sinks)
     }
 }
 

@@ -37,12 +37,14 @@
 
 mod emitter;
 mod export;
+mod log2hist;
 mod metric;
 mod recorder;
 mod registry;
 
 pub use emitter::SnapshotEmitter;
 pub use export::{jsonl, prometheus};
+pub use log2hist::{log2_bucket_index, log2_bucket_le, Log2Hist};
 pub use metric::{Class, Kind, Metric, MetricInfo, HIST_COUNT, HIST_METRICS};
 pub use recorder::{
     bind, counter_add, gauge_add, is_bound, merge_into_bound, observe, span, BindGuard, Span,

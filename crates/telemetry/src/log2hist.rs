@@ -1,0 +1,212 @@
+//! Plain (non-atomic) log2 histogram, sharing the bucket math of the
+//! registry's atomic histograms.
+//!
+//! The streaming-analytics layer (DESIGN.md "Streaming analytics and
+//! bounded-memory summaries") needs the same counter-based summary shape
+//! the telemetry registry uses — per-power-of-two buckets plus sum and
+//! count — but as a value type it can hold inside mergeable per-worker
+//! state, and with a configurable finite range (DNS-to-flow delays span
+//! microseconds to hours, wider than the registry's fixed 20 buckets).
+//!
+//! Merging is element-wise addition, so folding per-worker histograms in
+//! any order yields the same cells as a sequential run: the property the
+//! deterministic parallel merge relies on.
+
+/// Bucket slot for an observed value given `finite` finite buckets:
+/// `v <= 2^i` lands in slot `i`, anything above `2^(finite-1)` in the
+/// overflow cell (index `finite`).
+#[inline]
+pub fn log2_bucket_index(v: u64, finite: usize) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        let ceil_log2 = (64 - (v - 1).leading_zeros()) as usize;
+        ceil_log2.min(finite)
+    }
+}
+
+/// Inclusive upper bound of finite bucket `i` (the Prometheus `le` label).
+#[inline]
+pub fn log2_bucket_le(i: usize) -> u64 {
+    1u64 << i.min(63)
+}
+
+/// A mergeable, non-atomic log2 histogram: `finite` power-of-two buckets
+/// plus one overflow cell, a value sum, and an observation count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Hist {
+    finite: usize,
+    buckets: Vec<u64>,
+    sum: u64,
+    count: u64,
+}
+
+impl Log2Hist {
+    /// An empty histogram with `finite` finite buckets (upper bounds
+    /// `2^0 ..= 2^(finite-1)`) plus the overflow cell.
+    pub fn new(finite: usize) -> Self {
+        let finite = finite.clamp(1, 63);
+        Log2Hist {
+            finite,
+            buckets: vec![0; finite + 1],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let i = log2_bucket_index(v, self.finite);
+        if let Some(cell) = self.buckets.get_mut(i) {
+            *cell = cell.wrapping_add(1);
+        }
+        self.sum = self.sum.wrapping_add(v);
+        self.count = self.count.wrapping_add(1);
+    }
+
+    /// Element-wise sum with another histogram. Histograms of different
+    /// widths merge into the wider layout (narrow cells keep their slots,
+    /// the narrow overflow is folded into the wide overflow's tail slot).
+    pub fn merge(&mut self, other: &Log2Hist) {
+        if other.finite > self.finite {
+            let mut grown = vec![0u64; other.finite + 1];
+            for (i, v) in self.buckets.iter().enumerate() {
+                let slot = if i == self.finite { other.finite } else { i };
+                if let Some(cell) = grown.get_mut(slot) {
+                    *cell = cell.wrapping_add(*v);
+                }
+            }
+            self.buckets = grown;
+            self.finite = other.finite;
+        }
+        for (i, v) in other.buckets.iter().enumerate() {
+            let slot = if i == other.finite { self.finite } else { i };
+            if let Some(cell) = self.buckets.get_mut(slot) {
+                *cell = cell.wrapping_add(*v);
+            }
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.count = self.count.wrapping_add(other.count);
+    }
+
+    /// Number of finite buckets.
+    pub fn finite(&self) -> usize {
+        self.finite
+    }
+
+    /// Per-bucket (non-cumulative) counts; last cell is overflow.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile observation
+    /// (`0.0 ..= 1.0`), or `None` when empty. The overflow cell reports
+    /// `u64::MAX`.
+    pub fn quantile_le(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, v) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(*v);
+            if seen >= rank {
+                return Some(if i == self.finite {
+                    u64::MAX
+                } else {
+                    log2_bucket_le(i)
+                });
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_math_matches_registry_shape() {
+        assert_eq!(log2_bucket_index(0, 20), 0);
+        assert_eq!(log2_bucket_index(1, 20), 0);
+        assert_eq!(log2_bucket_index(2, 20), 1);
+        assert_eq!(log2_bucket_index(3, 20), 2);
+        assert_eq!(log2_bucket_index(1 << 19, 20), 19);
+        assert_eq!(log2_bucket_index((1 << 19) + 1, 20), 20);
+        assert_eq!(log2_bucket_index(u64::MAX, 20), 20);
+        assert_eq!(log2_bucket_le(0), 1);
+        assert_eq!(log2_bucket_le(19), 1 << 19);
+    }
+
+    #[test]
+    fn record_and_merge_are_elementwise() {
+        let mut a = Log2Hist::new(40);
+        let mut b = Log2Hist::new(40);
+        a.record(0);
+        a.record(3);
+        b.record(1 << 30);
+        b.record(u64::MAX);
+        let mut seq = Log2Hist::new(40);
+        for v in [0, 3, 1 << 30, u64::MAX] {
+            seq.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, seq);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.buckets()[0], 1);
+        assert_eq!(a.buckets()[2], 1);
+        assert_eq!(a.buckets()[30], 1);
+        assert_eq!(a.buckets()[40], 1); // overflow
+    }
+
+    #[test]
+    fn merge_widens_to_larger_layout() {
+        let mut narrow = Log2Hist::new(4);
+        narrow.record(2); // slot 1
+        narrow.record(1 << 10); // overflow of the narrow layout (slot 4)
+        let mut wide = Log2Hist::new(8);
+        wide.record(1 << 6); // slot 6
+
+        let mut a = narrow.clone();
+        a.merge(&wide);
+        assert_eq!(a.finite(), 8);
+        assert_eq!(a.buckets()[1], 1);
+        assert_eq!(a.buckets()[6], 1);
+        assert_eq!(a.buckets()[8], 1); // narrow overflow folded into wide overflow
+
+        let mut b = wide.clone();
+        b.merge(&narrow);
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn quantile_le_reports_bucket_upper_bounds() {
+        let mut h = Log2Hist::new(20);
+        assert_eq!(h.quantile_le(0.5), None);
+        for v in [1, 1, 1, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_le(0.5), Some(1));
+        assert_eq!(h.quantile_le(1.0), Some(1024));
+        h.record(u64::MAX);
+        assert_eq!(h.quantile_le(1.0), Some(u64::MAX));
+    }
+}

@@ -13,6 +13,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::log2hist::{log2_bucket_index, log2_bucket_le};
 use crate::metric::{Metric, HIST_COUNT, HIST_METRICS};
 
 /// Number of finite log2 buckets: upper bounds `2^0 ..= 2^(BUCKETS-1)`.
@@ -24,18 +25,13 @@ pub const BUCKET_CELLS: usize = BUCKETS + 1;
 /// anything above `2^(BUCKETS-1)` in the overflow cell.
 #[inline]
 fn bucket_index(v: u64) -> usize {
-    if v <= 1 {
-        0
-    } else {
-        let ceil_log2 = (64 - (v - 1).leading_zeros()) as usize;
-        ceil_log2.min(BUCKETS)
-    }
+    log2_bucket_index(v, BUCKETS)
 }
 
 /// Inclusive upper bound of finite bucket `i` (the Prometheus `le` label).
 #[inline]
 pub fn bucket_le(i: usize) -> u64 {
-    1u64 << i.min(63)
+    log2_bucket_le(i)
 }
 
 /// Cells backing one histogram metric.

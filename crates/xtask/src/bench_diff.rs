@@ -1,0 +1,275 @@
+//! `cargo xtask bench-diff` — the CI performance-regression gate.
+//!
+//! Compares a fresh `BENCH_sniffer.json` (produced by
+//! `repro --bench-sniffer --quick`) against the committed
+//! `BENCH_baseline.json` and fails when throughput regressed by more than
+//! the threshold (default 15%). Two invariants are gated unconditionally,
+//! threshold or not: every benchmark run must have been byte-identical to
+//! the sequential reference (`determinism_all_runs`), and telemetry must
+//! have stayed within its overhead budget
+//! (`telemetry_overhead.within_budget`).
+//!
+//! A deliberate regression (e.g. a correctness fix that costs throughput)
+//! is waived by committing a `BENCH_OVERRIDE` file at the workspace root
+//! whose contents explain the waiver; the gate then warns instead of
+//! failing. Remove the file in the next PR and refresh the baseline with
+//! `cargo xtask bench-diff --update`.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+/// Throughput may drop by at most this fraction before the gate fails.
+const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
+
+struct Metrics {
+    /// Best sequential ingest rate (frames/s).
+    single_thread_fps: f64,
+    /// Best projected pipeline rate across worker counts (frames/s).
+    best_pipeline_fps: f64,
+    determinism_all_runs: bool,
+    telemetry_within_budget: bool,
+}
+
+fn extract(doc: &Value, label: &str) -> Result<Metrics, String> {
+    let single = doc
+        .get("single_thread")
+        .and_then(|s| s.get("frames_per_sec"))
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{label}: missing single_thread.frames_per_sec"))?;
+    let pipeline = doc
+        .get("pipeline")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{label}: missing pipeline array"))?;
+    let best_pipeline = pipeline
+        .iter()
+        .filter_map(|run| run.get("projected_frames_per_sec").and_then(Value::as_f64))
+        .fold(0.0f64, f64::max);
+    if best_pipeline <= 0.0 {
+        return Err(format!(
+            "{label}: no pipeline run with projected_frames_per_sec"
+        ));
+    }
+    let determinism = doc
+        .get("determinism_all_runs")
+        .and_then(Value::as_bool)
+        .ok_or_else(|| format!("{label}: missing determinism_all_runs"))?;
+    let within_budget = doc
+        .get("telemetry_overhead")
+        .and_then(|t| t.get("within_budget"))
+        .and_then(Value::as_bool)
+        .ok_or_else(|| format!("{label}: missing telemetry_overhead.within_budget"))?;
+    Ok(Metrics {
+        single_thread_fps: single,
+        best_pipeline_fps: best_pipeline,
+        determinism_all_runs: determinism,
+        telemetry_within_budget: within_budget,
+    })
+}
+
+fn load(path: &Path, label: &str) -> Result<Metrics, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{label}: cannot read {}: {e}", path.display()))?;
+    let doc: Value = serde_json::from_str(&text)
+        .map_err(|e| format!("{label}: {} is not valid JSON: {e:?}", path.display()))?;
+    extract(&doc, label)
+}
+
+/// One throughput comparison. Returns the regression fraction (positive =
+/// slower than baseline).
+fn regression(baseline: f64, current: f64) -> f64 {
+    if baseline <= 0.0 {
+        return 0.0;
+    }
+    (baseline - current) / baseline
+}
+
+pub fn run(args: &[String]) -> ExitCode {
+    let root = crate::workspace_root();
+    let mut baseline_path = root.join("BENCH_baseline.json");
+    let mut current_path = Path::new("BENCH_sniffer.json").to_path_buf();
+    let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
+    let mut update = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => baseline_path = p.into(),
+                    None => return arg_error("--baseline needs a path"),
+                }
+            }
+            "--current" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => current_path = p.into(),
+                    None => return arg_error("--current needs a path"),
+                }
+            }
+            "--threshold" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(t) if t > 0.0 => threshold_pct = t,
+                    _ => return arg_error("--threshold needs a positive percentage"),
+                }
+            }
+            "--update" => update = true,
+            other => return arg_error(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+
+    if update {
+        return match std::fs::copy(&current_path, &baseline_path) {
+            Ok(_) => {
+                println!(
+                    "bench-diff: baseline updated from {} -> {}",
+                    current_path.display(),
+                    baseline_path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!(
+                    "bench-diff: cannot update baseline from {}: {e}",
+                    current_path.display()
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let (baseline, current) = match (
+        load(&baseline_path, "baseline"),
+        load(&current_path, "current"),
+    ) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench-diff: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures: Vec<String> = Vec::new();
+    let threshold = threshold_pct / 100.0;
+    println!(
+        "bench-diff: {} vs baseline {} (threshold {threshold_pct:.0}%)",
+        current_path.display(),
+        baseline_path.display()
+    );
+    for (name, base, cur) in [
+        (
+            "single-thread frames/s",
+            baseline.single_thread_fps,
+            current.single_thread_fps,
+        ),
+        (
+            "best pipeline projected frames/s",
+            baseline.best_pipeline_fps,
+            current.best_pipeline_fps,
+        ),
+    ] {
+        let reg = regression(base, cur);
+        let verdict = if reg > threshold { "REGRESSED" } else { "ok" };
+        println!(
+            "  {name:<34} baseline {base:>12.0}  current {cur:>12.0}  delta {:>+7.1}%  {verdict}",
+            -reg * 100.0
+        );
+        if reg > threshold {
+            failures.push(format!(
+                "{name} regressed {:.1}% (> {threshold_pct:.0}% threshold)",
+                reg * 100.0
+            ));
+        }
+    }
+    if !current.determinism_all_runs {
+        failures.push("determinism_all_runs is false: a merged report diverged".into());
+    }
+    if !current.telemetry_within_budget {
+        failures.push("telemetry_overhead.within_budget is false".into());
+    }
+
+    if failures.is_empty() {
+        println!("bench-diff: PASS");
+        return ExitCode::SUCCESS;
+    }
+
+    let override_path = root.join("BENCH_OVERRIDE");
+    if override_path.exists() {
+        let reason = std::fs::read_to_string(&override_path).unwrap_or_default();
+        println!(
+            "bench-diff: {} failure(s) WAIVED by BENCH_OVERRIDE:",
+            failures.len()
+        );
+        for f in &failures {
+            println!("  - {f}");
+        }
+        println!("  waiver: {}", reason.trim());
+        println!(
+            "bench-diff: remove BENCH_OVERRIDE and refresh the baseline \
+             (cargo xtask bench-diff --update) in a follow-up PR"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!("bench-diff: FAILED");
+    for f in &failures {
+        eprintln!("  - {f}");
+    }
+    eprintln!(
+        "  if this regression is intentional, commit a BENCH_OVERRIDE file at the \
+         workspace root explaining why, or refresh the baseline with \
+         `cargo xtask bench-diff --update` alongside the change that justifies it"
+    );
+    ExitCode::FAILURE
+}
+
+fn arg_error(msg: &str) -> ExitCode {
+    eprintln!(
+        "bench-diff: {msg}\nusage: cargo xtask bench-diff [--baseline PATH] [--current PATH] \
+         [--threshold PCT] [--update]"
+    );
+    ExitCode::from(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(single: f64, projected: f64, determinism: bool, budget: bool) -> Value {
+        let text = format!(
+            r#"{{"single_thread":{{"frames_per_sec":{single}}},
+                 "pipeline":[{{"projected_frames_per_sec":{projected}}}],
+                 "determinism_all_runs":{determinism},
+                 "telemetry_overhead":{{"within_budget":{budget}}}}}"#
+        );
+        serde_json::from_str(&text).expect("valid test doc")
+    }
+
+    #[test]
+    fn extract_reads_all_four_metrics() {
+        let m = extract(&doc(1000.0, 2500.0, true, true), "t").expect("extracts");
+        assert_eq!(m.single_thread_fps, 1000.0);
+        assert_eq!(m.best_pipeline_fps, 2500.0);
+        assert!(m.determinism_all_runs);
+        assert!(m.telemetry_within_budget);
+    }
+
+    #[test]
+    fn extract_rejects_missing_fields() {
+        let v: Value = serde_json::from_str("{}").expect("empty doc");
+        assert!(extract(&v, "t").is_err());
+    }
+
+    #[test]
+    fn regression_is_signed_fraction() {
+        assert!((regression(100.0, 80.0) - 0.2).abs() < 1e-12);
+        assert!(regression(100.0, 120.0) < 0.0);
+        assert_eq!(regression(0.0, 50.0), 0.0);
+    }
+}

@@ -176,20 +176,48 @@ pub fn run(args: &[String]) -> ExitCode {
     let corpus_dir = root.join("tests").join("corpus");
     let regressions_dir = corpus_dir.join("regressions");
 
-    // 1. Replay committed regressions: a fixed panic stays fixed.
+    // 1. Replay committed regressions: a fixed panic stays fixed. All
+    //    files are replayed (panic hooks silenced) and every failure is
+    //    reported together, so one reintroduced bug doesn't hide another
+    //    and the output names exactly which corpus files to look at.
     let regressions = load_hex_dir(&regressions_dir);
-    for (path, bytes) in &regressions {
-        let target = target_for_file(path);
-        for t in target {
-            if let Err(msg) = run_case(t, bytes) {
-                eprintln!(
-                    "xtask fuzz: committed regression {} panics again under `{}`: {msg}",
-                    path.display(),
-                    t.name()
-                );
-                return ExitCode::FAILURE;
+    let failures = with_quiet_panics(|| {
+        let mut failures: Vec<(&PathBuf, Target, usize, String)> = Vec::new();
+        for (path, bytes) in &regressions {
+            for t in target_for_file(path) {
+                if let Err(msg) = run_case(t, bytes) {
+                    failures.push((path, t, bytes.len(), msg));
+                }
             }
         }
+        failures
+    });
+    if !failures.is_empty() {
+        eprintln!(
+            "xtask fuzz: {} committed regression(s) panic again — a previously \
+             fixed parser bug has been reintroduced:\n",
+            failures.len()
+        );
+        eprintln!(
+            "  {:<44} {:<6} {:>7}  panic",
+            "corpus file", "target", "bytes"
+        );
+        for (path, target, len, msg) in &failures {
+            let rel = path.strip_prefix(&root).unwrap_or(path.as_path()).display();
+            eprintln!(
+                "  {:<44} {:<6} {:>7}  {}",
+                rel.to_string(),
+                target.name(),
+                len,
+                msg.lines().next().unwrap_or("")
+            );
+        }
+        eprintln!(
+            "\n  reproduce one with its hex bytes (see the file) against the named \
+             target's parsers; the fix must make the replay clean again before \
+             `cargo xtask fuzz` passes"
+        );
+        return ExitCode::FAILURE;
     }
     println!(
         "xtask fuzz: replayed {} committed regression(s), all clean",

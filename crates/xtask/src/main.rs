@@ -9,9 +9,14 @@
 //! * `fuzz` — the seeded structure-aware corpus fuzzer over the ingest
 //!   parsers (DNS codec, frame parser, DPI extractors); panics shrink to
 //!   minimal reproducers committed under `tests/corpus/regressions/`.
+//! * `bench-diff` — the performance-regression gate: compares a fresh
+//!   `BENCH_sniffer.json` against the committed `BENCH_baseline.json` and
+//!   fails CI on a >15% throughput drop (see `bench_diff.rs` for the
+//!   `BENCH_OVERRIDE` waiver protocol).
 //!
-//! Both run as `cargo xtask <cmd>` (aliased in `.cargo/config.toml`).
+//! All run as `cargo xtask <cmd>` (aliased in `.cargo/config.toml`).
 
+mod bench_diff;
 mod fuzz;
 mod lints;
 mod scan;
@@ -51,6 +56,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
         Some("fuzz") => fuzz::run(&args[1..]),
+        Some("bench-diff") => bench_diff::run(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask `{other}`\n");
             usage();
@@ -65,7 +71,7 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: cargo xtask <command>\n\ncommands:\n  lint    run the workspace invariant lints (L1-L6)\n  fuzz    seeded corpus fuzzer over the ingest parsers\n          [--smoke] [--cases N] [--seed S] [--max-seconds T]"
+        "usage: cargo xtask <command>\n\ncommands:\n  lint        run the workspace invariant lints (L1-L6)\n  fuzz        seeded corpus fuzzer over the ingest parsers\n              [--smoke] [--cases N] [--seed S] [--max-seconds T]\n  bench-diff  compare BENCH_sniffer.json against the committed baseline\n              [--baseline PATH] [--current PATH] [--threshold PCT] [--update]"
     );
 }
 

@@ -6,14 +6,29 @@
 //! monotonically as the DNS-response drop rate rises — the mechanism the
 //! paper blames for the US-3G trace's ~75% hit ratio (§4.1, Tab. 3) —
 //! and never rises. See DESIGN.md §10.
+//!
+//! `FAULT_MATRIX_FULL=1` (the nightly pipeline) raises the trace scales;
+//! the PR gate runs the same assertions on smaller traces.
 
 use std::sync::Arc;
 
-use dnhunter::{ParallelSniffer, RealTimeSniffer, SnifferConfig, SnifferReport};
+use dnhunter::{
+    FlowSink, ParallelSniffer, RealTimeSniffer, SnifferConfig, SnifferReport, StreamingAnalytics,
+    StreamingConfig,
+};
 use dnhunter_net::PcapRecord;
 use dnhunter_simnet::{profiles, FaultPlan, TraceGenerator};
 use dnhunter_telemetry as telemetry;
 use telemetry::Metric;
+
+/// Nightly (`FAULT_MATRIX_FULL=1`) multiplies every trace scale by 4.
+fn scaled(base: f64) -> f64 {
+    if std::env::var_os("FAULT_MATRIX_FULL").is_some() {
+        base * 4.0
+    } else {
+        base
+    }
+}
 
 /// Canonical serialization of everything a report contains (the
 /// `pipeline_determinism` digest): equal digests mean equal reports,
@@ -150,7 +165,7 @@ const CLASSES: &[FaultClass] = &[
 
 #[test]
 fn every_fault_cell_is_counted_and_deterministic() {
-    let profile = profiles::eu1_adsl1().scaled(0.05);
+    let profile = profiles::eu1_adsl1().scaled(scaled(0.05));
     let trace = TraceGenerator::new(profile, false).generate();
     assert!(trace.records.len() > 1_000, "trace too small");
 
@@ -207,7 +222,7 @@ fn combined_fault_storm_is_survived_on_every_profile() {
     // pure no-panic sweep of the matrix.
     for profile in profiles::all_paper_profiles() {
         let name = profile.name.clone();
-        let trace = TraceGenerator::new(profile.scaled(0.02), false).generate();
+        let trace = TraceGenerator::new(profile.scaled(scaled(0.02)), false).generate();
         let plan = FaultPlan {
             drop_rate: 0.05,
             dns_response_drop_rate: 0.2,
@@ -245,7 +260,7 @@ fn combined_fault_storm_is_survived_on_every_profile() {
 
 #[test]
 fn hit_ratio_degrades_monotonically_with_dns_loss() {
-    let profile = profiles::eu1_adsl1().scaled(0.15);
+    let profile = profiles::eu1_adsl1().scaled(scaled(0.15));
     let trace = TraceGenerator::new(profile, false).generate();
 
     let mut ratios = Vec::new();
@@ -281,4 +296,73 @@ fn hit_ratio_degrades_monotonically_with_dns_loss() {
         "expected a >10pt drop, got {ratios:?}"
     );
     println!("hit ratio vs dns-response drop rate: {ratios:?}");
+}
+
+#[test]
+fn streaming_analytics_degrade_monotonically_with_dns_loss() {
+    // The streaming sink under the same nested DNS-response-drop fault
+    // sets: it must survive every rate (panic-free), its label-dependent
+    // counters can only shrink as more responses disappear, its flow count
+    // must not move (drops remove bindings, never flows), and the 2-worker
+    // fold must stay byte-identical to the sequential render throughout.
+    let profile = profiles::eu1_adsl1().scaled(scaled(0.1));
+    let trace = TraceGenerator::new(profile, false).generate();
+    let cfg = StreamingConfig {
+        snapshot_interval_micros: 60 * 1_000_000,
+        ..StreamingConfig::default()
+    };
+
+    let mut flows = Vec::new();
+    let mut labeled = Vec::new();
+    let mut answered = Vec::new();
+    for rate in [0.0, 0.35, 0.7, 0.95] {
+        let plan = FaultPlan {
+            dns_response_drop_rate: rate,
+            ..FaultPlan::default()
+        };
+        let (records, _) = plan.apply(&trace.records);
+
+        let mut sniffer = RealTimeSniffer::new(SnifferConfig::default());
+        sniffer.set_sink(Box::new(StreamingAnalytics::new(cfg.clone())));
+        for rec in &records {
+            sniffer.process_record(rec);
+        }
+        let (_, sinks) = sniffer.finish_with_sinks();
+        let streaming = StreamingAnalytics::fold(sinks).expect("sequential sink returned");
+
+        let mut parallel = ParallelSniffer::with_sinks(SnifferConfig::default(), 2, &mut |_| {
+            Box::new(StreamingAnalytics::new(cfg.clone())) as Box<dyn FlowSink>
+        });
+        for rec in &records {
+            parallel.process_record(rec);
+        }
+        let (_, psinks) = parallel.finish_with_sinks();
+        let pstreaming = StreamingAnalytics::fold(psinks).expect("worker sinks returned");
+        assert_eq!(
+            pstreaming.render(),
+            streaming.render(),
+            "rate {rate}: 2-worker streaming output diverged"
+        );
+
+        flows.push(streaming.flows());
+        labeled.push(streaming.labeled_flows());
+        answered.push(streaming.answered_responses());
+    }
+    assert!(
+        flows.windows(2).all(|w| w[0] == w[1]),
+        "streaming flow count moved with DNS loss: {flows:?}"
+    );
+    assert!(
+        labeled.windows(2).all(|w| w[0] >= w[1]),
+        "streaming labeled flows rose under rising DNS loss: {labeled:?}"
+    );
+    assert!(
+        answered.windows(2).all(|w| w[0] >= w[1]),
+        "streaming answered responses rose under rising DNS loss: {answered:?}"
+    );
+    assert!(
+        labeled[0] > labeled[3],
+        "heavy DNS loss left labeled flows untouched: {labeled:?}"
+    );
+    println!("streaming labeled flows vs dns-response drop rate: {labeled:?}");
 }

@@ -1,0 +1,159 @@
+//! Streaming-vs-offline equivalence: the one-pass `StreamingAnalytics`
+//! sink must reproduce the offline analytics modules' answers exactly —
+//! on every paper profile, at any worker count (byte-identical rendered
+//! output), and under fault-injected traffic. See DESIGN.md §11.
+//!
+//! `FAULT_MATRIX_FULL=1` (the nightly pipeline) raises the trace scales.
+
+use dnhunter::{
+    FlowSink, ParallelSniffer, RealTimeSniffer, SnifferConfig, SnifferReport, StreamingAnalytics,
+    StreamingConfig,
+};
+use dnhunter_analytics::streaming::check_equivalence;
+use dnhunter_dns::suffix::SuffixSet;
+use dnhunter_net::PcapRecord;
+use dnhunter_orgdb::builtin_registry;
+use dnhunter_simnet::{profiles, FaultPlan, TraceGenerator};
+
+/// Nightly (`FAULT_MATRIX_FULL=1`) runs the same assertions on larger
+/// traces; the PR gate keeps them quick.
+fn scaled(base: f64) -> f64 {
+    if std::env::var_os("FAULT_MATRIX_FULL").is_some() {
+        base * 4.0
+    } else {
+        base
+    }
+}
+
+fn stream_cfg() -> StreamingConfig {
+    StreamingConfig {
+        // Small bins so growth reconstruction crosses many bin boundaries.
+        snapshot_interval_micros: 60 * 1_000_000,
+        ..StreamingConfig::default()
+    }
+}
+
+/// Sequential run with a streaming sink installed.
+fn run_sequential(records: &[PcapRecord]) -> (SnifferReport, StreamingAnalytics) {
+    let mut sniffer = RealTimeSniffer::new(SnifferConfig::default());
+    sniffer.set_sink(Box::new(StreamingAnalytics::new(stream_cfg())));
+    for rec in records {
+        sniffer.process_record(rec);
+    }
+    let (report, sinks) = sniffer.finish_with_sinks();
+    let streaming = StreamingAnalytics::fold(sinks).expect("sequential sink returned");
+    (report, streaming)
+}
+
+/// Parallel run, one partial sink per worker, folded deterministically.
+fn run_parallel(records: &[PcapRecord], workers: usize) -> (SnifferReport, StreamingAnalytics) {
+    let mut sniffer = ParallelSniffer::with_sinks(SnifferConfig::default(), workers, &mut |_| {
+        Box::new(StreamingAnalytics::new(stream_cfg())) as Box<dyn FlowSink>
+    });
+    for rec in records {
+        sniffer.process_record(rec);
+    }
+    let (report, sinks) = sniffer.finish_with_sinks();
+    assert_eq!(sinks.len(), workers, "one partial sink per worker");
+    let streaming = StreamingAnalytics::fold(sinks).expect("worker sinks returned");
+    (report, streaming)
+}
+
+#[test]
+fn streaming_matches_offline_on_every_profile() {
+    let orgdb = builtin_registry();
+    let suffixes = SuffixSet::builtin();
+    for profile in profiles::all_paper_profiles() {
+        let name = profile.name.clone();
+        let trace = TraceGenerator::new(profile.scaled(scaled(0.04)), false).generate();
+        let (report, streaming) = run_sequential(&trace.records);
+        assert!(report.database.len() > 50, "{name}: trace too small");
+        let errs = check_equivalence(&streaming, &report, &orgdb, &suffixes);
+        assert!(
+            errs.is_empty(),
+            "{name}: streaming diverged from offline analytics:\n  {}",
+            errs.join("\n  ")
+        );
+        println!(
+            "{name}: {} flows, {} labeled — streaming == offline",
+            streaming.flows(),
+            streaming.labeled_flows()
+        );
+    }
+}
+
+#[test]
+fn streaming_render_is_byte_identical_at_any_worker_count() {
+    let profile = profiles::eu1_adsl1().scaled(scaled(0.1));
+    let trace = TraceGenerator::new(profile, false).generate();
+
+    let (report, sequential) = run_sequential(&trace.records);
+    let reference = sequential.render();
+    assert!(
+        reference.lines().count() > 2,
+        "render produced no snapshots:\n{reference}"
+    );
+
+    let orgdb = builtin_registry();
+    let suffixes = SuffixSet::builtin();
+    for workers in [1usize, 2, 8] {
+        let (preport, parallel) = run_parallel(&trace.records, workers);
+        assert_eq!(
+            parallel.render(),
+            reference,
+            "{workers}-worker streaming output diverged from sequential"
+        );
+        // The folded parallel state must also pass the full offline
+        // equivalence, not merely agree with the sequential render.
+        let errs = check_equivalence(&parallel, &preport, &orgdb, &suffixes);
+        assert!(
+            errs.is_empty(),
+            "{workers}-worker fold diverged from offline:\n  {}",
+            errs.join("\n  ")
+        );
+    }
+    drop(report);
+}
+
+#[test]
+fn streaming_matches_offline_on_a_fault_injected_trace() {
+    // A hostile trace (every fault class at once) must not break the
+    // streaming/offline agreement: both sides see the same surviving
+    // frames, so their answers still coincide exactly.
+    let profile = profiles::us_3g().scaled(scaled(0.05));
+    let trace = TraceGenerator::new(profile, false).generate();
+    let plan = FaultPlan {
+        drop_rate: 0.05,
+        dns_response_drop_rate: 0.2,
+        duplicate_rate: 0.05,
+        reorder_rate: 0.05,
+        truncate_rate: 0.03,
+        corrupt_rate: 0.03,
+        midstream_cut_micros: 600_000_000,
+        malicious_rate: 0.02,
+        ..FaultPlan::default()
+    };
+    let (records, stats) = plan.apply(&trace.records);
+    assert!(stats.total() > 0, "fault plan inflicted nothing");
+
+    let (report, streaming) = run_sequential(&records);
+    let errs = check_equivalence(
+        &streaming,
+        &report,
+        &builtin_registry(),
+        &SuffixSet::builtin(),
+    );
+    assert!(
+        errs.is_empty(),
+        "faulted trace: streaming diverged from offline:\n  {}",
+        errs.join("\n  ")
+    );
+
+    // And the parallel fold still renders byte-identically on it.
+    let (_, parallel) = run_parallel(&records, 2);
+    assert_eq!(
+        parallel.render(),
+        streaming.render(),
+        "2-worker streaming output diverged on the faulted trace"
+    );
+}
