@@ -149,6 +149,7 @@ impl ShardEngine {
     }
 
     /// Decode and apply one UDP DNS response packet.
+    // lint_root(ingest): per-shard handler for attacker-controlled DNS responses
     pub(crate) fn handle_dns_response(&mut self, seq: u64, ts: u64, pkt: &dnhunter_net::Packet) {
         let msg = match dnhunter_dns::codec::decode(&pkt.payload) {
             Ok(m) => m,
@@ -162,6 +163,7 @@ impl ShardEngine {
 
     /// Common path for UDP and TCP responses. Truncated (TC-bit) responses
     /// are counted but carry no bindings — the client retries over TCP.
+    // lint_root(ingest): per-shard handler for decoded (still untrusted) DNS messages
     pub(crate) fn handle_dns_message(
         &mut self,
         seq: u64,
@@ -202,6 +204,7 @@ impl ShardEngine {
     /// Feed one data packet (anything that is not DNS) through the flow
     /// table, without an eviction scan — the driver owns the scan clock and
     /// calls [`ShardEngine::tick`].
+    // lint_root(ingest): per-shard handler for attacker-controlled TCP payload bytes
     pub(crate) fn process_data<E: PolicyEnforcer>(
         &mut self,
         seq: u64,
@@ -244,6 +247,7 @@ impl ShardEngine {
 
     /// Run one eviction scan, exactly when the sequential interval gate
     /// would have (the driver replicates that gate and broadcasts the tick).
+    // lint_root(ingest): per-shard timer driven by the ingest clock domain
     pub(crate) fn tick(&mut self, seq: u64, now: u64) {
         for event in self.flows.evict_idle(now) {
             if let FlowEvent::FlowFinished(record) = event {
@@ -252,6 +256,7 @@ impl ShardEngine {
         }
     }
 
+    // lint_root(ingest): FlowTable callback driven per segment from ingest (dyn dispatch the call graph cannot see)
     fn on_flow_started<E: PolicyEnforcer>(
         &mut self,
         seq: u64,
@@ -328,6 +333,7 @@ impl ShardEngine {
         );
     }
 
+    // lint_root(ingest): FlowTable callback driven per flow end from ingest (dyn dispatch the call graph cannot see)
     fn on_flow_finished(&mut self, at: EventKey, record: dnhunter_flow::FlowRecord) {
         let tag = self.pending_tags.remove(&record.key).unwrap_or(PendingTag {
             fqdn: None,
@@ -427,6 +433,7 @@ fn add_resolver_stats(into: &mut ResolverStats, from: &ResolverStats) {
 /// table's deterministic `(first_ts, 5-tuple)` order. With one shard the
 /// sort is the identity, so the sequential report *is* the merged report
 /// of a single shard.
+// lint_root(determinism): the deterministic merge that assembles the final report
 pub(crate) fn assemble_report(
     outputs: Vec<ShardOutput>,
     dispatch_stats: SnifferStats,

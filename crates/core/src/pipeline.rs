@@ -295,6 +295,7 @@ impl ParallelSniffer {
     }
 
     /// Process one pcap record.
+    // lint_root(ingest): dispatcher entry, one call per pcap record
     pub fn process_record(&mut self, rec: &PcapRecord) {
         self.process_frame(rec.timestamp_micros(), &rec.frame);
     }
@@ -302,6 +303,7 @@ impl ParallelSniffer {
     /// Dispatch one raw Ethernet frame: shallow-parse ([`PacketView`], no
     /// payload copy), classify exactly as the sequential sniffer does, and
     /// enqueue it for the owning shard.
+    // lint_root(ingest): dispatcher entry, one call per captured frame
     pub fn process_frame(&mut self, ts: u64, frame: &[u8]) {
         let t0 = Instant::now();
         // Blocking sends inside this frame's window are counted by
@@ -601,6 +603,7 @@ impl ParallelSniffer {
 /// into the flow table; DNS frames arrive raw and are fully parsed here —
 /// the exact decode path the sequential sniffer runs. Returns the shard's
 /// output plus its busy time (µs, excluding `recv` blocking).
+// lint_root(ingest): per-worker ingest: decodes DNS and drives the shard engine
 fn worker_loop(
     mut engine: ShardEngine,
     rx: Receiver<Batch>,

@@ -169,12 +169,14 @@ impl RealTimeSniffer {
     }
 
     /// Process one raw Ethernet frame with its capture timestamp (µs).
+    // lint_root(ingest): sequential ingest entry, one call per captured frame
     pub fn process_frame(&mut self, ts: u64, frame: &[u8]) {
         self.process_frame_with_policy(ts, frame, None::<&mut crate::policy::RuleEnforcer>);
     }
 
     /// Like [`RealTimeSniffer::process_frame`], invoking `enforcer` at every
     /// flow start (with the label, when the resolver had one).
+    // lint_root(ingest): sequential ingest entry, one call per captured frame
     pub fn process_frame_with_policy<E: PolicyEnforcer>(
         &mut self,
         ts: u64,

@@ -38,6 +38,7 @@ pub fn encode(msg: &DnsMessage) -> Result<Vec<u8>> {
 /// `dnh_dns_messages_decoded_total`, failures into
 /// `dnh_dns_decode_errors_total` (both stable — every driver decodes each
 /// DNS payload the same number of times).
+// lint_root(ingest): DNS wire-format decode of untrusted payloads
 pub fn decode(buf: &[u8]) -> Result<DnsMessage> {
     match decode_inner(buf) {
         Ok(msg) => {
@@ -51,22 +52,30 @@ pub fn decode(buf: &[u8]) -> Result<DnsMessage> {
     }
 }
 
+/// Cap on the *pre-allocated* capacity per message section. Header counts
+/// are attacker-controlled u16s (RFC 1035 §4.1.1): a hostile 12-byte header
+/// can claim 65535 records, so sizing `Vec`s straight from the count turns
+/// one datagram into a 4×65535-slot allocation. Records below the cap still
+/// decode — the vectors just grow normally past it, bounded by the actual
+/// buffer contents.
+const MAX_SECTION_PREALLOC: usize = 256;
+
 fn decode_inner(buf: &[u8]) -> Result<DnsMessage> {
     let mut dec = Decoder { buf, pos: 0 };
     let (header, counts) = dec.header()?;
-    let mut questions = Vec::with_capacity(counts.0 as usize);
+    let mut questions = Vec::with_capacity((counts.0 as usize).min(MAX_SECTION_PREALLOC));
     for _ in 0..counts.0 {
         questions.push(dec.question()?);
     }
-    let mut answers = Vec::with_capacity(counts.1 as usize);
+    let mut answers = Vec::with_capacity((counts.1 as usize).min(MAX_SECTION_PREALLOC));
     for _ in 0..counts.1 {
         answers.push(dec.record()?);
     }
-    let mut authorities = Vec::with_capacity(counts.2 as usize);
+    let mut authorities = Vec::with_capacity((counts.2 as usize).min(MAX_SECTION_PREALLOC));
     for _ in 0..counts.2 {
         authorities.push(dec.record()?);
     }
-    let mut additionals = Vec::with_capacity(counts.3 as usize);
+    let mut additionals = Vec::with_capacity((counts.3 as usize).min(MAX_SECTION_PREALLOC));
     for _ in 0..counts.3 {
         additionals.push(dec.record()?);
     }
@@ -99,6 +108,7 @@ pub fn encode_tcp(msg: &DnsMessage) -> Result<Vec<u8>> {
 /// start of a TCP payload. Trailing partial data (a message split across segments) is
 /// ignored; malformed messages stop the scan.
 // allow_lint(L1): pos+1 is readable by the `pos + 2 <= buf.len()` loop guard; start..end is readable because `end > buf.len()` breaks first
+// lint_root(ingest): TCP-framed DNS decode of untrusted payloads
 pub fn decode_tcp_stream(buf: &[u8]) -> Vec<DnsMessage> {
     let mut out = Vec::new();
     let mut pos = 0;

@@ -126,6 +126,7 @@ impl<'a> PacketView<'a> {
     /// `dnh_net_checksum_errors_total`, and
     /// `dnh_net_frames_malformed_total` (all stable — a rejected frame is
     /// counted exactly once by every driver).
+    // lint_root(ingest): first touch of attacker-controlled wire bytes (zero-copy header walk)
     pub fn parse(frame: &'a [u8]) -> Result<PacketView<'a>> {
         match Self::parse_inner(frame) {
             Ok(view) => {
@@ -236,6 +237,7 @@ impl Packet {
     ///
     /// Equivalent to [`PacketView::parse`] followed by one payload copy —
     /// the two stages accept and reject identical frame sets.
+    // lint_root(ingest): owned-packet parse entry over raw captured frames
     pub fn parse(frame: &[u8]) -> Result<Packet> {
         PacketView::parse(frame).map(|v| v.to_packet())
     }

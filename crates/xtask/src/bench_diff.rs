@@ -86,7 +86,7 @@ fn regression(baseline: f64, current: f64) -> f64 {
 }
 
 pub fn run(args: &[String]) -> ExitCode {
-    let root = crate::workspace_root();
+    let root = xtask::workspace_root();
     let mut baseline_path = root.join("BENCH_baseline.json");
     let mut current_path = Path::new("BENCH_sniffer.json").to_path_buf();
     let mut threshold_pct = DEFAULT_THRESHOLD_PCT;

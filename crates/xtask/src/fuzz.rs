@@ -172,7 +172,7 @@ pub fn run(args: &[String]) -> ExitCode {
         }
     }
 
-    let root = crate::workspace_root();
+    let root = xtask::workspace_root();
     let corpus_dir = root.join("tests").join("corpus");
     let regressions_dir = corpus_dir.join("regressions");
 

@@ -1,0 +1,326 @@
+//! Approximate cross-file call graph + reachability over the item model.
+//!
+//! Name-based edge resolution (no types, no trait solving): a call token
+//! links to every workspace function it *could* denote, filtered by crate
+//! dependency edges. This **over-approximates** (a `.merge(` call links to
+//! every `merge` method in scope, dynamic dispatch collapses to all
+//! implementors) and **under-approximates** (calls through std adapters
+//! like `map(f)` where `f` is passed by name, macro-generated code, and
+//! callee names that only appear behind `#[cfg]`s we don't evaluate).
+//! Over-approximation is the safe direction for L7/L8 — extra reachability
+//! can only add findings, which an audited marker then documents; the
+//! under-approximations are listed in DESIGN.md §8 so nobody mistakes the
+//! graph for ground truth.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::model::{Call, CallKind, FnItem, ModelFile, RootClass};
+use crate::scan::SourceFile;
+
+/// Bit flags for per-line reachability classes.
+pub const REACH_DETERMINISM: u8 = 1;
+pub const REACH_INGEST: u8 = 2;
+
+/// The whole analyzed workspace: files, functions, edges, reachability.
+pub struct Workspace {
+    pub files: Vec<ModelFile>,
+    pub fns: Vec<FnItem>,
+    /// Adjacency: caller fn index → callee fn indices (sorted, deduped).
+    pub edges: Vec<Vec<usize>>,
+    /// Per-fn reachability flags (`REACH_*` bits).
+    pub reach: Vec<u8>,
+    /// Per-file, per-line reachability flags projected from fn spans.
+    pub line_reach: Vec<Vec<u8>>,
+    /// Per-file, per-line owning fn (innermost span), if any.
+    pub line_fn: Vec<Vec<Option<usize>>>,
+}
+
+impl Workspace {
+    /// Build the model from parsed files. `crate_deps` maps a crate dir
+    /// name to the workspace crates it may call into (its direct
+    /// dependencies; the crate itself is implicit).
+    pub fn build(
+        sources: Vec<(String, SourceFile)>,
+        crate_deps: &BTreeMap<String, BTreeSet<String>>,
+    ) -> Workspace {
+        let mut fns: Vec<FnItem> = Vec::new();
+        let mut files: Vec<ModelFile> = Vec::new();
+        for (idx, (krate, sf)) in sources.into_iter().enumerate() {
+            files.push(crate::model::lift(sf, &krate, idx, &mut fns));
+        }
+
+        // Name indexes.
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_type: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            if f.test {
+                continue; // test helpers never carry invariant obligations
+            }
+            match &f.impl_type {
+                Some(ty) => {
+                    methods.entry(&f.name).or_default().push(i);
+                    by_type.entry((ty.as_str(), &f.name)).or_default().push(i);
+                }
+                None => free.entry(&f.name).or_default().push(i),
+            }
+        }
+        // File-stem index for `module::func` qualified calls.
+        let mut by_stem: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            if f.test {
+                continue;
+            }
+            let stem = files[f.file]
+                .source
+                .path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("");
+            by_stem.entry((stem, &f.name)).or_default().push(i);
+        }
+
+        let in_scope = |caller: &FnItem, callee: &FnItem| -> bool {
+            caller.krate == callee.krate
+                || crate_deps
+                    .get(&caller.krate)
+                    .is_some_and(|deps| deps.contains(&callee.krate))
+        };
+
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        for (i, f) in fns.iter().enumerate() {
+            let mut out: Vec<usize> = Vec::new();
+            for Call { name, kind } in &f.calls {
+                let candidates: Vec<usize> = match kind {
+                    CallKind::Free => free.get(name.as_str()).cloned().unwrap_or_default(),
+                    CallKind::Method => methods.get(name.as_str()).cloned().unwrap_or_default(),
+                    CallKind::Qualified(q) => {
+                        let mut c = by_type
+                            .get(&(q.as_str(), name.as_str()))
+                            .cloned()
+                            .unwrap_or_default();
+                        if c.is_empty() {
+                            // Module-qualified (`codec::decode`) or crate-
+                            // qualified (`dnhunter_dns::...::decode`).
+                            c = by_stem
+                                .get(&(q.as_str(), name.as_str()))
+                                .cloned()
+                                .unwrap_or_default();
+                        }
+                        if c.is_empty() {
+                            if let Some(dir) = crate::model::crate_dir_of_use(q) {
+                                c = free
+                                    .get(name.as_str())
+                                    .map(|v| {
+                                        v.iter().copied().filter(|&t| fns[t].krate == dir).collect()
+                                    })
+                                    .unwrap_or_default();
+                            }
+                        }
+                        c
+                    }
+                };
+                for t in candidates {
+                    if t != i && in_scope(f, &fns[t]) {
+                        out.push(t);
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            edges[i] = out;
+        }
+
+        let mut ws = Workspace {
+            files,
+            fns,
+            edges,
+            reach: Vec::new(),
+            line_reach: Vec::new(),
+            line_fn: Vec::new(),
+        };
+        ws.compute_reachability();
+        ws
+    }
+
+    /// BFS per root class over the call graph, then project fn flags onto
+    /// file lines.
+    fn compute_reachability(&mut self) {
+        let mut reach = vec![0u8; self.fns.len()];
+        for (class, bit) in [
+            (RootClass::Determinism, REACH_DETERMINISM),
+            (RootClass::Ingest, REACH_INGEST),
+        ] {
+            let mut queue: Vec<usize> = self
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.test && f.roots.contains(&class))
+                .map(|(i, _)| i)
+                .collect();
+            for &r in &queue {
+                reach[r] |= bit;
+            }
+            while let Some(cur) = queue.pop() {
+                for &next in &self.edges[cur] {
+                    if reach[next] & bit == 0 {
+                        reach[next] |= bit;
+                        queue.push(next);
+                    }
+                }
+            }
+        }
+        self.reach = reach;
+
+        self.line_reach = Vec::with_capacity(self.files.len());
+        self.line_fn = Vec::with_capacity(self.files.len());
+        for (fi, file) in self.files.iter().enumerate() {
+            let n = file.source.lines.len();
+            let mut lr = vec![0u8; n];
+            let mut lf: Vec<Option<usize>> = vec![None; n];
+            for &f in &file.fns {
+                let item = &self.fns[f];
+                debug_assert_eq!(item.file, fi);
+                for line in item.start..=item.end.min(n.saturating_sub(1)) {
+                    lr[line] |= self.reach[f];
+                    // Innermost span wins: later items start later.
+                    match lf[line] {
+                        Some(prev) if self.fns[prev].start >= item.start => {}
+                        _ => lf[line] = Some(f),
+                    }
+                }
+            }
+            self.line_reach.push(lr);
+            self.line_fn.push(lf);
+        }
+    }
+
+    /// Roots of a class, for diagnostics.
+    pub fn roots(&self, class: RootClass) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.roots.contains(&class))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// A human-readable `crate::Type::name` label for diagnostics.
+    pub fn fn_label(&self, idx: usize) -> String {
+        let f = &self.fns[idx];
+        match &f.impl_type {
+            Some(ty) => format!("{}::{}::{}", f.krate, ty, f.name),
+            None => format!("{}::{}", f.krate, f.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn ws(files: Vec<(&str, &str, &str)>) -> Workspace {
+        let sources = files
+            .into_iter()
+            .map(|(krate, name, src)| {
+                (
+                    krate.to_string(),
+                    SourceFile::parse(PathBuf::from(name), src),
+                )
+            })
+            .collect();
+        let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        deps.insert("core".into(), ["dns".to_string()].into_iter().collect());
+        Workspace::build(sources, &deps)
+    }
+
+    #[test]
+    fn cross_file_reachability_through_method_calls() {
+        let w = ws(vec![
+            (
+                "core",
+                "render.rs",
+                "// lint_root(determinism): output path\nfn render_all(s: &S) {\n    s.collect_rows();\n}\n",
+            ),
+            (
+                "core",
+                "state.rs",
+                "impl S {\n    fn collect_rows(&self) {\n        helper();\n    }\n}\nfn helper() {}\nfn unrelated() {}\n",
+            ),
+        ]);
+        let names: Vec<(String, u8)> = w
+            .fns
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), w.reach[i]))
+            .collect();
+        let get = |n: &str| names.iter().find(|(x, _)| x == n).unwrap().1;
+        assert_eq!(get("render_all") & REACH_DETERMINISM, REACH_DETERMINISM);
+        assert_eq!(get("collect_rows") & REACH_DETERMINISM, REACH_DETERMINISM);
+        assert_eq!(get("helper") & REACH_DETERMINISM, REACH_DETERMINISM);
+        assert_eq!(get("unrelated"), 0);
+    }
+
+    #[test]
+    fn crate_dependency_filter_blocks_reverse_edges() {
+        // dns does not depend on core, so a dns fn calling `assemble(` must
+        // not link to core's `assemble`.
+        let w = ws(vec![
+            (
+                "dns",
+                "codec.rs",
+                "fn decode(buf: &[u8]) {\n    assemble(buf);\n}\n",
+            ),
+            ("core", "report.rs", "fn assemble(x: &[u8]) {}\n"),
+        ]);
+        let decode = w.fns.iter().position(|f| f.name == "decode").unwrap();
+        assert!(w.edges[decode].is_empty());
+        // core → dns is declared, so the reverse direction links.
+        let w2 = ws(vec![
+            (
+                "core",
+                "driver.rs",
+                "fn drive(buf: &[u8]) {\n    decode(buf);\n}\n",
+            ),
+            ("dns", "codec.rs", "fn decode(buf: &[u8]) {}\n"),
+        ]);
+        let drive = w2.fns.iter().position(|f| f.name == "drive").unwrap();
+        assert_eq!(w2.edges[drive].len(), 1);
+    }
+
+    #[test]
+    fn name_rule_roots_seed_reachability() {
+        let w = ws(vec![(
+            "core",
+            "stream.rs",
+            "impl A {\n    fn merge(&mut self, o: A) {\n        self.apply_part(o);\n    }\n    fn apply_part(&mut self, o: A) {}\n}\n",
+        )]);
+        let apply = w.fns.iter().position(|f| f.name == "apply_part").unwrap();
+        assert_eq!(w.reach[apply] & REACH_DETERMINISM, REACH_DETERMINISM);
+    }
+
+    #[test]
+    fn test_fns_are_excluded_from_graph_targets() {
+        let w = ws(vec![(
+            "core",
+            "a.rs",
+            "// lint_root(determinism): x\nfn render_x() {\n    helper();\n}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n",
+        )]);
+        let render = w.fns.iter().position(|f| f.name == "render_x").unwrap();
+        assert!(w.edges[render].is_empty());
+    }
+
+    #[test]
+    fn line_reachability_projects_fn_spans() {
+        let w = ws(vec![(
+            "core",
+            "a.rs",
+            "fn fold(x: u8) {\n    deep(x);\n}\nfn deep(x: u8) {\n    let y = x;\n}\nfn cold() {}\n",
+        )]);
+        let lr = &w.line_reach[0];
+        assert_eq!(lr[1] & REACH_DETERMINISM, REACH_DETERMINISM); // fold body
+        assert_eq!(lr[4] & REACH_DETERMINISM, REACH_DETERMINISM); // deep body
+        assert_eq!(lr[6], 0); // cold
+    }
+}

@@ -40,7 +40,57 @@ fn violation(
     }
 }
 
-const KNOWN_LINTS: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6"];
+const KNOWN_LINTS: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9"];
+
+/// Apply `allow_lint` marker suppression to raw findings: drop the ones a
+/// matching marker covers, and report which marker (by index into
+/// `file.markers`) suppressed something — the complement is what M2 flags
+/// as stale. Lints return *all* findings precisely so this split is
+/// possible; `check_markers` (M1) findings are never suppressible.
+pub fn suppress(file: &SourceFile, raw: Vec<Violation>) -> (Vec<Violation>, Vec<usize>) {
+    let masks: Vec<Vec<bool>> = file.markers.iter().map(|m| file.marker_mask(m)).collect();
+    let mut used: Vec<usize> = Vec::new();
+    let mut active = Vec::new();
+    for v in raw {
+        let mut suppressed = false;
+        for (mi, m) in file.markers.iter().enumerate() {
+            if m.lint == v.lint && !m.reason.is_empty() && masks[mi][v.line - 1] {
+                suppressed = true;
+                if !used.contains(&mi) {
+                    used.push(mi);
+                }
+            }
+        }
+        if !suppressed || v.lint == "M1" || v.lint == "M2" {
+            active.push(v);
+        }
+    }
+    (active, used)
+}
+
+/// M2: markers that suppress nothing are stale — they stop documenting a
+/// real exception and start hiding future regressions. `used` holds the
+/// marker indices `suppress` consumed for this file.
+pub fn m2_stale_markers(file: &SourceFile, used: &[usize]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (mi, m) in file.markers.iter().enumerate() {
+        if !KNOWN_LINTS.contains(&m.lint.as_str()) || m.reason.is_empty() {
+            continue; // M1's problem, not M2's
+        }
+        if !used.contains(&mi) {
+            out.push(violation(
+                file,
+                m.line,
+                "M2",
+                format!(
+                    "stale `allow_lint({})` marker: it no longer suppresses any finding; remove it",
+                    m.lint
+                ),
+            ));
+        }
+    }
+    out
+}
 
 /// M1: markers must name a known lint and give a non-empty reason.
 pub fn check_markers(file: &SourceFile) -> Vec<Violation> {
@@ -72,10 +122,9 @@ pub fn check_markers(file: &SourceFile) -> Vec<Violation> {
 /// macros, and subscript indexing (`x[...]`, which panics out of bounds —
 /// `get`/`get_mut` are the checked alternatives).
 pub fn l1_no_panics(file: &SourceFile) -> Vec<Violation> {
-    let allow = file.allow_mask("L1");
     let mut out = Vec::new();
     for (i, line) in file.lines.iter().enumerate() {
-        if line.test || allow[i] {
+        if line.test {
             continue;
         }
         let code = line.code.as_str();
@@ -180,10 +229,9 @@ fn subscript_positions(code: &str) -> Vec<usize> {
 /// V>` types; a third generic parameter (a custom `BuildHasher`, as in
 /// `resolver::maps::FnvHashMap`) passes.
 pub fn l2_no_siphash_maps(file: &SourceFile) -> Vec<Violation> {
-    let allow = file.allow_mask("L2");
     let mut out = Vec::new();
     for (i, line) in file.lines.iter().enumerate() {
-        if line.test || allow[i] {
+        if line.test {
             continue;
         }
         let code = line.code.as_str();
@@ -264,7 +312,6 @@ fn angle_depth(s: &str) -> Option<usize> {
 /// locking (`self.shards[i].lock().insert(...)`) drops its temporary guard
 /// at the semicolon and is fine.
 pub fn l3_no_guard_across_shards(file: &SourceFile) -> Vec<Violation> {
-    let allow = file.allow_mask("L3");
     let mut out = Vec::new();
     let mut depth = 0usize;
     // Active named guards: (name, depth at binding).
@@ -281,7 +328,7 @@ pub fn l3_no_guard_across_shards(file: &SourceFile) -> Vec<Violation> {
         let is_binding = trimmed.starts_with("let ") && acquires && lock_is_final_call(trimmed);
         // A line is risky even if it *binds* a new guard — acquiring a
         // second lock while one is held is the classic L3 violation.
-        if !line.test && !allow[i] && !guards.is_empty() {
+        if !line.test && !guards.is_empty() {
             let risky = acquires
                 || code.contains("self.shards")
                 || code.contains("evict")
@@ -397,10 +444,9 @@ const L5_HEAVY_TOKENS: &[&str] = &[
 ///    or take a lock: the update must stay a thread-local load plus one
 ///    relaxed `fetch_add`.
 pub fn l5_telemetry_macros(file: &SourceFile) -> Vec<Violation> {
-    let allow = file.allow_mask("L5");
     let mut out = Vec::new();
     for (i, line) in file.lines.iter().enumerate() {
-        if line.test || allow[i] {
+        if line.test {
             continue;
         }
         let code = line.code.as_str();
@@ -467,7 +513,6 @@ const ITEM_KEYWORDS: &[&str] = &[
 /// L4: every public item carries a doc comment citing the paper (or RFC)
 /// it implements, and every file opens with a cited module doc.
 pub fn l4_docs_cite_paper(file: &SourceFile) -> Vec<Violation> {
-    let allow = file.allow_mask("L4");
     let mut out = Vec::new();
     // File-level: the module doc (`//!`) must exist and cite.
     let module_doc: String = file
@@ -493,7 +538,7 @@ pub fn l4_docs_cite_paper(file: &SourceFile) -> Vec<Violation> {
         ));
     }
     for (i, line) in file.lines.iter().enumerate() {
-        if line.test || allow[i] {
+        if line.test {
             continue;
         }
         let trimmed = line.code.trim();
@@ -647,7 +692,23 @@ mod tests {
     #[test]
     fn l1_ignores_tests_strings_comments_and_allows() {
         let src = "fn f() {\n    let s = \"don't .unwrap() me\"; // .unwrap() here neither\n    let x = v[0]; // allow_lint(L1): length checked two lines up\n}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
-        assert!(l1_no_panics(&file(src)).is_empty());
+        let f = file(src);
+        let raw = l1_no_panics(&f);
+        assert_eq!(raw.len(), 1, "the allowed line is still a raw finding");
+        let (active, used) = suppress(&f, raw);
+        assert!(active.is_empty(), "{active:?}");
+        assert_eq!(used, vec![0], "the marker was consumed");
+    }
+
+    #[test]
+    fn m2_flags_markers_that_suppress_nothing() {
+        let src = "fn f() {\n    let x = v.first(); // allow_lint(L1): nothing wrong on this line anymore\n}\n";
+        let f = file(src);
+        let (_, used) = suppress(&f, l1_no_panics(&f));
+        let v = m2_stale_markers(&f, &used);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("stale"));
+        assert_eq!(v[0].line, 2);
     }
 
     #[test]
@@ -706,7 +767,7 @@ mod tests {
 
     #[test]
     fn m1_rejects_reasonless_or_unknown_markers() {
-        let src = "fn f() {\n    let x = v[0]; // allow_lint(L1)\n    let y = v[1]; // allow_lint(L9): what\n}\n";
+        let src = "fn f() {\n    let x = v[0]; // allow_lint(L1)\n    let y = v[1]; // allow_lint(L42): what\n}\n";
         let v = check_markers(&file(src));
         assert_eq!(v.len(), 2, "{v:?}");
     }
@@ -736,6 +797,9 @@ mod tests {
     #[test]
     fn l5_respects_allow_markers_and_tests() {
         let src = "fn f() {\n    telemetry::counter_add(m, 1); // allow_lint(L5): startup path, not per-packet\n}\n#[cfg(test)]\nmod tests {\n    fn t() { telemetry::counter_add(m, 1); }\n}\n";
-        assert!(l5_telemetry_macros(&file(src)).is_empty());
+        let f = file(src);
+        let (active, used) = suppress(&f, l5_telemetry_macros(&f));
+        assert!(active.is_empty(), "{active:?}");
+        assert_eq!(used.len(), 1);
     }
 }

@@ -1,11 +1,13 @@
 //! `cargo xtask` — workspace automation for the DN-Hunter reproduction.
 //!
-//! Two subcommands:
+//! Subcommands:
 //!
 //! * `lint` — the invariant gate described in DESIGN.md ("Machine-checked
-//!   invariants"): workspace-specific lints (L1–L6) that encode properties
-//!   the paper's hot path depends on and that rustc/clippy cannot express.
-//!   Exits non-zero on any violation, so CI can gate on it.
+//!   invariants"): workspace-specific lints (L1–L9) that encode properties
+//!   the paper's hot path depends on and that rustc/clippy cannot express,
+//!   including the call-graph reachability lints L7–L9. Exits non-zero on
+//!   any violation, so CI can gate on it. `--json` prints machine-readable
+//!   findings; `--github` adds `::error file=…,line=…` annotation lines.
 //! * `fuzz` — the seeded structure-aware corpus fuzzer over the ingest
 //!   parsers (DNS codec, frame parser, DPI extractors); panics shrink to
 //!   minimal reproducers committed under `tests/corpus/regressions/`.
@@ -18,43 +20,13 @@
 
 mod bench_diff;
 mod fuzz;
-mod lints;
-mod scan;
 
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-use lints::Violation;
-use scan::SourceFile;
-
-/// Hot-path crates: per-packet code where a panic or a SipHash map is a
-/// correctness/performance bug (L1, L2).
-const HOT_CRATES: &[&str] = &["net", "dns", "flow", "resolver", "telemetry"];
-/// Crates whose hot paths carry metric updates and must use the `tm_*!`
-/// macros (L5). The `telemetry` crate itself is exempt: it *defines* the
-/// recorder functions the macros expand to.
-const L5_EXEMPT_CRATES: &[&str] = &["telemetry"];
-/// Extra files outside the hot crates whose metric updates L5 checks.
-const L5_EXTRA_FILES: &[&str] = &["crates/core/src/sniffer.rs"];
-/// Crates holding locks whose guard discipline L3 checks.
-const LOCK_CRATES: &[&str] = &["resolver"];
-/// Crates whose public API must cite the paper (L4).
-const DOC_CRATES: &[&str] = &["resolver", "dns"];
-/// Individual per-packet files in crates that are otherwise not hot
-/// (the `core` crate also holds reporting/export code where a panic is
-/// acceptable). These get the hot-path treatment (L1, L2) plus the guard
-/// discipline check (L3) — the pipeline holds ring locks and sends across
-/// channels, the classic place to deadlock a sniffer.
-const HOT_FILES: &[&str] = &[
-    "crates/core/src/engine.rs",
-    "crates/core/src/pipeline.rs",
-    "crates/core/src/ring.rs",
-];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => lint(&args[1..]),
         Some("fuzz") => fuzz::run(&args[1..]),
         Some("bench-diff") => bench_diff::run(&args[1..]),
         Some(other) => {
@@ -71,129 +43,136 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: cargo xtask <command>\n\ncommands:\n  lint        run the workspace invariant lints (L1-L6)\n  fuzz        seeded corpus fuzzer over the ingest parsers\n              [--smoke] [--cases N] [--seed S] [--max-seconds T]\n  bench-diff  compare BENCH_sniffer.json against the committed baseline\n              [--baseline PATH] [--current PATH] [--threshold PCT] [--update]"
+        "usage: cargo xtask <command>\n\ncommands:\n  lint        run the workspace invariant lints (L1-L9)\n              [--json] [--github]\n  fuzz        seeded corpus fuzzer over the ingest parsers\n              [--smoke] [--cases N] [--seed S] [--max-seconds T]\n  bench-diff  compare BENCH_sniffer.json against the committed baseline\n              [--baseline PATH] [--current PATH] [--threshold PCT] [--update]"
     );
 }
 
-/// Workspace root, resolved from this crate's manifest directory so the
-/// lint works from any working directory.
-fn workspace_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("crates/xtask sits two levels below the workspace root")
-        .to_path_buf()
-}
-
-fn lint() -> ExitCode {
-    let root = workspace_root();
-    let mut violations: Vec<Violation> = Vec::new();
-    let mut files_scanned = 0usize;
-
-    let mut crates: Vec<&str> = HOT_CRATES.to_vec();
-    for c in DOC_CRATES.iter().chain(LOCK_CRATES) {
-        if !crates.contains(c) {
-            crates.push(c);
+fn lint(args: &[String]) -> ExitCode {
+    let json = args.iter().any(|a| a == "--json");
+    let github = args.iter().any(|a| a == "--github");
+    if let Some(bad) = args.iter().find(|a| *a != "--json" && *a != "--github") {
+        eprintln!("xtask lint: unknown flag `{bad}`");
+        return ExitCode::from(2);
+    }
+    let root = xtask::workspace_root();
+    let outcome = match xtask::runner::run(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let violations = &outcome.violations;
+    if json {
+        println!("{}", render_json(&outcome));
+    } else {
+        for v in violations {
+            println!(
+                "{}:{}: [{}] {}",
+                v.path.display(),
+                v.line,
+                v.lint,
+                v.message
+            );
+        }
+        if violations.is_empty() {
+            println!(
+                "xtask lint: clean ({} files, lints L1-L9)",
+                outcome.files_scanned
+            );
+        } else {
+            println!(
+                "xtask lint: {} violation(s) across {} files",
+                violations.len(),
+                outcome.files_scanned
+            );
         }
     }
-    for krate in crates {
-        let src = root.join("crates").join(krate).join("src");
-        for path in rust_files(&src) {
-            let text = match std::fs::read_to_string(&path) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("xtask lint: cannot read {}: {e}", path.display());
-                    return ExitCode::from(2);
-                }
-            };
-            let rel = path.strip_prefix(&root).unwrap_or(&path).to_path_buf();
-            let file = SourceFile::parse(rel, &text);
-            files_scanned += 1;
-            violations.extend(lints::check_markers(&file));
-            if HOT_CRATES.contains(&krate) {
-                violations.extend(lints::l1_no_panics(&file));
-                violations.extend(lints::l2_no_siphash_maps(&file));
-                if !L5_EXEMPT_CRATES.contains(&krate) {
-                    violations.extend(lints::l5_telemetry_macros(&file));
-                }
-            }
-            if LOCK_CRATES.contains(&krate) {
-                violations.extend(lints::l3_no_guard_across_shards(&file));
-            }
-            if DOC_CRATES.contains(&krate) {
-                violations.extend(lints::l4_docs_cite_paper(&file));
-            }
+    if github {
+        for v in violations {
+            // GitHub annotation protocol: %0A escapes newlines; our
+            // messages are single-line already.
+            println!(
+                "::error file={},line={},title=xtask lint {}::{}",
+                v.path.display(),
+                v.line,
+                v.lint,
+                v.message
+            );
         }
-    }
-    for rel in HOT_FILES {
-        let path = root.join(rel);
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("xtask lint: cannot read {}: {e}", path.display());
-                return ExitCode::from(2);
-            }
-        };
-        let file = SourceFile::parse(PathBuf::from(rel), &text);
-        files_scanned += 1;
-        violations.extend(lints::check_markers(&file));
-        violations.extend(lints::l1_no_panics(&file));
-        violations.extend(lints::l2_no_siphash_maps(&file));
-        violations.extend(lints::l3_no_guard_across_shards(&file));
-        violations.extend(lints::l5_telemetry_macros(&file));
-    }
-    for rel in L5_EXTRA_FILES {
-        let path = root.join(rel);
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("xtask lint: cannot read {}: {e}", path.display());
-                return ExitCode::from(2);
-            }
-        };
-        let file = SourceFile::parse(PathBuf::from(rel), &text);
-        files_scanned += 1;
-        violations.extend(lints::check_markers(&file));
-        violations.extend(lints::l5_telemetry_macros(&file));
-    }
-    violations.extend(lints::l6_proptest_corpora(&root));
-
-    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
-    for v in &violations {
-        println!(
-            "{}:{}: [{}] {}",
-            v.path.display(),
-            v.line,
-            v.lint,
-            v.message
-        );
     }
     if violations.is_empty() {
-        println!("xtask lint: clean ({files_scanned} files, lints L1-L6)");
         ExitCode::SUCCESS
     } else {
-        println!(
-            "xtask lint: {} violation(s) across {files_scanned} files",
-            violations.len()
-        );
         ExitCode::FAILURE
     }
 }
 
-/// All `.rs` files under `dir`, recursively, in deterministic order.
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return out;
-    };
-    let mut entries: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
-    entries.sort();
-    for path in entries {
-        if path.is_dir() {
-            out.extend(rust_files(&path));
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
+/// Machine-readable findings for CI (`lint --json`). Hand-rolled because
+/// the vendored `serde_json` shim has no `json!` macro; the escaping is
+/// validated by round-tripping through `serde_json::from_str` in tests.
+fn render_json(outcome: &xtask::runner::LintOutcome) -> String {
+    let mut out = String::from("{\"violations\":[");
+    for (i, v) in outcome.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"lint\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&v.path.to_string_lossy()),
+            v.line,
+            v.lint,
+            json_escape(&v.message)
+        ));
+    }
+    out.push_str(&format!(
+        "],\"files_scanned\":{},\"clean\":{}}}",
+        outcome.files_scanned,
+        outcome.violations.is_empty()
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn json_output_round_trips_through_the_parser() {
+        let outcome = xtask::runner::LintOutcome {
+            violations: vec![xtask::lints::Violation {
+                path: PathBuf::from("crates/dns/src/codec.rs"),
+                line: 7,
+                lint: "L8",
+                message: "size \"n\"\tderives from input\\net".into(),
+            }],
+            files_scanned: 3,
+        };
+        let text = render_json(&outcome);
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(doc["clean"], serde_json::Value::Bool(false));
+        let v = &doc["violations"][0];
+        assert_eq!(
+            v["line"],
+            serde_json::from_str::<serde_json::Value>("7").unwrap()
+        );
+        assert!(v["message"].as_str().unwrap_or("").contains("derives"));
+    }
 }

@@ -1,0 +1,779 @@
+//! Reachability lints L7–L9 over the [`crate::graph::Workspace`].
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | L7 | determinism-reachable code has no nondeterminism sources: no iteration over default-hasher maps/sets, no clocks, no `std::env`, no RNG, no pointer formatting |
+//! | L8 | ingest-reachable allocations sized from parsed/network values are clamped by a named cap constant on the same statement |
+//! | L9 | the `telemetry::Metric` catalog and `tm_*!` sites agree, and Stable-class metrics are only updated inside the deterministic dataflow |
+//!
+//! All three return **raw** findings; marker suppression happens in the
+//! driver so stale markers can be detected (M2).
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use crate::graph::{Workspace, REACH_DETERMINISM, REACH_INGEST};
+use crate::lints::Violation;
+use crate::scan::SourceFile;
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Identifier ending at byte `end` (exclusive) of `s`.
+fn ident_before(s: &str, end: usize) -> Option<&str> {
+    let bytes = s.as_bytes();
+    let mut w = end;
+    while w > 0 && is_ident_char(bytes[w - 1] as char) {
+        w -= 1;
+    }
+    if w == end {
+        None
+    } else {
+        Some(&s[w..end])
+    }
+}
+
+/// Does `text` contain `ident` as a whole word?
+fn mentions_ident(text: &str, ident: &str) -> bool {
+    for (pos, _) in text.match_indices(ident) {
+        let before_ok = pos == 0 || !is_ident_char(char_at(text, pos - 1));
+        let after = pos + ident.len();
+        let after_ok = after >= text.len() || !is_ident_char(char_at(text, after));
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+fn char_at(s: &str, byte_idx: usize) -> char {
+    s[byte_idx..].chars().next().unwrap_or(' ')
+}
+
+// ---------------------------------------------------------------------------
+// L7 — determinism
+// ---------------------------------------------------------------------------
+
+/// Tokens that read a wall/monotonic clock or the process environment.
+const L7_AMBIENT_TOKENS: &[(&str, &str)] = &[
+    ("SystemTime::now", "reads the wall clock"),
+    ("Instant::now", "reads the monotonic clock"),
+    ("std::env::", "reads the process environment"),
+    ("env::var(", "reads the process environment"),
+    ("env::vars(", "reads the process environment"),
+    ("env::args(", "reads the process arguments"),
+];
+
+/// Tokens that introduce randomness.
+const L7_RNG_TOKENS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "RandomState",
+    "rand::random",
+    "SmallRng",
+    "StdRng",
+    ".gen_range(",
+    ".gen::<",
+];
+
+/// Map/set adaptors whose visit order is the hasher's, i.e. nondeterministic
+/// for the default `RandomState`.
+const ORDER_SENSITIVE_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".retain(",
+];
+
+/// Names declared as default-hasher `HashMap`/`HashSet` anywhere in `file`:
+/// struct fields (`name: HashMap<...>`) and let-bindings
+/// (`let name = HashMap::new()` / `let name: HashSet<...>`). File-level
+/// rather than per-scope — an over-approximation a marker can waive.
+pub fn default_hasher_names(file: &SourceFile) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in &file.lines {
+        let code = line.code.as_str();
+        for token in ["HashMap", "HashSet"] {
+            for (pos, _) in code.match_indices(token) {
+                if pos > 0 && is_ident_char(char_at(code, pos - 1)) {
+                    continue; // FnvHashMap and friends use a fixed hasher
+                }
+                let mut before = code[..pos].trim_end();
+                // Peel a path qualifier (`std::collections::HashMap`) so the
+                // binding name left of the type annotation is what we read.
+                while before.ends_with("::") {
+                    before = before[..before.len() - 2].trim_end();
+                    while before
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+                    {
+                        before = &before[..before.len() - 1];
+                    }
+                    before = before.trim_end();
+                }
+                let name = if let Some(b) = before.strip_suffix(':') {
+                    // `name: HashMap<...>` (field or typed binding)
+                    ident_before(b.trim_end(), b.trim_end().len()).map(str::to_string)
+                } else if let Some(b) = before.strip_suffix('=') {
+                    // `let name = HashMap::new()`
+                    ident_before(b.trim_end(), b.trim_end().len()).map(str::to_string)
+                } else {
+                    None
+                };
+                if let Some(n) = name {
+                    if n != "mut" && n != "let" {
+                        out.insert(n);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// L7: code reachable from determinism roots must be a pure function of the
+/// input trace — byte-identical output sequential vs `--workers N` depends
+/// on it (DESIGN.md §8, §11).
+pub fn l7_determinism(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        let hasher_names = default_hasher_names(&file.source);
+        for &f in &file.fns {
+            let item = &ws.fns[f];
+            if item.test || ws.reach[f] & REACH_DETERMINISM == 0 {
+                continue;
+            }
+            let label = ws.fn_label(f);
+            for i in item.start..=item.end.min(file.source.lines.len() - 1) {
+                let line = &file.source.lines[i];
+                if line.test {
+                    continue;
+                }
+                let code = line.code.as_str();
+                for (tok, what) in L7_AMBIENT_TOKENS {
+                    if code.contains(tok) {
+                        out.push(Violation {
+                            path: file.source.path.clone(),
+                            line: i + 1,
+                            lint: "L7",
+                            message: format!(
+                                "`{tok}` {what} in `{label}`, which is reachable from a determinism root"
+                            ),
+                        });
+                    }
+                }
+                for tok in L7_RNG_TOKENS {
+                    if code.contains(tok) {
+                        out.push(Violation {
+                            path: file.source.path.clone(),
+                            line: i + 1,
+                            lint: "L7",
+                            message: format!(
+                                "RNG use (`{}`) in `{label}`, which is reachable from a determinism root",
+                                tok.trim_matches(['.', '(', '<', ':'])
+                            ),
+                        });
+                    }
+                }
+                if line.raw.contains("{:p}") || line.raw.contains("{:#p}") {
+                    out.push(Violation {
+                        path: file.source.path.clone(),
+                        line: i + 1,
+                        lint: "L7",
+                        message: format!(
+                            "pointer formatting (`{{:p}}`) in `{label}`; addresses vary per run"
+                        ),
+                    });
+                }
+                // Iteration over default-hasher collections.
+                for m in ORDER_SENSITIVE_METHODS {
+                    for (pos, _) in code.match_indices(m) {
+                        let Some(recv) = ident_before(code, pos) else {
+                            continue;
+                        };
+                        if hasher_names.contains(recv) {
+                            out.push(Violation {
+                                path: file.source.path.clone(),
+                                line: i + 1,
+                                lint: "L7",
+                                message: format!(
+                                    "`{recv}{}` iterates a default-hasher collection in `{label}`; visit order is nondeterministic — use a BTree map/set or sort first",
+                                    m.trim_end_matches('(')
+                                ),
+                            });
+                        }
+                    }
+                }
+                // `for x in map` / `for x in &map` direct iteration.
+                if let Some(pos) = find_for_in(code) {
+                    let expr = code[pos..].trim();
+                    let expr = expr.trim_start_matches(['&', ' ']);
+                    let head: String = expr
+                        .chars()
+                        .take_while(|&c| is_ident_char(c) || c == '.')
+                        .collect();
+                    let last = head.rsplit('.').next().unwrap_or("");
+                    if hasher_names.contains(last) {
+                        out.push(Violation {
+                            path: file.source.path.clone(),
+                            line: i + 1,
+                            lint: "L7",
+                            message: format!(
+                                "`for … in {head}` iterates a default-hasher collection in `{label}`; visit order is nondeterministic"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Byte offset just past ` in ` of a `for … in ` header, if present.
+fn find_for_in(code: &str) -> Option<usize> {
+    let for_pos = code
+        .match_indices("for ")
+        .find(|&(p, _)| p == 0 || !is_ident_char(char_at(code, p.saturating_sub(1))))?
+        .0;
+    let in_rel = code[for_pos..].find(" in ")?;
+    Some(for_pos + in_rel + 4)
+}
+
+// ---------------------------------------------------------------------------
+// L8 — bounded allocation
+// ---------------------------------------------------------------------------
+
+/// A size expression is "clamped" when the statement pins it under a named
+/// cap on the same statement: a `.min(`/`.clamp(`/`cmp::min(` call plus a
+/// SCREAMING_CASE constant somewhere in the statement.
+fn is_clamped(stmt: &str) -> bool {
+    let has_clamp = stmt.contains(".min(") || stmt.contains(".clamp(") || stmt.contains("min(");
+    has_clamp && has_cap_const(stmt)
+}
+
+/// Any SCREAMING_CASE identifier (≥2 letters, all uppercase/digits/`_`).
+fn has_cap_const(stmt: &str) -> bool {
+    let mut start = None;
+    let mut letters = 0usize;
+    for (i, c) in stmt.char_indices() {
+        if is_ident_char(c) {
+            if start.is_none() {
+                start = Some(i);
+                letters = 0;
+            }
+            if c.is_ascii_alphabetic() {
+                if c.is_ascii_lowercase() {
+                    // disqualify this token
+                    letters = usize::MAX;
+                } else if letters != usize::MAX {
+                    letters += 1;
+                }
+            }
+        } else if start.take().is_some() && letters != usize::MAX && letters >= 2 {
+            return true;
+        }
+    }
+    start.is_some() && letters != usize::MAX && letters >= 2
+}
+
+/// Allocation tokens L8 inspects, with how to find their size expression.
+const ALLOC_TOKENS: &[&str] = &["with_capacity(", ".reserve(", ".reserve_exact(", ".resize("];
+
+/// L8: in ingest-reachable code, allocation sizes derived from parsed or
+/// network values must be clamped by a named cap constant on the same
+/// statement (PR 4's hostile-input discipline, DESIGN.md §8). Taint is
+/// intraprocedural: the function's parameters seed it, `let` bindings whose
+/// initializer mentions a tainted name propagate it — the same style as
+/// L3's guard tracking.
+pub fn l8_bounded_alloc(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        for &f in &file.fns {
+            let item = &ws.fns[f];
+            if item.test || ws.reach[f] & REACH_INGEST == 0 {
+                continue;
+            }
+            let label = ws.fn_label(f);
+            let mut tainted: BTreeSet<String> = item.params.iter().cloned().collect();
+            let lines = &file.source.lines;
+            let body_start = (item.start + 1).min(item.end); // skip the signature
+            let mut i = body_start;
+            while i <= item.end.min(lines.len() - 1) {
+                // Skip blank and comment-only lines so findings anchor on
+                // the statement's first *code* line — that is the line an
+                // `allow_lint` marker above the statement covers.
+                if lines[i].code.trim().is_empty() {
+                    i += 1;
+                    continue;
+                }
+                // Join one statement: lines until one ends in `;`, `{`, or `}`.
+                let first = i;
+                let mut stmt = String::new();
+                loop {
+                    let l = lines[i].code.trim();
+                    stmt.push_str(l);
+                    stmt.push(' ');
+                    let done = l.ends_with(';')
+                        || l.ends_with('{')
+                        || l.ends_with('}')
+                        || l.ends_with(',')
+                        || i >= item.end.min(lines.len() - 1)
+                        || i >= first + 12;
+                    i += 1;
+                    if done {
+                        break;
+                    }
+                }
+                if lines[first].test {
+                    continue;
+                }
+                // Taint propagation through let-bindings, including tuple /
+                // struct destructuring (`let (header, counts) = dec.header()?`).
+                if let Some(rest) = stmt.trim_start().strip_prefix("let ") {
+                    if let Some((pat, rhs)) = rest.split_once('=') {
+                        // Drop the type annotation so `v: Vec<u8>` taints
+                        // only `v`, not `Vec`.
+                        let pat = pat.split(':').next().unwrap_or(pat);
+                        if tainted.iter().any(|t| mentions_ident(rhs, t)) {
+                            for name in idents_of(pat) {
+                                if name != "mut" && name != "ref" {
+                                    tainted.insert(name);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Allocation sites.
+                let mut flagged = false;
+                for tok in ALLOC_TOKENS {
+                    for (pos, _) in stmt.clone().match_indices(tok) {
+                        let args = paren_args(&stmt, pos + tok.len() - 1);
+                        if tainted.iter().any(|t| mentions_ident(args, t)) && !is_clamped(&stmt) {
+                            flagged = true;
+                            out.push(Violation {
+                                path: file.source.path.clone(),
+                                line: first + 1,
+                                lint: "L8",
+                                message: format!(
+                                    "allocation size in `{}` derives from parsed input in ingest-reachable `{label}`; clamp it with `.min(SOME_CAP)` on the same statement",
+                                    tok.trim_matches(['.', '('])
+                                ),
+                            });
+                            break;
+                        }
+                    }
+                    if flagged {
+                        break;
+                    }
+                }
+                // `vec![elem; n]` with a tainted length.
+                if !flagged {
+                    for (pos, _) in stmt.clone().match_indices("vec![") {
+                        let inner = bracket_args(&stmt, pos + "vec![".len() - 1);
+                        if let Some((_, len)) = inner.rsplit_once(';') {
+                            if tainted.iter().any(|t| mentions_ident(len, t)) && !is_clamped(&stmt)
+                            {
+                                out.push(Violation {
+                                    path: file.source.path.clone(),
+                                    line: first + 1,
+                                    lint: "L8",
+                                    message: format!(
+                                        "`vec![…; n]` length derives from parsed input in ingest-reachable `{label}`; clamp it with `.min(SOME_CAP)` on the same statement"
+                                    ),
+                                });
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All identifier tokens of `s`, in order.
+fn idents_of(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars() {
+        if is_ident_char(c) {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Contents of the paren group opening at byte `open` (which must be `(`).
+fn paren_args(s: &str, open: usize) -> &str {
+    let bytes = s.as_bytes();
+    debug_assert_eq!(bytes.get(open), Some(&b'('));
+    let mut depth = 0i32;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &s[open + 1..i];
+                }
+            }
+            _ => {}
+        }
+    }
+    &s[open + 1..]
+}
+
+/// Contents of the bracket group opening at byte `open` (which must be `[`).
+fn bracket_args(s: &str, open: usize) -> &str {
+    let bytes = s.as_bytes();
+    debug_assert_eq!(bytes.get(open), Some(&b'['));
+    let mut depth = 0i32;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &s[open + 1..i];
+                }
+            }
+            _ => {}
+        }
+    }
+    &s[open + 1..]
+}
+
+// ---------------------------------------------------------------------------
+// L9 — metric-catalog consistency
+// ---------------------------------------------------------------------------
+
+/// One catalog row from the `metrics!` block in `telemetry/src/metric.rs`.
+#[derive(Debug)]
+pub struct CatalogEntry {
+    pub variant: String,
+    pub stable: bool,
+    /// Zero-based line of the entry.
+    pub line: usize,
+}
+
+/// Parse the `metrics! { Variant => "name", Kind, Class, … }` catalog.
+pub fn parse_catalog(file: &SourceFile) -> Vec<CatalogEntry> {
+    let mut out = Vec::new();
+    let mut open_depth: Option<usize> = None;
+    for (i, line) in file.lines.iter().enumerate() {
+        let code = line.code.trim();
+        let Some(d0) = open_depth else {
+            if code.starts_with("metrics!") {
+                open_depth = Some(line.depth);
+            }
+            continue;
+        };
+        // The block's own closing `}` starts at depth d0 + 1.
+        if line.depth <= d0 + 1 && code.starts_with('}') {
+            break;
+        }
+        let Some((lhs, rhs)) = code.split_once("=>") else {
+            continue;
+        };
+        let variant = lhs.trim().to_string();
+        if variant.is_empty() || !variant.chars().all(is_ident_char) {
+            continue;
+        }
+        out.push(CatalogEntry {
+            variant,
+            stable: mentions_ident(rhs, "Stable"),
+            line: i,
+        });
+    }
+    out
+}
+
+/// One `tm_*!` update site with the metric variants it names.
+#[derive(Debug)]
+pub struct TmSite {
+    pub file: usize,
+    /// Zero-based line of the macro token.
+    pub line: usize,
+    pub variants: Vec<String>,
+}
+
+const TM_MACROS: &[&str] = &["tm_count!(", "tm_gauge!(", "tm_observe!(", "tm_span!("];
+
+/// All `tm_*!` sites across the workspace (test code excluded). A site's
+/// variants are every `Tm::X` / `Metric::X` token inside the macro's paren
+/// group — which handles both single-metric sites and `match`-dispatch
+/// sites naming several.
+pub fn collect_tm_sites(ws: &Workspace) -> Vec<TmSite> {
+    let mut out = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        if file.krate == "telemetry" {
+            continue; // the macro definitions themselves
+        }
+        let lines = &file.source.lines;
+        for (i, line) in lines.iter().enumerate() {
+            if line.test {
+                continue;
+            }
+            let code = line.code.as_str();
+            for mac in TM_MACROS {
+                let Some(pos) = code.find(mac) else { continue };
+                // Join lines until the macro's paren group closes.
+                let mut joined = code[pos..].to_string();
+                let mut j = i + 1;
+                while paren_open(&joined) && j < lines.len() && j < i + 20 {
+                    joined.push(' ');
+                    joined.push_str(lines[j].code.trim());
+                    j += 1;
+                }
+                let mut variants = Vec::new();
+                for qual in ["Tm::", "Metric::"] {
+                    for (p, _) in joined.match_indices(qual) {
+                        if p > 0 && is_ident_char(char_at(&joined, p - 1)) {
+                            continue;
+                        }
+                        let rest = &joined[p + qual.len()..];
+                        let v: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+                        if !v.is_empty() && !variants.contains(&v) {
+                            variants.push(v);
+                        }
+                    }
+                }
+                out.push(TmSite {
+                    file: fi,
+                    line: i,
+                    variants,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Is the first paren group of `s` still open at the end of `s`?
+fn paren_open(s: &str) -> bool {
+    let Some(open) = s.find('(') else {
+        return false;
+    };
+    let mut depth = 0i32;
+    for c in s[open..].chars() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    true
+}
+
+/// L9: the metric catalog and its update sites agree.
+///
+/// 1. Every cataloged metric has ≥1 `tm_*!` update site.
+/// 2. Every `tm_*!` site names only cataloged metrics.
+/// 3. Stable-class metrics are updated only from code inside the
+///    deterministic dataflow — functions reachable from ingest roots (the
+///    shared per-event path whose per-worker registries the fold merges) or
+///    from determinism roots. A Stable update in driver/timing/export glue
+///    would count events differently per run shape and break snapshot
+///    equality across `--workers N`.
+pub fn l9_metric_catalog(ws: &Workspace, catalog_path: &PathBuf) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(cat_file) = ws.files.iter().find(|f| &f.source.path == catalog_path) else {
+        out.push(Violation {
+            path: catalog_path.clone(),
+            line: 1,
+            lint: "L9",
+            message: "metric catalog file not found in the analyzed workspace".into(),
+        });
+        return out;
+    };
+    let catalog = parse_catalog(&cat_file.source);
+    if catalog.is_empty() {
+        out.push(Violation {
+            path: catalog_path.clone(),
+            line: 1,
+            lint: "L9",
+            message: "no `metrics!` catalog entries parsed".into(),
+        });
+        return out;
+    }
+    let sites = collect_tm_sites(ws);
+    let mut updated: BTreeSet<&str> = BTreeSet::new();
+    for site in &sites {
+        let file = &ws.files[site.file];
+        for v in &site.variants {
+            updated.insert(v.as_str());
+            let Some(entry) = catalog.iter().find(|e| &e.variant == v) else {
+                out.push(Violation {
+                    path: file.source.path.clone(),
+                    line: site.line + 1,
+                    lint: "L9",
+                    message: format!(
+                        "`tm_*!` site names `{v}`, which is not in the metric catalog"
+                    ),
+                });
+                continue;
+            };
+            if entry.stable {
+                let reach = file
+                    .source
+                    .lines
+                    .get(site.line)
+                    .map(|_| ws.line_reach[site.file][site.line])
+                    .unwrap_or(0);
+                if reach & (REACH_INGEST | REACH_DETERMINISM) == 0 {
+                    let ctx = ws.line_fn[site.file][site.line]
+                        .map(|f| ws.fn_label(f))
+                        .unwrap_or_else(|| "<no enclosing fn>".into());
+                    out.push(Violation {
+                        path: file.source.path.clone(),
+                        line: site.line + 1,
+                        lint: "L9",
+                        message: format!(
+                            "Stable-class metric `{v}` updated in `{ctx}`, outside the deterministic dataflow (not reachable from any ingest/determinism root)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for entry in &catalog {
+        if !updated.contains(entry.variant.as_str()) {
+            out.push(Violation {
+                path: catalog_path.clone(),
+                line: entry.line + 1,
+                lint: "L9",
+                message: format!(
+                    "metric `{}` is cataloged but updated by no `tm_*!` site; remove it or wire the update",
+                    entry.variant
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::path::PathBuf;
+
+    fn build(files: Vec<(&str, &str, &str)>) -> Workspace {
+        let sources = files
+            .into_iter()
+            .map(|(krate, name, src)| {
+                (
+                    krate.to_string(),
+                    SourceFile::parse(PathBuf::from(name), src),
+                )
+            })
+            .collect();
+        let deps: BTreeMap<String, std::collections::BTreeSet<String>> = BTreeMap::new();
+        Workspace::build(sources, &deps)
+    }
+
+    #[test]
+    fn l7_flags_map_iteration_and_clocks_in_reachable_code() {
+        let src = "struct S { idx: HashMap<u32, u32> }\nimpl S {\n    fn render_rows(&self) {\n        let t = Instant::now();\n        for (k, v) in self.idx.iter() {\n        }\n    }\n    fn cold(&self) {\n        let _ = self.idx.iter();\n    }\n}\n";
+        let v = l7_determinism(&build(vec![("core", "a.rs", src)]));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|x| x.message.contains("Instant::now")));
+        assert!(v.iter().any(|x| x.message.contains("idx.iter")));
+    }
+
+    #[test]
+    fn l7_ignores_btree_and_unreachable_code() {
+        let src = "struct S { idx: BTreeMap<u32, u32>, fnv: FnvHashMap<u32, u32> }\nimpl S {\n    fn render_rows(&self) {\n        for (k, v) in self.idx.iter() {\n        }\n        let n = self.fnv.iter().count();\n    }\n}\n";
+        let v = l7_determinism(&build(vec![("core", "a.rs", src)]));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn l7_flags_for_in_over_default_map() {
+        let src = "fn fold(m: &S) {\n    let mut counts = HashMap::new();\n    for k in &counts {\n    }\n}\n";
+        let v = l7_determinism(&build(vec![("core", "a.rs", src)]));
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn l8_flags_unclamped_tainted_capacity() {
+        let src = "// lint_root(ingest): decodes wire bytes\nfn decode(buf: &[u8], count: u16) {\n    let n = count as usize;\n    let v: Vec<u8> = Vec::with_capacity(n);\n    let w: Vec<u8> = Vec::with_capacity(64);\n}\n";
+        let v = l8_bounded_alloc(&build(vec![("dns", "codec.rs", src)]));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn l8_accepts_clamped_sizes_and_untainted_code() {
+        let src = "// lint_root(ingest): decodes wire bytes\nfn decode(buf: &[u8], count: u16) {\n    let v: Vec<u8> = Vec::with_capacity((count as usize).min(MAX_RECORDS));\n    let mut s = String::new();\n    s.reserve(self.cfg.batch);\n}\nfn unreached(count: u16) {\n    let v: Vec<u8> = Vec::with_capacity(count as usize);\n}\n";
+        let v = l8_bounded_alloc(&build(vec![("dns", "codec.rs", src)]));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn l8_flags_vec_macro_and_resize_through_taint_chain() {
+        let src = "// lint_root(ingest): x\nfn ingest(len: u16) {\n    let n = len as usize + 2;\n    let buf = vec![0u8; n];\n    let mut v: Vec<u8> = Vec::new();\n    v.resize(n, 0);\n}\n";
+        let v = l8_bounded_alloc(&build(vec![("net", "packet.rs", src)]));
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn catalog_parses_variants_and_classes() {
+        let src = "metrics! {\n    IngestFrames => \"dnh_ingest_frames_total\", Counter, Stable,\n        \"frames\";\n    MergeNanos => \"dnh_merge_nanos\", Histogram, Runtime,\n        \"merge time\";\n}\n";
+        let f = SourceFile::parse(PathBuf::from("metric.rs"), src);
+        let cat = parse_catalog(&f);
+        assert_eq!(cat.len(), 2);
+        assert!(cat[0].stable && !cat[1].stable);
+        assert_eq!(cat[0].variant, "IngestFrames");
+    }
+
+    fn l9_fixture(core_src: &str) -> Vec<Violation> {
+        let cat = "metrics! {\n    Frames => \"dnh_frames_total\", Counter, Stable,\n        \"frames\";\n    Spare => \"dnh_spare_total\", Counter, Stable,\n        \"never updated\";\n    QueueDepth => \"dnh_queue_depth\", Gauge, Runtime,\n        \"depth\";\n}\n";
+        let ws = build(vec![
+            ("telemetry", "metric.rs", cat),
+            ("core", "engine.rs", core_src),
+        ]);
+        l9_metric_catalog(&ws, &PathBuf::from("metric.rs"))
+    }
+
+    #[test]
+    fn l9_flags_uncataloged_and_never_updated_and_unreachable_stable() {
+        let src = "// lint_root(ingest): x\nfn process(b: &[u8]) {\n    tm_count!(Tm::Frames);\n}\nfn driver_glue() {\n    tm_count!(Tm::Frames);\n    tm_gauge!(Tm::QueueDepth, 1);\n    tm_count!(Tm::Bogus);\n}\n";
+        let v = l9_fixture(src);
+        // Bogus: uncataloged; Spare: never updated; Frames in driver_glue:
+        // Stable outside the dataflow. QueueDepth is Runtime → free.
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().any(|x| x.message.contains("Bogus")));
+        assert!(v.iter().any(|x| x.message.contains("Spare")));
+        assert!(v
+            .iter()
+            .any(|x| x.message.contains("Frames") && x.message.contains("driver_glue")));
+    }
+
+    #[test]
+    fn l9_accepts_match_dispatch_sites_in_reachable_code() {
+        let src = "// lint_root(ingest): x\nfn process(b: &[u8], p: P) {\n    tm_count!(match p {\n        P::A => Tm::Frames,\n        P::B => Tm::Spare,\n    });\n    tm_gauge!(Tm::QueueDepth, 1);\n}\n";
+        let v = l9_fixture(src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

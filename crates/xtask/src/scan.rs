@@ -10,6 +10,10 @@
 /// One analysed source line.
 #[derive(Debug)]
 pub struct Line {
+    /// The raw line exactly as read, string contents included. Lints that
+    /// must look inside literals (e.g. `{:p}` format specifiers) use this;
+    /// everything else scans `code`.
+    pub raw: String,
     /// The line with comment bodies and string/char literal contents
     /// replaced by spaces. Quote characters are kept so tokens don't merge.
     pub code: String,
@@ -83,45 +87,55 @@ impl SourceFile {
     pub fn allow_mask(&self, lint: &str) -> Vec<bool> {
         let mut mask = vec![false; self.lines.len()];
         for m in &self.markers {
-            if m.lint != lint {
-                continue;
-            }
-            if !m.standalone {
-                mask[m.line] = true;
-                continue;
-            }
-            // Find the first following line that is real code.
-            let Some(target) = (m.line + 1..self.lines.len()).find(|&i| {
-                let t = self.lines[i].code.trim();
-                !t.is_empty() && !t.starts_with("#[")
-            }) else {
-                continue;
-            };
-            mask[target] = true;
-            if opens_item(self.lines[target].code.trim()) {
-                let base = self.lines[target].depth;
-                // Cover the (possibly multi-line) signature, then the body
-                // until the brace depth falls back to the opening level.
-                let mut entered = false;
-                for (i, slot) in mask.iter_mut().enumerate().skip(target + 1) {
-                    let d = self.lines[i].depth;
-                    if entered && d <= base {
-                        break;
-                    }
-                    if !entered && d <= base && self.lines[i].code.trim_end().ends_with(';') {
-                        // Braceless item (e.g. trait method declaration):
-                        // cover through the terminating `;` and stop.
-                        *slot = true;
-                        break;
-                    }
-                    if d > base {
-                        entered = true;
-                    }
-                    *slot = true;
-                }
+            if m.lint == lint {
+                self.apply_marker(m, &mut mask);
             }
         }
         mask
+    }
+
+    /// Coverage of one marker alone, for stale-marker detection (M2).
+    pub fn marker_mask(&self, m: &Marker) -> Vec<bool> {
+        let mut mask = vec![false; self.lines.len()];
+        self.apply_marker(m, &mut mask);
+        mask
+    }
+
+    fn apply_marker(&self, m: &Marker, mask: &mut [bool]) {
+        if !m.standalone {
+            mask[m.line] = true;
+            return;
+        }
+        // Find the first following line that is real code.
+        let Some(target) = (m.line + 1..self.lines.len()).find(|&i| {
+            let t = self.lines[i].code.trim();
+            !t.is_empty() && !t.starts_with("#[")
+        }) else {
+            return;
+        };
+        mask[target] = true;
+        if opens_item(self.lines[target].code.trim()) {
+            let base = self.lines[target].depth;
+            // Cover the (possibly multi-line) signature, then the body
+            // until the brace depth falls back to the opening level.
+            let mut entered = false;
+            for (i, slot) in mask.iter_mut().enumerate().skip(target + 1) {
+                let d = self.lines[i].depth;
+                if entered && d <= base {
+                    break;
+                }
+                if !entered && d <= base && self.lines[i].code.trim_end().ends_with(';') {
+                    // Braceless item (e.g. trait method declaration):
+                    // cover through the terminating `;` and stop.
+                    *slot = true;
+                    break;
+                }
+                if d > base {
+                    entered = true;
+                }
+                *slot = true;
+            }
+        }
     }
 }
 
@@ -225,6 +239,12 @@ fn lex_line(raw: &str, mut state: State) -> (Line, State) {
                     code.push('"');
                     i += 1;
                 } else if is_raw_str_start(&bytes, i) {
+                    // `r"…"`, `r#"…"#`, or byte-raw `br#"…"#`: the prefix
+                    // letters stay code, hash marks and contents blank out.
+                    if bytes[i] == 'b' {
+                        code.push('b');
+                        i += 1;
+                    }
                     let mut hashes = 0u32;
                     let mut j = i + 1;
                     while bytes.get(j) == Some(&'#') {
@@ -241,13 +261,15 @@ fn lex_line(raw: &str, mut state: State) -> (Line, State) {
                 } else if c == '\'' {
                     // Char literal vs lifetime.
                     if bytes.get(i + 1) == Some(&'\\') {
-                        // '\x' escape: skip to closing quote.
+                        // '\x' escape: the char right after the backslash is
+                        // the escaped one (possibly a quote, as in `'\''`);
+                        // skip it before scanning for the closing quote.
                         code.push('\'');
-                        let mut j = i + 2;
+                        let mut j = i + 3;
                         while j < bytes.len() && bytes[j] != '\'' {
                             j += 1;
                         }
-                        for _ in i + 1..=j.min(bytes.len() - 1) {
+                        for _ in i + 1..=j.min(bytes.len().saturating_sub(1)) {
                             code.push(' ');
                         }
                         i = j + 1;
@@ -269,6 +291,7 @@ fn lex_line(raw: &str, mut state: State) -> (Line, State) {
     // A line comment never crosses lines.
     (
         Line {
+            raw: raw.to_string(),
             code,
             comment,
             doc,
@@ -293,7 +316,7 @@ fn is_raw_str_start(bytes: &[char], i: usize) -> bool {
     while bytes.get(j) == Some(&'#') {
         j += 1;
     }
-    bytes.get(j) == Some(&'"') && bytes[i] == 'r'
+    bytes.get(j) == Some(&'"')
 }
 
 fn closes_raw(bytes: &[char], from: usize, hashes: u32) -> bool {
@@ -397,6 +420,55 @@ mod tests {
     fn char_literals_do_not_eat_the_line() {
         let f = parse("if c == '\"' { x.push('y') }\n");
         assert!(f.lines[0].code.contains("push"));
+    }
+
+    #[test]
+    fn byte_raw_strings_are_blanked() {
+        // `br#"…"#` used to mis-lex: the `b` prefix failed the raw-string
+        // check, so the `"` opened a plain string that the first `"` inside
+        // the raw contents closed — swallowing the rest of the line.
+        let f = parse("let s = br#\"a\".unwrap()\"#; x.unwrap();\n");
+        assert!(
+            f.lines[0].code.matches(".unwrap()").count() == 1,
+            "raw contents must be blanked, code after must survive: {:?}",
+            f.lines[0].code
+        );
+        assert!(f.lines[0].code.contains("x.unwrap()"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_leak_a_quote() {
+        // `'\''` used to stop scanning at the *escaped* quote, leaving the
+        // closing quote to start a phantom char literal that could swallow
+        // following code.
+        let f = parse("let q = '\\''; v.unwrap();\n");
+        assert!(
+            f.lines[0].code.contains("v.unwrap()"),
+            "code after the literal must survive: {:?}",
+            f.lines[0].code
+        );
+    }
+
+    #[test]
+    fn multiline_raw_strings_blank_until_the_matching_close() {
+        let f = parse("let s = r#\"line one\nstill .unwrap() string\n\"#; a.unwrap();\n");
+        assert!(!f.lines[1].code.contains("unwrap"));
+        assert!(f.lines[2].code.contains("a.unwrap()"));
+    }
+
+    #[test]
+    fn lifetime_ticks_leave_code_intact() {
+        let f = parse("fn f<'a>(x: &'a [u8], y: &'_ str) -> &'a str { y }\n");
+        let code = &f.lines[0].code;
+        assert!(code.contains("[u8]") && code.contains("str"), "{code:?}");
+    }
+
+    #[test]
+    fn raw_lines_are_preserved_verbatim() {
+        let src = "let s = \"{:p}\";\n";
+        let f = parse(src);
+        assert!(!f.lines[0].code.contains("{:p}"));
+        assert!(f.lines[0].raw.contains("{:p}"));
     }
 
     #[test]

@@ -1,0 +1,5 @@
+//! Fixture: unchecked subscripts on wire bytes.
+
+pub fn first_two(b: &[u8]) -> (u8, u8) {
+    (b[0], b[1])
+}

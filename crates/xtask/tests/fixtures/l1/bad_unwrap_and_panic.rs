@@ -1,0 +1,12 @@
+//! Fixture: panicking calls in per-packet code.
+
+pub fn parse_len(b: &[u8]) -> usize {
+    let n = b.first().unwrap();
+    *n as usize
+}
+
+fn guard(v: &[u8]) {
+    if v.is_empty() {
+        panic!("empty frame");
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: fallible access through `first`/`get`.
+
+pub fn parse_len(b: &[u8]) -> Option<usize> {
+    let n = *b.first()?;
+    b.get(1).map(|_| n as usize)
+}

@@ -1,0 +1,15 @@
+//! Fixture: panics confined to test code are fine.
+
+pub fn add(a: u8, b: u8) -> u8 {
+    a.wrapping_add(b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn adds() {
+        assert_eq!(super::add(1, 2), 3);
+        let v = vec![1u8];
+        let _ = v[0];
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: SipHash map construction in a per-packet path.
+use std::collections::HashMap;
+
+pub fn index_frames() {
+    let mut idx = HashMap::new();
+    idx.insert(1u16, 2u16);
+}

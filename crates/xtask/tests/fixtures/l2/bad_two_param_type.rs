@@ -1,0 +1,5 @@
+//! Fixture: a two-parameter `HashMap<K, V>` defaults to SipHash.
+
+pub struct FlowIndex {
+    by_port: HashMap<u16, usize>,
+}

@@ -1,0 +1,6 @@
+//! Fixture: an explicit hasher parameter passes.
+
+pub struct FlowIndex {
+    by_port: HashMap<u16, usize, FnvBuildHasher>,
+    cache: FnvHashMap<u16, usize>,
+}

@@ -1,0 +1,7 @@
+//! Fixture: ordered maps have no hasher to get wrong.
+use std::collections::BTreeMap;
+
+pub fn index_frames() {
+    let mut idx = BTreeMap::new();
+    idx.insert(1u16, 2u16);
+}

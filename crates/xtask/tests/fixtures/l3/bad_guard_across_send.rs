@@ -1,0 +1,8 @@
+//! Fixture: a guard held across a (possibly blocking) channel send.
+
+impl Table {
+    fn flush(&self) {
+        let stats = self.stats.lock();
+        self.tx.send(stats.snapshot());
+    }
+}

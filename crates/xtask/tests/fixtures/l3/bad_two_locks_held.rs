@@ -1,0 +1,10 @@
+//! Fixture: a second lock acquired while a guard is live.
+
+impl Table {
+    fn rebalance(&self) {
+        let guard = self.primary.lock();
+        let spill = self.spill.lock();
+        drop(spill);
+        drop(guard);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: chained locking drops its temporary guard at the semicolon.
+
+impl Table {
+    fn bump(&self) {
+        self.shard.lock().insert(1, 2);
+        let n = *self.stats.lock().get();
+    }
+}

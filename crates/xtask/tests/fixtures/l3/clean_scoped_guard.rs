@@ -1,0 +1,12 @@
+//! Fixture: the first guard is scoped out before the second acquisition.
+
+impl Table {
+    fn rebalance(&self) {
+        {
+            let guard = self.primary.lock();
+            guard.touch();
+        }
+        let spill = self.spill.lock();
+        spill.touch();
+    }
+}

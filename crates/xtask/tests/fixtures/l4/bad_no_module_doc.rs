@@ -1,0 +1,2 @@
+/// Cited helper for §4.2 flow tagging.
+pub fn tag_flow() {}

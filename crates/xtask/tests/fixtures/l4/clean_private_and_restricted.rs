@@ -1,0 +1,5 @@
+//! Scratch internals for the Fig. 7 aggregation.
+
+fn accumulate() {}
+
+pub(crate) fn drain() {}

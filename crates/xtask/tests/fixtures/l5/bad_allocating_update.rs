@@ -1,0 +1,5 @@
+//! Fixture: an allocation inside a metric update line.
+
+pub fn on_frame(name: &str) {
+    tm_count!(Tm::Frames, name.to_string());
+}

@@ -1,0 +1,5 @@
+//! Fixture: a direct recorder call bypasses the `tm_*!` macros.
+
+pub fn on_frame() {
+    telemetry::counter_add(Tm::Frames, 1);
+}

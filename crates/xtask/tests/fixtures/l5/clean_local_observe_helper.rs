@@ -1,0 +1,6 @@
+//! Fixture: a local `observe` helper is not a telemetry recorder call.
+
+pub fn on_sample(w: &mut Window) {
+    w.observe(3);
+    observe(7);
+}

@@ -1,0 +1,6 @@
+//! Fixture: the sanctioned macro spellings.
+
+pub fn on_frame() {
+    tm_count!(Tm::Frames);
+    tm_observe!(Tm::ParseNanos, 17);
+}

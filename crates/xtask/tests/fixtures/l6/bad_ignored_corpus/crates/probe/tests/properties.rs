@@ -1,0 +1,1 @@
+//! Property tests (fixture) whose corpus a gitignore hides.

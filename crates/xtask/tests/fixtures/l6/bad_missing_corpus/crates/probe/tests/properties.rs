@@ -1,0 +1,1 @@
+//! Property tests (fixture) with no committed corpus.

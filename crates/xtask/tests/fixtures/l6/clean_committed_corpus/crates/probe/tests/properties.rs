@@ -1,0 +1,1 @@
+//! Property tests (fixture) with their corpus committed.

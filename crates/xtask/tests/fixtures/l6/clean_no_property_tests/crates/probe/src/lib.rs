@@ -1,0 +1,1 @@
+//! No property tests here, so no corpus obligation.

@@ -1,0 +1,8 @@
+//! Fixture: a wall-clock read inside the deterministic merge.
+
+impl Shard {
+    pub fn merge_from(&mut self, other: &Shard) {
+        let stamp = SystemTime::now();
+        self.total += other.total;
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: the exporter root; the violation lives in the helper file.
+
+pub fn render_csv(db: &Db) -> String {
+    emit_rows(db)
+}

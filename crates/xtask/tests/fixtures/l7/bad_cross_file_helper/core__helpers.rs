@@ -1,0 +1,10 @@
+//! Fixture: row emission helper reached from `render_csv`.
+
+pub fn emit_rows(db: &Db) -> String {
+    let mut index = HashMap::new();
+    let mut out = String::new();
+    for (k, v) in &index {
+        out.push_str(&format!("{k} {v}\n"));
+    }
+    out
+}

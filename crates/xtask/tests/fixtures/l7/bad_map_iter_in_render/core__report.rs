@@ -1,0 +1,15 @@
+//! Fixture: a render path iterating a default-hasher map.
+
+pub struct Report {
+    counts: HashMap<u64, u64>,
+}
+
+impl Report {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.counts.iter() {
+            out.push_str(&format!("{k} {v}\n"));
+        }
+        out
+    }
+}

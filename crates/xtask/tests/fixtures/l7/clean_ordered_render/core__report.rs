@@ -1,0 +1,15 @@
+//! Fixture: ordered iteration renders deterministically.
+
+pub struct Report {
+    counts: BTreeMap<u64, u64>,
+}
+
+impl Report {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.counts.iter() {
+            out.push_str(&format!("{k} {v}\n"));
+        }
+        out
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: map iteration outside the deterministic surface is fine.
+
+pub struct Cache {
+    slots: HashMap<u32, u32>,
+}
+
+impl Cache {
+    pub fn debug_dump(&self) {
+        for (k, v) in self.slots.iter() {
+            eprintln!("{k} {v}");
+        }
+    }
+}

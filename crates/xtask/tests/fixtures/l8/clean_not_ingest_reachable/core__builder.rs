@@ -1,0 +1,7 @@
+//! Fixture: offline table builder, never reached from ingest.
+
+pub fn build_table(rows: u16) -> Vec<u64> {
+    let n = rows as usize;
+    let out = Vec::with_capacity(n);
+    out
+}

@@ -1,0 +1,7 @@
+//! Fixture: the engine never updates the catalog's `Spare` entry.
+
+// lint_root(ingest): per-frame driver
+pub fn process(b: &[u8]) {
+    tm_count!(Tm::Frames);
+    tm_gauge!(Tm::QueueDepth, 1);
+}

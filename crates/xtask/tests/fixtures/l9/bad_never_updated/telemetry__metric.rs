@@ -1,0 +1,10 @@
+//! Fixture metric catalog with an orphaned entry.
+
+metrics! {
+    Frames => "dnh_frames_total", Counter, Stable,
+        "frames seen";
+    Spare => "dnh_spare_total", Counter, Stable,
+        "cataloged but never updated";
+    QueueDepth => "dnh_queue_depth", Gauge, Runtime,
+        "ring occupancy";
+}

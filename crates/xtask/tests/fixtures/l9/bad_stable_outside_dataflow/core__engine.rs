@@ -1,0 +1,11 @@
+//! Fixture: a Stable-class metric bumped from cold setup code.
+
+// lint_root(ingest): per-frame driver
+pub fn process(b: &[u8]) {
+    tm_count!(Tm::Frames);
+    tm_gauge!(Tm::QueueDepth, 1);
+}
+
+pub fn cli_banner() {
+    tm_count!(Tm::Frames);
+}

@@ -1,0 +1,8 @@
+//! Fixture: an update site naming a metric the catalog lacks.
+
+// lint_root(ingest): per-frame driver
+pub fn process(b: &[u8]) {
+    tm_count!(Tm::Frames);
+    tm_gauge!(Tm::QueueDepth, 1);
+    tm_count!(Tm::Bogus);
+}

@@ -1,0 +1,7 @@
+//! Fixture: every metric updated, every site cataloged, Stable in-flow.
+
+// lint_root(ingest): per-frame driver
+pub fn process(b: &[u8]) {
+    tm_count!(Tm::Frames);
+    tm_gauge!(Tm::QueueDepth, 1);
+}

@@ -1,0 +1,8 @@
+//! Fixture metric catalog.
+
+metrics! {
+    Frames => "dnh_frames_total", Counter, Stable,
+        "frames seen";
+    QueueDepth => "dnh_queue_depth", Gauge, Runtime,
+        "ring occupancy";
+}

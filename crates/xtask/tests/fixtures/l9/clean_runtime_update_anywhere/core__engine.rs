@@ -1,0 +1,10 @@
+//! Fixture: Runtime-class metrics may be updated from cold code.
+
+// lint_root(ingest): per-frame driver
+pub fn process(b: &[u8]) {
+    tm_count!(Tm::Frames);
+}
+
+pub fn housekeeping() {
+    tm_gauge!(Tm::QueueDepth, 1);
+}

@@ -1,0 +1,259 @@
+//! Fixture-based self-tests for every lint L1–L9.
+//!
+//! Each lint has a corpus under `tests/fixtures/l<N>/` with at least two
+//! `bad_*` cases (must each produce ≥1 finding, all carrying that lint's
+//! code) and two `clean_*` cases (must produce none). The harness runs the
+//! same suppression (`allow_lint` markers) and stale-marker (M2) passes as
+//! the real driver, so a clean fixture may also demonstrate an audited
+//! marker — and a *stale* marker in a fixture fails the clean check.
+//!
+//! Case shapes:
+//! * L1–L5: one `.rs` file per case, linted in isolation.
+//! * L6: a miniature workspace tree per case; `gitignore` files are named
+//!   without the leading dot in the fixture (so the real repo lint never
+//!   sees them) and renamed during the copy into a temp dir.
+//! * L7–L9: a directory of `<crate>__<file>.rs` sources built into a
+//!   [`Workspace`]; every fixture crate may call into every other, since
+//!   the dependency-edge filter has its own unit tests in `graph.rs`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::graph::Workspace;
+use xtask::lints::{self, Violation};
+use xtask::reach;
+use xtask::scan::SourceFile;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+/// Walk one lint's fixture dir, run `run` on each case, and enforce the
+/// bad/clean contract plus the ≥2-of-each floor.
+fn check_fixtures(lint: &'static str, run: impl Fn(&Path) -> Vec<Violation>) {
+    let dir = fixtures_dir().join(lint.to_ascii_lowercase());
+    let mut cases: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("missing fixture dir {}: {e}", dir.display()))
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    cases.sort();
+    let (mut bad, mut clean) = (0usize, 0usize);
+    for case in cases {
+        let name = case
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let findings = run(&case);
+        if name.starts_with("bad") {
+            bad += 1;
+            assert!(
+                !findings.is_empty(),
+                "{lint} fixture `{name}` should produce at least one finding"
+            );
+            for f in &findings {
+                assert_eq!(
+                    f.lint, lint,
+                    "{lint} fixture `{name}` produced a foreign finding: {f:?}"
+                );
+            }
+        } else if name.starts_with("clean") {
+            clean += 1;
+            assert!(
+                findings.is_empty(),
+                "{lint} fixture `{name}` should be clean, got {findings:#?}"
+            );
+        } else {
+            panic!("fixture `{name}` must be named bad_* or clean_*");
+        }
+    }
+    assert!(bad >= 2, "{lint}: need >=2 bad fixtures, found {bad}");
+    assert!(clean >= 2, "{lint}: need >=2 clean fixtures, found {clean}");
+}
+
+/// Lint one fixture file with a per-file lint, then apply the marker
+/// suppression and stale-marker passes exactly as the driver does.
+fn per_file(run: fn(&SourceFile) -> Vec<Violation>) -> impl Fn(&Path) -> Vec<Violation> {
+    move |path| {
+        let text = fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let rel = PathBuf::from(path.file_name().expect("fixture file name"));
+        let sf = SourceFile::parse(rel, &text);
+        let raw = run(&sf);
+        let (mut out, used) = lints::suppress(&sf, raw);
+        out.extend(lints::m2_stale_markers(&sf, &used));
+        out
+    }
+}
+
+/// Build a [`Workspace`] from a directory of `<crate>__<file>.rs` sources.
+fn build_case(dir: &Path) -> Workspace {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    let mut sources = Vec::new();
+    let mut crates: BTreeSet<String> = BTreeSet::new();
+    for p in entries {
+        let stem = p
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let Some((krate, name)) = stem.split_once("__") else {
+            panic!(
+                "fixture file {} must be named <crate>__<file>.rs",
+                p.display()
+            );
+        };
+        crates.insert(krate.to_string());
+        let text =
+            fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read {}: {e}", p.display()));
+        sources.push((
+            krate.to_string(),
+            SourceFile::parse(
+                PathBuf::from(format!("crates/{krate}/src/{name}.rs")),
+                &text,
+            ),
+        ));
+    }
+    let deps: BTreeMap<String, BTreeSet<String>> = crates
+        .iter()
+        .map(|k| {
+            (
+                k.clone(),
+                crates.iter().filter(|o| *o != k).cloned().collect(),
+            )
+        })
+        .collect();
+    Workspace::build(sources, &deps)
+}
+
+/// Run one reachability lint over a directory case, with the same
+/// per-file suppression + M2 pass as the driver.
+fn reach_case(lint: &'static str) -> impl Fn(&Path) -> Vec<Violation> {
+    move |dir| {
+        let ws = build_case(dir);
+        let raw = match lint {
+            "L7" => reach::l7_determinism(&ws),
+            "L8" => reach::l8_bounded_alloc(&ws),
+            "L9" => reach::l9_metric_catalog(&ws, &PathBuf::from("crates/telemetry/src/metric.rs")),
+            other => panic!("not a reachability lint: {other}"),
+        };
+        let mut buckets: BTreeMap<PathBuf, Vec<Violation>> = BTreeMap::new();
+        for v in raw {
+            buckets.entry(v.path.clone()).or_default().push(v);
+        }
+        let mut out = Vec::new();
+        for f in &ws.files {
+            let raw_f = buckets.remove(&f.source.path).unwrap_or_default();
+            let (active, used) = lints::suppress(&f.source, raw_f);
+            out.extend(active);
+            out.extend(lints::m2_stale_markers(&f.source, &used));
+        }
+        // Findings addressed to paths outside the workspace (e.g. a
+        // missing-catalog sentinel) pass through unsuppressed.
+        out.extend(buckets.into_values().flatten());
+        out
+    }
+}
+
+/// Copy a fixture tree into `dst`, renaming `gitignore` → `.gitignore` so
+/// the L6 gitignore scan sees what a real workspace would contain.
+fn copy_tree(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).unwrap_or_else(|e| panic!("mkdir {}: {e}", dst.display()));
+    for entry in fs::read_dir(src).unwrap().flatten() {
+        let from = entry.path();
+        let name = entry.file_name();
+        let name = if name == "gitignore" {
+            ".gitignore".into()
+        } else {
+            name
+        };
+        let to = dst.join(&name);
+        if from.is_dir() {
+            copy_tree(&from, &to);
+        } else {
+            fs::copy(&from, &to)
+                .unwrap_or_else(|e| panic!("copy {} -> {}: {e}", from.display(), to.display()));
+        }
+    }
+}
+
+/// L6 inspects the filesystem, so each case is staged in a temp dir.
+fn l6_case(case: &Path) -> Vec<Violation> {
+    let name = case
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let tmp =
+        std::env::temp_dir().join(format!("xtask-lint-selftest-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&tmp);
+    copy_tree(case, &tmp);
+    let out = lints::l6_proptest_corpora(&tmp);
+    let _ = fs::remove_dir_all(&tmp);
+    out
+}
+
+#[test]
+fn l1_fixture_corpus() {
+    check_fixtures("L1", per_file(lints::l1_no_panics));
+}
+
+#[test]
+fn l2_fixture_corpus() {
+    check_fixtures("L2", per_file(lints::l2_no_siphash_maps));
+}
+
+#[test]
+fn l3_fixture_corpus() {
+    check_fixtures("L3", per_file(lints::l3_no_guard_across_shards));
+}
+
+#[test]
+fn l4_fixture_corpus() {
+    check_fixtures("L4", per_file(lints::l4_docs_cite_paper));
+}
+
+#[test]
+fn l5_fixture_corpus() {
+    check_fixtures("L5", per_file(lints::l5_telemetry_macros));
+}
+
+#[test]
+fn l6_fixture_corpus() {
+    check_fixtures("L6", l6_case);
+}
+
+#[test]
+fn l7_fixture_corpus() {
+    check_fixtures("L7", reach_case("L7"));
+}
+
+#[test]
+fn l8_fixture_corpus() {
+    check_fixtures("L8", reach_case("L8"));
+}
+
+#[test]
+fn l9_fixture_corpus() {
+    check_fixtures("L9", reach_case("L9"));
+}
+
+/// Smoke: the full driver parses the real workspace without erroring.
+/// (Whether the workspace is *clean* is CI's lint step, not a unit test —
+/// an in-progress tree with a marker-pending finding should not also fail
+/// the test suite.)
+#[test]
+fn runner_handles_the_real_workspace() {
+    let outcome = xtask::runner::run(&xtask::workspace_root()).expect("lint driver runs");
+    assert!(
+        outcome.files_scanned > 50,
+        "expected the real workspace, scanned only {} files",
+        outcome.files_scanned
+    );
+}
