@@ -400,7 +400,9 @@ fn main() -> ExitCode {
         .fqdn_flow_counts()
         .map(|(k, v)| (k.to_string(), v))
         .collect();
-    counts.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    // Tie-break by name: `by_fqdn` iterates in randomized hash order, so
+    // without this the top-15 cutoff varies run to run on tied counts.
+    counts.sort_by(|(fa, na), (fb, nb)| nb.cmp(na).then_with(|| fa.cmp(fb)));
     for (fqdn, n) in counts.into_iter().take(15) {
         println!("  {n:>6}  {fqdn}");
     }

@@ -148,17 +148,20 @@ impl ShardEngine {
         }
     }
 
-    /// Decode and apply one UDP DNS response packet.
+    /// Decode and apply one UDP DNS response payload. `client` is the
+    /// packet's destination — the resolver the answer is headed to. Both
+    /// drivers hand the raw payload bytes straight here; neither re-parses
+    /// the frame.
     // lint_root(ingest): per-shard handler for attacker-controlled DNS responses
-    pub(crate) fn handle_dns_response(&mut self, seq: u64, ts: u64, pkt: &dnhunter_net::Packet) {
-        let msg = match dnhunter_dns::codec::decode(&pkt.payload) {
+    pub(crate) fn handle_dns_payload(&mut self, seq: u64, ts: u64, client: IpAddr, payload: &[u8]) {
+        let msg = match dnhunter_dns::codec::decode(payload) {
             Ok(m) => m,
             Err(_) => {
                 self.stats.dns_decode_errors += 1;
                 return;
             }
         };
-        self.handle_dns_message(seq, ts, pkt.dst_ip(), &msg);
+        self.handle_dns_message(seq, ts, client, &msg);
     }
 
     /// Common path for UDP and TCP responses. Truncated (TC-bit) responses
@@ -201,32 +204,12 @@ impl ShardEngine {
         }
     }
 
-    /// Feed one data packet (anything that is not DNS) through the flow
+    /// Feed one data segment (anything that is not DNS) through the flow
     /// table, without an eviction scan — the driver owns the scan clock and
-    /// calls [`ShardEngine::tick`].
+    /// calls [`ShardEngine::tick`]. Both drivers pre-parse: the sequential
+    /// sniffer from its flat parse, the pipeline dispatcher shipping
+    /// `CompactSeg`s plus DPI head bytes across the ring.
     // lint_root(ingest): per-shard handler for attacker-controlled TCP payload bytes
-    pub(crate) fn process_data<E: PolicyEnforcer>(
-        &mut self,
-        seq: u64,
-        ts: u64,
-        pkt: &dnhunter_net::Packet,
-        wire_bytes: usize,
-        enforcer: &mut Option<&mut E>,
-    ) {
-        for event in self.flows.process_no_scan(ts, pkt, wire_bytes) {
-            match event {
-                FlowEvent::FlowStarted(key) => self.on_flow_started(seq, ts, key, enforcer),
-                FlowEvent::FlowFinished(record) => {
-                    self.on_flow_finished((seq, PHASE_FRAME), *record)
-                }
-            }
-        }
-    }
-
-    /// [`ShardEngine::process_data`] for a pre-parsed segment — the
-    /// parallel pipeline's data path, where the dispatcher already parsed
-    /// the frame and ships only the fields (plus DPI head bytes) the flow
-    /// table needs.
     pub(crate) fn process_seg<E: PolicyEnforcer>(
         &mut self,
         seq: u64,

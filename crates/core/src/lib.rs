@@ -55,6 +55,12 @@ pub mod export;
 pub mod pipeline;
 pub mod policy;
 /// Bounded SPSC rings connecting the pipeline's dispatcher and workers.
+/// Public only under `--cfg loom`, so the schedule-exploration tests can
+/// drive the (batched) ring protocol directly — including the deliberately
+/// racy mutant that proves the checker catches close-vs-drain races.
+#[cfg(loom)]
+pub mod ring;
+#[cfg(not(loom))]
 mod ring;
 pub mod sniffer;
 /// One-pass streaming analytics fed by the engine, merged per shard.
@@ -62,7 +68,7 @@ pub mod stream;
 
 pub use db::{FlowDatabase, TaggedFlow};
 pub use export::{write_csv, write_tstat_log};
-pub use pipeline::{ParallelSniffer, PipelineTimings};
+pub use pipeline::{run_records, run_records_with_sinks, ParallelSniffer, PipelineTimings};
 pub use policy::{PolicyAction, PolicyDecision, PolicyEnforcer, PolicyRule, RuleEnforcer};
 pub use sniffer::{DelaySamples, RealTimeSniffer, SnifferConfig, SnifferReport, SnifferStats};
 pub use stream::{FlowSink, StreamGrowth, StreamingAnalytics, StreamingConfig};

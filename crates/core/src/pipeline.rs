@@ -3,34 +3,55 @@
 //! The paper sizes DN-Hunter for a single monitor thread (§3.2 shows one
 //! core keeps up with a 1M-packets/s PoP) and notes the scaling escape
 //! hatch in §3.1.1: partition the monitored *clients* across independent
-//! resolvers. [`ParallelSniffer`] applies that idea to the whole fast path.
-//! A dispatcher thread (the caller's) parses each frame just enough to find
-//! the client-side IP, then fans work out over bounded ring channels to
-//! `N` shard workers — raw frames for DNS traffic, and for user data a
-//! pre-parsed [`CompactSeg`] plus only the payload prefix DPI still wants,
-//! so the channels move tens of bytes per packet instead of whole frames —
-//! keyed by the same FNV hash the sharded resolver uses
-//! ([`shard_of`]) — the *shard-affinity invariant*: a client's DNS bindings
-//! (Algorithm 1 state), the flows those bindings tag, and the §5.1 delay
-//! samples for both always live on the same worker, so workers share
-//! nothing and take no locks on the per-packet path.
+//! resolvers. This module applies that idea to the whole fast path, in two
+//! driver shapes:
 //!
-//! Determinism is by construction, not by luck (see `DESIGN.md`): the
-//! dispatcher stamps every frame with a global sequence number, replicates
-//! the flow table's eviction-scan gate and broadcasts explicit tick events,
+//! * [`ParallelSniffer`] — the push-mode driver for live capture: the
+//!   caller's thread is the single dispatcher, flat-parsing each frame
+//!   ([`parse_flat`]) and fanning work out over bounded ring channels to
+//!   `N` shard workers.
+//! * [`run_records`] — the offline-trace driver: additionally shards the
+//!   *dispatcher itself*, RSS-style. `D` dispatcher threads flat-parse
+//!   contiguous slices of the trace concurrently ([`SegBatch`]), while a
+//!   single routing-state token serializes the order-sensitive routing
+//!   pass in slice order — so route orientation, eviction ticks and
+//!   sequence stamps come out bit-identical to one dispatcher's.
+//!
+//! Work travels as batches: up to `BATCH_ITEMS` pre-parsed items plus one
+//! shared byte arena holding only what the worker still needs — a DNS
+//! response's transport payload, or the payload prefix the flow record's
+//! DPI head still wants (usually nothing once a flow's first ~[`DPI_SNAP`]
+//! bytes per direction have shipped) — so the channels move tens of bytes
+//! per packet instead of whole frames, and workers never re-parse. Arenas
+//! recycle worker→dispatcher over a return ring, and the batched ring
+//! operations (`crate::ring`) move several batches per lock handoff in
+//! every direction. Shard routing keys client IPs through the same FNV
+//! hash the sharded resolver uses ([`shard_of`]) — the *shard-affinity
+//! invariant*: a client's DNS bindings (Algorithm 1 state), the flows
+//! those bindings tag, and the §5.1 delay samples for both always live on
+//! the same worker, so workers share nothing and take no locks on the
+//! per-packet path.
+//!
+//! Determinism is by construction, not by luck (see `DESIGN.md` §7): every
+//! frame carries a global sequence number (its trace index), dispatchers
+//! replicate the flow table's eviction-scan gate and broadcast explicit
+//! tick events, workers drain their per-dispatcher rings in token order,
 //! and the final merge re-orders every output stream under the
-//! `(seq, phase)` key — so [`ParallelSniffer::finish`] returns a
-//! [`SnifferReport`] byte-identical to [`crate::RealTimeSniffer`]'s for any
-//! worker count (as long as no shard overflows its Clist partition; the
-//! default `L = 2^20` makes evictions a non-issue at trace scale).
+//! `(seq, phase)` key — so both drivers return a [`SnifferReport`]
+//! byte-identical to [`crate::RealTimeSniffer`]'s for any worker *and*
+//! dispatcher count (as long as no shard overflows its Clist partition;
+//! the default `L = 2^20` makes evictions a non-issue at trace scale).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::net::IpAddr;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use dnhunter_dns::codec;
-use dnhunter_flow::{CompactSeg, TcpTracker, DPI_SNAP};
-use dnhunter_net::{IpProtocol, Packet, PacketView, PcapRecord, TransportHeader};
+use dnhunter_flow::{CanonFlowKey, CompactSeg, TcpTracker, DPI_SNAP};
+use dnhunter_net::seg::{parse_flat, FlatParse, FlatSeg, FrameFault, SegBatch};
+use dnhunter_net::{IpProtocol, PcapRecord};
 use dnhunter_resolver::maps::FnvHashMap;
 use dnhunter_resolver::{shard_of, InternStats, ResolverConfig};
 use dnhunter_telemetry::{self as telemetry, tm_count, tm_observe, Metric as Tm};
@@ -38,33 +59,47 @@ use dnhunter_telemetry::{self as telemetry, tm_count, tm_observe, Metric as Tm};
 use crate::engine::{assemble_report, ShardEngine, ShardOutput};
 use crate::policy::RuleEnforcer;
 use crate::ring::{self, Receiver, Sender};
-use crate::sniffer::{SnifferConfig, SnifferReport, SnifferStats};
+use crate::sniffer::{compact_seg, SnifferConfig, SnifferReport, SnifferStats};
 use crate::stream::FlowSink;
 
-/// Frames per batch before the dispatcher flushes a channel send. Batching
+/// Frames per batch before the dispatcher seals a batch. Batching
 /// amortises the ring's lock handoff over many frames (§3.2's per-packet
 /// budget is far below one syscall/lock per packet).
 const BATCH_ITEMS: usize = 128;
-/// Arena bytes per batch before an early flush (keeps batches cache-sized
+/// Arena bytes per batch before an early seal (keeps batches cache-sized
 /// even under jumbo frames).
 const BATCH_BYTES: usize = 128 * 1024;
+/// Sealed batches a dispatcher link buffers locally before one
+/// `send_batch` moves them all under a single ring lock acquisition.
+const OUTBOX_BATCHES: usize = 2;
 /// In-flight batches per dispatcher→worker ring: enough to keep a worker
 /// busy while the dispatcher fills the next batch, small enough that a slow
 /// shard backpressures ingest instead of buffering the trace.
 const CHANNEL_BATCHES: usize = 4;
+/// Most batches a worker drains per `recv_batch` lock acquisition.
+const RECV_BATCH_MAX: usize = CHANNEL_BATCHES;
 /// Capacity of each worker→dispatcher arena recycle ring; sized so a
-/// best-effort `try_send` of every drained batch always fits.
+/// best-effort `try_send_batch` of every drained batch always fits.
 const RECYCLE_BATCHES: usize = CHANNEL_BATCHES + 2;
+/// Hard ceiling on pipeline fan-out in either role. Worker and dispatcher
+/// counts are operator configuration, but every per-thread ring, slice and
+/// merge buffer is sized from them, so the bounded-allocation discipline
+/// (L8) wants a named cap on those statements — and far past the core
+/// count extra threads only add contention anyway.
+const MAX_PIPELINE_THREADS: usize = 64;
 
 /// What a batch item tells the worker to do.
 #[derive(Debug, Clone, Copy)]
 enum ItemKind {
     /// Anchor the warm-up window at the trace's first frame timestamp.
     Start,
-    /// A UDP frame from the DNS port: decode and feed Algorithm 1.
-    DnsUdp,
-    /// A TCP frame from the DNS port: RFC 1035 §4.2.2 stream framing.
-    DnsTcp,
+    /// A UDP datagram from the DNS port: the item's byte range is the
+    /// transport payload; decode it and feed Algorithm 1 for `client`
+    /// (the response's destination — the endpoint that asked).
+    DnsUdp { client: IpAddr },
+    /// A TCP segment from the DNS port: the byte range is the payload,
+    /// framed per RFC 1035 §4.2.2 (2-byte length prefixes).
+    DnsTcp { client: IpAddr },
     /// A user data segment, pre-parsed by the dispatcher: flow
     /// reconstruction + tagging (Fig. 1 fast path). The item's byte range
     /// holds only the payload prefix the flow record's DPI head still
@@ -88,35 +123,12 @@ struct Item {
     len: u32,
 }
 
-/// A batch of items plus the arena holding their raw frames. Recycled
+/// A batch of items plus the arena holding their payload bytes. Recycled
 /// between worker and dispatcher so steady-state ingest allocates nothing.
 #[derive(Default)]
 struct Batch {
     items: Vec<Item>,
     bytes: Vec<u8>,
-}
-
-/// Canonical (unordered) transport 5-tuple: the dispatcher's routing key.
-/// Both packet directions of one flow map to the same `CanonKey`, so one
-/// entry records the flow's orientation and owning shard.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct CanonKey {
-    lo: (IpAddr, u16),
-    hi: (IpAddr, u16),
-    proto: u8,
-}
-
-impl CanonKey {
-    fn new(src: IpAddr, src_port: u16, dst: IpAddr, dst_port: u16, proto: IpProtocol) -> Self {
-        let a = (src, src_port);
-        let b = (dst, dst_port);
-        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        CanonKey {
-            lo,
-            hi,
-            proto: proto.number(),
-        }
-    }
 }
 
 /// The dispatcher's mirror of one live flow: which shard owns it, which
@@ -140,11 +152,50 @@ struct Route {
     head_s2c: u16,
 }
 
+/// The order-sensitive routing state, owned by exactly one dispatcher at a
+/// time. The push-mode driver holds it for the whole run; [`run_records`]
+/// threads it through its dispatchers over capacity-1 token rings, in
+/// slice order, so the flow-routing table, the eviction clock and the
+/// warm-up anchor observe frames in exactly trace order.
+#[derive(Default)]
+struct RouterState {
+    routes: FnvHashMap<CanonFlowKey, Route>,
+    last_eviction: u64,
+    /// Lazy min-heap of prune candidates `(deadline, key)` — the
+    /// dispatcher-side mirror of the flow table's expiry heap, so each
+    /// prune pass touches only routes whose deadline has passed instead of
+    /// retaining over the whole table. Entries are lower bounds (pushed on
+    /// insert, port-reuse renewal, and terminal transition; re-pushed at
+    /// the current deadline when the exact predicate says "not yet"), so
+    /// a route is always re-examined no later than it can expire — prunes
+    /// stay in lock-step with the workers' evictions.
+    prune_heap: BinaryHeap<Reverse<(u64, CanonFlowKey)>>,
+    /// Whether some dispatcher already saw the trace's first frame and
+    /// broadcast the `Start` anchor.
+    started: bool,
+}
+
+/// First instant at which `route` can satisfy the prune predicate in
+/// [`Dispatcher::prune_routes`] if it sees no further traffic — the mirror
+/// of `FlowTable`'s expiry deadline.
+fn route_deadline(route: &Route, idle: u64, linger: u64) -> u64 {
+    let ttl = if route.tcp.state().is_terminal() {
+        linger.min(idle)
+    } else {
+        idle
+    };
+    route.last_ts.saturating_add(ttl)
+}
+
 /// Dispatcher-side handle for one shard worker.
 struct WorkerLink {
     tx: Sender<Batch>,
     recycle_rx: Receiver<Batch>,
     pending: Batch,
+    /// Sealed batches awaiting one batched send.
+    outbox: Vec<Batch>,
+    /// Recycled arenas pulled off the return ring in batches.
+    spares: Vec<Batch>,
 }
 
 /// Busy-time decomposition of one pipeline run, for the throughput
@@ -159,9 +210,21 @@ struct WorkerLink {
 pub struct PipelineTimings {
     /// Worker count the pipeline ran with.
     pub workers: usize,
-    /// Dispatcher CPU time (parse + route + batch building), µs —
-    /// blocking channel sends excluded.
+    /// Dispatcher count ([`run_records`]'s `D`; always 1 in push mode).
+    pub dispatchers: usize,
+    /// Total dispatcher CPU time (parse + route + batch building) summed
+    /// over all dispatchers, µs — blocking channel sends excluded.
     pub dispatch_busy_micros: u64,
+    /// Per-dispatcher CPU time of the *parallel* phase (flat-parsing its
+    /// trace slice), µs. Push mode has no separate parse phase and
+    /// reports its whole dispatch busy time here.
+    pub dispatcher_busy_micros: Vec<u64>,
+    /// CPU time of the token-serialized routing phase summed over all
+    /// dispatchers, µs — the pipeline's sequential section, so it bounds
+    /// dispatcher scaling the way `max(dispatcher_busy_micros)` bounds
+    /// parse scaling. Zero in push mode (routing is inlined in the single
+    /// dispatcher's busy time).
+    pub route_busy_micros: u64,
     /// Dispatcher time spent inside (possibly blocking) channel sends, µs.
     pub send_wait_micros: u64,
     /// Per-worker CPU time (engine work + DNS decode + final flush), µs.
@@ -170,27 +233,333 @@ pub struct PipelineTimings {
     pub intern: InternStats,
 }
 
+/// What one [`run_records`] dispatcher thread hands back to the merge.
+struct DispatcherOutput {
+    stats: SnifferStats,
+    trace_start: Option<u64>,
+    trace_end: Option<u64>,
+    parse_busy_nanos: u64,
+    route_busy_nanos: u64,
+    send_wait_nanos: u64,
+}
+
+/// The routing half of a dispatcher: links to every shard worker plus the
+/// counters the merge needs. Shared by the push-mode [`ParallelSniffer`]
+/// (one, on the caller's thread) and [`run_records`] (one per dispatcher
+/// thread).
+struct Dispatcher {
+    dns_port: u16,
+    eviction_interval: u64,
+    idle_timeout: u64,
+    terminal_linger: u64,
+    links: Vec<WorkerLink>,
+    /// Dispatcher-side counters (frames, parse faults, DNS queries);
+    /// worker engines count the rest, and the merge sums both.
+    stats: SnifferStats,
+    trace_start: Option<u64>,
+    trace_end: Option<u64>,
+    send_wait_nanos: u64,
+}
+
+impl Dispatcher {
+    fn new(config: &SnifferConfig, links: Vec<WorkerLink>) -> Self {
+        Dispatcher {
+            dns_port: config.dns_port,
+            eviction_interval: config.flow_table.eviction_interval_micros,
+            idle_timeout: config.flow_table.idle_timeout_micros,
+            terminal_linger: config.flow_table.terminal_linger_micros,
+            links,
+            stats: SnifferStats::default(),
+            trace_start: None,
+            trace_end: None,
+            send_wait_nanos: 0,
+        }
+    }
+
+    /// Classify one flat-parsed frame and enqueue whatever its shard
+    /// worker needs — the dispatcher's whole per-frame job, identical for
+    /// both drivers. Same demultiplexing order as the sequential sniffer;
+    /// DNS frames route by the *client* (the responses' destination) so
+    /// bindings land on the shard that will tag that client's flows.
+    // lint_root(ingest): routes every captured frame, parsed or faulted
+    fn route_frame(
+        &mut self,
+        st: &mut RouterState,
+        seq: u64,
+        ts: u64,
+        parse: &Result<FlatParse<'_>, FrameFault>,
+    ) {
+        self.stats.frames += 1;
+        tm_count!(Tm::IngestFrames);
+        if !st.started {
+            st.started = true;
+            self.trace_start = Some(ts);
+            // Every shard anchors its warm-up window at the global trace
+            // start, not its own first frame.
+            for shard in 0..self.links.len() {
+                self.push_item(shard, ItemKind::Start, seq, ts, &[]);
+            }
+        }
+        self.trace_end = Some(self.trace_end.map_or(ts, |t| t.max(ts)));
+        let seg = match parse {
+            Ok(FlatParse::Seg(seg)) => seg,
+            // Not reconstructed; never advances the eviction-scan clock.
+            Ok(FlatParse::Opaque) => return,
+            Err(fault) => {
+                self.stats.note_parse_fault(*fault);
+                return;
+            }
+        };
+        let dns_port = self.dns_port;
+        match seg.proto {
+            IpProtocol::Udp => {
+                if seg.src_port == dns_port {
+                    let shard = shard_of(seg.dst, self.links.len());
+                    let kind = ItemKind::DnsUdp { client: seg.dst };
+                    self.push_item(shard, kind, seq, ts, seg.payload);
+                    return;
+                }
+                if seg.dst_port == dns_port {
+                    self.stats.dns_queries += 1;
+                    tm_count!(Tm::IngestDnsQueries);
+                    return;
+                }
+            }
+            // `parse_flat` only yields TCP or UDP segments; TCP DNS is
+            // used after truncated UDP responses (RFC 1035 §4.2.2).
+            _ => {
+                if seg.src_port == dns_port {
+                    let shard = shard_of(seg.dst, self.links.len());
+                    let kind = ItemKind::DnsTcp { client: seg.dst };
+                    self.push_item(shard, kind, seq, ts, seg.payload);
+                    return;
+                }
+                if seg.dst_port == dns_port {
+                    if !seg.payload.is_empty() {
+                        self.stats.dns_queries += 1;
+                        tm_count!(Tm::IngestDnsQueries);
+                    }
+                    return;
+                }
+            }
+        }
+        self.dispatch_data(st, seq, ts, seg);
+    }
+
+    /// Route one user data segment to its flow's shard, mirroring the flow
+    /// table's orientation rules, then run the eviction gate.
+    fn dispatch_data(&mut self, st: &mut RouterState, seq: u64, ts: u64, seg: &FlatSeg<'_>) {
+        let payload_len = seg.payload.len();
+        let key = CanonFlowKey::of(seg.src, seg.src_port, seg.dst, seg.dst_port, seg.proto);
+        let idle = self.idle_timeout;
+        let linger = self.terminal_linger;
+        let (shard, head_take, push_deadline) = match st.routes.get_mut(&key) {
+            Some(route) => {
+                // An existing entry fixes the orientation; the new-flow
+                // case below sets sender=initiator.
+                let from_client = seg.src == route.client && seg.src_port == route.client_port;
+                let mut renewed = false;
+                let mut was_terminal = route.tcp.state().is_terminal();
+                if let Some(flags) = seg.tcp_flags {
+                    // Mirror of the flow table's port-reuse rule: a fresh SYN
+                    // on a terminated flow finishes the old record and starts
+                    // a new one under the *same* oriented key, so the route
+                    // keeps its orientation and shard but resets TCP state,
+                    // DPI head fill, and ages from this packet.
+                    if flags.syn() && !flags.ack() && was_terminal {
+                        route.tcp = TcpTracker::new();
+                        route.last_ts = ts;
+                        route.head_c2s = 0;
+                        route.head_s2c = 0;
+                        renewed = true;
+                        was_terminal = false;
+                    }
+                    route.tcp.observe(from_client, flags, payload_len);
+                }
+                route.last_ts = route.last_ts.max(ts);
+                // Replica of `FlowRecord::observe_seg`'s head fill: ship
+                // exactly the prefix the worker's record will append.
+                let fill = if from_client {
+                    &mut route.head_c2s
+                } else {
+                    &mut route.head_s2c
+                };
+                let take = (DPI_SNAP - *fill as usize).min(payload_len);
+                *fill += take as u16;
+                // Renewal and terminal transition are the only events that
+                // can move this route's prune deadline down (the flow
+                // table's heap applies the same rule).
+                let push = (renewed || (!was_terminal && route.tcp.state().is_terminal()))
+                    .then(|| route_deadline(route, idle, linger));
+                (route.shard, take, push)
+            }
+            None => {
+                let shard = shard_of(seg.src, self.links.len());
+                let mut tcp = TcpTracker::new();
+                if let Some(flags) = seg.tcp_flags {
+                    tcp.observe(true, flags, payload_len);
+                }
+                let take = DPI_SNAP.min(payload_len);
+                let route = Route {
+                    shard,
+                    client: seg.src,
+                    client_port: seg.src_port,
+                    last_ts: ts,
+                    tcp,
+                    head_c2s: take as u16,
+                    head_s2c: 0,
+                };
+                let deadline = route_deadline(&route, idle, linger);
+                st.routes.insert(key, route);
+                (shard, take, Some(deadline))
+            }
+        };
+        // Same lazy-heap bookkeeping the workers' flow tables keep: insert,
+        // SYN-renewal, and terminal transition are the events that can move
+        // a route's prune deadline down, so each pushes a fresh candidate.
+        if let Some(deadline) = push_deadline {
+            st.prune_heap.push(Reverse((deadline, key)));
+        }
+        let (cseg, payload) = compact_seg(seg);
+        let head = payload.get(..head_take).unwrap_or(payload);
+        self.push_item(shard, ItemKind::Seg(cseg), seq, ts, head);
+        // The sequential flow table's scan gate, replicated bit-for-bit:
+        // only a reconstructed data frame advances the clock, and the scan
+        // runs *after* that frame — so the tick follows the data item in
+        // its shard's queue, and every shard scans at the same trace times
+        // the single-threaded table would.
+        if ts.saturating_sub(st.last_eviction) >= self.eviction_interval {
+            st.last_eviction = ts;
+            self.prune_routes(st, ts);
+            for shard in 0..self.links.len() {
+                self.push_item(shard, ItemKind::Tick, seq, ts, &[]);
+            }
+        }
+    }
+
+    /// Drop routing entries for every flow the workers' scan at `now` will
+    /// evict — the same predicate `FlowTable::evict` applies, over the same
+    /// `last_ts`/terminal state (kept in lock-step by `dispatch_data`), at
+    /// the same tick times. A later packet on such a 5-tuple then starts a
+    /// fresh flow with sender-as-initiator on both sides.
+    fn prune_routes(&self, st: &mut RouterState, now: u64) {
+        let idle = self.idle_timeout;
+        let linger = self.terminal_linger;
+        while let Some(&Reverse((deadline, key))) = st.prune_heap.peek() {
+            if deadline > now {
+                break; // every remaining candidate is provably still alive
+            }
+            st.prune_heap.pop();
+            let Some(r) = st.routes.get(&key) else {
+                continue; // stale: route already pruned via an earlier entry
+            };
+            let silent = now.saturating_sub(r.last_ts);
+            if silent >= idle || (r.tcp.state().is_terminal() && silent >= linger) {
+                st.routes.remove(&key);
+            } else {
+                // Activity extended the deadline past this (lower-bound)
+                // entry; re-arm at the route's current deadline.
+                st.prune_heap
+                    .push(Reverse((route_deadline(r, idle, linger), key)));
+            }
+        }
+    }
+
+    /// Append one item (and its arena bytes — a DNS payload, or a data
+    /// segment's DPI head prefix) to a shard's pending batch, sealing the
+    /// batch when it fills.
+    fn push_item(&mut self, shard: usize, kind: ItemKind, seq: u64, ts: u64, bytes: &[u8]) {
+        let Some(link) = self.links.get_mut(shard) else {
+            return;
+        };
+        match kind {
+            ItemKind::Tick => tm_count!(Tm::PipelineTicks),
+            ItemKind::DnsUdp { .. } | ItemKind::DnsTcp { .. } | ItemKind::Seg(_) => {
+                tm_count!(Tm::PipelineItemsRouted)
+            }
+            ItemKind::Start => {}
+        }
+        let off = link.pending.bytes.len() as u32;
+        link.pending.bytes.extend_from_slice(bytes);
+        link.pending.items.push(Item {
+            kind,
+            seq,
+            ts,
+            off,
+            len: bytes.len() as u32,
+        });
+        if link.pending.items.len() >= BATCH_ITEMS || link.pending.bytes.len() >= BATCH_BYTES {
+            self.seal_pending(shard);
+        }
+    }
+
+    /// Move a shard's filled batch into its outbox, swapping in a recycled
+    /// (or fresh) arena; once [`OUTBOX_BATCHES`] have accumulated, one
+    /// batched send moves them all under a single lock handoff.
+    fn seal_pending(&mut self, shard: usize) {
+        let Some(link) = self.links.get_mut(shard) else {
+            return;
+        };
+        if link.pending.items.is_empty() {
+            return;
+        }
+        if link.spares.is_empty() {
+            link.recycle_rx
+                .try_recv_batch(&mut link.spares, RECYCLE_BATCHES);
+        }
+        let next = link.spares.pop().unwrap_or_default();
+        let batch = std::mem::replace(&mut link.pending, next);
+        tm_count!(Tm::PipelineBatchesSent);
+        tm_observe!(Tm::BatchItems, batch.items.len() as u64);
+        link.outbox.push(batch);
+        if link.outbox.len() >= OUTBOX_BATCHES {
+            self.send_outbox(shard);
+        }
+    }
+
+    /// Send a shard's outbox in one batched ring operation. Send time is
+    /// accounted separately from dispatch busy time: a full ring means the
+    /// dispatcher is *waiting* on a slow shard.
+    fn send_outbox(&mut self, shard: usize) {
+        let Some(link) = self.links.get_mut(shard) else {
+            return;
+        };
+        if link.outbox.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        // A send only fails when the worker died; the merge then simply
+        // misses that shard's output — nothing to do here.
+        let _ = link.tx.send_batch(&mut link.outbox);
+        link.outbox.clear();
+        self.send_wait_nanos += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Seal and send everything still pending, on every link.
+    fn flush_all(&mut self) {
+        for shard in 0..self.links.len() {
+            self.seal_pending(shard);
+            self.send_outbox(shard);
+        }
+    }
+}
+
 /// Multi-core variant of [`crate::RealTimeSniffer`]: same input API, same
 /// [`SnifferReport`] (byte-identical — see the module docs), `N` shard
-/// workers doing the heavy lifting.
+/// workers doing the heavy lifting behind a single caller-thread
+/// dispatcher. For offline traces, [`run_records`] additionally shards the
+/// dispatcher.
 ///
 /// Policy enforcement (the `process_frame_with_policy` path) stays on the
 /// sequential sniffer: an enforcer is a synchronous admission hook, which
 /// would reserialize the workers.
 pub struct ParallelSniffer {
     config: SnifferConfig,
-    links: Vec<WorkerLink>,
+    dispatcher: Dispatcher,
+    state: RouterState,
     handles: Vec<JoinHandle<(ShardOutput, u64)>>,
-    routes: FnvHashMap<CanonKey, Route>,
     seq: u64,
-    last_eviction: u64,
-    trace_start: Option<u64>,
-    trace_end: Option<u64>,
-    /// Dispatcher-side counters (frames, parse errors, DNS queries); worker
-    /// engines count the rest, and the merge sums both.
-    stats: SnifferStats,
     busy_nanos: u64,
-    send_wait_nanos: u64,
     /// Per-worker telemetry registries, present only when the constructing
     /// thread had one bound. Workers bind theirs for their thread's
     /// lifetime; `finish` folds them into the dispatcher's registry so the
@@ -225,24 +594,11 @@ impl ParallelSniffer {
         mut make_sink: Option<&mut dyn FnMut(usize) -> Box<dyn FlowSink>>,
     ) -> Self {
         let workers = workers.max(1);
-        let base = config.resolver.clist_size / workers;
-        let remainder = config.resolver.clist_size % workers;
         let mut links = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         let telemetry_on = telemetry::is_bound();
         let mut worker_registries = Vec::new();
-        for i in 0..workers {
-            let per_shard = (base + usize::from(i < remainder)).max(1);
-            let mut engine = ShardEngine::new(
-                config.clone(),
-                ResolverConfig {
-                    clist_size: per_shard,
-                    ..config.resolver
-                },
-            );
-            if let Some(make_sink) = make_sink.as_deref_mut() {
-                engine.set_sink(make_sink(i));
-            }
+        for engine in shard_engines(&config, workers, &mut make_sink) {
             let (tx, rx) = ring::channel::<Batch>(CHANNEL_BATCHES);
             let (recycle_tx, recycle_rx) = ring::channel::<Batch>(RECYCLE_BATCHES);
             let registry = telemetry_on.then(|| {
@@ -251,26 +607,24 @@ impl ParallelSniffer {
                 reg
             });
             handles.push(std::thread::spawn(move || {
-                worker_loop(engine, rx, recycle_tx, registry)
+                worker_loop(engine, vec![rx], vec![recycle_tx], registry)
             }));
             links.push(WorkerLink {
                 tx,
                 recycle_rx,
                 pending: Batch::default(),
+                outbox: Vec::with_capacity(OUTBOX_BATCHES),
+                spares: Vec::with_capacity(RECYCLE_BATCHES),
             });
         }
+        let dispatcher = Dispatcher::new(&config, links);
         ParallelSniffer {
             config,
-            links,
+            dispatcher,
+            state: RouterState::default(),
             handles,
-            routes: FnvHashMap::default(),
             seq: 0,
-            last_eviction: 0,
-            trace_start: None,
-            trace_end: None,
-            stats: SnifferStats::default(),
             busy_nanos: 0,
-            send_wait_nanos: 0,
             worker_registries,
         }
     }
@@ -291,7 +645,7 @@ impl ParallelSniffer {
 
     /// Worker count.
     pub fn workers(&self) -> usize {
-        self.links.len()
+        self.dispatcher.links.len()
     }
 
     /// Process one pcap record.
@@ -300,225 +654,23 @@ impl ParallelSniffer {
         self.process_frame(rec.timestamp_micros(), &rec.frame);
     }
 
-    /// Dispatch one raw Ethernet frame: shallow-parse ([`PacketView`], no
+    /// Dispatch one raw Ethernet frame: flat-parse ([`parse_flat`], no
     /// payload copy), classify exactly as the sequential sniffer does, and
     /// enqueue it for the owning shard.
     // lint_root(ingest): dispatcher entry, one call per captured frame
     pub fn process_frame(&mut self, ts: u64, frame: &[u8]) {
         let t0 = Instant::now();
         // Blocking sends inside this frame's window are counted by
-        // `flush_link` into `send_wait_nanos`; subtract them so busy time
+        // `send_outbox` into `send_wait_nanos`; subtract them so busy time
         // is dispatcher CPU only.
-        let send_before = self.send_wait_nanos;
+        let send_before = self.dispatcher.send_wait_nanos;
         let seq = self.seq;
         self.seq += 1;
-        self.stats.frames += 1;
-        tm_count!(Tm::IngestFrames);
-        if self.trace_start.is_none() {
-            self.trace_start = Some(ts);
-            // Every shard anchors its warm-up window at the global trace
-            // start, not its own first frame.
-            for shard in 0..self.links.len() {
-                self.push_item(shard, ItemKind::Start, seq, ts, &[]);
-            }
-        }
-        self.trace_end = Some(self.trace_end.map_or(ts, |t| t.max(ts)));
-        let view = match PacketView::parse(frame) {
-            Ok(v) => v,
-            Err(e) => {
-                self.stats.note_parse_error(&e);
-                self.busy_nanos += (t0.elapsed().as_nanos() as u64)
-                    .saturating_sub(self.send_wait_nanos - send_before);
-                return;
-            }
-        };
-        // Same demultiplexing order as the sequential sniffer. DNS frames
-        // route by the *client* (the responses' destination) so bindings
-        // land on the shard that will tag that client's flows.
-        let dns_port = self.config.dns_port;
-        match &view.transport {
-            TransportHeader::Udp(udp) if udp.src_port == dns_port => {
-                let shard = shard_of(view.dst_ip(), self.links.len());
-                self.push_item(shard, ItemKind::DnsUdp, seq, ts, frame);
-            }
-            TransportHeader::Udp(udp) if udp.dst_port == dns_port => {
-                self.stats.dns_queries += 1;
-                tm_count!(Tm::IngestDnsQueries);
-            }
-            TransportHeader::Tcp(tcp) if tcp.src_port == dns_port => {
-                let shard = shard_of(view.dst_ip(), self.links.len());
-                self.push_item(shard, ItemKind::DnsTcp, seq, ts, frame);
-            }
-            TransportHeader::Tcp(tcp) if tcp.dst_port == dns_port => {
-                if !view.payload.is_empty() {
-                    self.stats.dns_queries += 1;
-                    tm_count!(Tm::IngestDnsQueries);
-                }
-            }
-            TransportHeader::Udp(_) | TransportHeader::Tcp(_) => {
-                self.dispatch_data(seq, ts, &view, frame)
-            }
-            // Not reconstructed; never advances the eviction-scan clock.
-            TransportHeader::Opaque(_) => {}
-        }
-        self.busy_nanos +=
-            (t0.elapsed().as_nanos() as u64).saturating_sub(self.send_wait_nanos - send_before);
-    }
-
-    /// Route one user data frame to its flow's shard, mirroring the flow
-    /// table's orientation rules, then run the eviction gate.
-    fn dispatch_data(&mut self, seq: u64, ts: u64, view: &PacketView<'_>, frame: &[u8]) {
-        let (src_port, dst_port, tcp_flags, tcp_seq) = match &view.transport {
-            TransportHeader::Tcp(h) => (h.src_port, h.dst_port, Some(h.flags), h.seq),
-            TransportHeader::Udp(h) => (h.src_port, h.dst_port, None, 0),
-            TransportHeader::Opaque(_) => return,
-        };
-        let src = view.src_ip();
-        let dst = view.dst_ip();
-        let payload_len = view.payload.len();
-        let key = CanonKey::new(src, src_port, dst, dst_port, view.ip.protocol());
-        let (shard, head_take) = match self.routes.get_mut(&key) {
-            Some(route) => {
-                // Mirror of `FlowTable::orient`: an existing entry fixes the
-                // orientation; the new-flow case below sets sender=initiator.
-                let from_client = src == route.client && src_port == route.client_port;
-                if let Some(flags) = tcp_flags {
-                    // Mirror of the flow table's port-reuse rule: a fresh SYN
-                    // on a terminated flow finishes the old record and starts
-                    // a new one under the *same* oriented key, so the route
-                    // keeps its orientation and shard but resets TCP state,
-                    // DPI head fill, and ages from this packet.
-                    if flags.syn() && !flags.ack() && route.tcp.state().is_terminal() {
-                        route.tcp = TcpTracker::new();
-                        route.last_ts = ts;
-                        route.head_c2s = 0;
-                        route.head_s2c = 0;
-                    }
-                    route.tcp.observe(from_client, flags, payload_len);
-                }
-                route.last_ts = route.last_ts.max(ts);
-                // Replica of `FlowRecord::observe_seg`'s head fill: ship
-                // exactly the prefix the worker's record will append.
-                let fill = if from_client {
-                    &mut route.head_c2s
-                } else {
-                    &mut route.head_s2c
-                };
-                let take = (DPI_SNAP - *fill as usize).min(payload_len);
-                *fill += take as u16;
-                (route.shard, take)
-            }
-            None => {
-                let shard = shard_of(src, self.links.len());
-                let mut tcp = TcpTracker::new();
-                if let Some(flags) = tcp_flags {
-                    tcp.observe(true, flags, payload_len);
-                }
-                let take = DPI_SNAP.min(payload_len);
-                self.routes.insert(
-                    key,
-                    Route {
-                        shard,
-                        client: src,
-                        client_port: src_port,
-                        last_ts: ts,
-                        tcp,
-                        head_c2s: take as u16,
-                        head_s2c: 0,
-                    },
-                );
-                (shard, take)
-            }
-        };
-        let seg = CompactSeg {
-            src,
-            src_port,
-            dst,
-            dst_port,
-            proto: view.ip.protocol(),
-            tcp_flags,
-            tcp_seq,
-            wire_bytes: frame.len(),
-            payload_len,
-        };
-        let head = view.payload.get(..head_take).unwrap_or(view.payload);
-        self.push_item(shard, ItemKind::Seg(seg), seq, ts, head);
-        // The sequential flow table's scan gate, replicated bit-for-bit:
-        // only a reconstructed data frame advances the clock, and the scan
-        // runs *after* that frame — so the tick follows the data item in
-        // its shard's queue, and every shard scans at the same trace times
-        // the single-threaded table would.
-        if ts.saturating_sub(self.last_eviction) >= self.config.flow_table.eviction_interval_micros
-        {
-            self.last_eviction = ts;
-            self.prune_routes(ts);
-            for shard in 0..self.links.len() {
-                self.push_item(shard, ItemKind::Tick, seq, ts, &[]);
-            }
-        }
-    }
-
-    /// Drop routing entries for every flow the workers' scan at `now` will
-    /// evict — the same predicate `FlowTable::evict` applies, over the same
-    /// `last_ts`/terminal state (kept in lock-step by `dispatch_data`), at
-    /// the same tick times. A later packet on such a 5-tuple then starts a
-    /// fresh flow with sender-as-initiator on both sides.
-    fn prune_routes(&mut self, now: u64) {
-        let idle = self.config.flow_table.idle_timeout_micros;
-        let linger = self.config.flow_table.terminal_linger_micros;
-        self.routes.retain(|_, r| {
-            let silent = now.saturating_sub(r.last_ts);
-            !(silent >= idle || (r.tcp.state().is_terminal() && silent >= linger))
-        });
-    }
-
-    /// Append one item (and its arena bytes — a raw DNS frame, or a data
-    /// segment's DPI head prefix) to a shard's pending batch, flushing when
-    /// the batch is full.
-    fn push_item(&mut self, shard: usize, kind: ItemKind, seq: u64, ts: u64, bytes: &[u8]) {
-        let Some(link) = self.links.get_mut(shard) else {
-            return;
-        };
-        match kind {
-            ItemKind::Tick => tm_count!(Tm::PipelineTicks),
-            ItemKind::DnsUdp | ItemKind::DnsTcp | ItemKind::Seg(_) => {
-                tm_count!(Tm::PipelineItemsRouted)
-            }
-            ItemKind::Start => {}
-        }
-        let off = link.pending.bytes.len() as u32;
-        link.pending.bytes.extend_from_slice(bytes);
-        link.pending.items.push(Item {
-            kind,
-            seq,
-            ts,
-            off,
-            len: bytes.len() as u32,
-        });
-        if link.pending.items.len() >= BATCH_ITEMS || link.pending.bytes.len() >= BATCH_BYTES {
-            self.flush_link(shard);
-        }
-    }
-
-    /// Send a shard's pending batch, swapping in a recycled (or fresh)
-    /// arena. Send time is accounted separately from dispatch busy time:
-    /// a full ring means the dispatcher is *waiting* on a slow shard.
-    fn flush_link(&mut self, shard: usize) {
-        let Some(link) = self.links.get_mut(shard) else {
-            return;
-        };
-        if link.pending.items.is_empty() {
-            return;
-        }
-        let next = link.recycle_rx.try_recv().unwrap_or_default();
-        let batch = std::mem::replace(&mut link.pending, next);
-        tm_count!(Tm::PipelineBatchesSent);
-        tm_observe!(Tm::BatchItems, batch.items.len() as u64);
-        let t0 = Instant::now();
-        // A send only fails when the worker died; the merge then simply
-        // misses that shard's output — nothing to do here.
-        let _ = link.tx.send(batch);
-        self.send_wait_nanos += t0.elapsed().as_nanos() as u64;
+        let parse = parse_flat(frame);
+        self.dispatcher
+            .route_frame(&mut self.state, seq, ts, &parse);
+        self.busy_nanos += (t0.elapsed().as_nanos() as u64)
+            .saturating_sub(self.dispatcher.send_wait_nanos - send_before);
     }
 
     /// End of trace: flush every pending batch, close the channels, join
@@ -543,12 +695,10 @@ impl ParallelSniffer {
     }
 
     fn finish_full(mut self) -> (SnifferReport, PipelineTimings, Vec<Box<dyn FlowSink>>) {
-        for shard in 0..self.links.len() {
-            self.flush_link(shard);
-        }
+        self.dispatcher.flush_all();
         // Dropping the links drops the senders, which closes each ring;
         // workers drain what is queued, flush their engines and return.
-        let links = std::mem::take(&mut self.links);
+        let links = std::mem::take(&mut self.dispatcher.links);
         let workers = links.len();
         drop(links);
         let mut outputs = Vec::with_capacity(workers);
@@ -563,33 +713,32 @@ impl ParallelSniffer {
         // stable order keeps the driver's view reproducible regardless.
         let sinks: Vec<Box<dyn FlowSink>> =
             outputs.iter_mut().filter_map(|o| o.sink.take()).collect();
-        let mut intern = InternStats::default();
-        for out in &outputs {
-            intern.allocated += out.intern.allocated;
-            intern.reused += out.intern.reused;
-        }
+        let intern = fold_intern(&outputs);
         // The joins above are the happens-before edge: every worker-side
         // relaxed store is visible, so folding the per-shard registries
         // into the dispatcher's yields exact totals — and, for the stable
         // class, the same values a sequential run records.
         tm_count!(Tm::DispatchBusyNanos, self.busy_nanos);
-        tm_count!(Tm::SendWaitNanos, self.send_wait_nanos);
+        tm_count!(Tm::SendWaitNanos, self.dispatcher.send_wait_nanos);
         for reg in &self.worker_registries {
             telemetry::merge_into_bound(reg);
         }
         let report = assemble_report(
             outputs,
-            self.stats,
-            self.trace_start,
-            self.trace_end,
+            std::mem::take(&mut self.dispatcher.stats),
+            self.dispatcher.trace_start,
+            self.dispatcher.trace_end,
             self.config.warmup_micros,
         );
         (
             report,
             PipelineTimings {
                 workers,
+                dispatchers: 1,
                 dispatch_busy_micros: self.busy_nanos / 1_000,
-                send_wait_micros: self.send_wait_nanos / 1_000,
+                dispatcher_busy_micros: vec![self.busy_nanos / 1_000],
+                route_busy_micros: 0,
+                send_wait_micros: self.dispatcher.send_wait_nanos / 1_000,
                 worker_busy_micros,
                 intern,
             },
@@ -598,70 +747,402 @@ impl ParallelSniffer {
     }
 }
 
-/// One shard worker: drive this shard's [`ShardEngine`]. Data segments
-/// arrive pre-parsed ([`CompactSeg`] plus DPI head bytes) and go straight
-/// into the flow table; DNS frames arrive raw and are fully parsed here —
-/// the exact decode path the sequential sniffer runs. Returns the shard's
-/// output plus its busy time (µs, excluding `recv` blocking).
+/// Run a whole in-memory trace through the sharded pipeline with `workers`
+/// shard threads *and* `dispatchers` dispatcher threads, returning the
+/// merged report (byte-identical to [`crate::RealTimeSniffer`]'s — see the
+/// module docs) plus the busy-time decomposition.
+///
+/// Each dispatcher owns one contiguous slice of `records` and flat-parses
+/// it concurrently with the others; frame `i`'s sequence number is simply
+/// `i`, so stamping needs no coordination. The order-sensitive routing
+/// pass then runs under a state token passed dispatcher-to-dispatcher in
+/// slice order, and each dispatcher closes its worker rings before handing
+/// the token on — so worker `w`, draining its per-dispatcher rings in that
+/// same order, observes items in strictly increasing sequence order.
+// lint_root(ingest): offline-trace pipeline entry, consumes raw records
+pub fn run_records(
+    config: &SnifferConfig,
+    workers: usize,
+    dispatchers: usize,
+    records: &[PcapRecord],
+) -> (SnifferReport, PipelineTimings) {
+    let (report, timings, _) = run_records_full(config, workers, dispatchers, records, None);
+    (report, timings)
+}
+
+/// [`run_records`], additionally installing a streaming analytics sink per
+/// worker (`make_sink(shard)`, as in [`ParallelSniffer::with_sinks`]) and
+/// handing the per-shard partials back in shard order.
+pub fn run_records_with_sinks(
+    config: &SnifferConfig,
+    workers: usize,
+    dispatchers: usize,
+    records: &[PcapRecord],
+    make_sink: &mut dyn FnMut(usize) -> Box<dyn FlowSink>,
+) -> (SnifferReport, PipelineTimings, Vec<Box<dyn FlowSink>>) {
+    run_records_full(config, workers, dispatchers, records, Some(make_sink))
+}
+
+fn run_records_full(
+    config: &SnifferConfig,
+    workers: usize,
+    dispatchers: usize,
+    records: &[PcapRecord],
+    mut make_sink: Option<&mut dyn FnMut(usize) -> Box<dyn FlowSink>>,
+) -> (SnifferReport, PipelineTimings, Vec<Box<dyn FlowSink>>) {
+    let workers = workers.clamp(1, MAX_PIPELINE_THREADS);
+    // A dispatcher per record at most: empty slices would idle a thread
+    // and its rings for nothing (and a record-less trace still runs one
+    // dispatcher so the merge shape stays uniform).
+    let dispatchers = dispatchers
+        .clamp(1, records.len().max(1))
+        .min(MAX_PIPELINE_THREADS);
+    let telemetry_on = telemetry::is_bound();
+    let engines = shard_engines(config, workers, &mut make_sink);
+
+    // One (data, recycle) ring pair per (dispatcher, worker) edge. Worker
+    // `w` drains `worker_rxs[w]` strictly in dispatcher order — the same
+    // order the routing token serializes sends — so its item stream is
+    // globally sequence-ordered.
+    let mut worker_rxs: Vec<Vec<Receiver<Batch>>> = (0..workers)
+        .map(|_| Vec::with_capacity(dispatchers.min(MAX_PIPELINE_THREADS)))
+        .collect();
+    let mut worker_recycles: Vec<Vec<Sender<Batch>>> = (0..workers)
+        .map(|_| Vec::with_capacity(dispatchers.min(MAX_PIPELINE_THREADS)))
+        .collect();
+    let mut dispatcher_links: Vec<Vec<WorkerLink>> = (0..dispatchers)
+        .map(|_| Vec::with_capacity(workers.min(MAX_PIPELINE_THREADS)))
+        .collect();
+    for links in dispatcher_links.iter_mut() {
+        for (rxs, recycles) in worker_rxs.iter_mut().zip(worker_recycles.iter_mut()) {
+            let (tx, rx) = ring::channel::<Batch>(CHANNEL_BATCHES);
+            let (recycle_tx, recycle_rx) = ring::channel::<Batch>(RECYCLE_BATCHES);
+            rxs.push(rx);
+            recycles.push(recycle_tx);
+            links.push(WorkerLink {
+                tx,
+                recycle_rx,
+                pending: Batch::default(),
+                outbox: Vec::with_capacity(OUTBOX_BATCHES),
+                spares: Vec::with_capacity(RECYCLE_BATCHES),
+            });
+        }
+    }
+
+    // Capacity-1 token rings chaining dispatcher d to d+1: dispatcher d
+    // sends on `token_txs[d]` (None for the last) and receives on
+    // `token_rxs[d]` (None for the first, which starts with the token).
+    let mut token_txs: Vec<Option<Sender<RouterState>>> = Vec::new();
+    let mut token_rxs: Vec<Option<Receiver<RouterState>>> = vec![None];
+    for _ in 1..dispatchers {
+        let (tx, rx) = ring::channel::<RouterState>(1);
+        token_txs.push(Some(tx));
+        token_rxs.push(Some(rx));
+    }
+    token_txs.push(None);
+
+    // Contiguous near-equal slices; sequence bases are the slices' start
+    // indices (frame seq == trace index, exactly the sequential stamping).
+    let slice_base = records.len() / dispatchers;
+    let slice_rem = records.len() % dispatchers;
+    let mut slices: Vec<(u64, &[PcapRecord])> =
+        Vec::with_capacity(dispatchers.min(MAX_PIPELINE_THREADS));
+    let mut rest = records;
+    let mut start = 0usize;
+    for d in 0..dispatchers {
+        let len = slice_base + usize::from(d < slice_rem);
+        let (head, tail) = rest.split_at(len);
+        slices.push((start as u64, head));
+        start += len;
+        rest = tail;
+    }
+
+    let mut worker_registries = Vec::new();
+    let mut dispatcher_registries = Vec::new();
+    let (disp_outs, worker_outs) = std::thread::scope(|s| {
+        let mut worker_handles = Vec::with_capacity(workers.min(MAX_PIPELINE_THREADS));
+        let rx_pairs = worker_rxs.into_iter().zip(worker_recycles);
+        for (engine, (rxs, recycles)) in engines.into_iter().zip(rx_pairs) {
+            let registry = telemetry_on.then(|| {
+                let reg = std::sync::Arc::new(telemetry::Registry::new());
+                worker_registries.push(std::sync::Arc::clone(&reg));
+                reg
+            });
+            worker_handles.push(s.spawn(move || worker_loop(engine, rxs, recycles, registry)));
+        }
+        let mut disp_handles = Vec::with_capacity(dispatchers.min(MAX_PIPELINE_THREADS));
+        let disp_parts = dispatcher_links
+            .into_iter()
+            .zip(slices)
+            .zip(token_rxs.into_iter().zip(token_txs));
+        for ((links, (seq_base, slice)), (token_rx, token_tx)) in disp_parts {
+            let disp = Dispatcher::new(config, links);
+            let registry = telemetry_on.then(|| {
+                let reg = std::sync::Arc::new(telemetry::Registry::new());
+                dispatcher_registries.push(std::sync::Arc::clone(&reg));
+                reg
+            });
+            disp_handles.push(s.spawn(move || {
+                dispatcher_task(disp, slice, seq_base, token_rx, token_tx, registry)
+            }));
+        }
+        let disp_outs: Vec<DispatcherOutput> = disp_handles
+            .into_iter()
+            .filter_map(|h| h.join().ok())
+            .collect();
+        let worker_outs: Vec<(ShardOutput, u64)> = worker_handles
+            .into_iter()
+            .filter_map(|h| h.join().ok())
+            .collect();
+        (disp_outs, worker_outs)
+    });
+
+    // Merge the dispatcher partials. The trace anchor comes from the first
+    // dispatcher that saw a frame (= the owner of trace index 0).
+    let mut stats = SnifferStats::default();
+    let trace_start = disp_outs.iter().find_map(|o| o.trace_start);
+    let mut trace_end = None;
+    let mut parse_busy_nanos = 0u64;
+    let mut route_busy_nanos = 0u64;
+    let mut send_wait_nanos = 0u64;
+    let mut dispatcher_busy_micros = Vec::with_capacity(disp_outs.len().min(MAX_PIPELINE_THREADS));
+    for out in &disp_outs {
+        stats.absorb(&out.stats);
+        trace_end = match (trace_end, out.trace_end) {
+            (Some(a), Some(b)) => Some(std::cmp::max::<u64>(a, b)),
+            (a, b) => a.or(b),
+        };
+        parse_busy_nanos += out.parse_busy_nanos;
+        route_busy_nanos += out.route_busy_nanos;
+        send_wait_nanos += out.send_wait_nanos;
+        dispatcher_busy_micros.push(out.parse_busy_nanos / 1_000);
+    }
+
+    let mut shard_outputs = Vec::with_capacity(worker_outs.len().min(MAX_PIPELINE_THREADS));
+    let mut worker_busy_micros = Vec::with_capacity(worker_outs.len().min(MAX_PIPELINE_THREADS));
+    for (out, busy) in worker_outs {
+        shard_outputs.push(out);
+        worker_busy_micros.push(busy);
+    }
+    let sinks: Vec<Box<dyn FlowSink>> = shard_outputs
+        .iter_mut()
+        .filter_map(|o| o.sink.take())
+        .collect();
+    let intern = fold_intern(&shard_outputs);
+
+    // The joins above are the happens-before edge; fold every thread's
+    // registry into the caller's so the final stable-class snapshot equals
+    // the sequential run's.
+    tm_count!(Tm::DispatchBusyNanos, parse_busy_nanos + route_busy_nanos);
+    tm_count!(Tm::SendWaitNanos, send_wait_nanos);
+    for reg in dispatcher_registries.iter().chain(&worker_registries) {
+        telemetry::merge_into_bound(reg);
+    }
+    let report = assemble_report(
+        shard_outputs,
+        stats,
+        trace_start,
+        trace_end,
+        config.warmup_micros,
+    );
+    (
+        report,
+        PipelineTimings {
+            workers,
+            dispatchers,
+            dispatch_busy_micros: (parse_busy_nanos + route_busy_nanos) / 1_000,
+            dispatcher_busy_micros,
+            route_busy_micros: route_busy_nanos / 1_000,
+            send_wait_micros: send_wait_nanos / 1_000,
+            worker_busy_micros,
+            intern,
+        },
+        sinks,
+    )
+}
+
+/// Build the `workers` shard engines, splitting the Clist budget exactly
+/// as `ShardedResolver::new` partitions it (§3.1.1 — sharding splits the
+/// §4.2 memory budget, it does not multiply it).
+fn shard_engines(
+    config: &SnifferConfig,
+    workers: usize,
+    make_sink: &mut Option<&mut dyn FnMut(usize) -> Box<dyn FlowSink>>,
+) -> Vec<ShardEngine> {
+    let base = config.resolver.clist_size / workers;
+    let remainder = config.resolver.clist_size % workers;
+    (0..workers)
+        .map(|i| {
+            let per_shard = (base + usize::from(i < remainder)).max(1);
+            let mut engine = ShardEngine::new(
+                config.clone(),
+                ResolverConfig {
+                    clist_size: per_shard,
+                    ..config.resolver
+                },
+            );
+            if let Some(make_sink) = make_sink.as_deref_mut() {
+                engine.set_sink(make_sink(i));
+            }
+            engine
+        })
+        .collect()
+}
+
+/// Sum the per-shard interning stats.
+fn fold_intern(outputs: &[ShardOutput]) -> InternStats {
+    let mut intern = InternStats::default();
+    for out in outputs {
+        intern.allocated += out.intern.allocated;
+        intern.reused += out.intern.reused;
+    }
+    intern
+}
+
+/// One [`run_records`] dispatcher thread: flat-parse the slice (parallel
+/// phase), then take the routing token, route every frame in slice order,
+/// close this dispatcher's worker rings and pass the token on.
+// lint_root(ingest): per-dispatcher ingest over a raw trace slice
+fn dispatcher_task(
+    mut disp: Dispatcher,
+    slice: &[PcapRecord],
+    seq_base: u64,
+    token_rx: Option<Receiver<RouterState>>,
+    token_tx: Option<Sender<RouterState>>,
+    registry: Option<std::sync::Arc<telemetry::Registry>>,
+) -> DispatcherOutput {
+    // Bind this dispatcher's registry for the thread's lifetime, so its
+    // parse/route telemetry lands in cells the merge later folds in.
+    let _telemetry_guard = registry.map(telemetry::bind);
+    // Parse phase: every dispatcher runs this concurrently; nothing here
+    // touches shared state.
+    let t0 = Instant::now();
+    let mut batch = SegBatch::new();
+    batch.parse_records(slice);
+    let parse_busy_nanos = t0.elapsed().as_nanos() as u64;
+    // Routing phase: serialized by the state token, in slice order.
+    let mut st = match &token_rx {
+        Some(rx) => match rx.recv() {
+            Some(st) => st,
+            // The predecessor died without handing the token on; without
+            // its routing state determinism is already gone, so route
+            // nothing — dropping `disp` closes this dispatcher's rings.
+            None => {
+                return DispatcherOutput {
+                    stats: SnifferStats::default(),
+                    trace_start: None,
+                    trace_end: None,
+                    parse_busy_nanos,
+                    route_busy_nanos: 0,
+                    send_wait_nanos: 0,
+                }
+            }
+        },
+        None => RouterState::default(),
+    };
+    let t1 = Instant::now();
+    for (i, frame) in batch.frames.iter().enumerate() {
+        disp.route_frame(&mut st, seq_base + i as u64, frame.ts, &frame.parse);
+    }
+    disp.flush_all();
+    let route_busy_nanos = (t1.elapsed().as_nanos() as u64).saturating_sub(disp.send_wait_nanos);
+    // Close this dispatcher's rings *before* handing the token on: worker
+    // drain order (ring d to exhaustion, then ring d+1) then matches token
+    // order, which is what makes the merge's seq streams monotone.
+    drop(std::mem::take(&mut disp.links));
+    if let Some(tx) = token_tx {
+        let _ = tx.send(st);
+    }
+    DispatcherOutput {
+        stats: disp.stats,
+        trace_start: disp.trace_start,
+        trace_end: disp.trace_end,
+        parse_busy_nanos,
+        route_busy_nanos,
+        send_wait_nanos: disp.send_wait_nanos,
+    }
+}
+
+/// One shard worker: drive this shard's [`ShardEngine`]. Items arrive
+/// pre-parsed — a [`CompactSeg`] plus DPI head bytes straight into the
+/// flow table, or a DNS payload decoded here, the exact decode path the
+/// sequential sniffer runs. Multiple rings arrive from the
+/// multi-dispatcher driver and are drained strictly in dispatcher
+/// (= token) order, several batches per lock via `recv_batch`. Returns the
+/// shard's output plus its busy time (µs, excluding `recv` blocking).
 // lint_root(ingest): per-worker ingest: decodes DNS and drives the shard engine
 fn worker_loop(
     mut engine: ShardEngine,
-    rx: Receiver<Batch>,
-    recycle_tx: Sender<Batch>,
+    rxs: Vec<Receiver<Batch>>,
+    recycles: Vec<Sender<Batch>>,
     registry: Option<std::sync::Arc<telemetry::Registry>>,
 ) -> (ShardOutput, u64) {
     // Bind this shard's registry for the thread's whole lifetime, so every
     // engine/resolver/flow-table update below lands in per-shard cells that
-    // `finish` later folds into the dispatcher's registry.
+    // the merge later folds into the dispatcher's registry.
     let _telemetry_guard = registry.map(telemetry::bind);
     let mut busy_nanos = 0u64;
-    while let Some(mut batch) = rx.recv() {
-        let t0 = Instant::now();
-        for item in &batch.items {
-            let start = item.off as usize;
-            let end = start + item.len as usize;
-            match item.kind {
-                ItemKind::Start => engine.note_trace_start(item.ts),
-                ItemKind::Tick => engine.tick(item.seq, item.ts),
-                ItemKind::Seg(seg) => {
-                    let head = batch.bytes.get(start..end).unwrap_or(&[]);
-                    engine.process_seg(
+    let mut inbox: Vec<Batch> = Vec::with_capacity(RECV_BATCH_MAX);
+    let mut done: Vec<Batch> = Vec::with_capacity(RECV_BATCH_MAX);
+    let mut last_seq = 0u64;
+    for (rx, recycle) in rxs.iter().zip(&recycles) {
+        // Drain this dispatcher's ring to exhaustion (recv_batch returns 0
+        // only once the ring is closed *and* empty), then move to the
+        // next: dispatcher d closed its rings before passing the routing
+        // token to d+1, so this order yields a monotone sequence stream.
+        loop {
+            let n = rx.recv_batch(&mut inbox, RECV_BATCH_MAX);
+            if n == 0 {
+                break;
+            }
+            let t0 = Instant::now();
+            for mut batch in inbox.drain(..) {
+                for item in &batch.items {
+                    debug_assert!(
+                        item.seq >= last_seq,
+                        "worker observed seq {} after {}",
                         item.seq,
-                        item.ts,
-                        &seg,
-                        head,
-                        &mut None::<&mut RuleEnforcer>,
+                        last_seq
                     );
-                }
-                ItemKind::DnsUdp | ItemKind::DnsTcp => {
-                    let Some(frame) = batch.bytes.get(start..end) else {
-                        continue;
-                    };
-                    // The dispatcher already shallow-parsed this frame;
-                    // `Packet::parse` accepts exactly what `PacketView::parse`
-                    // accepts, so this cannot fail.
-                    let Ok(pkt) = Packet::parse(frame) else {
-                        debug_assert!(false, "dispatcher forwarded an unparseable frame");
-                        continue;
-                    };
+                    last_seq = item.seq;
+                    let start = item.off as usize;
+                    let end = start + item.len as usize;
                     match item.kind {
-                        ItemKind::DnsUdp => engine.handle_dns_response(item.seq, item.ts, &pkt),
-                        ItemKind::DnsTcp => {
-                            for msg in codec::decode_tcp_stream(&pkt.payload) {
-                                engine.handle_dns_message(item.seq, item.ts, pkt.dst_ip(), &msg);
+                        ItemKind::Start => engine.note_trace_start(item.ts),
+                        ItemKind::Tick => engine.tick(item.seq, item.ts),
+                        ItemKind::Seg(seg) => {
+                            let head = batch.bytes.get(start..end).unwrap_or(&[]);
+                            engine.process_seg(
+                                item.seq,
+                                item.ts,
+                                &seg,
+                                head,
+                                &mut None::<&mut RuleEnforcer>,
+                            );
+                        }
+                        ItemKind::DnsUdp { client } => {
+                            let payload = batch.bytes.get(start..end).unwrap_or(&[]);
+                            engine.handle_dns_payload(item.seq, item.ts, client, payload);
+                        }
+                        ItemKind::DnsTcp { client } => {
+                            let payload = batch.bytes.get(start..end).unwrap_or(&[]);
+                            for msg in codec::decode_tcp_stream(payload) {
+                                engine.handle_dns_message(item.seq, item.ts, client, &msg);
                             }
                         }
-                        ItemKind::Start | ItemKind::Tick | ItemKind::Seg(_) => {}
                     }
                 }
+                batch.items.clear();
+                batch.bytes.clear();
+                done.push(batch);
             }
+            busy_nanos += t0.elapsed().as_nanos() as u64;
+            // Best effort, never blocking: arenas that don't fit the
+            // recycle ring are simply dropped and the dispatcher allocates
+            // fresh ones.
+            recycle.try_send_batch(&mut done);
+            done.clear();
         }
-        busy_nanos += t0.elapsed().as_nanos() as u64;
-        batch.items.clear();
-        batch.bytes.clear();
-        // Best effort: if the recycle ring is somehow full the arena is
-        // simply dropped and the dispatcher allocates a fresh one.
-        let _ = recycle_tx.try_send(batch);
     }
     let t0 = Instant::now();
     let out = engine.finish_shard();

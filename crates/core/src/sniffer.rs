@@ -2,8 +2,9 @@
 //! (paper Fig. 1 and §3.1).
 
 use dnhunter_dns::codec;
-use dnhunter_flow::FlowTableConfig;
-use dnhunter_net::{Packet, PcapRecord, TransportHeader};
+use dnhunter_flow::{CompactSeg, FlowTableConfig};
+use dnhunter_net::seg::{parse_flat, FlatParse, FlatSeg, FrameFault};
+use dnhunter_net::{IpProtocol, PcapRecord};
 use dnhunter_resolver::{DnsResolver, OrderedTables, ResolverConfig, ResolverStats};
 use dnhunter_telemetry::{tm_count, Metric as Tm};
 use serde::{Deserialize, Serialize};
@@ -63,12 +64,34 @@ impl SnifferStats {
     /// pipeline dispatcher) route their parse rejects through here so the
     /// merged report counts each class identically.
     pub fn note_parse_error(&mut self, err: &dnhunter_net::NetError) {
+        self.note_parse_fault(FrameFault::of(err));
+    }
+
+    /// [`SnifferStats::note_parse_error`] for the flat parser's
+    /// pre-classified fault families — the hot-path form, no error value to
+    /// inspect (or allocate).
+    pub fn note_parse_fault(&mut self, fault: FrameFault) {
         self.parse_errors += 1;
-        match err {
-            dnhunter_net::NetError::Truncated { .. } => self.frames_truncated += 1,
-            dnhunter_net::NetError::BadChecksum { .. } => self.checksum_errors += 1,
-            _ => {}
+        match fault {
+            FrameFault::Truncated => self.frames_truncated += 1,
+            FrameFault::Checksum => self.checksum_errors += 1,
+            FrameFault::Malformed => {}
         }
+    }
+
+    /// Fold another partial count into this one (element-wise sum) — how
+    /// the multi-dispatcher pipeline merges its per-slice dispatcher
+    /// counters before `assemble_report` adds the worker engines' share.
+    pub fn absorb(&mut self, other: &SnifferStats) {
+        self.frames += other.frames;
+        self.parse_errors += other.parse_errors;
+        self.frames_truncated += other.frames_truncated;
+        self.checksum_errors += other.checksum_errors;
+        self.dns_queries += other.dns_queries;
+        self.dns_responses += other.dns_responses;
+        self.dns_decode_errors += other.dns_decode_errors;
+        self.tag_attempts += other.tag_attempts;
+        self.tag_hits += other.tag_hits;
     }
 }
 
@@ -190,10 +213,14 @@ impl RealTimeSniffer {
         self.trace_start.get_or_insert(ts);
         self.engine.note_trace_start(ts);
         self.trace_end = Some(self.trace_end.map_or(ts, |t| t.max(ts)));
-        let pkt = match Packet::parse(frame) {
-            Ok(p) => p,
-            Err(e) => {
-                self.engine.stats.note_parse_error(&e);
+        let seg = match parse_flat(frame) {
+            Ok(FlatParse::Seg(seg)) => seg,
+            // Not reconstructed; never advances the eviction-scan clock
+            // (matching `FlowTable::process`, which returned before its
+            // internal scan gate for opaque transports).
+            Ok(FlatParse::Opaque) => return,
+            Err(fault) => {
+                self.engine.stats.note_parse_fault(fault);
                 return;
             }
         };
@@ -201,44 +228,42 @@ impl RealTimeSniffer {
         // measurement channel, not user traffic. TCP is used after
         // truncated UDP responses (RFC 1035 §4.2.2 framing).
         let dns_port = self.engine.config.dns_port;
-        match &pkt.transport {
-            TransportHeader::Udp(udp) => {
-                if udp.src_port == dns_port {
-                    self.engine.handle_dns_response(seq, ts, &pkt);
+        match seg.proto {
+            IpProtocol::Udp => {
+                if seg.src_port == dns_port {
+                    self.engine
+                        .handle_dns_payload(seq, ts, seg.dst, seg.payload);
                     return;
                 }
-                if udp.dst_port == dns_port {
+                if seg.dst_port == dns_port {
                     self.engine.stats.dns_queries += 1;
                     tm_count!(Tm::IngestDnsQueries);
                     return;
                 }
             }
-            TransportHeader::Tcp(tcp) => {
-                if tcp.src_port == dns_port {
-                    for msg in codec::decode_tcp_stream(&pkt.payload) {
-                        self.engine.handle_dns_message(seq, ts, pkt.dst_ip(), &msg);
+            // `parse_flat` only yields TCP or UDP segments.
+            _ => {
+                if seg.src_port == dns_port {
+                    for msg in codec::decode_tcp_stream(seg.payload) {
+                        self.engine.handle_dns_message(seq, ts, seg.dst, &msg);
                     }
                     return;
                 }
-                if tcp.dst_port == dns_port {
-                    if !pkt.payload.is_empty() {
+                if seg.dst_port == dns_port {
+                    if !seg.payload.is_empty() {
                         self.engine.stats.dns_queries += 1;
                         tm_count!(Tm::IngestDnsQueries);
                     }
                     return;
                 }
             }
-            // Not reconstructed; never advances the eviction-scan clock
-            // (matching `FlowTable::process`, which returned before its
-            // internal scan gate for opaque transports).
-            TransportHeader::Opaque(_) => return,
         }
-        // Everything else is a data packet: flow reconstruction + tagging,
+        // Everything else is a data segment: flow reconstruction + tagging,
         // then the same periodic eviction scan `FlowTable::process` ran
         // internally — driven here so the pipeline dispatcher can replicate
         // the identical gate when it broadcasts ticks to shard workers.
-        self.engine
-            .process_data(seq, ts, &pkt, frame.len(), &mut enforcer);
+        let (cseg, head) = compact_seg(&seg);
+        self.engine.process_seg(seq, ts, &cseg, head, &mut enforcer);
         if ts.saturating_sub(self.last_eviction)
             >= self.engine.config.flow_table.eviction_interval_micros
         {
@@ -269,6 +294,26 @@ impl RealTimeSniffer {
         );
         (report, sinks)
     }
+}
+
+/// Project a flat-parsed segment onto the flow table's
+/// ([`CompactSeg`], head bytes) shape — shared by the sequential driver
+/// and the pipeline dispatcher.
+pub(crate) fn compact_seg<'a>(seg: &FlatSeg<'a>) -> (CompactSeg, &'a [u8]) {
+    (
+        CompactSeg {
+            src: seg.src,
+            src_port: seg.src_port,
+            dst: seg.dst,
+            dst_port: seg.dst_port,
+            proto: seg.proto,
+            tcp_flags: seg.tcp_flags,
+            tcp_seq: seg.tcp_seq,
+            wire_bytes: seg.wire_bytes,
+            payload_len: seg.payload.len(),
+        },
+        seg.payload,
+    )
 }
 
 impl SnifferReport {

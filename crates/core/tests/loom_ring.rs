@@ -6,14 +6,22 @@
 //! `src/ring.rs`), so each iteration executes a materially different
 //! producer/consumer interleaving.
 //!
-//! The ring module is private; these tests drive it through the public
-//! [`ParallelSniffer`], whose dispatcher/worker protocol is exactly the
-//! batch handoff under scrutiny: batches cross the capacity-bounded ring,
-//! arenas come back over the recycle ring, close-on-drop ends the workers.
+//! Two layers are exercised. The batched ring operations are driven
+//! directly (the module is `pub` under `--cfg loom`): `send_batch` /
+//! `recv_batch` must lose nothing and preserve FIFO order across every
+//! explored schedule, including the send-then-drop shutdown edge, and the
+//! deliberately racy `recv_batch_racy` mutant must be *caught* — proving
+//! the exploration still finds close-vs-drain races. On top of that, the
+//! public [`ParallelSniffer`] runs the full dispatcher/worker protocol:
+//! batches cross the capacity-bounded ring, arenas come back over the
+//! recycle ring, close-on-drop ends the workers.
 #![cfg(loom)]
 
+use dnhunter::ring;
 use dnhunter::{ParallelSniffer, RealTimeSniffer, SnifferConfig};
 use dnhunter_net::{build_tcp_v4, build_udp_v4, MacAddr, TcpFlags};
+use loom::sync::atomic::{AtomicBool, Ordering};
+use loom::sync::Arc;
 
 /// A tiny deterministic frame sequence: one DNS-ish UDP query per client,
 /// then a TCP SYN per client. Small enough to model-check, rich enough to
@@ -74,6 +82,69 @@ fn ring_handoff_is_complete_and_ordered_under_perturbed_schedules() {
         assert_eq!(report.sniffer_stats.frames, want_frames);
         assert_eq!(report.database.len(), want_rows);
     });
+}
+
+/// The batched operations, driven directly: a producer pushes several
+/// batches through a ring smaller than the total (so `send_batch` must
+/// block mid-stream) and then drops its sender. On every explored schedule
+/// the consumer's `recv_batch` loop must observe every value exactly once,
+/// in order — the close flag may never eclipse queued values.
+#[test]
+fn batched_push_pop_loses_nothing_across_send_then_drop() {
+    loom::model(|| {
+        let (tx, rx) = ring::channel::<u32>(2);
+        let producer = loom::thread::spawn(move || {
+            for pair in [[0u32, 1], [2, 3], [4, 5]] {
+                let mut batch = pair.to_vec();
+                tx.send_batch(&mut batch).expect("receiver alive");
+                assert!(batch.is_empty(), "send_batch moves every value");
+            }
+            // `tx` drops here: shutdown races against the in-flight drain.
+        });
+        let mut got = Vec::new();
+        loop {
+            // Odd `max` so drains straddle batch boundaries.
+            if rx.recv_batch(&mut got, 3) == 0 {
+                break;
+            }
+        }
+        producer.join().expect("producer must not panic");
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5], "lossless FIFO");
+    });
+}
+
+/// The checker's own regression test: `recv_batch_racy` reads `closed` in
+/// a separate critical section from the drain, so a send-then-drop landing
+/// between the two reports end-of-stream while values sit in the queue.
+/// The exploration must find such a schedule — if this stops firing, the
+/// lossless guarantee above proves nothing.
+#[test]
+fn racy_batched_pop_is_caught() {
+    let violated = Arc::new(AtomicBool::new(false));
+    let violated_in_model = Arc::clone(&violated);
+    loom::model(move || {
+        let (tx, rx) = ring::channel::<u32>(4);
+        let producer = loom::thread::spawn(move || {
+            let mut batch = vec![1u32, 2];
+            tx.send_batch(&mut batch).expect("receiver alive");
+        });
+        let mut got = Vec::new();
+        loop {
+            if rx.recv_batch_racy(&mut got, 2) == 0 {
+                break;
+            }
+        }
+        producer.join().expect("producer must not panic");
+        if got.len() != 2 {
+            violated_in_model.store(true, Ordering::Relaxed);
+        }
+    });
+    assert!(
+        violated.load(Ordering::Relaxed),
+        "schedule exploration failed to catch the check-then-drain race in \
+         recv_batch_racy; the batched-ring checks in this suite prove \
+         nothing if this fires"
+    );
 }
 
 /// Dropping the pipeline mid-stream (worker channels close while batches

@@ -1,11 +1,12 @@
-//! The parallel pipeline's headline guarantee: for any worker count, the
-//! merged [`SnifferReport`] is **byte-identical** to the sequential
-//! sniffer's. Determinism is by construction — global sequence numbers,
-//! dispatcher-broadcast eviction ticks, `(seq, phase)`-ordered merge — and
-//! this test pins it against a full seeded simnet workload (DNS, TCP/TLS,
-//! UDP, port reuse, idle evictions, the §5.1 delay accounting, all of it).
+//! The parallel pipeline's headline guarantee: for any worker count *and*
+//! dispatcher count, the merged [`SnifferReport`] is **byte-identical** to
+//! the sequential sniffer's. Determinism is by construction — global
+//! sequence numbers, dispatcher-broadcast eviction ticks, the serialized
+//! routing token, `(seq, phase)`-ordered merge — and these tests pin it
+//! against a full seeded simnet workload (DNS, TCP/TLS, UDP, port reuse,
+//! idle evictions, the §5.1 delay accounting, all of it).
 
-use dnhunter::{ParallelSniffer, RealTimeSniffer, SnifferConfig, SnifferReport};
+use dnhunter::{run_records, ParallelSniffer, RealTimeSniffer, SnifferConfig, SnifferReport};
 use dnhunter_simnet::{profiles, TraceGenerator};
 
 /// Canonical serialization of everything a report contains. Two reports
@@ -80,9 +81,46 @@ fn parallel_report_is_byte_identical_to_sequential() {
 }
 
 #[test]
+fn multi_dispatcher_report_is_byte_identical_to_sequential() {
+    let profile = profiles::eu1_adsl1().scaled(0.2);
+    let trace = TraceGenerator::new(profile, false).generate();
+
+    let config = SnifferConfig::default();
+    let mut sequential = RealTimeSniffer::new(config.clone());
+    for rec in &trace.records {
+        sequential.process_record(rec);
+    }
+    let reference = sequential.finish();
+    let reference_digest = digest(&reference);
+    assert!(reference.sniffer_stats.tag_hits > 0, "no tags assigned");
+
+    for (workers, dispatchers) in [(1usize, 1usize), (2, 2), (8, 2)] {
+        let (report, timings) = run_records(&config, workers, dispatchers, &trace.records);
+        assert_eq!(timings.workers, workers);
+        assert_eq!(timings.dispatchers, dispatchers);
+        assert_eq!(
+            timings.dispatcher_busy_micros.len(),
+            dispatchers,
+            "one parse-busy sample per dispatcher"
+        );
+        assert_eq!(
+            digest(&report),
+            reference_digest,
+            "{workers}x{dispatchers} (workers x dispatchers) report \
+             diverged from the sequential report"
+        );
+    }
+}
+
+#[test]
 fn parallel_sniffer_with_empty_input_matches_sequential() {
     let config = SnifferConfig::default();
     let reference = RealTimeSniffer::new(config.clone()).finish();
-    let parallel = ParallelSniffer::new(config, 4).finish();
+    let parallel = ParallelSniffer::new(config.clone(), 4).finish();
     assert_eq!(digest(&parallel), digest(&reference));
+    // The multi-dispatcher driver clamps to one dispatcher on an empty
+    // trace and must produce the same empty report.
+    let (report, timings) = run_records(&config, 4, 8, &[]);
+    assert_eq!(timings.dispatchers, 1);
+    assert_eq!(digest(&report), digest(&reference));
 }

@@ -16,12 +16,41 @@ pub fn is_peer_handshake(payload: &[u8]) -> bool {
 }
 
 /// True if the payload is an HTTP tracker announce/scrape request.
+///
+/// Byte-wise, allocation-free equivalent of "parse the request line and
+/// check the target": `classify` runs this on every flow whose head looks
+/// like HTTP, so the common miss must bail after the first few target
+/// bytes instead of paying `http::parse_request`'s full string parse.
 pub fn is_tracker_announce(payload: &[u8]) -> bool {
-    let Some(req) = http::parse_request(payload) else {
+    if !http::looks_like_http_request(payload) {
+        return false;
+    }
+    // Target token = after the first space, up to the next space or end of
+    // the request line (first CRLF) — same token `http::parse_request`
+    // yields. The prefix check comes first: "/announce" and "/scrape"
+    // contain neither space nor CRLF, so probing the prefix before finding
+    // the token's end is sound, and non-tracker targets bail here.
+    let Some(sp) = payload.iter().position(|&b| b == b' ') else {
         return false;
     };
-    let t = req.target.as_str();
-    (t.starts_with("/announce") || t.starts_with("/scrape")) && t.contains("info_hash=")
+    let Some(rest) = payload.get(sp + 1..) else {
+        return false;
+    };
+    if !(rest.starts_with(b"/announce") || rest.starts_with(b"/scrape")) {
+        return false;
+    }
+    let line_end = rest
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .unwrap_or(rest.len());
+    let line = rest.get(..line_end).unwrap_or(rest);
+    let target = match line.iter().position(|&b| b == b' ') {
+        Some(i) => line.get(..i).unwrap_or(line),
+        None => line,
+    };
+    target
+        .windows(b"info_hash=".len())
+        .any(|w| w == b"info_hash=")
 }
 
 /// Build a peer-wire handshake payload (simulator helper).

@@ -1,5 +1,7 @@
 //! The flow table: aggregates packets into flows and emits completed flows.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::net::IpAddr;
 
 use dnhunter_net::{IpProtocol, Packet, TransportHeader};
@@ -10,7 +12,7 @@ use dnhunter_resolver::maps::FnvHashMap;
 use dnhunter_telemetry::{tm_count, tm_gauge, Metric as Tm};
 
 use crate::record::{FlowDirection, FlowRecord};
-use crate::tuple::FlowKey;
+use crate::tuple::{CanonFlowKey, FlowKey};
 
 /// Tuning knobs for the flow table.
 #[derive(Debug, Clone)]
@@ -68,10 +70,26 @@ pub enum FlowEvent {
 /// Aggregates packets on the 5-tuple. The *initiator* of a flow is whichever
 /// endpoint sent its first observed packet, matching how a PoP-located
 /// sniffer orients flows.
+///
+/// The map is keyed by the direction-free [`CanonFlowKey`], so the
+/// per-segment path does exactly one hash probe; the oriented [`FlowKey`]
+/// lives in each record and direction falls out of comparing the segment's
+/// source endpoint to it.
 pub struct FlowTable {
     config: FlowTableConfig,
-    flows: FnvHashMap<FlowKey, FlowRecord>,
+    flows: FnvHashMap<CanonFlowKey, FlowRecord>,
     last_eviction: u64,
+    /// Lazy min-heap of eviction candidates `(deadline, key)`, so each
+    /// scan touches only the entries whose deadline has passed instead of
+    /// filtering the whole table (the gate fires every interval; most
+    /// flows are nowhere near expiry). Entries are *lower bounds*: one is
+    /// pushed when a flow is created and when it turns terminal (the only
+    /// events that can move a deadline down — activity only extends it),
+    /// and a popped entry whose flow fails the exact predicate is pushed
+    /// back at the flow's current deadline. Stale entries (evicted or
+    /// replaced flows) re-check against whatever record now owns the key,
+    /// which is exactly the predicate the full filter would apply.
+    expiry_heap: BinaryHeap<Reverse<(u64, CanonFlowKey)>>,
     total_created: u64,
     total_finished: u64,
 }
@@ -83,6 +101,7 @@ impl FlowTable {
             config,
             flows: FnvHashMap::default(),
             last_eviction: 0,
+            expiry_heap: BinaryHeap::new(),
             total_created: 0,
             total_finished: 0,
         }
@@ -152,41 +171,65 @@ impl FlowTable {
     /// only the payload prefix [`FlowRecord::observe_seg`] documents; with
     /// the full payload the two methods are identical.
     pub fn process_seg(&mut self, ts: u64, seg: &CompactSeg, head: &[u8]) -> Vec<FlowEvent> {
+        use std::collections::hash_map::Entry;
         let mut events = Vec::new();
-        let (key, direction) = self.orient(seg.src, seg.src_port, seg.dst, seg.dst_port, seg.proto);
-        // A fresh SYN on a terminated flow starts a new flow on the same
-        // 5-tuple (port reuse); emit the old record first.
-        if let Some(flags) = seg.tcp_flags {
-            if flags.syn() && !flags.ack() {
-                let terminated = self
-                    .flows
-                    .get(&key)
-                    .is_some_and(|f| f.tcp_state().is_terminal());
-                if terminated {
-                    if let Some(old) = self.flows.remove(&key) {
-                        self.total_finished += 1;
-                        tm_count!(Tm::FlowSynReuse);
-                        tm_count!(Tm::FlowsFinished);
-                        tm_gauge!(Tm::FlowTableSize, -1);
-                        events.push(FlowEvent::FlowFinished(Box::new(old)));
-                    }
+        let ckey = CanonFlowKey::of(seg.src, seg.src_port, seg.dst, seg.dst_port, seg.proto);
+        let mut inserted = false;
+        let record = match self.flows.entry(ckey) {
+            Entry::Occupied(mut occ) => {
+                // A fresh SYN on a terminated flow starts a new flow on the
+                // same 5-tuple (port reuse); emit the old record first. The
+                // replacement keeps the *old* flow's orientation — exactly
+                // what re-resolving the oriented key used to produce.
+                let fresh_syn = seg.tcp_flags.is_some_and(|f| f.syn() && !f.ack());
+                if fresh_syn && occ.get().tcp_state().is_terminal() {
+                    let key = occ.get().key;
+                    let old = occ.insert(FlowRecord::new(key, ts));
+                    self.total_finished += 1;
+                    tm_count!(Tm::FlowSynReuse);
+                    tm_count!(Tm::FlowsFinished);
+                    tm_gauge!(Tm::FlowTableSize, -1);
+                    events.push(FlowEvent::FlowFinished(Box::new(old)));
+                    events.push(FlowEvent::FlowStarted(key));
+                    self.total_created += 1;
+                    tm_count!(Tm::FlowsStarted);
+                    tm_gauge!(Tm::FlowTableSize, 1);
+                    inserted = true;
                 }
+                occ.into_mut()
             }
-        }
-        let record = self.flows.entry(key).or_insert_with(|| {
-            events.push(FlowEvent::FlowStarted(key));
-            self.total_created += 1;
-            tm_count!(Tm::FlowsStarted);
-            tm_gauge!(Tm::FlowTableSize, 1);
-            // A TCP flow whose first observed segment carries no SYN means
-            // the capture started mid-stream (paper §3.2: PoP sniffers see
-            // flows already in flight). Count it but track it normally — the
-            // tagger still gets its chance on this first segment.
-            if seg.tcp_flags.is_some_and(|f| !f.syn()) {
-                tm_count!(Tm::FlowMidstreamStarts);
+            Entry::Vacant(vacant) => {
+                let key = FlowKey::from_initiator(
+                    seg.src,
+                    seg.dst,
+                    seg.src_port,
+                    seg.dst_port,
+                    seg.proto,
+                );
+                events.push(FlowEvent::FlowStarted(key));
+                self.total_created += 1;
+                tm_count!(Tm::FlowsStarted);
+                tm_gauge!(Tm::FlowTableSize, 1);
+                // A TCP flow whose first observed segment carries no SYN
+                // means the capture started mid-stream (paper §3.2: PoP
+                // sniffers see flows already in flight). Count it but track
+                // it normally — the tagger still gets its chance on this
+                // first segment.
+                if seg.tcp_flags.is_some_and(|f| !f.syn()) {
+                    tm_count!(Tm::FlowMidstreamStarts);
+                }
+                inserted = true;
+                vacant.insert(FlowRecord::new(key, ts))
             }
-            FlowRecord::new(key, ts)
-        });
+        };
+        let was_terminal = record.tcp_state().is_terminal();
+        // Oriented direction: canonical-key equality guarantees the source
+        // endpoint matches exactly one side of the record's key.
+        let direction = if seg.src == record.key.client && seg.src_port == record.key.client_port {
+            FlowDirection::ClientToServer
+        } else {
+            FlowDirection::ServerToClient
+        };
         record.observe_seg(
             direction,
             ts,
@@ -203,7 +246,28 @@ impl FlowTable {
                 flags,
             );
         }
+        // A new flow or a terminal transition is the only way a deadline
+        // can move *down*; those get a heap entry at the flow's current
+        // deadline. Plain activity only extends deadlines, which existing
+        // entries already lower-bound.
+        if inserted || (!was_terminal && record.tcp_state().is_terminal()) {
+            let deadline = Self::expiry_deadline(record, &self.config);
+            self.expiry_heap.push(Reverse((deadline, ckey)));
+        }
         events
+    }
+
+    /// First instant at which `record` can satisfy the eviction predicate
+    /// in [`FlowTable::evict`] if it sees no further traffic.
+    fn expiry_deadline(record: &FlowRecord, config: &FlowTableConfig) -> u64 {
+        let ttl = if record.tcp_state().is_terminal() {
+            config
+                .terminal_linger_micros
+                .min(config.idle_timeout_micros)
+        } else {
+            config.idle_timeout_micros
+        };
+        record.last_ts.saturating_add(ttl)
     }
 
     /// Run one eviction scan as of `now`, emitting idle and
@@ -215,59 +279,75 @@ impl FlowTable {
         self.evict(now)
     }
 
-    /// Orient a packet: reuse the existing flow (either direction), else the
-    /// sender is the initiator of a new flow.
-    fn orient(
-        &self,
-        src: IpAddr,
-        src_port: u16,
-        dst: IpAddr,
-        dst_port: u16,
-        proto: IpProtocol,
-    ) -> (FlowKey, FlowDirection) {
-        let forward = FlowKey::from_initiator(src, dst, src_port, dst_port, proto);
-        if self.flows.contains_key(&forward) {
-            return (forward, FlowDirection::ClientToServer);
-        }
-        let reverse = forward.reversed();
-        if self.flows.contains_key(&reverse) {
-            return (reverse, FlowDirection::ServerToClient);
-        }
-        (forward, FlowDirection::ClientToServer)
-    }
-
     /// Evict idle/terminated flows as of time `now`. Emission order is
-    /// deterministic (by first-packet time, then 5-tuple) so identical
-    /// inputs give identical outputs regardless of hash seeding.
+    /// deterministic (by first-packet time, then oriented 5-tuple) so
+    /// identical inputs give identical outputs regardless of hash seeding.
     fn evict(&mut self, now: u64) -> Vec<FlowEvent> {
         let idle = self.config.idle_timeout_micros;
         let linger = self.config.terminal_linger_micros;
-        let mut expired: Vec<FlowKey> = self
-            .flows
-            .iter()
-            .filter(|(_, r)| {
-                let silent = now.saturating_sub(r.last_ts);
-                silent >= idle || (r.tcp_state().is_terminal() && silent >= linger)
-            })
-            .map(|(k, _)| *k)
-            .collect();
-        Self::sort_keys(&self.flows, &mut expired);
-        let mut events = Vec::with_capacity(expired.len());
-        for k in expired {
-            if let Some(r) = self.flows.remove(&k) {
-                self.total_finished += 1;
-                tm_count!(Tm::FlowsFinished);
-                tm_gauge!(Tm::FlowTableSize, -1);
-                events.push(FlowEvent::FlowFinished(Box::new(r)));
+        // Pop every candidate whose (lower-bound) deadline has passed and
+        // apply the exact predicate to whatever record owns the key today:
+        // still-live flows go back at their current deadline, stale entries
+        // (flow already evicted, key not reused) just drop. Every expired
+        // flow is found — its heap entry can never postdate its deadline.
+        let mut expired: Vec<CanonFlowKey> = Vec::new();
+        while let Some(&Reverse((deadline, key))) = self.expiry_heap.peek() {
+            if deadline > now {
+                break;
+            }
+            self.expiry_heap.pop();
+            let Some(r) = self.flows.get(&key) else {
+                continue;
+            };
+            let silent = now.saturating_sub(r.last_ts);
+            if silent >= idle || (r.tcp_state().is_terminal() && silent >= linger) {
+                expired.push(key); // duplicates are fine: remove_all skips them
+            } else {
+                self.expiry_heap
+                    .push(Reverse((Self::expiry_deadline(r, &self.config), key)));
             }
         }
-        events
+        if expired.is_empty() {
+            return Vec::new();
+        }
+        let ordered = Self::sorted_keys(
+            expired
+                .iter()
+                .filter_map(|k| self.flows.get(k).map(|r| (k, r))),
+        );
+        self.remove_all(ordered)
     }
 
     /// Flush every remaining flow (end of trace), in deterministic order.
     pub fn flush(&mut self) -> Vec<FlowEvent> {
-        let mut keys: Vec<FlowKey> = self.flows.keys().copied().collect();
-        Self::sort_keys(&self.flows, &mut keys);
+        self.expiry_heap.clear();
+        let keys = Self::sorted_keys(self.flows.iter());
+        self.remove_all(keys)
+    }
+
+    /// Canonical keys of the given entries, ordered by (first-packet time,
+    /// oriented 5-tuple) — the deterministic emission order.
+    fn sorted_keys<'a>(
+        entries: impl Iterator<Item = (&'a CanonFlowKey, &'a FlowRecord)>,
+    ) -> Vec<CanonFlowKey> {
+        let mut keyed: Vec<(u64, FlowKey, CanonFlowKey)> =
+            entries.map(|(ck, r)| (r.first_ts, r.key, *ck)).collect();
+        keyed.sort_by_key(|(first_ts, k, _)| {
+            (
+                *first_ts,
+                k.client,
+                k.client_port,
+                k.server,
+                k.server_port,
+                k.protocol,
+            )
+        });
+        keyed.into_iter().map(|(_, _, ck)| ck).collect()
+    }
+
+    fn remove_all(&mut self, keys: Vec<CanonFlowKey>) -> Vec<FlowEvent> {
+        // allow_lint(L8): one event slot per flow already resident in the
+        // table — bounded by live-table size, not by a wire-claimed length
         let mut events = Vec::with_capacity(keys.len());
         for k in keys {
             if let Some(r) = self.flows.remove(&k) {
@@ -278,20 +358,6 @@ impl FlowTable {
             }
         }
         events
-    }
-
-    fn sort_keys(flows: &FnvHashMap<FlowKey, FlowRecord>, keys: &mut [FlowKey]) {
-        keys.sort_by_key(|k| {
-            let first_ts = flows.get(k).map_or(0, |r| r.first_ts);
-            (
-                first_ts,
-                k.client,
-                k.client_port,
-                k.server,
-                k.server_port,
-                k.protocol,
-            )
-        });
     }
 }
 

@@ -79,6 +79,52 @@ impl FlowKey {
     }
 }
 
+/// The direction-free form of the 5-tuple: endpoints ordered by
+/// `(address, port)` instead of by who spoke first. Both directions of a
+/// conversation canonicalise to the same key, so the flow table (and the
+/// pipeline's routing table) resolve any segment with a *single* hash
+/// probe — the oriented [`FlowKey`] needed up to two (`forward`, then
+/// `reversed`) on the per-packet path the paper's real-time constraint
+/// (§3.2) cares about. Orientation still exists: it lives in the value
+/// (the record's [`FlowKey`]), not in the map key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonFlowKey {
+    lo: (IpAddr, u16),
+    hi: (IpAddr, u16),
+    protocol: u8,
+}
+
+impl CanonFlowKey {
+    /// Canonicalise a segment's endpoints (either direction).
+    pub fn of(
+        src: IpAddr,
+        src_port: u16,
+        dst: IpAddr,
+        dst_port: u16,
+        protocol: IpProtocol,
+    ) -> Self {
+        let a = (src, src_port);
+        let b = (dst, dst_port);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        CanonFlowKey {
+            lo,
+            hi,
+            protocol: protocol.number(),
+        }
+    }
+
+    /// The canonical form of an oriented key.
+    pub fn from_key(k: &FlowKey) -> Self {
+        Self::of(
+            k.client,
+            k.client_port,
+            k.server,
+            k.server_port,
+            k.protocol(),
+        )
+    }
+}
+
 impl fmt::Display for FlowKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

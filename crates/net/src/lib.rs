@@ -32,6 +32,7 @@ pub mod mac;
 pub mod packet;
 pub mod pcap;
 pub mod proto;
+pub mod seg;
 pub mod tcp;
 pub mod udp;
 
@@ -46,5 +47,6 @@ pub use packet::{
 };
 pub use pcap::{PcapReader, PcapRecord, PcapWriter};
 pub use proto::IpProtocol;
+pub use seg::{parse_flat, FlatFrame, FlatParse, FlatSeg, FrameFault, SegBatch, SEG_BATCH_FRAMES};
 pub use tcp::{TcpFlags, TcpHeader};
 pub use udp::UdpHeader;

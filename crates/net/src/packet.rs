@@ -212,6 +212,13 @@ impl<'a> PacketView<'a> {
         })
     }
 
+    /// [`PacketView::parse`] minus the telemetry: the flat parser's generic
+    /// fallback ([`crate::seg::parse_flat`]) classifies and counts the
+    /// outcome itself, exactly once per frame.
+    pub(crate) fn parse_uncounted(frame: &'a [u8]) -> Result<PacketView<'a>> {
+        Self::parse_inner(frame)
+    }
+
     /// Copy the payload out, producing an owned [`Packet`].
     pub fn to_packet(&self) -> Packet {
         Packet {

@@ -1,8 +1,8 @@
 //! Property-based tests for the wire codecs.
 
 use dnhunter_net::{
-    build_tcp_v4, build_udp_v4, MacAddr, Packet, PcapReader, PcapRecord, PcapWriter, TcpFlags,
-    TransportHeader,
+    build_tcp_v4, build_udp_v4, parse_flat, FlatParse, FrameFault, MacAddr, Packet, PacketView,
+    PcapReader, PcapRecord, PcapWriter, TcpFlags, TransportHeader,
 };
 use proptest::prelude::*;
 use std::io::Cursor;
@@ -115,6 +115,74 @@ proptest! {
     #[test]
     fn parser_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..200)) {
         let _ = Packet::parse(&junk);
+    }
+
+    /// The branch-light flat parser and the generic `PacketView` walk agree
+    /// on every input — valid frames, corrupted frames, truncations, junk:
+    /// same accept/reject verdict, same fault class on reject, and the same
+    /// 5-tuple + payload slice on accept. Exercises both the IPv4 fast path
+    /// and (via corruption of the EtherType bytes) the generic fallback.
+    #[test]
+    fn flat_parse_is_equivalent_to_view_parse(
+        src in arb_ipv4(),
+        dst in arb_ipv4(),
+        sport in 1u16..,
+        dport in 1u16..,
+        seq in any::<u32>(),
+        flag_bits in 0u8..64,
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+        tcp in any::<bool>(),
+        do_mutate in any::<bool>(),
+        mutate_pos in any::<usize>(),
+        mutate_delta in 1u8..,
+        do_cut in any::<bool>(),
+        cut_pos in any::<usize>(),
+    ) {
+        let mut frame = if tcp {
+            build_tcp_v4(
+                MacAddr::from_id(1), MacAddr::from_id(2),
+                src, dst, sport, dport, seq, 0, TcpFlags(flag_bits), &payload,
+            ).unwrap()
+        } else {
+            build_udp_v4(
+                MacAddr::from_id(1), MacAddr::from_id(2),
+                src, dst, sport, dport, &payload,
+            ).unwrap()
+        };
+        if do_mutate {
+            let pos = mutate_pos % frame.len();
+            frame[pos] ^= mutate_delta;
+        }
+        if do_cut {
+            frame.truncate(cut_pos % (frame.len() + 1));
+        }
+        match (parse_flat(&frame), PacketView::parse(&frame)) {
+            (Ok(FlatParse::Seg(s)), Ok(view)) => {
+                prop_assert_eq!(s.src, view.src_ip());
+                prop_assert_eq!(s.dst, view.dst_ip());
+                prop_assert_eq!(Some(s.src_port), view.transport.src_port());
+                prop_assert_eq!(Some(s.dst_port), view.transport.dst_port());
+                prop_assert_eq!(s.payload, view.payload);
+                match &view.transport {
+                    TransportHeader::Tcp(h) => {
+                        prop_assert_eq!(s.tcp_flags, Some(h.flags));
+                        prop_assert_eq!(s.tcp_seq, h.seq);
+                    }
+                    TransportHeader::Udp(_) => prop_assert_eq!(s.tcp_flags, None),
+                    other => prop_assert!(false, "flat Seg but view {:?}", other),
+                }
+            }
+            (Ok(FlatParse::Opaque), Ok(view)) => {
+                prop_assert!(
+                    matches!(view.transport, TransportHeader::Opaque(_)),
+                    "flat Opaque but view {:?}", view.transport
+                );
+            }
+            (Err(fault), Err(e)) => prop_assert_eq!(fault, FrameFault::of(&e)),
+            (flat, view) => prop_assert!(
+                false, "verdicts disagree: flat {:?} vs view {:?}", flat, view
+            ),
+        }
     }
 
     /// Every strict prefix of a valid frame is a *truncation*: the builders

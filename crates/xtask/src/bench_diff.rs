@@ -30,6 +30,72 @@ struct Metrics {
     best_pipeline_fps: f64,
     determinism_all_runs: bool,
     telemetry_within_budget: bool,
+    /// The full worker x dispatcher grid from `dispatcher_scaling`.
+    scaling: Vec<ScalingRow>,
+}
+
+/// One grid point of the benchmark's worker x dispatcher sweep.
+struct ScalingRow {
+    workers: u64,
+    dispatchers: u64,
+    projected_fps: f64,
+    dispatch_busy_secs: f64,
+    send_wait_secs: f64,
+    /// The slowest worker's busy time — the per-worker bound the
+    /// projection uses.
+    max_worker_busy_secs: f64,
+}
+
+fn extract_scaling(doc: &Value, label: &str) -> Result<Vec<ScalingRow>, String> {
+    let rows = doc
+        .get("dispatcher_scaling")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{label}: missing dispatcher_scaling array"))?;
+    rows.iter()
+        .map(|row| {
+            let num = |key: &str| {
+                row.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("{label}: dispatcher_scaling row missing {key}"))
+            };
+            let count = |key: &str| {
+                row.get(key)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("{label}: dispatcher_scaling row missing {key}"))
+            };
+            let max_worker_busy_secs = row
+                .get("worker_busy_secs")
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("{label}: dispatcher_scaling row missing worker_busy_secs"))?
+                .iter()
+                .filter_map(Value::as_f64)
+                .fold(0.0f64, f64::max);
+            Ok(ScalingRow {
+                workers: count("workers")?,
+                dispatchers: count("dispatchers")?,
+                projected_fps: num("projected_frames_per_sec")?,
+                dispatch_busy_secs: num("dispatch_busy_secs")?,
+                send_wait_secs: num("send_wait_secs")?,
+                max_worker_busy_secs,
+            })
+        })
+        .collect()
+}
+
+/// Best projected rate per worker count, across dispatcher counts —
+/// collapsing the grid's noisiest axis so the per-worker-count gate
+/// tracks "did scaling collapse at N workers" rather than single-row
+/// jitter.
+fn best_by_workers(rows: &[ScalingRow]) -> Vec<(u64, f64)> {
+    let mut best: Vec<(u64, f64)> = Vec::new();
+    for row in rows {
+        match best.iter_mut().find(|(w, _)| *w == row.workers) {
+            Some((_, fps)) => *fps = fps.max(row.projected_fps),
+            None => best.push((row.workers, row.projected_fps)),
+        }
+    }
+    best.sort_by_key(|&(w, _)| w);
+    best
 }
 
 fn extract(doc: &Value, label: &str) -> Result<Metrics, String> {
@@ -65,6 +131,7 @@ fn extract(doc: &Value, label: &str) -> Result<Metrics, String> {
         best_pipeline_fps: best_pipeline,
         determinism_all_runs: determinism,
         telemetry_within_budget: within_budget,
+        scaling: extract_scaling(doc, label)?,
     })
 }
 
@@ -187,6 +254,45 @@ pub fn run(args: &[String]) -> ExitCode {
             ));
         }
     }
+    // The dispatcher-scaling grid: busy decomposition per grid point
+    // (informational — busy times on a shared host are too noisy to gate),
+    // then a gate on the best projection *per worker count*, which catches
+    // "scaling collapsed at N workers" even while the overall best row
+    // stays healthy.
+    println!("  dispatcher scaling (current):");
+    for row in &current.scaling {
+        println!(
+            "    {}w x {}d: projected {:>12.0} fps  dispatch {:.3}s  send-wait {:.3}s  \
+             slowest-worker {:.3}s",
+            row.workers,
+            row.dispatchers,
+            row.projected_fps,
+            row.dispatch_busy_secs,
+            row.send_wait_secs,
+            row.max_worker_busy_secs,
+        );
+    }
+    let base_best = best_by_workers(&baseline.scaling);
+    for (workers, cur_fps) in best_by_workers(&current.scaling) {
+        let Some(&(_, base_fps)) = base_best.iter().find(|(w, _)| *w == workers) else {
+            println!("    {workers}w: no baseline grid point (new) — not gated");
+            continue;
+        };
+        let reg = regression(base_fps, cur_fps);
+        let verdict = if reg > threshold { "REGRESSED" } else { "ok" };
+        println!(
+            "    {workers}w best projected             baseline {base_fps:>12.0}  current \
+             {cur_fps:>12.0}  delta {:>+7.1}%  {verdict}",
+            -reg * 100.0
+        );
+        if reg > threshold {
+            failures.push(format!(
+                "{workers}-worker best projected frames/s regressed {:.1}% \
+                 (> {threshold_pct:.0}% threshold)",
+                reg * 100.0
+            ));
+        }
+    }
     if !current.determinism_all_runs {
         failures.push("determinism_all_runs is false: a merged report diverged".into());
     }
@@ -245,6 +351,16 @@ mod tests {
         let text = format!(
             r#"{{"single_thread":{{"frames_per_sec":{single}}},
                  "pipeline":[{{"projected_frames_per_sec":{projected}}}],
+                 "dispatcher_scaling":[
+                   {{"workers":1,"dispatchers":1,"projected_frames_per_sec":{projected},
+                     "dispatch_busy_secs":0.4,"send_wait_secs":0.1,
+                     "worker_busy_secs":[0.5]}},
+                   {{"workers":4,"dispatchers":1,"projected_frames_per_sec":900.0,
+                     "dispatch_busy_secs":0.2,"send_wait_secs":0.2,
+                     "worker_busy_secs":[0.2,0.3,0.25,0.28]}},
+                   {{"workers":4,"dispatchers":2,"projected_frames_per_sec":1800.0,
+                     "dispatch_busy_secs":0.1,"send_wait_secs":0.15,
+                     "worker_busy_secs":[0.1,0.12,0.11,0.13]}}],
                  "determinism_all_runs":{determinism},
                  "telemetry_overhead":{{"within_budget":{budget}}}}}"#
         );
@@ -264,6 +380,45 @@ mod tests {
     fn extract_rejects_missing_fields() {
         let v: Value = serde_json::from_str("{}").expect("empty doc");
         assert!(extract(&v, "t").is_err());
+    }
+
+    #[test]
+    fn extract_reads_the_scaling_grid() {
+        let m = extract(&doc(1000.0, 2500.0, true, true), "t").expect("extracts");
+        assert_eq!(m.scaling.len(), 3);
+        let four_two = m
+            .scaling
+            .iter()
+            .find(|r| r.workers == 4 && r.dispatchers == 2)
+            .expect("4x2 row");
+        assert_eq!(four_two.projected_fps, 1800.0);
+        assert_eq!(four_two.dispatch_busy_secs, 0.1);
+        assert_eq!(four_two.send_wait_secs, 0.15);
+        // Slowest worker, not the first or the sum.
+        assert_eq!(four_two.max_worker_busy_secs, 0.13);
+    }
+
+    #[test]
+    fn extract_rejects_missing_scaling_section() {
+        let v: Value = serde_json::from_str(
+            r#"{"single_thread":{"frames_per_sec":1.0},
+                "pipeline":[{"projected_frames_per_sec":1.0}],
+                "determinism_all_runs":true,
+                "telemetry_overhead":{"within_budget":true}}"#,
+        )
+        .expect("doc");
+        let err = match extract(&v, "t") {
+            Err(e) => e,
+            Ok(_) => panic!("must reject a doc without dispatcher_scaling"),
+        };
+        assert!(err.contains("dispatcher_scaling"));
+    }
+
+    #[test]
+    fn best_by_workers_collapses_the_dispatcher_axis() {
+        let m = extract(&doc(1000.0, 2500.0, true, true), "t").expect("extracts");
+        let best = best_by_workers(&m.scaling);
+        assert_eq!(best, vec![(1, 2500.0), (4, 1800.0)]);
     }
 
     #[test]
