@@ -119,6 +119,13 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
+        if !outcome.trace_within_budget {
+            eprintln!(
+                "# bench-sniffer: FAILED — flight-recorder-enabled ingest exceeded its \
+                 overhead budget (see trace_overhead in {path})"
+            );
+            return ExitCode::FAILURE;
+        }
         if selected.is_empty() && !all {
             return ExitCode::SUCCESS;
         }

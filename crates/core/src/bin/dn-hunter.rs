@@ -8,6 +8,16 @@
 //! dn-hunter capture.pcap --metrics m.jsonl --metrics-interval 60 --workers 4
 //! #   live telemetry: one JSONL snapshot per 60s of *trace* time, plus a
 //! #   final Prometheus exposition at m.jsonl.prom
+//! dn-hunter capture.pcap --trace-out run.trace.json --workers 4
+//! #   flight-recorder export: Chrome trace_event JSON, one lane per
+//! #   pipeline thread (open with chrome://tracing or Perfetto)
+//! dn-hunter capture.pcap --trace-out run.trace.json --workers 4 --dispatchers 2
+//! #   same, but replaying from memory through the full dispatcher stage so
+//! #   the export also shows per-dispatcher lanes and token hand-offs
+//! dn-hunter capture.pcap --explain www.example.com
+//! dn-hunter capture.pcap --explain 93.184.216.34:443
+//! #   provenance: the causal chain of trace events that tagged (or failed
+//! #   to tag) the flows behind one FQDN or server endpoint
 //! ```
 
 use std::collections::HashMap;
@@ -26,7 +36,8 @@ use dnhunter_telemetry as telemetry;
 fn usage() -> &'static str {
     "usage: dn-hunter <capture.pcap> [--flows] [--json] [--tstat] [--csv] [--port N] \
      [--warmup SECS] [--workers N] [--metrics FILE] [--metrics-interval SECS] [--metrics-full] \
-     [--stream-analytics FILE] [--stream-interval SECS]"
+     [--stream-analytics FILE] [--stream-interval SECS] [--dispatchers N] [--trace-out FILE] \
+     [--explain FQDN|IP:PORT]"
 }
 
 /// Either sniffer behind one replay loop, so `--workers`/`--metrics`
@@ -77,6 +88,9 @@ fn main() -> ExitCode {
     let mut metrics_full = false;
     let mut stream_path: Option<String> = None;
     let mut stream_interval_secs: u64 = 300;
+    let mut trace_out: Option<String> = None;
+    let mut explain: Option<String> = None;
+    let mut dispatchers: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -136,6 +150,36 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--dispatchers" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => dispatchers = Some(n),
+                    _ => {
+                        eprintln!("--dispatchers needs a count >= 1\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--trace-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => trace_out = Some(p.clone()),
+                    None => {
+                        eprintln!("--trace-out needs a file path\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--explain" => {
+                i += 1;
+                match args.get(i) {
+                    Some(t) => explain = Some(t.clone()),
+                    None => {
+                        eprintln!("--explain needs an FQDN or IP:PORT\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--port" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse().ok()) {
@@ -172,6 +216,18 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
+    // `--dispatchers` replays the whole capture from memory in one burst, so
+    // there is no trace-time replay loop for `--metrics` to schedule mid-run
+    // snapshots on. Refusing the combination is more honest than silently
+    // emitting a single final line.
+    if dispatchers.is_some() && metrics_path.is_some() {
+        eprintln!(
+            "--dispatchers and --metrics do not compose: the dispatcher replay has no \
+             per-packet loop to emit interval snapshots from\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    }
 
     let file = match File::open(&path) {
         Ok(f) => f,
@@ -192,6 +248,33 @@ fn main() -> ExitCode {
         warmup_micros: warmup_secs * 1_000_000,
         ..SnifferConfig::default()
     };
+
+    // Parse the explain target up front, so a typo fails before the replay
+    // rather than after it.
+    let explain_target = match &explain {
+        Some(s) => match dnhunter::parse_explain_target(s) {
+            Some(t) => Some(t),
+            None => {
+                eprintln!("--explain target '{s}' is neither a domain name nor IP:PORT");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    // Like telemetry below, the flight recorder must be bound *before* the
+    // parallel sniffer spawns its threads: each dispatcher and worker binds
+    // its own lane off the set it finds at construction time.
+    let trace_set =
+        (trace_out.is_some() || explain_target.is_some()).then(telemetry::TraceSet::new);
+    let _trace_guard = trace_set
+        .as_ref()
+        .map(|set| telemetry::trace_bind(set, telemetry::LaneKind::Driver, 0));
+    if let Some(set) = &trace_set {
+        // Dump-on-fault: a panic anywhere flushes the rings next to the
+        // requested export (or the pcap, for --explain-only runs).
+        let stem = trace_out.as_deref().unwrap_or(&path);
+        telemetry::install_fault_dump(format!("{stem}.trace.jsonl").into(), set);
+    }
 
     // Telemetry must be bound *before* the parallel sniffer spawns its
     // workers — construction is when it decides to give each shard a
@@ -221,44 +304,90 @@ fn main() -> ExitCode {
         snapshot_interval_micros: stream_interval_secs * 1_000_000,
         ..StreamingConfig::default()
     });
-    let mut driver = if workers > 1 {
-        Driver::Par(Box::new(match &stream_cfg {
-            Some(scfg) => ParallelSniffer::with_sinks(config, workers, &mut |_| {
-                Box::new(StreamingAnalytics::new(scfg.clone()))
-            }),
-            None => ParallelSniffer::new(config, workers),
-        }))
-    } else {
-        let mut s = RealTimeSniffer::new(config);
-        if let Some(scfg) = &stream_cfg {
-            s.set_sink(Box::new(StreamingAnalytics::new(scfg.clone())));
-        }
-        Driver::Seq(Box::new(s))
-    };
     let mut last_ts = 0u64;
-    for rec in reader {
-        match rec {
-            Ok(r) => {
-                let ts = r.timestamp_micros();
-                last_ts = last_ts.max(ts);
-                driver.process_record(&r);
-                if let (Some(out), Some(reg)) = (metrics_out.as_mut(), registry.as_deref()) {
-                    if emitter.poll(ts) {
-                        let line = telemetry::jsonl(&driver.live_snapshot(reg), ts, metrics_full);
-                        if let Err(e) = out.write_all(line.as_bytes()) {
-                            eprintln!("metrics write failed: {e}");
-                            return ExitCode::FAILURE;
+    let (report, sinks) = if let Some(dispatchers) = dispatchers {
+        // Pull mode: load the capture, then drive the full dispatcher stage
+        // (batched rings, token hand-off) exactly as `run_records` does in
+        // tests — this is the only way the flight recorder sees dispatcher
+        // lanes and token acquire/release events.
+        let mut records: Vec<PcapRecord> = Vec::new();
+        for rec in reader {
+            match rec {
+                Ok(r) => {
+                    last_ts = last_ts.max(r.timestamp_micros());
+                    records.push(r);
+                }
+                Err(e) => {
+                    eprintln!("pcap error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        match &stream_cfg {
+            Some(scfg) => {
+                let (report, _, sinks) = dnhunter::run_records_with_sinks(
+                    &config,
+                    workers,
+                    dispatchers,
+                    &records,
+                    &mut |_| Box::new(StreamingAnalytics::new(scfg.clone())) as Box<dyn FlowSink>,
+                );
+                (report, sinks)
+            }
+            None => {
+                let (report, _) = dnhunter::run_records(&config, workers, dispatchers, &records);
+                (report, Vec::new())
+            }
+        }
+    } else {
+        let mut driver = if workers > 1 {
+            Driver::Par(Box::new(match &stream_cfg {
+                Some(scfg) => ParallelSniffer::with_sinks(config, workers, &mut |_| {
+                    Box::new(StreamingAnalytics::new(scfg.clone()))
+                }),
+                None => ParallelSniffer::new(config, workers),
+            }))
+        } else {
+            let mut s = RealTimeSniffer::new(config);
+            if let Some(scfg) = &stream_cfg {
+                s.set_sink(Box::new(StreamingAnalytics::new(scfg.clone())));
+            }
+            Driver::Seq(Box::new(s))
+        };
+        for rec in reader {
+            match rec {
+                Ok(r) => {
+                    let ts = r.timestamp_micros();
+                    last_ts = last_ts.max(ts);
+                    driver.process_record(&r);
+                    if let (Some(out), Some(reg)) = (metrics_out.as_mut(), registry.as_deref()) {
+                        if emitter.poll(ts) {
+                            let seq = emitter.emitted().saturating_sub(1);
+                            let line =
+                                telemetry::jsonl(&driver.live_snapshot(reg), seq, ts, metrics_full);
+                            if let Err(e) = out.write_all(line.as_bytes()) {
+                                eprintln!("metrics write failed: {e}");
+                                return ExitCode::FAILURE;
+                            }
                         }
                     }
                 }
-            }
-            Err(e) => {
-                eprintln!("pcap error: {e}");
-                return ExitCode::FAILURE;
+                Err(e) => {
+                    eprintln!("pcap error: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
+        driver.finish()
+    };
+    // Fold the flight recorder's drop count into the registry before the
+    // final snapshot: a wrapped ring means the export below is partial.
+    if let Some(set) = &trace_set {
+        let dropped = dnhunter::note_trace_drops(set);
+        if dropped > 0 {
+            eprintln!("trace rings dropped {dropped} events; the export is partial");
+        }
     }
-    let (report, sinks) = driver.finish();
 
     // Fold the per-worker partial analytics into one deterministic summary
     // (byte-identical for any --workers count) and write it out.
@@ -286,7 +415,7 @@ fn main() -> ExitCode {
     ) {
         let snap = reg.snapshot();
         let final_write = out
-            .write_all(telemetry::jsonl(&snap, last_ts, metrics_full).as_bytes())
+            .write_all(telemetry::jsonl(&snap, emitter.emitted(), last_ts, metrics_full).as_bytes())
             .and_then(|()| {
                 std::fs::write(
                     format!("{path}.prom"),
@@ -297,6 +426,21 @@ fn main() -> ExitCode {
             eprintln!("metrics write failed: {e}");
             return ExitCode::FAILURE;
         }
+    }
+
+    // Flight-recorder export: one Chrome trace_event JSON with a lane per
+    // pipeline thread (plus the token hand-off lane).
+    if let (Some(set), Some(out_path)) = (&trace_set, &trace_out) {
+        if let Err(e) = dnhunter::write_chrome_trace(set, std::path::Path::new(out_path)) {
+            eprintln!("cannot write trace to {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Provenance mode: print the causal chain and stop — the summary would
+    // only bury it.
+    if let (Some(set), Some(target)) = (&trace_set, &explain_target) {
+        print!("{}", telemetry::explain(set, target));
+        return ExitCode::SUCCESS;
     }
 
     if json {

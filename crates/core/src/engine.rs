@@ -21,7 +21,9 @@ use dnhunter_dns::DomainName;
 use dnhunter_flow::{CompactSeg, FlowEvent, FlowKey, FlowTable};
 use dnhunter_resolver::maps::FnvHashMap;
 use dnhunter_resolver::{DnsResolver, InternStats, OrderedTables, ResolverConfig, ResolverStats};
-use dnhunter_telemetry::{tm_count, tm_span, Metric as Tm};
+use dnhunter_telemetry::{
+    self as telemetry, tm_count, tm_span, tm_trace, Metric as Tm, TraceEvent as Te,
+};
 
 use crate::db::{FlowDatabase, TaggedFlow};
 use crate::policy::PolicyEnforcer;
@@ -185,7 +187,19 @@ impl ShardEngine {
         }
         let servers = msg.answer_addresses();
         if let Some(name) = msg.queried_fqdn() {
-            self.resolver.insert(client, name, &servers);
+            let outcome = self.resolver.insert(client, name, &servers);
+            // Provenance: which response, what it bound, what it displaced.
+            // The FQDN key is only hashed when a recorder is listening.
+            if telemetry::trace_enabled() {
+                let fqdn_key = name.trace_key();
+                tm_trace!(Te::DnsResponse, seq, ts, fqdn_key, servers.len() as u64);
+                if outcome.bindings > 0 {
+                    tm_trace!(Te::ResolverBind, seq, ts, fqdn_key, outcome.bindings);
+                }
+                if outcome.evicted > 0 {
+                    tm_trace!(Te::ResolverEvict, seq, ts, fqdn_key, outcome.evicted);
+                }
+            }
         }
         if !servers.is_empty() {
             self.answers_per_response.push((seq, servers.len()));
@@ -251,6 +265,20 @@ impl ShardEngine {
             .trace_start
             .is_some_and(|t0| ts.saturating_sub(t0) < self.config.warmup_micros);
         let label = self.resolver.lookup(key.client, key.server);
+        if telemetry::trace_enabled() {
+            let server_key = key.server_trace_key();
+            match label.as_deref() {
+                Some(name) => tm_trace!(Te::ResolverHit, seq, ts, server_key, name.trace_key()),
+                None => tm_trace!(Te::ResolverMiss, seq, ts, server_key, u64::from(in_warmup)),
+            }
+            tm_trace!(
+                Te::FlowOpen,
+                seq,
+                ts,
+                server_key,
+                u64::from(key.server_port)
+            );
+        }
         if !in_warmup {
             self.stats.tag_attempts += 1;
             tm_count!(Tm::TagAttempts);
@@ -334,6 +362,18 @@ impl ShardEngine {
             dnhunter_flow::AppProtocol::Chat => Tm::DpiChat,
             dnhunter_flow::AppProtocol::Other => Tm::DpiOther,
         });
+        if telemetry::trace_enabled() {
+            let server_key = record.key.server_trace_key();
+            tm_trace!(
+                Te::FlowVerdict,
+                at.0,
+                record.last_ts,
+                server_key,
+                protocol as u64
+            );
+            let bytes = record.bytes_c2s.saturating_add(record.bytes_s2c);
+            tm_trace!(Te::FlowFinish, at.0, record.last_ts, server_key, bytes);
+        }
         let tls = if protocol == dnhunter_flow::AppProtocol::Tls {
             Some(record.tls_info())
         } else {

@@ -65,6 +65,8 @@ mod ring;
 pub mod sniffer;
 /// One-pass streaming analytics fed by the engine, merged per shard.
 pub mod stream;
+/// Flight-recorder consumers: drop accounting, `--explain` parsing, export.
+pub mod traceio;
 
 pub use db::{FlowDatabase, TaggedFlow};
 pub use export::{write_csv, write_tstat_log};
@@ -72,3 +74,4 @@ pub use pipeline::{run_records, run_records_with_sinks, ParallelSniffer, Pipelin
 pub use policy::{PolicyAction, PolicyDecision, PolicyEnforcer, PolicyRule, RuleEnforcer};
 pub use sniffer::{DelaySamples, RealTimeSniffer, SnifferConfig, SnifferReport, SnifferStats};
 pub use stream::{FlowSink, StreamGrowth, StreamingAnalytics, StreamingConfig};
+pub use traceio::{note_trace_drops, parse_explain_target, write_chrome_trace, write_trace_jsonl};

@@ -54,7 +54,10 @@ use dnhunter_net::seg::{parse_flat, FlatParse, FlatSeg, FrameFault, SegBatch};
 use dnhunter_net::{IpProtocol, PcapRecord};
 use dnhunter_resolver::maps::FnvHashMap;
 use dnhunter_resolver::{shard_of, InternStats, ResolverConfig};
-use dnhunter_telemetry::{self as telemetry, tm_count, tm_observe, Metric as Tm};
+use dnhunter_telemetry::{
+    self as telemetry, tm_count, tm_observe, tm_trace, tm_trace_wall, LaneKind, Metric as Tm,
+    TraceEvent as Te, TraceSet,
+};
 
 use crate::engine::{assemble_report, ShardEngine, ShardOutput};
 use crate::policy::RuleEnforcer;
@@ -287,6 +290,7 @@ impl Dispatcher {
         st: &mut RouterState,
         seq: u64,
         ts: u64,
+        wire_len: u32,
         parse: &Result<FlatParse<'_>, FrameFault>,
     ) {
         self.stats.frames += 1;
@@ -307,6 +311,9 @@ impl Dispatcher {
             Ok(FlatParse::Opaque) => return,
             Err(fault) => {
                 self.stats.note_parse_fault(*fault);
+                if telemetry::trace_enabled() {
+                    tm_trace!(Te::FrameParse, seq, ts, *fault as u64, u64::from(wire_len));
+                }
                 return;
             }
         };
@@ -527,12 +534,16 @@ impl Dispatcher {
         if link.outbox.is_empty() {
             return;
         }
+        let batches = link.outbox.len() as u64;
         let t0 = Instant::now();
         // A send only fails when the worker died; the merge then simply
         // misses that shard's output — nothing to do here.
         let _ = link.tx.send_batch(&mut link.outbox);
         link.outbox.clear();
         self.send_wait_nanos += t0.elapsed().as_nanos() as u64;
+        if telemetry::trace_enabled() {
+            tm_trace_wall!(Te::RingSendBatch, 0, shard as u64, batches);
+        }
     }
 
     /// Seal and send everything still pending, on every link.
@@ -597,8 +608,15 @@ impl ParallelSniffer {
         let mut links = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         let telemetry_on = telemetry::is_bound();
+        // Captured on the constructing thread: workers bind their own
+        // flight-recorder lanes off the same set, so one `--trace-out`
+        // export shows every thread of this pipeline.
+        let trace = telemetry::trace_set();
         let mut worker_registries = Vec::new();
-        for engine in shard_engines(&config, workers, &mut make_sink) {
+        for (shard, engine) in shard_engines(&config, workers, &mut make_sink)
+            .into_iter()
+            .enumerate()
+        {
             let (tx, rx) = ring::channel::<Batch>(CHANNEL_BATCHES);
             let (recycle_tx, recycle_rx) = ring::channel::<Batch>(RECYCLE_BATCHES);
             let registry = telemetry_on.then(|| {
@@ -606,8 +624,9 @@ impl ParallelSniffer {
                 worker_registries.push(std::sync::Arc::clone(&reg));
                 reg
             });
+            let trace = trace.clone();
             handles.push(std::thread::spawn(move || {
-                worker_loop(engine, vec![rx], vec![recycle_tx], registry)
+                worker_loop(engine, shard, vec![rx], vec![recycle_tx], registry, trace)
             }));
             links.push(WorkerLink {
                 tx,
@@ -668,7 +687,7 @@ impl ParallelSniffer {
         self.seq += 1;
         let parse = parse_flat(frame);
         self.dispatcher
-            .route_frame(&mut self.state, seq, ts, &parse);
+            .route_frame(&mut self.state, seq, ts, frame.len() as u32, &parse);
         self.busy_nanos += (t0.elapsed().as_nanos() as u64)
             .saturating_sub(self.dispatcher.send_wait_nanos - send_before);
     }
@@ -798,6 +817,8 @@ fn run_records_full(
         .clamp(1, records.len().max(1))
         .min(MAX_PIPELINE_THREADS);
     let telemetry_on = telemetry::is_bound();
+    // As in push mode: one trace set, captured here, lanes bound per thread.
+    let trace = telemetry::trace_set();
     let engines = shard_engines(config, workers, &mut make_sink);
 
     // One (data, recycle) ring pair per (dispatcher, worker) edge. Worker
@@ -862,28 +883,33 @@ fn run_records_full(
     let (disp_outs, worker_outs) = std::thread::scope(|s| {
         let mut worker_handles = Vec::with_capacity(workers.min(MAX_PIPELINE_THREADS));
         let rx_pairs = worker_rxs.into_iter().zip(worker_recycles);
-        for (engine, (rxs, recycles)) in engines.into_iter().zip(rx_pairs) {
+        for (shard, (engine, (rxs, recycles))) in engines.into_iter().zip(rx_pairs).enumerate() {
             let registry = telemetry_on.then(|| {
                 let reg = std::sync::Arc::new(telemetry::Registry::new());
                 worker_registries.push(std::sync::Arc::clone(&reg));
                 reg
             });
-            worker_handles.push(s.spawn(move || worker_loop(engine, rxs, recycles, registry)));
+            let trace = trace.clone();
+            worker_handles
+                .push(s.spawn(move || worker_loop(engine, shard, rxs, recycles, registry, trace)));
         }
         let mut disp_handles = Vec::with_capacity(dispatchers.min(MAX_PIPELINE_THREADS));
         let disp_parts = dispatcher_links
             .into_iter()
             .zip(slices)
             .zip(token_rxs.into_iter().zip(token_txs));
-        for ((links, (seq_base, slice)), (token_rx, token_tx)) in disp_parts {
+        for (d, ((links, (seq_base, slice)), (token_rx, token_tx))) in disp_parts.enumerate() {
             let disp = Dispatcher::new(config, links);
             let registry = telemetry_on.then(|| {
                 let reg = std::sync::Arc::new(telemetry::Registry::new());
                 dispatcher_registries.push(std::sync::Arc::clone(&reg));
                 reg
             });
+            let trace = trace.clone();
             disp_handles.push(s.spawn(move || {
-                dispatcher_task(disp, slice, seq_base, token_rx, token_tx, registry)
+                dispatcher_task(
+                    disp, d, slice, seq_base, token_rx, token_tx, registry, trace,
+                )
             }));
         }
         let disp_outs: Vec<DispatcherOutput> = disp_handles
@@ -1003,17 +1029,25 @@ fn fold_intern(outputs: &[ShardOutput]) -> InternStats {
 /// phase), then take the routing token, route every frame in slice order,
 /// close this dispatcher's worker rings and pass the token on.
 // lint_root(ingest): per-dispatcher ingest over a raw trace slice
+#[allow(clippy::too_many_arguments)]
 fn dispatcher_task(
     mut disp: Dispatcher,
+    index: usize,
     slice: &[PcapRecord],
     seq_base: u64,
     token_rx: Option<Receiver<RouterState>>,
     token_tx: Option<Sender<RouterState>>,
     registry: Option<std::sync::Arc<telemetry::Registry>>,
+    trace: Option<std::sync::Arc<TraceSet>>,
 ) -> DispatcherOutput {
     // Bind this dispatcher's registry for the thread's lifetime, so its
     // parse/route telemetry lands in cells the merge later folds in.
     let _telemetry_guard = registry.map(telemetry::bind);
+    // Likewise its flight-recorder lane: every trace event below lands in
+    // a per-dispatcher ring the exporter renders as one timeline lane.
+    let _trace_guard = trace
+        .as_ref()
+        .map(|set| telemetry::trace_bind(set, LaneKind::Dispatcher, index as u16));
     // Parse phase: every dispatcher runs this concurrently; nothing here
     // touches shared state.
     let t0 = Instant::now();
@@ -1041,8 +1075,20 @@ fn dispatcher_task(
         None => RouterState::default(),
     };
     let t1 = Instant::now();
+    // Token hand-off lane: acquire here (dispatcher 0 starts holding it),
+    // release just before the send below — the export pairs the two into
+    // one "token held" slice per dispatcher.
+    if telemetry::trace_enabled() {
+        tm_trace_wall!(Te::TokenAcquire, seq_base, index as u64, seq_base);
+    }
     for (i, frame) in batch.frames.iter().enumerate() {
-        disp.route_frame(&mut st, seq_base + i as u64, frame.ts, &frame.parse);
+        disp.route_frame(
+            &mut st,
+            seq_base + i as u64,
+            frame.ts,
+            frame.wire_len,
+            &frame.parse,
+        );
     }
     disp.flush_all();
     let route_busy_nanos = (t1.elapsed().as_nanos() as u64).saturating_sub(disp.send_wait_nanos);
@@ -1050,6 +1096,10 @@ fn dispatcher_task(
     // drain order (ring d to exhaustion, then ring d+1) then matches token
     // order, which is what makes the merge's seq streams monotone.
     drop(std::mem::take(&mut disp.links));
+    if telemetry::trace_enabled() {
+        let held_nanos = t1.elapsed().as_nanos() as u64;
+        tm_trace_wall!(Te::TokenRelease, seq_base, index as u64, held_nanos);
+    }
     if let Some(tx) = token_tx {
         let _ = tx.send(st);
     }
@@ -1073,19 +1123,26 @@ fn dispatcher_task(
 // lint_root(ingest): per-worker ingest: decodes DNS and drives the shard engine
 fn worker_loop(
     mut engine: ShardEngine,
+    shard: usize,
     rxs: Vec<Receiver<Batch>>,
     recycles: Vec<Sender<Batch>>,
     registry: Option<std::sync::Arc<telemetry::Registry>>,
+    trace: Option<std::sync::Arc<TraceSet>>,
 ) -> (ShardOutput, u64) {
     // Bind this shard's registry for the thread's whole lifetime, so every
     // engine/resolver/flow-table update below lands in per-shard cells that
     // the merge later folds into the dispatcher's registry.
     let _telemetry_guard = registry.map(telemetry::bind);
+    // And its flight-recorder lane: resolver/flow/sink provenance events
+    // fired by the engine below record into this worker's ring.
+    let _trace_guard = trace
+        .as_ref()
+        .map(|set| telemetry::trace_bind(set, LaneKind::Worker, shard as u16));
     let mut busy_nanos = 0u64;
     let mut inbox: Vec<Batch> = Vec::with_capacity(RECV_BATCH_MAX);
     let mut done: Vec<Batch> = Vec::with_capacity(RECV_BATCH_MAX);
     let mut last_seq = 0u64;
-    for (rx, recycle) in rxs.iter().zip(&recycles) {
+    for (ring_index, (rx, recycle)) in rxs.iter().zip(&recycles).enumerate() {
         // Drain this dispatcher's ring to exhaustion (recv_batch returns 0
         // only once the ring is closed *and* empty), then move to the
         // next: dispatcher d closed its rings before passing the routing
@@ -1095,8 +1152,13 @@ fn worker_loop(
             if n == 0 {
                 break;
             }
+            if telemetry::trace_enabled() {
+                tm_trace_wall!(Te::RingRecvBatch, 0, ring_index as u64, n as u64);
+            }
             let t0 = Instant::now();
+            let mut drained_items = 0u64;
             for mut batch in inbox.drain(..) {
+                drained_items += batch.items.len() as u64;
                 for item in &batch.items {
                     debug_assert!(
                         item.seq >= last_seq,
@@ -1136,7 +1198,11 @@ fn worker_loop(
                 batch.bytes.clear();
                 done.push(batch);
             }
-            busy_nanos += t0.elapsed().as_nanos() as u64;
+            let drain_nanos = t0.elapsed().as_nanos() as u64;
+            busy_nanos += drain_nanos;
+            if telemetry::trace_enabled() {
+                tm_trace_wall!(Te::WorkerDrain, 0, drained_items, drain_nanos);
+            }
             // Best effort, never blocking: arenas that don't fit the
             // recycle ring are simply dropped and the dispatcher allocates
             // fresh ones.

@@ -6,7 +6,7 @@ use dnhunter_flow::{CompactSeg, FlowTableConfig};
 use dnhunter_net::seg::{parse_flat, FlatParse, FlatSeg, FrameFault};
 use dnhunter_net::{IpProtocol, PcapRecord};
 use dnhunter_resolver::{DnsResolver, OrderedTables, ResolverConfig, ResolverStats};
-use dnhunter_telemetry::{tm_count, Metric as Tm};
+use dnhunter_telemetry::{self as telemetry, tm_count, tm_trace, Metric as Tm, TraceEvent as Te};
 use serde::{Deserialize, Serialize};
 
 use crate::db::FlowDatabase;
@@ -221,6 +221,9 @@ impl RealTimeSniffer {
             Ok(FlatParse::Opaque) => return,
             Err(fault) => {
                 self.engine.stats.note_parse_fault(fault);
+                if telemetry::trace_enabled() {
+                    tm_trace!(Te::FrameParse, seq, ts, fault as u64, frame.len() as u64);
+                }
                 return;
             }
         };

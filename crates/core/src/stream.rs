@@ -49,7 +49,7 @@ use dnhunter_dns::suffix::SuffixSet;
 use dnhunter_dns::tokenizer::tokenize_fqdn;
 use dnhunter_dns::DomainName;
 use dnhunter_orgdb::{builtin_registry, OrgDb};
-use dnhunter_telemetry::Log2Hist;
+use dnhunter_telemetry::{self as telemetry, tm_trace, Log2Hist, TraceEvent as Te};
 
 use crate::db::TaggedFlow;
 
@@ -699,6 +699,11 @@ impl FlowSink for StreamingAnalytics {
     }
 
     fn on_flow_finished(&mut self, flow: &TaggedFlow) {
+        if telemetry::trace_enabled() {
+            let server_key = flow.key.server_trace_key();
+            let bytes = flow.bytes_c2s.saturating_add(flow.bytes_s2c);
+            tm_trace!(Te::SinkFlow, 0, flow.last_ts, server_key, bytes);
+        }
         let bin = self.bin_of(flow.first_ts);
         let cap = self.cfg.max_tracked;
         let mut dropped = 0u64;

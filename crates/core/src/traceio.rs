@@ -1,0 +1,94 @@
+//! Flight-recorder glue between the pipeline and its consumers: drop
+//! accounting into the metric catalog, `--explain` target parsing, and the
+//! file-writing helpers the CLI and the fault harnesses share.
+//!
+//! Lives in the core crate (not `dnhunter-telemetry`) so the
+//! [`TraceEventsDropped`](dnhunter_telemetry::Metric::TraceEventsDropped)
+//! update below is a cataloged `tm_count!` site like any other pipeline
+//! metric — the telemetry crate itself defines the catalog and is excluded
+//! from that audit.
+
+use std::io;
+use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::Arc;
+
+use dnhunter_telemetry::{self as telemetry, tm_count, ExplainTarget, Metric as Tm, TraceSet};
+
+/// Fold a trace set's ring-overwrite count into the bound registry and
+/// return it. Call once per run, after the pipeline's joins: the count is
+/// cumulative over the set's lifetime, so one post-run reading is exact.
+pub fn note_trace_drops(set: &Arc<TraceSet>) -> u64 {
+    let dropped = set.dropped_total();
+    if dropped > 0 {
+        tm_count!(Tm::TraceEventsDropped, dropped);
+    }
+    dropped
+}
+
+/// Parse a `--explain` operand: `IP:PORT` names a server endpoint (the
+/// flow-side provenance key), anything else must parse as a domain name
+/// (the DNS-side key). Both hash through the same functions the engine's
+/// trace events use, so the keys join without storing strings.
+pub fn parse_explain_target(s: &str) -> Option<ExplainTarget> {
+    if let Ok(addr) = s.parse::<SocketAddr>() {
+        let key = dnhunter_flow::server_trace_key(addr.ip(), addr.port());
+        return Some(ExplainTarget::server(s, key));
+    }
+    // The wire codec accepts nearly any label bytes (RFC 1035 is
+    // permissive), but a CLI operand with whitespace — or nothing at
+    // all — is a typo, not the root domain.
+    if s.is_empty() || s.contains(char::is_whitespace) {
+        return None;
+    }
+    let name: dnhunter_dns::DomainName = s.parse().ok()?;
+    Some(ExplainTarget::fqdn(name.to_string(), name.trace_key()))
+}
+
+/// Write the Chrome `trace_event` export (open with `chrome://tracing` or
+/// Perfetto) for everything the set's lanes currently hold.
+pub fn write_chrome_trace(set: &Arc<TraceSet>, path: &Path) -> io::Result<()> {
+    std::fs::write(path, telemetry::chrome_trace(set))
+}
+
+/// Write the line-oriented JSONL dump — the same shape the dump-on-fault
+/// hook emits, for when a post-mortem wants `grep` instead of a UI.
+pub fn write_trace_jsonl(set: &Arc<TraceSet>, path: &Path) -> io::Result<()> {
+    std::fs::write(path, telemetry::trace_jsonl(set))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnhunter_telemetry::ArgKind;
+
+    #[test]
+    fn explain_target_parses_server_endpoints() {
+        let t = parse_explain_target("93.184.216.34:443").expect("socket addr");
+        assert_eq!(t.kind, ArgKind::ServerKey);
+        assert_eq!(
+            t.key,
+            dnhunter_flow::server_trace_key("93.184.216.34".parse().unwrap(), 443)
+        );
+    }
+
+    #[test]
+    fn explain_target_parses_fqdns() {
+        let t = parse_explain_target("www.example.com").expect("fqdn");
+        let name: dnhunter_dns::DomainName = "www.example.com".parse().unwrap();
+        assert_eq!(t.kind, ArgKind::FqdnKey);
+        assert_eq!(t.key, name.trace_key());
+    }
+
+    #[test]
+    fn explain_target_rejects_garbage() {
+        assert!(parse_explain_target("").is_none());
+        assert!(parse_explain_target("not a name").is_none());
+    }
+
+    #[test]
+    fn drop_accounting_reads_the_set_total() {
+        let set = TraceSet::new();
+        assert_eq!(note_trace_drops(&set), 0);
+    }
+}

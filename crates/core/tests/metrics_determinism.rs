@@ -35,7 +35,7 @@ fn stable_metrics_identical_across_worker_counts() {
         registry.snapshot()
     };
     let reference_prom = telemetry::prometheus(&reference, false);
-    let reference_jsonl = telemetry::jsonl(&reference, 0, false);
+    let reference_jsonl = telemetry::jsonl(&reference, 0, 0, false);
     assert!(reference.get(telemetry::Metric::IngestFrames) > 5_000);
     assert!(reference.get(telemetry::Metric::DnsResponsesSniffed) > 0);
     assert!(reference.get(telemetry::Metric::ResolverHits) > 0);
@@ -58,7 +58,7 @@ fn stable_metrics_identical_across_worker_counts() {
             "{workers}-worker stable exposition diverged from sequential"
         );
         assert_eq!(
-            telemetry::jsonl(&snap, 0, false),
+            telemetry::jsonl(&snap, 0, 0, false),
             reference_jsonl,
             "{workers}-worker stable JSONL diverged from sequential"
         );
@@ -80,7 +80,8 @@ fn snapshots_fire_on_packet_timestamps() {
         let ts = rec.timestamp_micros();
         sniffer.process_record(rec);
         if emitter.poll(ts) {
-            lines.push(telemetry::jsonl(&registry.snapshot(), ts, false));
+            let seq = emitter.emitted().saturating_sub(1);
+            lines.push(telemetry::jsonl(&registry.snapshot(), seq, ts, false));
         }
     }
     let span = trace

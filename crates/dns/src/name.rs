@@ -76,6 +76,22 @@ impl DomainName {
         &self.labels
     }
 
+    /// The name's flight-recorder provenance key: FNV-1a over the
+    /// dotted lowercase form (names compare case-insensitively, RFC 1035
+    /// §2.3.3), computed label-by-label so the record path never
+    /// allocates. `--explain` hashes its FQDN argument through the
+    /// same parse-then-key path, so keys match by construction.
+    pub fn trace_key(&self) -> u64 {
+        let mut h = dnhunter_telemetry::TraceKeyHasher::new();
+        for (i, label) in self.labels.iter().enumerate() {
+            if i > 0 {
+                h.write_u8(b'.');
+            }
+            h.write(label.as_bytes());
+        }
+        h.finish()
+    }
+
     /// Number of labels — the depth the paper's Fig. 8 CDF is taken over.
     pub fn label_count(&self) -> usize {
         self.labels.len()

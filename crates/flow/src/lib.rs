@@ -32,4 +32,4 @@ pub use record::DPI_SNAP;
 pub use record::{FlowDirection, FlowRecord};
 pub use table::{CompactSeg, FlowEvent, FlowTable, FlowTableConfig};
 pub use tcp_state::{TcpConnState, TcpTracker};
-pub use tuple::{CanonFlowKey, FlowKey};
+pub use tuple::{server_trace_key, CanonFlowKey, FlowKey};

@@ -51,6 +51,11 @@ impl FlowKey {
         IpProtocol::from(self.protocol)
     }
 
+    /// Flight-recorder provenance key of this flow's server endpoint.
+    pub fn server_trace_key(&self) -> u64 {
+        server_trace_key(self.server, self.server_port)
+    }
+
     /// Direction of a packet with the given endpoints relative to this key:
     /// `Some(true)` = client→server, `Some(false)` = server→client,
     /// `None` = not this flow.
@@ -123,6 +128,20 @@ impl CanonFlowKey {
             k.protocol(),
         )
     }
+}
+
+/// Flight-recorder provenance key of a `(server IP, server port)`
+/// endpoint: FNV-1a over the address octets then the big-endian port.
+/// Engine trace events and the CLI's `--explain IP:PORT` parser both key
+/// through this function, so their hashes join without storing strings.
+pub fn server_trace_key(ip: IpAddr, port: u16) -> u64 {
+    let mut h = dnhunter_telemetry::TraceKeyHasher::new();
+    match ip {
+        IpAddr::V4(v4) => h.write(&v4.octets()),
+        IpAddr::V6(v6) => h.write(&v6.octets()),
+    }
+    h.write(&port.to_be_bytes());
+    h.finish()
 }
 
 impl fmt::Display for FlowKey {

@@ -276,6 +276,9 @@ pub const SEG_BATCH_FRAMES: usize = 256;
 pub struct FlatFrame<'a> {
     /// Capture timestamp (µs).
     pub ts: u64,
+    /// On-the-wire frame length, kept so a parse fault's flight-recorder
+    /// event carries the same byte count in every driver.
+    pub wire_len: u32,
     pub parse: Result<FlatParse<'a>, FrameFault>,
 }
 
@@ -307,6 +310,7 @@ impl<'a> SegBatch<'a> {
         for rec in records {
             self.frames.push(FlatFrame {
                 ts: rec.timestamp_micros(),
+                wire_len: rec.frame.len() as u32,
                 parse: parse_flat(&rec.frame),
             });
         }

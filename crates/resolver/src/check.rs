@@ -22,7 +22,7 @@ use std::sync::Arc;
 use dnhunter_dns::DomainName;
 
 use crate::maps::{OrderedTables, TableFamily};
-use crate::resolver::{DnsResolver, ResolverConfig};
+use crate::resolver::{DnsResolver, InsertOutcome, ResolverConfig};
 
 /// One live binding in the shadow ring.
 #[derive(Debug, Clone)]
@@ -182,11 +182,17 @@ impl<F: TableFamily> CheckedResolver<F> {
 
     /// Insert through both (§3.1 update step), then (debug builds)
     /// cross-check global state.
-    pub fn insert(&mut self, client: IpAddr, fqdn: &DomainName, servers: &[IpAddr]) {
-        self.real.insert(client, fqdn, servers);
+    pub fn insert(
+        &mut self,
+        client: IpAddr,
+        fqdn: &DomainName,
+        servers: &[IpAddr],
+    ) -> InsertOutcome {
+        let outcome = self.real.insert(client, fqdn, servers);
         self.shadow.insert(client, fqdn, servers);
         #[cfg(debug_assertions)]
         self.verify();
+        outcome
     }
 
     /// Lookup through both (§3.1, counting hits); panics (debug builds) on

@@ -55,7 +55,9 @@ pub fn replay<F: TableFamily>(events: &[ResolverEvent], l: usize) -> SizingPoint
                 client,
                 fqdn,
                 servers,
-            } => r.insert(*client, fqdn, servers),
+            } => {
+                let _ = r.insert(*client, fqdn, servers);
+            }
             ResolverEvent::FlowStart { client, server } => {
                 let _ = r.lookup(*client, *server);
             }

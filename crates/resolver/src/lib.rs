@@ -43,6 +43,6 @@ pub mod sync;
 pub use check::{CheckedResolver, ShadowModel};
 pub use intern::{InternStats, NameInterner};
 pub use maps::{HashedTables, OrderedTables, TableFamily};
-pub use resolver::{DnsResolver, ResolverConfig};
+pub use resolver::{DnsResolver, InsertOutcome, ResolverConfig};
 pub use shard::{shard_of, ShardedResolver};
 pub use stats::ResolverStats;

@@ -33,6 +33,22 @@ impl Default for ResolverConfig {
     }
 }
 
+/// What one [`DnsResolver::insert`] (Algorithm 1) actually did — the
+/// provenance the flight recorder's resolver events are built from
+/// (which insert bound entries, whether it recycled a Clist slot,
+/// whether it overwrote a different name). Counts, not booleans: one response can bind several
+/// server addresses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// `(client, server) → FQDN` bindings created (Algorithm 1 lines 10–21).
+    pub bindings: u64,
+    /// Clist slots recycled by this insert (lines 22–25); 0 or 1.
+    pub evicted: u64,
+    /// Bindings that replaced a still-live entry carrying a *different*
+    /// FQDN — the paper's label-confusion signal.
+    pub replaced_different: u64,
+}
+
 /// One Clist entry: the FQDN of a sniffed response, plus the keys needed to
 /// remove its back-references when the FIFO recycles the slot
 /// (Algorithm 1 lines 23–25).
@@ -143,11 +159,19 @@ impl<F: TableFamily> DnsResolver<F> {
     }
 
     /// INSERT (Algorithm 1, lines 1–25): record that `client` resolved
-    /// `fqdn` to the addresses in `servers`.
-    pub fn insert(&mut self, client: IpAddr, fqdn: &DomainName, servers: &[IpAddr]) {
+    /// `fqdn` to the addresses in `servers`. Returns what the insert did
+    /// so callers can trace provenance without re-deriving it from stats
+    /// deltas.
+    pub fn insert(
+        &mut self,
+        client: IpAddr,
+        fqdn: &DomainName,
+        servers: &[IpAddr],
+    ) -> InsertOutcome {
+        let mut outcome = InsertOutcome::default();
         self.stats.responses += 1;
         if servers.is_empty() {
-            return;
+            return outcome;
         }
         let entry = DnEntry {
             fqdn: self.interner.intern(fqdn),
@@ -160,6 +184,7 @@ impl<F: TableFamily> DnsResolver<F> {
         let (slot, evicted) = self.clist.push(entry);
         if let Some(old) = evicted {
             self.stats.evictions += 1;
+            outcome.evicted += 1;
             tm_count!(Tm::ResolverEvictions);
             self.remove_backrefs(&old);
         } else {
@@ -174,6 +199,7 @@ impl<F: TableFamily> DnsResolver<F> {
         let server_map = self.clients.get_or_default(client);
         for &server in servers {
             stats.bindings += 1;
+            outcome.bindings += 1;
             tm_count!(Tm::ResolverBindings);
             let refs = server_map.get_or_default(server);
             // Account replacements against the newest still-valid label.
@@ -182,6 +208,7 @@ impl<F: TableFamily> DnsResolver<F> {
                     stats.replaced_same_fqdn += 1;
                 } else {
                     stats.replaced_different_fqdn += 1;
+                    outcome.replaced_different += 1;
                     tm_count!(Tm::ResolverConfusion);
                 }
             }
@@ -192,21 +219,22 @@ impl<F: TableFamily> DnsResolver<F> {
                 refs.drain(..drop_n);
             }
         }
+        outcome
     }
 
     /// Convenience: insert straight from a decoded DNS response addressed to
     /// `client` — the paper's §3.1 sniffing path. Non-responses and
     /// answerless responses are counted but add no bindings.
-    pub fn insert_response(&mut self, client: IpAddr, response: &DnsMessage) {
+    pub fn insert_response(&mut self, client: IpAddr, response: &DnsMessage) -> InsertOutcome {
         if !response.header.is_response {
-            return;
+            return InsertOutcome::default();
         }
         let Some(name) = response.queried_fqdn().cloned() else {
             self.stats.responses += 1;
-            return;
+            return InsertOutcome::default();
         };
         let servers = response.answer_addresses();
-        self.insert(client, &name, &servers);
+        self.insert(client, &name, &servers)
     }
 
     /// LOOKUP (Algorithm 1, lines 27–34): the FQDN `client` most recently

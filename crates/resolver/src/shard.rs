@@ -12,7 +12,7 @@ use std::sync::Arc;
 use dnhunter_dns::DomainName;
 
 use crate::maps::{OrderedTables, TableFamily};
-use crate::resolver::{DnsResolver, ResolverConfig};
+use crate::resolver::{DnsResolver, InsertOutcome, ResolverConfig};
 use crate::stats::ResolverStats;
 use crate::sync::Mutex;
 
@@ -102,10 +102,10 @@ impl<F: TableFamily> ShardedResolver<F> {
     /// Insert a resolution (see [`DnsResolver::insert`], the paper's §3.1
     /// update step).
     // allow_lint(L1): shard_of returns hash % shards.len(), always in bounds
-    pub fn insert(&self, client: IpAddr, fqdn: &DomainName, servers: &[IpAddr]) {
+    pub fn insert(&self, client: IpAddr, fqdn: &DomainName, servers: &[IpAddr]) -> InsertOutcome {
         self.shards[self.shard_of(client)]
             .lock()
-            .insert(client, fqdn, servers);
+            .insert(client, fqdn, servers)
     }
 
     /// Insert only if the `(client, server)` pair is not yet bound,

@@ -18,6 +18,9 @@ pub struct SnapshotEmitter {
     /// Set when the schedule saturated at `u64::MAX`; nothing is due
     /// after that (timestamps cannot advance past it).
     exhausted: bool,
+    /// Snapshots this emitter has declared due — the monotonic `seq`
+    /// stamped into JSONL lines so consumers can detect gaps.
+    emitted: u64,
 }
 
 impl SnapshotEmitter {
@@ -28,6 +31,7 @@ impl SnapshotEmitter {
             interval_micros: interval_micros.max(1),
             next_due: None,
             exhausted: false,
+            emitted: 0,
         }
     }
 
@@ -59,6 +63,7 @@ impl SnapshotEmitter {
                     next = stepped;
                 }
                 self.next_due = Some(next);
+                self.emitted = self.emitted.saturating_add(1);
                 true
             }
             Some(_) => false,
@@ -68,6 +73,13 @@ impl SnapshotEmitter {
     /// Trace timestamp of the next due snapshot (`None` until armed).
     pub fn next_due_micros(&self) -> Option<u64> {
         self.next_due
+    }
+
+    /// Snapshots declared due so far. The line just emitted after a
+    /// `true` poll carries `seq = emitted() - 1`; a final shutdown
+    /// snapshot continues the stream at `emitted()`.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
     }
 }
 
@@ -80,10 +92,13 @@ mod tests {
         let mut e = SnapshotEmitter::new(10);
         assert!(!e.poll(100)); // arms at 110
         assert!(!e.poll(105));
+        assert_eq!(e.emitted(), 0);
         assert!(e.poll(110));
+        assert_eq!(e.emitted(), 1);
         assert!(!e.poll(115));
         assert!(e.poll(121));
         assert_eq!(e.next_due_micros(), Some(130));
+        assert_eq!(e.emitted(), 2);
     }
 
     #[test]

@@ -63,14 +63,20 @@ pub fn prometheus(snap: &Snapshot, include_runtime: bool) -> String {
 }
 
 /// Render a snapshot as one newline-terminated JSON line:
-/// `{"ts_micros":..,"counters":{..},"gauges":{..},"histograms":{..}}`.
+/// `{"seq":..,"ts_micros":..,"counters":{..},"gauges":{..},"histograms":{..}}`.
 ///
-/// `ts_micros` is the packet-clock timestamp that triggered the snapshot
-/// (trace time, not wall time — see [`crate::SnapshotEmitter`]).
+/// `seq` is the 0-based index of this line in its snapshot stream
+/// ([`crate::SnapshotEmitter::emitted`]) so a consumer tailing the JSONL
+/// file can detect dropped or reordered lines. `ts_micros` is the
+/// packet-clock timestamp that triggered the snapshot (trace time, not
+/// wall time — see [`crate::SnapshotEmitter`]).
 // lint_root(determinism): exposition must be byte-identical across worker counts
-pub fn jsonl(snap: &Snapshot, ts_micros: u64, include_runtime: bool) -> String {
+pub fn jsonl(snap: &Snapshot, seq: u64, ts_micros: u64, include_runtime: bool) -> String {
     let mut out = String::with_capacity(2048);
-    let _ = write!(out, "{{\"ts_micros\":{ts_micros},\"counters\":{{");
+    let _ = write!(
+        out,
+        "{{\"seq\":{seq},\"ts_micros\":{ts_micros},\"counters\":{{"
+    );
     let mut first = true;
     for m in Metric::ALL {
         if m.info().kind != Kind::Counter || !included(m, include_runtime) {
@@ -156,18 +162,18 @@ mod tests {
 
     #[test]
     fn jsonl_is_one_line_and_stable() {
-        let a = jsonl(&sample(), 1_000_000, false);
-        let b = jsonl(&sample(), 1_000_000, false);
+        let a = jsonl(&sample(), 3, 1_000_000, false);
+        let b = jsonl(&sample(), 3, 1_000_000, false);
         assert_eq!(a, b);
         // Exactly one line, terminated for appending to a JSONL stream.
         assert_eq!(a.matches('\n').count(), 1);
-        assert!(a.starts_with("{\"ts_micros\":1000000,\"counters\":{"));
+        assert!(a.starts_with("{\"seq\":3,\"ts_micros\":1000000,\"counters\":{"));
         assert!(a.contains("\"dnh_ingest_frames_total\":42"));
         assert!(
             a.contains("\"gauges\":{\"dnh_resolver_clist_occupancy\":0,\"dnh_flow_table_size\":7}")
         );
         assert!(a.ends_with("\"histograms\":{}}\n"));
-        let full = jsonl(&sample(), 5, true);
+        let full = jsonl(&sample(), 0, 5, true);
         assert!(full.contains("\"dnh_net_parses_total\":99"));
         assert!(full.contains("\"dnh_pipeline_ring_occupancy\":{\"buckets\":[0,2,0"));
     }

@@ -37,19 +37,29 @@
 
 mod emitter;
 mod export;
+mod flight;
 mod log2hist;
 mod metric;
 mod recorder;
 mod registry;
+mod trace;
+mod trace_export;
 
 pub use emitter::SnapshotEmitter;
 pub use export::{jsonl, prometheus};
+pub use flight::{
+    fault_dump_now, install_fault_dump, trace_bind, trace_enabled, trace_note, trace_note_wall,
+    trace_set, FlightRecorder, LaneKind, LaneSnapshot, TraceBindGuard, TraceRecord, TraceSet,
+    TRACE_RING_CAP,
+};
 pub use log2hist::{log2_bucket_index, log2_bucket_le, Log2Hist};
 pub use metric::{Class, Kind, Metric, MetricInfo, HIST_COUNT, HIST_METRICS};
 pub use recorder::{
     bind, counter_add, gauge_add, is_bound, merge_into_bound, observe, span, BindGuard, Span,
 };
 pub use registry::{bucket_le, HistSnapshot, Registry, Snapshot, BUCKETS, BUCKET_CELLS};
+pub use trace::{ArgKind, TraceClass, TraceEvent, TraceEventInfo, TraceKeyHasher};
+pub use trace_export::{chrome_trace, explain, trace_jsonl, ExplainTarget};
 
 /// Increment a counter: `tm_count!(Metric::X)` or `tm_count!(Metric::X, n)`.
 #[macro_export]
@@ -83,5 +93,24 @@ macro_rules! tm_observe {
 macro_rules! tm_span {
     ($m:expr) => {
         $crate::span($m)
+    };
+}
+
+/// Record a Stable-class flight-recorder event with an explicit packet
+/// timestamp: `tm_trace!(TraceEvent::X, seq, ts, a, b)`. No-op when no
+/// recorder is bound; lint L10 checks every site against the catalog.
+#[macro_export]
+macro_rules! tm_trace {
+    ($e:expr, $seq:expr, $ts:expr, $a:expr, $b:expr) => {
+        $crate::trace_note($e, $seq, $ts, $a, $b)
+    };
+}
+
+/// Record a Runtime-class flight-recorder event stamped with wall-clock
+/// microseconds: `tm_trace_wall!(TraceEvent::X, seq, a, b)`.
+#[macro_export]
+macro_rules! tm_trace_wall {
+    ($e:expr, $seq:expr, $a:expr, $b:expr) => {
+        $crate::trace_note_wall($e, $seq, $a, $b)
     };
 }

@@ -162,6 +162,8 @@ metrics! {
         "Worker-ring depth (batches queued) observed at each blocking send";
     BatchItems => "dnh_pipeline_batch_items", Histogram, Runtime,
         "Items per batch flushed to a worker ring";
+    TraceEventsDropped => "dnh_trace_events_dropped_total", Counter, Runtime,
+        "Flight-recorder records overwritten before export (trace ring wrapped)";
 }
 
 /// Metrics with histogram cells, in registry histogram-slot order.

@@ -24,6 +24,13 @@ fn golden_path() -> std::path::PathBuf {
         .join("exposition.prom")
 }
 
+fn jsonl_golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("snapshot.jsonl")
+}
+
 /// A registry with one fixed, nonzero value per metric so the golden file
 /// exercises every row the renderer can emit.
 fn sample_registry() -> Arc<Registry> {
@@ -58,6 +65,35 @@ fn exposition_matches_golden_file() {
         text, golden,
         "Prometheus exposition changed; if intentional, regenerate with GOLDEN_UPDATE=1"
     );
+}
+
+/// Same contract for the JSONL renderer: two consecutive snapshot lines
+/// (seq 0 and 1) pinned byte-for-byte, including the monotonic `seq`
+/// field consumers use to detect dropped or reordered lines.
+#[test]
+fn jsonl_snapshot_matches_golden_file() {
+    let snap = sample_registry().snapshot();
+    let text = format!(
+        "{}{}",
+        telemetry::jsonl(&snap, 0, 1_000_000, true),
+        telemetry::jsonl(&snap, 1, 2_000_000, true)
+    );
+    let path = jsonl_golden_path();
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::write(&path, &text).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).expect(
+        "golden file missing — run with GOLDEN_UPDATE=1 to create tests/golden/snapshot.jsonl",
+    );
+    assert_eq!(
+        text, golden,
+        "JSONL snapshot format changed; if intentional, regenerate with GOLDEN_UPDATE=1"
+    );
+    // The seq field leads each line and increments across the stream.
+    let mut lines = text.lines();
+    assert!(lines.next().is_some_and(|l| l.starts_with("{\"seq\":0,")));
+    assert!(lines.next().is_some_and(|l| l.starts_with("{\"seq\":1,")));
 }
 
 /// Minimal Prometheus text-format parser: enough to prove a scraper can

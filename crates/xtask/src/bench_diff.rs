@@ -30,6 +30,10 @@ struct Metrics {
     best_pipeline_fps: f64,
     determinism_all_runs: bool,
     telemetry_within_budget: bool,
+    /// `None` when the doc predates the flight recorder (old baselines);
+    /// the gate only reads this from the *current* run, which always has
+    /// it.
+    trace_within_budget: Option<bool>,
     /// The full worker x dispatcher grid from `dispatcher_scaling`.
     scaling: Vec<ScalingRow>,
 }
@@ -126,11 +130,16 @@ fn extract(doc: &Value, label: &str) -> Result<Metrics, String> {
         .and_then(|t| t.get("within_budget"))
         .and_then(Value::as_bool)
         .ok_or_else(|| format!("{label}: missing telemetry_overhead.within_budget"))?;
+    let trace_within_budget = doc
+        .get("trace_overhead")
+        .and_then(|t| t.get("within_budget"))
+        .and_then(Value::as_bool);
     Ok(Metrics {
         single_thread_fps: single,
         best_pipeline_fps: best_pipeline,
         determinism_all_runs: determinism,
         telemetry_within_budget: within_budget,
+        trace_within_budget,
         scaling: extract_scaling(doc, label)?,
     })
 }
@@ -299,6 +308,12 @@ pub fn run(args: &[String]) -> ExitCode {
     if !current.telemetry_within_budget {
         failures.push("telemetry_overhead.within_budget is false".into());
     }
+    match current.trace_within_budget {
+        Some(true) => {}
+        Some(false) => failures.push("trace_overhead.within_budget is false".into()),
+        None => failures
+            .push("current run has no trace_overhead section (flight-recorder leg missing)".into()),
+    }
 
     if failures.is_empty() {
         println!("bench-diff: PASS");
@@ -362,7 +377,8 @@ mod tests {
                      "dispatch_busy_secs":0.1,"send_wait_secs":0.15,
                      "worker_busy_secs":[0.1,0.12,0.11,0.13]}}],
                  "determinism_all_runs":{determinism},
-                 "telemetry_overhead":{{"within_budget":{budget}}}}}"#
+                 "telemetry_overhead":{{"within_budget":{budget}}},
+                 "trace_overhead":{{"within_budget":{budget}}}}}"#
         );
         serde_json::from_str(&text).expect("valid test doc")
     }
@@ -374,6 +390,24 @@ mod tests {
         assert_eq!(m.best_pipeline_fps, 2500.0);
         assert!(m.determinism_all_runs);
         assert!(m.telemetry_within_budget);
+        assert_eq!(m.trace_within_budget, Some(true));
+    }
+
+    #[test]
+    fn extract_tolerates_a_baseline_without_trace_overhead() {
+        let d: Value = serde_json::from_str(
+            r#"{"single_thread":{"frames_per_sec":1000.0},
+                "pipeline":[{"projected_frames_per_sec":2500.0}],
+                "dispatcher_scaling":[
+                  {"workers":1,"dispatchers":1,"projected_frames_per_sec":2500.0,
+                   "dispatch_busy_secs":0.4,"send_wait_secs":0.1,
+                   "worker_busy_secs":[0.5]}],
+                "determinism_all_runs":true,
+                "telemetry_overhead":{"within_budget":true}}"#,
+        )
+        .expect("doc");
+        let m = extract(&d, "t").expect("extracts");
+        assert_eq!(m.trace_within_budget, None);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The xtask static-analysis library: lexical model ([`scan`]), item model
 //! ([`model`]), call graph + reachability ([`graph`]), the token lints
-//! L1–L6 ([`lints`]), the reachability lints L7–L9 ([`reach`]), and the
+//! L1–L6 ([`lints`]), the reachability lints L7–L10 ([`reach`]), and the
 //! whole-workspace driver ([`runner`]).
 //!
 //! Split out of the `xtask` binary so the `lint_selftest` integration test

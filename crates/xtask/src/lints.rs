@@ -40,7 +40,7 @@ fn violation(
     }
 }
 
-const KNOWN_LINTS: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9"];
+const KNOWN_LINTS: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10"];
 
 /// Apply `allow_lint` marker suppression to raw findings: drop the ones a
 /// matching marker covers, and report which marker (by index into

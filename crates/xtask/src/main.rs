@@ -3,9 +3,9 @@
 //! Subcommands:
 //!
 //! * `lint` — the invariant gate described in DESIGN.md ("Machine-checked
-//!   invariants"): workspace-specific lints (L1–L9) that encode properties
+//!   invariants"): workspace-specific lints (L1–L10) that encode properties
 //!   the paper's hot path depends on and that rustc/clippy cannot express,
-//!   including the call-graph reachability lints L7–L9. Exits non-zero on
+//!   including the call-graph reachability lints L7–L10. Exits non-zero on
 //!   any violation, so CI can gate on it. `--json` prints machine-readable
 //!   findings; `--github` adds `::error file=…,line=…` annotation lines.
 //! * `fuzz` — the seeded structure-aware corpus fuzzer over the ingest
@@ -43,7 +43,7 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: cargo xtask <command>\n\ncommands:\n  lint        run the workspace invariant lints (L1-L9)\n              [--json] [--github]\n  fuzz        seeded corpus fuzzer over the ingest parsers\n              [--smoke] [--cases N] [--seed S] [--max-seconds T]\n  bench-diff  compare BENCH_sniffer.json against the committed baseline\n              [--baseline PATH] [--current PATH] [--threshold PCT] [--update]"
+        "usage: cargo xtask <command>\n\ncommands:\n  lint        run the workspace invariant lints (L1-L10)\n              [--json] [--github]\n  fuzz        seeded corpus fuzzer over the ingest parsers\n              [--smoke] [--cases N] [--seed S] [--max-seconds T]\n  bench-diff  compare BENCH_sniffer.json against the committed baseline\n              [--baseline PATH] [--current PATH] [--threshold PCT] [--update]"
     );
 }
 
@@ -77,7 +77,7 @@ fn lint(args: &[String]) -> ExitCode {
         }
         if violations.is_empty() {
             println!(
-                "xtask lint: clean ({} files, lints L1-L9)",
+                "xtask lint: clean ({} files, lints L1-L10)",
                 outcome.files_scanned
             );
         } else {

@@ -1,12 +1,13 @@
-//! Reachability lints L7–L9 over the [`crate::graph::Workspace`].
+//! Reachability lints L7–L10 over the [`crate::graph::Workspace`].
 //!
 //! | id | invariant |
 //! |----|-----------|
 //! | L7 | determinism-reachable code has no nondeterminism sources: no iteration over default-hasher maps/sets, no clocks, no `std::env`, no RNG, no pointer formatting |
 //! | L8 | ingest-reachable allocations sized from parsed/network values are clamped by a named cap constant on the same statement |
 //! | L9 | the `telemetry::Metric` catalog and `tm_*!` sites agree, and Stable-class metrics are only updated inside the deterministic dataflow |
+//! | L10 | the `telemetry::TraceEvent` catalog and `tm_trace*!` sites agree, and no record site allocates, locks, or formats in its arguments |
 //!
-//! All three return **raw** findings; marker suppression happens in the
+//! All four return **raw** findings; marker suppression happens in the
 //! driver so stale markers can be detected (M2).
 
 use std::collections::BTreeSet;
@@ -664,6 +665,202 @@ pub fn l9_metric_catalog(ws: &Workspace, catalog_path: &PathBuf) -> Vec<Violatio
                 lint: "L9",
                 message: format!(
                     "metric `{}` is cataloged but updated by no `tm_*!` site; remove it or wire the update",
+                    entry.variant
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L10 — trace-event catalog consistency
+// ---------------------------------------------------------------------------
+
+/// One catalog row from the `trace_events!` block in
+/// `telemetry/src/trace.rs`.
+#[derive(Debug)]
+pub struct TraceCatalogEntry {
+    pub variant: String,
+    /// Zero-based line of the entry.
+    pub line: usize,
+}
+
+/// Parse the `trace_events! { Variant => "name", Class, … }` catalog —
+/// the same grammar [`parse_catalog`] reads, under the other macro name.
+pub fn parse_trace_catalog(file: &SourceFile) -> Vec<TraceCatalogEntry> {
+    let mut out = Vec::new();
+    let mut open_depth: Option<usize> = None;
+    for (i, line) in file.lines.iter().enumerate() {
+        let code = line.code.trim();
+        let Some(d0) = open_depth else {
+            if code.starts_with("trace_events!") {
+                open_depth = Some(line.depth);
+            }
+            continue;
+        };
+        if line.depth <= d0 + 1 && code.starts_with('}') {
+            break;
+        }
+        let Some((lhs, _)) = code.split_once("=>") else {
+            continue;
+        };
+        let variant = lhs.trim().to_string();
+        if variant.is_empty() || !variant.chars().all(is_ident_char) {
+            continue;
+        }
+        out.push(TraceCatalogEntry { variant, line: i });
+    }
+    out
+}
+
+/// The sanctioned record macros (`trace_note`/`trace_note_wall` are their
+/// expansions; calling those directly skips the catalog audit).
+const TRACE_MACROS: &[&str] = &["tm_trace!(", "tm_trace_wall!("];
+
+/// Tokens that mean a record line allocates, formats, or locks — all
+/// forbidden on the flight-recorder path, which must stay a thread-local
+/// load plus four relaxed stores (the L5 discipline, applied to traces).
+const TRACE_HEAVY_TOKENS: &[&str] = &[
+    "format!",
+    ".to_string()",
+    ".to_owned()",
+    "String::",
+    "vec!",
+    "Vec::new",
+    "Box::new",
+    "Mutex",
+    ".lock(",
+];
+
+/// One `tm_trace*!` record site with the events it names and the joined
+/// macro text (for the heavy-token check).
+#[derive(Debug)]
+pub struct TraceSite {
+    pub file: usize,
+    /// Zero-based line of the macro token.
+    pub line: usize,
+    pub variants: Vec<String>,
+    pub joined: String,
+}
+
+/// All `tm_trace*!` sites across the workspace (test code and the
+/// telemetry crate itself excluded, as in [`collect_tm_sites`]).
+pub fn collect_trace_sites(ws: &Workspace) -> Vec<TraceSite> {
+    let mut out = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        if file.krate == "telemetry" {
+            continue; // the macro definitions themselves
+        }
+        let lines = &file.source.lines;
+        for (i, line) in lines.iter().enumerate() {
+            if line.test {
+                continue;
+            }
+            let code = line.code.as_str();
+            for mac in TRACE_MACROS {
+                let Some(pos) = code.find(mac) else { continue };
+                let mut joined = code[pos..].to_string();
+                let mut j = i + 1;
+                while paren_open(&joined) && j < lines.len() && j < i + 20 {
+                    joined.push(' ');
+                    joined.push_str(lines[j].code.trim());
+                    j += 1;
+                }
+                let mut variants = Vec::new();
+                for qual in ["Te::", "TraceEvent::"] {
+                    for (p, _) in joined.match_indices(qual) {
+                        if p > 0 && is_ident_char(char_at(&joined, p - 1)) {
+                            continue;
+                        }
+                        let rest = &joined[p + qual.len()..];
+                        let v: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+                        if !v.is_empty() && !variants.contains(&v) {
+                            variants.push(v);
+                        }
+                    }
+                }
+                out.push(TraceSite {
+                    file: fi,
+                    line: i,
+                    variants,
+                    joined,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// L10: the trace-event catalog and its record sites agree.
+///
+/// 1. Every `tm_trace!`/`tm_trace_wall!` site names only cataloged events
+///    (an uncataloged event would export as an unknown id and be silently
+///    skipped by every consumer).
+/// 2. Every cataloged event has ≥1 record site — a dead catalog row is a
+///    lane the `--explain` renderer promises but never delivers.
+/// 3. No record line allocates, formats, or locks: the flight recorder's
+///    no-alloc guarantee is only as good as its call sites.
+pub fn l10_trace_catalog(ws: &Workspace, catalog_path: &PathBuf) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(cat_file) = ws.files.iter().find(|f| &f.source.path == catalog_path) else {
+        out.push(Violation {
+            path: catalog_path.clone(),
+            line: 1,
+            lint: "L10",
+            message: "trace-event catalog file not found in the analyzed workspace".into(),
+        });
+        return out;
+    };
+    let catalog = parse_trace_catalog(&cat_file.source);
+    if catalog.is_empty() {
+        out.push(Violation {
+            path: catalog_path.clone(),
+            line: 1,
+            lint: "L10",
+            message: "no `trace_events!` catalog entries parsed".into(),
+        });
+        return out;
+    }
+    let sites = collect_trace_sites(ws);
+    let mut recorded: BTreeSet<&str> = BTreeSet::new();
+    for site in &sites {
+        let file = &ws.files[site.file];
+        for v in &site.variants {
+            recorded.insert(v.as_str());
+            if !catalog.iter().any(|e| &e.variant == v) {
+                out.push(Violation {
+                    path: file.source.path.clone(),
+                    line: site.line + 1,
+                    lint: "L10",
+                    message: format!(
+                        "`tm_trace*!` site names `{v}`, which is not in the trace-event catalog"
+                    ),
+                });
+            }
+        }
+        for heavy in TRACE_HEAVY_TOKENS {
+            if site.joined.contains(heavy) {
+                out.push(Violation {
+                    path: file.source.path.clone(),
+                    line: site.line + 1,
+                    lint: "L10",
+                    message: format!(
+                        "`{}` in a trace record; the record path must not allocate, format, or lock",
+                        heavy.trim_matches(['.', '(', '!'])
+                    ),
+                });
+            }
+        }
+    }
+    for entry in &catalog {
+        if !recorded.contains(entry.variant.as_str()) {
+            out.push(Violation {
+                path: catalog_path.clone(),
+                line: entry.line + 1,
+                lint: "L10",
+                message: format!(
+                    "trace event `{}` is cataloged but recorded by no `tm_trace*!` site; remove it or wire the record",
                     entry.variant
                 ),
             });

@@ -1,5 +1,5 @@
 //! The whole-workspace lint driver: file discovery, crate-dependency
-//! parsing, the L1–L6 per-file passes, the L7–L9 reachability passes,
+//! parsing, the L1–L6 per-file passes, the L7–L10 reachability passes,
 //! marker suppression, and stale-marker detection (M2).
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -50,6 +50,8 @@ const HOT_FILES: &[&str] = &[
 
 /// Where the `metrics!` catalog lives (L9).
 const METRIC_CATALOG: &str = "crates/telemetry/src/metric.rs";
+/// Where the `trace_events!` catalog lives (L10).
+const TRACE_CATALOG: &str = "crates/telemetry/src/trace.rs";
 
 /// Result of a full lint run.
 pub struct LintOutcome {
@@ -142,6 +144,10 @@ pub fn run(root: &Path) -> Result<LintOutcome, String> {
         .chain(crate::reach::l9_metric_catalog(
             &ws,
             &PathBuf::from(METRIC_CATALOG),
+        ))
+        .chain(crate::reach::l10_trace_catalog(
+            &ws,
+            &PathBuf::from(TRACE_CATALOG),
         ))
     {
         match ws.files.iter().position(|f| f.source.path == v.path) {

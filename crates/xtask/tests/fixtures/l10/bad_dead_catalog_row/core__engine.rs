@@ -1,0 +1,5 @@
+//! Fixture: records only one of the two cataloged events.
+
+pub fn process(seq: u64, ts: u64) {
+    tm_trace!(Te::FrameParse, seq, ts, 1, 64);
+}

@@ -1,0 +1,10 @@
+//! Fixture: a cataloged event no site ever records.
+
+trace_events! {
+    FrameParse => "frame_parse", Stable,
+        Value("fault"), Value("wire_bytes"),
+        "a frame failed to parse";
+    GhostLane => "ghost_lane", Runtime,
+        Value("a"), Value("b"),
+        "promised by the catalog, recorded by nobody";
+}

@@ -1,0 +1,6 @@
+//! Fixture: a record site that allocates while building its arguments.
+
+pub fn process(seq: u64, ts: u64, name: &str) {
+    tm_trace!(Te::FrameParse, seq, ts, 1, 64);
+    tm_trace!(Te::FlowOpen, seq, ts, name.to_string().len() as u64, 443);
+}

@@ -1,0 +1,7 @@
+//! Fixture: a record site naming an event the catalog lacks.
+
+pub fn process(seq: u64, ts: u64, key: u64) {
+    tm_trace!(Te::FrameParse, seq, ts, 1, 64);
+    tm_trace!(Te::FlowOpen, seq, ts, key, 443);
+    tm_trace!(Te::Bogus, seq, ts, 0, 0);
+}

@@ -1,0 +1,10 @@
+//! Fixture trace-event catalog.
+
+trace_events! {
+    FrameParse => "frame_parse", Stable,
+        Value("fault"), Value("wire_bytes"),
+        "a frame failed to parse";
+    FlowOpen => "flow_open", Stable,
+        ServerKey("server"), Value("port"),
+        "first segment of a flow";
+}

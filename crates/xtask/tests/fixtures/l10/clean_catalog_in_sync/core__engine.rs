@@ -1,0 +1,6 @@
+//! Fixture: every site cataloged, every catalog row recorded.
+
+pub fn process(seq: u64, ts: u64, key: u64) {
+    tm_trace!(Te::FrameParse, seq, ts, 1, 64);
+    tm_trace!(Te::FlowOpen, seq, ts, key, 443);
+}

@@ -1,0 +1,14 @@
+//! Fixture: a guarded multi-line record plus a wall-variant site.
+
+pub fn process(seq: u64, ts: u64, items: u64, nanos: u64) {
+    if trace_enabled() {
+        tm_trace!(
+            Te::FrameParse,
+            seq,
+            ts,
+            1,
+            64,
+        );
+    }
+    tm_trace_wall!(Te::WorkerDrain, seq, items, nanos);
+}

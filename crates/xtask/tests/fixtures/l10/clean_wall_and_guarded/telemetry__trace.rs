@@ -1,0 +1,10 @@
+//! Fixture trace-event catalog with a runtime (wall-stamped) event.
+
+trace_events! {
+    FrameParse => "frame_parse", Stable,
+        Value("fault"), Value("wire_bytes"),
+        "a frame failed to parse";
+    WorkerDrain => "worker_drain", Runtime,
+        Value("items"), Value("busy_nanos"),
+        "one worker drain sweep";
+}

@@ -1,4 +1,4 @@
-//! Fixture-based self-tests for every lint L1–L9.
+//! Fixture-based self-tests for every lint L1–L10.
 //!
 //! Each lint has a corpus under `tests/fixtures/l<N>/` with at least two
 //! `bad_*` cases (must each produce ≥1 finding, all carrying that lint's
@@ -12,7 +12,7 @@
 //! * L6: a miniature workspace tree per case; `gitignore` files are named
 //!   without the leading dot in the fixture (so the real repo lint never
 //!   sees them) and renamed during the copy into a temp dir.
-//! * L7–L9: a directory of `<crate>__<file>.rs` sources built into a
+//! * L7–L10: a directory of `<crate>__<file>.rs` sources built into a
 //!   [`Workspace`]; every fixture crate may call into every other, since
 //!   the dependency-edge filter has its own unit tests in `graph.rs`.
 
@@ -142,6 +142,7 @@ fn reach_case(lint: &'static str) -> impl Fn(&Path) -> Vec<Violation> {
             "L7" => reach::l7_determinism(&ws),
             "L8" => reach::l8_bounded_alloc(&ws),
             "L9" => reach::l9_metric_catalog(&ws, &PathBuf::from("crates/telemetry/src/metric.rs")),
+            "L10" => reach::l10_trace_catalog(&ws, &PathBuf::from("crates/telemetry/src/trace.rs")),
             other => panic!("not a reachability lint: {other}"),
         };
         let mut buckets: BTreeMap<PathBuf, Vec<Violation>> = BTreeMap::new();
@@ -242,6 +243,11 @@ fn l8_fixture_corpus() {
 #[test]
 fn l9_fixture_corpus() {
     check_fixtures("L9", reach_case("L9"));
+}
+
+#[test]
+fn l10_fixture_corpus() {
+    check_fixtures("L10", reach_case("L10"));
 }
 
 /// Smoke: the full driver parses the real workspace without erroring.

@@ -51,29 +51,50 @@ fn digest(report: &SnifferReport) -> String {
     out
 }
 
-/// Run the sequential sniffer under a fresh telemetry registry.
+/// Run the sequential sniffer under a fresh telemetry registry *and* a
+/// fresh flight recorder: every matrix cell also proves that, at the
+/// default `TRACE_RING_CAP`, no fault class records fast enough to wrap a
+/// ring — the dropped counter (and its metric) must stay zero.
 fn run_sequential(records: &[PcapRecord]) -> (SnifferReport, telemetry::Snapshot) {
     let registry = Arc::new(telemetry::Registry::new());
     let _guard = telemetry::bind(registry.clone());
+    let trace_set = telemetry::TraceSet::new();
+    let _trace_guard = telemetry::trace_bind(&trace_set, telemetry::LaneKind::Driver, 0);
     let mut sniffer = RealTimeSniffer::new(SnifferConfig::default());
     for rec in records {
         sniffer.process_record(rec);
     }
     let report = sniffer.finish();
+    assert_eq!(
+        dnhunter::note_trace_drops(&trace_set),
+        0,
+        "sequential trace ring wrapped at default capacity"
+    );
     let snap = registry.snapshot();
+    assert_eq!(snap.get(Metric::TraceEventsDropped), 0);
     (report, snap)
 }
 
-/// Run the parallel sniffer under a fresh telemetry registry.
+/// Run the parallel sniffer under a fresh telemetry registry and flight
+/// recorder (one lane per worker; see [`run_sequential`] on the zero-drop
+/// guarantee).
 fn run_parallel(records: &[PcapRecord], workers: usize) -> (SnifferReport, telemetry::Snapshot) {
     let registry = Arc::new(telemetry::Registry::new());
     let _guard = telemetry::bind(registry.clone());
+    let trace_set = telemetry::TraceSet::new();
+    let _trace_guard = telemetry::trace_bind(&trace_set, telemetry::LaneKind::Driver, 0);
     let mut sniffer = ParallelSniffer::new(SnifferConfig::default(), workers);
     for rec in records {
         sniffer.process_record(rec);
     }
     let report = sniffer.finish();
+    assert_eq!(
+        dnhunter::note_trace_drops(&trace_set),
+        0,
+        "{workers}-worker trace rings wrapped at default capacity"
+    );
     let snap = registry.snapshot();
+    assert_eq!(snap.get(Metric::TraceEventsDropped), 0);
     (report, snap)
 }
 

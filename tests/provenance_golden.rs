@@ -1,0 +1,80 @@
+//! Golden `--explain` chains: for every paper profile, the provenance of
+//! its busiest FQDN renders byte-for-byte the same as the checked-in
+//! chain in `tests/golden/explain_chains.txt`. Stable trace events are a
+//! pure function of the (seeded) input trace, so any drift here means a
+//! semantic change to the tagging pipeline or the trace catalog — both
+//! worth a deliberate golden refresh:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test --test provenance_golden
+//! ```
+
+use std::sync::Arc;
+
+use dnhunter::{RealTimeSniffer, SnifferConfig, SnifferReport};
+use dnhunter_simnet::{profiles, TraceGenerator};
+use dnhunter_telemetry as telemetry;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("explain_chains.txt")
+}
+
+/// The busiest FQDN, ties broken by name (same pick as the grid test).
+fn busiest_fqdn(report: &SnifferReport) -> String {
+    report
+        .database
+        .fqdn_flow_counts()
+        .map(|(k, v)| (k.to_string(), v))
+        .max_by(|(fa, na), (fb, nb)| na.cmp(nb).then_with(|| fb.cmp(fa)))
+        .map(|(f, _)| f)
+        .expect("profile produced labeled flows")
+}
+
+#[test]
+fn explain_chains_match_golden_file() {
+    let mut rendered = String::new();
+    for profile in profiles::all_paper_profiles() {
+        let name = profile.name.clone();
+        let trace = TraceGenerator::new(profile.scaled(0.02), false).generate();
+        let registry = Arc::new(telemetry::Registry::new());
+        let _guard = telemetry::bind(registry.clone());
+        let trace_set = telemetry::TraceSet::new();
+        let _trace_guard = telemetry::trace_bind(&trace_set, telemetry::LaneKind::Driver, 0);
+        let mut sniffer = RealTimeSniffer::new(SnifferConfig::default());
+        for rec in &trace.records {
+            sniffer.process_record(rec);
+        }
+        let report = sniffer.finish();
+        assert_eq!(
+            dnhunter::note_trace_drops(&trace_set),
+            0,
+            "{name}: trace ring wrapped"
+        );
+        let target = dnhunter::parse_explain_target(&busiest_fqdn(&report))
+            .expect("busiest FQDN parses as an explain target");
+        rendered.push_str(&format!("==== {name} ====\n"));
+        rendered.push_str(&telemetry::explain(&trace_set, &target));
+        rendered.push('\n');
+    }
+
+    let path = golden_path();
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with GOLDEN_UPDATE=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        golden,
+        "explain chains drifted from {}; if intentional, refresh with GOLDEN_UPDATE=1",
+        path.display()
+    );
+}
