@@ -11,7 +11,7 @@
 //! a declared float tolerance for the Eq. 1 scores (the offline module
 //! sums logs in hash-map order, the streaming side in ordered-map order).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::net::IpAddr;
 
 use dnhunter::SnifferReport;
@@ -22,8 +22,9 @@ use dnhunter_orgdb::OrgDb;
 use dnhunter_telemetry::Log2Hist;
 
 pub use dnhunter::stream::{
-    FlowSink, StreamGrowth, StreamingAnalytics, StreamingConfig, DELAY_HIST_BUCKETS,
+    FlowSink, RetractError, StreamGrowth, StreamingAnalytics, StreamingConfig, DELAY_HIST_BUCKETS,
 };
+pub use dnhunter::window::{WindowConfig, WindowSpan, WindowedAnalytics, MAX_LIVE_BUCKETS};
 
 use crate::growth::growth_curves;
 use crate::tags::token_scores;
@@ -34,10 +35,12 @@ pub const SCORE_TOLERANCE: f64 = 1e-9;
 /// The streaming state shapes, recomputed offline from the full database.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OfflineAggregates {
-    /// Alg. 2: FQDN → servers.
-    pub fqdn_servers: BTreeMap<DomainName, BTreeSet<IpAddr>>,
-    /// Alg. 2: 2nd-level domain → servers.
-    pub sld_servers: BTreeMap<DomainName, BTreeSet<IpAddr>>,
+    /// Alg. 2: FQDN → (server → labeled-flow count). The key set of the
+    /// inner map is the paper's server set; the counts are what make the
+    /// streaming side's state retractable, so the reference mirrors them.
+    pub fqdn_servers: BTreeMap<DomainName, BTreeMap<IpAddr, u64>>,
+    /// Alg. 2: 2nd-level domain → (server → labeled-flow count).
+    pub sld_servers: BTreeMap<DomainName, BTreeMap<IpAddr, u64>>,
     /// Alg. 3: organization → (2nd-level domain → labeled flow count).
     pub org_content: BTreeMap<String, BTreeMap<DomainName, u64>>,
     /// Alg. 4: port → token → client → flow count.
@@ -64,26 +67,34 @@ pub fn offline_aggregates(
             .clone()
             .unwrap_or_else(|| fqdn.second_level_domain(suffixes));
         let server = f.key.server;
-        out.fqdn_servers
+        *out.fqdn_servers
             .entry(fqdn.clone())
             .or_default()
-            .insert(server);
-        out.sld_servers
+            .entry(server)
+            .or_default() += 1;
+        *out.sld_servers
             .entry(sld.clone())
             .or_default()
-            .insert(server);
+            .entry(server)
+            .or_default() += 1;
         *out.org_content
             .entry(orgdb.org_name(server).to_string())
             .or_default()
             .entry(sld)
             .or_default() += 1;
-        let tokens = out.tag_counts.entry(f.key.server_port).or_default();
-        for token in tokenize_fqdn(fqdn, suffixes) {
-            *tokens
-                .entry(token)
-                .or_default()
-                .entry(f.key.client)
-                .or_default() += 1;
+        // Mirror the streaming sink: apex names tokenize to nothing, and a
+        // port entry holding only void values would break retraction's
+        // remove-when-empty key accounting, so neither side stores one.
+        let fqdn_tokens = tokenize_fqdn(fqdn, suffixes);
+        if !fqdn_tokens.is_empty() {
+            let tokens = out.tag_counts.entry(f.key.server_port).or_default();
+            for token in fqdn_tokens {
+                *tokens
+                    .entry(token)
+                    .or_default()
+                    .entry(f.key.client)
+                    .or_default() += 1;
+            }
         }
     }
     out

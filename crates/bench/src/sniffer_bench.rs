@@ -19,7 +19,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dnhunter::{
-    run_records, RealTimeSniffer, SnifferConfig, SnifferReport, StreamingAnalytics, StreamingConfig,
+    run_records, RealTimeSniffer, SnifferConfig, SnifferReport, StreamingAnalytics,
+    StreamingConfig, WindowConfig, WindowedAnalytics,
 };
 use dnhunter_simnet::{profiles, TraceGenerator};
 use dnhunter_telemetry as telemetry;
@@ -158,6 +159,32 @@ struct StreamingOverhead {
     render_identical_all_reps: bool,
 }
 
+/// Windowed-analytics overhead: the sequential workload rerun with a
+/// [`WindowedAnalytics`] sink (the `--window`/`--slide` configuration)
+/// against the plain run, priced the same paired-per-rep signed-median
+/// way as [`StreamingOverhead`]. The windowed sink routes every event
+/// into a time bucket on top of the streaming sink's per-event work, so
+/// this fraction is the full cost of asking for sliding windows instead
+/// of one run-wide aggregate. Informational for throughput, but
+/// `render_identical_all_reps` is gated by `cargo xtask bench-diff`:
+/// every repetition must render byte-identical windowed output, or the
+/// retraction path has become nondeterministic.
+#[derive(Serialize)]
+struct WindowedOverhead {
+    window_micros: u64,
+    slide_micros: u64,
+    enabled_wall_secs: f64,
+    disabled_wall_secs: f64,
+    enabled_wall_secs_all_reps: Vec<f64>,
+    overhead_fraction_all_reps: Vec<f64>,
+    overhead_fraction: f64,
+    /// Every repetition rendered byte-identical windowed output.
+    render_identical_all_reps: bool,
+    /// Bucket-cap overflow across all repetitions; non-zero means the
+    /// bench trace outruns `MAX_LIVE_BUCKETS` and the summary is partial.
+    dropped_bucket_events: u64,
+}
+
 /// Everything `BENCH_sniffer.json` records.
 #[derive(Serialize)]
 struct BenchReport {
@@ -168,6 +195,7 @@ struct BenchReport {
     telemetry_overhead: TelemetryOverhead,
     trace_overhead: TraceOverhead,
     streaming_overhead: StreamingOverhead,
+    windowed_overhead: WindowedOverhead,
     /// One row per worker count at the default dispatcher count
     /// (`min(workers, 2)`) — the configuration the CLI would run.
     pipeline: Vec<PipelineRun>,
@@ -298,6 +326,13 @@ pub fn run(quick: bool) -> BenchOutcome {
     let mut streaming_walls: Vec<f64> = Vec::new();
     let mut streaming_render: Option<String> = None;
     let mut streaming_render_identical = true;
+    // Paper-style sliding windows: 30-minute window advancing every
+    // 10 minutes, the geometry the equivalence suite proves correct.
+    let window_cfg = WindowConfig::new(30 * 60 * 1_000_000, 10 * 60 * 1_000_000);
+    let mut windowed_walls: Vec<f64> = Vec::new();
+    let mut windowed_render: Option<String> = None;
+    let mut windowed_render_identical = true;
+    let mut windowed_drops = 0u64;
     let mut combo_walls: Vec<Vec<f64>> = vec![Vec::new(); combos.len()];
     // Busy-time decomposition from each grid point's *fastest* rep.
     let mut combo_best: Vec<Option<Breakdown>> = (0..combos.len()).map(|_| None).collect();
@@ -344,6 +379,13 @@ pub fn run(quick: bool) -> BenchOutcome {
         warm.set_sink(Box::new(
             StreamingAnalytics::new(StreamingConfig::default()),
         ));
+        for rec in &trace.records {
+            warm.process_record(rec);
+        }
+        let _ = warm.finish_with_sinks();
+
+        let mut warm = RealTimeSniffer::new(config.clone());
+        warm.set_sink(Box::new(WindowedAnalytics::new(window_cfg.clone())));
         for rec in &trace.records {
             warm.process_record(rec);
         }
@@ -415,6 +457,32 @@ pub fn run(quick: bool) -> BenchOutcome {
             }
         } else {
             streaming_render_identical = false;
+        }
+
+        // And once more with the windowed sink, to price sliding windows
+        // (bucket routing + the render-time merge/retract sweep) on top.
+        eprintln!(
+            "# bench-sniffer: rep {}/{reps}: sequential run, windowed analytics",
+            rep + 1
+        );
+        let t0 = Instant::now();
+        let mut windowed = RealTimeSniffer::new(config.clone());
+        windowed.set_sink(Box::new(WindowedAnalytics::new(window_cfg.clone())));
+        for rec in &trace.records {
+            windowed.process_record(rec);
+        }
+        let (report, sinks) = windowed.finish_with_sinks();
+        windowed_walls.push(t0.elapsed().as_secs_f64());
+        determinism_all &= reference_digest.as_deref() == Some(digest(&report).as_str());
+        if let Some(folded) = WindowedAnalytics::fold(sinks) {
+            windowed_drops += folded.dropped_bucket_events();
+            let rendered = folded.render();
+            match &windowed_render {
+                Some(r) => windowed_render_identical &= rendered == *r,
+                None => windowed_render = Some(rendered),
+            }
+        } else {
+            windowed_render_identical = false;
         }
 
         for (ci, &(workers, dispatchers)) in combos.iter().enumerate() {
@@ -563,6 +631,20 @@ pub fn run(quick: bool) -> BenchOutcome {
         render_identical_all_reps: streaming_render_identical,
     };
 
+    let windowed_wall = windowed_walls.iter().copied().fold(f64::INFINITY, f64::min);
+    let windowed_fracs = paired_fractions(&windowed_walls, &single_walls);
+    let windowed_overhead = WindowedOverhead {
+        window_micros: window_cfg.window_micros,
+        slide_micros: window_cfg.slide_micros,
+        enabled_wall_secs: windowed_wall,
+        disabled_wall_secs: single_wall,
+        enabled_wall_secs_all_reps: windowed_walls,
+        overhead_fraction: median(&windowed_fracs),
+        overhead_fraction_all_reps: windowed_fracs,
+        render_identical_all_reps: windowed_render_identical,
+        dropped_bucket_events: windowed_drops,
+    };
+
     let mut dispatcher_scaling = Vec::new();
     for (ci, &(workers, dispatchers)) in combos.iter().enumerate() {
         let walls = std::mem::take(&mut combo_walls[ci]);
@@ -619,6 +701,7 @@ pub fn run(quick: bool) -> BenchOutcome {
         telemetry_overhead,
         trace_overhead,
         streaming_overhead,
+        windowed_overhead,
         pipeline: pipeline_runs,
         dispatcher_scaling,
         allocation_diet: diet.unwrap_or(AllocationDiet {

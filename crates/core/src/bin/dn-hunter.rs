@@ -28,7 +28,7 @@ use std::sync::Arc;
 
 use dnhunter::{
     FlowSink, ParallelSniffer, RealTimeSniffer, SnifferConfig, SnifferReport, StreamingAnalytics,
-    StreamingConfig,
+    StreamingConfig, WindowConfig, WindowedAnalytics,
 };
 use dnhunter_net::{PcapReader, PcapRecord};
 use dnhunter_telemetry as telemetry;
@@ -36,8 +36,50 @@ use dnhunter_telemetry as telemetry;
 fn usage() -> &'static str {
     "usage: dn-hunter <capture.pcap> [--flows] [--json] [--tstat] [--csv] [--port N] \
      [--warmup SECS] [--workers N] [--metrics FILE] [--metrics-interval SECS] [--metrics-full] \
-     [--stream-analytics FILE] [--stream-interval SECS] [--dispatchers N] [--trace-out FILE] \
-     [--explain FQDN|IP:PORT]"
+     [--stream-analytics FILE] [--stream-interval SECS] [--window DUR] [--slide DUR] \
+     [--dispatchers N] [--trace-out FILE] [--explain FQDN|IP:PORT]\n\
+     DUR is seconds, or a number suffixed s/m/h (e.g. --window 1h --slide 5m); --window \
+     switches --stream-analytics to sliding-window JSONL output"
+}
+
+/// Parse `30`, `30s`, `5m`, or `1h` into microseconds.
+fn parse_duration_micros(s: &str) -> Option<u64> {
+    let (digits, unit) = match s.strip_suffix(['s', 'm', 'h']) {
+        Some(d) => (d, &s[s.len() - 1..]),
+        None => (s, "s"),
+    };
+    let n: u64 = digits.parse().ok()?;
+    let per_unit = match unit {
+        "s" => 1_000_000,
+        "m" => 60 * 1_000_000,
+        _ => 3_600 * 1_000_000,
+    };
+    n.checked_mul(per_unit)
+}
+
+/// Which analytics sink `--stream-analytics` installs: the since-start
+/// accumulator, or (with `--window`) the sliding-window sink.
+#[derive(Clone)]
+enum SinkMode {
+    Plain(StreamingConfig),
+    Windowed(WindowConfig),
+}
+
+impl SinkMode {
+    fn make_sink(&self) -> Box<dyn FlowSink> {
+        match self {
+            SinkMode::Plain(cfg) => Box::new(StreamingAnalytics::new(cfg.clone())),
+            SinkMode::Windowed(cfg) => Box::new(WindowedAnalytics::new(cfg.clone())),
+        }
+    }
+
+    /// Fold per-worker partials and render the mode's JSONL output.
+    fn fold_render(&self, sinks: Vec<Box<dyn FlowSink>>) -> Option<String> {
+        match self {
+            SinkMode::Plain(_) => StreamingAnalytics::fold(sinks).map(|s| s.render()),
+            SinkMode::Windowed(_) => WindowedAnalytics::fold(sinks).map(|w| w.render()),
+        }
+    }
 }
 
 /// Either sniffer behind one replay loop, so `--workers`/`--metrics`
@@ -88,6 +130,8 @@ fn main() -> ExitCode {
     let mut metrics_full = false;
     let mut stream_path: Option<String> = None;
     let mut stream_interval_secs: u64 = 300;
+    let mut window_micros: Option<u64> = None;
+    let mut slide_micros: Option<u64> = None;
     let mut trace_out: Option<String> = None;
     let mut explain: Option<String> = None;
     let mut dispatchers: Option<usize> = None;
@@ -146,6 +190,29 @@ fn main() -> ExitCode {
                     Some(s) if s >= 1 => stream_interval_secs = s,
                     _ => {
                         eprintln!("--stream-interval needs seconds >= 1\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--window" => {
+                i += 1;
+                match args.get(i).and_then(|s| parse_duration_micros(s)) {
+                    Some(w) if w >= 1_000_000 => window_micros = Some(w),
+                    _ => {
+                        eprintln!(
+                            "--window needs a duration >= 1s (e.g. 1h, 5m, 30s)\n{}",
+                            usage()
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--slide" => {
+                i += 1;
+                match args.get(i).and_then(|s| parse_duration_micros(s)) {
+                    Some(w) if w >= 1_000_000 => slide_micros = Some(w),
+                    _ => {
+                        eprintln!("--slide needs a duration >= 1s (e.g. 5m, 30s)\n{}", usage());
                         return ExitCode::FAILURE;
                     }
                 }
@@ -220,6 +287,17 @@ fn main() -> ExitCode {
     // there is no trace-time replay loop for `--metrics` to schedule mid-run
     // snapshots on. Refusing the combination is more honest than silently
     // emitting a single final line.
+    if slide_micros.is_some() && window_micros.is_none() {
+        eprintln!("--slide needs --window\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    if window_micros.is_some() && stream_path.is_none() {
+        eprintln!(
+            "--window needs --stream-analytics FILE to write the windowed JSONL to\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    }
     if dispatchers.is_some() && metrics_path.is_some() {
         eprintln!(
             "--dispatchers and --metrics do not compose: the dispatcher replay has no \
@@ -298,11 +376,22 @@ fn main() -> ExitCode {
     let mut emitter = telemetry::SnapshotEmitter::new(metrics_interval_secs * 1_000_000);
 
     // Like telemetry, streaming sinks must be installed before the parallel
-    // workers spawn: each shard owns a partial StreamingAnalytics and the
-    // final fold reconstitutes the sequential answer deterministically.
-    let stream_cfg = stream_path.as_ref().map(|_| StreamingConfig {
-        snapshot_interval_micros: stream_interval_secs * 1_000_000,
-        ..StreamingConfig::default()
+    // workers spawn: each shard owns a partial sink and the final fold
+    // reconstitutes the sequential answer deterministically. `--window`
+    // swaps the since-start accumulator for the sliding-window sink.
+    let stream_cfg = stream_path.as_ref().map(|_| {
+        let stream = StreamingConfig {
+            snapshot_interval_micros: stream_interval_secs * 1_000_000,
+            ..StreamingConfig::default()
+        };
+        match window_micros {
+            Some(w) => {
+                let mut wc = WindowConfig::new(w, slide_micros.unwrap_or(300 * 1_000_000));
+                wc.stream = stream;
+                SinkMode::Windowed(wc)
+            }
+            None => SinkMode::Plain(stream),
+        }
     });
     let mut last_ts = 0u64;
     let (report, sinks) = if let Some(dispatchers) = dispatchers {
@@ -324,13 +413,13 @@ fn main() -> ExitCode {
             }
         }
         match &stream_cfg {
-            Some(scfg) => {
+            Some(mode) => {
                 let (report, _, sinks) = dnhunter::run_records_with_sinks(
                     &config,
                     workers,
                     dispatchers,
                     &records,
-                    &mut |_| Box::new(StreamingAnalytics::new(scfg.clone())) as Box<dyn FlowSink>,
+                    &mut |_| mode.make_sink(),
                 );
                 (report, sinks)
             }
@@ -342,15 +431,15 @@ fn main() -> ExitCode {
     } else {
         let mut driver = if workers > 1 {
             Driver::Par(Box::new(match &stream_cfg {
-                Some(scfg) => ParallelSniffer::with_sinks(config, workers, &mut |_| {
-                    Box::new(StreamingAnalytics::new(scfg.clone()))
-                }),
+                Some(mode) => {
+                    ParallelSniffer::with_sinks(config, workers, &mut |_| mode.make_sink())
+                }
                 None => ParallelSniffer::new(config, workers),
             }))
         } else {
             let mut s = RealTimeSniffer::new(config);
-            if let Some(scfg) = &stream_cfg {
-                s.set_sink(Box::new(StreamingAnalytics::new(scfg.clone())));
+            if let Some(mode) = &stream_cfg {
+                s.set_sink(mode.make_sink());
             }
             Driver::Seq(Box::new(s))
         };
@@ -391,10 +480,10 @@ fn main() -> ExitCode {
 
     // Fold the per-worker partial analytics into one deterministic summary
     // (byte-identical for any --workers count) and write it out.
-    if let Some(out_path) = &stream_path {
-        match StreamingAnalytics::fold(sinks) {
-            Some(streaming) => {
-                if let Err(e) = std::fs::write(out_path, streaming.render()) {
+    if let (Some(out_path), Some(mode)) = (&stream_path, &stream_cfg) {
+        match mode.fold_render(sinks) {
+            Some(rendered) => {
+                if let Err(e) = std::fs::write(out_path, rendered) {
                     eprintln!("cannot write streaming analytics to {out_path}: {e}");
                     return ExitCode::FAILURE;
                 }

@@ -306,10 +306,10 @@ impl ShardEngine {
         }
         if let Some(sink) = self.sink.as_deref_mut() {
             if let Some(d) = first_flow_delay {
-                sink.on_first_flow_delay(d);
+                sink.on_first_flow_delay(ts, d);
             }
             if let Some(d) = tag_delay {
-                sink.on_any_flow_delay(d);
+                sink.on_any_flow_delay(ts, d);
             }
         }
         let fqdn = label.map(|arc| (*arc).clone());

@@ -67,11 +67,15 @@ pub mod sniffer;
 pub mod stream;
 /// Flight-recorder consumers: drop accounting, `--explain` parsing, export.
 pub mod traceio;
+/// Sliding-window analytics: time-bucketed partial sinks maintained by
+/// merge + retraction (also reachable as `stream::windowed`).
+pub mod window;
 
 pub use db::{FlowDatabase, TaggedFlow};
 pub use export::{write_csv, write_tstat_log};
 pub use pipeline::{run_records, run_records_with_sinks, ParallelSniffer, PipelineTimings};
 pub use policy::{PolicyAction, PolicyDecision, PolicyEnforcer, PolicyRule, RuleEnforcer};
 pub use sniffer::{DelaySamples, RealTimeSniffer, SnifferConfig, SnifferReport, SnifferStats};
-pub use stream::{FlowSink, StreamGrowth, StreamingAnalytics, StreamingConfig};
+pub use stream::{FlowSink, RetractError, StreamGrowth, StreamingAnalytics, StreamingConfig};
 pub use traceio::{note_trace_drops, parse_explain_target, write_chrome_trace, write_trace_jsonl};
+pub use window::{WindowConfig, WindowSpan, WindowedAnalytics, MAX_LIVE_BUCKETS};

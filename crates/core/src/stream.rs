@@ -9,40 +9,54 @@
 //! maintains, per worker shard, exactly the aggregates the paper's
 //! algorithms need and nothing per-flow:
 //!
-//! * **Spatial (Alg. 2):** FQDN → server-IP set and 2nd-level-domain →
-//!   server-IP set.
+//! * **Spatial (Alg. 2):** FQDN → server-IP occurrence counts and
+//!   2nd-level-domain → server-IP occurrence counts.
 //! * **Content (Alg. 3):** organization → (2nd-level domain → flow count).
 //! * **Service tags (Alg. 4, Eq. 1):** port → token → client → flow count,
 //!   from which `score(X) = Σ_c ln(N_X(c)+1)` is derived at render time.
-//! * **Growth (Fig. 6):** per-entity birth timestamps (minimum first_ts),
-//!   from which the cumulative unique-entity curves are reconstructed.
+//! * **Growth (Fig. 6):** per-entity birth-bin multisets, from which the
+//!   cumulative unique-entity curves are reconstructed (an entity's birth
+//!   bin is the minimum bin still holding one of its flows).
 //! * **Delays (Figs. 12–13, Tab. 9):** log2 histograms
 //!   ([`dnhunter_telemetry::Log2Hist`] — the same counter-summary shape the
 //!   telemetry registry uses) over first-flow and any-flow delays, plus the
 //!   answered/useless response counters.
 //!
-//! **Merge determinism.** Every piece of state is a sum, a minimum, a
-//! maximum, or a set union over ordered maps — all commutative and
-//! associative — so folding per-shard partials in any order yields exactly
-//! the sequential run's state, and everything rendered from the folded
-//! state (periodic packet-clock snapshot lines plus the final summary) is
-//! byte-identical at any `--workers N`. Snapshot lines are scheduled on
-//! the packet clock but *derived at finish* from the per-bin counters:
-//! emitting them live from one shard's partial view would break that
-//! byte-identity.
+//! **Merge determinism.** Every piece of state is a sum over ordered maps
+//! — commutative and associative — so folding per-shard partials in any
+//! order yields exactly the sequential run's state, and everything rendered
+//! from the folded state (periodic packet-clock snapshot lines plus the
+//! final summary) is byte-identical at any `--workers N`. Snapshot lines
+//! are scheduled on the packet clock but *derived at finish* from the
+//! per-bin counters: emitting them live from one shard's partial view would
+//! break that byte-identity.
 //!
-//! **Memory bounds.** State grows with distinct entities, not flows. A
-//! configurable cap ([`StreamingConfig::max_tracked`]) stops each family
-//! of maps from growing past the budget; drops are counted in
-//! `dropped_entities` and reported in the summary. While no drop occurs
-//! (the default cap of 2^20 entities is far above trace scale) streaming
-//! aggregates equal the offline modules exactly; past the cap they degrade
-//! to documented under-counts — and because caps apply per shard, a run
-//! that drops entities is no longer guaranteed byte-identical across
-//! worker counts. The equivalence tests pin `dropped_entities == 0`.
+//! **Retraction.** Because every data field is an occurrence count (what
+//! used to be set-union state is a refcounted multiset, and what used to be
+//! a min-timestamp is a bin-keyed multiset whose minimum is its first key),
+//! every merge has an exact inverse: [`StreamingAnalytics::unmerge`]
+//! subtracts a previously merged partial with checked arithmetic, deleting
+//! entries whose count reaches zero so the result is indistinguishable from
+//! never having merged. This is what lets `dnhunter::stream::windowed`
+//! maintain sliding windows by retiring whole time buckets (DESIGN.md
+//! "Windowed analytics and retraction"). The two run anchors
+//! (`trace_start`, `last_ts`) are deliberately excluded: they are monotone
+//! extremes a subtraction cannot restore, and nothing rendered reads them
+//! (`last_ts` is write-only; windowed views override `trace_start`).
+//!
+//! **Memory bounds.** State grows with distinct entities (times active
+//! snapshot bins for the birth multisets), not flows. A configurable cap
+//! ([`StreamingConfig::max_tracked`]) stops each family of maps from
+//! growing past the budget; drops are counted in `dropped_entities` and
+//! reported in the summary. While no drop occurs (the default cap of 2^20
+//! entities is far above trace scale) streaming aggregates equal the
+//! offline modules exactly; past the cap they degrade to documented
+//! under-counts — and because caps apply per shard, a run that drops
+//! entities is no longer guaranteed byte-identical across worker counts.
+//! The equivalence tests pin `dropped_entities == 0`.
 
 use std::any::Any;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::net::IpAddr;
 
 use dnhunter_dns::suffix::SuffixSet;
@@ -53,6 +67,10 @@ use dnhunter_telemetry::{self as telemetry, tm_trace, Log2Hist, TraceEvent as Te
 
 use crate::db::TaggedFlow;
 
+/// Windowed sibling of this module: time-bucketed partial sinks with
+/// merge/retract window maintenance (`dnhunter::stream::windowed`).
+pub use crate::window as windowed;
+
 /// Finite log2 buckets for the delay histograms: `2^39 µs` ≈ 6.4 days,
 /// wide enough that real DNS-to-flow delays never hit the overflow cell.
 pub const DELAY_HIST_BUCKETS: usize = 40;
@@ -62,6 +80,8 @@ pub const DELAY_HIST_BUCKETS: usize = 40;
 /// A sink must be mergeable: the parallel pipeline gives each worker its
 /// own sink and folds them after the join, so implementations may only
 /// keep state whose merge is order-independent (see the module docs).
+/// Every event carries its packet timestamp — the windowed sink routes on
+/// it, so the time an event is attributed to is part of the contract.
 pub trait FlowSink: Send {
     /// First frame timestamp of the whole trace (not just this shard).
     /// Fired once, before any other event of the run.
@@ -69,13 +89,15 @@ pub trait FlowSink: Send {
     /// A DNS response carrying at least one A/AAAA answer, at its frame
     /// timestamp.
     fn on_answered_response(&mut self, ts: u64);
-    /// The *first* flow matching an answered response started `delay_micros`
-    /// after it (one event per answered response at most — the Fig. 12
-    /// sample).
-    fn on_first_flow_delay(&mut self, delay_micros: u64);
+    /// The *first* flow matching an answered response started
+    /// `delay_micros` after it (one event per answered response at most —
+    /// the Fig. 12 sample). `ts` is the flow-start timestamp the sample
+    /// is attributed to.
+    fn on_first_flow_delay(&mut self, ts: u64, delay_micros: u64);
     /// *Any* flow matched a response `delay_micros` after it (the Fig. 13
-    /// sample; fires for every tagged flow start).
-    fn on_any_flow_delay(&mut self, delay_micros: u64);
+    /// sample; fires for every tagged flow start). `ts` is the flow-start
+    /// timestamp the sample is attributed to.
+    fn on_any_flow_delay(&mut self, ts: u64, delay_micros: u64);
     /// A flow finished (eviction, port reuse, or final flush) and its
     /// database row is complete. `flow.second_level` is still unset here;
     /// sinks derive it themselves.
@@ -108,6 +130,65 @@ impl Default for StreamingConfig {
     }
 }
 
+/// A retraction failed because the subtracted partial was not contained
+/// in the receiver. `field` names the first [`StreamState`] field whose
+/// checked subtraction underflowed, so every sink field is accounted for
+/// in diagnostics (and the xtask L11 lint keeps the unmerge coverage
+/// complete). The receiver may be left partially retracted; callers
+/// rebuild from the surviving buckets (see `window.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetractError {
+    /// The state field that failed its checked subtraction.
+    pub field: &'static str,
+}
+
+impl std::fmt::Display for RetractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "retraction underflow in streaming state field `{}`",
+            self.field
+        )
+    }
+}
+
+/// Checked subtraction every piece of retractable sink state implements.
+///
+/// `retract` removes `other`'s contribution exactly or fails without a
+/// silent wrap; `is_void` tells a parent container the value carries no
+/// information left and must be deleted, so a retracted map is
+/// byte-identical to one that never saw the merged entries.
+trait Retract {
+    fn retract(&mut self, other: &Self) -> Result<(), ()>;
+    fn is_void(&self) -> bool;
+}
+
+impl Retract for u64 {
+    fn retract(&mut self, other: &Self) -> Result<(), ()> {
+        *self = self.checked_sub(*other).ok_or(())?;
+        Ok(())
+    }
+    fn is_void(&self) -> bool {
+        *self == 0
+    }
+}
+
+impl<K: Ord + Clone, V: Retract> Retract for BTreeMap<K, V> {
+    fn retract(&mut self, other: &Self) -> Result<(), ()> {
+        for (k, v) in other {
+            let slot = self.get_mut(k).ok_or(())?;
+            slot.retract(v)?;
+            if slot.is_void() {
+                self.remove(k);
+            }
+        }
+        Ok(())
+    }
+    fn is_void(&self) -> bool {
+        self.is_empty()
+    }
+}
+
 /// Per-snapshot-bin counters (packet clock, relative to trace start).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 struct BinCounters {
@@ -116,31 +197,54 @@ struct BinCounters {
     responses: u64,
 }
 
+impl Retract for BinCounters {
+    fn retract(&mut self, other: &Self) -> Result<(), ()> {
+        self.flows.retract(&other.flows)?;
+        self.labeled.retract(&other.labeled)?;
+        self.responses.retract(&other.responses)?;
+        Ok(())
+    }
+    fn is_void(&self) -> bool {
+        self.flows == 0 && self.labeled == 0 && self.responses == 0
+    }
+}
+
+/// Per-entity birth record: snapshot bin → number of labeled flows whose
+/// `first_ts` fell in that bin. The entity's birth bin is the minimum key,
+/// which survives retraction exactly (removing one bucket's flows deletes
+/// its bins when their count reaches zero, re-exposing the next-oldest).
+type BirthBins = BTreeMap<u64, u64>;
+
 /// The mergeable aggregate state. Separated from [`StreamingAnalytics`] so
 /// equality (used by the determinism tests) covers exactly the data, not
-/// the suffix/org lookup tables.
+/// the suffix/org lookup tables. Every field is either subtractive state
+/// covered by `unmerge` or an explicitly waived run anchor — the xtask
+/// L11 lint enforces that no field is silently missing an inverse.
+// retract_state(unmerge)
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct StreamState {
-    trace_start: Option<u64>,
-    last_ts: Option<u64>,
+    trace_start: Option<u64>, // not_retracted: monotone run anchor (min over shards); windowed views override it
+    last_ts: Option<u64>, // not_retracted: monotone run anchor (max over shards); write-only, nothing rendered reads it
     flows: u64,
     labeled_flows: u64,
     answered_responses: u64,
     first_flow_count: u64,
-    /// Alg. 2: FQDN → servers observed serving it.
-    fqdn_servers: BTreeMap<DomainName, BTreeSet<IpAddr>>,
-    /// Alg. 2: 2nd-level domain → servers observed serving it.
-    sld_servers: BTreeMap<DomainName, BTreeSet<IpAddr>>,
+    /// Alg. 2: FQDN → (server → labeled-flow count). The key set of the
+    /// inner map is the paper's server set; counts make it retractable.
+    fqdn_servers: BTreeMap<DomainName, BTreeMap<IpAddr, u64>>,
+    /// Alg. 2: 2nd-level domain → (server → labeled-flow count).
+    sld_servers: BTreeMap<DomainName, BTreeMap<IpAddr, u64>>,
     /// Alg. 3: organization → (2nd-level domain → labeled flow count).
     org_content: BTreeMap<String, BTreeMap<DomainName, u64>>,
     /// Alg. 4: port → token → client → flow count (N_X(c) of Eq. 1).
     tag_counts: BTreeMap<u16, BTreeMap<String, BTreeMap<IpAddr, u64>>>,
     /// Labeled flows per server port (ranks ports in the summary).
     port_flows: BTreeMap<u16, u64>,
-    /// Fig. 6 birth processes: entity → minimum first_ts.
-    fqdn_birth: BTreeMap<DomainName, u64>,
-    sld_birth: BTreeMap<DomainName, u64>,
-    server_birth: BTreeMap<IpAddr, u64>,
+    /// Fig. 6 birth processes: entity → bin-keyed flow multiset (see
+    /// [`BirthBins`]).
+    fqdn_birth: BTreeMap<DomainName, BirthBins>,
+    sld_birth: BTreeMap<DomainName, BirthBins>,
+    server_birth: BTreeMap<IpAddr, BirthBins>,
     /// Packet-clock snapshot bins.
     bins: BTreeMap<u64, BinCounters>,
     first_flow_hist: Log2Hist,
@@ -200,24 +304,16 @@ fn capped<'m, K: Ord, V: Default>(
     Some(map.entry(key).or_default())
 }
 
-/// Birth-map variant of [`capped`]: keep the minimum timestamp per key.
-fn capped_min<K: Ord>(map: &mut BTreeMap<K, u64>, key: K, ts: u64, cap: usize, dropped: &mut u64) {
-    if map.len() >= cap && !map.contains_key(&key) {
-        *dropped = dropped.saturating_add(1);
-        return;
+/// Number of entities per birth bin: each entity contributes once, at its
+/// minimum (first) recorded bin.
+fn birth_bin_counts<K>(map: &BTreeMap<K, BirthBins>) -> BTreeMap<u64, u64> {
+    let mut out: BTreeMap<u64, u64> = BTreeMap::new();
+    for bins in map.values() {
+        if let Some((&bin, _)) = bins.iter().next() {
+            *out.entry(bin).or_default() += 1;
+        }
     }
-    map.entry(key)
-        .and_modify(|t| *t = (*t).min(ts))
-        .or_insert(ts);
-}
-
-/// Set-variant of [`capped`] for server sets.
-fn capped_set<T: Ord>(set: &mut BTreeSet<T>, value: T, cap: usize, dropped: &mut u64) {
-    if set.len() >= cap && !set.contains(&value) {
-        *dropped = dropped.saturating_add(1);
-        return;
-    }
-    set.insert(value);
+    out
 }
 
 /// The streaming analytics sink (see the module docs).
@@ -268,9 +364,16 @@ impl StreamingAnalytics {
 
     /// Commutative, associative merge of another partial into this one.
     pub fn merge(&mut self, other: StreamingAnalytics) {
+        self.merge_ref(&other);
+    }
+
+    /// [`merge`](Self::merge) by reference: the windowed layer folds the
+    /// same bucket partial into many window positions, so the source must
+    /// survive the call.
+    pub fn merge_ref(&mut self, other: &StreamingAnalytics) {
         let cap = self.cfg.max_tracked;
         let s = &mut self.state;
-        let o = other.state;
+        let o = &other.state;
         s.trace_start = match (s.trace_start, o.trace_start) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -285,35 +388,46 @@ impl StreamingAnalytics {
         s.first_flow_count += o.first_flow_count;
         s.dropped_entities += o.dropped_entities;
         let mut dropped = 0u64;
-        for (fqdn, servers) in o.fqdn_servers {
-            if let Some(set) = capped(&mut s.fqdn_servers, fqdn, cap, &mut dropped) {
-                for ip in servers {
-                    capped_set(set, ip, cap, &mut dropped);
-                }
-            }
-        }
-        for (sld, servers) in o.sld_servers {
-            if let Some(set) = capped(&mut s.sld_servers, sld, cap, &mut dropped) {
-                for ip in servers {
-                    capped_set(set, ip, cap, &mut dropped);
-                }
-            }
-        }
-        for (org, domains) in o.org_content {
-            if let Some(m) = capped(&mut s.org_content, org, cap, &mut dropped) {
-                for (sld, n) in domains {
-                    if let Some(c) = capped(m, sld, cap, &mut dropped) {
+        for (fqdn, servers) in &o.fqdn_servers {
+            if let Some(m) = capped(&mut s.fqdn_servers, fqdn.clone(), cap, &mut dropped) {
+                for (ip, n) in servers {
+                    if let Some(c) = capped(m, *ip, cap, &mut dropped) {
                         *c += n;
                     }
                 }
             }
         }
-        for (port, tokens) in o.tag_counts {
-            if let Some(m) = capped(&mut s.tag_counts, port, cap, &mut dropped) {
+        for (sld, servers) in &o.sld_servers {
+            if let Some(m) = capped(&mut s.sld_servers, sld.clone(), cap, &mut dropped) {
+                for (ip, n) in servers {
+                    if let Some(c) = capped(m, *ip, cap, &mut dropped) {
+                        *c += n;
+                    }
+                }
+            }
+        }
+        for (org, domains) in &o.org_content {
+            if let Some(m) = capped(&mut s.org_content, org.clone(), cap, &mut dropped) {
+                for (sld, n) in domains {
+                    if let Some(c) = capped(m, sld.clone(), cap, &mut dropped) {
+                        *c += n;
+                    }
+                }
+            }
+        }
+        for (port, tokens) in &o.tag_counts {
+            // Never materialise a void entry: retraction removes keys when
+            // their value empties, so a key held only by empty values would
+            // vanish while another partial still "owns" it, and retracting
+            // that partial would underflow.
+            if tokens.is_empty() {
+                continue;
+            }
+            if let Some(m) = capped(&mut s.tag_counts, *port, cap, &mut dropped) {
                 for (token, clients) in tokens {
-                    if let Some(cm) = capped(m, token, cap, &mut dropped) {
+                    if let Some(cm) = capped(m, token.clone(), cap, &mut dropped) {
                         for (client, n) in clients {
-                            if let Some(c) = capped(cm, client, cap, &mut dropped) {
+                            if let Some(c) = capped(cm, *client, cap, &mut dropped) {
                                 *c += n;
                             }
                         }
@@ -321,20 +435,32 @@ impl StreamingAnalytics {
                 }
             }
         }
-        for (port, n) in o.port_flows {
-            *s.port_flows.entry(port).or_default() += n;
+        for (port, n) in &o.port_flows {
+            *s.port_flows.entry(*port).or_default() += n;
         }
-        for (fqdn, ts) in o.fqdn_birth {
-            capped_min(&mut s.fqdn_birth, fqdn, ts, cap, &mut dropped);
+        for (fqdn, bins) in &o.fqdn_birth {
+            if let Some(m) = capped(&mut s.fqdn_birth, fqdn.clone(), cap, &mut dropped) {
+                for (bin, n) in bins {
+                    *m.entry(*bin).or_default() += n;
+                }
+            }
         }
-        for (sld, ts) in o.sld_birth {
-            capped_min(&mut s.sld_birth, sld, ts, cap, &mut dropped);
+        for (sld, bins) in &o.sld_birth {
+            if let Some(m) = capped(&mut s.sld_birth, sld.clone(), cap, &mut dropped) {
+                for (bin, n) in bins {
+                    *m.entry(*bin).or_default() += n;
+                }
+            }
         }
-        for (ip, ts) in o.server_birth {
-            capped_min(&mut s.server_birth, ip, ts, cap, &mut dropped);
+        for (ip, bins) in &o.server_birth {
+            if let Some(m) = capped(&mut s.server_birth, *ip, cap, &mut dropped) {
+                for (bin, n) in bins {
+                    *m.entry(*bin).or_default() += n;
+                }
+            }
         }
-        for (bin, counters) in o.bins {
-            let c = s.bins.entry(bin).or_default();
+        for (bin, counters) in &o.bins {
+            let c = s.bins.entry(*bin).or_default();
             c.flows += counters.flows;
             c.labeled += counters.labeled;
             c.responses += counters.responses;
@@ -342,6 +468,142 @@ impl StreamingAnalytics {
         s.first_flow_hist.merge(&o.first_flow_hist);
         s.any_flow_hist.merge(&o.any_flow_hist);
         s.dropped_entities += dropped;
+    }
+
+    /// The exact inverse of [`merge_ref`](Self::merge_ref): subtract a
+    /// previously merged partial from this aggregate with checked
+    /// arithmetic, deleting entries whose count reaches zero.
+    ///
+    /// After `a.merge_ref(&b); a.unmerge(&b)` every data field of `a` —
+    /// maps, sums, histograms, and everything rendered from them — equals
+    /// the state before the merge ([`data_eq`](Self::data_eq) holds and
+    /// renders are byte-identical). The two run anchors (`trace_start`,
+    /// `last_ts`) are not retracted; see the module docs.
+    ///
+    /// Fails with the first underflowing field when `other` was not
+    /// contained in `self` (e.g. it was never merged, or was merged into a
+    /// different aggregate). On failure the receiver may be left partially
+    /// retracted; the windowed layer counts the event on the
+    /// `dnh_window_retract_underflow_total` metric and rebuilds from its
+    /// surviving buckets instead.
+    pub fn unmerge(&mut self, other: &StreamingAnalytics) -> Result<(), RetractError> {
+        let err = |field: &'static str| RetractError { field };
+        let s = &mut self.state;
+        let o = &other.state;
+        s.flows.retract(&o.flows).map_err(|()| err("flows"))?;
+        s.labeled_flows
+            .retract(&o.labeled_flows)
+            .map_err(|()| err("labeled_flows"))?;
+        s.answered_responses
+            .retract(&o.answered_responses)
+            .map_err(|()| err("answered_responses"))?;
+        s.first_flow_count
+            .retract(&o.first_flow_count)
+            .map_err(|()| err("first_flow_count"))?;
+        s.fqdn_servers
+            .retract(&o.fqdn_servers)
+            .map_err(|()| err("fqdn_servers"))?;
+        s.sld_servers
+            .retract(&o.sld_servers)
+            .map_err(|()| err("sld_servers"))?;
+        s.org_content
+            .retract(&o.org_content)
+            .map_err(|()| err("org_content"))?;
+        s.tag_counts
+            .retract(&o.tag_counts)
+            .map_err(|()| err("tag_counts"))?;
+        s.port_flows
+            .retract(&o.port_flows)
+            .map_err(|()| err("port_flows"))?;
+        s.fqdn_birth
+            .retract(&o.fqdn_birth)
+            .map_err(|()| err("fqdn_birth"))?;
+        s.sld_birth
+            .retract(&o.sld_birth)
+            .map_err(|()| err("sld_birth"))?;
+        s.server_birth
+            .retract(&o.server_birth)
+            .map_err(|()| err("server_birth"))?;
+        s.bins.retract(&o.bins).map_err(|()| err("bins"))?;
+        s.first_flow_hist
+            .sub_merge(&o.first_flow_hist)
+            .map_err(|_| err("first_flow_hist"))?;
+        s.any_flow_hist
+            .sub_merge(&o.any_flow_hist)
+            .map_err(|_| err("any_flow_hist"))?;
+        s.dropped_entities
+            .retract(&o.dropped_entities)
+            .map_err(|()| err("dropped_entities"))?;
+        Ok(())
+    }
+
+    /// Equality over every data field, ignoring the two run anchors
+    /// (`trace_start`, `last_ts`) that retraction deliberately leaves
+    /// alone. This is the equality [`unmerge`](Self::unmerge) restores.
+    pub fn data_eq(&self, other: &StreamingAnalytics) -> bool {
+        let (s, o) = (&self.state, &other.state);
+        s.flows == o.flows
+            && s.labeled_flows == o.labeled_flows
+            && s.answered_responses == o.answered_responses
+            && s.first_flow_count == o.first_flow_count
+            && s.fqdn_servers == o.fqdn_servers
+            && s.sld_servers == o.sld_servers
+            && s.org_content == o.org_content
+            && s.tag_counts == o.tag_counts
+            && s.port_flows == o.port_flows
+            && s.fqdn_birth == o.fqdn_birth
+            && s.sld_birth == o.sld_birth
+            && s.server_birth == o.server_birth
+            && s.bins == o.bins
+            && s.first_flow_hist == o.first_flow_hist
+            && s.any_flow_hist == o.any_flow_hist
+            && s.dropped_entities == o.dropped_entities
+    }
+
+    /// A window's-eye view of this aggregate: same data, anchored at
+    /// `origin` with every packet-clock bin key (snapshot bins and birth
+    /// bins) shifted down by `bin_offset`. The windowed layer keeps bucket
+    /// partials on an absolute bin clock (bin = ts / slide) and rebases at
+    /// render time, so a view over `[t0, t1)` is field-for-field equal —
+    /// and therefore byte-identical in render — to a fresh sink that only
+    /// ever saw the events of `[t0, t1)` with `on_trace_start(t0)`.
+    pub(crate) fn rebased_view(&self, origin: u64, bin_offset: u64) -> StreamingAnalytics {
+        let mut view = self.clone_data();
+        let s = &mut view.state;
+        s.trace_start = Some(origin);
+        s.last_ts = None;
+        let shift = |bins: &mut BirthBins| {
+            let shifted: BirthBins = bins
+                .iter()
+                .map(|(&b, &n)| (b.saturating_sub(bin_offset), n))
+                .collect();
+            *bins = shifted;
+        };
+        s.bins = s
+            .bins
+            .iter()
+            .map(|(&b, &c)| (b.saturating_sub(bin_offset), c))
+            .collect();
+        for b in s.fqdn_birth.values_mut() {
+            shift(b);
+        }
+        for b in s.sld_birth.values_mut() {
+            shift(b);
+        }
+        for b in s.server_birth.values_mut() {
+            shift(b);
+        }
+        view
+    }
+
+    /// Clone configuration, lookup tables, and state into a new sink.
+    fn clone_data(&self) -> StreamingAnalytics {
+        StreamingAnalytics {
+            cfg: self.cfg.clone(),
+            suffixes: SuffixSet::builtin(),
+            orgdb: builtin_registry(),
+            state: self.state.clone(),
+        }
     }
 
     // ---- accessors (the equivalence tests compare these against the ----
@@ -374,13 +636,14 @@ impl StreamingAnalytics {
         self.state.dropped_entities
     }
 
-    /// Alg. 2 state: FQDN → server set.
-    pub fn fqdn_servers(&self) -> &BTreeMap<DomainName, BTreeSet<IpAddr>> {
+    /// Alg. 2 state: FQDN → (server → labeled-flow count). The inner key
+    /// set is the paper's server set.
+    pub fn fqdn_servers(&self) -> &BTreeMap<DomainName, BTreeMap<IpAddr, u64>> {
         &self.state.fqdn_servers
     }
 
-    /// Alg. 2 state: 2nd-level domain → server set.
-    pub fn sld_servers(&self) -> &BTreeMap<DomainName, BTreeSet<IpAddr>> {
+    /// Alg. 2 state: 2nd-level domain → (server → labeled-flow count).
+    pub fn sld_servers(&self) -> &BTreeMap<DomainName, BTreeMap<IpAddr, u64>> {
         &self.state.sld_servers
     }
 
@@ -439,17 +702,9 @@ impl StreamingAnalytics {
             return out;
         };
         let interval = self.cfg.snapshot_interval_micros;
-        // Bucket births by bin once, then prefix-sum across the bin range.
-        let bucket = |iter: &mut dyn Iterator<Item = u64>| -> BTreeMap<u64, u64> {
-            let mut m: BTreeMap<u64, u64> = BTreeMap::new();
-            for ts in iter {
-                *m.entry(ts.saturating_sub(origin) / interval).or_default() += 1;
-            }
-            m
-        };
-        let fqdn_bins = bucket(&mut self.state.fqdn_birth.values().copied());
-        let sld_bins = bucket(&mut self.state.sld_birth.values().copied());
-        let server_bins = bucket(&mut self.state.server_birth.values().copied());
+        let fqdn_bins = birth_bin_counts(&self.state.fqdn_birth);
+        let sld_bins = birth_bin_counts(&self.state.sld_birth);
+        let server_bins = birth_bin_counts(&self.state.server_birth);
         let (mut f, mut s, mut v) = (0u64, 0u64, 0u64);
         // Births can only land in bins that contain a flow, so summing the
         // range below reaches each family's total by `last`.
@@ -489,6 +744,7 @@ impl StreamingAnalytics {
     /// snapshot per packet-clock bin, and a final summary object. Derived
     /// entirely from merged state, so the bytes are identical for
     /// sequential and any-worker-count parallel runs.
+    // lint_root(determinism): streaming output must be byte-identical across worker counts
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str("{\"stream\":\"dn-hunter\",\"interval_micros\":");
@@ -517,16 +773,9 @@ impl StreamingAnalytics {
             return;
         };
         let interval = self.cfg.snapshot_interval_micros;
-        let bucket = |iter: &mut dyn Iterator<Item = u64>| -> BTreeMap<u64, u64> {
-            let mut m: BTreeMap<u64, u64> = BTreeMap::new();
-            for ts in iter {
-                *m.entry(ts.saturating_sub(origin) / interval).or_default() += 1;
-            }
-            m
-        };
-        let fqdn_bins = bucket(&mut self.state.fqdn_birth.values().copied());
-        let sld_bins = bucket(&mut self.state.sld_birth.values().copied());
-        let server_bins = bucket(&mut self.state.server_birth.values().copied());
+        let fqdn_bins = birth_bin_counts(&self.state.fqdn_birth);
+        let sld_bins = birth_bin_counts(&self.state.sld_birth);
+        let server_bins = birth_bin_counts(&self.state.server_birth);
         let (mut flows, mut labeled, mut responses) = (0u64, 0u64, 0u64);
         let (mut f, mut s, mut v) = (0u64, 0u64, 0u64);
         for bin in first..=last {
@@ -557,8 +806,16 @@ impl StreamingAnalytics {
     }
 
     fn render_summary(&self, out: &mut String) {
+        out.push_str("{\"summary\":");
+        self.render_summary_object(out);
+        out.push_str("}\n");
+    }
+
+    /// The summary as one JSON object (no wrapper, no newline) — shared
+    /// between the stream summary line and the windowed per-window lines.
+    pub(crate) fn render_summary_object(&self, out: &mut String) {
         let st = &self.state;
-        out.push_str("{\"summary\":{\"flows\":");
+        out.push_str("{\"flows\":");
         push_u64(out, st.flows);
         out.push_str(",\"labeled_flows\":");
         push_u64(out, st.labeled_flows);
@@ -671,7 +928,7 @@ impl StreamingAnalytics {
 
         out.push_str(",\"dropped_entities\":");
         push_u64(out, st.dropped_entities);
-        out.push_str("}}\n");
+        out.push('}');
     }
 }
 
@@ -689,12 +946,12 @@ impl FlowSink for StreamingAnalytics {
         s.bins.entry(bin).or_default().responses += 1;
     }
 
-    fn on_first_flow_delay(&mut self, delay_micros: u64) {
+    fn on_first_flow_delay(&mut self, _ts: u64, delay_micros: u64) {
         self.state.first_flow_count += 1;
         self.state.first_flow_hist.record(delay_micros);
     }
 
-    fn on_any_flow_delay(&mut self, delay_micros: u64) {
+    fn on_any_flow_delay(&mut self, _ts: u64, delay_micros: u64) {
         self.state.any_flow_hist.record(delay_micros);
     }
 
@@ -725,11 +982,15 @@ impl FlowSink for StreamingAnalytics {
             let client = flow.key.client;
             let org = self.orgdb.org_name(server).to_string();
             let s = &mut self.state;
-            if let Some(set) = capped(&mut s.fqdn_servers, fqdn.clone(), cap, &mut dropped) {
-                capped_set(set, server, cap, &mut dropped);
+            if let Some(m) = capped(&mut s.fqdn_servers, fqdn.clone(), cap, &mut dropped) {
+                if let Some(n) = capped(m, server, cap, &mut dropped) {
+                    *n += 1;
+                }
             }
-            if let Some(set) = capped(&mut s.sld_servers, sld.clone(), cap, &mut dropped) {
-                capped_set(set, server, cap, &mut dropped);
+            if let Some(m) = capped(&mut s.sld_servers, sld.clone(), cap, &mut dropped) {
+                if let Some(n) = capped(m, server, cap, &mut dropped) {
+                    *n += 1;
+                }
             }
             if let Some(m) = capped(&mut s.org_content, org, cap, &mut dropped) {
                 if let Some(n) = capped(m, sld.clone(), cap, &mut dropped) {
@@ -737,19 +998,30 @@ impl FlowSink for StreamingAnalytics {
                 }
             }
             *s.port_flows.entry(port).or_default() += 1;
-            if let Some(tokens) = capped(&mut s.tag_counts, port, cap, &mut dropped) {
-                for token in tokenize_fqdn(fqdn, &self.suffixes) {
-                    if let Some(clients) = capped(tokens, token, cap, &mut dropped) {
-                        if let Some(n) = capped(clients, client, cap, &mut dropped) {
-                            *n += 1;
+            // Apex names tokenize to nothing; creating the port entry for
+            // them would store a void value, which breaks retraction's
+            // remove-when-empty key accounting (see `merge_ref`).
+            let port_tokens = tokenize_fqdn(fqdn, &self.suffixes);
+            if !port_tokens.is_empty() {
+                if let Some(tokens) = capped(&mut s.tag_counts, port, cap, &mut dropped) {
+                    for token in port_tokens {
+                        if let Some(clients) = capped(tokens, token, cap, &mut dropped) {
+                            if let Some(n) = capped(clients, client, cap, &mut dropped) {
+                                *n += 1;
+                            }
                         }
                     }
                 }
             }
-            let ts = flow.first_ts;
-            capped_min(&mut s.fqdn_birth, fqdn.clone(), ts, cap, &mut dropped);
-            capped_min(&mut s.sld_birth, sld, ts, cap, &mut dropped);
-            capped_min(&mut s.server_birth, server, ts, cap, &mut dropped);
+            if let Some(m) = capped(&mut s.fqdn_birth, fqdn.clone(), cap, &mut dropped) {
+                *m.entry(bin).or_default() += 1;
+            }
+            if let Some(m) = capped(&mut s.sld_birth, sld, cap, &mut dropped) {
+                *m.entry(bin).or_default() += 1;
+            }
+            if let Some(m) = capped(&mut s.server_birth, server, cap, &mut dropped) {
+                *m.entry(bin).or_default() += 1;
+            }
         }
         self.state.dropped_entities += dropped;
     }
@@ -761,7 +1033,7 @@ impl FlowSink for StreamingAnalytics {
 
 // ---- JSON helpers (hand-rolled, zero-dependency, deterministic) ----------
 
-fn push_u64(out: &mut String, v: u64) {
+pub(crate) fn push_u64(out: &mut String, v: u64) {
     let mut buf = [0u8; 20];
     let mut i = buf.len();
     let mut v = v;
@@ -884,8 +1156,8 @@ mod tests {
         let mut seq = StreamingAnalytics::new(cfg.clone());
         feed(&mut seq, &flows);
         seq.on_answered_response(500_000);
-        seq.on_first_flow_delay(42);
-        seq.on_any_flow_delay(42);
+        seq.on_first_flow_delay(500_042, 42);
+        seq.on_any_flow_delay(500_042, 42);
 
         // Split by client hash parity into two partials, merged in both
         // orders.
@@ -901,8 +1173,8 @@ mod tests {
             }
         }
         a.on_answered_response(500_000);
-        a.on_first_flow_delay(42);
-        a.on_any_flow_delay(42);
+        a.on_first_flow_delay(500_042, 42);
+        a.on_any_flow_delay(500_042, 42);
 
         let mut ab = StreamingAnalytics::new(cfg.clone());
         ab.merge(a);
@@ -910,6 +1182,72 @@ mod tests {
         assert_eq!(ab.state, seq.state);
         assert_eq!(ab.render(), seq.render());
         assert_eq!(ab.dropped_entities(), 0);
+    }
+
+    #[test]
+    fn unmerge_inverts_merge_exactly() {
+        let mk_flows = |salt: u64| -> Vec<TaggedFlow> {
+            (0..25)
+                .map(|i| {
+                    flow(
+                        &format!("10.0.{salt}.{}", i % 5),
+                        if i % 4 == 0 {
+                            None
+                        } else {
+                            Some(if (i + salt).is_multiple_of(2) {
+                                "cdn.example.com"
+                            } else {
+                                "static.other.org"
+                            })
+                        },
+                        &format!("93.184.21{salt}.{}", i % 3),
+                        443,
+                        salt * 1_000 + i * 977,
+                    )
+                })
+                .collect()
+        };
+        let cfg = StreamingConfig {
+            snapshot_interval_micros: 4_000,
+            ..StreamingConfig::default()
+        };
+        let mut a = StreamingAnalytics::new(cfg.clone());
+        feed(&mut a, &mk_flows(1));
+        a.on_answered_response(123);
+        a.on_first_flow_delay(150, 27);
+        a.on_any_flow_delay(150, 27);
+        let mut b = StreamingAnalytics::new(cfg.clone());
+        feed(&mut b, &mk_flows(2));
+        b.on_answered_response(456);
+        b.on_any_flow_delay(500, 44);
+
+        let before_render = a.render();
+        let mut merged = a.clone_data();
+        merged.merge_ref(&b);
+        assert!(!merged.data_eq(&a), "merge must change the state");
+        merged.unmerge(&b).expect("merged partial retracts");
+        assert!(merged.data_eq(&a), "unmerge must restore every data field");
+        assert_eq!(merged.render(), before_render);
+    }
+
+    #[test]
+    fn unmerge_of_foreign_partial_is_a_checked_error() {
+        let cfg = StreamingConfig::default();
+        let mut a = StreamingAnalytics::new(cfg.clone());
+        feed(
+            &mut a,
+            &[flow("10.0.0.1", Some("a.x.com"), "1.1.1.1", 80, 0)],
+        );
+        let mut b = StreamingAnalytics::new(cfg);
+        feed(
+            &mut b,
+            &[
+                flow("10.0.0.1", Some("b.y.com"), "2.2.2.2", 80, 0),
+                flow("10.0.0.1", Some("b.y.com"), "2.2.2.2", 80, 5),
+            ],
+        );
+        let e = a.unmerge(&b).expect_err("b was never merged into a");
+        assert!(!e.field.is_empty());
     }
 
     #[test]
@@ -940,7 +1278,7 @@ mod tests {
         sink.on_trace_start(0);
         sink.on_answered_response(10);
         sink.on_answered_response(20);
-        sink.on_first_flow_delay(100);
+        sink.on_first_flow_delay(110, 100);
         assert_eq!(sink.answered_responses(), 2);
         assert_eq!(sink.useless_responses(), 1);
     }
@@ -998,5 +1336,37 @@ mod tests {
         let folded = StreamingAnalytics::fold(vec![mk(), mk()]).unwrap();
         assert_eq!(folded.answered_responses(), 2);
         assert!(StreamingAnalytics::fold(Vec::new()).is_none());
+    }
+
+    #[test]
+    fn rebased_view_matches_a_fresh_run_over_the_same_events() {
+        // A sink anchored at bin clock 0 (the windowed bucket trick) viewed
+        // through `rebased_view(origin, offset)` must equal a fresh sink
+        // that saw the same events with `on_trace_start(origin)`.
+        let interval = 1_000u64;
+        let origin = 7 * interval;
+        let flows = [
+            flow("10.0.0.1", Some("a.x.com"), "1.1.1.1", 80, origin + 10),
+            flow("10.0.0.2", Some("b.y.org"), "2.2.2.2", 443, origin + 1_500),
+        ];
+        let cfg = StreamingConfig {
+            snapshot_interval_micros: interval,
+            ..StreamingConfig::default()
+        };
+        let mut absolute = StreamingAnalytics::new(cfg.clone());
+        absolute.on_trace_start(0);
+        for f in &flows {
+            absolute.on_flow_finished(f);
+        }
+        absolute.on_answered_response(origin + 20);
+        let mut fresh = StreamingAnalytics::new(cfg);
+        fresh.on_trace_start(origin);
+        for f in &flows {
+            fresh.on_flow_finished(f);
+        }
+        fresh.on_answered_response(origin + 20);
+        let view = absolute.rebased_view(origin, 7);
+        assert!(view.data_eq(&fresh));
+        assert_eq!(view.render(), fresh.render());
     }
 }

@@ -1,0 +1,220 @@
+//! Property tests for the retraction machinery behind windowed analytics:
+//! `StreamingAnalytics::unmerge` must be a *true* inverse of `merge_ref` —
+//! not just on the counters, but on the full data state and the rendered
+//! bytes — for arbitrary interleavings of sink events. The sliding-window
+//! sweep built on top of it must therefore match a fresh per-slice run for
+//! arbitrary window geometries.
+
+use dnhunter::{
+    FlowSink, StreamingAnalytics, StreamingConfig, TaggedFlow, WindowConfig, WindowedAnalytics,
+};
+use dnhunter_flow::{AppProtocol, FlowKey};
+use dnhunter_net::IpProtocol;
+use proptest::prelude::*;
+
+/// One abstract sink event; small index pools force heavy key sharing
+/// between the merged and retracted halves, which is exactly where a
+/// destructive (set-based rather than refcounted) state would break.
+#[derive(Debug, Clone)]
+enum Ev {
+    Answered(u64),
+    FirstDelay(u64, u64),
+    AnyDelay(u64, u64),
+    Flow {
+        ts: u64,
+        client: u8,
+        server: u8,
+        fqdn: u8,
+        port_alt: bool,
+    },
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    (
+        0u8..4,
+        0u64..8_000_000,
+        0u8..4,
+        0u8..3,
+        0u8..5,
+        any::<bool>(),
+        0u64..2_000_000,
+    )
+        .prop_map(
+            |(kind, ts, client, server, fqdn, port_alt, delay)| match kind {
+                0 => Ev::Answered(ts),
+                1 => Ev::FirstDelay(ts, delay),
+                2 => Ev::AnyDelay(ts, delay),
+                _ => Ev::Flow {
+                    ts,
+                    client,
+                    server,
+                    fqdn,
+                    port_alt,
+                },
+            },
+        )
+}
+
+fn flow_of(ts: u64, client: u8, server: u8, fqdn: u8, port_alt: bool) -> TaggedFlow {
+    // `example.com` is deliberate: apex names tokenize to zero tokens,
+    // which once produced void tag-count entries whose remove-when-empty
+    // retraction underflowed (the bug class these properties pin down).
+    static FQDNS: [&str; 4] = [
+        "www.example.com",
+        "example.com",
+        "cdn.other.org",
+        "api.other.org",
+    ];
+    TaggedFlow {
+        key: FlowKey::from_initiator(
+            format!("10.0.0.{client}").parse().unwrap(),
+            format!("93.184.216.{server}").parse().unwrap(),
+            50_000,
+            if port_alt { 80 } else { 443 },
+            IpProtocol::Tcp,
+        ),
+        fqdn: (fqdn > 0).then(|| FQDNS[(fqdn - 1) as usize].parse().unwrap()),
+        second_level: None,
+        alt_labels: Vec::new(),
+        tag_delay_micros: Some(1_000),
+        first_ts: ts,
+        last_ts: ts + 10,
+        packets_c2s: 1,
+        packets_s2c: 1,
+        bytes_c2s: 10,
+        bytes_s2c: 10,
+        protocol: AppProtocol::Http,
+        tls: None,
+        in_warmup: false,
+    }
+}
+
+fn apply(sink: &mut dyn FlowSink, ev: &Ev) {
+    match ev {
+        Ev::Answered(ts) => sink.on_answered_response(*ts),
+        Ev::FirstDelay(ts, d) => sink.on_first_flow_delay(*ts, *d),
+        Ev::AnyDelay(ts, d) => sink.on_any_flow_delay(*ts, *d),
+        Ev::Flow {
+            ts,
+            client,
+            server,
+            fqdn,
+            port_alt,
+        } => {
+            sink.on_flow_finished(&flow_of(*ts, *client, *server, *fqdn, *port_alt));
+        }
+    }
+}
+
+fn cfg() -> StreamingConfig {
+    StreamingConfig {
+        snapshot_interval_micros: 1_000_000,
+        ..StreamingConfig::default()
+    }
+}
+
+fn sink_over(events: &[Ev]) -> StreamingAnalytics {
+    let mut s = StreamingAnalytics::new(cfg());
+    s.on_trace_start(0);
+    for ev in events {
+        apply(&mut s, ev);
+    }
+    s
+}
+
+proptest! {
+    /// merge_ref then unmerge of the same partial restores the full data
+    /// state AND the rendered bytes, for any split of any event stream —
+    /// retraction is a true inverse, not an approximation.
+    #[test]
+    fn unmerge_is_a_true_inverse_of_merge(
+        events in proptest::collection::vec(ev_strategy(), 1..120),
+        split_num in 0u8..=100,
+    ) {
+        let split = events.len() * split_num as usize / 100;
+        let (first, second) = events.split_at(split);
+        let mut acc = sink_over(first);
+        let before_render = acc.render();
+        let reference = sink_over(first);
+        let other = sink_over(second);
+
+        acc.merge_ref(&other);
+        prop_assert!(acc.unmerge(&other).is_ok(), "retraction underflowed");
+        prop_assert!(acc.data_eq(&reference), "data state not restored");
+        prop_assert_eq!(acc.render(), before_render, "render bytes not restored");
+    }
+
+    /// Retraction chains: merging k partials then retracting them one by
+    /// one walks back through exactly the prefix states.
+    #[test]
+    fn retraction_chain_walks_back_through_prefixes(
+        events in proptest::collection::vec(ev_strategy(), 3..90),
+    ) {
+        // Three roughly equal chunks merged in order.
+        let third = events.len() / 3;
+        let chunks = [
+            &events[..third],
+            &events[third..2 * third],
+            &events[2 * third..],
+        ];
+        let parts: Vec<StreamingAnalytics> = chunks.iter().map(|c| sink_over(c)).collect();
+        let mut acc = StreamingAnalytics::new(cfg());
+        acc.on_trace_start(0);
+        for p in &parts {
+            acc.merge_ref(p);
+        }
+        // Retract newest-last chunk, then the middle: each step must land
+        // exactly on the corresponding prefix sink.
+        prop_assert!(acc.unmerge(&parts[2]).is_ok());
+        let prefix2 = sink_over(&events[..2 * third]);
+        prop_assert!(acc.data_eq(&prefix2));
+        prop_assert_eq!(acc.render(), prefix2.render());
+        prop_assert!(acc.unmerge(&parts[1]).is_ok());
+        let prefix1 = sink_over(&events[..third]);
+        prop_assert!(acc.data_eq(&prefix1));
+        prop_assert_eq!(acc.render(), prefix1.render());
+    }
+
+    /// The windowed sweep (merge + retract per step) matches a fresh sink
+    /// over each window's slice for arbitrary window geometries.
+    #[test]
+    fn window_sweep_matches_slices_for_any_geometry(
+        events in proptest::collection::vec(ev_strategy(), 1..120),
+        slide_steps in 1u64..5,
+        window_steps in 1u64..5,
+    ) {
+        let slide = slide_steps * 700_000;
+        let wcfg = WindowConfig::new(window_steps * slide, slide);
+        let mut windowed = WindowedAnalytics::new(wcfg.clone());
+        windowed.on_trace_start(0);
+        for ev in &events {
+            apply(&mut windowed, ev);
+        }
+        prop_assert_eq!(windowed.dropped_bucket_events(), 0);
+
+        let mut positions = 0u64;
+        let mut failure: Option<String> = None;
+        windowed.for_each_window(|span, view| {
+            if failure.is_some() {
+                return;
+            }
+            positions += 1;
+            let mut reference = StreamingAnalytics::new(wcfg.bucket_sink_config());
+            reference.on_trace_start(span.start);
+            for ev in &events {
+                let ts = match ev {
+                    Ev::Answered(ts) | Ev::FirstDelay(ts, _) | Ev::AnyDelay(ts, _) => *ts,
+                    Ev::Flow { ts, .. } => *ts,
+                };
+                if ts >= span.start && ts < span.end {
+                    apply(&mut reference, ev);
+                }
+            }
+            if !view.data_eq(&reference) || view.render() != reference.render() {
+                failure = Some(format!("window {span:?} diverged from its slice"));
+            }
+        });
+        prop_assert!(failure.is_none(), "{}", failure.unwrap());
+        prop_assert!(positions >= 1);
+    }
+}

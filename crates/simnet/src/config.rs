@@ -87,6 +87,12 @@ pub struct TraceProfile {
     /// Fraction of clients that are dual-stack and fetch some content over
     /// IPv6 (AAAA resolutions + v6 flows).
     pub ipv6_client_fraction: f64,
+    /// Hours per content-mix epoch. When > 0, the popularity ranking the
+    /// browsing samplers draw from rotates every epoch of trace time, so
+    /// sliding-window aggregates provably differ from the global ones
+    /// (0 = stationary mix, the paper-trace default).
+    #[serde(default)]
+    pub mix_epoch_hours: f64,
     /// Warm-up window (µs) the evaluation excludes, as in the paper (5 min).
     pub warmup_micros: u64,
 }
@@ -134,6 +140,7 @@ mod tests {
             prewarm_prob: 0.3,
             invisible_resolution_prob: 0.05,
             ipv6_client_fraction: 0.0,
+            mix_epoch_hours: 0.0,
             warmup_micros: 300_000_000,
         }
     }

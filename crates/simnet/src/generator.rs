@@ -198,7 +198,9 @@ impl TraceGenerator {
             self.tunnel_flow(client, t);
             return;
         }
-        let Some(primary) = self.sampler_main.sample(self.rng.gen()) else {
+        let draw: f64 = self.rng.gen();
+        let u = self.mix_draw(t, draw);
+        let Some(primary) = self.sampler_main.sample(u) else {
             return;
         };
         self.access(client, t, primary);
@@ -212,7 +214,9 @@ impl TraceGenerator {
         // Embedded resources.
         let embedded = self.poisson(self.profile.embedded_per_view);
         for _ in 0..embedded {
-            if let Some(svc) = self.sampler_embed.sample(self.rng.gen()) {
+            let draw: f64 = self.rng.gen();
+            let u = self.mix_draw(t, draw);
+            if let Some(svc) = self.sampler_embed.sample(u) {
                 let te = t + 100_000 + (self.rng.gen::<f64>() * 1.4e6) as u64;
                 self.access(client, te, svc);
             }
@@ -220,11 +224,30 @@ impl TraceGenerator {
         // Browser prefetching: resolutions never followed by a flow.
         let prefetch = self.poisson(self.profile.prefetch_per_view);
         for _ in 0..prefetch {
-            if let Some(svc) = self.sampler_prefetch.sample(self.rng.gen()) {
+            let draw: f64 = self.rng.gen();
+            let u = self.mix_draw(t, draw);
+            if let Some(svc) = self.sampler_prefetch.sample(u) {
                 let tp = t + 50_000 + (self.rng.gen::<f64>() * 450_000.0) as u64;
                 self.resolve_only(client, tp, svc);
             }
         }
+    }
+
+    /// Warp a uniform sampler draw by the content-mix epoch containing
+    /// `t`: with `mix_epoch_hours > 0`, the draw is squared (density
+    /// `1/(2√x)`, sharply peaked at 0) and the peak is rotated around the
+    /// cumulative popularity distribution by a golden-ratio step per
+    /// epoch, so *which* slice of the catalog is hot genuinely changes
+    /// every epoch (a plain constant shift of a uniform draw would leave
+    /// the sampled mix distributionally unchanged). Pure in `(t, u)`, so
+    /// traces stay seed-deterministic.
+    fn mix_draw(&self, t: u64, u: f64) -> f64 {
+        let epoch_hours = self.profile.mix_epoch_hours;
+        if epoch_hours <= 0.0 {
+            return u;
+        }
+        let band = (t as f64 / (epoch_hours * 3.6e9)).floor();
+        (u * u + band * 0.618_033_988_749_895).fract()
     }
 
     /// Find a service in the same domain whose pattern is `Fixed(sub)`.

@@ -32,6 +32,7 @@ fn base(name: &str, seed: u64) -> TraceProfile {
         prewarm_prob: 0.32,
         invisible_resolution_prob: 0.06,
         ipv6_client_fraction: 0.0,
+        mix_epoch_hours: 0.0,
         warmup_micros: 5 * 60 * 1_000_000,
     }
 }
@@ -140,6 +141,25 @@ pub fn live_profile() -> TraceProfile {
     }
 }
 
+/// Long-horizon trace whose content mix rotates every two hours: the
+/// windowed-analytics stressor. Per-window top organizations/domains
+/// provably differ from the since-start aggregate, which is what the
+/// sliding-window equivalence suite needs a positive control for. Not a
+/// paper trace, so not in [`all_paper_profiles`].
+pub fn shifting_mix() -> TraceProfile {
+    TraceProfile {
+        start_hour: 9.0,
+        duration_hours: 8.0,
+        clients: 80,
+        views_per_client_hour: 7.0,
+        prefetch_per_view: 2.5,
+        prewarm_prob: 0.25,
+        invisible_resolution_prob: 0.05,
+        mix_epoch_hours: 2.0,
+        ..base("SHIFTING-MIX", 0x5001)
+    }
+}
+
 /// The five Tab. 1 traces, in the paper's order.
 pub fn all_paper_profiles() -> Vec<TraceProfile> {
     vec![us_3g(), eu2_adsl(), eu1_adsl1(), eu1_adsl2(), eu1_ftth()]
@@ -156,6 +176,7 @@ pub fn profile_by_name(name: &str) -> Option<TraceProfile> {
         "eu1-adsl2" => Some(eu1_adsl2()),
         "eu1-ftth" => Some(eu1_ftth()),
         "live" | "eu1-adsl2-live" => Some(live_profile()),
+        "shifting-mix" => Some(shifting_mix()),
         _ => None,
     }
 }

@@ -52,7 +52,7 @@ pub use flight::{
     trace_set, FlightRecorder, LaneKind, LaneSnapshot, TraceBindGuard, TraceRecord, TraceSet,
     TRACE_RING_CAP,
 };
-pub use log2hist::{log2_bucket_index, log2_bucket_le, Log2Hist};
+pub use log2hist::{log2_bucket_index, log2_bucket_le, HistUnderflow, Log2Hist};
 pub use metric::{Class, Kind, Metric, MetricInfo, HIST_COUNT, HIST_METRICS};
 pub use recorder::{
     bind, counter_add, gauge_add, is_bound, merge_into_bound, observe, span, BindGuard, Span,

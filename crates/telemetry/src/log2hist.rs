@@ -25,10 +25,30 @@ pub fn log2_bucket_index(v: u64, finite: usize) -> usize {
     }
 }
 
+/// Hard ceiling on the finite bucket count: a `u64` has 64 bit positions,
+/// so `log2_bucket_index` can never produce a slot above 63. Allocation
+/// sizes are pinned under this cap at every construction site.
+pub const MAX_FINITE_BUCKETS: usize = 63;
+
 /// Inclusive upper bound of finite bucket `i` (the Prometheus `le` label).
 #[inline]
 pub fn log2_bucket_le(i: usize) -> u64 {
-    1u64 << i.min(63)
+    1u64 << i.min(MAX_FINITE_BUCKETS)
+}
+
+/// Subtractive merge failed: `other` was not contained in `self`.
+///
+/// Returned by [`Log2Hist::sub_merge`] when any cell (a bucket, the sum,
+/// or the count) would go negative. The receiver is left unchanged apart
+/// from a possible layout widening, which does not alter the histogram's
+/// value — underflow is a checked error, never a silent wrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistUnderflow;
+
+impl std::fmt::Display for HistUnderflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("log2 histogram subtractive merge would underflow")
+    }
 }
 
 /// A mergeable, non-atomic log2 histogram: `finite` power-of-two buckets
@@ -45,10 +65,10 @@ impl Log2Hist {
     /// An empty histogram with `finite` finite buckets (upper bounds
     /// `2^0 ..= 2^(finite-1)`) plus the overflow cell.
     pub fn new(finite: usize) -> Self {
-        let finite = finite.clamp(1, 63);
+        let finite = finite.clamp(1, MAX_FINITE_BUCKETS);
         Log2Hist {
             finite,
-            buckets: vec![0; finite + 1],
+            buckets: vec![0; finite.min(MAX_FINITE_BUCKETS) + 1],
             sum: 0,
             count: 0,
         }
@@ -70,7 +90,7 @@ impl Log2Hist {
     /// the narrow overflow is folded into the wide overflow's tail slot).
     pub fn merge(&mut self, other: &Log2Hist) {
         if other.finite > self.finite {
-            let mut grown = vec![0u64; other.finite + 1];
+            let mut grown = vec![0u64; other.finite.min(MAX_FINITE_BUCKETS) + 1];
             for (i, v) in self.buckets.iter().enumerate() {
                 let slot = if i == self.finite { other.finite } else { i };
                 if let Some(cell) = grown.get_mut(slot) {
@@ -88,6 +108,52 @@ impl Log2Hist {
         }
         self.sum = self.sum.wrapping_add(other.sum);
         self.count = self.count.wrapping_add(other.count);
+    }
+
+    /// Checked element-wise subtraction: the exact inverse of [`merge`].
+    ///
+    /// `a.merge(&b); a.sub_merge(&b)` restores `a` bucket-exactly, and the
+    /// empty histogram is a fixed point. When `other` is not contained in
+    /// `self` (any bucket, the sum, or the count would go negative) the
+    /// call returns [`HistUnderflow`] and no cell is modified — the only
+    /// permitted side effect is widening `self` to `other`'s layout first,
+    /// which re-slots existing counts without changing the histogram's
+    /// value (the same widening [`merge`] performs).
+    ///
+    /// [`merge`]: Log2Hist::merge
+    pub fn sub_merge(&mut self, other: &Log2Hist) -> Result<(), HistUnderflow> {
+        if other.finite > self.finite {
+            let mut grown = vec![0u64; other.finite.min(MAX_FINITE_BUCKETS) + 1];
+            for (i, v) in self.buckets.iter().enumerate() {
+                let slot = if i == self.finite { other.finite } else { i };
+                if let Some(cell) = grown.get_mut(slot) {
+                    *cell = cell.wrapping_add(*v);
+                }
+            }
+            self.buckets = grown;
+            self.finite = other.finite;
+        }
+        // Validate every cell before touching any, so a failed call never
+        // leaves a half-subtracted histogram behind.
+        for (i, v) in other.buckets.iter().enumerate() {
+            let slot = if i == other.finite { self.finite } else { i };
+            let have = self.buckets.get(slot).copied().unwrap_or(0);
+            if have < *v {
+                return Err(HistUnderflow);
+            }
+        }
+        if self.sum < other.sum || self.count < other.count {
+            return Err(HistUnderflow);
+        }
+        for (i, v) in other.buckets.iter().enumerate() {
+            let slot = if i == other.finite { self.finite } else { i };
+            if let Some(cell) = self.buckets.get_mut(slot) {
+                *cell -= *v;
+            }
+        }
+        self.sum -= other.sum;
+        self.count -= other.count;
+        Ok(())
     }
 
     /// Number of finite buckets.
@@ -195,6 +261,84 @@ mod tests {
         let mut b = wide.clone();
         b.merge(&narrow);
         assert_eq!(b, a);
+    }
+
+    #[test]
+    fn sub_merge_inverts_merge_bucket_exactly() {
+        let mut a = Log2Hist::new(40);
+        for v in [0, 3, 7, 1 << 20] {
+            a.record(v);
+        }
+        let mut b = Log2Hist::new(40);
+        for v in [1, 3, u64::MAX] {
+            b.record(v);
+        }
+        let before = a.clone();
+        a.merge(&b);
+        assert_ne!(a, before);
+        a.sub_merge(&b).expect("merged histogram contains its part");
+        assert_eq!(a, before, "merge then sub_merge must round-trip");
+    }
+
+    #[test]
+    fn sub_merge_zero_histogram_is_fixed_point() {
+        let mut a = Log2Hist::new(20);
+        for v in [5, 900, 1 << 15] {
+            a.record(v);
+        }
+        let before = a.clone();
+        a.sub_merge(&Log2Hist::new(20)).expect("zero subtracts");
+        assert_eq!(a, before);
+        // And the zero histogram minus itself stays zero.
+        let mut z = Log2Hist::new(20);
+        z.sub_merge(&Log2Hist::new(20)).expect("zero - zero");
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn sub_merge_underflow_is_checked_and_non_destructive() {
+        let mut a = Log2Hist::new(20);
+        a.record(4);
+        let mut b = Log2Hist::new(20);
+        b.record(4);
+        b.record(4);
+        let before = a.clone();
+        assert_eq!(a.sub_merge(&b), Err(HistUnderflow));
+        assert_eq!(a, before, "failed sub_merge must not mutate cells");
+        // Same count, different buckets: bucket check must catch it.
+        let mut c = Log2Hist::new(20);
+        c.record(1 << 10);
+        let before = a.clone();
+        assert_eq!(a.sub_merge(&c), Err(HistUnderflow));
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn sub_merge_handles_width_mismatches_like_merge() {
+        // Wider minus narrower: the narrow overflow maps to the wide tail.
+        let mut narrow = Log2Hist::new(4);
+        narrow.record(2);
+        narrow.record(1 << 10); // narrow overflow
+        let mut wide = Log2Hist::new(8);
+        wide.merge(&narrow);
+        wide.record(1 << 6);
+        wide.sub_merge(&narrow).expect("contained");
+        assert_eq!(wide.count(), 1);
+        assert_eq!(wide.buckets()[6], 1);
+        assert_eq!(wide.buckets()[8], 0);
+
+        // Narrower minus wider: the receiver widens first (value-neutral),
+        // then subtracts; round-trips against merge the same way.
+        let mut a = Log2Hist::new(4);
+        a.record(3);
+        let mut b = Log2Hist::new(8);
+        b.record(1 << 6);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        merged.sub_merge(&b).expect("contained");
+        assert_eq!(merged.finite(), 8);
+        assert_eq!(merged.count(), 1);
+        assert_eq!(merged.buckets()[2], 1);
     }
 
     #[test]

@@ -164,6 +164,8 @@ metrics! {
         "Items per batch flushed to a worker ring";
     TraceEventsDropped => "dnh_trace_events_dropped_total", Counter, Runtime,
         "Flight-recorder records overwritten before export (trace ring wrapped)";
+    WindowRetractUnderflow => "dnh_window_retract_underflow_total", Counter, Runtime,
+        "Windowed-analytics retractions that underflowed and fell back to a merge-only rebuild (an invariant breach; expected zero)";
 }
 
 /// Metrics with histogram cells, in registry histogram-slot order.

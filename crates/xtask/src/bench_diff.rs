@@ -3,11 +3,14 @@
 //! Compares a fresh `BENCH_sniffer.json` (produced by
 //! `repro --bench-sniffer --quick`) against the committed
 //! `BENCH_baseline.json` and fails when throughput regressed by more than
-//! the threshold (default 15%). Two invariants are gated unconditionally,
+//! the threshold (default 15%). Some invariants are gated unconditionally,
 //! threshold or not: every benchmark run must have been byte-identical to
-//! the sequential reference (`determinism_all_runs`), and telemetry must
-//! have stayed within its overhead budget
-//! (`telemetry_overhead.within_budget`).
+//! the sequential reference (`determinism_all_runs`), telemetry must have
+//! stayed within its overhead budget
+//! (`telemetry_overhead.within_budget`), the flight-recorder leg must be
+//! present and within budget, and the windowed-analytics leg must be
+//! present with byte-identical renders across repetitions
+//! (`windowed_overhead.render_identical_all_reps`).
 //!
 //! A deliberate regression (e.g. a correctness fix that costs throughput)
 //! is waived by committing a `BENCH_OVERRIDE` file at the workspace root
@@ -34,6 +37,10 @@ struct Metrics {
     /// the gate only reads this from the *current* run, which always has
     /// it.
     trace_within_budget: Option<bool>,
+    /// Windowed-analytics renders were byte-identical across repetitions.
+    /// `None` when the doc predates the windowed leg (old baselines);
+    /// required in the current run, same rule as `trace_within_budget`.
+    windowed_render_identical: Option<bool>,
     /// The full worker x dispatcher grid from `dispatcher_scaling`.
     scaling: Vec<ScalingRow>,
 }
@@ -134,12 +141,17 @@ fn extract(doc: &Value, label: &str) -> Result<Metrics, String> {
         .get("trace_overhead")
         .and_then(|t| t.get("within_budget"))
         .and_then(Value::as_bool);
+    let windowed_render_identical = doc
+        .get("windowed_overhead")
+        .and_then(|w| w.get("render_identical_all_reps"))
+        .and_then(Value::as_bool);
     Ok(Metrics {
         single_thread_fps: single,
         best_pipeline_fps: best_pipeline,
         determinism_all_runs: determinism,
         telemetry_within_budget: within_budget,
         trace_within_budget,
+        windowed_render_identical,
         scaling: extract_scaling(doc, label)?,
     })
 }
@@ -314,6 +326,17 @@ pub fn run(args: &[String]) -> ExitCode {
         None => failures
             .push("current run has no trace_overhead section (flight-recorder leg missing)".into()),
     }
+    match current.windowed_render_identical {
+        Some(true) => {}
+        Some(false) => failures.push(
+            "windowed_overhead.render_identical_all_reps is false: sliding-window \
+             retraction rendered differently across repetitions"
+                .into(),
+        ),
+        None => failures.push(
+            "current run has no windowed_overhead section (windowed-analytics leg missing)".into(),
+        ),
+    }
 
     if failures.is_empty() {
         println!("bench-diff: PASS");
@@ -378,7 +401,8 @@ mod tests {
                      "worker_busy_secs":[0.1,0.12,0.11,0.13]}}],
                  "determinism_all_runs":{determinism},
                  "telemetry_overhead":{{"within_budget":{budget}}},
-                 "trace_overhead":{{"within_budget":{budget}}}}}"#
+                 "trace_overhead":{{"within_budget":{budget}}},
+                 "windowed_overhead":{{"render_identical_all_reps":{determinism}}}}}"#
         );
         serde_json::from_str(&text).expect("valid test doc")
     }
@@ -391,6 +415,7 @@ mod tests {
         assert!(m.determinism_all_runs);
         assert!(m.telemetry_within_budget);
         assert_eq!(m.trace_within_budget, Some(true));
+        assert_eq!(m.windowed_render_identical, Some(true));
     }
 
     #[test]
@@ -408,6 +433,17 @@ mod tests {
         .expect("doc");
         let m = extract(&d, "t").expect("extracts");
         assert_eq!(m.trace_within_budget, None);
+        // A pre-windowed baseline also lacks the windowed leg; tolerated
+        // for the same reason (only the current run is required to have it).
+        assert_eq!(m.windowed_render_identical, None);
+    }
+
+    #[test]
+    fn extract_reads_a_failed_windowed_render_check() {
+        // `doc` ties the windowed verdict to `determinism` so a divergent
+        // run carries both signals, like the real benchmark would.
+        let m = extract(&doc(1000.0, 2500.0, false, true), "t").expect("extracts");
+        assert_eq!(m.windowed_render_identical, Some(false));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | L3 | no lock guard held across another lock/shard/eviction call |
 //! | L4 | every public item in `resolver`/`dns` documented with a paper citation |
 //! | L5 | hot-path metric updates use the `tm_*!` macros, with no allocation/locking in the update |
+//! | L11 | every field of a `retract_state(<fn>)`-marked struct is covered by `<fn>` or carries a reasoned `not_retracted:` waiver |
 
 use crate::scan::SourceFile;
 
@@ -40,7 +41,9 @@ fn violation(
     }
 }
 
-const KNOWN_LINTS: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10"];
+const KNOWN_LINTS: &[&str] = &[
+    "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10", "L11",
+];
 
 /// Apply `allow_lint` marker suppression to raw findings: drop the ones a
 /// matching marker covers, and report which marker (by index into
@@ -664,6 +667,200 @@ fn gitignore_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
             }
         } else if name == ".gitignore" {
             out.push(path);
+        }
+    }
+    out
+}
+
+/// True when `needle` occurs in `hay` as a whole identifier (no ident
+/// character on either side).
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(p) = hay[start..].find(needle) {
+        let p = start + p;
+        let before_ok = !hay[..p].chars().next_back().is_some_and(is_ident);
+        let after_ok = !hay[p + needle.len()..].chars().next().is_some_and(is_ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = p + needle.len();
+    }
+    false
+}
+
+/// L11: retraction coverage. A `// retract_state(<fn>)` marker above a
+/// struct declares that `<fn>` (in the same file) is the struct's
+/// subtractive inverse. Every field of the struct must then be named in
+/// the body of `<fn>`, unless the field's own line carries a
+/// `not_retracted: <reason>` comment waiving it. A waiver without a
+/// reason, a marker not followed by a struct, and a marker naming a
+/// function the file does not define are all findings — so no piece of
+/// mergeable sink state can silently go without an inverse.
+pub fn l11_retraction_coverage(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (mi, line) in file.lines.iter().enumerate() {
+        let Some(pos) = line.comment.find("retract_state(") else {
+            continue;
+        };
+        let rest = &line.comment[pos + "retract_state(".len()..];
+        let Some(end) = rest.find(')') else {
+            out.push(violation(
+                file,
+                mi,
+                "L11",
+                "malformed `retract_state(...)` marker: missing `)`",
+            ));
+            continue;
+        };
+        let fn_name = rest[..end].trim();
+        if fn_name.is_empty()
+            || !fn_name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            out.push(violation(
+                file,
+                mi,
+                "L11",
+                "`retract_state(...)` marker must name the inverse function",
+            ));
+            continue;
+        }
+
+        // The struct the marker annotates: the next line with real code,
+        // skipping attributes, must declare one.
+        let mut struct_idx = None;
+        for (i, l) in file.lines.iter().enumerate().skip(mi + 1) {
+            let code = l.code.trim();
+            if code.is_empty() || code.starts_with("#[") {
+                continue;
+            }
+            if contains_word(code, "struct") {
+                struct_idx = Some(i);
+            }
+            break;
+        }
+        let Some(si) = struct_idx else {
+            out.push(violation(
+                file,
+                mi,
+                "L11",
+                format!(
+                    "`retract_state({fn_name})` marker is not followed by a struct declaration"
+                ),
+            ));
+            continue;
+        };
+
+        // Collect the struct's named fields and their waivers.
+        let mut fields: Vec<(usize, String, Option<String>)> = Vec::new();
+        let mut balance: i64 = 0;
+        for (i, l) in file.lines.iter().enumerate().skip(si) {
+            let at_field_depth = balance == 1 && i > si;
+            if at_field_depth {
+                let code = l.code.trim();
+                let without_vis = code
+                    .strip_prefix("pub(crate)")
+                    .or_else(|| code.strip_prefix("pub(super)"))
+                    .or_else(|| code.strip_prefix("pub"))
+                    .unwrap_or(code)
+                    .trim_start();
+                if let Some(colon) = without_vis.find(':') {
+                    let ident = without_vis[..colon].trim();
+                    if !ident.is_empty()
+                        && !without_vis[colon..].starts_with("::")
+                        && ident.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                    {
+                        let waiver = l
+                            .comment
+                            .find("not_retracted:")
+                            .map(|p| l.comment[p + "not_retracted:".len()..].trim().to_string());
+                        fields.push((i, ident.to_string(), waiver));
+                    }
+                }
+            }
+            balance += l.code.matches('{').count() as i64;
+            balance -= l.code.matches('}').count() as i64;
+            if balance <= 0 && i > si {
+                break;
+            }
+        }
+
+        // The inverse function's body, concatenated.
+        let mut body = String::new();
+        let mut fn_line = None;
+        for (i, l) in file.lines.iter().enumerate() {
+            let code = &l.code;
+            if let Some(p) = code.find("fn ") {
+                let after = code[p + 3..].trim_start();
+                if after.starts_with(fn_name)
+                    && after[fn_name.len()..]
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c == '(' || c == '<' || c.is_whitespace())
+                {
+                    fn_line = Some(i);
+                    break;
+                }
+            }
+        }
+        match fn_line {
+            None => {
+                out.push(violation(
+                    file,
+                    mi,
+                    "L11",
+                    format!("`retract_state({fn_name})`: no function `{fn_name}` in this file"),
+                ));
+                continue;
+            }
+            Some(fi) => {
+                let mut fn_balance: i64 = 0;
+                let mut opened = false;
+                for l in file.lines.iter().skip(fi) {
+                    body.push_str(&l.code);
+                    body.push('\n');
+                    fn_balance += l.code.matches('{').count() as i64;
+                    fn_balance -= l.code.matches('}').count() as i64;
+                    if fn_balance > 0 {
+                        opened = true;
+                    }
+                    if opened && fn_balance <= 0 {
+                        break;
+                    }
+                }
+            }
+        }
+
+        for (fi, name, waiver) in fields {
+            match waiver {
+                Some(reason) if reason.is_empty() => {
+                    out.push(violation(
+                        file,
+                        fi,
+                        "L11",
+                        format!(
+                            "field `{name}` waives retraction with `not_retracted:` but gives no reason"
+                        ),
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    if !contains_word(&body, &name) {
+                        out.push(violation(
+                            file,
+                            fi,
+                            "L11",
+                            format!(
+                                "field `{name}` is not covered by `{fn_name}` and carries no \
+                                 `not_retracted:` waiver — merged state it accumulates can never \
+                                 be retracted"
+                            ),
+                        ));
+                    }
+                }
+            }
         }
     }
     out

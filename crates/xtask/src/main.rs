@@ -3,7 +3,7 @@
 //! Subcommands:
 //!
 //! * `lint` — the invariant gate described in DESIGN.md ("Machine-checked
-//!   invariants"): workspace-specific lints (L1–L10) that encode properties
+//!   invariants"): workspace-specific lints (L1–L11) that encode properties
 //!   the paper's hot path depends on and that rustc/clippy cannot express,
 //!   including the call-graph reachability lints L7–L10. Exits non-zero on
 //!   any violation, so CI can gate on it. `--json` prints machine-readable
@@ -43,7 +43,7 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: cargo xtask <command>\n\ncommands:\n  lint        run the workspace invariant lints (L1-L10)\n              [--json] [--github]\n  fuzz        seeded corpus fuzzer over the ingest parsers\n              [--smoke] [--cases N] [--seed S] [--max-seconds T]\n  bench-diff  compare BENCH_sniffer.json against the committed baseline\n              [--baseline PATH] [--current PATH] [--threshold PCT] [--update]"
+        "usage: cargo xtask <command>\n\ncommands:\n  lint        run the workspace invariant lints (L1-L11)\n              [--json] [--github]\n  fuzz        seeded corpus fuzzer over the ingest parsers\n              [--smoke] [--cases N] [--seed S] [--max-seconds T]\n  bench-diff  compare BENCH_sniffer.json against the committed baseline\n              [--baseline PATH] [--current PATH] [--threshold PCT] [--update]"
     );
 }
 
@@ -77,7 +77,7 @@ fn lint(args: &[String]) -> ExitCode {
         }
         if violations.is_empty() {
             println!(
-                "xtask lint: clean ({} files, lints L1-L10)",
+                "xtask lint: clean ({} files, lints L1-L11)",
                 outcome.files_scanned
             );
         } else {

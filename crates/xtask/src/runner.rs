@@ -137,6 +137,9 @@ pub fn run(root: &Path) -> Result<LintOutcome, String> {
         if DOC_CRATES.contains(&krate) {
             per_file[fi].extend(lints::l4_docs_cite_paper(sf));
         }
+        // L11 is opt-in via the `retract_state(...)` marker, so it runs on
+        // every file; unmarked files produce no findings.
+        per_file[fi].extend(lints::l11_retraction_coverage(sf));
     }
     for v in crate::reach::l7_determinism(&ws)
         .into_iter()

@@ -1,0 +1,15 @@
+//! A waiver without a reason: `not_retracted:` must say *why* the field is
+//! safe to leave out of the inverse.
+
+// retract_state(unmerge)
+struct State {
+    origin: Option<u64>, // not_retracted:
+    flows: u64,
+}
+
+impl State {
+    fn unmerge(&mut self, other: &State) -> Result<(), ()> {
+        self.flows = self.flows.checked_sub(other.flows).ok_or(())?;
+        Ok(())
+    }
+}

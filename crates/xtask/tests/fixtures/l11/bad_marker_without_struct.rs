@@ -1,0 +1,7 @@
+//! A dangling marker: `retract_state` must annotate a struct declaration,
+//! not a function or a free-floating comment.
+
+// retract_state(unmerge)
+fn unmerge(a: u64, b: u64) -> Option<u64> {
+    a.checked_sub(b)
+}

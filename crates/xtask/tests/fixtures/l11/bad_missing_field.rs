@@ -1,0 +1,15 @@
+//! A marked struct whose inverse forgets one field: `labels` accumulates
+//! on merge but is never subtracted, so retraction silently leaks it.
+
+// retract_state(unmerge)
+struct State {
+    flows: u64,
+    labels: u64,
+}
+
+impl State {
+    fn unmerge(&mut self, other: &State) -> Result<(), ()> {
+        self.flows = self.flows.checked_sub(other.flows).ok_or(())?;
+        Ok(())
+    }
+}

@@ -1,0 +1,14 @@
+//! A marker naming a function the file never defines: the declared inverse
+//! does not exist.
+
+// retract_state(retract_all)
+struct State {
+    flows: u64,
+}
+
+impl State {
+    fn unmerge(&mut self, other: &State) -> Result<(), ()> {
+        self.flows = self.flows.checked_sub(other.flows).ok_or(())?;
+        Ok(())
+    }
+}

@@ -1,0 +1,26 @@
+//! Every field of the marked struct is subtracted by the inverse.
+
+use std::collections::BTreeMap;
+
+// retract_state(unmerge)
+#[derive(Debug, Clone)]
+pub struct State {
+    pub flows: u64,
+    labels: u64,
+    servers: BTreeMap<u32, u64>,
+}
+
+impl State {
+    fn unmerge(&mut self, other: &State) -> Result<(), ()> {
+        self.flows = self.flows.checked_sub(other.flows).ok_or(())?;
+        self.labels = self.labels.checked_sub(other.labels).ok_or(())?;
+        for (k, v) in &other.servers {
+            let slot = self.servers.get_mut(k).ok_or(())?;
+            *slot = slot.checked_sub(*v).ok_or(())?;
+            if *slot == 0 {
+                self.servers.remove(k);
+            }
+        }
+        Ok(())
+    }
+}

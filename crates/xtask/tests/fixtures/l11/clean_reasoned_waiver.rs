@@ -1,0 +1,19 @@
+//! Run anchors may skip retraction when the waiver explains why.
+
+// retract_state(unmerge)
+struct State {
+    trace_start: Option<u64>, // not_retracted: monotone run anchor, views re-anchor it
+    flows: u64,
+}
+
+impl State {
+    fn unmerge(&mut self, other: &State) -> Result<(), ()> {
+        self.flows = self.flows.checked_sub(other.flows).ok_or(())?;
+        Ok(())
+    }
+}
+
+/// An unmarked struct is not L11's business, whatever its fields do.
+struct Unmarked {
+    uncovered: u64,
+}

@@ -1,4 +1,4 @@
-//! Fixture-based self-tests for every lint L1–L10.
+//! Fixture-based self-tests for every lint L1–L11.
 //!
 //! Each lint has a corpus under `tests/fixtures/l<N>/` with at least two
 //! `bad_*` cases (must each produce ≥1 finding, all carrying that lint's
@@ -248,6 +248,11 @@ fn l9_fixture_corpus() {
 #[test]
 fn l10_fixture_corpus() {
     check_fixtures("L10", reach_case("L10"));
+}
+
+#[test]
+fn l11_fixture_corpus() {
+    check_fixtures("L11", per_file(lints::l11_retraction_coverage));
 }
 
 /// Smoke: the full driver parses the real workspace without erroring.

@@ -13,8 +13,8 @@
 use std::sync::Arc;
 
 use dnhunter::{
-    FlowSink, ParallelSniffer, RealTimeSniffer, SnifferConfig, SnifferReport, StreamingAnalytics,
-    StreamingConfig,
+    run_records_with_sinks, FlowSink, ParallelSniffer, RealTimeSniffer, SnifferConfig,
+    SnifferReport, StreamingAnalytics, StreamingConfig, WindowConfig, WindowedAnalytics,
 };
 use dnhunter_net::PcapRecord;
 use dnhunter_simnet::{profiles, FaultPlan, TraceGenerator};
@@ -386,4 +386,222 @@ fn streaming_analytics_degrade_monotonically_with_dns_loss() {
         "heavy DNS loss left labeled flows untouched: {labeled:?}"
     );
     println!("streaming labeled flows vs dns-response drop rate: {labeled:?}");
+}
+
+// --------------------------------------------------------------- windowed
+
+/// The windowed cells run 30-minute windows stepping every 10 minutes, so
+/// every render sweeps through merge *and* retraction at each position.
+fn window_cfg() -> WindowConfig {
+    WindowConfig::new(30 * 60 * 1_000_000, 10 * 60 * 1_000_000)
+}
+
+/// Sequential windowed run under a fresh registry. The render happens
+/// *inside* the registry binding: retraction underflows are counted during
+/// the window sweep, and the returned snapshot must show zero.
+fn run_windowed_sequential(
+    records: &[PcapRecord],
+) -> (WindowedAnalytics, String, telemetry::Snapshot) {
+    let registry = Arc::new(telemetry::Registry::new());
+    let _guard = telemetry::bind(registry.clone());
+    let mut sniffer = RealTimeSniffer::new(SnifferConfig::default());
+    sniffer.set_sink(Box::new(WindowedAnalytics::new(window_cfg())));
+    for rec in records {
+        sniffer.process_record(rec);
+    }
+    let (_, sinks) = sniffer.finish_with_sinks();
+    let windowed = WindowedAnalytics::fold(sinks).expect("sequential windowed sink returned");
+    let render = windowed.render();
+    (windowed, render, registry.snapshot())
+}
+
+/// Windowed run through the sharded pipeline (`workers` × `dispatchers`),
+/// under a fresh registry, returning the folded render and the snapshot.
+fn run_windowed_sharded(
+    records: &[PcapRecord],
+    workers: usize,
+    dispatchers: usize,
+) -> (WindowedAnalytics, String, telemetry::Snapshot) {
+    let registry = Arc::new(telemetry::Registry::new());
+    let _guard = telemetry::bind(registry.clone());
+    let (_, _, sinks) = run_records_with_sinks(
+        &SnifferConfig::default(),
+        workers,
+        dispatchers,
+        records,
+        &mut |_| Box::new(WindowedAnalytics::new(window_cfg())) as Box<dyn FlowSink>,
+    );
+    assert_eq!(sinks.len(), workers, "one windowed partial per worker");
+    let windowed = WindowedAnalytics::fold(sinks).expect("worker sinks returned");
+    let render = windowed.render();
+    (windowed, render, registry.snapshot())
+}
+
+#[test]
+fn windowed_fault_cells_survive_and_retract_cleanly() {
+    // Every fault class × intensity with windowing enabled: the sweep must
+    // survive, never underflow a retraction (the counter is an invariant
+    // breach detector, pinned to zero), never hit the bucket cap, and the
+    // sharded pipeline must reproduce the sequential render byte for byte.
+    let profile = profiles::eu1_adsl1().scaled(scaled(0.04));
+    let trace = TraceGenerator::new(profile, false).generate();
+
+    for class in CLASSES {
+        for intensity in [0.08, 0.3] {
+            let plan = (class.plan)(intensity);
+            let (records, stats) = plan.apply(&trace.records);
+            assert!(
+                stats.total() > 0,
+                "{} @ {intensity}: plan inflicted nothing",
+                class.name
+            );
+
+            let (windowed, render, snap) = run_windowed_sequential(&records);
+            assert_eq!(
+                snap.get(Metric::WindowRetractUnderflow),
+                0,
+                "{} @ {intensity}: a retraction underflowed",
+                class.name
+            );
+            assert_eq!(
+                windowed.dropped_bucket_events(),
+                0,
+                "{} @ {intensity}: bucket cap engaged",
+                class.name
+            );
+            assert!(
+                render.lines().count() > 1,
+                "{} @ {intensity}: no window lines emitted",
+                class.name
+            );
+
+            let (shard, srender, ssnap) = run_windowed_sharded(&records, 2, 2);
+            assert_eq!(
+                srender, render,
+                "{} @ {intensity}: 2-worker/2-dispatcher windowed output diverged",
+                class.name
+            );
+            assert_eq!(ssnap.get(Metric::WindowRetractUnderflow), 0);
+            assert_eq!(shard.dropped_bucket_events(), 0);
+        }
+    }
+}
+
+#[test]
+fn windowed_storm_renders_identically_at_any_worker_and_dispatcher_count() {
+    // The full storm, swept across the worker × dispatcher grid the ISSUE
+    // names: 1/2/8 workers × 1/2 dispatchers, all byte-identical.
+    let profile = profiles::eu1_adsl1().scaled(scaled(0.05));
+    let trace = TraceGenerator::new(profile, false).generate();
+    let plan = FaultPlan {
+        drop_rate: 0.05,
+        dns_response_drop_rate: 0.2,
+        duplicate_rate: 0.05,
+        reorder_rate: 0.05,
+        truncate_rate: 0.03,
+        corrupt_rate: 0.03,
+        midstream_cut_micros: 600_000_000,
+        malicious_rate: 0.02,
+        ..FaultPlan::default()
+    };
+    let (records, stats) = plan.apply(&trace.records);
+    assert!(stats.total() > 0, "storm inflicted nothing");
+
+    let (_, reference, snap) = run_windowed_sequential(&records);
+    assert_eq!(snap.get(Metric::WindowRetractUnderflow), 0);
+    for workers in [1usize, 2, 8] {
+        for dispatchers in [1usize, 2] {
+            let (windowed, render, snap) = run_windowed_sharded(&records, workers, dispatchers);
+            assert_eq!(
+                render, reference,
+                "{workers}w × {dispatchers}d windowed storm output diverged"
+            );
+            assert_eq!(
+                snap.get(Metric::WindowRetractUnderflow),
+                0,
+                "{workers}w × {dispatchers}d: a retraction underflowed"
+            );
+            assert_eq!(windowed.dropped_bucket_events(), 0);
+        }
+    }
+}
+
+#[test]
+fn windowed_storm_is_survived_on_every_profile() {
+    // The no-panic sweep of the matrix with windowing enabled, on a slice
+    // of every paper profile plus the rotating-mix stressor.
+    let mut all = profiles::all_paper_profiles();
+    all.push(profiles::shifting_mix());
+    for profile in all {
+        let name = profile.name.clone();
+        let trace = TraceGenerator::new(profile.scaled(scaled(0.02)), false).generate();
+        let plan = FaultPlan {
+            drop_rate: 0.05,
+            dns_response_drop_rate: 0.2,
+            duplicate_rate: 0.05,
+            reorder_rate: 0.05,
+            truncate_rate: 0.03,
+            corrupt_rate: 0.03,
+            midstream_cut_micros: 600_000_000,
+            malicious_rate: 0.02,
+            ..FaultPlan::default()
+        };
+        let (records, stats) = plan.apply(&trace.records);
+        assert!(stats.total() > 0, "{name}: storm inflicted nothing");
+        let (windowed, render, snap) = run_windowed_sequential(&records);
+        assert_eq!(
+            snap.get(Metric::WindowRetractUnderflow),
+            0,
+            "{name}: a retraction underflowed under the storm"
+        );
+        assert_eq!(windowed.dropped_bucket_events(), 0, "{name}");
+        assert!(render.lines().count() > 1, "{name}: no window lines");
+        // Degraded, not dead: the windowed totals still contain labels.
+        assert!(
+            windowed.totals().labeled_flows() > 0,
+            "{name}: windowed tagging died under the storm"
+        );
+    }
+}
+
+#[test]
+fn windowed_hit_ratio_degrades_monotonically_with_dns_loss() {
+    // The windowed aggregate under nested DNS-response-drop fault sets:
+    // same monotone-degradation law the flat sink obeys, read off
+    // `totals()` — and retraction stays clean at every loss rate.
+    let profile = profiles::eu1_adsl1().scaled(scaled(0.08));
+    let trace = TraceGenerator::new(profile, false).generate();
+
+    let mut flows = Vec::new();
+    let mut labeled = Vec::new();
+    for rate in [0.0, 0.35, 0.7, 0.95] {
+        let plan = FaultPlan {
+            dns_response_drop_rate: rate,
+            ..FaultPlan::default()
+        };
+        let (records, _) = plan.apply(&trace.records);
+        let (windowed, _, snap) = run_windowed_sequential(&records);
+        assert_eq!(
+            snap.get(Metric::WindowRetractUnderflow),
+            0,
+            "rate {rate}: a retraction underflowed"
+        );
+        let totals = windowed.totals();
+        flows.push(totals.flows());
+        labeled.push(totals.labeled_flows());
+    }
+    // Dropping responses removes labels, never flows.
+    assert!(
+        flows.windows(2).all(|w| w[0] == w[1]),
+        "windowed flow count moved with DNS loss: {flows:?}"
+    );
+    assert!(
+        labeled.windows(2).all(|w| w[0] >= w[1]),
+        "windowed labeled flows rose under rising DNS loss: {labeled:?}"
+    );
+    assert!(
+        labeled[0] > labeled[3],
+        "heavy DNS loss left windowed labels untouched: {labeled:?}"
+    );
+    println!("windowed labeled flows vs dns-response drop rate: {labeled:?}");
 }

@@ -1,0 +1,311 @@
+//! Sliding-window equivalence: `WindowedAnalytics` must emit, for every
+//! window position `[t0, t1)`, output byte-identical to running a fresh
+//! `StreamingAnalytics` over the trace sliced to `[t0, t1)` — on every
+//! simnet profile, at any worker count — and its per-window aggregates
+//! must match the offline flow database sliced the same way. See
+//! DESIGN.md "Windowed analytics and retraction".
+//!
+//! `FAULT_MATRIX_FULL=1` (the nightly pipeline) raises the trace scales
+//! and checks *every* window position; the PR gate strides the sweep.
+
+use std::any::Any;
+
+use dnhunter::{
+    FlowSink, ParallelSniffer, RealTimeSniffer, SnifferConfig, SnifferReport, StreamingAnalytics,
+    TaggedFlow, WindowConfig, WindowSpan, WindowedAnalytics,
+};
+use dnhunter_dns::DomainName;
+use dnhunter_net::PcapRecord;
+use dnhunter_simnet::{profiles, TraceGenerator};
+
+/// 30-minute windows stepping every 10 minutes: every emitted window
+/// overlaps its neighbours, so retraction is exercised at each step.
+const WINDOW_MICROS: u64 = 30 * 60 * 1_000_000;
+const SLIDE_MICROS: u64 = 10 * 60 * 1_000_000;
+
+fn full_sweep() -> bool {
+    std::env::var_os("FAULT_MATRIX_FULL").is_some()
+}
+
+/// Nightly runs the same assertions on larger traces.
+fn scaled(base: f64) -> f64 {
+    if full_sweep() {
+        base * 4.0
+    } else {
+        base
+    }
+}
+
+fn window_cfg() -> WindowConfig {
+    WindowConfig::new(WINDOW_MICROS, SLIDE_MICROS)
+}
+
+/// One engine→sink event, recorded so window slices can be replayed into
+/// fresh reference sinks.
+enum SinkEvent {
+    Answered(u64),
+    FirstDelay(u64, u64),
+    AnyDelay(u64, u64),
+    Flow(Box<TaggedFlow>),
+}
+
+impl SinkEvent {
+    /// The timestamp the windowed sink routes this event by (flows travel
+    /// on their start time).
+    fn route_ts(&self) -> u64 {
+        match self {
+            SinkEvent::Answered(ts) | SinkEvent::FirstDelay(ts, _) | SinkEvent::AnyDelay(ts, _) => {
+                *ts
+            }
+            SinkEvent::Flow(f) => f.first_ts,
+        }
+    }
+}
+
+/// A sink that records the verbatim event stream the engine produces.
+#[derive(Default)]
+struct RecordingSink {
+    events: Vec<SinkEvent>,
+}
+
+impl FlowSink for RecordingSink {
+    fn on_trace_start(&mut self, _ts: u64) {}
+    fn on_answered_response(&mut self, ts: u64) {
+        self.events.push(SinkEvent::Answered(ts));
+    }
+    fn on_first_flow_delay(&mut self, ts: u64, delay_micros: u64) {
+        self.events.push(SinkEvent::FirstDelay(ts, delay_micros));
+    }
+    fn on_any_flow_delay(&mut self, ts: u64, delay_micros: u64) {
+        self.events.push(SinkEvent::AnyDelay(ts, delay_micros));
+    }
+    fn on_flow_finished(&mut self, flow: &TaggedFlow) {
+        self.events.push(SinkEvent::Flow(Box::new(flow.clone())));
+    }
+    fn as_any_box(self: Box<Self>) -> Box<dyn Any + Send> {
+        self
+    }
+}
+
+/// Sequential run that records the exact event stream fed to sinks.
+fn record_events(records: &[PcapRecord]) -> (SnifferReport, Vec<SinkEvent>) {
+    let mut sniffer = RealTimeSniffer::new(SnifferConfig::default());
+    sniffer.set_sink(Box::new(RecordingSink::default()));
+    for rec in records {
+        sniffer.process_record(rec);
+    }
+    let (report, sinks) = sniffer.finish_with_sinks();
+    let recorder = sinks
+        .into_iter()
+        .next()
+        .expect("recording sink returned")
+        .as_any_box()
+        .downcast::<RecordingSink>()
+        .expect("sink type");
+    (report, recorder.events)
+}
+
+/// Sequential run with a windowed sink installed.
+fn run_windowed_sequential(records: &[PcapRecord], cfg: WindowConfig) -> WindowedAnalytics {
+    let mut sniffer = RealTimeSniffer::new(SnifferConfig::default());
+    sniffer.set_sink(Box::new(WindowedAnalytics::new(cfg)));
+    for rec in records {
+        sniffer.process_record(rec);
+    }
+    let (_, sinks) = sniffer.finish_with_sinks();
+    WindowedAnalytics::fold(sinks).expect("sequential windowed sink returned")
+}
+
+/// Parallel run, one windowed partial per worker, folded deterministically.
+fn run_windowed_parallel(
+    records: &[PcapRecord],
+    cfg: &WindowConfig,
+    workers: usize,
+) -> WindowedAnalytics {
+    let mut sniffer = ParallelSniffer::with_sinks(SnifferConfig::default(), workers, &mut |_| {
+        Box::new(WindowedAnalytics::new(cfg.clone())) as Box<dyn FlowSink>
+    });
+    for rec in records {
+        sniffer.process_record(rec);
+    }
+    let (_, sinks) = sniffer.finish_with_sinks();
+    assert_eq!(sinks.len(), workers, "one windowed partial per worker");
+    WindowedAnalytics::fold(sinks).expect("worker sinks returned")
+}
+
+/// The ground truth for one window: a fresh sink over the recorded event
+/// stream sliced to `[span.start, span.end)`.
+fn replay_slice(cfg: &WindowConfig, events: &[SinkEvent], span: WindowSpan) -> StreamingAnalytics {
+    let mut sink = StreamingAnalytics::new(cfg.bucket_sink_config());
+    sink.on_trace_start(span.start);
+    for ev in events {
+        let ts = ev.route_ts();
+        if ts < span.start || ts >= span.end {
+            continue;
+        }
+        match ev {
+            SinkEvent::Answered(ts) => sink.on_answered_response(*ts),
+            SinkEvent::FirstDelay(ts, d) => sink.on_first_flow_delay(*ts, *d),
+            SinkEvent::AnyDelay(ts, d) => sink.on_any_flow_delay(*ts, *d),
+            SinkEvent::Flow(f) => sink.on_flow_finished(f),
+        }
+    }
+    sink
+}
+
+/// The second-level domain with the most labeled flows in a view (ties go
+/// to the lexicographically first name — deterministic either way).
+fn top_sld(view: &StreamingAnalytics) -> Option<(DomainName, u64)> {
+    let mut best: Option<(DomainName, u64)> = None;
+    for (sld, servers) in view.sld_servers() {
+        let weight: u64 = servers.values().sum();
+        if best.as_ref().is_none_or(|(_, w)| weight > *w) {
+            best = Some((sld.clone(), weight));
+        }
+    }
+    best
+}
+
+#[test]
+fn windowed_matches_a_fresh_sink_over_every_slice_on_every_profile() {
+    let mut profiles_under_test = profiles::all_paper_profiles();
+    profiles_under_test.push(profiles::shifting_mix().scaled(3.0));
+    for profile in profiles_under_test {
+        let name = profile.name.clone();
+        let trace = TraceGenerator::new(profile.scaled(scaled(0.04)), false).generate();
+        let (report, events) = record_events(&trace.records);
+        assert!(report.database.len() > 50, "{name}: trace too small");
+
+        let cfg = window_cfg();
+        let windowed = run_windowed_sequential(&trace.records, cfg.clone());
+        assert_eq!(
+            windowed.dropped_bucket_events(),
+            0,
+            "{name}: bucket cap engaged — windows are no longer exact"
+        );
+
+        // PR gate strides the sweep; nightly checks every position.
+        let stride = if full_sweep() { 1 } else { 3 };
+        let mut positions = 0u64;
+        let mut checked = 0u64;
+        windowed.for_each_window(|span, view| {
+            assert_eq!(span.seq, positions, "{name}: seq not monotonic");
+            positions += 1;
+            assert_eq!(span.end % SLIDE_MICROS, 0, "{name}: {span:?} off-grid");
+            assert!(
+                span.end - span.start == cfg.window_micros || span.start == 0,
+                "{name}: {span:?} has a bad span"
+            );
+            if span.seq % stride != 0 {
+                return;
+            }
+            checked += 1;
+
+            // Byte-identical to a fresh sink over the slice.
+            let reference = replay_slice(&cfg, &events, span);
+            assert!(
+                view.data_eq(&reference),
+                "{name}: window {span:?} state diverged from the sliced run"
+            );
+            assert_eq!(
+                view.render(),
+                reference.render(),
+                "{name}: window {span:?} render diverged from the sliced run"
+            );
+
+            // And consistent with the offline flow database sliced the
+            // same way (flows travel on their start timestamp).
+            let slice: Vec<&TaggedFlow> = report
+                .database
+                .flows()
+                .iter()
+                .filter(|f| f.first_ts >= span.start && f.first_ts < span.end)
+                .collect();
+            assert_eq!(
+                view.flows(),
+                slice.len() as u64,
+                "{name}: window {span:?} flow count vs offline slice"
+            );
+            let offline_fqdns: std::collections::BTreeSet<&DomainName> =
+                slice.iter().filter_map(|f| f.fqdn.as_ref()).collect();
+            assert_eq!(
+                view.fqdn_servers().len(),
+                offline_fqdns.len(),
+                "{name}: window {span:?} unique FQDNs vs offline slice"
+            );
+        });
+        assert!(
+            positions > 3,
+            "{name}: sweep visited only {positions} windows"
+        );
+        println!("{name}: {checked}/{positions} window positions verified against sliced runs");
+    }
+}
+
+#[test]
+fn windowed_render_is_byte_identical_at_any_worker_count() {
+    let profile = profiles::eu1_adsl1().scaled(scaled(0.1));
+    let trace = TraceGenerator::new(profile, false).generate();
+    let cfg = window_cfg();
+
+    let sequential = run_windowed_sequential(&trace.records, cfg.clone());
+    let reference = sequential.render();
+    let header = reference.lines().next().expect("header line");
+    assert!(header.starts_with("{\"stream\":\"dn-hunter-windowed\""));
+    assert!(header.contains("\"dropped_bucket_events\":0"), "{header}");
+    assert!(
+        reference.lines().count() > 3,
+        "render produced no window lines:\n{reference}"
+    );
+
+    for workers in [1usize, 2, 8] {
+        let parallel = run_windowed_parallel(&trace.records, &cfg, workers);
+        assert_eq!(parallel.dropped_bucket_events(), 0);
+        assert_eq!(
+            parallel.render(),
+            reference,
+            "{workers}-worker windowed output diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn shifting_mix_windows_diverge_from_the_global_aggregate() {
+    // The rotating-content-mix profile exists so that sliding windows have
+    // something to show: its per-window top content must change across
+    // epochs and differ from the since-start aggregate. A stationary
+    // profile cannot prove retraction matters; this one does.
+    let profile = profiles::shifting_mix().scaled(scaled(0.25));
+    let trace = TraceGenerator::new(profile, false).generate();
+    // Window = one 2 h mix epoch, stepping hourly.
+    let cfg = WindowConfig::new(2 * 3600 * 1_000_000, 3600 * 1_000_000);
+    let windowed = run_windowed_sequential(&trace.records, cfg);
+    assert_eq!(windowed.dropped_bucket_events(), 0);
+
+    let global_top = top_sld(&windowed.totals()).expect("global aggregate has labeled flows");
+    let mut window_tops: Vec<DomainName> = Vec::new();
+    windowed.for_each_window(|_, view| {
+        // Thin leading/trailing windows are noise; only count windows with
+        // real traffic.
+        if view.labeled_flows() >= 20 {
+            if let Some((sld, _)) = top_sld(view) {
+                window_tops.push(sld);
+            }
+        }
+    });
+    assert!(
+        window_tops.len() >= 3,
+        "only {} populated windows",
+        window_tops.len()
+    );
+    let distinct: std::collections::BTreeSet<&DomainName> = window_tops.iter().collect();
+    assert!(
+        distinct.len() >= 2,
+        "content mix never rotated: every window's top SLD is {:?}",
+        window_tops.first()
+    );
+    assert!(
+        window_tops.iter().any(|sld| *sld != global_top.0),
+        "every window agrees with the global top SLD {global_top:?} — windows add nothing"
+    );
+}

@@ -1,0 +1,73 @@
+//! Golden windowed JSONL: the `--window`/`--slide` output format is a
+//! contract (header line + one tagged line per window position), pinned
+//! byte-for-byte against `tests/golden/windowed_snapshot.jsonl` on a
+//! seeded trace. Any drift means the windowed renderer or the sweep
+//! semantics changed — both worth a deliberate golden refresh:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test --test windowed_golden
+//! ```
+
+use dnhunter::{RealTimeSniffer, SnifferConfig, WindowConfig, WindowedAnalytics};
+use dnhunter_simnet::{profiles, TraceGenerator};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("windowed_snapshot.jsonl")
+}
+
+#[test]
+fn windowed_jsonl_matches_golden_file() {
+    // The rotating-mix stressor at a fixed seed and scale: small enough to
+    // keep the golden reviewable, long enough for several full windows.
+    let profile = profiles::shifting_mix().scaled(0.15);
+    let trace = TraceGenerator::new(profile, false).generate();
+    let mut sniffer = RealTimeSniffer::new(SnifferConfig::default());
+    sniffer.set_sink(Box::new(WindowedAnalytics::new(WindowConfig::new(
+        2 * 3600 * 1_000_000,
+        3600 * 1_000_000,
+    ))));
+    for rec in &trace.records {
+        sniffer.process_record(rec);
+    }
+    let (_, sinks) = sniffer.finish_with_sinks();
+    let windowed = WindowedAnalytics::fold(sinks).expect("sink returned");
+    let rendered = windowed.render();
+
+    // Structural contract, independent of the golden bytes.
+    let mut lines = rendered.lines();
+    let header = lines.next().expect("header line");
+    assert!(header.starts_with("{\"stream\":\"dn-hunter-windowed\""));
+    assert!(header.contains("\"window_micros\":7200000000"));
+    assert!(header.contains("\"slide_micros\":3600000000"));
+    assert!(header.contains("\"dropped_bucket_events\":0"));
+    let mut seq = 0u64;
+    for line in lines {
+        assert!(line.starts_with("{\"window_start\":"), "{line}");
+        assert!(line.contains(&format!("\"seq\":{seq},")), "{line}");
+        assert!(line.contains("\"summary\":{"), "{line}");
+        assert!(line.ends_with("}"), "{line}");
+        seq += 1;
+    }
+    assert!(seq > 4, "only {seq} window lines");
+
+    let path = golden_path();
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with GOLDEN_UPDATE=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        golden,
+        "windowed JSONL drifted from {}; if intentional, refresh with GOLDEN_UPDATE=1",
+        path.display()
+    );
+}
