@@ -18,28 +18,42 @@
 //! dn-hunter capture.pcap --explain 93.184.216.34:443
 //! #   provenance: the causal chain of trace events that tagged (or failed
 //! #   to tag) the flows behind one FQDN or server endpoint
+//! cat capture.pcap | dn-hunter - --stream-analytics w.jsonl \
+//!     --window 1h --slide 5m --rotate 10m
+//! #   daemon mode: poll a pcap byte stream (FIFO, pipe, socket) and rotate
+//! #   window state every 10 minutes of packet time — rotated output is
+//! #   byte-identical to a batch --window run over the same bytes
+//! dn-hunter flows.dnfr --flowrec --flowrec-skew 30s
+//! #   flow-record regime: ingest a NetFlow/IPFIX-style export stream
+//! #   (gen-trace --flowrec-out) through a bounded reorder buffer
 //! ```
 
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::{BufReader, Write};
+use std::io::{BufReader, Read, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use dnhunter::{
-    FlowSink, ParallelSniffer, RealTimeSniffer, SnifferConfig, SnifferReport, StreamingAnalytics,
-    StreamingConfig, WindowConfig, WindowedAnalytics,
+    DaemonSniffer, FlowSink, FlowrecConfig, ParallelSniffer, RealTimeSniffer, Rotation,
+    SnifferConfig, SnifferReport, StreamingAnalytics, StreamingConfig, WindowConfig,
+    WindowedAnalytics,
 };
-use dnhunter_net::{PcapReader, PcapRecord};
+use dnhunter_net::{
+    FlowRecReader, FrameSource, PcapFileSource, PcapReader, PcapRecord, PcapStreamSource,
+};
 use dnhunter_telemetry as telemetry;
 
 fn usage() -> &'static str {
-    "usage: dn-hunter <capture.pcap> [--flows] [--json] [--tstat] [--csv] [--port N] \
+    "usage: dn-hunter <capture.pcap|-> [--flows] [--json] [--tstat] [--csv] [--port N] \
      [--warmup SECS] [--workers N] [--metrics FILE] [--metrics-interval SECS] [--metrics-full] \
      [--stream-analytics FILE] [--stream-interval SECS] [--window DUR] [--slide DUR] \
+     [--rotate DUR] [--flowrec] [--flowrec-skew DUR] \
      [--dispatchers N] [--trace-out FILE] [--explain FQDN|IP:PORT]\n\
      DUR is seconds, or a number suffixed s/m/h (e.g. --window 1h --slide 5m); --window \
-     switches --stream-analytics to sliding-window JSONL output"
+     switches --stream-analytics to sliding-window JSONL output; '-' reads a pcap byte \
+     stream from stdin (FIFO/pipe daemon mode); --rotate retires window state every DUR \
+     of packet time; --flowrec ingests a DNFR flow-record export stream instead of pcap"
 }
 
 /// Parse `30`, `30s`, `5m`, or `1h` into microseconds.
@@ -135,6 +149,9 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut explain: Option<String> = None;
     let mut dispatchers: Option<usize> = None;
+    let mut rotate_micros: Option<u64> = None;
+    let mut flowrec = false;
+    let mut flowrec_skew_micros: Option<u64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -217,6 +234,33 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--rotate" => {
+                i += 1;
+                match args.get(i).and_then(|s| parse_duration_micros(s)) {
+                    Some(r) if r >= 1_000_000 => rotate_micros = Some(r),
+                    _ => {
+                        eprintln!(
+                            "--rotate needs a duration >= 1s (e.g. 10m, 1h)\n{}",
+                            usage()
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--flowrec" => flowrec = true,
+            "--flowrec-skew" => {
+                i += 1;
+                match args.get(i).and_then(|s| parse_duration_micros(s)) {
+                    Some(s) => flowrec_skew_micros = Some(s),
+                    _ => {
+                        eprintln!(
+                            "--flowrec-skew needs a duration (e.g. 30s, 2m)\n{}",
+                            usage()
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--dispatchers" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse().ok()) {
@@ -271,6 +315,7 @@ fn main() -> ExitCode {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
             }
+            "-" if path.is_none() => path = Some("-".to_string()),
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             other => {
                 eprintln!("unknown argument '{other}'\n{}", usage());
@@ -306,21 +351,49 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-
-    let file = match File::open(&path) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("cannot open {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let reader = match PcapReader::new(BufReader::new(file)) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("not a readable pcap: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let stdin_input = path == "-";
+    if rotate_micros.is_some() && window_micros.is_none() {
+        eprintln!(
+            "--rotate needs --window: rotation retires sliding-window buckets\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    }
+    if rotate_micros.is_some() && dispatchers.is_some() {
+        eprintln!(
+            "--rotate and --dispatchers do not compose: the multi-dispatcher replay has no \
+             single packet clock while its slices parse concurrently\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    }
+    if stdin_input && dispatchers.is_some() {
+        eprintln!(
+            "--dispatchers replays a file from memory; it cannot poll stdin\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    }
+    if flowrec && (dispatchers.is_some() || workers > 1) {
+        eprintln!(
+            "--flowrec is a sequential regime: flow records are pre-aggregated, so the \
+             sharded pipeline has nothing to parallelise\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    }
+    if flowrec && metrics_path.is_some() {
+        eprintln!(
+            "--flowrec and --metrics do not compose yet: the flow-record loop has no \
+             per-packet clock for interval snapshots\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    }
+    if flowrec_skew_micros.is_some() && !flowrec {
+        eprintln!("--flowrec-skew needs --flowrec\n{}", usage());
+        return ExitCode::FAILURE;
+    }
 
     let config = SnifferConfig {
         warmup_micros: warmup_secs * 1_000_000,
@@ -393,12 +466,74 @@ fn main() -> ExitCode {
             None => SinkMode::Plain(stream),
         }
     });
+    // Rotation state outlives the replay: the emitter's `finish` folds the
+    // post-run sinks in, replacing the batch fold below.
+    let mut rotation = rotate_micros.map(|r| {
+        let Some(SinkMode::Windowed(wc)) = &stream_cfg else {
+            unreachable!("--rotate validated to require --window")
+        };
+        Rotation::new(r, wc.clone())
+    });
     let mut last_ts = 0u64;
-    let (report, sinks) = if let Some(dispatchers) = dispatchers {
+    let (report, sinks) = if flowrec {
+        // Flow-record regime: a DNFR export stream through the bounded
+        // reorder buffer, sequential by construction.
+        let mut sniffer = RealTimeSniffer::new(config);
+        if let Some(mode) = &stream_cfg {
+            sniffer.set_sink(mode.make_sink());
+        }
+        let input: Box<dyn Read> = if stdin_input {
+            Box::new(std::io::stdin().lock())
+        } else {
+            match File::open(&path) {
+                Ok(f) => Box::new(BufReader::new(f)),
+                Err(e) => {
+                    eprintln!("cannot open {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        let mut reader = match FlowRecReader::new(input) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("not a readable flow-record stream: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let fcfg = FlowrecConfig {
+            skew_micros: flowrec_skew_micros.unwrap_or(FlowrecConfig::default().skew_micros),
+            ..FlowrecConfig::default()
+        };
+        match dnhunter::run_flowrec_daemon(&mut reader, &mut sniffer, &fcfg, rotation.as_mut()) {
+            Ok(stats) => eprintln!(
+                "flow-record ingest: {} dns, {} flow, {} skew-overflow, {} late",
+                stats.dns_records, stats.flow_records, stats.skew_overflow, stats.late_records
+            ),
+            Err(e) => {
+                eprintln!("flow-record stream error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        sniffer.finish_with_sinks()
+    } else if let Some(dispatchers) = dispatchers {
         // Pull mode: load the capture, then drive the full dispatcher stage
         // (batched rings, token hand-off) exactly as `run_records` does in
         // tests — this is the only way the flight recorder sees dispatcher
         // lanes and token acquire/release events.
+        let file = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let reader = match PcapReader::new(BufReader::new(file)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("not a readable pcap: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         let mut records: Vec<PcapRecord> = Vec::new();
         for rec in reader {
             match rec {
@@ -428,7 +563,84 @@ fn main() -> ExitCode {
                 (report, Vec::new())
             }
         }
+    } else if rotate_micros.is_some() || stdin_input {
+        // Daemon mode: poll a frame source (file or byte stream) through
+        // the event loop, rotating window state on the packet clock. The
+        // same loop serves batch `--rotate` runs — rotated output is a
+        // function of the record stream alone, so file and FIFO replays of
+        // the same bytes render byte-identically at any worker count.
+        let mut sniffer = if workers > 1 {
+            DaemonSniffer::Par(Box::new(match &stream_cfg {
+                Some(mode) => {
+                    ParallelSniffer::with_sinks(config, workers, &mut |_| mode.make_sink())
+                }
+                None => ParallelSniffer::new(config, workers),
+            }))
+        } else {
+            let mut s = RealTimeSniffer::new(config);
+            if let Some(mode) = &stream_cfg {
+                s.set_sink(mode.make_sink());
+            }
+            DaemonSniffer::Seq(Box::new(s))
+        };
+        let mut source: Box<dyn FrameSource> = if stdin_input {
+            Box::new(PcapStreamSource::new(std::io::stdin().lock()))
+        } else {
+            let file = match File::open(&path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot open {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match PcapFileSource::new(BufReader::new(file)) {
+                Ok(s) => Box::new(s),
+                Err(e) => {
+                    eprintln!("not a readable pcap: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        // Mid-run snapshots read only the driver registry (worker
+        // registries merge at finish); the final line below is exact.
+        let mut metrics_err: Option<std::io::Error> = None;
+        let run =
+            dnhunter::run_frame_daemon(source.as_mut(), &mut sniffer, rotation.as_mut(), |ts| {
+                last_ts = last_ts.max(ts);
+                if let (Some(out), Some(reg)) = (metrics_out.as_mut(), registry.as_deref()) {
+                    if emitter.poll(ts) && metrics_err.is_none() {
+                        let seq = emitter.emitted().saturating_sub(1);
+                        let line = telemetry::jsonl(&reg.snapshot(), seq, ts, metrics_full);
+                        if let Err(e) = out.write_all(line.as_bytes()) {
+                            metrics_err = Some(e);
+                        }
+                    }
+                }
+            });
+        if let Err(e) = run {
+            eprintln!("pcap stream error: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Some(e) = metrics_err {
+            eprintln!("metrics write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        sniffer.finish_with_sinks()
     } else {
+        let file = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let reader = match PcapReader::new(BufReader::new(file)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("not a readable pcap: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         let mut driver = if workers > 1 {
             Driver::Par(Box::new(match &stream_cfg {
                 Some(mode) => {
@@ -479,9 +691,18 @@ fn main() -> ExitCode {
     }
 
     // Fold the per-worker partial analytics into one deterministic summary
-    // (byte-identical for any --workers count) and write it out.
+    // (byte-identical for any --workers count) and write it out. Under
+    // --rotate the incremental emitter has already rendered every retired
+    // window; `finish` folds in the post-rotation residue the sinks hold.
     if let (Some(out_path), Some(mode)) = (&stream_path, &stream_cfg) {
-        match mode.fold_render(sinks) {
+        let rendered = match rotation.take() {
+            Some(rot) => {
+                let rotations = rot.rotations;
+                Some(rot.emitter.finish(rotations, sinks))
+            }
+            None => mode.fold_render(sinks),
+        };
+        match rendered {
             Some(rendered) => {
                 if let Err(e) = std::fs::write(out_path, rendered) {
                     eprintln!("cannot write streaming analytics to {out_path}: {e}");

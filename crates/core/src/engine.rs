@@ -28,7 +28,7 @@ use dnhunter_telemetry::{
 use crate::db::{FlowDatabase, TaggedFlow};
 use crate::policy::PolicyEnforcer;
 use crate::sniffer::{DelaySamples, SnifferConfig, SnifferReport, SnifferStats};
-use crate::stream::FlowSink;
+use crate::stream::{FlowSink, StreamingAnalytics};
 
 /// Total order on sniffer events across shards: `(seq, phase)`.
 ///
@@ -399,6 +399,122 @@ impl ShardEngine {
             sink.on_flow_finished(&flow);
         }
         self.tagged.push((at, flow));
+    }
+
+    /// Daemon-mode state rotation at the given packet-clock `horizon`:
+    /// retire windowed sink buckets below it (returned for emission) and
+    /// drain the accumulated sample streams so memory stays bounded on an
+    /// unbounded stream. The horizon the driver passes is a *global* lower
+    /// bound on all future event timestamps (rotation clock clamped to the
+    /// oldest live flow's first packet), so nothing retired here can still
+    /// be written to — except under injected reordering, which the sink
+    /// counts. Draining is all-or-nothing rather than a timestamp-filtered
+    /// prefix: rotation points are the same trace instants at every worker
+    /// count, so a full drain is deterministic while a prefix split on
+    /// per-shard sample order would not be. The final report therefore
+    /// covers the post-rotation residue; the retired history lives in the
+    /// rotated window stream.
+    // lint_root(determinism): rotation fires at the same packet-clock instants at every worker count
+    pub(crate) fn rotate(&mut self, horizon: u64) -> Vec<(u64, StreamingAnalytics)> {
+        self.responses.clear();
+        self.response_index.clear();
+        self.dns_response_times.clear();
+        self.answers_per_response.clear();
+        self.any_flow_delays.clear();
+        self.tagged.clear();
+        match self.sink.as_deref_mut() {
+            Some(sink) => sink.rotate(horizon),
+            None => Vec::new(),
+        }
+    }
+
+    /// Ingest one pre-aggregated flow export record (the NetFlow/IPFIX
+    /// regime, paper-adjacent FlowDNS): no packets ever existed, so the
+    /// flow starts *and* finishes here. Tagging, warm-up gating, and delay
+    /// accounting run exactly as [`ShardEngine::on_flow_started`] would at
+    /// the flow's first-packet time; DPI falls back to the server port
+    /// (payload bytes don't exist in this regime).
+    // lint_root(ingest): handler for attacker-controlled flow-record exports
+    pub(crate) fn ingest_flow_export(&mut self, seq: u64, rec: &dnhunter_net::FlowExportRecord) {
+        let ts = rec.first_ts;
+        let in_warmup = self
+            .trace_start
+            .is_some_and(|t0| ts.saturating_sub(t0) < self.config.warmup_micros);
+        let label = self.resolver.lookup(rec.client, rec.server);
+        if !in_warmup {
+            self.stats.tag_attempts += 1;
+            tm_count!(Tm::TagAttempts);
+            if label.is_some() {
+                self.stats.tag_hits += 1;
+                tm_count!(Tm::TagHits);
+            }
+        }
+        let mut tag_delay = None;
+        let mut first_flow_delay = None;
+        if let Some(&idx) = self.response_index.get(&(rec.client, rec.server)) {
+            if let Some(resp) = self.responses.get_mut(idx) {
+                let delay = ts.saturating_sub(resp.ts);
+                if resp.first_flow_delay.is_none() {
+                    resp.first_flow_delay = Some(delay);
+                    first_flow_delay = Some(delay);
+                }
+                self.any_flow_delays.push((seq, delay));
+                tag_delay = Some(delay);
+            }
+        }
+        if let Some(sink) = self.sink.as_deref_mut() {
+            if let Some(d) = first_flow_delay {
+                sink.on_first_flow_delay(ts, d);
+            }
+            if let Some(d) = tag_delay {
+                sink.on_any_flow_delay(ts, d);
+            }
+        }
+        let protocol = dnhunter_flow::AppProtocol::from_server_port(rec.server_port);
+        tm_count!(match protocol {
+            dnhunter_flow::AppProtocol::Http => Tm::DpiHttp,
+            dnhunter_flow::AppProtocol::Tls => Tm::DpiTls,
+            dnhunter_flow::AppProtocol::P2p => Tm::DpiP2p,
+            dnhunter_flow::AppProtocol::Dns => Tm::DpiDns,
+            dnhunter_flow::AppProtocol::Mail => Tm::DpiMail,
+            dnhunter_flow::AppProtocol::Chat => Tm::DpiChat,
+            dnhunter_flow::AppProtocol::Other => Tm::DpiOther,
+        });
+        tm_count!(Tm::FlowsStarted);
+        tm_count!(Tm::FlowsFinished);
+        let key = FlowKey::from_initiator(
+            rec.client,
+            rec.server,
+            rec.client_port,
+            rec.server_port,
+            dnhunter_net::IpProtocol::from(rec.ip_proto),
+        );
+        let flow = TaggedFlow {
+            key,
+            fqdn: label.map(|arc| (*arc).clone()),
+            second_level: None,
+            alt_labels: Vec::new(),
+            tag_delay_micros: tag_delay,
+            first_ts: rec.first_ts,
+            last_ts: rec.last_ts,
+            packets_c2s: rec.packets_c2s,
+            packets_s2c: rec.packets_s2c,
+            bytes_c2s: rec.bytes_c2s,
+            bytes_s2c: rec.bytes_s2c,
+            protocol,
+            tls: None,
+            in_warmup,
+        };
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.on_flow_finished(&flow);
+        }
+        self.tagged.push(((seq, PHASE_FRAME), flow));
+    }
+
+    /// First-packet timestamp of the oldest still-live flow (rotation
+    /// horizon clamp; see [`dnhunter_flow::FlowTable::oldest_live_first_ts`]).
+    pub(crate) fn oldest_live_first_ts(&self) -> Option<u64> {
+        self.flows.oldest_live_first_ts()
     }
 
     /// End of trace: flush live flows and hand over everything accumulated.

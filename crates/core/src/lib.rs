@@ -47,6 +47,9 @@
 
 #![forbid(unsafe_code)]
 
+/// Daemon mode: poll-driven ingest over any frame source, packet-clock
+/// state rotation, and the flow-record (NetFlow/IPFIX-style) regime.
+pub mod daemon;
 pub mod db;
 /// Per-shard sniffer engine shared by the sequential and parallel drivers.
 mod engine;
@@ -71,6 +74,10 @@ pub mod traceio;
 /// merge + retraction (also reachable as `stream::windowed`).
 pub mod window;
 
+pub use daemon::{
+    run_flowrec_daemon, run_frame_daemon, DaemonSniffer, FlowrecConfig, FlowrecStats, Rotation,
+    RotationEmitter,
+};
 pub use db::{FlowDatabase, TaggedFlow};
 pub use export::{write_csv, write_tstat_log};
 pub use pipeline::{run_records, run_records_with_sinks, ParallelSniffer, PipelineTimings};

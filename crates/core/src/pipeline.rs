@@ -63,7 +63,12 @@ use crate::engine::{assemble_report, ShardEngine, ShardOutput};
 use crate::policy::RuleEnforcer;
 use crate::ring::{self, Receiver, Sender};
 use crate::sniffer::{compact_seg, SnifferConfig, SnifferReport, SnifferStats};
-use crate::stream::FlowSink;
+use crate::stream::{FlowSink, StreamingAnalytics};
+
+/// What a worker hands back over its rotation ring: the retired
+/// `(bucket index, partial)` pairs its windowed sink gave up, in bucket
+/// order.
+type RotateReply = Vec<(u64, StreamingAnalytics)>;
 
 /// Frames per batch before the dispatcher seals a batch. Batching
 /// amortises the ring's lock handoff over many frames (§3.2's per-packet
@@ -113,6 +118,10 @@ enum ItemKind {
     /// Run one eviction scan — the dispatcher's replica of the sequential
     /// interval gate fired at this frame.
     Tick,
+    /// Retire every windowed-analytics bucket strictly below `horizon` and
+    /// answer with the retired partials on this worker's rotation ring —
+    /// the broadcast half of [`ParallelSniffer::rotate`]'s barrier.
+    Rotate { horizon: u64 },
 }
 
 /// One event in a batch; `off..off+len` indexes the batch's byte arena
@@ -145,6 +154,12 @@ struct Route {
     shard: usize,
     client: IpAddr,
     client_port: u16,
+    /// When this flow record started — the dispatcher's replica of
+    /// `FlowRecord::first_ts`, reset on SYN port-reuse renewal exactly as
+    /// the worker's table resets it. The rotation horizon clamps to the
+    /// minimum of these so no window a live flow can still touch is
+    /// retired early.
+    first_ts: u64,
     last_ts: u64,
     tcp: TcpTracker,
     /// Bytes of each direction's DPI head already shipped — the
@@ -375,6 +390,7 @@ impl Dispatcher {
                     // DPI head fill, and ages from this packet.
                     if flags.syn() && !flags.ack() && was_terminal {
                         route.tcp = TcpTracker::new();
+                        route.first_ts = ts;
                         route.last_ts = ts;
                         route.head_c2s = 0;
                         route.head_s2c = 0;
@@ -411,6 +427,7 @@ impl Dispatcher {
                     shard,
                     client: seg.src,
                     client_port: seg.src_port,
+                    first_ts: ts,
                     last_ts: ts,
                     tcp,
                     head_c2s: take as u16,
@@ -484,7 +501,7 @@ impl Dispatcher {
             ItemKind::DnsUdp { .. } | ItemKind::DnsTcp { .. } | ItemKind::Seg(_) => {
                 tm_count!(Tm::PipelineItemsRouted)
             }
-            ItemKind::Start => {}
+            ItemKind::Start | ItemKind::Rotate { .. } => {}
         }
         let off = link.pending.bytes.len() as u32;
         link.pending.bytes.extend_from_slice(bytes);
@@ -535,6 +552,8 @@ impl Dispatcher {
             return;
         }
         let batches = link.outbox.len() as u64;
+        // allow_lint(L7): wall-clock here feeds only the `send_wait_nanos`
+        // telemetry split; no emitted byte depends on it
         let t0 = Instant::now();
         // A send only fails when the worker died; the merge then simply
         // misses that shard's output — nothing to do here.
@@ -569,6 +588,9 @@ pub struct ParallelSniffer {
     dispatcher: Dispatcher,
     state: RouterState,
     handles: Vec<JoinHandle<(ShardOutput, u64)>>,
+    /// Receive half of each worker's capacity-1 rotation ring, shard
+    /// order; [`ParallelSniffer::rotate`] blocks on one reply per worker.
+    rotation_rxs: Vec<Receiver<RotateReply>>,
     seq: u64,
     busy_nanos: u64,
     /// Per-worker telemetry registries, present only when the constructing
@@ -613,12 +635,15 @@ impl ParallelSniffer {
         // export shows every thread of this pipeline.
         let trace = telemetry::trace_set();
         let mut worker_registries = Vec::new();
+        let mut rotation_rxs = Vec::with_capacity(workers);
         for (shard, engine) in shard_engines(&config, workers, &mut make_sink)
             .into_iter()
             .enumerate()
         {
             let (tx, rx) = ring::channel::<Batch>(CHANNEL_BATCHES);
             let (recycle_tx, recycle_rx) = ring::channel::<Batch>(RECYCLE_BATCHES);
+            let (rotate_tx, rotate_rx) = ring::channel::<RotateReply>(1);
+            rotation_rxs.push(rotate_rx);
             let registry = telemetry_on.then(|| {
                 let reg = std::sync::Arc::new(telemetry::Registry::new());
                 worker_registries.push(std::sync::Arc::clone(&reg));
@@ -626,7 +651,15 @@ impl ParallelSniffer {
             });
             let trace = trace.clone();
             handles.push(std::thread::spawn(move || {
-                worker_loop(engine, shard, vec![rx], vec![recycle_tx], registry, trace)
+                worker_loop(
+                    engine,
+                    shard,
+                    vec![rx],
+                    vec![recycle_tx],
+                    Some(rotate_tx),
+                    registry,
+                    trace,
+                )
             }));
             links.push(WorkerLink {
                 tx,
@@ -642,10 +675,41 @@ impl ParallelSniffer {
             dispatcher,
             state: RouterState::default(),
             handles,
+            rotation_rxs,
             seq: 0,
             busy_nanos: 0,
             worker_registries,
         }
+    }
+
+    /// Retire windowed-analytics buckets below the rotation horizon on
+    /// every shard, returning the retired `(bucket, partial)` lists in
+    /// shard order. The horizon is `clock` clamped down to the oldest live
+    /// flow's start (the routing table's `first_ts` minimum — the mirror
+    /// of the sequential sniffer's `FlowTable::oldest_live_first_ts`), so
+    /// no window a live flow can still contribute to is emitted early.
+    /// Runs as a barrier: a `Rotate` item is broadcast to every shard,
+    /// pending batches flush, and the call blocks until each worker
+    /// answers on its capacity-1 rotation ring — cheap at rotation cadence,
+    /// and it pins retirement to the same packet-clock instant at every
+    /// worker count.
+    // lint_root(determinism): rotation barrier fires identically at every worker count
+    pub fn rotate(&mut self, clock: u64) -> (u64, Vec<Vec<(u64, StreamingAnalytics)>>) {
+        let oldest = self.state.routes.values().map(|r| r.first_ts).min();
+        let horizon = oldest.map_or(clock, |t| t.min(clock));
+        let seq = self.seq;
+        for shard in 0..self.dispatcher.links.len() {
+            self.dispatcher
+                .push_item(shard, ItemKind::Rotate { horizon }, seq, clock, &[]);
+        }
+        self.dispatcher.flush_all();
+        let mut replies = Vec::with_capacity(self.rotation_rxs.len());
+        for rx in &self.rotation_rxs {
+            // `None` = the worker died; treat as "nothing retired" and let
+            // the join in `finish` surface the loss.
+            replies.push(rx.recv().unwrap_or_default());
+        }
+        (horizon, replies)
     }
 
     /// Merged point-in-time copy of the *workers'* telemetry cells — empty
@@ -890,8 +954,12 @@ fn run_records_full(
                 reg
             });
             let trace = trace.clone();
-            worker_handles
-                .push(s.spawn(move || worker_loop(engine, shard, rxs, recycles, registry, trace)));
+            // Rotation never runs under the multi-dispatcher driver (no
+            // single packet clock exists across concurrently-parsed
+            // slices), so these workers get no rotation ring.
+            worker_handles.push(
+                s.spawn(move || worker_loop(engine, shard, rxs, recycles, None, registry, trace)),
+            );
         }
         let mut disp_handles = Vec::with_capacity(dispatchers.min(MAX_PIPELINE_THREADS));
         let disp_parts = dispatcher_links
@@ -1126,6 +1194,7 @@ fn worker_loop(
     shard: usize,
     rxs: Vec<Receiver<Batch>>,
     recycles: Vec<Sender<Batch>>,
+    rotate_tx: Option<Sender<RotateReply>>,
     registry: Option<std::sync::Arc<telemetry::Registry>>,
     trace: Option<std::sync::Arc<TraceSet>>,
 ) -> (ShardOutput, u64) {
@@ -1190,6 +1259,16 @@ fn worker_loop(
                             let payload = batch.bytes.get(start..end).unwrap_or(&[]);
                             for msg in codec::decode_tcp_stream(payload) {
                                 engine.handle_dns_message(item.seq, item.ts, client, &msg);
+                            }
+                        }
+                        ItemKind::Rotate { horizon } => {
+                            let retired = engine.rotate(horizon);
+                            // The barrier half: the dispatcher blocks on
+                            // this reply, so the send can never find the
+                            // capacity-1 ring full. A failed send means
+                            // the dispatcher already gave up on us.
+                            if let Some(tx) = &rotate_tx {
+                                let _ = tx.send(retired);
                             }
                         }
                     }

@@ -102,6 +102,15 @@ pub trait FlowSink: Send {
     /// database row is complete. `flow.second_level` is still unset here;
     /// sinks derive it themselves.
     fn on_flow_finished(&mut self, flow: &TaggedFlow);
+    /// Daemon-mode state rotation: retire and return every time bucket
+    /// strictly before the packet-clock `horizon` (µs), as `(bucket_index,
+    /// partial)` pairs. The engine guarantees no further event at a
+    /// timestamp below `horizon` except under injected reordering, which
+    /// the windowed sink counts rather than mis-attributes. Sinks without
+    /// time-bucketed state (the default) have nothing to retire.
+    fn rotate(&mut self, _horizon: u64) -> Vec<(u64, StreamingAnalytics)> {
+        Vec::new()
+    }
     /// Downcast support for [`StreamingAnalytics::fold`].
     fn as_any_box(self: Box<Self>) -> Box<dyn Any + Send>;
 }

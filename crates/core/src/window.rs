@@ -115,6 +115,13 @@ pub struct WindowedAnalytics {
     /// Events dropped because their bucket would exceed
     /// [`MAX_LIVE_BUCKETS`].
     dropped_bucket_events: u64,
+    /// First bucket index still live: everything below it was retired by
+    /// [`FlowSink::rotate`] and emitted. 0 until the first rotation.
+    retired_floor: u64,
+    /// Events that arrived for an already-retired bucket (possible only
+    /// under injected reordering — the rotation horizon otherwise
+    /// lower-bounds every future event). Counted, never mis-attributed.
+    late_bucket_events: u64,
 }
 
 impl WindowedAnalytics {
@@ -125,6 +132,8 @@ impl WindowedAnalytics {
             buckets: BTreeMap::new(),
             trace_start: None,
             dropped_bucket_events: 0,
+            retired_floor: 0,
+            late_bucket_events: 0,
         }
     }
 
@@ -143,13 +152,30 @@ impl WindowedAnalytics {
         self.dropped_bucket_events
     }
 
+    /// Events that arrived below the rotation floor (0 without injected
+    /// reordering).
+    pub fn late_bucket_events(&self) -> u64 {
+        self.late_bucket_events
+    }
+
+    /// First bucket index still live after rotation.
+    pub fn retired_floor(&self) -> u64 {
+        self.retired_floor
+    }
+
     fn bucket_of(&self, ts: u64) -> u64 {
         ts / self.cfg.slide_micros
     }
 
-    /// The bucket partial for `ts`, or `None` (counted) past the cap.
+    /// The bucket partial for `ts`, or `None` (counted) when the bucket
+    /// was already retired by rotation or would exceed the cap.
     fn bucket_mut(&mut self, ts: u64) -> Option<&mut StreamingAnalytics> {
         let idx = self.bucket_of(ts);
+        if idx < self.retired_floor {
+            self.late_bucket_events += 1;
+            tm_count!(Metric::WindowLateEvents);
+            return None;
+        }
         if self.buckets.len() >= MAX_LIVE_BUCKETS && !self.buckets.contains_key(&idx) {
             self.dropped_bucket_events += 1;
             return None;
@@ -186,6 +212,10 @@ impl WindowedAnalytics {
             (a, b) => a.or(b),
         };
         self.dropped_bucket_events += other.dropped_bucket_events;
+        self.late_bucket_events += other.late_bucket_events;
+        // Shards rotate at the same global horizons, so floors agree; max
+        // is the safe fold either way.
+        self.retired_floor = self.retired_floor.max(other.retired_floor);
         for (idx, part) in other.buckets {
             if let Some(existing) = self.buckets.get_mut(&idx) {
                 existing.merge(part);
@@ -334,6 +364,22 @@ impl FlowSink for WindowedAnalytics {
         if let Some(b) = self.bucket_mut(flow.first_ts) {
             b.on_flow_finished(flow);
         }
+    }
+
+    /// Retire-and-emit: split off every bucket strictly below the horizon
+    /// and hand the partials to the caller (the daemon's rotation
+    /// emitter). This is what replaces the [`MAX_LIVE_BUCKETS`] overflow
+    /// drop on an unbounded stream — live state stays bounded by rotation
+    /// cadence instead of by dropping events.
+    fn rotate(&mut self, horizon: u64) -> Vec<(u64, StreamingAnalytics)> {
+        let floor = horizon / self.cfg.slide_micros;
+        if floor <= self.retired_floor {
+            return Vec::new();
+        }
+        let keep = self.buckets.split_off(&floor);
+        let retired = std::mem::replace(&mut self.buckets, keep);
+        self.retired_floor = floor;
+        retired.into_iter().collect()
     }
 
     fn as_any_box(self: Box<Self>) -> Box<dyn Any + Send> {

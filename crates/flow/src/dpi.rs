@@ -30,6 +30,20 @@ pub enum AppProtocol {
 }
 
 impl AppProtocol {
+    /// Port-only classification for the flow-record ingest regime, where
+    /// no payload bytes exist to inspect. Mirrors the port tie-break sets
+    /// [`classify`] uses — the best a NetFlow/IPFIX probe can offer.
+    pub fn from_server_port(port: u16) -> AppProtocol {
+        match port {
+            80 | 8080 => AppProtocol::Http,
+            443 => AppProtocol::Tls,
+            53 => AppProtocol::Dns,
+            25 | 110 | 143 | 587 => AppProtocol::Mail,
+            5222 | 1863 => AppProtocol::Chat,
+            _ => AppProtocol::Other,
+        }
+    }
+
     /// Short lowercase label for reports.
     pub fn label(self) -> &'static str {
         match self {

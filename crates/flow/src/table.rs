@@ -112,6 +112,14 @@ impl FlowTable {
         self.flows.len()
     }
 
+    /// First-packet timestamp of the oldest live flow, if any. The daemon's
+    /// rotation horizon is clamped to this: a still-live flow will emit its
+    /// finish event at `first_ts`, so no bucket at or above the minimum may
+    /// be retired yet. O(live flows), called only at rotation points.
+    pub fn oldest_live_first_ts(&self) -> Option<u64> {
+        self.flows.values().map(|r| r.first_ts).min()
+    }
+
     /// Flows created since start.
     pub fn total_created(&self) -> u64 {
         self.total_created

@@ -26,6 +26,7 @@
 pub mod checksum;
 pub mod error;
 pub mod ethernet;
+pub mod flowrec;
 pub mod ipv4;
 pub mod ipv6;
 pub mod mac;
@@ -33,11 +34,15 @@ pub mod packet;
 pub mod pcap;
 pub mod proto;
 pub mod seg;
+pub mod source;
 pub mod tcp;
 pub mod udp;
 
 pub use error::{NetError, Result};
 pub use ethernet::{EtherType, EthernetHeader};
+pub use flowrec::{
+    DnsExportRecord, ExportRecord, FlowExportRecord, FlowRecError, FlowRecReader, FlowRecWriter,
+};
 pub use ipv4::Ipv4Header;
 pub use ipv6::Ipv6Header;
 pub use mac::MacAddr;
@@ -48,5 +53,6 @@ pub use packet::{
 pub use pcap::{PcapReader, PcapRecord, PcapWriter};
 pub use proto::IpProtocol;
 pub use seg::{parse_flat, FlatFrame, FlatParse, FlatSeg, FrameFault, SegBatch, SEG_BATCH_FRAMES};
+pub use source::{FrameSource, PcapFileSource, PcapStreamSource, SourcePoll};
 pub use tcp::{TcpFlags, TcpHeader};
 pub use udp::UdpHeader;

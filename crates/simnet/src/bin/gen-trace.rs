@@ -12,11 +12,13 @@ use std::fs::File;
 use std::io::BufWriter;
 use std::process::ExitCode;
 
-use dnhunter_simnet::{profiles, TraceGenerator};
+use dnhunter_net::FlowRecWriter;
+use dnhunter_simnet::{flowexport, profiles, TraceGenerator};
 
 fn usage() -> &'static str {
-    "usage: gen-trace --profile NAME [--scale F] [--seed N] [-o FILE] [--list]\n\
-     profiles: US-3G, EU2-ADSL, EU1-ADSL1, EU1-ADSL2, EU1-FTTH, live"
+    "usage: gen-trace --profile NAME [--scale F] [--seed N] [-o FILE] [--flowrec-out FILE] [--list]\n\
+     profiles: US-3G, EU2-ADSL, EU1-ADSL1, EU1-ADSL2, EU1-FTTH, live\n\
+     --flowrec-out also writes the flow-export (DNFR) view of the same trace"
 }
 
 fn main() -> ExitCode {
@@ -25,6 +27,7 @@ fn main() -> ExitCode {
     let mut scale = 0.1f64;
     let mut seed: Option<u64> = None;
     let mut out = String::from("trace.pcap");
+    let mut flowrec_out: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -84,6 +87,16 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--flowrec-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(o) => flowrec_out = Some(o.clone()),
+                    None => {
+                        eprintln!("{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "-h" | "--help" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -106,6 +119,7 @@ fn main() -> ExitCode {
     }
     let live = profile_name.eq_ignore_ascii_case("live")
         || profile_name.eq_ignore_ascii_case("eu1-adsl2-live");
+    let trace_seed = profile.seed;
 
     eprintln!(
         "generating {} at scale {scale} ({} clients, {}h)…",
@@ -127,14 +141,42 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let export_seed = trace_seed;
     match trace.write_pcap(BufWriter::new(file)) {
-        Ok(_) => {
-            eprintln!("wrote {out}");
-            ExitCode::SUCCESS
-        }
+        Ok(_) => eprintln!("wrote {out}"),
         Err(e) => {
             eprintln!("write failed: {e}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
     }
+
+    if let Some(path) = flowrec_out {
+        let stream = flowexport::export_stream(&trace.records, export_seed, 53);
+        let file = match File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut writer = match FlowRecWriter::new(BufWriter::new(file)) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("flowrec write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for rec in &stream {
+            if let Err(e) = writer.write_record(rec) {
+                eprintln!("flowrec write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = writer.into_inner() {
+            eprintln!("flowrec write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} ({} export records)", stream.len());
+    }
+    ExitCode::SUCCESS
 }

@@ -36,6 +36,9 @@ pub mod config;
 pub mod diurnal;
 pub mod dnsmodel;
 pub mod fault;
+/// NetFlow/IPFIX-style view of a generated trace: the deterministic
+/// flow-export emitter behind `gen-trace --flowrec-out`.
+pub mod flowexport;
 pub mod flowgen;
 pub mod generator;
 pub mod profiles;

@@ -138,6 +138,22 @@ metrics! {
         "Finished flows classified chat by the DPI baseline";
     DpiOther => "dnh_dpi_verdict_other_total", Counter, Stable,
         "Finished flows the DPI baseline could not classify";
+    FlowrecDnsRecords => "dnh_flowrec_dns_records_total", Counter, Stable,
+        "DNS answer records ingested from a flow-record export stream";
+    FlowrecFlowRecords => "dnh_flowrec_flow_records_total", Counter, Stable,
+        "Flow export records ingested from a flow-record export stream";
+    FlowrecDecodeErrors => "dnh_flowrec_decode_errors_total", Counter, Stable,
+        "Flow-record stream records rejected by the codec or the DNS decoder";
+    FlowrecSkewOverflow => "dnh_flowrec_skew_overflow_total", Counter, Stable,
+        "Flow-record reorder-buffer overflows: a record released early because the skew buffer hit capacity";
+    FlowrecLateRecords => "dnh_flowrec_late_records_total", Counter, Stable,
+        "Flow-record stream records that arrived later than the reorder watermark allows (processed anyway, possibly mis-ordered)";
+    DaemonRotations => "dnh_daemon_rotations_total", Counter, Stable,
+        "Daemon state rotations driven by the packet clock";
+    WindowBucketsRetired => "dnh_window_buckets_retired_total", Counter, Stable,
+        "Windowed-analytics buckets retired and emitted by state rotation";
+    WindowLateEvents => "dnh_window_late_events_total", Counter, Stable,
+        "Windowed-analytics events that arrived for an already-retired bucket (possible only under injected reordering)";
 
     // --- Runtime: depends on driver shape / wall clock -----------------
     NetParses => "dnh_net_parses_total", Counter, Runtime,

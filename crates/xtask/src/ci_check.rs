@@ -1,0 +1,430 @@
+//! `cargo xtask ci-check` — keeps the CI workflows and the test suite
+//! pointing at each other.
+//!
+//! Two failure modes creep in silently as a workspace grows:
+//!
+//! 1. A new integration test lands (`tests/*.rs` or `crates/*/tests/*.rs`)
+//!    but no workflow step ever runs it — green CI, untested code.
+//! 2. A test or binary is renamed or deleted but a workflow still invokes
+//!    it — CI fails for everyone at the worst time, or worse, a
+//!    `cargo test --test gone` step is quietly edited out instead of the
+//!    coverage being restored.
+//!
+//! `ci-check` closes the loop in both directions with a std-only line
+//! scan of `.github/workflows/*.yml`:
+//!
+//! * every integration test target must be *covered*: named by a
+//!   `--test <stem>` in some workflow `run:` step, or swept up by a
+//!   blanket `cargo test --workspace` (or `cargo test -p <pkg>`) that
+//!   carries no target filter (`--lib`/`--bins`/`--doc`/... exclude
+//!   integration tests and do not count);
+//! * every `--test`, `--bin`, and `-p`/`--package` a workflow names must
+//!   resolve to a target that still exists.
+//!
+//! The scanner is parameterized by the root directory so the selftest can
+//! point it at fixture trees (see `tests/ci_check_selftest.rs`).
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// One mismatch between the workflows and the workspace.
+#[derive(Debug)]
+pub struct Finding {
+    /// File the finding anchors to (workflow or test file), root-relative.
+    pub file: PathBuf,
+    /// 1-indexed line in `file`; 0 when the finding is about an absence.
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.file.display(), self.line, self.message)
+    }
+}
+
+/// A cargo package: its name, the integration-test stems under its
+/// `tests/`, and its binary target names.
+struct Package {
+    name: String,
+    /// Root-relative path of the package's `tests/` dir (for messages).
+    tests_dir: PathBuf,
+    tests: Vec<String>,
+    bins: Vec<String>,
+    is_root: bool,
+}
+
+/// One workflow reference to a cargo target, with its source position.
+struct TargetRef {
+    /// Package named by `-p`/`--package` on the same line, if any.
+    pkg: Option<String>,
+    name: String,
+    file: PathBuf,
+    line: usize,
+}
+
+/// Everything the workflows invoke, accumulated over every `.yml` file.
+#[derive(Default)]
+struct WorkflowCmds {
+    /// A filterless `cargo test --workspace` exists somewhere.
+    blanket_all: bool,
+    /// Packages swept by a filterless `cargo test -p <pkg>`.
+    blanket_pkgs: BTreeSet<String>,
+    /// A filterless bare `cargo test` (runs the root package).
+    blanket_root: bool,
+    tests: Vec<TargetRef>,
+    bins: Vec<TargetRef>,
+    pkgs: Vec<TargetRef>,
+}
+
+/// Run the check over the workspace (or fixture tree) at `root`.
+/// Returns the findings; an empty vec means the workflows and the test
+/// suite agree.
+pub fn check(root: &Path) -> Result<Vec<Finding>, String> {
+    let packages = collect_packages(root)?;
+    let cmds = scan_workflows(root)?;
+    let mut findings = Vec::new();
+
+    let known_pkgs: BTreeSet<&str> = packages.iter().map(|p| p.name.as_str()).collect();
+
+    // Workflows must not name packages that no longer exist.
+    for r in &cmds.pkgs {
+        if !known_pkgs.contains(r.name.as_str()) {
+            findings.push(Finding {
+                file: r.file.clone(),
+                line: r.line,
+                message: format!(
+                    "workflow step names package `{}`, which does not exist",
+                    r.name
+                ),
+            });
+        }
+    }
+
+    // Every `--test <stem>` must resolve to an existing integration test
+    // (in the `-p` package when one is named, anywhere otherwise).
+    for r in &cmds.tests {
+        let exists = packages.iter().any(|p| {
+            r.pkg.as_deref().is_none_or(|pkg| pkg == p.name) && p.tests.iter().any(|t| t == &r.name)
+        });
+        if !exists {
+            findings.push(Finding {
+                file: r.file.clone(),
+                line: r.line,
+                message: format!(
+                    "workflow step invokes `--test {}`{}, but no such integration test exists — \
+                     delete the step or restore the test",
+                    r.name,
+                    r.pkg
+                        .as_deref()
+                        .map(|p| format!(" in package `{p}`"))
+                        .unwrap_or_default(),
+                ),
+            });
+        }
+    }
+
+    // Every `--bin <name>` must resolve to an existing binary target.
+    for r in &cmds.bins {
+        let exists = packages.iter().any(|p| {
+            r.pkg.as_deref().is_none_or(|pkg| pkg == p.name) && p.bins.iter().any(|b| b == &r.name)
+        });
+        if !exists {
+            findings.push(Finding {
+                file: r.file.clone(),
+                line: r.line,
+                message: format!(
+                    "workflow step invokes `--bin {}`{}, but no such binary target exists",
+                    r.name,
+                    r.pkg
+                        .as_deref()
+                        .map(|p| format!(" in package `{p}`"))
+                        .unwrap_or_default(),
+                ),
+            });
+        }
+    }
+
+    // Every integration test must be exercised by some workflow step.
+    for p in &packages {
+        let blanketed = cmds.blanket_all
+            || cmds.blanket_pkgs.contains(&p.name)
+            || (cmds.blanket_root && p.is_root);
+        if blanketed {
+            continue;
+        }
+        for t in &p.tests {
+            let named = cmds
+                .tests
+                .iter()
+                .any(|r| r.name == *t && r.pkg.as_deref().is_none_or(|pkg| pkg == p.name));
+            if !named {
+                findings.push(Finding {
+                    file: p.tests_dir.join(format!("{t}.rs")),
+                    line: 0,
+                    message: format!(
+                        "integration test `{t}` (package `{}`) is not exercised by any CI \
+                         workflow step — add a `cargo test --test {t}` step or a blanket \
+                         `cargo test --workspace`",
+                        p.name
+                    ),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+    Ok(findings)
+}
+
+/// The root package (if the root manifest has `[package]`) plus every
+/// direct `crates/*` package.
+fn collect_packages(root: &Path) -> Result<Vec<Package>, String> {
+    let mut out = Vec::new();
+    if let Some(p) = read_package(root, root, true) {
+        out.push(p);
+    }
+    let crates = root.join("crates");
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(&crates)
+        .map(|rd| {
+            rd.flatten()
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect()
+        })
+        .unwrap_or_default();
+    dirs.sort();
+    for dir in dirs {
+        if let Some(p) = read_package(root, &dir, false) {
+            out.push(p);
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("no cargo packages found under {}", root.display()));
+    }
+    Ok(out)
+}
+
+/// Parse one package dir: name from `Cargo.toml`, test stems from
+/// `tests/*.rs`, bin names from `[[bin]]` sections plus the implicit
+/// `src/bin/*.rs` and `src/main.rs` targets.
+fn read_package(root: &Path, dir: &Path, is_root: bool) -> Option<Package> {
+    let manifest = std::fs::read_to_string(dir.join("Cargo.toml")).ok()?;
+    let (name, mut bins) = parse_manifest(&manifest)?;
+    let mut tests: Vec<String> = rs_stems(&dir.join("tests"));
+    tests.sort();
+    for stem in rs_stems(&dir.join("src").join("bin")) {
+        if !bins.contains(&stem) {
+            bins.push(stem);
+        }
+    }
+    if dir.join("src").join("main.rs").is_file() && !bins.contains(&name) {
+        bins.push(name.clone());
+    }
+    let tests_dir = dir
+        .strip_prefix(root)
+        .unwrap_or(Path::new(""))
+        .join("tests");
+    Some(Package {
+        name,
+        tests_dir,
+        tests,
+        bins,
+        is_root,
+    })
+}
+
+/// Minimal manifest scan: the `[package]` name and `[[bin]]` names. A
+/// full TOML parser would be overkill for the two keys the check needs.
+fn parse_manifest(text: &str) -> Option<(String, Vec<String>)> {
+    let mut section = String::new();
+    let mut name = None;
+    let mut bins = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            section = line.to_string();
+            continue;
+        }
+        let Some(value) = line
+            .strip_prefix("name")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('='))
+        else {
+            continue;
+        };
+        let value = value.trim().trim_matches('"').to_string();
+        match section.as_str() {
+            "[package]" if name.is_none() => name = Some(value),
+            "[[bin]]" => bins.push(value),
+            _ => {}
+        }
+    }
+    Some((name?, bins))
+}
+
+/// Stems of the `.rs` files directly under `dir` (non-recursive: cargo
+/// only auto-discovers direct children of `tests/` and `src/bin/`).
+fn rs_stems(dir: &Path) -> Vec<String> {
+    let mut out: Vec<String> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.flatten()
+                .map(|e| e.path())
+                .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == "rs"))
+                .filter_map(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+/// Scan every workflow under `.github/workflows/` for cargo invocations.
+fn scan_workflows(root: &Path) -> Result<WorkflowCmds, String> {
+    let dir = root.join(".github").join("workflows");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "yml" || e == "yaml"))
+        .collect();
+    files.sort();
+    let mut cmds = WorkflowCmds::default();
+    for path in files {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        for (i, line) in text.lines().enumerate() {
+            scan_line(line, &rel, i + 1, &mut cmds);
+        }
+    }
+    Ok(cmds)
+}
+
+/// Target filters that restrict `cargo test` away from integration tests:
+/// a blanket run carrying any of these does not cover `tests/*.rs`.
+const NON_INTEGRATION_FILTERS: &[&str] = &[
+    "--lib",
+    "--bins",
+    "--bin",
+    "--doc",
+    "--examples",
+    "--example",
+    "--benches",
+    "--bench",
+];
+
+/// Parse one workflow line for cargo test/run target references.
+fn scan_line(line: &str, file: &Path, lineno: usize, cmds: &mut WorkflowCmds) {
+    let is_test = line.contains("cargo test");
+    let is_run = line.contains("cargo run");
+    if !is_test && !is_run {
+        return;
+    }
+    // Tokens up to the first bare `--`: everything after it goes to the
+    // invoked program, not to cargo.
+    let tokens: Vec<&str> = line.split_whitespace().take_while(|t| *t != "--").collect();
+    let value_after = |flag: &str| -> Vec<&str> {
+        tokens
+            .windows(2)
+            .filter(|w| w[0] == flag)
+            .map(|w| w[1])
+            .collect()
+    };
+    let pkg = value_after("-p")
+        .into_iter()
+        .chain(value_after("--package"))
+        .next()
+        .map(str::to_string);
+    if let Some(p) = &pkg {
+        cmds.pkgs.push(TargetRef {
+            pkg: None,
+            name: p.clone(),
+            file: file.to_path_buf(),
+            line: lineno,
+        });
+    }
+    for bin in value_after("--bin") {
+        cmds.bins.push(TargetRef {
+            pkg: pkg.clone(),
+            name: bin.to_string(),
+            file: file.to_path_buf(),
+            line: lineno,
+        });
+    }
+    if !is_test {
+        return;
+    }
+    let named: Vec<&str> = value_after("--test");
+    if !named.is_empty() {
+        for t in named {
+            cmds.tests.push(TargetRef {
+                pkg: pkg.clone(),
+                name: t.to_string(),
+                file: file.to_path_buf(),
+                line: lineno,
+            });
+        }
+        return;
+    }
+    if tokens.iter().any(|t| NON_INTEGRATION_FILTERS.contains(t)) {
+        return;
+    }
+    if tokens.iter().any(|t| *t == "--workspace" || *t == "--all") {
+        cmds.blanket_all = true;
+    } else if let Some(p) = pkg {
+        cmds.blanket_pkgs.insert(p);
+    } else {
+        cmds.blanket_root = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_scan_finds_package_and_bin_names() {
+        let (name, bins) = parse_manifest(
+            "[package]\nname = \"demo\"\nversion = \"0.1.0\"\n\n[[bin]]\nname = \"tool\"\npath = \"src/tool.rs\"\n\n[dependencies]\nname = \"not-a-target\"\n",
+        )
+        .expect("package section parses");
+        assert_eq!(name, "demo");
+        assert_eq!(bins, vec!["tool".to_string()]);
+        assert!(parse_manifest("[workspace]\nmembers = []\n").is_none());
+    }
+
+    fn scan(line: &str) -> WorkflowCmds {
+        let mut cmds = WorkflowCmds::default();
+        scan_line(line, Path::new("wf.yml"), 1, &mut cmds);
+        cmds
+    }
+
+    #[test]
+    fn blanket_and_explicit_test_lines_are_classified() {
+        assert!(scan("          run: cargo test --workspace").blanket_all);
+        assert!(scan("cargo test").blanket_root);
+        assert!(scan("cargo test -p widget").blanket_pkgs.contains("widget"));
+        // Target filters exclude integration tests: not a blanket.
+        let libs = scan("cargo test -p widget --lib --bins");
+        assert!(!libs.blanket_all && libs.blanket_pkgs.is_empty() && !libs.blanket_root);
+
+        let named = scan(
+            "FAULT_MATRIX_FULL=1 cargo test --release -p demo --test fault_matrix -- --nocapture",
+        );
+        assert!(!named.blanket_all && named.blanket_pkgs.is_empty());
+        assert_eq!(named.tests.len(), 1);
+        assert_eq!(named.tests[0].name, "fault_matrix");
+        assert_eq!(named.tests[0].pkg.as_deref(), Some("demo"));
+    }
+
+    #[test]
+    fn run_lines_contribute_bin_refs_and_stop_at_the_separator() {
+        let cmds = scan("cargo run --release -p simnet --bin gen-trace -- --test not-a-target");
+        assert_eq!(cmds.bins.len(), 1);
+        assert_eq!(cmds.bins[0].name, "gen-trace");
+        // `--test` after the `--` separator belongs to the program.
+        assert!(cmds.tests.is_empty());
+        assert!(!cmds.blanket_all && !cmds.blanket_root);
+    }
+}

@@ -2,12 +2,15 @@
 //! ingest parsers, self-contained so it runs in the offline build
 //! environment (no cargo-fuzz, no libFuzzer).
 //!
-//! Three targets, one per parsing layer the fault model attacks:
+//! Four targets, one per parsing layer the fault model attacks:
 //!
 //! * `dns` — `dnhunter_dns::codec::decode` and `decode_tcp_stream`
 //! * `net` — `dnhunter_net::Packet::parse`
 //! * `dpi` — the flow-layer extractors (`http::parse_request`,
 //!   `tls::inspect`, `dpi::classify`)
+//! * `flowrec` — the DNFR flow-record stream decoder
+//!   (`dnhunter_net::flowrec::decode_stream`), the daemon's NetFlow/IPFIX
+//!   ingest surface
 //!
 //! Inputs start from a committed corpus (`tests/corpus/<target>/*.hex`)
 //! plus programmatic seeds built with the crates' own builders, then get
@@ -55,16 +58,18 @@ enum Target {
     Dns,
     Net,
     Dpi,
+    Flowrec,
 }
 
 impl Target {
-    const ALL: [Target; 3] = [Target::Dns, Target::Net, Target::Dpi];
+    const ALL: [Target; 4] = [Target::Dns, Target::Net, Target::Dpi, Target::Flowrec];
 
     fn name(self) -> &'static str {
         match self {
             Target::Dns => "dns",
             Target::Net => "net",
             Target::Dpi => "dpi",
+            Target::Flowrec => "flowrec",
         }
     }
 
@@ -93,6 +98,9 @@ impl Target {
                 let mid = input.len() / 2;
                 let (c2s, s2c) = input.split_at(mid);
                 let _ = dnhunter_flow::dpi::classify(c2s, s2c, 443);
+            }
+            Target::Flowrec => {
+                let _ = dnhunter_net::flowrec::decode_stream(input);
             }
         }
     }
@@ -139,6 +147,33 @@ impl Target {
                     http::build_response(200, 128),
                     tls::build_client_hello(Some("www.example.com"), 7),
                     tls::build_server_flight(Some("*.example.com"), 9),
+                ]
+            }
+            Target::Flowrec => {
+                use dnhunter_net::{DnsExportRecord, ExportRecord, FlowExportRecord};
+                let c = std::net::IpAddr::V4(std::net::Ipv4Addr::new(10, 0, 0, 1));
+                let s = std::net::IpAddr::V4(std::net::Ipv4Addr::new(93, 184, 216, 34));
+                let dns = ExportRecord::Dns(DnsExportRecord {
+                    ts_micros: 1_000_000,
+                    client: c,
+                    message: vec![0x66, 0x61, 0x81, 0x80, 0, 1, 0, 0, 0, 0, 0, 0],
+                });
+                let flow = ExportRecord::Flow(FlowExportRecord {
+                    first_ts: 1_000_500,
+                    last_ts: 9_000_000,
+                    client: c,
+                    client_port: 40000,
+                    server: s,
+                    server_port: 443,
+                    ip_proto: 6,
+                    packets_c2s: 12,
+                    packets_s2c: 18,
+                    bytes_c2s: 900,
+                    bytes_s2c: 21_000,
+                });
+                vec![
+                    dnhunter_net::flowrec::encode_stream(std::slice::from_ref(&dns)),
+                    dnhunter_net::flowrec::encode_stream(&[dns, flow]),
                 ]
             }
         }
@@ -243,13 +278,13 @@ pub fn run(args: &[String]) -> ExitCode {
     let mut rng = Rng(seed);
     let started = Instant::now();
     let mut executed: u64 = 0;
-    let mut per_target = [0u64; 3];
+    let mut per_target = [0u64; Target::ALL.len()];
     let result = with_quiet_panics(|| -> Option<(Target, Vec<u8>, String)> {
         while executed < cases {
             if started.elapsed().as_secs() >= max_seconds {
                 break;
             }
-            let idx = (executed % 3) as usize;
+            let idx = (executed % Target::ALL.len() as u64) as usize;
             let (target, seeds) = &corpora[idx];
             let input = mutate(seeds, &mut rng);
             executed += 1;
@@ -265,11 +300,12 @@ pub fn run(args: &[String]) -> ExitCode {
         None => {
             println!(
                 "xtask fuzz: {executed} case(s) in {:.1}s, no panics \
-                 (dns {}, net {}, dpi {}; seed {seed})",
+                 (dns {}, net {}, dpi {}, flowrec {}; seed {seed})",
                 started.elapsed().as_secs_f64(),
                 per_target[0],
                 per_target[1],
                 per_target[2],
+                per_target[3],
             );
             ExitCode::SUCCESS
         }

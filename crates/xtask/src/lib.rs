@@ -7,6 +7,7 @@
 //! can run every lint against the fixture snippets under
 //! `tests/fixtures/`.
 
+pub mod ci_check;
 pub mod graph;
 pub mod lints;
 pub mod model;

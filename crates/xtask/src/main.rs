@@ -8,6 +8,9 @@
 //!   including the call-graph reachability lints L7–L10. Exits non-zero on
 //!   any violation, so CI can gate on it. `--json` prints machine-readable
 //!   findings; `--github` adds `::error file=…,line=…` annotation lines.
+//! * `ci-check` — the CI coverage gate: every integration test must be
+//!   wired into a workflow step, and every `--test`/`--bin` a workflow
+//!   invokes must still exist (see `ci_check.rs`).
 //! * `fuzz` — the seeded structure-aware corpus fuzzer over the ingest
 //!   parsers (DNS codec, frame parser, DPI extractors); panics shrink to
 //!   minimal reproducers committed under `tests/corpus/regressions/`.
@@ -27,6 +30,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("ci-check") => ci_check(&args[1..]),
         Some("fuzz") => fuzz::run(&args[1..]),
         Some("bench-diff") => bench_diff::run(&args[1..]),
         Some(other) => {
@@ -43,8 +47,33 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: cargo xtask <command>\n\ncommands:\n  lint        run the workspace invariant lints (L1-L11)\n              [--json] [--github]\n  fuzz        seeded corpus fuzzer over the ingest parsers\n              [--smoke] [--cases N] [--seed S] [--max-seconds T]\n  bench-diff  compare BENCH_sniffer.json against the committed baseline\n              [--baseline PATH] [--current PATH] [--threshold PCT] [--update]"
+        "usage: cargo xtask <command>\n\ncommands:\n  lint        run the workspace invariant lints (L1-L11)\n              [--json] [--github]\n  ci-check    verify the CI workflows and the integration-test suite\n              agree (every test wired in; no stale targets)\n  fuzz        seeded corpus fuzzer over the ingest parsers\n              [--smoke] [--cases N] [--seed S] [--max-seconds T]\n  bench-diff  compare BENCH_sniffer.json against the committed baseline\n              [--baseline PATH] [--current PATH] [--threshold PCT] [--update]"
     );
+}
+
+fn ci_check(args: &[String]) -> ExitCode {
+    if let Some(bad) = args.first() {
+        eprintln!("xtask ci-check: unknown flag `{bad}` (the check takes no options)");
+        return ExitCode::from(2);
+    }
+    let root = xtask::workspace_root();
+    match xtask::ci_check::check(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("xtask ci-check: workflows and test suite agree");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("xtask ci-check: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask ci-check: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn lint(args: &[String]) -> ExitCode {

@@ -1,0 +1,77 @@
+//! Self-tests for `cargo xtask ci-check` against the fixture trees under
+//! `tests/fixtures/ci_check/`: a clean workspace, a workspace whose CI
+//! lost a test step, and workflows invoking targets that no longer exist.
+//! The last test runs the check against this repository itself — the same
+//! gate CI's lint job applies.
+
+use std::path::PathBuf;
+
+use xtask::ci_check;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("ci_check")
+        .join(name)
+}
+
+#[test]
+fn clean_fixture_produces_no_findings() {
+    let findings = ci_check::check(&fixture("good")).expect("check runs");
+    assert!(
+        findings.is_empty(),
+        "clean fixture flagged:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn a_deleted_ci_step_is_flagged_as_uncovered() {
+    let findings = ci_check::check(&fixture("missing_step")).expect("check runs");
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly the uncovered test: {findings:?}"
+    );
+    let f = &findings[0];
+    assert!(
+        f.message.contains("`alpha`") && f.message.contains("not exercised"),
+        "unexpected message: {f}"
+    );
+    assert_eq!(f.file, PathBuf::from("tests").join("alpha.rs"));
+}
+
+#[test]
+fn stale_workflow_targets_are_flagged() {
+    let findings = ci_check::check(&fixture("stale_target")).expect("check runs");
+    let messages: Vec<String> = findings.iter().map(ToString::to_string).collect();
+    let has = |needle: &str| messages.iter().any(|m| m.contains(needle));
+    assert!(has("--test gamma"), "missing gamma finding: {messages:?}");
+    assert!(has("--bin vanished"), "missing bin finding: {messages:?}");
+    assert!(has("package `ghost`"), "missing pkg finding: {messages:?}");
+    // `--test anything` under the ghost package is also stale.
+    assert_eq!(findings.len(), 4, "{messages:?}");
+    // Findings carry workflow positions so CI output is clickable.
+    assert!(findings
+        .iter()
+        .all(|f| f.line > 0 && f.file.ends_with(".github/workflows/ci.yml")));
+}
+
+#[test]
+fn the_workspace_itself_passes() {
+    let findings = ci_check::check(&xtask::workspace_root()).expect("check runs");
+    assert!(
+        findings.is_empty(),
+        "ci-check findings in this repository:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

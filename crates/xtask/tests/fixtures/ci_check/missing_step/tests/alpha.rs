@@ -1,0 +1,1 @@
+// ci-check fixture: MUST be flagged — no workflow step runs this test.

@@ -1,0 +1,1 @@
+// ci-check fixture: covered by the blanket run.

@@ -10,14 +10,17 @@
 //! `FAULT_MATRIX_FULL=1` (the nightly pipeline) raises the trace scales;
 //! the PR gate runs the same assertions on smaller traces.
 
+use std::io::Cursor;
 use std::sync::Arc;
 
 use dnhunter::{
-    run_records_with_sinks, FlowSink, ParallelSniffer, RealTimeSniffer, SnifferConfig,
-    SnifferReport, StreamingAnalytics, StreamingConfig, WindowConfig, WindowedAnalytics,
+    run_records_with_sinks, DaemonSniffer, FlowSink, FlowrecConfig, ParallelSniffer,
+    RealTimeSniffer, Rotation, SnifferConfig, SnifferReport, StreamingAnalytics, StreamingConfig,
+    WindowConfig, WindowedAnalytics,
 };
-use dnhunter_net::PcapRecord;
-use dnhunter_simnet::{profiles, FaultPlan, TraceGenerator};
+use dnhunter_net::flowrec::encode_stream;
+use dnhunter_net::{FlowRecReader, PcapFileSource, PcapRecord, PcapWriter};
+use dnhunter_simnet::{flowexport, profiles, FaultPlan, TraceGenerator};
 use dnhunter_telemetry as telemetry;
 use telemetry::Metric;
 
@@ -561,6 +564,218 @@ fn windowed_storm_is_survived_on_every_profile() {
             windowed.totals().labeled_flows() > 0,
             "{name}: windowed tagging died under the storm"
         );
+    }
+}
+
+// --------------------------------------------------------------- rotation
+
+/// Run the faulted records through the daemon loop with rotation enabled,
+/// returning the rotated JSONL and the snapshot. Retire-and-emit replaces
+/// the bucket-cap overflow drop, so `dropped_bucket_events` must be zero in
+/// every cell regardless of fault class.
+fn run_rotated(records: &[PcapRecord], workers: usize) -> (String, telemetry::Snapshot) {
+    let registry = Arc::new(telemetry::Registry::new());
+    let _guard = telemetry::bind(registry.clone());
+    let mut writer = PcapWriter::new(Vec::new()).expect("header writes");
+    for rec in records {
+        writer.write_record(rec).expect("record writes");
+    }
+    let bytes = writer.into_inner().expect("flushes");
+
+    let mut sniffer = if workers > 1 {
+        DaemonSniffer::Par(Box::new(ParallelSniffer::with_sinks(
+            SnifferConfig::default(),
+            workers,
+            &mut |_| Box::new(WindowedAnalytics::new(window_cfg())) as Box<dyn FlowSink>,
+        )))
+    } else {
+        let mut s = RealTimeSniffer::new(SnifferConfig::default());
+        s.set_sink(Box::new(WindowedAnalytics::new(window_cfg())));
+        DaemonSniffer::Seq(Box::new(s))
+    };
+    let mut rotation = Rotation::new(10 * 60 * 1_000_000, window_cfg());
+    let mut source = PcapFileSource::new(Cursor::new(&bytes)).expect("valid pcap");
+    dnhunter::run_frame_daemon(&mut source, &mut sniffer, Some(&mut rotation), |_| {})
+        .expect("daemon loop survives the fault cell");
+    let (_, sinks) = sniffer.finish_with_sinks();
+    let rotations = rotation.rotations;
+    assert!(rotations > 0, "no rotation fired in a fault cell");
+    (
+        rotation.emitter.finish(rotations, sinks),
+        registry.snapshot(),
+    )
+}
+
+#[test]
+fn rotated_fault_cells_retire_and_emit_without_drops() {
+    // Every fault class × intensity through the rotating daemon: rotation
+    // must retire-and-emit (never engage the bucket-cap drop), retraction
+    // must stay clean, and the 2-worker rotated output must reproduce the
+    // sequential one byte for byte even on hostile input.
+    let profile = profiles::eu1_adsl1().scaled(scaled(0.04));
+    let trace = TraceGenerator::new(profile, false).generate();
+
+    for class in CLASSES {
+        for intensity in [0.08, 0.3] {
+            let plan = (class.plan)(intensity);
+            let (records, stats) = plan.apply(&trace.records);
+            assert!(
+                stats.total() > 0,
+                "{} @ {intensity}: plan inflicted nothing",
+                class.name
+            );
+
+            let (out, snap) = run_rotated(&records, 1);
+            assert!(
+                out.ends_with("\"dropped_bucket_events\":0}\n"),
+                "{} @ {intensity}: rotation dropped bucket events:\n{}",
+                class.name,
+                out.lines().last().unwrap_or("")
+            );
+            assert_eq!(
+                snap.get(Metric::WindowRetractUnderflow),
+                0,
+                "{} @ {intensity}: a retraction underflowed under rotation",
+                class.name
+            );
+            assert!(snap.get(Metric::DaemonRotations) > 0);
+            assert!(snap.get(Metric::WindowBucketsRetired) > 0);
+
+            let (pout, psnap) = run_rotated(&records, 2);
+            assert_eq!(
+                pout, out,
+                "{} @ {intensity}: 2-worker rotated output diverged",
+                class.name
+            );
+            assert_eq!(psnap.get(Metric::WindowRetractUnderflow), 0);
+        }
+    }
+}
+
+// --------------------------------------------------------------- flowrec
+
+/// Run an encoded DNFR stream through the flow-record daemon, returning
+/// the stats, the report, and the snapshot.
+fn run_flowrec(
+    bytes: &[u8],
+    cfg: &FlowrecConfig,
+) -> (dnhunter::FlowrecStats, SnifferReport, telemetry::Snapshot) {
+    let registry = Arc::new(telemetry::Registry::new());
+    let _guard = telemetry::bind(registry.clone());
+    let mut sniffer = RealTimeSniffer::new(SnifferConfig::default());
+    let mut reader = FlowRecReader::new(Cursor::new(bytes)).expect("valid header");
+    let stats = dnhunter::run_flowrec_daemon(&mut reader, &mut sniffer, cfg, None)
+        .expect("flow-record stream ingests");
+    (stats, sniffer.finish(), registry.snapshot())
+}
+
+#[test]
+fn flowrec_skew_and_reorder_cells_are_counted_and_survived() {
+    // The flow-record regime under seeded export skew/reorder (the
+    // flowexport jitter model): DNS must still tag flows through the
+    // reorder buffer, a too-tight skew bound shows up on the late-records
+    // counter, capacity pressure shows up on the skew-overflow counter, and
+    // nothing ever panics.
+    let profile = profiles::eu1_adsl1().scaled(scaled(0.04));
+    let trace = TraceGenerator::new(profile, false).generate();
+    let stream = flowexport::export_stream(&trace.records, 7, 53);
+    assert!(stream.len() > 500, "export stream too small");
+    let bytes = encode_stream(&stream);
+
+    // Generous skew, generous capacity: clean correlation, zero faults.
+    let roomy = FlowrecConfig::default();
+    let (stats, report, snap) = run_flowrec(&bytes, &roomy);
+    assert_eq!(stats.skew_overflow, 0, "clean stream counted skew overflow");
+    assert_eq!(stats.late_records, 0, "clean stream counted late records");
+    assert_eq!(
+        stats.dns_records + stats.flow_records,
+        stream.len() as u64,
+        "records lost in the reorder buffer"
+    );
+    assert!(
+        report.sniffer_stats.tag_hits > 0,
+        "flow-record regime tagged nothing"
+    );
+    assert_eq!(snap.get(Metric::FlowrecSkewOverflow), 0);
+
+    // Skew bound tighter than the export jitter: late releases, counted,
+    // still ingested in full.
+    let tight = FlowrecConfig {
+        skew_micros: 50_000,
+        ..FlowrecConfig::default()
+    };
+    let (stats, report, snap) = run_flowrec(&bytes, &tight);
+    assert!(
+        stats.late_records > 0,
+        "sub-jitter skew bound never saw a late record"
+    );
+    assert!(snap.get(Metric::FlowrecLateRecords) > 0);
+    assert_eq!(stats.dns_records + stats.flow_records, stream.len() as u64);
+    assert!(report.sniffer_stats.tag_hits > 0, "tagging died under skew");
+
+    // Capacity pressure: forced early releases, counted as skew overflow.
+    let cramped = FlowrecConfig {
+        capacity: 8,
+        ..FlowrecConfig::default()
+    };
+    let (stats, _, snap) = run_flowrec(&bytes, &cramped);
+    assert!(
+        stats.skew_overflow > 0,
+        "8-slot reorder buffer never overflowed"
+    );
+    assert!(snap.get(Metric::FlowrecSkewOverflow) > 0);
+    assert_eq!(stats.dns_records + stats.flow_records, stream.len() as u64);
+}
+
+#[test]
+fn flowrec_decode_faults_error_cleanly_mid_stream() {
+    // Truncation and corruption of the export stream surface as counted
+    // errors after a clean partial ingest — never as panics.
+    let profile = profiles::eu1_adsl1().scaled(scaled(0.02));
+    let trace = TraceGenerator::new(profile, false).generate();
+    let stream = flowexport::export_stream(&trace.records, 7, 53);
+    let bytes = encode_stream(&stream);
+
+    for (name, mutate) in [
+        ("truncate", {
+            fn cut(b: &[u8]) -> Vec<u8> {
+                b[..b.len() * 2 / 3 + 3].to_vec()
+            }
+            cut as fn(&[u8]) -> Vec<u8>
+        }),
+        ("corrupt", {
+            fn flip(b: &[u8]) -> Vec<u8> {
+                let mut v = b.to_vec();
+                let mid = v.len() / 2;
+                // A long 0xff run is guaranteed to cross a record boundary,
+                // where it reads as an invalid type or oversize length.
+                let end = (mid + 4096).min(v.len());
+                for byte in &mut v[mid..end] {
+                    *byte = 0xff;
+                }
+                v
+            }
+            flip as fn(&[u8]) -> Vec<u8>
+        }),
+    ] {
+        let registry = Arc::new(telemetry::Registry::new());
+        let _guard = telemetry::bind(registry.clone());
+        let mangled = mutate(&bytes);
+        let mut sniffer = RealTimeSniffer::new(SnifferConfig::default());
+        let mut reader = FlowRecReader::new(Cursor::new(&mangled)).expect("header intact");
+        let result = dnhunter::run_flowrec_daemon(
+            &mut reader,
+            &mut sniffer,
+            &FlowrecConfig::default(),
+            None,
+        );
+        assert!(result.is_err(), "{name}: mangled stream decoded cleanly");
+        assert!(
+            registry.snapshot().get(Metric::FlowrecDecodeErrors) > 0,
+            "{name}: decode error was not counted"
+        );
+        // The sniffer survives the partial ingest and still finishes.
+        let _ = sniffer.finish();
     }
 }
 
